@@ -1,0 +1,136 @@
+//! Frontier-based (data-driven) GPU Bellman-Ford.
+//!
+//! A stronger synchronous baseline than the paper's BL: instead of
+//! launching a thread for every vertex of the graph each iteration
+//! (topology-driven), only the *frontier* — vertices improved in the
+//! previous iteration — is processed, with a pending-flag dedup. This
+//! is the workfront-sweep style of Davidson et al. and what most
+//! modern systems call data-driven push mode (SEP-Graph's terminology,
+//! §6.2). Still bucket-less and synchronous, so work efficiency and
+//! convergence remain far from RDBS.
+
+use rdbs_core::gpu::buffers::{DeviceQueue, GraphBuffers};
+use rdbs_core::stats::{SsspResult, UpdateStats};
+use rdbs_core::{Csr, VertexId};
+use rdbs_gpu_sim::Device;
+use std::cell::Cell;
+
+/// Run frontier Bellman-Ford from `source` on an existing device.
+pub fn frontier_bf(device: &mut Device, graph: &Csr, source: VertexId) -> SsspResult {
+    let n = graph.num_vertices() as u32;
+    assert!(source < n, "source out of range");
+    let gb = GraphBuffers::upload(device, graph);
+    gb.init_source(device, source);
+    let queue_a = DeviceQueue::new(device, "bf_frontier", n);
+    let queue_b = DeviceQueue::new(device, "bf_next", n);
+    let pending = device.alloc("bf_pending", n as usize);
+
+    let mut stats = UpdateStats::default();
+    let total_updates = Cell::new(0u64);
+    let checks = Cell::new(0u64);
+
+    device.write_word(pending, source as usize, 1);
+    queue_a.host_push(device, source);
+    let (mut cur, mut next) = (&queue_a, &queue_b);
+    let mut rounds = 0u32;
+    loop {
+        let frontier = cur.drain(device);
+        if frontier.is_empty() {
+            break;
+        }
+        rounds += 1;
+        stats.peak_bucket_layer_active.push(frontier.len() as u64);
+        let frontier_ref = &frontier;
+        let updates_ref = &total_updates;
+        let checks_ref = &checks;
+        let q = *cur;
+        let nx = *next;
+        device.launch("frontier_bf_relax", frontier.len() as u64, move |lane| {
+            let i = lane.tid() as usize;
+            let _ = lane.ld(q.data, i as u32);
+            let u = frontier_ref[i];
+            lane.st(pending, u, 0);
+            // Volatile: races with concurrent improvers' handshake.
+            let du = lane.ld_volatile(gb.dist, u);
+            let start = lane.ld(gb.row, u);
+            let end = lane.ld(gb.row, u + 1);
+            for e in start..end {
+                let v = lane.ld(gb.adj, e);
+                let w = lane.ld(gb.wt, e);
+                lane.alu(2);
+                let nd = du.saturating_add(w);
+                checks_ref.set(checks_ref.get() + 1);
+                let dv = lane.ld(gb.dist, v);
+                if nd < dv {
+                    let old = lane.atomic_min(gb.dist, v, nd);
+                    if nd < old {
+                        updates_ref.set(updates_ref.get() + 1);
+                        if lane.atomic_exch(pending, v, 1) == 0 {
+                            nx.push(lane, v);
+                        }
+                    }
+                }
+            }
+        });
+        device.charge_barrier();
+        std::mem::swap(&mut cur, &mut next);
+    }
+
+    stats.phase1_layers.push(rounds);
+    stats.total_updates = total_updates.get();
+    stats.checks = checks.get();
+    let dist = gb.download_dist(device);
+    SsspResult { source, dist, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_core::seq::dijkstra;
+    use rdbs_core::validate::check_against;
+    use rdbs_core::INF;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+    use rdbs_gpu_sim::DeviceConfig;
+
+    fn graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(120, 700, seed);
+        uniform_weights(&mut el, seed + 8);
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn matches_dijkstra() {
+        for seed in 0..4 {
+            let g = graph(seed);
+            let oracle = dijkstra(&g, 0);
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let r = frontier_bf(&mut d, &g, 0);
+            check_against(&oracle.dist, &r.dist).unwrap_or_else(|m| panic!("seed {seed}: {m}"));
+        }
+    }
+
+    #[test]
+    fn processes_fewer_threads_than_topology_bl() {
+        let g = graph(7);
+        let mut d_front = Device::new(DeviceConfig::test_tiny());
+        let _ = frontier_bf(&mut d_front, &g, 0);
+        let mut d_topo = Device::new(DeviceConfig::test_tiny());
+        let _ = rdbs_core::gpu::bl(&mut d_topo, &g, 0);
+        assert!(
+            d_front.counters().threads < d_topo.counters().threads,
+            "frontier {} vs topology {}",
+            d_front.counters().threads,
+            d_topo.counters().threads
+        );
+    }
+
+    #[test]
+    fn disconnected_and_trivial() {
+        let g = build_undirected(&EdgeList::from_edges(3, vec![(0, 1, 4)]));
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let r = frontier_bf(&mut d, &g, 0);
+        assert_eq!(r.dist, vec![0, 4, INF]);
+        assert!(r.stats.checks >= r.stats.total_updates);
+    }
+}

@@ -1,0 +1,184 @@
+//! Near-Far worklist SSSP (Davidson et al., IPDPS'14).
+//!
+//! The classic two-bucket GPU method the paper cites in §1: only two
+//! piles — *near* (tentative distance below the current threshold) and
+//! *far* (everything else). The near pile is processed with
+//! synchronous Bellman-Ford-style sweeps until empty, then the
+//! threshold advances by Δ and the far pile is split again. Work
+//! efficiency sits between Bellman-Ford and full Δ-stepping ("it only
+//! uses two buckets ... leading to work inefficiency").
+
+use rdbs_core::gpu::buffers::{DeviceQueue, GraphBuffers};
+use rdbs_core::stats::{SsspResult, UpdateStats};
+use rdbs_core::{Csr, VertexId, Weight, INF};
+use rdbs_gpu_sim::Device;
+use std::cell::Cell;
+
+/// Run Near-Far from `source` on an existing device.
+pub fn near_far(device: &mut Device, graph: &Csr, source: VertexId, delta: Weight) -> SsspResult {
+    let n = graph.num_vertices() as u32;
+    assert!(source < n, "source out of range");
+    assert!(delta >= 1);
+    let gb = GraphBuffers::upload(device, graph);
+    gb.init_source(device, source);
+    let near = DeviceQueue::new(device, "near", n);
+    let pending = device.alloc("nf_pending", n as usize);
+    let scan_out = device.alloc("nf_scan", 2);
+
+    let checks = Cell::new(0u64);
+    let updates = Cell::new(0u64);
+    let mut stats = UpdateStats::default();
+
+    device.write_word(pending, source as usize, 1);
+    near.host_push(device, source);
+    let mut threshold: u64 = delta as u64;
+
+    loop {
+        // Process the near pile with synchronous sweeps.
+        let mut sweeps = 0u32;
+        let mut active = 0u64;
+        loop {
+            let items = near.drain(device);
+            if items.is_empty() {
+                break;
+            }
+            sweeps += 1;
+            active += items.len() as u64;
+            let items_ref = &items;
+            let checks_ref = &checks;
+            let updates_ref = &updates;
+            device.launch("near_far_sweep", items.len() as u64, move |lane| {
+                let i = lane.tid() as usize;
+                let _ = lane.ld(near.data, i as u32);
+                let v = items_ref[i];
+                lane.st(pending, v, 0);
+                // Volatile: races with concurrent improvers' handshake.
+                let dv = lane.ld_volatile(gb.dist, v);
+                lane.alu(2);
+                if dv as u64 >= threshold {
+                    return; // fell into far
+                }
+                let start = lane.ld(gb.row, v);
+                let end = lane.ld(gb.row, v + 1);
+                for e in start..end {
+                    let w = lane.ld(gb.wt, e);
+                    let v2 = lane.ld(gb.adj, e);
+                    lane.alu(1);
+                    let nd = dv.saturating_add(w);
+                    checks_ref.set(checks_ref.get() + 1);
+                    let dv2 = lane.ld(gb.dist, v2);
+                    if nd < dv2 {
+                        let old = lane.atomic_min(gb.dist, v2, nd);
+                        if nd < old {
+                            updates_ref.set(updates_ref.get() + 1);
+                            // Only near-side improvements re-enter now.
+                            if (nd as u64) < threshold
+                                && lane.atomic_exch(pending, v2, 1) == 0
+                            {
+                                near.push(lane, v2);
+                            }
+                        }
+                    }
+                }
+            });
+            device.charge_barrier();
+        }
+        stats.phase1_layers.push(sweeps);
+        stats.bucket_active.push(active);
+
+        // Split the far pile: advance the threshold, refill near.
+        let mut next_threshold = threshold + delta as u64;
+        let mut done = false;
+        loop {
+            device.write_word(scan_out, 0, 0);
+            device.write_word(scan_out, 1, INF);
+            let lo = threshold;
+            let hi = next_threshold;
+            device.launch("far_split", n as u64, move |lane| {
+                let v = lane.tid() as u32;
+                let dv = lane.ld(gb.dist, v);
+                lane.alu(2);
+                if dv == INF {
+                    return;
+                }
+                let dvu = dv as u64;
+                if dvu < lo {
+                    return;
+                }
+                if dvu < hi {
+                    lane.atomic_add(scan_out, 0, 1);
+                    if lane.atomic_exch(pending, v, 1) == 0 {
+                        near.push(lane, v);
+                    }
+                } else {
+                    lane.atomic_min(scan_out, 1, dv);
+                }
+            });
+            let count = device.read_word(scan_out, 0);
+            let min_beyond = device.read_word(scan_out, 1);
+            if count > 0 {
+                break;
+            }
+            if min_beyond == INF {
+                done = true;
+                break;
+            }
+            next_threshold = min_beyond as u64 + delta as u64;
+        }
+        if done {
+            break;
+        }
+        threshold = next_threshold;
+    }
+
+    stats.checks = checks.get();
+    stats.total_updates = updates.get();
+    let dist = gb.download_dist(device);
+    SsspResult { source, dist, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_core::seq::dijkstra;
+    use rdbs_core::validate::check_against;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+    use rdbs_gpu_sim::DeviceConfig;
+
+    fn graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(100, 500, seed);
+        uniform_weights(&mut el, seed + 4);
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn matches_dijkstra() {
+        for seed in 0..4 {
+            let g = graph(seed);
+            let oracle = dijkstra(&g, 0);
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let r = near_far(&mut d, &g, 0, 150);
+            check_against(&oracle.dist, &r.dist).unwrap_or_else(|m| panic!("seed {seed}: {m}"));
+        }
+    }
+
+    #[test]
+    fn heavy_path_with_jumps() {
+        let el = EdgeList::from_edges(4, (0..3).map(|i| (i, i + 1, 900)).collect());
+        let g = build_undirected(&el);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let r = near_far(&mut d, &g, 0, 100);
+        assert_eq!(r.dist, vec![0, 900, 1800, 2700]);
+    }
+
+    #[test]
+    fn uses_synchronous_launches() {
+        let g = graph(2);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let _ = near_far(&mut d, &g, 0, 200);
+        // Sync mode: many kernel launches and barriers.
+        assert!(d.counters().kernel_launches > 2);
+        assert!(d.counters().barriers > 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! SEP-Graph-style hybrid SSSP (Wang et al., PPoPP'19).
+//!
+//! §6.2: *"SEP-Graph implements a highly efficient software framework
+//! ... It automatically switches between Sync or Async, Push or Pull,
+//! and Data-driven or Topology-driven to achieve the shortest
+//! execution time."* This baseline reproduces that adaptive-switching
+//! execution for SSSP:
+//!
+//! * **push / data-driven** when the frontier is small: one thread per
+//!   frontier vertex relaxes its out-edges (as in the other
+//!   data-driven baselines);
+//! * **pull / topology-driven** when the frontier covers a large
+//!   fraction of the graph: one thread per vertex scans its *incoming*
+//!   neighbours (the same adjacency, since the evaluation graphs are
+//!   symmetrized) and lowers its own distance — no atomics needed, at
+//!   the cost of touching every vertex;
+//! * **async** within a round via a persistent-kernel wave when the
+//!   previous round was push-mode and small (cheap), **sync** with a
+//!   barrier otherwise.
+//!
+//! The paper's criticism — "SEP ignores load balancing issues" — holds
+//! here too: both modes are thread-per-vertex.
+
+use rdbs_core::gpu::buffers::{DeviceQueue, GraphBuffers};
+use rdbs_core::stats::{SsspResult, UpdateStats};
+use rdbs_core::{Csr, VertexId, INF};
+use rdbs_gpu_sim::Device;
+use std::cell::Cell;
+
+/// Fraction of `n` above which the engine switches to pull mode.
+const PULL_THRESHOLD: f64 = 0.10;
+/// Fraction of `n` below which push rounds run asynchronously.
+const ASYNC_THRESHOLD: f64 = 0.02;
+
+/// Which mode a round executed in (exposed for tests/analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    PushAsync,
+    PushSync,
+    PullSync,
+}
+
+/// Run the hybrid SSSP; returns the result and the mode sequence.
+pub fn sep_graph(
+    device: &mut Device,
+    graph: &Csr,
+    source: VertexId,
+) -> (SsspResult, Vec<Mode>) {
+    let n = graph.num_vertices() as u32;
+    assert!(source < n, "source out of range");
+    let gb = GraphBuffers::upload(device, graph);
+    gb.init_source(device, source);
+    let queue_a = DeviceQueue::new(device, "sep_frontier", n);
+    let queue_b = DeviceQueue::new(device, "sep_next", n);
+    let pending = device.alloc("sep_pending", n as usize);
+    let progress = device.alloc("sep_progress", 1);
+
+    let checks = Cell::new(0u64);
+    let updates = Cell::new(0u64);
+    let mut stats = UpdateStats::default();
+    let mut modes: Vec<Mode> = Vec::new();
+
+    device.write_word(pending, source as usize, 1);
+    queue_a.host_push(device, source);
+    let (mut cur, mut next) = (&queue_a, &queue_b);
+    // One persistent session covers the async rounds.
+    device.charge_kernel_launch();
+
+    loop {
+        let frontier = cur.drain(device);
+        if frontier.is_empty() {
+            break;
+        }
+        stats.peak_bucket_layer_active.push(frontier.len() as u64);
+        let frac = frontier.len() as f64 / n as f64;
+        let mode = if frac >= PULL_THRESHOLD {
+            Mode::PullSync
+        } else if frac <= ASYNC_THRESHOLD {
+            Mode::PushAsync
+        } else {
+            Mode::PushSync
+        };
+        modes.push(mode);
+
+        match mode {
+            Mode::PushAsync | Mode::PushSync => {
+                let frontier_ref = &frontier;
+                let checks_ref = &checks;
+                let updates_ref = &updates;
+                let q = *cur;
+                let nx = *next;
+                let body = move |lane: &mut rdbs_gpu_sim::Lane<'_>| {
+                    let i = lane.tid() as usize;
+                    let _ = lane.ld(q.data, i as u32);
+                    let u = frontier_ref[i];
+                    lane.st(pending, u, 0);
+                    let du = lane.ld_volatile(gb.dist, u);
+                    let start = lane.ld(gb.row, u);
+                    let end = lane.ld(gb.row, u + 1);
+                    for e in start..end {
+                        let v = lane.ld(gb.adj, e);
+                        let w = lane.ld(gb.wt, e);
+                        lane.alu(2);
+                        let nd = du.saturating_add(w);
+                        checks_ref.set(checks_ref.get() + 1);
+                        let dv = lane.ld(gb.dist, v);
+                        if nd < dv {
+                            let old = lane.atomic_min(gb.dist, v, nd);
+                            if nd < old {
+                                updates_ref.set(updates_ref.get() + 1);
+                                if lane.atomic_exch(pending, v, 1) == 0 {
+                                    nx.push(lane, v);
+                                }
+                            }
+                        }
+                    }
+                };
+                if mode == Mode::PushAsync {
+                    device.wave("sep_push_async", frontier.len() as u64, 1, body);
+                } else {
+                    device.launch("sep_push_sync", frontier.len() as u64, body);
+                    device.charge_barrier();
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            Mode::PullSync => {
+                // Topology-driven pull: every vertex lowers itself from
+                // its (symmetric) neighbours — plain stores, no atomics.
+                device.write_word(progress, 0, 0);
+                // Clear the pending flags the push rounds left behind.
+                for &u in &frontier {
+                    device.write_word(pending, u as usize, 0);
+                }
+                let checks_ref = &checks;
+                let updates_ref = &updates;
+                let nx = *next;
+                device.launch("sep_pull", n as u64, move |lane| {
+                    let v = lane.tid() as u32;
+                    let dv = lane.ld(gb.dist, v);
+                    let start = lane.ld(gb.row, v);
+                    let end = lane.ld(gb.row, v + 1);
+                    let mut best = dv;
+                    for e in start..end {
+                        let u = lane.ld(gb.adj, e);
+                        let w = lane.ld(gb.wt, e);
+                        lane.alu(2);
+                        let du = lane.ld(gb.dist, u);
+                        checks_ref.set(checks_ref.get() + 1);
+                        if du != INF {
+                            best = best.min(du.saturating_add(w));
+                        }
+                    }
+                    if best < dv {
+                        lane.st(gb.dist, v, best);
+                        updates_ref.set(updates_ref.get() + 1);
+                        lane.st(progress, 0, 1);
+                        if lane.atomic_exch(pending, v, 1) == 0 {
+                            nx.push(lane, v);
+                        }
+                    }
+                });
+                device.charge_barrier();
+                std::mem::swap(&mut cur, &mut next);
+                if device.read_word(progress, 0) == 0 {
+                    // Pull made no progress: the collected frontier is
+                    // final garbage; drain and stop.
+                    let _ = cur.drain(device);
+                }
+            }
+        }
+    }
+
+    stats.checks = checks.get();
+    stats.total_updates = updates.get();
+    stats.phase1_layers.push(modes.len() as u32);
+    let dist = gb.download_dist(device);
+    (SsspResult { source, dist, stats }, modes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_core::seq::dijkstra;
+    use rdbs_core::validate::check_against;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, preferential_attachment, uniform_weights};
+    use rdbs_gpu_sim::DeviceConfig;
+
+    fn graph(seed: u64, n: usize, m: usize) -> Csr {
+        let mut el = erdos_renyi(n, m, seed);
+        uniform_weights(&mut el, seed + 13);
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn matches_dijkstra() {
+        for seed in 0..4 {
+            let g = graph(seed, 150, 900);
+            let oracle = dijkstra(&g, 0);
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let (r, _) = sep_graph(&mut d, &g, 0);
+            check_against(&oracle.dist, &r.dist).unwrap_or_else(|m| panic!("seed {seed}: {m}"));
+        }
+    }
+
+    #[test]
+    fn switches_modes_on_dense_graph() {
+        // A dense expander drives the frontier above the pull
+        // threshold mid-search.
+        let g = graph(9, 300, 4000);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let (r, modes) = sep_graph(&mut d, &g, 0);
+        check_against(&dijkstra(&g, 0).dist, &r.dist).unwrap();
+        assert!(modes.contains(&Mode::PushAsync), "starts in async push: {modes:?}");
+        assert!(modes.contains(&Mode::PullSync), "dense mid-phase must pull: {modes:?}");
+    }
+
+    #[test]
+    fn stays_push_on_high_diameter_graph() {
+        // On a long path the frontier never exceeds a couple of
+        // vertices, so the engine must stay in (async) push mode.
+        let el = EdgeList::from_edges(300, (0..299).map(|i| (i, i + 1, 7)).collect());
+        let g = build_undirected(&el);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let (r, modes) = sep_graph(&mut d, &g, 0);
+        check_against(&dijkstra(&g, 0).dist, &r.dist).unwrap();
+        assert!(
+            modes.iter().all(|&m| m == Mode::PushAsync),
+            "tiny frontiers must stay async push: {modes:?}"
+        );
+        let _ = preferential_attachment(10, 2, 1); // keep import used
+    }
+
+    #[test]
+    fn pull_rounds_use_no_frontier_atomic_min() {
+        // Pull mode writes with plain stores; a fully-pull round on a
+        // clique should record zero atomic-min conflicts on dist.
+        let n = 40u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b, 1 + (a + b) % 100));
+            }
+        }
+        let mut el = EdgeList::from_edges(n as usize, edges);
+        uniform_weights(&mut el, 8);
+        let g = build_undirected(&el);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let (r, modes) = sep_graph(&mut d, &g, 0);
+        check_against(&dijkstra(&g, 0).dist, &r.dist).unwrap();
+        assert!(modes.contains(&Mode::PullSync));
+    }
+}

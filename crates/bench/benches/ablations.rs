@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! per-optimization variants, bucket-width sensitivity, adaptive vs
+//! fixed Δ. (Criterion measures host wall-clock of simulating each
+//! configuration; the *simulated* times are what the fig08 harness
+//! binary reports.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdbs_baselines::run_adds;
+use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs_core::Csr;
+use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::datasets::kronecker_spec;
+
+fn graph() -> Csr {
+    kronecker_spec(21, 16).generate(8, 42)
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::v100().with_overhead_scale(1.0 / 256.0).with_cache_scale(1.0 / 256.0)
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("gpu_variants_k-n13-16");
+    group.sample_size(10);
+
+    for variant in [
+        Variant::Baseline,
+        Variant::Rdbs(RdbsConfig::basyn_only()),
+        Variant::Rdbs(RdbsConfig::basyn_pro()),
+        Variant::Rdbs(RdbsConfig::basyn_adwl()),
+        Variant::Rdbs(RdbsConfig::full()),
+        Variant::Rdbs(RdbsConfig::sync_delta()),
+    ] {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| run_gpu(&g, 3, variant, device()).elapsed_ms)
+        });
+    }
+    group.bench_function("ADDS", |b| b.iter(|| run_adds(&g, 3, device()).elapsed_ms));
+    group.finish();
+}
+
+fn bench_delta_sensitivity(c: &mut Criterion) {
+    // Ablation: bucket width Δ₀ — the Dijkstra↔Bellman-Ford spectrum
+    // of §2.2.
+    let g = graph();
+    let mut group = c.benchmark_group("delta0_sensitivity");
+    group.sample_size(10);
+    for delta0 in [10u32, 100, 1000, 10_000] {
+        let cfg = RdbsConfig { delta0: Some(delta0), ..RdbsConfig::full() };
+        group.bench_function(format!("delta0_{delta0}"), |b| {
+            b.iter(|| run_gpu(&g, 3, Variant::Rdbs(cfg), device()).elapsed_ms)
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_vs_fixed_delta(c: &mut Criterion) {
+    // Ablation: Eq. 1–2 adaptive width (BASYN) vs fixed width
+    // synchronous processing.
+    let g = graph();
+    let mut group = c.benchmark_group("adaptive_delta");
+    group.sample_size(10);
+    group.bench_function("adaptive_eq12", |b| {
+        b.iter(|| run_gpu(&g, 3, Variant::Rdbs(RdbsConfig::basyn_only()), device()).elapsed_ms)
+    });
+    group.bench_function("fixed_sync", |b| {
+        b.iter(|| run_gpu(&g, 3, Variant::Rdbs(RdbsConfig::sync_delta()), device()).elapsed_ms)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_delta_sensitivity, bench_adaptive_vs_fixed_delta);
+criterion_main!(benches);

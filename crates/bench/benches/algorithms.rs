@@ -1,0 +1,45 @@
+//! Wall-clock benchmarks of the native CPU SSSP implementations —
+//! real (non-simulated) performance numbers, the basis of Table 2's
+//! CPU column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdbs_baselines::pq_delta_stepping;
+use rdbs_core::cpu::{async_bucket_sssp, parallel_delta_stepping};
+use rdbs_core::seq::{bellman_ford, delta_stepping, dijkstra};
+use rdbs_core::{default_delta, Csr};
+use rdbs_graph::builder::build_undirected;
+use rdbs_graph::generate::{kronecker, uniform_weights, KroneckerConfig};
+
+fn graph() -> Csr {
+    let mut el = kronecker(KroneckerConfig::new(13, 8), 42);
+    uniform_weights(&mut el, 7);
+    build_undirected(&el)
+}
+
+fn bench_cpu_sssp(c: &mut Criterion) {
+    let g = graph();
+    let delta = default_delta(&g);
+    let threads = rdbs_core::cpu::default_threads();
+    let mut group = c.benchmark_group("cpu_sssp_k-n13-8");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.sample_size(10);
+
+    group.bench_function("dijkstra", |b| b.iter(|| dijkstra(&g, 1).reached()));
+    group.bench_function("bellman_ford", |b| b.iter(|| bellman_ford(&g, 1).reached()));
+    group.bench_function("delta_stepping", |b| {
+        b.iter(|| delta_stepping(&g, 1, delta).reached())
+    });
+    group.bench_function(BenchmarkId::new("parallel_delta", threads), |b| {
+        b.iter(|| parallel_delta_stepping(&g, 1, delta, threads).reached())
+    });
+    group.bench_function(BenchmarkId::new("async_bucket", threads), |b| {
+        b.iter(|| async_bucket_sssp(&g, 1, delta, threads).reached())
+    });
+    group.bench_function(BenchmarkId::new("pq_delta", threads), |b| {
+        b.iter(|| pq_delta_stepping(&g, 1, threads, None).reached())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_sssp);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Simulator micro-benchmarks: host-side throughput of the SIMT
+//! replay engine on characteristic kernel patterns (coalesced vs
+//! scattered loads, contended vs spread atomics, dynamic parallelism).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdbs_gpu_sim::{Device, DeviceConfig};
+
+const N: usize = 1 << 14;
+
+fn bench_memory_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_memory_patterns");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    group.bench_function("coalesced_load", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceConfig::v100());
+            let buf = d.alloc("a", N);
+            let out = d.alloc("o", N);
+            d.launch("coalesced", N as u64, |lane| {
+                let i = lane.tid() as u32;
+                let x = lane.ld(buf, i);
+                lane.st(out, i, x + 1);
+            });
+            d.elapsed_ms()
+        })
+    });
+
+    group.bench_function("scattered_load", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceConfig::v100());
+            let buf = d.alloc("a", N);
+            let out = d.alloc("o", N);
+            d.launch("scattered", N as u64, |lane| {
+                let i = lane.tid() as u32;
+                let j = (i.wrapping_mul(2654435761)) % N as u32;
+                let x = lane.ld(buf, j);
+                lane.st(out, i, x + 1);
+            });
+            d.elapsed_ms()
+        })
+    });
+
+    group.bench_function("contended_atomics", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceConfig::v100());
+            let cell = d.alloc("c", 1);
+            d.launch("atomic_storm", N as u64, |lane| {
+                lane.atomic_add(cell, 0, 1);
+            });
+            d.read_word(cell, 0)
+        })
+    });
+
+    group.bench_function("dynamic_parallelism", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceConfig::v100());
+            let out = d.alloc("o", N);
+            d.launch("parent", 32, move |lane| {
+                let base = lane.tid() as u32 * (N as u32 / 32);
+                lane.launch_child("child", (N / 32) as u64, move |cl| {
+                    let i = base + cl.tid() as u32;
+                    cl.st(out, i, i);
+                });
+            });
+            d.counters().child_kernel_launches
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory_patterns);
+criterion_main!(benches);

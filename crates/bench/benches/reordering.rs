@@ -1,0 +1,55 @@
+//! Preprocessing cost: the property-driven reordering pipeline
+//! (degree relabel, per-row weight sort, heavy offsets) and graph
+//! construction, at two scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdbs_graph::builder::build_undirected;
+use rdbs_graph::generate::{kronecker, uniform_weights, KroneckerConfig};
+use rdbs_graph::reorder;
+use rdbs_graph::Csr;
+
+fn graph(scale: u32) -> Csr {
+    let mut el = kronecker(KroneckerConfig::new(scale, 8), 42);
+    uniform_weights(&mut el, 7);
+    build_undirected(&el)
+}
+
+fn bench_pro_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pro_preprocessing");
+    group.sample_size(10);
+    for scale in [11u32, 13] {
+        let g = graph(scale);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("full_pro", scale), &g, |b, g| {
+            b.iter(|| reorder::pro(g, 100).0.num_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("degree_relabel", scale), &g, |b, g| {
+            b.iter(|| reorder::degree_descending(g).len())
+        });
+        group.bench_with_input(BenchmarkId::new("weight_sort", scale), &g, |b, g| {
+            b.iter(|| {
+                let mut h = g.clone();
+                reorder::sort_edges_by_weight(&mut h);
+                h.num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_construction");
+    group.sample_size(10);
+    for scale in [11u32, 13] {
+        let mut el = kronecker(KroneckerConfig::new(scale, 8), 42);
+        uniform_weights(&mut el, 7);
+        group.throughput(Throughput::Elements(el.len() as u64));
+        group.bench_with_input(BenchmarkId::new("build_undirected", scale), &el, |b, el| {
+            b.iter(|| build_undirected(el).num_edges())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pro_pipeline, bench_build);
+criterion_main!(benches);

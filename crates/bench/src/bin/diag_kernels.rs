@@ -1,0 +1,89 @@
+//! Diagnostic: per-kernel time breakdown for BL vs RDBS vs ADDS on one
+//! dataset. Not a paper artifact — used to calibrate the cost model.
+
+use rdbs_bench::{pick_sources, HarnessArgs};
+use rdbs_core::gpu::{bl, rdbs::rdbs, RdbsConfig};
+use rdbs_core::default_delta;
+use rdbs_graph::datasets::by_name;
+use rdbs_gpu_sim::Device;
+use std::collections::BTreeMap;
+
+fn summarize(label: &str, device: &Device) {
+    let mut by_name: BTreeMap<&'static str, (u64, f64, u64)> = BTreeMap::new();
+    for r in device.reports() {
+        let e = by_name.entry(r.name).or_insert((0, 0.0, 0));
+        e.0 += 1;
+        e.1 += r.total_ns;
+        e.2 += r.warp_instructions;
+    }
+    println!("== {label}: total {:.3} ms ==", device.elapsed_ms());
+    let c = device.counters();
+    println!(
+        "   launches {} children {} barriers {} | warp insts {} | dram bytes {} | hit {:.1}%",
+        c.kernel_launches,
+        c.child_kernel_launches,
+        c.barriers,
+        c.inst_executed,
+        c.dram_bytes(),
+        c.global_hit_rate()
+    );
+    let mut rows: Vec<_> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap());
+    for (name, (count, ns, insts)) in rows {
+        println!("   {name:<18} waves {count:>6}  time {:.3} ms  insts {insts}", ns / 1e6);
+    }
+    let launch_ms = c.kernel_launches as f64 * device.config().kernel_launch_us / 1e3
+        + c.child_kernel_launches as f64 * device.config().child_launch_us / 1e3
+        + c.barriers as f64 * device.config().barrier_us / 1e3;
+    println!("   overheads (launch+barrier): {launch_ms:.3} ms\n");
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let name = std::env::var("DIAG_DATASET").unwrap_or_else(|_| "soc-PK".into());
+    let spec = if name == "k-n21-16" {
+        rdbs_graph::datasets::kronecker_spec(21, 16)
+    } else {
+        by_name(&name).expect("unknown dataset")
+    };
+    let g = spec.generate(args.scale_shift, args.seed);
+    println!(
+        "dataset {} : {} vertices, {} edges, delta0 {}\n",
+        spec.name,
+        g.num_vertices(),
+        g.num_edges(),
+        default_delta(&g)
+    );
+    let s = pick_sources(&g, 1, args.seed)[0];
+
+    let mut d = Device::new(args.device.clone());
+    let r = bl(&mut d, &g, s);
+    println!("BL updates {} checks {}", r.stats.total_updates, r.stats.checks);
+    summarize("BL", &d);
+
+    let mut d = Device::new(args.device.clone());
+    let run = rdbs(&mut d, &g, s, RdbsConfig::basyn_only());
+    println!(
+        "RDBS(basyn) updates {} checks {} buckets {}",
+        run.result.stats.total_updates,
+        run.result.stats.checks,
+        run.buckets.len()
+    );
+    summarize("RDBS basyn_only", &d);
+
+    let (pg, perm) = rdbs_graph::reorder::pro(&g, default_delta(&g));
+    let mut d = Device::new(args.device.clone());
+    let run = rdbs(&mut d, &pg, perm.new_id(s), RdbsConfig::full());
+    println!(
+        "RDBS(full) updates {} checks {} buckets {}",
+        run.result.stats.total_updates,
+        run.result.stats.checks,
+        run.buckets.len()
+    );
+    summarize("RDBS full", &d);
+
+    let mut d = Device::new(args.device.clone());
+    let r = rdbs_baselines::adds(&mut d, &g, s, default_delta(&g));
+    println!("ADDS updates {} checks {}", r.stats.total_updates, r.stats.checks);
+    summarize("ADDS", &d);
+}

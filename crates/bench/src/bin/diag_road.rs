@@ -1,0 +1,17 @@
+//! Diagnostic: road stand-in connectivity (not a paper artifact).
+use rdbs_graph::datasets::by_name;
+use rdbs_graph::stats::graph_stats;
+fn main() {
+    for shift in [9u32, 6, 4] {
+        let g = by_name("road-TX").unwrap().generate(shift, 42);
+        let st = graph_stats(&g);
+        println!(
+            "shift {shift}: n {} largest component {} ({:.1}%) comps {} diam {}",
+            st.num_vertices,
+            st.largest_component,
+            100.0 * st.largest_component as f64 / st.num_vertices as f64,
+            st.num_components,
+            st.pseudo_diameter
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig. 9 — work efficiency: total/valid update ratio of RDBS per
+//! graph, the ADDS/RDBS workload ratio, and the performance speedup.
+//!
+//! Paper: RDBS ratios 1.06 (k-n21-16) … 6.83 (road-TX), average 2.22;
+//! ADDS performs 1.33–2.18× more updates than RDBS on every graph.
+
+use rdbs_baselines::run_adds;
+use rdbs_bench::{pick_sources, HarnessArgs, Table};
+use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs_graph::datasets::{kronecker_spec, table1};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Fig. 9 — work efficiency (total updates / valid updates), RDBS vs ADDS ({} | scale-shift {})\n",
+        args.device.name, args.scale_shift
+    );
+    // Paper order: k-n21-16, web-GL, soc-PK, com-LJ, soc-TW, as-Skt,
+    // soc-LJ, wiki-TK, com-OK, road-TX.
+    let order = ["web-GL", "soc-PK", "com-LJ", "soc-TW", "as-Skt", "soc-LJ", "wiki-TK", "com-OK", "road-TX"];
+    let mut specs = vec![kronecker_spec(21, 16)];
+    for name in order {
+        specs.push(table1().into_iter().find(|d| d.name == name).unwrap());
+    }
+
+    let mut t = Table::new(&[
+        "graph",
+        "RDBS works/|v|",
+        "ADDS works/|v|",
+        "workload ratio",
+        "speedup vs ADDS",
+    ]);
+    let mut ratios = Vec::new();
+    for spec in &specs {
+        let g = spec.generate(args.scale_shift, args.seed);
+        let source = pick_sources(&g, 1, args.seed)[0];
+        let rdbs = run_gpu(&g, source, Variant::Rdbs(RdbsConfig::full()), args.device.clone());
+        let adds = run_adds(&g, source, args.device.clone());
+
+        let rdbs_ratio = rdbs.result.work_ratio().unwrap_or(f64::NAN);
+        let adds_ratio = adds.result.work_ratio().unwrap_or(f64::NAN);
+        let workload = adds.result.stats.total_updates as f64
+            / rdbs.result.stats.total_updates.max(1) as f64;
+        ratios.push(rdbs_ratio);
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{rdbs_ratio:.2}"),
+            format!("{adds_ratio:.2}"),
+            format!("{workload:.2}x"),
+            format!("{:.2}x", adds.elapsed_ms / rdbs.elapsed_ms),
+        ]);
+        eprintln!("  done {}", spec.name);
+    }
+    t.print();
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\naverage RDBS total/valid ratio: {avg:.2} (paper: 2.22; road-TX worst at 6.83, k-n21-16 best at 1.06)");
+}

@@ -1,0 +1,68 @@
+//! Fig. 10 — nvprof-style profiling: RDBS vs ADDS.
+//!
+//! Reports the four metrics the paper profiles on the six evaluation
+//! graphs: warp-level global load instructions (a), global store
+//! instructions (b), atomic instructions (c) and the L1 global hit
+//! rate (d). Paper: RDBS executes 0.41×/0.57× the loads/stores of
+//! ADDS on average, 39.6% fewer atomics, and gains 3.59% hit rate.
+
+use rdbs_baselines::run_adds;
+use rdbs_bench::{pick_sources, HarnessArgs, Table};
+use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs_graph::datasets::fig8_suite;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Fig. 10 — profiling counters, RDBS vs ADDS ({} | scale-shift {})\n",
+        args.device.name, args.scale_shift
+    );
+    let mut t = Table::new(&[
+        "graph",
+        "loads ADDS",
+        "loads RDBS",
+        "stores ADDS",
+        "stores RDBS",
+        "atomics ADDS",
+        "atomics RDBS",
+        "hit% ADDS",
+        "hit% RDBS",
+    ]);
+    let (mut load_ratio, mut store_ratio, mut atomic_drop, mut hit_gain) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let specs = fig8_suite();
+    for spec in &specs {
+        let g = spec.generate(args.scale_shift, args.seed);
+        let source = pick_sources(&g, 1, args.seed)[0];
+        let rdbs = run_gpu(&g, source, Variant::Rdbs(RdbsConfig::full()), args.device.clone());
+        let adds = run_adds(&g, source, args.device.clone());
+        let (cr, ca) = (&rdbs.counters, &adds.counters);
+        t.row(vec![
+            spec.name.to_string(),
+            ca.inst_executed_global_loads.to_string(),
+            cr.inst_executed_global_loads.to_string(),
+            ca.inst_executed_global_stores.to_string(),
+            cr.inst_executed_global_stores.to_string(),
+            ca.inst_executed_atomics.to_string(),
+            cr.inst_executed_atomics.to_string(),
+            format!("{:.2}", ca.global_hit_rate()),
+            format!("{:.2}", cr.global_hit_rate()),
+        ]);
+        load_ratio += cr.inst_executed_global_loads as f64 / ca.inst_executed_global_loads.max(1) as f64;
+        store_ratio +=
+            cr.inst_executed_global_stores as f64 / ca.inst_executed_global_stores.max(1) as f64;
+        atomic_drop += 1.0
+            - cr.inst_executed_atomics as f64 / ca.inst_executed_atomics.max(1) as f64;
+        hit_gain += cr.global_hit_rate() - ca.global_hit_rate();
+        eprintln!("  done {}", spec.name);
+    }
+    t.print();
+    let k = specs.len() as f64;
+    println!(
+        "\naverages: RDBS loads {:.2}x of ADDS (paper 0.41x), stores {:.2}x (paper 0.57x), atomics -{:.1}% (paper -39.6%), hit rate +{:.2} pts (paper +3.59)",
+        load_ratio / k,
+        store_ratio / k,
+        100.0 * atomic_drop / k,
+        hit_gain / k
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 11 — scalability with graph scale: GTEPS of RDBS and speedup
+//! vs ADDS across SCALE × edgefactor.
+//!
+//! Paper: SCALE {22,23,24} × edgefactor {8,16,32,64}; GTEPS rises with
+//! edgefactor (8.8 → 40.1) and mildly with SCALE; speedup over ADDS
+//! grows from 13.5× to 68.7×. Defaults here shift SCALE down by
+//! `--scale-shift` (22→16 etc. at the default 6).
+
+use rdbs_baselines::run_adds;
+use rdbs_bench::{pick_sources, HarnessArgs, Table};
+use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs_graph::builder::build_undirected;
+use rdbs_graph::generate::{kronecker, uniform_weights, KroneckerConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scales: Vec<u32> =
+        [22u32, 23, 24].iter().map(|s| s.saturating_sub(args.scale_shift).max(10)).collect();
+    let edgefactors = [8u32, 16, 32, 64];
+    println!(
+        "Fig. 11 — scalability: GTEPS and speedup vs ADDS (Kronecker SCALE {:?} standing in for [22,23,24], {})\n",
+        scales, args.device.name
+    );
+    let mut t = Table::new(&["SCALE", "edgefactor", "RDBS GTEPS", "ADDS GTEPS", "speedup"]);
+    for (si, &scale) in scales.iter().enumerate() {
+        for &ef in &edgefactors {
+            let mut el = kronecker(KroneckerConfig::new(scale, ef), args.seed + si as u64);
+            uniform_weights(&mut el, args.seed + 17);
+            let g = build_undirected(&el);
+            let source = pick_sources(&g, 1, args.seed)[0];
+            let rdbs = run_gpu(&g, source, Variant::Rdbs(RdbsConfig::full()), args.device.clone());
+            let adds = run_adds(&g, source, args.device.clone());
+            t.row(vec![
+                format!("{} (paper {})", scale, 22 + si),
+                ef.to_string(),
+                format!("{:.2}", rdbs.gteps),
+                format!("{:.2}", adds.gteps),
+                format!("{:.2}x", adds.elapsed_ms / rdbs.elapsed_ms),
+            ]);
+            eprintln!("  done scale {scale} ef {ef}");
+        }
+    }
+    t.print();
+    println!("\n(paper: higher edgefactor → higher GTEPS; fixed ef + larger SCALE → better GTEPS; avg speedup 34.2x)");
+}

@@ -1,0 +1,37 @@
+//! Fig. 12 — RDBS runtime on different GPUs (V100 vs T4).
+//!
+//! Paper: V100 outperforms T4 by 1.47–2.58×, consistent with the
+//! 2–3× theoretical gap in CUDA cores and memory bandwidth.
+
+use rdbs_bench::{average_gpu, pick_sources, HarnessArgs, Table};
+use rdbs_core::gpu::{RdbsConfig, Variant};
+use rdbs_graph::datasets::fig8_suite;
+use rdbs_gpu_sim::DeviceConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Fig. 12 — RDBS runtime on T4 vs V100 (scale-shift {} | {} sources)\n",
+        args.scale_shift, args.sources
+    );
+    // Paper's x-axis order: Amazon, road-TX, web-GL, com-LJ, soc-PK, k-n21-16.
+    let mut specs = fig8_suite();
+    specs.swap(0, 1);
+    let mut t = Table::new(&["dataset", "T4 ms", "V100 ms", "V100 speedup"]);
+    for spec in &specs {
+        let g = spec.generate(args.scale_shift, args.seed);
+        let sources = pick_sources(&g, args.sources, args.seed);
+        let variant = Variant::Rdbs(RdbsConfig::full());
+        let (t4_ms, _, _) = average_gpu(&g, &sources, variant, DeviceConfig::t4());
+        let (v100_ms, _, _) = average_gpu(&g, &sources, variant, DeviceConfig::v100());
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{t4_ms:.3}"),
+            format!("{v100_ms:.3}"),
+            format!("{:.2}x", t4_ms / v100_ms),
+        ]);
+        eprintln!("  done {}", spec.name);
+    }
+    t.print();
+    println!("\n(paper: 1.47x–2.58x, matching the 2–3x theoretical compute/bandwidth gap)");
+}

@@ -1,0 +1,21 @@
+//! Shared harness utilities for the per-figure/table experiment
+//! binaries (`src/bin/fig*.rs`, `src/bin/table*.rs`).
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --scale-shift N   shrink datasets to paper_size / 2^N   (default 6)
+//! --sources K       starting vertices averaged per figure (default 4;
+//!                   the paper uses 64)
+//! --seed S          base RNG seed                         (default 42)
+//! --device V100|T4  simulated GPU                         (default V100)
+//! --full            paper-scale datasets (scale-shift 0, 64 sources)
+//! ```
+
+pub mod args;
+pub mod runner;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use runner::{average_gpu, average_ms, pick_sources, prepared_graph, time_ms};
+pub use table::Table;

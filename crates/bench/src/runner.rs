@@ -1,0 +1,101 @@
+//! Run helpers: source selection, multi-source averaging, graph prep.
+
+use rdbs_core::gpu::{run_gpu, GpuRun, Variant};
+use rdbs_core::{Csr, VertexId};
+use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::datasets::DatasetSpec;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Pick `k` distinct random starting vertices with nonzero degree
+/// (§5.1.3: "we select 64 different starting vertices randomly").
+pub fn pick_sources(graph: &Csr, k: usize, seed: u64) -> Vec<VertexId> {
+    let candidates: Vec<VertexId> =
+        (0..graph.num_vertices() as VertexId).filter(|&v| graph.degree(v) > 0).collect();
+    if candidates.is_empty() {
+        return vec![0];
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_50BC);
+    let mut picked = candidates;
+    picked.shuffle(&mut rng);
+    picked.truncate(k.max(1));
+    picked
+}
+
+/// Generate a dataset stand-in (cached weights, symmetrized).
+pub fn prepared_graph(spec: &DatasetSpec, scale_shift: u32, seed: u64) -> Csr {
+    spec.generate(scale_shift, seed)
+}
+
+/// Average simulated milliseconds of a GPU variant over sources.
+/// Returns `(mean_ms, mean_gteps, last_run)`.
+pub fn average_gpu(
+    graph: &Csr,
+    sources: &[VertexId],
+    variant: Variant,
+    device: DeviceConfig,
+) -> (f64, f64, GpuRun) {
+    assert!(!sources.is_empty());
+    let mut total_ms = 0.0;
+    let mut total_gteps = 0.0;
+    let mut last = None;
+    for &s in sources {
+        let run = run_gpu(graph, s, variant, device.clone());
+        total_ms += run.elapsed_ms;
+        total_gteps += run.gteps;
+        last = Some(run);
+    }
+    let k = sources.len() as f64;
+    (total_ms / k, total_gteps / k, last.unwrap())
+}
+
+/// Average a closure-measured runtime (wall clock, for CPU baselines).
+pub fn average_ms(sources: &[VertexId], mut run: impl FnMut(VertexId) -> f64) -> f64 {
+    assert!(!sources.is_empty());
+    let total: f64 = sources.iter().map(|&s| run(s)).sum();
+    total / sources.len() as f64
+}
+
+/// Wall-clock one invocation in milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+
+    #[test]
+    fn sources_distinct_and_connected() {
+        let el = EdgeList::from_edges(10, vec![(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+        let g = build_undirected(&el);
+        let s = pick_sources(&g, 3, 1);
+        assert_eq!(s.len(), 3);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 3);
+        assert!(s.iter().all(|&v| g.degree(v) > 0));
+        // Deterministic.
+        assert_eq!(s, pick_sources(&g, 3, 1));
+    }
+
+    #[test]
+    fn sources_clamped_to_candidates() {
+        let el = EdgeList::from_edges(3, vec![(0, 1, 1)]);
+        let g = build_undirected(&el);
+        assert_eq!(pick_sources(&g, 10, 2).len(), 2);
+    }
+
+    #[test]
+    fn time_ms_measures() {
+        let (ms, x) = time_ms(|| 21 + 21);
+        assert_eq!(x, 42);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text table printing matching the paper's row/column layout.
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Render as CSV (for plotting scripts).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `p` decimals.
+pub fn f(x: f64, p: usize) -> String {
+    format!("{x:.p$}")
+}
+
+/// Format a speedup like the paper's `(4.48×)`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["graph", "ms"]);
+        t.row(vec!["road-TX".into(), "8.86".into()]);
+        t.row(vec!["k-n21-16".into(), "4.47".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("graph"));
+        assert!(lines[2].ends_with("8.86"));
+        // Columns aligned: both data lines equal length.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(speedup(4.476), "4.48x");
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["with,comma".into(), "quote\"inside".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"quote\"\"inside\"");
+    }
+}

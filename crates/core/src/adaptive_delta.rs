@@ -1,0 +1,182 @@
+//! Dynamic bucket-width adjustment — the paper's Eq. (1) and (2).
+//!
+//! ```text
+//! ε_i = 0                                                 i ∈ {0, 1}
+//! ε_i = |(C_{i-2} − C_{i-1}) / (C_{i-2} + C_{i-1})|
+//!       · (T_{i-2} − T_{i-1}) / (T_{i-2} + T_{i-1}) · Δ_0   i ≥ 2
+//! Δ_i = Δ_{i-1} + ε_i
+//! ```
+//!
+//! `C_i` is the number of converged (settled) vertices of bucket `i`
+//! and `T_i` the number of threads the bucket used — a proxy for GPU
+//! utilization. The second factor is *signed*: rising utilization
+//! (`T_{i-1} > T_{i-2}`) makes ε negative and narrows the bucket,
+//! falling utilization widens it, exactly as §4.3 describes ("As the
+//! utilization of GPU increases, we reduce Δᵢ value, otherwise we
+//! increase Δᵢ value").
+
+/// State of the Δ controller across buckets.
+///
+/// ```
+/// use rdbs_core::adaptive_delta::DeltaController;
+/// let mut ctrl = DeltaController::new(100);
+/// assert_eq!(ctrl.delta(), 100);          // Δ₀
+/// ctrl.finish_bucket(100, 1_000);         // bucket 0: ε₁ = 0
+/// // Utilization jumped: Eq. 1 narrows the next bucket.
+/// let d2 = ctrl.finish_bucket(400, 9_000);
+/// assert!(d2 < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaController {
+    delta0: f64,
+    delta: f64,
+    /// `(C_i, T_i)` per completed bucket.
+    history: Vec<(u64, u64)>,
+    /// Smallest width the controller will return.
+    min_delta: f64,
+    /// Largest width the controller will return (guards pathological
+    /// feedback on tiny graphs).
+    max_delta: f64,
+    /// Lanes below which a bucket counts as under-utilizing the GPU
+    /// (§4.3's utilization driver; 0 disables the rule).
+    target_parallelism: u64,
+}
+
+impl DeltaController {
+    /// New controller with initial width `delta0` (must be ≥ 1).
+    pub fn new(delta0: u32) -> Self {
+        let d0 = f64::from(delta0.max(1));
+        Self {
+            delta0: d0,
+            delta: d0,
+            history: Vec::new(),
+            min_delta: 1.0,
+            max_delta: d0 * 64.0,
+            target_parallelism: 0,
+        }
+    }
+
+    /// Enable the utilization floor: a bucket that used fewer than
+    /// `lanes` threads doubles Δ (still clamped). This implements the
+    /// paper's stated driver — "as the utilization of GPU increases,
+    /// we reduce Δᵢ value, otherwise we increase Δᵢ value" — for the
+    /// regime Eq. 1's differential form cannot act on: long stretches
+    /// of uniformly tiny buckets, where consecutive C/T barely differ
+    /// so ε ≈ 0 although the GPU is idle.
+    pub fn with_target_parallelism(mut self, lanes: u64) -> Self {
+        self.target_parallelism = lanes;
+        self
+    }
+
+    /// Current bucket width.
+    pub fn delta(&self) -> u32 {
+        self.delta.round().max(1.0) as u32
+    }
+
+    /// Buckets completed so far.
+    pub fn buckets_completed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Record bucket `i`'s outcome (`converged` = C_i, `threads` =
+    /// T_i) and compute Δ for the next bucket. Returns the new width.
+    pub fn finish_bucket(&mut self, converged: u64, threads: u64) -> u32 {
+        self.history.push((converged, threads));
+        let i = self.history.len(); // next bucket index
+        if i >= 2 {
+            let (c2, t2) = self.history[i - 2];
+            let (c1, t1) = self.history[i - 1];
+            let eps = epsilon(c2, c1, t2, t1, self.delta0);
+            self.delta = (self.delta + eps).clamp(self.min_delta, self.max_delta);
+        }
+        // Utilization floor (see `with_target_parallelism`).
+        if self.target_parallelism > 0 && threads < self.target_parallelism {
+            self.delta = (self.delta * 2.0).clamp(self.min_delta, self.max_delta);
+        }
+        self.delta()
+    }
+
+    /// The ε history is reconstructible from the C/T history; expose
+    /// the raw records for the experiment harness.
+    pub fn history(&self) -> &[(u64, u64)] {
+        &self.history
+    }
+}
+
+/// Eq. (1) for bucket `i ≥ 2`, given `(C_{i-2}, C_{i-1}, T_{i-2},
+/// T_{i-1})`. Returns 0 when a denominator vanishes.
+pub fn epsilon(c_prev2: u64, c_prev1: u64, t_prev2: u64, t_prev1: u64, delta0: f64) -> f64 {
+    let c_sum = c_prev2 + c_prev1;
+    let t_sum = t_prev2 + t_prev1;
+    if c_sum == 0 || t_sum == 0 {
+        return 0.0;
+    }
+    let c_term = ((c_prev2 as f64 - c_prev1 as f64) / c_sum as f64).abs();
+    let t_term = (t_prev2 as f64 - t_prev1 as f64) / t_sum as f64;
+    c_term * t_term * delta0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_two_buckets_keep_delta0() {
+        let mut c = DeltaController::new(100);
+        assert_eq!(c.delta(), 100);
+        // ε₀ and ε₁ are pinned to zero: Δ₁ = Δ₀.
+        assert_eq!(c.finish_bucket(10, 50), 100);
+        // After two completed buckets ε₂ applies:
+        // |10−20|/30 · (50−80)/130 · 100 ≈ −7.7 → Δ₂ ≈ 92.
+        let d2 = c.finish_bucket(20, 80);
+        assert!(d2 < 100, "utilization rose, Δ must shrink (got {d2})");
+        assert_eq!(d2, 92);
+    }
+
+    #[test]
+    fn rising_utilization_shrinks_delta() {
+        let mut c = DeltaController::new(100);
+        c.finish_bucket(100, 100);
+        let d = c.finish_bucket(300, 900); // utilization jumped
+        assert!(d < 100, "delta {d}");
+    }
+
+    #[test]
+    fn falling_utilization_grows_delta() {
+        let mut c = DeltaController::new(100);
+        c.finish_bucket(300, 900);
+        let d = c.finish_bucket(100, 100);
+        assert!(d > 100, "delta {d}");
+    }
+
+    #[test]
+    fn equal_convergence_means_no_change() {
+        // |C_{i-2} - C_{i-1}| = 0 → ε = 0.
+        let mut c = DeltaController::new(50);
+        c.finish_bucket(10, 100);
+        assert_eq!(c.finish_bucket(10, 900), 50);
+    }
+
+    #[test]
+    fn epsilon_zero_denominators() {
+        assert_eq!(epsilon(0, 0, 5, 5, 100.0), 0.0);
+        assert_eq!(epsilon(5, 5, 0, 0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn epsilon_magnitude_bounded_by_delta0() {
+        let e = epsilon(1_000_000, 0, 1_000_000, 0, 100.0);
+        assert!(e <= 100.0);
+        let e = epsilon(0, 1_000_000, 0, 1_000_000, 100.0);
+        assert!(e >= -100.0);
+    }
+
+    #[test]
+    fn delta_never_below_one() {
+        let mut c = DeltaController::new(1);
+        for i in 0..20 {
+            c.finish_bucket(if i % 2 == 0 { 1 } else { 1000 }, if i % 2 == 0 { 1 } else { 100_000 });
+        }
+        assert!(c.delta() >= 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Result analysis helpers used by the experiment harness: speedup
+//! aggregation (the paper reports arithmetic-average speedups), bucket
+//! trace CSV export for plotting, and GTEPS conversions.
+
+use crate::gpu::GpuBucketTrace;
+use crate::seq::BucketTrace;
+
+/// Accumulates pairwise speedups and reports the aggregates the paper
+/// quotes ("average speedup of 5.09× and 10.32×").
+#[derive(Clone, Debug, Default)]
+pub struct SpeedupSummary {
+    ratios: Vec<f64>,
+}
+
+impl SpeedupSummary {
+    /// Record one `baseline / ours` ratio (>1 means "ours" is faster).
+    pub fn push(&mut self, baseline: f64, ours: f64) {
+        assert!(baseline > 0.0 && ours > 0.0, "times must be positive");
+        self.ratios.push(baseline / ours);
+    }
+
+    /// Number of recorded comparisons.
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// Arithmetic mean (the paper's convention).
+    pub fn mean(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return f64::NAN;
+        }
+        self.ratios.iter().sum::<f64>() / self.ratios.len() as f64
+    }
+
+    /// Geometric mean (the robust aggregate for ratio data).
+    pub fn geomean(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return f64::NAN;
+        }
+        (self.ratios.iter().map(|r| r.ln()).sum::<f64>() / self.ratios.len() as f64).exp()
+    }
+
+    /// Smallest and largest ratio ("ranges from A× to B×").
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        if self.ratios.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &r in &self.ratios {
+            min = min.min(r);
+            max = max.max(r);
+        }
+        Some((min, max))
+    }
+
+    /// How many comparisons "ours" won.
+    pub fn wins(&self) -> usize {
+        self.ratios.iter().filter(|&&r| r > 1.0).count()
+    }
+}
+
+/// GTEPS (giga-traversed edges per second) from an edge count and
+/// milliseconds — §5.1.3's metric.
+pub fn gteps(edges: usize, ms: f64) -> f64 {
+    if ms <= 0.0 {
+        return 0.0;
+    }
+    edges as f64 / (ms * 1e-3) / 1e9
+}
+
+/// CSV of a GPU run's per-bucket trace (Fig. 2/3-style plotting input).
+pub fn gpu_buckets_csv(buckets: &[GpuBucketTrace]) -> String {
+    let mut out = String::from("bucket,lo,width,layers,active,converged,threads\n");
+    for (i, b) in buckets.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{},{},{},{},{}\n",
+            b.lo, b.width, b.layers, b.active, b.converged, b.threads
+        ));
+    }
+    out
+}
+
+/// CSV of a sequential Δ-stepping trace.
+pub fn seq_buckets_csv(buckets: &[BucketTrace]) -> String {
+    let mut out =
+        String::from("bucket,active,layers,phase1_updates,phase1_valid,phase2_updates\n");
+    for b in buckets {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            b.bucket_id,
+            b.active,
+            b.layer_active.len(),
+            b.phase1_updates,
+            b.phase1_valid_updates,
+            b.phase2_updates
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_aggregates() {
+        let mut s = SpeedupSummary::default();
+        s.push(10.0, 5.0); // 2x
+        s.push(8.0, 1.0); // 8x
+        s.push(1.0, 2.0); // 0.5x
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - (2.0 + 8.0 + 0.5) / 3.0).abs() < 1e-12);
+        assert!((s.geomean() - 2.0f64).abs() < 1e-12); // (2*8*0.5)^(1/3)
+        assert_eq!(s.min_max(), Some((0.5, 8.0)));
+        assert_eq!(s.wins(), 2);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = SpeedupSummary::default();
+        assert!(s.is_empty());
+        assert!(s.mean().is_nan());
+        assert!(s.min_max().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_time() {
+        let mut s = SpeedupSummary::default();
+        s.push(0.0, 1.0);
+    }
+
+    #[test]
+    fn gteps_conversion() {
+        assert!((gteps(1_000_000_000, 1000.0) - 1.0).abs() < 1e-12);
+        assert_eq!(gteps(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn csv_shapes() {
+        let buckets = vec![GpuBucketTrace { lo: 0, width: 100, layers: 3, active: 42, converged: 40, threads: 99 }];
+        let csv = gpu_buckets_csv(&buckets);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "0,0,100,3,42,40,99");
+
+        let seq = vec![BucketTrace {
+            bucket_id: 2,
+            active: 10,
+            layer_active: vec![4, 6],
+            phase1_updates: 9,
+            phase1_valid_updates: 7,
+            phase2_updates: 1,
+        }];
+        let csv = seq_buckets_csv(&seq);
+        assert!(csv.lines().nth(1).unwrap().starts_with("2,10,2,9,7,1"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Dynamic SSSP maintenance under edge updates (Ramalingam–Reps
+//! style).
+//!
+//! Road networks — the paper's motivating §1 domain — change:
+//! closures, congestion-dependent weights. Recomputing SSSP from
+//! scratch per update wastes the previous solution. [`DynamicSssp`]
+//! maintains distances and a shortest-path tree under
+//! weight-decrease/insert (localized relaxation from the improved
+//! endpoint) and weight-increase/delete (invalidate the affected
+//! subtree, then repair it from its boundary).
+//!
+//! The structure owns a mutable copy of the graph in adjacency-map
+//! form; each update costs time proportional to the affected region,
+//! not the whole graph.
+
+use crate::{Csr, Dist, VertexId, Weight, INF};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Dynamic single-source shortest paths.
+pub struct DynamicSssp {
+    source: VertexId,
+    /// Mutable adjacency: `adj[u]` maps neighbour → weight (undirected:
+    /// both directions kept in sync).
+    adj: Vec<HashMap<VertexId, Weight>>,
+    dist: Vec<Dist>,
+    parent: Vec<VertexId>,
+}
+
+const NO_PARENT: VertexId = u32::MAX;
+
+impl DynamicSssp {
+    /// Build from a (symmetrized) CSR and compute the initial solution.
+    pub fn new(graph: &Csr, source: VertexId) -> Self {
+        let n = graph.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let mut adj: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); n];
+        for (u, v, w) in graph.all_edges() {
+            let e = adj[u as usize].entry(v).or_insert(w);
+            *e = (*e).min(w);
+        }
+        let mut s = Self { source, adj, dist: vec![INF; n], parent: vec![NO_PARENT; n] };
+        s.recompute_from_scratch();
+        s
+    }
+
+    /// Current distances.
+    pub fn dist(&self) -> &[Dist] {
+        &self.dist
+    }
+
+    /// Current shortest-path-tree parents (source maps to itself).
+    pub fn parents(&self) -> &[VertexId] {
+        &self.parent
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn recompute_from_scratch(&mut self) {
+        self.dist.fill(INF);
+        self.parent.fill(NO_PARENT);
+        self.dist[self.source as usize] = 0;
+        self.parent[self.source as usize] = self.source;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0 as Dist, self.source)));
+        self.run_dijkstra(heap);
+    }
+
+    /// Dijkstra from an arbitrary seeded heap (used by both repair
+    /// paths; entries must already be written into `dist`).
+    fn run_dijkstra(&mut self, mut heap: BinaryHeap<Reverse<(Dist, VertexId)>>) {
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            let neighbours: Vec<(VertexId, Weight)> =
+                self.adj[u as usize].iter().map(|(&v, &w)| (v, w)).collect();
+            for (v, w) in neighbours {
+                let nd = d.saturating_add(w);
+                if nd < self.dist[v as usize] {
+                    self.dist[v as usize] = nd;
+                    self.parent[v as usize] = u;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+
+    /// Insert an undirected edge or decrease its weight. No-op if an
+    /// equal-or-lighter edge exists. O(affected region · log).
+    pub fn insert_or_decrease(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!(w >= 1, "weights must be positive");
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+        if u == v {
+            return;
+        }
+        if let Some(&old) = self.adj[u as usize].get(&v) {
+            if old <= w {
+                return;
+            }
+        }
+        self.adj[u as usize].insert(v, w);
+        self.adj[v as usize].insert(u, w);
+        // Localized repair: seed with whichever endpoint improves.
+        let mut heap = BinaryHeap::new();
+        for (a, b) in [(u, v), (v, u)] {
+            let da = self.dist[a as usize];
+            if da == INF {
+                continue;
+            }
+            let nd = da.saturating_add(w);
+            if nd < self.dist[b as usize] {
+                self.dist[b as usize] = nd;
+                self.parent[b as usize] = a;
+                heap.push(Reverse((nd, b)));
+            }
+        }
+        self.run_dijkstra(heap);
+    }
+
+    /// Delete an undirected edge (no-op if absent); repairs all
+    /// distances that routed through it.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
+        let existed = self.adj[u as usize].remove(&v).is_some();
+        self.adj[v as usize].remove(&u);
+        if !existed {
+            return;
+        }
+        // If neither tree edge (u→v) nor (v→u) is in the SP tree, the
+        // solution is untouched.
+        let tree_uv = self.parent[v as usize] == u;
+        let tree_vu = self.parent[u as usize] == v;
+        if !tree_uv && !tree_vu {
+            return;
+        }
+        let root = if tree_uv { v } else { u };
+        // Collect the subtree hanging below the broken tree edge.
+        let affected = self.collect_subtree(root);
+        for &x in &affected {
+            self.dist[x as usize] = INF;
+            self.parent[x as usize] = NO_PARENT;
+        }
+        // Repair: seed every affected vertex with its best boundary
+        // predecessor, then run Dijkstra over the region.
+        let mut heap = BinaryHeap::new();
+        for &x in &affected {
+            let mut best: (Dist, VertexId) = (INF, NO_PARENT);
+            for (&y, &w) in &self.adj[x as usize] {
+                let dy = self.dist[y as usize];
+                if dy != INF {
+                    let nd = dy.saturating_add(w);
+                    if nd < best.0 {
+                        best = (nd, y);
+                    }
+                }
+            }
+            if best.0 != INF {
+                self.dist[x as usize] = best.0;
+                self.parent[x as usize] = best.1;
+                heap.push(Reverse((best.0, x)));
+            }
+        }
+        self.run_dijkstra(heap);
+    }
+
+    /// Increase the weight of an existing undirected edge.
+    pub fn increase_weight(&mut self, u: VertexId, v: VertexId, new_w: Weight) {
+        let Some(&old) = self.adj[u as usize].get(&v) else { return };
+        if new_w <= old {
+            self.insert_or_decrease(u, v, new_w);
+            return;
+        }
+        // Increase = delete + insert at the heavier weight.
+        self.delete_edge(u, v);
+        self.adj[u as usize].insert(v, new_w);
+        self.adj[v as usize].insert(u, new_w);
+        // The heavier edge may still be useful somewhere.
+        let mut heap = BinaryHeap::new();
+        for (a, b) in [(u, v), (v, u)] {
+            let da = self.dist[a as usize];
+            if da == INF {
+                continue;
+            }
+            let nd = da.saturating_add(new_w);
+            if nd < self.dist[b as usize] {
+                self.dist[b as usize] = nd;
+                self.parent[b as usize] = a;
+                heap.push(Reverse((nd, b)));
+            }
+        }
+        self.run_dijkstra(heap);
+    }
+
+    /// Vertices in the SP-tree subtree rooted at `root` (inclusive).
+    fn collect_subtree(&self, root: VertexId) -> Vec<VertexId> {
+        // children lookup by scanning parents once (subtrees are small
+        // relative to repeated full recomputes; a child index would
+        // trade memory for speed).
+        let n = self.adj.len();
+        let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            let p = self.parent[v as usize];
+            if p != NO_PARENT && p != v {
+                children[p as usize].push(v);
+            }
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            stack.extend(children[x as usize].iter().copied());
+        }
+        out
+    }
+
+    /// Export the current graph as a CSR (for validation).
+    pub fn to_csr(&self) -> Csr {
+        let mut edges = Vec::new();
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for (&v, &w) in nbrs {
+                edges.push((u as VertexId, v, w));
+            }
+        }
+        rdbs_graph::builder::build_directed(&rdbs_graph::EdgeList::from_edges(
+            self.adj.len(),
+            edges,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::dijkstra;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    fn check(d: &DynamicSssp) {
+        let g = d.to_csr();
+        let oracle = dijkstra(&g, 0);
+        assert_eq!(d.dist(), &oracle.dist[..], "dynamic state diverged from recompute");
+    }
+
+    #[test]
+    fn insert_decrease_delete_small() {
+        let el = EdgeList::from_edges(5, vec![(0, 1, 10), (1, 2, 10), (0, 3, 1), (3, 4, 1)]);
+        let g = build_undirected(&el);
+        let mut d = DynamicSssp::new(&g, 0);
+        assert_eq!(d.dist(), &[0, 10, 20, 1, 2]);
+        // Shortcut 4 → 2 improves vertex 2 through the light branch.
+        d.insert_or_decrease(4, 2, 1);
+        assert_eq!(d.dist(), &[0, 10, 3, 1, 2]);
+        check(&d);
+        // Delete the shortcut: back to the heavy path.
+        d.delete_edge(4, 2);
+        assert_eq!(d.dist(), &[0, 10, 20, 1, 2]);
+        check(&d);
+        // Decrease the 0-1 edge.
+        d.insert_or_decrease(0, 1, 2);
+        assert_eq!(d.dist()[1], 2);
+        check(&d);
+        // Increase it back beyond usefulness.
+        d.increase_weight(0, 1, 500);
+        check(&d);
+    }
+
+    #[test]
+    fn delete_disconnecting_edge() {
+        let el = EdgeList::from_edges(3, vec![(0, 1, 5), (1, 2, 5)]);
+        let g = build_undirected(&el);
+        let mut d = DynamicSssp::new(&g, 0);
+        d.delete_edge(1, 2);
+        assert_eq!(d.dist(), &[0, 5, INF]);
+        check(&d);
+        // Reconnect.
+        d.insert_or_decrease(0, 2, 3);
+        assert_eq!(d.dist(), &[0, 5, 3]);
+        check(&d);
+    }
+
+    #[test]
+    fn random_update_stream_matches_recompute() {
+        let mut el = erdos_renyi(60, 240, 5);
+        uniform_weights(&mut el, 6);
+        let g = build_undirected(&el);
+        let mut d = DynamicSssp::new(&g, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for step in 0..200 {
+            let u = rng.gen_range(0..60u32);
+            let v = rng.gen_range(0..60u32);
+            if u == v {
+                continue;
+            }
+            match step % 4 {
+                0 | 1 => d.insert_or_decrease(u, v, rng.gen_range(1..1000)),
+                2 => d.delete_edge(u, v),
+                _ => d.increase_weight(u, v, rng.gen_range(1..1000)),
+            }
+            if step % 20 == 19 {
+                check(&d);
+            }
+        }
+        check(&d);
+    }
+
+    #[test]
+    fn noop_updates_do_not_disturb() {
+        let el = EdgeList::from_edges(4, vec![(0, 1, 4), (1, 2, 4), (2, 3, 4)]);
+        let g = build_undirected(&el);
+        let mut d = DynamicSssp::new(&g, 0);
+        let before = d.dist().to_vec();
+        d.insert_or_decrease(0, 1, 9); // heavier than existing: no-op
+        d.delete_edge(0, 3); // absent edge: no-op
+        assert_eq!(d.dist(), &before[..]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Device-resident graph state shared by every GPU kernel.
+
+use crate::{Csr, Dist, VertexId, INF};
+use rdbs_gpu_sim::{Buf, Device, Lane};
+
+/// The CSR arrays plus the distance vector on the device.
+///
+/// `Copy` so kernel closures — including `'static` dynamic-parallelism
+/// children — can capture it by value.
+#[derive(Clone, Copy)]
+pub struct GraphBuffers {
+    pub n: u32,
+    pub m: u32,
+    /// Row offsets, `n + 1` words.
+    pub row: Buf,
+    /// Adjacency list, `m` words.
+    pub adj: Buf,
+    /// Edge weights, `m` words.
+    pub wt: Buf,
+    /// Heavy-edge offsets (`n` words) when the graph was preprocessed
+    /// with property-driven reordering.
+    pub heavy: Option<Buf>,
+    /// Tentative distances, `n` words.
+    pub dist: Buf,
+}
+
+impl GraphBuffers {
+    /// Upload a graph and an all-`INF` distance vector.
+    pub fn upload(device: &mut Device, graph: &Csr) -> Self {
+        let n = graph.num_vertices() as u32;
+        let m = graph.num_edges() as u32;
+        let row = device.alloc_upload("row_offsets", graph.row_offsets());
+        let adj = device.alloc_upload("adjacency", graph.adjacency());
+        let wt = device.alloc_upload("weights", graph.weights());
+        let heavy = graph.heavy_offsets().map(|h| device.alloc_upload("heavy_offsets", h));
+        let dist = device.alloc("dist", n as usize);
+        device.fill(dist, INF);
+        Self { n, m, row, adj, wt, heavy, dist }
+    }
+
+    /// Set the source distance to zero (host-side init).
+    pub fn init_source(&self, device: &mut Device, source: VertexId) {
+        device.write_word(self.dist, source as usize, 0);
+    }
+
+    /// Copy the distance vector back to the host.
+    pub fn download_dist(&self, device: &Device) -> Vec<Dist> {
+        device.read(self.dist).to_vec()
+    }
+}
+
+/// A device-side vertex queue: data buffer plus a tail cursor cell.
+/// Kernels push with `atomicAdd` on the cursor; the host "manager
+/// thread" drains and resets it between waves.
+#[derive(Clone, Copy)]
+pub struct DeviceQueue {
+    pub data: Buf,
+    pub tail: Buf,
+    pub capacity: u32,
+}
+
+impl DeviceQueue {
+    pub fn new(device: &mut Device, label: &'static str, capacity: u32) -> Self {
+        let data = device.alloc(label, capacity as usize);
+        let tail = device.alloc("queue_tail", 1);
+        Self { data, tail, capacity }
+    }
+
+    /// Device-side push (kernel context): bump the tail, store `v`.
+    /// Returns the slot.
+    #[inline]
+    pub fn push(&self, lane: &mut Lane<'_>, v: VertexId) -> u32 {
+        let slot = lane.atomic_add(self.tail, 0, 1);
+        debug_assert!(slot < self.capacity, "device queue overflow");
+        lane.st(self.data, slot, v);
+        slot
+    }
+
+    /// Host-side drain: copy out the current entries and reset the
+    /// tail (the manager-thread step of §4.3).
+    pub fn drain(&self, device: &mut Device) -> Vec<VertexId> {
+        let len = device.read_word(self.tail, 0) as usize;
+        let items = device.read(self.data)[..len].to_vec();
+        device.write_word(self.tail, 0, 0);
+        items
+    }
+
+    /// Host-side length peek.
+    pub fn len(&self, device: &Device) -> u32 {
+        device.read_word(self.tail, 0)
+    }
+
+    /// Host-side emptiness peek.
+    pub fn is_empty(&self, device: &Device) -> bool {
+        self.len(device) == 0
+    }
+
+    /// Host-side push (seeding the source).
+    pub fn host_push(&self, device: &mut Device, v: VertexId) {
+        let tail = device.read_word(self.tail, 0);
+        assert!(tail < self.capacity, "device queue overflow");
+        device.write_word(self.data, tail as usize, v);
+        device.write_word(self.tail, 0, tail + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn upload_roundtrip() {
+        let g = build_undirected(&EdgeList::from_edges(3, vec![(0, 1, 4), (1, 2, 6)]));
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let gb = GraphBuffers::upload(&mut d, &g);
+        assert_eq!(gb.n, 3);
+        assert_eq!(gb.m, 4);
+        assert_eq!(d.read(gb.row), g.row_offsets());
+        assert_eq!(d.read(gb.adj), g.adjacency());
+        gb.init_source(&mut d, 1);
+        let dist = gb.download_dist(&d);
+        assert_eq!(dist, vec![INF, 0, INF]);
+        assert!(gb.heavy.is_none());
+    }
+
+    #[test]
+    fn heavy_offsets_uploaded_when_present() {
+        let g = build_undirected(&EdgeList::from_edges(2, vec![(0, 1, 4)]));
+        let (g, _) = rdbs_graph::reorder::pro(&g, 5);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let gb = GraphBuffers::upload(&mut d, &g);
+        assert!(gb.heavy.is_some());
+        assert_eq!(d.read(gb.heavy.unwrap()), g.heavy_offsets().unwrap());
+    }
+
+    #[test]
+    fn queue_device_and_host_sides() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let q = DeviceQueue::new(&mut d, "q", 16);
+        q.host_push(&mut d, 7);
+        assert_eq!(q.len(&d), 1);
+        // Device-side pushes from a kernel.
+        d.launch("pushers", 4, |lane| {
+            q.push(lane, lane.tid() as u32);
+        });
+        assert_eq!(q.len(&d), 5);
+        let mut items = q.drain(&mut d);
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 7]);
+        assert!(q.is_empty(&d));
+    }
+}

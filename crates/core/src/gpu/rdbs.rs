@@ -1,0 +1,791 @@
+//! RDBS — the paper's bucket-aware asynchronous Δ-stepping (Alg. 2),
+//! with every optimization individually toggleable for the Fig. 8
+//! ablation study.
+//!
+//! Per bucket:
+//!
+//! * **Phase 1** processes light edges of active vertices from the
+//!   small/medium/large workload lists. With BASYN it runs inside one
+//!   persistent-kernel session — no per-layer launch, no barrier,
+//!   updates immediately visible (§4.3); without, every layer is a
+//!   fresh kernel launch plus a grid barrier. With ADWL, small
+//!   vertices are handled by their parent thread, medium ones by a
+//!   32-lane warp gang, large ones by dynamic-parallelism child
+//!   kernels with one thread per light edge (§4.2, Fig. 5).
+//! * **Phases 2 & 3** are fused into one synchronous pass (kernel
+//!   fusion, §4.2): relax heavy edges of every vertex settled in the
+//!   current bucket, then collect the next bucket's active vertices
+//!   into the workload lists — jumping over empty distance windows via
+//!   an `atomicMin` reduction.
+//! * Between buckets the width Δᵢ is readjusted by Eq. 1–2
+//!   ([`crate::adaptive_delta`]), and the heavy-edge offsets are
+//!   recomputed on-device when the width changed (§4.1: "the offset of
+//!   heavy edges can be changed immediately").
+
+use super::buffers::{DeviceQueue, GraphBuffers};
+use crate::adaptive_delta::DeltaController;
+use crate::stats::{SsspResult, UpdateStats};
+use crate::workload::{classify, WorkloadClass};
+use crate::{default_delta, Csr, VertexId, Weight, INF};
+use rdbs_gpu_sim::{Buf, Device, Lane};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Which of the paper's optimizations are active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RdbsConfig {
+    /// Property-driven reordering: the input graph was preprocessed
+    /// with `rdbs_graph::reorder::pro` (weight-sorted rows + heavy
+    /// offsets). The kernels then iterate light prefixes branch-free.
+    pub pro: bool,
+    /// Adaptive load balancing: three workload lists with warp/block
+    /// gangs and dynamic parallelism.
+    pub adwl: bool,
+    /// Bucket-aware asynchronous phase 1 + adaptive Δ.
+    pub basyn: bool,
+    /// Initial bucket width Δ₀ (`None` → [`default_delta`]).
+    pub delta0: Option<Weight>,
+}
+
+impl RdbsConfig {
+    /// The full RDBS: BASYN + PRO + ADWL (the paper's headline).
+    pub fn full() -> Self {
+        Self { pro: true, adwl: true, basyn: true, delta0: None }
+    }
+
+    /// Fig. 8's `BASYN+PRO` ablation.
+    pub fn basyn_pro() -> Self {
+        Self { pro: true, adwl: false, basyn: true, delta0: None }
+    }
+
+    /// Fig. 8's `BASYN+ADWL` ablation.
+    pub fn basyn_adwl() -> Self {
+        Self { pro: false, adwl: true, basyn: true, delta0: None }
+    }
+
+    /// BASYN alone (not plotted in Fig. 8 but useful for ablations).
+    pub fn basyn_only() -> Self {
+        Self { pro: false, adwl: false, basyn: true, delta0: None }
+    }
+
+    /// Plain synchronous Δ-stepping on GPU (no paper optimization).
+    pub fn sync_delta() -> Self {
+        Self { pro: false, adwl: false, basyn: false, delta0: None }
+    }
+
+    /// Human-readable variant label matching the paper's legends.
+    pub fn label(&self) -> String {
+        if !self.basyn && !self.pro && !self.adwl {
+            return "SYNC-Δ".into();
+        }
+        let mut parts: Vec<&str> = Vec::new();
+        if self.basyn {
+            parts.push("BASYN");
+        }
+        if self.pro {
+            parts.push("PRO");
+        }
+        if self.adwl {
+            parts.push("ADWL");
+        }
+        parts.join("+")
+    }
+}
+
+/// Work-counter cells shared between host and kernel closures
+/// (instrumentation only — adds no simulated instructions).
+#[derive(Default)]
+struct Inst {
+    checks: Cell<u64>,
+    updates: Cell<u64>,
+    active: Cell<u64>,
+}
+
+/// The three workload lists (one used when ADWL is off).
+#[derive(Clone, Copy)]
+struct Queues {
+    q: [DeviceQueue; WorkloadClass::COUNT],
+    /// Every enqueued vertex is also recorded here: the union over a
+    /// bucket is exactly the bucket's membership, which phase 2 needs
+    /// — tracking it at enqueue time replaces a full vertex scan.
+    members: DeviceQueue,
+    pending: Buf,
+    adwl: bool,
+}
+
+impl Queues {
+    fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+        let q = [
+            DeviceQueue::new(device, "workload_small", n),
+            DeviceQueue::new(device, "workload_medium", n),
+            DeviceQueue::new(device, "workload_large", n),
+        ];
+        let members = DeviceQueue::new(device, "bucket_members", n);
+        let pending = device.alloc("pending", n as usize);
+        Self { q, members, pending, adwl }
+    }
+
+    /// Device-side light-degree probe used for classification. Under
+    /// PRO this is two row loads (the paper: "with property-driven
+    /// reordering, we can quickly calculate the number of light
+    /// edges"); without it the total degree serves as the proxy.
+    #[inline]
+    fn light_degree(lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) -> u32 {
+        let s = lane.ld(gb.row, v);
+        let e = match gb.heavy {
+            Some(h) => lane.ld(h, v),
+            None => lane.ld(gb.row, v + 1),
+        };
+        e - s
+    }
+
+    /// Device-side enqueue with pending dedup and ADWL classification.
+    #[inline]
+    fn enqueue(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
+        if lane.atomic_exch(self.pending, v, 1) != 0 {
+            return; // already queued
+        }
+        let class = if self.adwl {
+            classify(Self::light_degree(lane, gb, v))
+        } else {
+            WorkloadClass::Small
+        };
+        self.q[class.index()].push(lane, v);
+        self.members.push(lane, v);
+    }
+}
+
+/// Per-bucket trace of a GPU run (coarser than the sequential
+/// [`crate::seq::delta_stepping::BucketTrace`]).
+#[derive(Clone, Debug, Default)]
+pub struct GpuBucketTrace {
+    /// Low edge of the bucket's distance window.
+    pub lo: u64,
+    /// Width used for this bucket (also the light/heavy threshold).
+    pub width: u32,
+    /// Phase-1 scheduling rounds.
+    pub layers: u32,
+    /// Active (non-stale) vertices processed in phase 1.
+    pub active: u64,
+    /// Converged vertices (C_i of Eq. 1).
+    pub converged: u64,
+    /// Lanes used (T_i of Eq. 1).
+    pub threads: u64,
+}
+
+/// Result of an RDBS run plus the per-bucket trace.
+pub struct RdbsRun {
+    pub result: SsspResult,
+    pub buckets: Vec<GpuBucketTrace>,
+}
+
+/// Run RDBS (or any ablation) on `device`.
+///
+/// If `config.pro` the graph must already be preprocessed (weight
+/// sorted, heavy offsets attached — see `rdbs_graph::reorder::pro`);
+/// the distances returned are in the graph's labelling
+/// ([`super::run_gpu`] maps them back to original ids).
+pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConfig) -> RdbsRun {
+    let n = graph.num_vertices() as u32;
+    assert!(source < n, "source out of range");
+    if config.pro {
+        assert!(
+            graph.heavy_offsets().is_some(),
+            "PRO requires a graph preprocessed with rdbs_graph::reorder::pro"
+        );
+    }
+    let width0 = config.delta0.unwrap_or_else(|| default_delta(graph));
+    // Utilization floor: a bucket that cannot fill a quarter of the
+    // device's lanes doubles Δ (§4.3's utilization driver).
+    let lanes = device.config().num_sms as u64 * 32 * 2;
+    let mut controller = DeltaController::new(width0).with_target_parallelism(lanes);
+
+    let gb = GraphBuffers::upload(device, graph);
+    gb.init_source(device, source);
+    let queues = Queues::new(device, n, config.adwl);
+    // scan_out[0] = next-bucket active count, scan_out[1] = min
+    // unsettled distance beyond the window.
+    let scan_out = device.alloc("scan_out", 2);
+
+    let inst = Rc::new(Inst::default());
+    let mut traces: Vec<GpuBucketTrace> = Vec::new();
+
+    // Seed the source.
+    device.write_word(queues.pending, source as usize, 1);
+    let src_class = if config.adwl {
+        classify(host_light_degree(graph, source))
+    } else {
+        WorkloadClass::Small
+    };
+    queues.q[src_class.index()].host_push(device, source);
+    queues.members.host_push(device, source);
+
+    let mut lo: u64 = 0;
+    let mut width: Weight = width0;
+    let mut settled_before: u64 = 0;
+
+    // BASYN: one persistent manager/worker kernel serves phase 1 for
+    // the whole run — a single host launch (§4.3).
+    if config.basyn {
+        device.charge_kernel_launch();
+    }
+
+    loop {
+        let hi = lo + width as u64;
+        let mut trace = GpuBucketTrace { lo, width, ..Default::default() };
+
+        // ---------------- Phase 1: light edges ----------------
+        let active_before = inst.active.get();
+        let mut bucket_members: Vec<VertexId> = Vec::new();
+        loop {
+            bucket_members.extend(queues.members.drain(device));
+            let mut any = false;
+            let lists: Vec<Vec<VertexId>> =
+                (0..WorkloadClass::COUNT).map(|c| queues.q[c].drain(device)).collect();
+            for (c, items) in lists.iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                any = true;
+                trace.threads += phase1_wave_threads(graph, c, items, width, config.pro);
+                run_phase1_list(device, config.basyn, c, items, gb, queues, lo, hi, width, &inst);
+            }
+            if !any {
+                break;
+            }
+            trace.layers += 1;
+            if !config.basyn {
+                device.charge_barrier(); // synchronous iteration barrier
+            }
+        }
+        trace.active = inst.active.get() - active_before;
+
+        // C_i: vertices settled by this bucket (host instrumentation).
+        let settled_now = device
+            .read(gb.dist)
+            .iter()
+            .filter(|&&d| (d as u64) < hi && d != INF)
+            .count() as u64;
+        trace.converged = settled_now.saturating_sub(settled_before);
+        settled_before = settled_now;
+
+        // Readjust Δ (Update_Delta_Epsilon of Alg. 2).
+        let new_width = if config.basyn {
+            controller.finish_bucket(trace.converged, trace.threads.max(1))
+        } else {
+            width0
+        };
+
+        // ---------------- Phases 2 & 3: fused sync kernel ----------------
+        // One launch per bucket (kernel fusion, §4.2); its internal
+        // sub-phases are waves separated by a grid barrier.
+        device.charge_kernel_launch();
+        // Dedup re-activations: the membership *set* is what phase 2
+        // relaxes (a vertex improved twice in phase 1 is one member).
+        bucket_members.sort_unstable();
+        bucket_members.dedup();
+        heavy_relax_wave(device, gb, queues.members, &bucket_members, graph, lo, hi, width, config.pro, &inst);
+        device.charge_barrier();
+
+        let mut next_lo = hi;
+        let mut next_hi = next_lo + new_width as u64;
+        let mut done = false;
+        loop {
+            device.write_word(scan_out, 0, 0);
+            device.write_word(scan_out, 1, INF);
+            collect_wave(device, gb, queues, scan_out, next_lo, next_hi, &inst);
+            let active = device.read_word(scan_out, 0);
+            let min_beyond = device.read_word(scan_out, 1);
+            if active > 0 {
+                break;
+            }
+            if min_beyond == INF {
+                done = true;
+                break;
+            }
+            // Jump the empty distance window.
+            next_lo = min_beyond as u64;
+            next_hi = next_lo + new_width as u64;
+        }
+        // Re-split light/heavy for the adjusted Δ (§4.1: the offset
+        // "can be changed immediately"). Settled vertices are skipped —
+        // their edge ranges are never consulted again.
+        if config.pro && new_width != width && !done {
+            update_heavy_offsets_wave(device, gb, new_width, next_lo);
+        }
+        traces.push(trace);
+        if done {
+            break;
+        }
+        lo = next_lo;
+        width = new_width;
+    }
+
+    let mut stats = UpdateStats {
+        checks: inst.checks.get(),
+        total_updates: inst.updates.get(),
+        ..Default::default()
+    };
+    stats.phase1_layers = traces.iter().map(|t| t.layers).collect();
+    stats.bucket_active = traces.iter().map(|t| t.active).collect();
+    let dist = gb.download_dist(device);
+    RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces }
+}
+
+/// Host-side light-degree (for seeding and T_i accounting).
+fn host_light_degree(graph: &Csr, v: VertexId) -> u32 {
+    match graph.heavy_delta() {
+        Some(d) => graph.light_degree(v, d),
+        None => graph.degree(v),
+    }
+}
+
+/// Lanes a phase-1 wave will use (T_i accounting).
+fn phase1_wave_threads(graph: &Csr, class: usize, items: &[VertexId], width: Weight, pro: bool) -> u64 {
+    match class {
+        0 => items.len() as u64,
+        1 => items.len() as u64 * 32,
+        _ => items
+            .iter()
+            .map(|&v| {
+                1 + if pro {
+                    graph.light_degree(v, width) as u64
+                } else {
+                    graph.degree(v) as u64
+                }
+            })
+            .sum(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase1_list(
+    device: &mut Device,
+    basyn: bool,
+    class: usize,
+    items: &[VertexId],
+    gb: GraphBuffers,
+    queues: Queues,
+    lo: u64,
+    hi: u64,
+    width: Weight,
+    inst: &Rc<Inst>,
+) {
+    let queue = queues.q[class];
+    let gang = match class {
+        0 => 1u32,
+        1 => 32,
+        _ => 1, // large vertices: parent thread spawns children
+    };
+    let large = class == 2;
+    let inst_outer = Rc::clone(inst);
+    let body = move |lane: &mut Lane<'_>| {
+        let i = lane.tid() as usize;
+        let rank = lane.gang_rank();
+        let stride = lane.gang_size();
+        // Fetch the work item (charged against the queue buffer).
+        let _ = lane.ld(queue.data, i as u32);
+        let v = items[i];
+        if rank == 0 {
+            lane.st(queues.pending, v, 0);
+        }
+        // Volatile: in synchronous mode this read races with another
+        // lane's atomicMin + pending handshake; a snapshot read there
+        // would lose the update (the improver saw pending == 1 and
+        // skipped the re-enqueue).
+        let dv = lane.ld_volatile(gb.dist, v);
+        lane.alu(2);
+        let dvu = dv as u64;
+        if dvu < lo || dvu >= hi {
+            return; // stale activation
+        }
+        if rank == 0 {
+            inst_outer.active.set(inst_outer.active.get() + 1);
+        }
+        let start = lane.ld(gb.row, v);
+        let light_end = match gb.heavy {
+            Some(h) => lane.ld(h, v),
+            None => lane.ld(gb.row, v + 1),
+        };
+        if large {
+            // Dynamic parallelism: one thread per light edge.
+            let count = light_end.saturating_sub(start) as u64;
+            if count == 0 {
+                return;
+            }
+            let inst_child = Rc::clone(&inst_outer);
+            let check_light = gb.heavy.is_none();
+            lane.launch_child("phase1_child", count, move |cl| {
+                let e = start + cl.tid() as u32;
+                relax_light_edge(cl, gb, queues, e, dv, hi, width, check_light, &inst_child);
+            });
+            return;
+        }
+        let check_light = gb.heavy.is_none();
+        let mut e = start + rank;
+        while e < light_end {
+            relax_light_edge(lane, gb, queues, e, dv, hi, width, check_light, &inst_outer);
+            e += stride;
+        }
+    };
+    let name = match class {
+        0 => "phase1_small",
+        1 => "phase1_medium",
+        _ => "phase1_large",
+    };
+    if basyn {
+        // Work dispatched inside the persistent phase-1 kernel.
+        device.wave(name, items.len() as u64, gang, body);
+    } else {
+        // Synchronous mode: a fresh launch per layer and list.
+        device.launch_gangs(name, items.len() as u64, gang, body);
+    }
+}
+
+/// Relax one light-candidate edge `e` from a vertex at distance `dv`
+/// (Alg. 1). When `check_light` (no PRO), the weight branch is taken
+/// per edge — the divergence the paper's reordering removes.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn relax_light_edge(
+    lane: &mut Lane<'_>,
+    gb: GraphBuffers,
+    queues: Queues,
+    e: u32,
+    dv: u32,
+    hi: u64,
+    width: Weight,
+    check_light: bool,
+    inst: &Inst,
+) {
+    let w = lane.ld(gb.wt, e);
+    if check_light {
+        lane.alu(1); // the light/heavy conditional branch
+        if w >= width {
+            return;
+        }
+    }
+    let v2 = lane.ld(gb.adj, e);
+    lane.alu(1);
+    let nd = dv.saturating_add(w);
+    inst.checks.set(inst.checks.get() + 1);
+    let dv2 = lane.ld(gb.dist, v2);
+    if nd < dv2 {
+        let old = lane.atomic_min(gb.dist, v2, nd);
+        if nd < old {
+            inst.updates.set(inst.updates.get() + 1);
+            if (nd as u64) < hi {
+                queues.enqueue(lane, gb, v2);
+            }
+        }
+    }
+}
+
+/// Phase 2: relax heavy edges of every vertex settled in the current
+/// bucket, warp-cooperatively over the membership worklist the
+/// enqueues accumulated (the paper's static balancing: "we coarsely
+/// assign the same number of heavy edges to guarantee load
+/// balancing"). The list may contain duplicates from within-bucket
+/// re-activations and stale entries whose distance left the window —
+/// both are filtered by the distance check, and heavy relaxation is
+/// idempotent anyway.
+#[allow(clippy::too_many_arguments)]
+fn heavy_relax_wave(
+    device: &mut Device,
+    gb: GraphBuffers,
+    members: DeviceQueue,
+    items: &[VertexId],
+    graph: &Csr,
+    lo: u64,
+    hi: u64,
+    width: Weight,
+    pro: bool,
+    inst: &Rc<Inst>,
+) {
+    if items.is_empty() {
+        return;
+    }
+    // Static balancing (§4.2): pick the cooperative width from the
+    // average work per vertex — a warp per vertex only pays off when
+    // vertices carry warp-sized edge lists; sparse buckets use one
+    // thread per vertex.
+    let total_deg: u64 = items.iter().map(|&v| graph.degree(v) as u64).sum();
+    let gang = if total_deg / items.len() as u64 >= 32 { 32 } else { 1 };
+    let inst = Rc::clone(inst);
+    let cap = members.capacity;
+    device.wave("phase2_heavy", items.len() as u64, gang, move |lane| {
+        let i = lane.tid() as usize;
+        let rank = lane.gang_rank();
+        let stride = lane.gang_size();
+        let _ = lane.ld(members.data, i as u32 % cap);
+        let v = items[i];
+        let dv = lane.ld(gb.dist, v);
+        lane.alu(1);
+        let dvu = dv as u64;
+        if dvu < lo || dvu >= hi {
+            return; // stale membership entry
+        }
+        let end = lane.ld(gb.row, v + 1);
+        let hstart = match gb.heavy {
+            Some(h) => lane.ld(h, v),
+            None => lane.ld(gb.row, v),
+        };
+        let mut e = hstart + rank;
+        while e < end {
+            let w = lane.ld(gb.wt, e);
+            if !pro {
+                lane.alu(1);
+                if w < width {
+                    e += stride;
+                    continue; // light edge: phase 1 handled it
+                }
+            }
+            let v2 = lane.ld(gb.adj, e);
+            lane.alu(1);
+            let nd = dv.saturating_add(w);
+            inst.checks.set(inst.checks.get() + 1);
+            let dv2 = lane.ld(gb.dist, v2);
+            if nd < dv2 {
+                let old = lane.atomic_min(gb.dist, v2, nd);
+                if nd < old {
+                    inst.updates.set(inst.updates.get() + 1);
+                }
+            }
+            e += stride;
+        }
+    });
+}
+
+/// Phase 3: collect the next bucket's active vertices into the
+/// workload lists; track the minimum unsettled distance beyond the
+/// window so empty windows can be skipped.
+fn collect_wave(
+    device: &mut Device,
+    gb: GraphBuffers,
+    queues: Queues,
+    scan_out: Buf,
+    next_lo: u64,
+    next_hi: u64,
+    inst: &Rc<Inst>,
+) {
+    let n = gb.n;
+    let _ = inst;
+    device.wave("phase3_collect", n as u64, 1, move |lane| {
+        let v = lane.tid() as u32;
+        let dv = lane.ld(gb.dist, v);
+        lane.alu(2);
+        if dv == INF {
+            return;
+        }
+        let dvu = dv as u64;
+        if dvu < next_lo {
+            return; // settled
+        }
+        if dvu < next_hi {
+            lane.atomic_add(scan_out, 0, 1);
+            queues.enqueue(lane, gb, v);
+        } else {
+            lane.atomic_min(scan_out, 1, dv);
+        }
+    });
+}
+
+/// Recompute heavy offsets on-device for a new Δ (binary search over
+/// the weight-sorted row — §4.1's "changed immediately"). Vertices
+/// already settled (`dist < settled_below`, reached) are skipped:
+/// their edge ranges are never consulted again.
+fn update_heavy_offsets_wave(
+    device: &mut Device,
+    gb: GraphBuffers,
+    new_width: Weight,
+    settled_below: u64,
+) {
+    let heavy = gb.heavy.expect("PRO graphs carry heavy offsets");
+    device.wave("update_heavy_offsets", gb.n as u64, 1, move |lane| {
+        let v = lane.tid() as u32;
+        let dv = lane.ld(gb.dist, v);
+        lane.alu(1);
+        if dv != INF && (dv as u64) < settled_below {
+            return;
+        }
+        let mut lo = lane.ld(gb.row, v);
+        let mut hi = lane.ld(gb.row, v + 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let w = lane.ld(gb.wt, mid);
+            lane.alu(2);
+            if w < new_width {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lane.st(heavy, v, lo);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::dijkstra;
+    use crate::validate::check_against;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, preferential_attachment, uniform_weights};
+    use rdbs_graph::reorder;
+    use rdbs_gpu_sim::DeviceConfig;
+
+    fn random_graph(seed: u64, n: usize, m: usize) -> Csr {
+        let mut el = erdos_renyi(n, m, seed);
+        uniform_weights(&mut el, seed + 1);
+        build_undirected(&el)
+    }
+
+    fn run_config(g: &Csr, cfg: RdbsConfig) -> (RdbsRun, Device) {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let run = if cfg.pro {
+            let delta0 = cfg.delta0.unwrap_or_else(|| default_delta(g));
+            let (pg, perm) = reorder::pro(g, delta0);
+            let src = perm.new_id(0);
+            let mut run = rdbs(&mut d, &pg, src, cfg);
+            run.result.dist = perm.unapply_to_array(&run.result.dist);
+            run.result.source = 0;
+            run
+        } else {
+            rdbs(&mut d, g, 0, cfg)
+        };
+        (run, d)
+    }
+
+    #[test]
+    fn all_variants_match_dijkstra() {
+        for seed in 0..3 {
+            let g = random_graph(seed, 80, 400);
+            let oracle = dijkstra(&g, 0);
+            for cfg in [
+                RdbsConfig::full(),
+                RdbsConfig::basyn_pro(),
+                RdbsConfig::basyn_adwl(),
+                RdbsConfig::basyn_only(),
+                RdbsConfig::sync_delta(),
+            ] {
+                let (run, _) = run_config(&g, cfg);
+                check_against(&oracle.dist, &run.result.dist)
+                    .unwrap_or_else(|m| panic!("seed {seed} {}: {m}", cfg.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn powerlaw_graph_uses_gangs() {
+        // A hub-heavy graph must exercise the medium (warp-gang) path.
+        let mut el = preferential_attachment(600, 5, 3);
+        uniform_weights(&mut el, 4);
+        let g = build_undirected(&el);
+        let oracle = dijkstra(&g, 0);
+        let (run, d) = run_config(&g, RdbsConfig::full());
+        check_against(&oracle.dist, &run.result.dist).unwrap();
+        assert!(d.counters().warps > 0);
+    }
+
+    #[test]
+    fn hub_vertex_takes_dynamic_parallelism_path() {
+        // A star whose hub has > α = 256 light edges must be classified
+        // Large and processed via a child kernel.
+        let mut edges: Vec<(u32, u32, u32)> = (1..400u32).map(|v| (0, v, 0)).collect();
+        edges.push((1, 399, 0)); // keep some non-hub structure
+        let mut el = EdgeList::from_edges(400, edges);
+        uniform_weights(&mut el, 6);
+        let g = build_undirected(&el);
+        let oracle = dijkstra(&g, 1);
+        // Δ larger than any weight → all 399 hub edges are light.
+        let cfg = RdbsConfig { delta0: Some(5000), ..RdbsConfig::full() };
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let (pg, perm) = reorder::pro(&g, 5000);
+        let mut run = rdbs(&mut d, &pg, perm.new_id(1), cfg);
+        run.result.dist = perm.unapply_to_array(&run.result.dist);
+        check_against(&oracle.dist, &run.result.dist).unwrap();
+        assert!(
+            d.counters().child_kernel_launches > 0,
+            "expected dynamic parallelism on the hub vertex"
+        );
+    }
+
+    #[test]
+    fn basyn_avoids_per_layer_launches() {
+        // Force one big multi-layer bucket (Δ beyond every weight) so
+        // the per-layer launch/barrier cost of synchronous mode shows.
+        let g = random_graph(5, 120, 700);
+        let cfg_async = RdbsConfig { delta0: Some(100_000), ..RdbsConfig::basyn_only() };
+        let cfg_sync = RdbsConfig { delta0: Some(100_000), ..RdbsConfig::sync_delta() };
+        let (_, d_async) = run_config(&g, cfg_async);
+        let (_, d_sync) = run_config(&g, cfg_sync);
+        assert!(
+            d_async.counters().kernel_launches < d_sync.counters().kernel_launches,
+            "async {} vs sync {}",
+            d_async.counters().kernel_launches,
+            d_sync.counters().kernel_launches
+        );
+        assert!(d_async.counters().barriers < d_sync.counters().barriers);
+    }
+
+    #[test]
+    fn pro_reduces_load_instructions() {
+        // Branch-free light prefixes must execute fewer warp-level
+        // instructions than per-edge weight checks.
+        let g = random_graph(8, 150, 1200);
+        let (_, d_pro) = run_config(&g, RdbsConfig::basyn_pro());
+        let (_, d_raw) = run_config(&g, RdbsConfig::basyn_only());
+        let i_pro = d_pro.counters().inst_executed;
+        let i_raw = d_raw.counters().inst_executed;
+        assert!(i_pro < i_raw, "pro {i_pro} vs raw {i_raw}");
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let g = random_graph(11, 100, 500);
+        let (run, _) = run_config(&g, RdbsConfig::full());
+        assert!(!run.buckets.is_empty());
+        // Every processed bucket lies at increasing lo.
+        for w in run.buckets.windows(2) {
+            assert!(w[0].lo < w[1].lo);
+        }
+        // Stats mirror the trace.
+        assert_eq!(run.result.stats.bucket_active.len(), run.buckets.len());
+        let reached = run.result.reached() as u64;
+        let converged: u64 = run.buckets.iter().map(|t| t.converged).sum();
+        assert_eq!(converged, reached);
+    }
+
+    #[test]
+    fn disconnected_component_terminates() {
+        let el = EdgeList::from_edges(5, vec![(0, 1, 3), (2, 3, 4)]);
+        let g = build_undirected(&el);
+        let (run, _) = run_config(&g, RdbsConfig::full());
+        assert_eq!(run.result.dist[0], 0);
+        assert_eq!(run.result.dist[1], 3);
+        assert_eq!(run.result.dist[2], INF);
+        assert_eq!(run.result.dist[4], INF);
+    }
+
+    #[test]
+    fn empty_window_jumping() {
+        // A path with weight-1000 edges and Δ₀ = 100 creates many
+        // empty windows; the min-reduction must jump them.
+        let el = EdgeList::from_edges(4, (0..3).map(|i| (i, i + 1, 1000)).collect());
+        let g = build_undirected(&el);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let cfg = RdbsConfig { delta0: Some(100), ..RdbsConfig::basyn_only() };
+        let run = rdbs(&mut d, &g, 0, cfg);
+        assert_eq!(run.result.dist, vec![0, 1000, 2000, 3000]);
+        // Without jumping this would take 30 windows; with it, ~4.
+        assert!(run.buckets.len() <= 6, "buckets {}", run.buckets.len());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RdbsConfig::full().label(), "BASYN+PRO+ADWL");
+        assert_eq!(RdbsConfig::basyn_pro().label(), "BASYN+PRO");
+        assert_eq!(RdbsConfig::basyn_adwl().label(), "BASYN+ADWL");
+        assert_eq!(RdbsConfig::sync_delta().label(), "SYNC-Δ");
+    }
+}

@@ -1,0 +1,296 @@
+//! Path reconstruction and point-to-point queries.
+//!
+//! The GPU kernels produce distance arrays; applications (routing,
+//! §1's "road layout management" and "network routing design") need
+//! the actual paths. [`build_parent_tree`] recovers a shortest-path
+//! tree from *any* correct distance array in one O(m) pass, so it
+//! composes with every implementation in the workspace. A
+//! [`bidirectional_dijkstra`] point-to-point query and a multi-source
+//! wrapper round out the query API.
+
+use crate::seq::dijkstra::dijkstra;
+use crate::stats::SsspResult;
+use crate::{Csr, Dist, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Parent of each vertex in a shortest-path tree; the source maps to
+/// itself, unreached vertices to `u32::MAX`.
+pub const NO_PARENT: VertexId = u32::MAX;
+
+/// Recover a shortest-path tree from a correct distance array: for
+/// every reached vertex, pick a predecessor `u` with
+/// `dist[u] + w(u,v) == dist[v]` (ties broken by smallest `u` for
+/// determinism).
+///
+/// # Panics
+/// Panics (in debug builds) if `dist` is not a fixed point of
+/// relaxation — run `validate::check_relaxed` first when unsure.
+pub fn build_parent_tree(graph: &Csr, source: VertexId, dist: &[Dist]) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    assert_eq!(dist.len(), n);
+    let mut parent = vec![NO_PARENT; n];
+    if (source as usize) < n && dist[source as usize] == 0 {
+        parent[source as usize] = source;
+    }
+    for (u, v, w) in graph.all_edges() {
+        let (du, dv) = (dist[u as usize], dist[v as usize]);
+        if du == INF || dv == INF {
+            continue;
+        }
+        if du as u64 + w as u64 == dv as u64 && v != source {
+            let cur = parent[v as usize];
+            if cur == NO_PARENT || u < cur {
+                parent[v as usize] = u;
+            }
+        }
+    }
+    parent
+}
+
+/// Extract the path `source → target` from a parent tree; `None` if
+/// the target is unreached.
+pub fn extract_path(parent: &[VertexId], source: VertexId, target: VertexId) -> Option<Vec<VertexId>> {
+    if parent[target as usize] == NO_PARENT {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = parent[cur as usize];
+        debug_assert_ne!(cur, NO_PARENT, "broken parent tree");
+        path.push(cur);
+        if path.len() > parent.len() {
+            panic!("parent tree contains a cycle");
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Check that `path` is a real path in `graph` whose total weight is
+/// `expected`.
+pub fn verify_path(graph: &Csr, path: &[VertexId], expected: Dist) -> Result<(), String> {
+    if path.is_empty() {
+        return Err("empty path".into());
+    }
+    let mut total = 0u64;
+    for pair in path.windows(2) {
+        let (u, v) = (pair[0], pair[1]);
+        let w = graph
+            .edges(u)
+            .filter(|&(dst, _)| dst == v)
+            .map(|(_, w)| w)
+            .min()
+            .ok_or_else(|| format!("no edge {u} -> {v}"))?;
+        total += w as u64;
+    }
+    if total != expected as u64 {
+        return Err(format!("path weighs {total}, expected {expected}"));
+    }
+    Ok(())
+}
+
+/// Multi-source SSSP: distance to the *nearest* of several sources
+/// (standard virtual-super-source construction, done by seeding the
+/// heap with all sources at distance 0).
+pub fn multi_source_dijkstra(graph: &Csr, sources: &[VertexId]) -> SsspResult {
+    let n = graph.num_vertices();
+    assert!(!sources.is_empty(), "need at least one source");
+    let mut dist = vec![INF; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    for &s in sources {
+        assert!((s as usize) < n, "source {s} out of range");
+        dist[s as usize] = 0;
+        heap.push(Reverse((0, s)));
+    }
+    let mut stats = crate::stats::UpdateStats::default();
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.edges(u) {
+            stats.checks += 1;
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                stats.total_updates += 1;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { source: sources[0], dist, stats }
+}
+
+/// Bidirectional Dijkstra point-to-point query: returns the shortest
+/// `source → target` distance (or `None`), typically exploring far
+/// fewer vertices than a full SSSP. Assumes the symmetric graphs this
+/// workspace uses (the backward search reuses the forward adjacency).
+pub fn bidirectional_dijkstra(graph: &Csr, source: VertexId, target: VertexId) -> Option<Dist> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n && (target as usize) < n);
+    if source == target {
+        return Some(0);
+    }
+    let mut dist_f = vec![INF; n];
+    let mut dist_b = vec![INF; n];
+    let mut heap_f: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    let mut heap_b: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist_f[source as usize] = 0;
+    dist_b[target as usize] = 0;
+    heap_f.push(Reverse((0, source)));
+    heap_b.push(Reverse((0, target)));
+    let mut best: u64 = u64::MAX;
+
+    loop {
+        let top_f = heap_f.peek().map(|Reverse((d, _))| *d as u64).unwrap_or(u64::MAX);
+        let top_b = heap_b.peek().map(|Reverse((d, _))| *d as u64).unwrap_or(u64::MAX);
+        if top_f.saturating_add(top_b) >= best || (top_f == u64::MAX && top_b == u64::MAX) {
+            break;
+        }
+        // Expand the side with the smaller frontier distance.
+        let forward = top_f <= top_b;
+        let (heap, dist_mine, dist_other) = if forward {
+            (&mut heap_f, &mut dist_f, &dist_b)
+        } else {
+            (&mut heap_b, &mut dist_b, &dist_f)
+        };
+        if let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist_mine[u as usize] {
+                continue;
+            }
+            for (v, w) in graph.edges(u) {
+                let nd = d + w;
+                if nd < dist_mine[v as usize] {
+                    dist_mine[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+                if dist_other[v as usize] != INF {
+                    best = best.min(nd as u64 + dist_other[v as usize] as u64);
+                }
+            }
+        }
+    }
+    if best == u64::MAX {
+        None
+    } else {
+        Some(best as Dist)
+    }
+}
+
+/// Convenience: full shortest path between two vertices via Dijkstra +
+/// parent reconstruction.
+pub fn shortest_path(graph: &Csr, source: VertexId, target: VertexId) -> Option<(Dist, Vec<VertexId>)> {
+    let r = dijkstra(graph, source);
+    let d = r.dist[target as usize];
+    if d == INF {
+        return None;
+    }
+    let parents = build_parent_tree(graph, source, &r.dist);
+    let path = extract_path(&parents, source, target)?;
+    Some((d, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    fn graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(150, 700, seed);
+        uniform_weights(&mut el, seed + 40);
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn parent_tree_reconstructs_valid_paths() {
+        let g = graph(1);
+        let r = dijkstra(&g, 0);
+        let parents = build_parent_tree(&g, 0, &r.dist);
+        for v in 0..g.num_vertices() as VertexId {
+            if r.dist[v as usize] == INF {
+                assert_eq!(parents[v as usize], NO_PARENT);
+                continue;
+            }
+            let path = extract_path(&parents, 0, v).expect("reached vertex needs a path");
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), v);
+            verify_path(&g, &path, r.dist[v as usize]).unwrap();
+        }
+    }
+
+    #[test]
+    fn parent_tree_composes_with_gpu_results() {
+        let g = graph(2);
+        let run = crate::gpu::run_gpu(
+            &g,
+            3,
+            crate::gpu::Variant::Rdbs(crate::gpu::RdbsConfig::full()),
+            rdbs_gpu_sim::DeviceConfig::test_tiny(),
+        );
+        let parents = build_parent_tree(&g, 3, &run.result.dist);
+        let far = (0..g.num_vertices() as VertexId)
+            .filter(|&v| run.result.dist[v as usize] != INF)
+            .max_by_key(|&v| run.result.dist[v as usize])
+            .unwrap();
+        let path = extract_path(&parents, 3, far).unwrap();
+        verify_path(&g, &path, run.result.dist[far as usize]).unwrap();
+    }
+
+    #[test]
+    fn multi_source_is_pointwise_min() {
+        let g = graph(3);
+        let sources = [0u32, 50, 99];
+        let multi = multi_source_dijkstra(&g, &sources);
+        let singles: Vec<_> = sources.iter().map(|&s| dijkstra(&g, s).dist).collect();
+        for v in 0..g.num_vertices() {
+            let expect = singles.iter().map(|d| d[v]).min().unwrap();
+            assert_eq!(multi.dist[v], expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bidirectional_matches_dijkstra() {
+        let g = graph(4);
+        let r = dijkstra(&g, 7);
+        for target in [0u32, 33, 77, 149] {
+            let bd = bidirectional_dijkstra(&g, 7, target);
+            let expect = if r.dist[target as usize] == INF {
+                None
+            } else {
+                Some(r.dist[target as usize])
+            };
+            assert_eq!(bd, expect, "target {target}");
+        }
+        assert_eq!(bidirectional_dijkstra(&g, 5, 5), Some(0));
+    }
+
+    #[test]
+    fn bidirectional_handles_disconnected() {
+        let el = EdgeList::from_edges(4, vec![(0, 1, 3)]);
+        let g = build_undirected(&el);
+        assert_eq!(bidirectional_dijkstra(&g, 0, 3), None);
+        assert_eq!(bidirectional_dijkstra(&g, 0, 1), Some(3));
+    }
+
+    #[test]
+    fn shortest_path_convenience() {
+        let el = EdgeList::from_edges(4, vec![(0, 1, 2), (1, 2, 2), (0, 2, 10), (2, 3, 1)]);
+        let g = build_undirected(&el);
+        let (d, path) = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(d, 5);
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert!(shortest_path(&g, 0, 0).is_some());
+    }
+
+    #[test]
+    fn verify_path_rejects_wrong_claims() {
+        let el = EdgeList::from_edges(3, vec![(0, 1, 2), (1, 2, 2)]);
+        let g = build_undirected(&el);
+        assert!(verify_path(&g, &[0, 1, 2], 4).is_ok());
+        assert!(verify_path(&g, &[0, 1, 2], 5).is_err());
+        assert!(verify_path(&g, &[0, 2], 4).is_err()); // no such edge
+        assert!(verify_path(&g, &[], 0).is_err());
+    }
+}

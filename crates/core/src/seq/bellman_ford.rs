@@ -1,0 +1,103 @@
+//! Round-synchronous Bellman-Ford (frontier/push variant).
+//!
+//! Each round relaxes every out-edge of the current frontier; the next
+//! frontier is the set of improved vertices. This is exactly the
+//! execution the paper's Fig. 1 (b) traces and the conceptual model of
+//! its BL baseline: parallel-friendly but work-inefficient, with a
+//! synchronization barrier between rounds (§2.1, §3).
+
+use crate::stats::{SsspResult, UpdateStats};
+use crate::{Csr, VertexId, INF};
+
+/// Frontier-based Bellman-Ford. `stats.phase1_layers` holds one entry
+/// with the round count; `peak_bucket_layer_active` the per-round
+/// frontier sizes (useful for the Fig. 1 motivation example).
+pub fn bellman_ford(graph: &Csr, source: VertexId) -> SsspResult {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    let mut stats = UpdateStats::default();
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut in_next = vec![false; n];
+    let mut rounds = 0u32;
+    while !frontier.is_empty() {
+        rounds += 1;
+        stats.peak_bucket_layer_active.push(frontier.len() as u64);
+        let mut next: Vec<VertexId> = Vec::new();
+        for &u in &frontier {
+            let du = dist[u as usize];
+            for (v, w) in graph.edges(u) {
+                stats.checks += 1;
+                let nd = du + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    stats.total_updates += 1;
+                    if !in_next[v as usize] {
+                        in_next[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        for &v in &next {
+            in_next[v as usize] = false;
+        }
+        frontier = next;
+    }
+    stats.phase1_layers.push(rounds);
+    SsspResult { source, dist, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::dijkstra::dijkstra;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..5 {
+            let mut el = erdos_renyi(80, 320, seed);
+            uniform_weights(&mut el, seed + 100);
+            let g = build_undirected(&el);
+            let a = bellman_ford(&g, 0);
+            let b = dijkstra(&g, 0);
+            assert_eq!(a.dist, b.dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn does_more_work_than_dijkstra() {
+        // On a graph with many alternative paths, Bellman-Ford's
+        // update count exceeds Dijkstra's (the §3.3 motivation).
+        let mut el = erdos_renyi(200, 2000, 7);
+        uniform_weights(&mut el, 9);
+        let g = build_undirected(&el);
+        let bf = bellman_ford(&g, 0);
+        let dj = dijkstra(&g, 0);
+        assert!(bf.stats.total_updates >= dj.stats.total_updates);
+        assert!(bf.work_ratio().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn round_count_bounded_by_hops() {
+        // A 6-vertex path: 5 propagation rounds plus the final round
+        // in which frontier {5} improves nothing.
+        let el = EdgeList::from_edges(6, (0..5).map(|i| (i, i + 1, 1)).collect());
+        let g = build_undirected(&el);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.stats.phase1_layers, vec![6]);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn frontier_sizes_recorded() {
+        let el = EdgeList::from_edges(4, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1)]);
+        let g = build_undirected(&el);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.stats.peak_bucket_layer_active[0], 1); // {0}
+        assert_eq!(r.stats.peak_bucket_layer_active[1], 2); // {1,2}
+    }
+}

@@ -1,0 +1,264 @@
+//! Classic three-phase Δ-stepping (Meyer & Sanders), instrumented.
+//!
+//! This is the §2.2 reference the paper's motivation experiments run
+//! on (Graph500 reference code): phase 1 repeatedly relaxes light
+//! edges of the current bucket until it stops refilling (each pass is
+//! one *layer* — Fig. 3's iterations), phase 2 relaxes the heavy edges
+//! of everything settled in the bucket, phase 3 advances to the next
+//! non-empty bucket.
+//!
+//! [`delta_stepping_traced`] additionally labels every successful
+//! update valid/invalid against a final-distance oracle, regenerating
+//! Fig. 2 (bucket occupancy) and Fig. 3 (layer counts, valid vs total
+//! updates of the peak bucket) exactly.
+
+use crate::stats::{SsspResult, UpdateStats};
+use crate::{Csr, Dist, VertexId, Weight, INF};
+
+/// Per-bucket trace of one Δ-stepping run.
+#[derive(Clone, Debug, Default)]
+pub struct BucketTrace {
+    /// Bucket index (`floor(dist / Δ)`).
+    pub bucket_id: u64,
+    /// Active vertices processed in phase 1 (non-stale pops,
+    /// counting re-activations — Fig. 2's y-axis).
+    pub active: u64,
+    /// Active vertices per phase-1 layer (Fig. 3's series).
+    pub layer_active: Vec<u64>,
+    /// Successful updates during phase 1.
+    pub phase1_updates: u64,
+    /// Phase-1 updates that wrote a final distance.
+    pub phase1_valid_updates: u64,
+    /// Successful updates during phase 2 (heavy edges).
+    pub phase2_updates: u64,
+}
+
+/// Result plus per-bucket traces.
+#[derive(Clone, Debug)]
+pub struct DeltaSteppingRun {
+    pub result: SsspResult,
+    pub buckets: Vec<BucketTrace>,
+    pub delta: Weight,
+}
+
+impl DeltaSteppingRun {
+    /// Index of the bucket with the most phase-1 activity (the "peak
+    /// overhead" bucket of §3.3).
+    pub fn peak_bucket(&self) -> Option<usize> {
+        (0..self.buckets.len()).max_by_key(|&i| self.buckets[i].active)
+    }
+}
+
+/// Plain Δ-stepping (no validity oracle).
+pub fn delta_stepping(graph: &Csr, source: VertexId, delta: Weight) -> SsspResult {
+    run(graph, source, delta, None).result
+}
+
+/// Δ-stepping with full tracing; `final_dist` (e.g. from
+/// [`crate::seq::dijkstra()`](fn@crate::seq::dijkstra)) enables valid-update labelling.
+pub fn delta_stepping_traced(
+    graph: &Csr,
+    source: VertexId,
+    delta: Weight,
+    final_dist: Option<&[Dist]>,
+) -> DeltaSteppingRun {
+    run(graph, source, delta, final_dist)
+}
+
+fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>) -> DeltaSteppingRun {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    assert!(delta >= 1, "delta must be at least 1");
+    let mut dist: Vec<Dist> = vec![INF; n];
+    let mut stats = UpdateStats::default();
+    let mut traces: Vec<BucketTrace> = Vec::new();
+
+    // Buckets as growable vectors of (possibly stale) vertex entries.
+    let mut buckets: Vec<Vec<VertexId>> = Vec::new();
+    let bucket_of = |d: Dist| (d / delta) as usize;
+    let push_bucket = |buckets: &mut Vec<Vec<VertexId>>, v: VertexId, d: Dist| {
+        let b = bucket_of(d);
+        if buckets.len() <= b {
+            buckets.resize_with(b + 1, Vec::new);
+        }
+        buckets[b].push(v);
+    };
+
+    dist[source as usize] = 0;
+    push_bucket(&mut buckets, source, 0);
+
+    let valid = |v: VertexId, d: Dist| -> bool {
+        final_dist.is_some_and(|f| f[v as usize] == d)
+    };
+
+    let mut i = 0usize;
+    while i < buckets.len() {
+        if buckets[i].is_empty() {
+            i += 1;
+            continue;
+        }
+        let mut trace = BucketTrace { bucket_id: i as u64, ..Default::default() };
+        // Settled set for phase 2 (each vertex recorded once).
+        let mut settled: Vec<VertexId> = Vec::new();
+        let mut settled_mark = std::collections::HashSet::new();
+
+        // Phase 1: drain the bucket layer by layer.
+        while !buckets[i].is_empty() {
+            let layer = std::mem::take(&mut buckets[i]);
+            let mut layer_active = 0u64;
+            for v in layer {
+                let dv = dist[v as usize];
+                if dv == INF || bucket_of(dv) != i {
+                    continue; // stale entry
+                }
+                layer_active += 1;
+                if settled_mark.insert(v) {
+                    settled.push(v);
+                }
+                // Relax light edges.
+                for (u, w) in graph.edges(v) {
+                    if w >= delta {
+                        continue;
+                    }
+                    stats.checks += 1;
+                    let nd = dv + w;
+                    if nd < dist[u as usize] {
+                        dist[u as usize] = nd;
+                        stats.total_updates += 1;
+                        trace.phase1_updates += 1;
+                        if valid(u, nd) {
+                            trace.phase1_valid_updates += 1;
+                        }
+                        push_bucket(&mut buckets, u, nd);
+                    }
+                }
+            }
+            if layer_active > 0 {
+                trace.layer_active.push(layer_active);
+                trace.active += layer_active;
+            }
+        }
+
+        // Phase 2: heavy edges of everything settled in this bucket.
+        for &v in &settled {
+            let dv = dist[v as usize];
+            for (u, w) in graph.edges(v) {
+                if w < delta {
+                    continue;
+                }
+                stats.checks += 1;
+                let nd = dv + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    stats.total_updates += 1;
+                    trace.phase2_updates += 1;
+                    push_bucket(&mut buckets, u, nd);
+                }
+            }
+        }
+        stats.phase1_layers.push(trace.layer_active.len() as u32);
+        stats.bucket_active.push(trace.active);
+        traces.push(trace);
+        // Phase 3: advance.
+        i += 1;
+    }
+
+    // Record the peak bucket's layer series in the shared stats.
+    if let Some(peak) = (0..traces.len()).max_by_key(|&k| traces[k].active) {
+        stats.peak_bucket_layer_active = traces[peak].layer_active.clone();
+    }
+
+    DeltaSteppingRun {
+        result: SsspResult { source, dist, stats },
+        buckets: traces,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::dijkstra::dijkstra;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    fn random_graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(100, 500, seed);
+        uniform_weights(&mut el, seed + 50);
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn matches_dijkstra_various_deltas() {
+        for seed in 0..4 {
+            let g = random_graph(seed);
+            let oracle = dijkstra(&g, 0);
+            for delta in [1, 3, 100, 1000, 10_000] {
+                let r = delta_stepping(&g, 0, delta);
+                assert_eq!(r.dist, oracle.dist, "seed {seed} delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_one_is_dijkstra_like() {
+        // Δ=1 degenerates to Dijkstra (every bucket one distance value)
+        // — work ratio must be near-minimal.
+        let g = random_graph(9);
+        let r = delta_stepping_traced(&g, 0, 1, None);
+        let dj = dijkstra(&g, 0);
+        assert_eq!(r.result.dist, dj.dist);
+    }
+
+    #[test]
+    fn delta_inf_is_bellman_ford_like() {
+        // A single bucket holds everything.
+        let g = random_graph(2);
+        let r = delta_stepping_traced(&g, 0, 1_000_000, None);
+        assert_eq!(r.buckets.len(), 1);
+        assert!(r.buckets[0].layer_active.len() > 1);
+    }
+
+    #[test]
+    fn traced_valid_updates_consistent() {
+        let g = random_graph(4);
+        let oracle = dijkstra(&g, 0);
+        let r = delta_stepping_traced(&g, 0, 200, Some(&oracle.dist));
+        let total_valid: u64 = r.buckets.iter().map(|b| b.phase1_valid_updates).sum();
+        // Phase-1 valid updates can't exceed reached vertices.
+        assert!(total_valid <= oracle.reached() as u64);
+        // Total updates ≥ valid updates.
+        let p1: u64 = r.buckets.iter().map(|b| b.phase1_updates).sum();
+        assert!(p1 >= total_valid);
+        // Peak bucket exists and its series matches the shared stats.
+        let peak = r.peak_bucket().unwrap();
+        assert_eq!(r.result.stats.peak_bucket_layer_active, r.buckets[peak].layer_active);
+    }
+
+    #[test]
+    fn bucket_occupancy_rises_then_falls_on_powerlaw() {
+        // The Fig. 2 shape: occupancy peaks in an early-middle bucket.
+        let mut el = rdbs_graph::generate::preferential_attachment(3000, 4, 8);
+        uniform_weights(&mut el, 11);
+        let g = build_undirected(&el);
+        let r = delta_stepping_traced(&g, 0, g.max_weight() / 10, None);
+        let occ: Vec<u64> = r.buckets.iter().map(|b| b.active).collect();
+        let peak_idx = r.peak_bucket().unwrap();
+        assert!(peak_idx > 0, "peak should not be bucket 0");
+        assert!(occ[peak_idx] > occ[0]);
+        assert!(occ[peak_idx] >= *occ.last().unwrap());
+    }
+
+    #[test]
+    fn path_graph_buckets() {
+        let el = EdgeList::from_edges(5, (0..4).map(|i| (i, i + 1, 10)).collect());
+        let g = build_undirected(&el);
+        let r = delta_stepping_traced(&g, 0, 10, None);
+        // dist = 0,10,20,30,40 → buckets 0..4, one vertex each... but
+        // every relaxation is a heavy edge (w == Δ), so phase 2 does
+        // the work.
+        assert_eq!(r.result.dist, vec![0, 10, 20, 30, 40]);
+        let p2: u64 = r.buckets.iter().map(|b| b.phase2_updates).sum();
+        assert_eq!(p2, 4);
+    }
+}

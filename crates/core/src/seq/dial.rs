@@ -1,0 +1,102 @@
+//! Dial's algorithm: Dijkstra with an integer bucket queue.
+//!
+//! The 1969 ancestor of Δ-stepping — `dist` values index into a
+//! circular array of `max_weight + 1` buckets, giving O(m + n·W)
+//! without a heap. It is exactly Δ-stepping with Δ = 1 and integer
+//! weights (§2.2: "For Δ = 1, it is equivalent to Dijkstra's
+//! algorithm"), and serves as a second work-optimal reference.
+
+use crate::stats::{SsspResult, UpdateStats};
+use crate::{Csr, Dist, VertexId, INF};
+
+/// Run Dial's algorithm. Memory is `O(n + max_weight)`; suited to the
+/// workspace's small integer weights (≤ 1000).
+pub fn dial(graph: &Csr, source: VertexId) -> SsspResult {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let w_max = graph.max_weight().max(1) as usize;
+    let num_buckets = w_max + 1;
+    let mut dist: Vec<Dist> = vec![INF; n];
+    let mut stats = UpdateStats::default();
+    // Circular bucket array indexed by dist % (w_max + 1): any pending
+    // entry has distance within w_max of the current minimum, so no
+    // wrap-around collision is possible.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); num_buckets];
+    let mut remaining = 1usize;
+    dist[source as usize] = 0;
+    buckets[0].push(source);
+
+    let mut cursor = 0usize; // current tentative distance
+    while remaining > 0 {
+        let slot = cursor % num_buckets;
+        while let Some(v) = buckets[slot].pop() {
+            remaining -= 1;
+            let dv = dist[v as usize];
+            if dv as usize != cursor {
+                continue; // stale entry
+            }
+            for (u, w) in graph.edges(v) {
+                stats.checks += 1;
+                let nd = dv + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    stats.total_updates += 1;
+                    buckets[nd as usize % num_buckets].push(u);
+                    remaining += 1;
+                }
+            }
+        }
+        cursor += 1;
+        // Safety valve: distances are bounded by (n-1) * w_max.
+        if cursor as u64 > n as u64 * w_max as u64 + 1 {
+            break;
+        }
+    }
+    SsspResult { source, dist, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::dijkstra;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    #[test]
+    fn matches_dijkstra() {
+        for seed in 0..4 {
+            let mut el = erdos_renyi(120, 600, seed);
+            uniform_weights(&mut el, seed + 60);
+            let g = build_undirected(&el);
+            let a = dial(&g, 0);
+            let b = dijkstra(&g, 0);
+            assert_eq!(a.dist, b.dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn is_work_optimal_like_dijkstra() {
+        let mut el = erdos_renyi(200, 1500, 3);
+        uniform_weights(&mut el, 5);
+        let g = build_undirected(&el);
+        let dl = dial(&g, 0);
+        let dj = dijkstra(&g, 0);
+        // Settles in distance order → same minimal update count.
+        assert_eq!(dl.stats.total_updates, dj.stats.total_updates);
+    }
+
+    #[test]
+    fn unit_weights_degenerate_to_bfs() {
+        let el = EdgeList::from_edges(5, (0..4).map(|i| (i, i + 1, 1)).collect());
+        let g = build_undirected(&el);
+        let r = dial(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disconnected() {
+        let el = EdgeList::from_edges(3, vec![(0, 1, 9)]);
+        let g = build_undirected(&el);
+        assert_eq!(dial(&g, 0).dist, vec![0, 9, INF]);
+    }
+}

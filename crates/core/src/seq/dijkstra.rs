@@ -1,0 +1,119 @@
+//! Dijkstra's algorithm with a binary heap — the correctness oracle.
+
+use crate::stats::{SsspResult, UpdateStats};
+use crate::{Csr, Dist, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest paths by Dijkstra's algorithm.
+///
+/// Runs in `O((n + m) log n)`; every reached vertex is settled exactly
+/// once, so `total_updates` is minimal — the paper's work-efficiency
+/// gold standard.
+pub fn dijkstra(graph: &Csr, source: VertexId) -> SsspResult {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    let mut stats = UpdateStats::default();
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in graph.edges(u) {
+            let nd = d + w;
+            stats.checks += 1;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                stats.total_updates += 1;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { source, dist, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+
+    /// The paper's Fig. 1 (a) graph: 8 vertices, 13 undirected edges.
+    pub(crate) fn fig1_graph() -> Csr {
+        let el = EdgeList::from_edges(
+            8,
+            vec![
+                (0, 1, 5),
+                (0, 2, 1),
+                (0, 3, 3),
+                (1, 3, 1),
+                (2, 3, 1),
+                (0, 5, 1),
+                (3, 5, 1),
+                (0, 7, 6),
+                (3, 7, 3),
+                (1, 4, 1),
+                (2, 6, 1),
+                (4, 6, 7),
+                (6, 7, 4),
+            ],
+        );
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn fig1_distances() {
+        let g = fig1_graph();
+        let r = dijkstra(&g, 0);
+        // Hand-checked shortest distances from vertex 0.
+        assert_eq!(r.dist[0], 0);
+        assert_eq!(r.dist[2], 1); // 0-2
+        assert_eq!(r.dist[3], 2); // 0-2-3
+        assert_eq!(r.dist[5], 1); // 0-5
+        assert_eq!(r.dist[1], 3); // 0-2-3-1
+        assert_eq!(r.dist[4], 4); // 0-2-3-1-4
+        assert_eq!(r.dist[6], 2); // 0-2-6
+        assert_eq!(r.dist[7], 5); // 0-2-3-7 = 2+3
+        assert_eq!(r.reached(), 8);
+    }
+
+    #[test]
+    fn disconnected_vertex_unreached() {
+        let el = EdgeList::from_edges(3, vec![(0, 1, 2)]);
+        let g = build_undirected(&el);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 2, INF]);
+        assert_eq!(r.reached(), 2);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Csr::empty(1);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let g = Csr::empty(1);
+        let _ = dijkstra(&g, 5);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let el = rdbs_graph::generate::erdos_renyi(64, 256, 3);
+        let mut el = el;
+        rdbs_graph::generate::uniform_weights(&mut el, 5);
+        let g = build_undirected(&el);
+        let r = dijkstra(&g, 0);
+        for (u, v, w) in g.all_edges() {
+            let (du, dv) = (r.dist[u as usize], r.dist[v as usize]);
+            if du != INF {
+                assert!(dv as u64 <= du as u64 + w as u64, "edge ({u},{v},{w})");
+            }
+        }
+    }
+}

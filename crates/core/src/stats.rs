@@ -1,0 +1,107 @@
+//! Work-efficiency accounting (paper §3.3, Fig. 3, Fig. 9).
+//!
+//! * a **check** is a relaxation attempt (Alg. 1 line 2);
+//! * an **update** is a successful improvement (the `atomicMin`
+//!   actually lowered `dist[v]`);
+//! * an update is **valid** if it wrote the vertex's *final* shortest
+//!   distance. Because improvements strictly decrease the distance,
+//!   exactly one update per reached vertex is valid — the last one —
+//!   so `valid_updates == reached vertices - 1` (the source is never
+//!   updated). The paper's Fig. 9 metric is `total / valid`.
+
+use crate::{Dist, VertexId, INF};
+
+/// Counters accumulated during one SSSP run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Relaxation attempts (checks).
+    pub checks: u64,
+    /// Successful improvements.
+    pub total_updates: u64,
+    /// Phase-1 scheduling layers/waves per bucket, in bucket order
+    /// (Fig. 3's iteration counts).
+    pub phase1_layers: Vec<u32>,
+    /// Active vertices handled per bucket (Fig. 2's occupancy).
+    pub bucket_active: Vec<u64>,
+    /// Per-layer active-vertex counts for the bucket with peak
+    /// occupancy (Fig. 3's series).
+    pub peak_bucket_layer_active: Vec<u64>,
+}
+
+impl UpdateStats {
+    /// Valid updates given the final distances: reached vertices
+    /// excluding the source.
+    pub fn valid_updates(dist: &[Dist]) -> u64 {
+        dist.iter().filter(|&&d| d != INF).count().saturating_sub(1) as u64
+    }
+
+    /// Fig. 9's work-efficiency ratio (`total updates / valid
+    /// updates`); `None` if nothing was reached.
+    pub fn work_ratio(&self, dist: &[Dist]) -> Option<f64> {
+        let valid = Self::valid_updates(dist);
+        if valid == 0 {
+            None
+        } else {
+            Some(self.total_updates as f64 / valid as f64)
+        }
+    }
+
+    /// Number of buckets processed.
+    pub fn buckets(&self) -> usize {
+        self.bucket_active.len()
+    }
+}
+
+/// The outcome of one SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Source vertex the search started from.
+    pub source: VertexId,
+    /// Final distances, indexed by vertex id **in the caller's
+    /// labelling** (implementations that reorder internally map back).
+    pub dist: Vec<Dist>,
+    /// Work-efficiency counters.
+    pub stats: UpdateStats,
+}
+
+impl SsspResult {
+    /// Vertices with a finite distance.
+    pub fn reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != INF).count()
+    }
+
+    /// Fig. 9 ratio for this run.
+    pub fn work_ratio(&self) -> Option<f64> {
+        self.stats.work_ratio(&self.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_updates_excludes_source_and_unreached() {
+        let dist = vec![0, 5, INF, 7];
+        assert_eq!(UpdateStats::valid_updates(&dist), 2);
+    }
+
+    #[test]
+    fn work_ratio() {
+        let stats = UpdateStats { total_updates: 6, ..Default::default() };
+        let dist = vec![0, 1, 2, INF];
+        assert_eq!(stats.work_ratio(&dist), Some(3.0));
+        let lonely = vec![0, INF];
+        assert_eq!(stats.work_ratio(&lonely), None);
+    }
+
+    #[test]
+    fn reached_counts_source() {
+        let r = SsspResult {
+            source: 0,
+            dist: vec![0, 3, INF],
+            stats: UpdateStats::default(),
+        };
+        assert_eq!(r.reached(), 2);
+    }
+}

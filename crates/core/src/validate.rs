@@ -1,0 +1,130 @@
+//! Oracle validation: compare any SSSP output against Dijkstra.
+
+use crate::seq::dijkstra;
+use crate::{Csr, Dist, VertexId, INF};
+
+/// The first disagreement between a result and the oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    pub vertex: VertexId,
+    pub expected: Dist,
+    pub actual: Dist,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vertex {}: expected {}, got {}",
+            self.vertex,
+            fmt_dist(self.expected),
+            fmt_dist(self.actual)
+        )
+    }
+}
+
+fn fmt_dist(d: Dist) -> String {
+    if d == INF {
+        "INF".into()
+    } else {
+        d.to_string()
+    }
+}
+
+/// Compare `dist` against a fresh Dijkstra run from `source`.
+pub fn check_against_dijkstra(graph: &Csr, source: VertexId, dist: &[Dist]) -> Result<(), Mismatch> {
+    let oracle = dijkstra(graph, source);
+    check_against(&oracle.dist, dist)
+}
+
+/// Compare two distance arrays directly.
+pub fn check_against(expected: &[Dist], actual: &[Dist]) -> Result<(), Mismatch> {
+    assert_eq!(expected.len(), actual.len(), "length mismatch");
+    for (v, (&e, &a)) in expected.iter().zip(actual).enumerate() {
+        if e != a {
+            return Err(Mismatch { vertex: v as VertexId, expected: e, actual: a });
+        }
+    }
+    Ok(())
+}
+
+/// Check internal consistency without an oracle: `dist[source] == 0`,
+/// every finite distance is realizable along some edge, and no edge is
+/// left relaxable. A correct SSSP output always satisfies this.
+pub fn check_relaxed(graph: &Csr, source: VertexId, dist: &[Dist]) -> Result<(), String> {
+    if dist[source as usize] != 0 {
+        return Err(format!("dist[source] = {}, expected 0", dist[source as usize]));
+    }
+    for (u, v, w) in graph.all_edges() {
+        let (du, dv) = (dist[u as usize], dist[v as usize]);
+        if du != INF && (dv == INF || dv as u64 > du as u64 + w as u64) {
+            return Err(format!(
+                "edge ({u} -> {v}, w {w}) still relaxable: dist[{u}]={}, dist[{v}]={}",
+                fmt_dist(du),
+                fmt_dist(dv)
+            ));
+        }
+    }
+    // Every reached non-source vertex must have a tight predecessor.
+    let mut tight = vec![false; dist.len()];
+    tight[source as usize] = true;
+    for (u, v, w) in graph.all_edges() {
+        if dist[u as usize] != INF
+            && dist[v as usize] != INF
+            && dist[u as usize] as u64 + w as u64 == dist[v as usize] as u64
+        {
+            tight[v as usize] = true;
+        }
+    }
+    for (v, (&d, &t)) in dist.iter().zip(&tight).enumerate() {
+        if d != INF && !t {
+            return Err(format!("vertex {v} at distance {d} has no tight predecessor"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+
+    fn line() -> Csr {
+        build_undirected(&EdgeList::from_edges(3, vec![(0, 1, 2), (1, 2, 3)]))
+    }
+
+    #[test]
+    fn accepts_correct_result() {
+        let g = line();
+        assert!(check_against_dijkstra(&g, 0, &[0, 2, 5]).is_ok());
+        assert!(check_relaxed(&g, 0, &[0, 2, 5]).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_distance() {
+        let g = line();
+        let err = check_against_dijkstra(&g, 0, &[0, 2, 6]).unwrap_err();
+        assert_eq!(err.vertex, 2);
+        assert_eq!(err.expected, 5);
+        assert!(check_relaxed(&g, 0, &[0, 2, 6]).is_err());
+    }
+
+    #[test]
+    fn relaxed_check_rejects_too_small() {
+        // 4 < true distance but no tight predecessor.
+        let g = line();
+        assert!(check_relaxed(&g, 0, &[0, 2, 4]).is_err());
+    }
+
+    #[test]
+    fn relaxed_check_rejects_unreached_reachable() {
+        let g = line();
+        assert!(check_relaxed(&g, 0, &[0, 2, INF]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Mismatch { vertex: 3, expected: INF, actual: 7 };
+        assert_eq!(m.to_string(), "vertex 3: expected INF, got 7");
+    }
+}

@@ -1,0 +1,251 @@
+//! Textbook graph algorithms expressed through the framework's
+//! advance/filter/compute operators.
+
+use crate::engine::{AdvanceOutcome, Engine};
+use rdbs_core::stats::{SsspResult, UpdateStats};
+use rdbs_core::{Csr, Dist, VertexId, INF};
+use rdbs_gpu_sim::DeviceConfig;
+use std::cell::Cell;
+
+/// Level-synchronous BFS; returns hop levels (`u32::MAX` unreached)
+/// and the engine (for timing/counter inspection).
+pub fn bfs(config: DeviceConfig, graph: &Csr, source: VertexId) -> (Vec<u32>, Engine) {
+    let mut e = Engine::new(config, graph);
+    let n = e.num_vertices();
+    let level = e.device().alloc("bfs_level", n as usize);
+    e.device().fill(level, u32::MAX);
+    e.device().write_word(level, source as usize, 0);
+    e.init_frontier(&[source]);
+    let mut depth = 0u32;
+    while e.frontier_len() > 0 {
+        depth += 1;
+        e.advance("bfs_advance", move |lane, _u, v, _w| {
+            // Claim unvisited destinations with CAS.
+            if lane.ld(level, v) == u32::MAX
+                && lane.atomic_cas(level, v, u32::MAX, depth) == u32::MAX
+            {
+                AdvanceOutcome::Activate
+            } else {
+                AdvanceOutcome::Skip
+            }
+        });
+    }
+    let out = e.device().read(level).to_vec();
+    (out, e)
+}
+
+/// The framework's SSSP: synchronous frontier relaxation via
+/// advance — Gunrock's data-centric formulation without any of the
+/// paper's specializations (no buckets, no light/heavy split, no
+/// workload classes, no asynchrony).
+pub fn sssp(config: DeviceConfig, graph: &Csr, source: VertexId) -> (SsspResult, Engine) {
+    let mut e = Engine::new(config, graph);
+    let gb = e.graph_buffers();
+    gb.init_source(e.device(), source);
+    e.init_frontier(&[source]);
+    let updates = Cell::new(0u64);
+    let checks = Cell::new(0u64);
+    let mut rounds = 0u32;
+    while e.frontier_len() > 0 {
+        rounds += 1;
+        let updates_ref = &updates;
+        let checks_ref = &checks;
+        e.advance("fw_sssp_relax", move |lane, u, v, w| {
+            let du = lane.ld_volatile(gb.dist, u);
+            lane.alu(1);
+            let nd = du.saturating_add(w);
+            checks_ref.set(checks_ref.get() + 1);
+            let dv = lane.ld(gb.dist, v);
+            if nd < dv {
+                let old = lane.atomic_min(gb.dist, v, nd);
+                if nd < old {
+                    updates_ref.set(updates_ref.get() + 1);
+                    return AdvanceOutcome::Activate;
+                }
+            }
+            AdvanceOutcome::Skip
+        });
+    }
+    let dist = gb.download_dist(e.device());
+    let stats = UpdateStats {
+        total_updates: updates.get(),
+        checks: checks.get(),
+        phase1_layers: vec![rounds],
+        ..Default::default()
+    };
+    (SsspResult { source, dist, stats }, e)
+}
+
+/// Connected components by label propagation: every vertex starts
+/// with its own id; labels relax to the minimum over neighbourhoods.
+/// Returns the component label per vertex.
+pub fn connected_components(config: DeviceConfig, graph: &Csr) -> (Vec<u32>, Engine) {
+    let mut e = Engine::new(config, graph);
+    let n = e.num_vertices();
+    let label = e.device().alloc("cc_label", n as usize);
+    for v in 0..n {
+        e.device().write_word(label, v as usize, v);
+    }
+    let all: Vec<VertexId> = (0..n).collect();
+    e.init_frontier(&all);
+    while e.frontier_len() > 0 {
+        e.advance("cc_propagate", move |lane, u, v, _w| {
+            let lu = lane.ld_volatile(label, u);
+            let lv = lane.ld(label, v);
+            lane.alu(1);
+            if lu < lv {
+                let old = lane.atomic_min(label, v, lu);
+                if lu < old {
+                    return AdvanceOutcome::Activate;
+                }
+            }
+            AdvanceOutcome::Skip
+        });
+    }
+    let out = e.device().read(label).to_vec();
+    (out, e)
+}
+
+/// Fixed-point scale for PageRank ranks (Q16.16).
+pub const PR_SCALE: u32 = 1 << 16;
+
+/// Push-based PageRank with damping 0.85 for `iters` iterations.
+/// Ranks are Q16.16 fixed point summing to ~`n * PR_SCALE`.
+pub fn pagerank(config: DeviceConfig, graph: &Csr, iters: u32) -> (Vec<u32>, Engine) {
+    let mut e = Engine::new(config, graph);
+    let n = e.num_vertices();
+    let gb = e.graph_buffers();
+    let rank = e.device().alloc("pr_rank", n as usize);
+    let acc = e.device().alloc("pr_acc", n as usize);
+    e.device().fill(rank, PR_SCALE);
+    // damping in fixed point.
+    let d_fp: u64 = (0.85 * PR_SCALE as f64) as u64;
+    let base_fp: u32 = ((1.0 - 0.85) * PR_SCALE as f64) as u32;
+    for _ in 0..iters {
+        e.device().fill(acc, 0);
+        // Push each vertex's rank share to its neighbours.
+        e.compute("pr_push", move |lane, v| {
+            let start = lane.ld(gb.row, v);
+            let end = lane.ld(gb.row, v + 1);
+            let deg = end - start;
+            if deg == 0 {
+                return;
+            }
+            let r = lane.ld(rank, v);
+            lane.alu(2);
+            let share = r / deg;
+            for e_idx in start..end {
+                let u = lane.ld(gb.adj, e_idx);
+                lane.atomic_add(acc, u, share);
+            }
+        });
+        // rank = (1 - d) + d * acc.
+        e.compute("pr_apply", move |lane, v| {
+            let a = lane.ld(acc, v);
+            lane.alu(2);
+            let r = base_fp + ((d_fp * a as u64) >> 16) as u32;
+            lane.st(rank, v, r);
+        });
+    }
+    let out = e.device().read(rank).to_vec();
+    (out, e)
+}
+
+/// Convenience: distances as `Dist` slice compare helper for tests.
+pub fn reached(dist: &[Dist]) -> usize {
+    dist.iter().filter(|&&d| d != INF).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_core::seq::dijkstra;
+    use rdbs_core::validate::check_against;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
+    use rdbs_graph::generate::{erdos_renyi, preferential_attachment, uniform_weights};
+    use rdbs_graph::stats;
+
+    fn graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(120, 600, seed);
+        uniform_weights(&mut el, seed + 21);
+        build_undirected(&el)
+    }
+
+    #[test]
+    fn bfs_matches_reference_levels() {
+        for seed in 0..3 {
+            let g = graph(seed);
+            let (levels, _) = bfs(DeviceConfig::test_tiny(), &g, 0);
+            assert_eq!(levels, stats::bfs_levels(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn framework_sssp_matches_dijkstra() {
+        for seed in 0..3 {
+            let g = graph(seed);
+            let oracle = dijkstra(&g, 0);
+            let (r, _) = sssp(DeviceConfig::test_tiny(), &g, 0);
+            check_against(&oracle.dist, &r.dist).unwrap_or_else(|m| panic!("seed {seed}: {m}"));
+        }
+    }
+
+    #[test]
+    fn cc_matches_reference_components() {
+        let el = EdgeList::from_edges(7, vec![(0, 1, 1), (1, 2, 1), (3, 4, 1), (5, 5, 1)]);
+        let g = build_undirected(&el);
+        let (labels, _) = connected_components(DeviceConfig::test_tiny(), &g);
+        let reference = stats::connected_components(&g);
+        // Same partition (labels may differ; compare co-membership).
+        for a in 0..7usize {
+            for b in 0..7usize {
+                assert_eq!(
+                    labels[a] == labels[b],
+                    reference.labels[a] == reference.labels[b],
+                    "vertices {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_favours_hubs_and_conserves_mass() {
+        let mut el = preferential_attachment(200, 3, 5);
+        uniform_weights(&mut el, 6);
+        let g = build_undirected(&el);
+        let (ranks, _) = pagerank(DeviceConfig::test_tiny(), &g, 15);
+        // The max-degree vertex must outrank the median vertex.
+        let hub = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(ranks[hub as usize] > 2 * median, "hub {} median {median}", ranks[hub as usize]);
+        // Mass roughly conserved (fixed-point truncation loses a bit).
+        let total: u64 = ranks.iter().map(|&r| r as u64).sum();
+        let expect = g.num_vertices() as u64 * PR_SCALE as u64;
+        assert!(total > expect / 2 && total < expect * 3 / 2, "total {total} vs {expect}");
+    }
+
+    #[test]
+    fn framework_sssp_is_less_efficient_than_dedicated_rdbs() {
+        // The paper's §1 claim about graph processing systems.
+        let mut el = preferential_attachment(500, 5, 9);
+        uniform_weights(&mut el, 10);
+        let g = build_undirected(&el);
+        let (fw, engine) = sssp(DeviceConfig::test_tiny(), &g, 0);
+        let dedicated = rdbs_core::gpu::run_gpu(
+            &g,
+            0,
+            rdbs_core::gpu::Variant::Rdbs(rdbs_core::gpu::RdbsConfig::full()),
+            DeviceConfig::test_tiny(),
+        );
+        assert_eq!(fw.dist, dedicated.result.dist);
+        assert!(
+            fw.stats.total_updates >= dedicated.result.stats.total_updates,
+            "framework should be no more work-efficient: fw {} vs rdbs {}",
+            fw.stats.total_updates,
+            dedicated.result.stats.total_updates
+        );
+        let _ = engine;
+    }
+}

@@ -1,0 +1,26 @@
+//! # A minimal data-centric graph processing framework
+//!
+//! The paper's §1/§6.2 position RDBS against *graph processing
+//! systems* — Gunrock, SEP-Graph, SIMD-X — noting that "compared with
+//! works dedicated to optimizing the SSSP algorithm, the performance
+//! of SSSP in graph processing systems is sub-optimal". This crate
+//! reproduces that comparator class: a small Gunrock-style framework
+//! on the shared GPU simulator built around frontiers and the
+//! **advance / filter / compute** operator trio, plus four textbook
+//! algorithms implemented *through the framework interface*:
+//!
+//! * [`algorithms::bfs`] — level-synchronous breadth-first search;
+//! * [`algorithms::sssp`] — the framework's SSSP (frontier relaxation
+//!   with advance+filter — the generality penalty the paper quantifies
+//!   against its dedicated implementation);
+//! * [`algorithms::connected_components`] — label propagation;
+//! * [`algorithms::pagerank`] — fixed-point push-based PageRank.
+//!
+//! The framework is intentionally generic: operators know nothing
+//! about light/heavy edges, buckets or workload classes — which is
+//! precisely why the dedicated RDBS kernels outrun it.
+
+pub mod algorithms;
+pub mod engine;
+
+pub use engine::{AdvanceOutcome, Engine};

@@ -1,0 +1,180 @@
+//! Device memory: a word-addressed buffer arena.
+//!
+//! Device memory is modelled as typed buffers of 32-bit words — every
+//! array the SSSP kernels touch (row offsets, adjacency, weights,
+//! distances, frontiers, queue cursors) is `u32`. Each buffer gets a
+//! disjoint byte-address range so the cache/coalescing models see a
+//! realistic flat address space.
+
+/// Handle to a device buffer. Cheap to copy; valid only for the
+/// [`crate::Device`] that allocated it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Buf {
+    pub(crate) id: u32,
+}
+
+pub(crate) struct Buffer {
+    pub label: &'static str,
+    pub base_addr: u64,
+    pub words: Vec<u32>,
+    /// Kernel-entry snapshot, created lazily on first write while the
+    /// arena is in snapshot mode (synchronous-kernel semantics).
+    pub shadow: Option<Vec<u32>>,
+}
+
+/// The allocation arena inside a device.
+///
+/// ## Synchronous-kernel snapshot semantics
+///
+/// Real GPUs give plain global loads no coherence guarantee within a
+/// kernel: a thread typically observes the values present at kernel
+/// launch, not a concurrent thread's in-flight store — only atomics
+/// are globally coherent. A trace simulator that executes threads
+/// sequentially would otherwise leak perfect forward visibility into
+/// *synchronous* kernels, granting them the fast convergence that only
+/// asynchronous execution (persistent kernels, §4.3 of the paper) has.
+///
+/// In snapshot mode ([`Arena::begin_snapshot`]): plain loads read the
+/// kernel-entry value of any buffer that has since been written;
+/// stores and atomics operate on (and return) live memory.
+pub(crate) struct Arena {
+    buffers: Vec<Buffer>,
+    next_addr: u64,
+    snapshot_mode: bool,
+}
+
+/// Buffers are aligned to this many bytes so distinct buffers never
+/// share a cache line.
+const ALIGN: u64 = 256;
+
+impl Arena {
+    pub fn new() -> Self {
+        // Start away from address zero, like a real virtual space.
+        Self { buffers: Vec::new(), next_addr: 0x1000, snapshot_mode: false }
+    }
+
+    pub fn alloc(&mut self, label: &'static str, len: usize) -> Buf {
+        let id = self.buffers.len() as u32;
+        let bytes = (len as u64) * 4;
+        let base = self.next_addr;
+        self.next_addr = (base + bytes).div_ceil(ALIGN) * ALIGN;
+        self.buffers.push(Buffer { label, base_addr: base, words: vec![0; len], shadow: None });
+        Buf { id }
+    }
+
+    /// Enter synchronous-kernel snapshot mode (see type docs).
+    pub fn begin_snapshot(&mut self) {
+        debug_assert!(!self.snapshot_mode, "nested snapshot");
+        self.snapshot_mode = true;
+    }
+
+    /// Leave snapshot mode and drop all shadows.
+    pub fn end_snapshot(&mut self) {
+        self.snapshot_mode = false;
+        for b in &mut self.buffers {
+            b.shadow = None;
+        }
+    }
+
+    #[inline]
+    fn ensure_shadow(&mut self, buf: Buf) {
+        if self.snapshot_mode {
+            let b = &mut self.buffers[buf.id as usize];
+            if b.shadow.is_none() {
+                b.shadow = Some(b.words.clone());
+            }
+        }
+    }
+
+    /// Value a plain (non-atomic) load observes: the kernel-entry
+    /// snapshot if this buffer was written during a snapshot-mode
+    /// kernel, the live value otherwise.
+    #[inline]
+    pub fn load_visible(&self, buf: Buf, idx: u32) -> u32 {
+        let b = &self.buffers[buf.id as usize];
+        match (&b.shadow, self.snapshot_mode) {
+            (Some(shadow), true) => shadow[idx as usize],
+            _ => b.words[idx as usize],
+        }
+    }
+
+    #[inline]
+    pub fn slice(&self, buf: Buf) -> &[u32] {
+        &self.buffers[buf.id as usize].words
+    }
+
+    #[inline]
+    pub fn slice_mut(&mut self, buf: Buf) -> &mut [u32] {
+        &mut self.buffers[buf.id as usize].words
+    }
+
+    /// Byte address of `buf[idx]`.
+    #[inline]
+    pub fn addr(&self, buf: Buf, idx: u32) -> u64 {
+        let b = &self.buffers[buf.id as usize];
+        debug_assert!(
+            (idx as usize) < b.words.len(),
+            "index {idx} out of bounds for buffer '{}' (len {})",
+            b.label,
+            b.words.len()
+        );
+        b.base_addr + (idx as u64) * 4
+    }
+
+    #[inline]
+    pub fn load(&self, buf: Buf, idx: u32) -> u32 {
+        self.buffers[buf.id as usize].words[idx as usize]
+    }
+
+    #[inline]
+    pub fn store(&mut self, buf: Buf, idx: u32, val: u32) {
+        self.ensure_shadow(buf);
+        self.buffers[buf.id as usize].words[idx as usize] = val;
+    }
+
+    pub fn label(&self, buf: Buf) -> &'static str {
+        self.buffers[buf.id as usize].label
+    }
+
+    /// Total allocated words (for memory accounting).
+    pub fn total_words(&self) -> usize {
+        self.buffers.iter().map(|b| b.words.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_aligned_addresses() {
+        let mut a = Arena::new();
+        let x = a.alloc("x", 3);
+        let y = a.alloc("y", 100);
+        let xa = a.addr(x, 0);
+        let ya = a.addr(y, 0);
+        assert_eq!(xa % ALIGN, 0x1000 % ALIGN);
+        assert!(ya >= xa + 12);
+        assert_eq!(ya % ALIGN, 0);
+        assert_eq!(a.addr(y, 5), ya + 20);
+    }
+
+    #[test]
+    fn load_store() {
+        let mut a = Arena::new();
+        let x = a.alloc("x", 4);
+        a.store(x, 2, 42);
+        assert_eq!(a.load(x, 2), 42);
+        assert_eq!(a.load(x, 0), 0);
+        assert_eq!(a.label(x), "x");
+        assert_eq!(a.total_words(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_load_panics() {
+        let mut a = Arena::new();
+        let x = a.alloc("x", 2);
+        let _ = a.load(x, 5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Set-associative cache model: per-SM L1s over a shared L2.
+//!
+//! Transactions produced by the coalescer probe the issuing SM's L1;
+//! misses probe L2; L2 misses count as DRAM traffic. True-LRU
+//! replacement. This is deliberately simple — the paper's
+//! `global_hit_rate` comparisons are about *locality differences*
+//! between reordered and raw graphs, which any reasonable LRU cache
+//! exposes.
+
+use crate::device::DeviceConfig;
+
+/// Where a transaction was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheLevel {
+    L1,
+    L2,
+    Dram,
+}
+
+/// One set-associative cache.
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // per set: line tags, most-recent last
+    ways: usize,
+    line_bytes: u64,
+    num_sets: u64,
+    pub accesses: u64,
+    pub hits: u64,
+}
+
+impl Cache {
+    /// Build a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines. Sizes are rounded down to a whole number of
+    /// sets (at least one).
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        let lines = (size_bytes / line_bytes).max(1);
+        let num_sets = (lines / ways as u64).max(1);
+        Self {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets as usize],
+            ways: ways as usize,
+            line_bytes,
+            num_sets,
+            accesses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Probe the cache with a byte address; inserts on miss. Returns
+    /// whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let line = addr / self.line_bytes;
+        let set = (line % self.num_sets) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = ways.remove(pos);
+            ways.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.ways {
+                ways.remove(0); // evict LRU
+            }
+            ways.push(line);
+            false
+        }
+    }
+
+    /// Hit rate so far (0 if never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Per-SM L1s plus one shared L2.
+pub struct CacheHierarchy {
+    pub l1: Vec<Cache>,
+    pub l2: Cache,
+}
+
+impl CacheHierarchy {
+    pub fn new(config: &DeviceConfig) -> Self {
+        let l1 = (0..config.num_sms)
+            .map(|_| Cache::new(config.l1_bytes, config.ways, config.line_bytes))
+            .collect();
+        let l2 = Cache::new(config.l2_bytes, config.ways, config.line_bytes);
+        Self { l1, l2 }
+    }
+
+    /// Route one transaction issued by `sm`; returns the serving level.
+    pub fn access(&mut self, sm: usize, addr: u64) -> CacheLevel {
+        if self.l1[sm].access(addr) {
+            CacheLevel::L1
+        } else if self.l2.access(addr) {
+            CacheLevel::L2
+        } else {
+            CacheLevel::Dram
+        }
+    }
+
+    /// Aggregate L1 hit rate across SMs (nvprof's `global_hit_rate`).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let (hits, accesses) = self
+            .l1
+            .iter()
+            .fold((0u64, 0u64), |(h, a), c| (h + c.hits, a + c.accesses));
+        if accesses == 0 {
+            0.0
+        } else {
+            hits as f64 / accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = Cache::new(1024, 2, 128);
+        assert!(!c.access(0));
+        assert!(c.access(4)); // same line
+        assert!(c.access(64));
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 2 ways, 1 set of 128-byte lines → only 2 lines fit.
+        let mut c = Cache::new(256, 2, 128);
+        assert_eq!(c.num_sets, 1);
+        c.access(0); // line 0
+        c.access(128); // line 1
+        assert!(c.access(0)); // hit, 0 becomes MRU
+        c.access(256); // line 2 evicts line 1 (LRU)
+        assert!(c.access(0), "line 0 must have been kept");
+        assert!(!c.access(128), "line 1 must have been evicted");
+    }
+
+    #[test]
+    fn hierarchy_levels() {
+        let cfg = DeviceConfig::test_tiny();
+        let mut h = CacheHierarchy::new(&cfg);
+        assert_eq!(h.access(0, 0), CacheLevel::Dram);
+        assert_eq!(h.access(0, 0), CacheLevel::L1);
+        // A different SM misses its own L1 but hits shared L2.
+        assert_eq!(h.access(1, 0), CacheLevel::L2);
+        assert!(h.l1_hit_rate() > 0.0 && h.l1_hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        let c = Cache::new(1024, 2, 128);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+}

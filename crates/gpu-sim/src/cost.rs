@@ -1,0 +1,81 @@
+//! Roofline-style kernel timing.
+//!
+//! A kernel's duration is the larger of
+//!
+//! * **compute time** — the busiest SM's accumulated warp cycles,
+//!   divided by the SM issue width (which stands in for multiple warp
+//!   schedulers and latency hiding), over the core clock; and
+//! * **memory time** — DRAM bytes moved over device bandwidth,
+//!
+//! plus a fixed launch overhead when the launch is host-side. This
+//! reproduces the first-order behaviour the paper leans on: big
+//! regular kernels are bandwidth-bound (V100/T4 ≈ bandwidth ratio,
+//! Fig. 12), small ragged kernels are launch/occupancy-bound (why
+//! synchronous iteration with its per-layer launches loses, §4.3).
+
+use crate::device::DeviceConfig;
+
+/// Compute and memory components of one kernel, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelTime {
+    pub compute_ns: f64,
+    pub memory_ns: f64,
+}
+
+impl KernelTime {
+    /// The charged duration: overlap compute and memory (take the max).
+    pub fn busy_ns(&self) -> f64 {
+        self.compute_ns.max(self.memory_ns)
+    }
+}
+
+/// Convert a kernel's raw usage into time.
+///
+/// * `max_sm_cycles` — the busiest SM's accumulated warp cycles;
+/// * `dram_bytes` — bytes that reached DRAM during the kernel.
+pub fn kernel_time(config: &DeviceConfig, max_sm_cycles: u64, dram_bytes: u64) -> KernelTime {
+    let effective_cycles = max_sm_cycles as f64 / config.issue_width as f64;
+    // clock_ghz is cycles per nanosecond.
+    let compute_ns = effective_cycles / config.clock_ghz;
+    // bandwidth GB/s == bytes per nanosecond.
+    let memory_ns = dram_bytes as f64 / config.mem_bandwidth_gbps;
+    KernelTime { compute_ns, memory_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_kernel() {
+        let cfg = DeviceConfig::test_tiny(); // 1 GHz, issue 1, 64 GB/s
+        let t = kernel_time(&cfg, 1000, 64);
+        assert!((t.compute_ns - 1000.0).abs() < 1e-9);
+        assert!((t.memory_ns - 1.0).abs() < 1e-9);
+        assert_eq!(t.busy_ns(), 1000.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let cfg = DeviceConfig::test_tiny();
+        let t = kernel_time(&cfg, 10, 64_000);
+        assert!((t.memory_ns - 1000.0).abs() < 1e-9);
+        assert_eq!(t.busy_ns(), 1000.0);
+    }
+
+    #[test]
+    fn issue_width_scales_compute() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.issue_width = 4;
+        let t = kernel_time(&cfg, 1000, 0);
+        assert!((t.compute_ns - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v100_beats_t4_on_bandwidth_bound() {
+        let v = kernel_time(&DeviceConfig::v100(), 0, 1_000_000);
+        let t = kernel_time(&DeviceConfig::t4(), 0, 1_000_000);
+        let ratio = t.busy_ns() / v.busy_ns();
+        assert!(ratio > 2.0 && ratio < 3.5, "ratio {ratio}");
+    }
+}

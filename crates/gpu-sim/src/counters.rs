@@ -1,0 +1,173 @@
+//! nvprof-style performance counters.
+//!
+//! Field names follow the metrics the paper profiles in Fig. 10:
+//! `inst_executed_global_loads`, `inst_executed_global_stores`,
+//! `inst_executed_atomics` and `global_hit_rate`, plus the transaction
+//! and cycle counters the cost model needs.
+
+/// Aggregate device counters. All counts are warp-level unless noted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    /// Warp-level instructions executed, all kinds.
+    pub inst_executed: u64,
+    /// Warp-level global load instructions (Fig. 10 (a)).
+    pub inst_executed_global_loads: u64,
+    /// Warp-level global store instructions (Fig. 10 (b)).
+    pub inst_executed_global_stores: u64,
+    /// Warp-level atomic instructions (Fig. 10 (c)).
+    pub inst_executed_atomics: u64,
+    /// Memory transactions from global load instructions.
+    pub gld_transactions: u64,
+    /// Memory transactions from global store instructions.
+    pub gst_transactions: u64,
+    /// Transactions from atomics.
+    pub atom_transactions: u64,
+    /// L1 accesses / hits (for `global_hit_rate`, Fig. 10 (d)).
+    pub l1_accesses: u64,
+    pub l1_hits: u64,
+    /// L2 accesses / hits.
+    pub l2_accesses: u64,
+    pub l2_hits: u64,
+    /// Transactions served by DRAM.
+    pub dram_transactions: u64,
+    /// Extra same-address atomic conflicts (serialized lanes).
+    pub atomic_conflicts: u64,
+    /// Host kernel launches.
+    pub kernel_launches: u64,
+    /// Dynamic-parallelism child kernel launches.
+    pub child_kernel_launches: u64,
+    /// Grid-wide barriers.
+    pub barriers: u64,
+    /// Sum of active lanes over all warp instructions (for warp
+    /// execution efficiency).
+    pub active_lane_sum: u64,
+    /// `32 *` warp instructions (lane slots).
+    pub lane_slot_sum: u64,
+    /// Total threads executed.
+    pub threads: u64,
+    /// Total warps executed.
+    pub warps: u64,
+}
+
+impl Counters {
+    /// nvprof `global_hit_rate`: L1 hit fraction of global accesses,
+    /// in percent.
+    pub fn global_hit_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.l1_hits as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// Warp execution efficiency: mean fraction of active lanes per
+    /// warp instruction, in percent (100 = divergence-free).
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        if self.lane_slot_sum == 0 {
+            0.0
+        } else {
+            100.0 * self.active_lane_sum as f64 / self.lane_slot_sum as f64
+        }
+    }
+
+    /// Total DRAM bytes moved (32-byte sectors).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_transactions * crate::SECTOR_BYTES
+    }
+
+    /// Total memory transactions of any kind.
+    pub fn total_transactions(&self) -> u64 {
+        self.gld_transactions + self.gst_transactions + self.atom_transactions
+    }
+
+    /// nvprof-style named metric list, as the paper's Fig. 10 reports
+    /// them. Useful for CSV export and external plotting.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("inst_executed", self.inst_executed as f64),
+            ("inst_executed_global_loads", self.inst_executed_global_loads as f64),
+            ("inst_executed_global_stores", self.inst_executed_global_stores as f64),
+            ("inst_executed_atomics", self.inst_executed_atomics as f64),
+            ("gld_transactions", self.gld_transactions as f64),
+            ("gst_transactions", self.gst_transactions as f64),
+            ("atom_transactions", self.atom_transactions as f64),
+            ("global_hit_rate", self.global_hit_rate()),
+            ("warp_execution_efficiency", self.warp_execution_efficiency()),
+            ("dram_bytes", self.dram_bytes() as f64),
+            ("atomic_conflicts", self.atomic_conflicts as f64),
+            ("kernel_launches", self.kernel_launches as f64),
+            ("child_kernel_launches", self.child_kernel_launches as f64),
+            ("barriers", self.barriers as f64),
+        ]
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.inst_executed += other.inst_executed;
+        self.inst_executed_global_loads += other.inst_executed_global_loads;
+        self.inst_executed_global_stores += other.inst_executed_global_stores;
+        self.inst_executed_atomics += other.inst_executed_atomics;
+        self.gld_transactions += other.gld_transactions;
+        self.gst_transactions += other.gst_transactions;
+        self.atom_transactions += other.atom_transactions;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.dram_transactions += other.dram_transactions;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.kernel_launches += other.kernel_launches;
+        self.child_kernel_launches += other.child_kernel_launches;
+        self.barriers += other.barriers;
+        self.active_lane_sum += other.active_lane_sum;
+        self.lane_slot_sum += other.lane_slot_sum;
+        self.threads += other.threads;
+        self.warps += other.warps;
+    }
+}
+
+/// Timing/counter summary of one kernel launch.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Kernel label.
+    pub name: &'static str,
+    /// Threads launched (parent + gang lanes).
+    pub threads: u64,
+    /// Warp instructions executed.
+    pub warp_instructions: u64,
+    /// Compute-side time, nanoseconds.
+    pub compute_ns: f64,
+    /// Memory-side time, nanoseconds.
+    pub memory_ns: f64,
+    /// Wall time charged (max of the two + overheads), nanoseconds.
+    pub total_ns: f64,
+    /// Whether this was a dynamic-parallelism child.
+    pub child: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut c = Counters::default();
+        assert_eq!(c.global_hit_rate(), 0.0);
+        assert_eq!(c.warp_execution_efficiency(), 0.0);
+        c.l1_accesses = 10;
+        c.l1_hits = 4;
+        assert!((c.global_hit_rate() - 40.0).abs() < 1e-9);
+        c.active_lane_sum = 16;
+        c.lane_slot_sum = 32;
+        assert!((c.warp_execution_efficiency() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Counters { inst_executed: 2, dram_transactions: 3, ..Default::default() };
+        let b = Counters { inst_executed: 5, dram_transactions: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.inst_executed, 7);
+        assert_eq!(a.dram_bytes(), 10 * crate::SECTOR_BYTES);
+    }
+}

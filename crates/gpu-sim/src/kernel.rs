@@ -1,0 +1,498 @@
+//! Kernel launch API: lanes, gangs, dynamic parallelism, wave sessions.
+//!
+//! * [`Device::launch`] — a host-side kernel: `threads` lanes, each
+//!   running `body`; consecutive lanes share warps, so lane `tid` maps
+//!   to CUDA's global thread id.
+//! * [`Device::launch_gangs`] — cooperative mapping: each *item* is
+//!   processed by `gang_size` lanes in consecutive positions (gang of
+//!   32 = the paper's Warp-granularity processing, 256 = Block
+//!   granularity, §4.2).
+//! * [`Lane::launch_child`] — dynamic parallelism: enqueue a child
+//!   kernel that runs after the current wave at device-launch cost.
+//! * [`Device::wave_session`] — a persistent kernel: pay one launch,
+//!   then run arbitrarily many task waves (the asynchronous phase-1
+//!   engine of §4.3 builds on this).
+
+use crate::buffer::{Arena, Buf};
+use crate::cost::kernel_time;
+use crate::counters::KernelReport;
+use crate::device::Device;
+use crate::replay::replay_warp;
+use crate::trace::{LaneTrace, Op};
+use crate::{SECTOR_BYTES, WARP_SIZE};
+
+/// A queued dynamic-parallelism child kernel.
+pub struct ChildLaunch {
+    pub(crate) name: &'static str,
+    pub(crate) threads: u64,
+    pub(crate) gang_size: u32,
+    pub(crate) body: Box<dyn Fn(&mut Lane<'_>)>,
+}
+
+/// Handle a kernel body uses to touch device state. Every method
+/// records the instructions a real GPU thread would execute.
+pub struct Lane<'a> {
+    arena: &'a mut Arena,
+    children: &'a mut Vec<ChildLaunch>,
+    traffic: &'a mut Vec<[u64; 3]>,
+    trace: LaneTrace,
+    tid: u64,
+    gang_rank: u32,
+    gang_size: u32,
+}
+
+impl<'a> Lane<'a> {
+    /// Item/thread id: for [`Device::launch`] the global thread id;
+    /// for gang launches the *item index*.
+    #[inline]
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// This lane's position within its gang (0 for plain launches).
+    #[inline]
+    pub fn gang_rank(&self) -> u32 {
+        self.gang_rank
+    }
+
+    /// Lanes cooperating on this item (1 for plain launches).
+    #[inline]
+    pub fn gang_size(&self) -> u32 {
+        self.gang_size
+    }
+
+    /// Global load of one word. Inside a synchronous kernel this
+    /// observes the kernel-entry snapshot of any buffer written since
+    /// launch (plain global loads have no intra-kernel coherence on
+    /// real GPUs); atomics always observe live memory.
+    #[inline]
+    pub fn ld(&mut self, buf: Buf, idx: u32) -> u32 {
+        self.trace.push(Op::Load(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][0] += 1;
+        self.arena.load_visible(buf, idx)
+    }
+
+    /// Volatile/L2-coherent load: observes live memory even inside a
+    /// synchronous kernel (CUDA's `volatile`/`ld.cg`). Frontier codes
+    /// need it for the pop-side distance read, which races with the
+    /// improver's `atomicMin` + pending-flag handshake — a plain load
+    /// there loses updates.
+    #[inline]
+    pub fn ld_volatile(&mut self, buf: Buf, idx: u32) -> u32 {
+        self.trace.push(Op::Load(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][0] += 1;
+        self.arena.load(buf, idx)
+    }
+
+    /// Global store of one word.
+    #[inline]
+    pub fn st(&mut self, buf: Buf, idx: u32, val: u32) {
+        self.trace.push(Op::Store(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][1] += 1;
+        self.arena.store(buf, idx, val);
+    }
+
+    /// `atomicMin`: returns the previous value (Alg. 1's relaxation
+    /// update).
+    #[inline]
+    pub fn atomic_min(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
+        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][2] += 1;
+        let old = self.arena.load(buf, idx);
+        if val < old {
+            self.arena.store(buf, idx, val);
+        }
+        old
+    }
+
+    /// `atomicAdd`: returns the previous value (queue-tail bumps).
+    #[inline]
+    pub fn atomic_add(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
+        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][2] += 1;
+        let old = self.arena.load(buf, idx);
+        self.arena.store(buf, idx, old.wrapping_add(val));
+        old
+    }
+
+    /// `atomicCAS`: returns the previous value.
+    #[inline]
+    pub fn atomic_cas(&mut self, buf: Buf, idx: u32, expected: u32, val: u32) -> u32 {
+        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][2] += 1;
+        let old = self.arena.load(buf, idx);
+        if old == expected {
+            self.arena.store(buf, idx, val);
+        }
+        old
+    }
+
+    /// `atomicExch`: returns the previous value.
+    #[inline]
+    pub fn atomic_exch(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
+        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        self.traffic[buf.id as usize][2] += 1;
+        let old = self.arena.load(buf, idx);
+        self.arena.store(buf, idx, val);
+        old
+    }
+
+    /// Record `n` arithmetic/control instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u32) {
+        if n > 0 {
+            self.trace.push(Op::Alu(n));
+        }
+    }
+
+    /// Dynamic parallelism: queue a child kernel of `threads` lanes
+    /// (gang size 1). Runs after the current wave, charged the
+    /// device-side launch overhead.
+    pub fn launch_child(
+        &mut self,
+        name: &'static str,
+        threads: u64,
+        body: impl Fn(&mut Lane<'_>) + 'static,
+    ) {
+        // The launch itself costs a few instructions on the parent.
+        self.alu(4);
+        self.children.push(ChildLaunch { name, threads, gang_size: 1, body: Box::new(body) });
+    }
+
+    /// Dynamic parallelism with cooperative gangs.
+    pub fn launch_child_gangs(
+        &mut self,
+        name: &'static str,
+        items: u64,
+        gang_size: u32,
+        body: impl Fn(&mut Lane<'_>) + 'static,
+    ) {
+        self.alu(4);
+        self.children.push(ChildLaunch {
+            name,
+            threads: items * gang_size as u64,
+            gang_size,
+            body: Box::new(body),
+        });
+    }
+}
+
+impl Device {
+    /// Launch a kernel of `threads` lanes. `body` receives each lane;
+    /// memory effects are immediate; timing/counters follow the SIMT
+    /// replay model. Queued children run afterwards.
+    pub fn launch(&mut self, name: &'static str, threads: u64, body: impl Fn(&mut Lane<'_>)) {
+        self.execute(name, threads, 1, false, true, true, &body);
+        self.drain_children(true);
+    }
+
+    /// Launch with cooperative gangs: `items * gang_size` lanes;
+    /// `lane.tid()` is the item index, `lane.gang_rank()` the position.
+    pub fn launch_gangs(
+        &mut self,
+        name: &'static str,
+        items: u64,
+        gang_size: u32,
+        body: impl Fn(&mut Lane<'_>),
+    ) {
+        assert!(gang_size >= 1 && gang_size <= self.config.max_block);
+        self.execute(name, items * gang_size as u64, gang_size, false, true, true, &body);
+        self.drain_children(true);
+    }
+
+    /// Begin a persistent-kernel session: one launch overhead now,
+    /// then any number of free-of-launch task waves.
+    pub fn wave_session(&mut self, name: &'static str) -> WaveSession<'_> {
+        self.charge_kernel_launch();
+        WaveSession { device: self, name, waves: 0 }
+    }
+
+    /// Charge one host-side kernel-launch overhead without running
+    /// anything (used by persistent-kernel structures that manage
+    /// their own waves).
+    pub fn charge_kernel_launch(&mut self) {
+        self.counters.kernel_launches += 1;
+        self.elapsed_ns += self.config.kernel_launch_us * 1e3;
+    }
+
+    /// Run a task wave with **no** launch overhead: the execution model
+    /// of work dispatched inside an already-running persistent kernel.
+    /// Children queued by the wave run before this returns.
+    pub fn wave(&mut self, name: &'static str, items: u64, gang_size: u32, body: impl Fn(&mut Lane<'_>)) {
+        self.execute(name, items * gang_size as u64, gang_size, false, false, false, &body);
+        self.drain_children(false);
+    }
+
+    pub(crate) fn drain_children(&mut self, snapshot: bool) {
+        // Children may enqueue grandchildren; loop until quiescent.
+        // Each child is its own kernel: it inherits the parent's
+        // coherence mode but snapshots at its own start.
+        while !self.pending_children.is_empty() {
+            let batch = std::mem::take(&mut self.pending_children);
+            for child in batch {
+                self.execute(
+                    child.name,
+                    child.threads,
+                    child.gang_size,
+                    true,
+                    false,
+                    snapshot,
+                    &*child.body,
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        name: &'static str,
+        lanes: u64,
+        gang_size: u32,
+        child: bool,
+        charge_launch: bool,
+        snapshot: bool,
+        body: &dyn Fn(&mut Lane<'_>),
+    ) {
+        if charge_launch {
+            self.counters.kernel_launches += 1;
+            self.elapsed_ns += self.config.kernel_launch_us * 1e3;
+        }
+        if child {
+            self.counters.child_kernel_launches += 1;
+            self.elapsed_ns += self.config.child_launch_us * 1e3;
+        }
+        if lanes == 0 {
+            return;
+        }
+        if snapshot {
+            self.arena.begin_snapshot();
+        }
+        let dram_before = self.counters.dram_transactions;
+        let inst_before = self.counters.inst_executed;
+        let num_sms = self.config.num_sms as usize;
+        let mut sm_cycles = vec![0u64; num_sms];
+        let warps = lanes.div_ceil(WARP_SIZE as u64);
+        let mut traces: Vec<LaneTrace> = Vec::with_capacity(WARP_SIZE as usize);
+        for w in 0..warps {
+            traces.clear();
+            let base = w * WARP_SIZE as u64;
+            let end = (base + WARP_SIZE as u64).min(lanes);
+            for lane_idx in base..end {
+                let mut lane = Lane {
+                    arena: &mut self.arena,
+                    children: &mut self.pending_children,
+                    traffic: &mut self.buffer_traffic,
+                    trace: LaneTrace::default(),
+                    tid: lane_idx / gang_size as u64,
+                    gang_rank: (lane_idx % gang_size as u64) as u32,
+                    gang_size,
+                };
+                body(&mut lane);
+                traces.push(lane.trace);
+            }
+            let sm = (w % num_sms as u64) as usize;
+            let out = replay_warp(&self.config, &mut self.caches, &mut self.counters, sm, &traces);
+            sm_cycles[sm] += out.cycles;
+        }
+        if snapshot {
+            self.arena.end_snapshot();
+        }
+        let dram_bytes = (self.counters.dram_transactions - dram_before) * SECTOR_BYTES;
+        let max_cycles = sm_cycles.iter().copied().max().unwrap_or(0);
+        let time = kernel_time(&self.config, max_cycles, dram_bytes);
+        self.elapsed_ns += time.busy_ns();
+        self.reports.push(KernelReport {
+            name,
+            threads: lanes,
+            warp_instructions: self.counters.inst_executed - inst_before,
+            compute_ns: time.compute_ns,
+            memory_ns: time.memory_ns,
+            total_ns: time.busy_ns(),
+            child,
+        });
+    }
+}
+
+/// A persistent-kernel session (see [`Device::wave_session`]).
+pub struct WaveSession<'d> {
+    device: &'d mut Device,
+    name: &'static str,
+    waves: u64,
+}
+
+impl<'d> WaveSession<'d> {
+    /// Run one task wave: `items * gang_size` lanes, no launch
+    /// overhead. Children queued by the wave run before this returns.
+    pub fn wave(&mut self, items: u64, gang_size: u32, body: impl Fn(&mut Lane<'_>)) {
+        self.waves += 1;
+        self.device.execute(self.name, items * gang_size as u64, gang_size, false, false, false, &body);
+        self.device.drain_children(false);
+    }
+
+    /// Number of waves run so far.
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Access the underlying device (e.g. to read queue cursors
+    /// between waves — manager-thread behaviour).
+    pub fn device(&mut self) -> &mut Device {
+        self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn tiny() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn vector_add() {
+        let mut d = tiny();
+        let a = d.alloc_upload("a", &[1, 2, 3, 4]);
+        let b = d.alloc_upload("b", &[10, 20, 30, 40]);
+        let c = d.alloc("c", 4);
+        d.launch("add", 4, |lane| {
+            let i = lane.tid() as u32;
+            let x = lane.ld(a, i);
+            let y = lane.ld(b, i);
+            lane.alu(1);
+            lane.st(c, i, x + y);
+        });
+        assert_eq!(d.read(c), &[11, 22, 33, 44]);
+        let ctr = d.counters();
+        assert_eq!(ctr.kernel_launches, 1);
+        assert_eq!(ctr.inst_executed_global_loads, 2);
+        assert_eq!(ctr.inst_executed_global_stores, 1);
+        assert!(d.elapsed_ms() > 0.0);
+    }
+
+    #[test]
+    fn atomics_behave() {
+        let mut d = tiny();
+        let x = d.alloc_upload("x", &[100, 0]);
+        d.launch("atomics", 8, |lane| {
+            lane.atomic_min(x, 0, 90 + lane.tid() as u32);
+            lane.atomic_add(x, 1, 1);
+        });
+        assert_eq!(d.read_word(x, 0), 90);
+        assert_eq!(d.read_word(x, 1), 8);
+        assert!(d.counters().atomic_conflicts > 0);
+    }
+
+    #[test]
+    fn cas_and_exch() {
+        let mut d = tiny();
+        let x = d.alloc_upload("x", &[5, 7]);
+        d.launch("cas", 1, |lane| {
+            assert_eq!(lane.atomic_cas(x, 0, 5, 9), 5);
+            assert_eq!(lane.atomic_cas(x, 0, 5, 11), 9);
+            assert_eq!(lane.atomic_exch(x, 1, 42), 7);
+        });
+        assert_eq!(d.read(x), &[9, 42]);
+    }
+
+    #[test]
+    fn gang_mapping() {
+        let mut d = tiny();
+        let out = d.alloc("out", 8);
+        // 2 items, gang of 4: lane.tid() is the item, rank 0..4.
+        d.launch_gangs("gang", 2, 4, |lane| {
+            let slot = (lane.tid() * 4 + lane.gang_rank() as u64) as u32;
+            assert_eq!(lane.gang_size(), 4);
+            lane.st(out, slot, lane.tid() as u32 * 100 + lane.gang_rank());
+        });
+        assert_eq!(d.read(out), &[0, 1, 2, 3, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn child_kernels_run_and_charge() {
+        let mut d = tiny();
+        let out = d.alloc("out", 64);
+        d.launch("parent", 1, move |lane| {
+            lane.launch_child("child", 64, move |cl| {
+                let i = cl.tid() as u32;
+                cl.st(out, i, i + 1);
+            });
+        });
+        assert_eq!(d.read_word(out, 63), 64);
+        assert_eq!(d.counters().child_kernel_launches, 1);
+        assert_eq!(d.counters().kernel_launches, 1);
+        // Reports: parent + child.
+        assert_eq!(d.reports().len(), 2);
+        assert!(d.reports()[1].child);
+    }
+
+    #[test]
+    fn grandchildren_drain() {
+        let mut d = tiny();
+        let out = d.alloc("out", 1);
+        d.launch("p", 1, move |lane| {
+            lane.launch_child("c", 1, move |cl| {
+                cl.launch_child("g", 1, move |gl| {
+                    gl.atomic_add(out, 0, 1);
+                });
+            });
+        });
+        assert_eq!(d.read_word(out, 0), 1);
+        assert_eq!(d.counters().child_kernel_launches, 2);
+    }
+
+    #[test]
+    fn wave_session_single_launch() {
+        let mut d = tiny();
+        let x = d.alloc("x", 1);
+        let mut s = d.wave_session("async");
+        for _ in 0..10 {
+            s.wave(4, 1, |lane| {
+                lane.atomic_add(x, 0, 1);
+            });
+        }
+        assert_eq!(s.waves(), 10);
+        drop(s);
+        assert_eq!(d.read_word(x, 0), 40);
+        assert_eq!(d.counters().kernel_launches, 1, "one launch for all waves");
+    }
+
+    #[test]
+    fn deterministic_counters() {
+        let run = || {
+            let mut d = tiny();
+            let a = d.alloc("a", 256);
+            d.launch("k", 256, |lane| {
+                let i = lane.tid() as u32;
+                let v = lane.ld(a, (i * 7) % 256);
+                lane.st(a, i, v + 1);
+            });
+            (d.counters().clone(), d.elapsed_ms())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_thread_launch_is_safe() {
+        let mut d = tiny();
+        d.launch("empty", 0, |_| panic!("body must not run"));
+        assert_eq!(d.counters().kernel_launches, 1);
+        assert_eq!(d.reports().len(), 0);
+    }
+
+    #[test]
+    fn warps_spread_over_sms() {
+        let mut d = tiny();
+        let a = d.alloc("a", 64);
+        d.launch("k", 64, |lane| {
+            let i = lane.tid() as u32;
+            lane.st(a, i, i);
+        });
+        // 2 warps on 2 SMs; per-SM accumulation means time is that of
+        // one warp, not two. Just sanity-check counters here.
+        assert_eq!(d.counters().warps, 2);
+        assert_eq!(d.counters().threads, 64);
+    }
+}

@@ -1,0 +1,266 @@
+//! Warp-lockstep trace replay: divergence, coalescing, caches, atomics.
+//!
+//! After a warp's lanes run functionally, [`replay_warp`] walks the 32
+//! traces step by step:
+//!
+//! * at step `s`, every lane whose trace is at least `s + 1` long is
+//!   *active*; active lanes are grouped by [`OpKind`] — each group is
+//!   one warp-level instruction (divergent kinds serialize, like SIMT
+//!   branches taking both paths);
+//! * memory groups coalesce their addresses into 32-byte sectors; each
+//!   sector is one transaction probing the SM's cache hierarchy;
+//! * atomic groups additionally count same-address conflicts, which
+//!   serialize within the warp;
+//! * ALU ops carry a repeat count: the group's cost is the maximum
+//!   count among its lanes (lockstep execution).
+//!
+//! The result is the warp's cycle cost plus counter deltas.
+
+use crate::cache::{CacheHierarchy, CacheLevel};
+use crate::counters::Counters;
+use crate::device::DeviceConfig;
+use crate::trace::{LaneTrace, Op, OpKind};
+use crate::{SECTOR_BYTES, WARP_SIZE};
+
+/// Cost and counter outcome of one warp replay.
+#[derive(Clone, Debug, Default)]
+pub struct WarpOutcome {
+    /// Cycles this warp occupies its SM.
+    pub cycles: u64,
+}
+
+/// Replay one warp's traces on SM `sm`, updating `counters` and the
+/// cache hierarchy, returning the warp's cycle cost.
+pub fn replay_warp(
+    config: &DeviceConfig,
+    caches: &mut CacheHierarchy,
+    counters: &mut Counters,
+    sm: usize,
+    traces: &[LaneTrace],
+) -> WarpOutcome {
+    debug_assert!(traces.len() <= WARP_SIZE as usize);
+    let max_len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut cycles = 0u64;
+    counters.warps += 1;
+    counters.threads += traces.iter().filter(|t| !t.is_empty()).count().max(1) as u64;
+
+    // Scratch reused across steps.
+    let mut sectors: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+    let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+
+    for step in 0..max_len {
+        // Kinds present at this step, in fixed order for determinism.
+        for kind in [OpKind::Alu, OpKind::Load, OpKind::Store, OpKind::Atomic] {
+            let mut active = 0u64;
+            let mut alu_max = 0u32;
+            addrs.clear();
+            for t in traces {
+                let Some(op) = t.ops.get(step) else { continue };
+                if op.kind() != kind {
+                    continue;
+                }
+                active += 1;
+                match *op {
+                    Op::Alu(n) => alu_max = alu_max.max(n),
+                    Op::Load(a) | Op::Store(a) | Op::Atomic(a) => addrs.push(a),
+                }
+            }
+            if active == 0 {
+                continue;
+            }
+            counters.inst_executed += 1;
+            counters.active_lane_sum += active;
+            counters.lane_slot_sum += WARP_SIZE as u64;
+            cycles += 1; // issue
+
+            match kind {
+                OpKind::Alu => {
+                    cycles += alu_max.saturating_sub(1) as u64;
+                }
+                OpKind::Load | OpKind::Store | OpKind::Atomic => {
+                    match kind {
+                        OpKind::Load => counters.inst_executed_global_loads += 1,
+                        OpKind::Store => counters.inst_executed_global_stores += 1,
+                        OpKind::Atomic => counters.inst_executed_atomics += 1,
+                        OpKind::Alu => unreachable!(),
+                    }
+                    // Coalesce into sectors.
+                    sectors.clear();
+                    sectors.extend(addrs.iter().map(|a| a / SECTOR_BYTES));
+                    sectors.sort_unstable();
+                    sectors.dedup();
+                    let txns = sectors.len() as u64;
+                    match kind {
+                        OpKind::Load => counters.gld_transactions += txns,
+                        OpKind::Store => counters.gst_transactions += txns,
+                        OpKind::Atomic => counters.atom_transactions += txns,
+                        OpKind::Alu => unreachable!(),
+                    }
+                    // A warp memory instruction pays the latency of its
+                    // deepest-level transaction once (the sectors are
+                    // serviced in parallel — memory-level parallelism)
+                    // plus a port-throughput cost per extra sector,
+                    // which is the serialization uncoalesced access
+                    // causes and coalescing removes.
+                    let mut deepest = 0u64;
+                    for &sector in &sectors {
+                        let level = caches.access(sm, sector * SECTOR_BYTES);
+                        counters.l1_accesses += 1;
+                        match level {
+                            CacheLevel::L1 => {
+                                counters.l1_hits += 1;
+                                deepest = deepest.max(config.l1_hit_cycles as u64);
+                            }
+                            CacheLevel::L2 => {
+                                counters.l2_accesses += 1;
+                                counters.l2_hits += 1;
+                                deepest = deepest.max(config.l2_hit_cycles as u64);
+                            }
+                            CacheLevel::Dram => {
+                                counters.l2_accesses += 1;
+                                counters.dram_transactions += 1;
+                                deepest = deepest.max(config.dram_cycles as u64);
+                            }
+                        }
+                    }
+                    cycles += deepest + txns.saturating_sub(1) * config.port_cycles as u64;
+                    if kind == OpKind::Atomic {
+                        // Same-address atomics serialize lane by lane.
+                        addrs.sort_unstable();
+                        let distinct = {
+                            let mut d = 1u64;
+                            for w in addrs.windows(2) {
+                                if w[0] != w[1] {
+                                    d += 1;
+                                }
+                            }
+                            if addrs.is_empty() {
+                                0
+                            } else {
+                                d
+                            }
+                        };
+                        let conflicts = (addrs.len() as u64).saturating_sub(distinct);
+                        counters.atomic_conflicts += conflicts;
+                        cycles += conflicts * config.atomic_conflict_cycles as u64;
+                    }
+                }
+            }
+        }
+    }
+    WarpOutcome { cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheHierarchy;
+
+    fn setup() -> (DeviceConfig, CacheHierarchy, Counters) {
+        let cfg = DeviceConfig::test_tiny();
+        let caches = CacheHierarchy::new(&cfg);
+        (cfg, caches, Counters::default())
+    }
+
+    fn warp_of(ops_per_lane: Vec<Vec<Op>>) -> Vec<LaneTrace> {
+        ops_per_lane.into_iter().map(|ops| LaneTrace { ops }).collect()
+    }
+
+    #[test]
+    fn coalesced_load_is_few_transactions() {
+        let (cfg, mut caches, mut ctr) = setup();
+        // 32 lanes load consecutive words: 128 bytes = 4 sectors.
+        let traces = warp_of((0..32).map(|i| vec![Op::Load(i * 4)]).collect());
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(ctr.inst_executed_global_loads, 1);
+        assert_eq!(ctr.gld_transactions, 4);
+        assert_eq!(ctr.warp_execution_efficiency(), 100.0);
+    }
+
+    #[test]
+    fn scattered_load_is_many_transactions() {
+        let (cfg, mut caches, mut ctr) = setup();
+        // 32 lanes load words 1 KiB apart: 32 sectors.
+        let traces = warp_of((0..32).map(|i| vec![Op::Load(i * 1024)]).collect());
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(ctr.inst_executed_global_loads, 1);
+        assert_eq!(ctr.gld_transactions, 32);
+    }
+
+    #[test]
+    fn divergent_kinds_serialize() {
+        let (cfg, mut caches, mut ctr) = setup();
+        // Half the warp loads, half stores at step 0 → 2 instructions.
+        let traces = warp_of(
+            (0..32u64)
+                .map(|i| vec![if i % 2 == 0 { Op::Load(i * 4) } else { Op::Store(i * 4) }])
+                .collect(),
+        );
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(ctr.inst_executed, 2);
+        assert_eq!(ctr.inst_executed_global_loads, 1);
+        assert_eq!(ctr.inst_executed_global_stores, 1);
+        assert!(ctr.warp_execution_efficiency() < 100.0);
+    }
+
+    #[test]
+    fn unbalanced_lane_lengths_cost_max() {
+        let (cfg, mut caches, mut ctr) = setup();
+        // Lane 0 does 10 loads, others do 1: warp executes 10 load
+        // instructions (the paper's load-imbalance pathology).
+        let mut lanes: Vec<Vec<Op>> = vec![vec![Op::Load(0)]; 32];
+        lanes[0] = (0..10).map(|i| Op::Load(i * 4096)).collect();
+        let traces = warp_of(lanes);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(ctr.inst_executed_global_loads, 10);
+        assert!(ctr.warp_execution_efficiency() < 20.0);
+    }
+
+    #[test]
+    fn atomic_conflicts_counted() {
+        let (cfg, mut caches, mut ctr) = setup();
+        // All 32 lanes atomically hit the same address.
+        let traces = warp_of((0..32).map(|_| vec![Op::Atomic(64)]).collect());
+        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(ctr.inst_executed_atomics, 1);
+        assert_eq!(ctr.atomic_conflicts, 31);
+        assert_eq!(ctr.atom_transactions, 1);
+        assert!(out.cycles > 31);
+    }
+
+    #[test]
+    fn distinct_atomics_do_not_conflict() {
+        let (cfg, mut caches, mut ctr) = setup();
+        let traces = warp_of((0..32).map(|i| vec![Op::Atomic(i * 256)]).collect());
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(ctr.atomic_conflicts, 0);
+    }
+
+    #[test]
+    fn repeat_access_hits_l1() {
+        let (cfg, mut caches, mut ctr) = setup();
+        let t1 = warp_of(vec![vec![Op::Load(0)]]);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &t1);
+        let before = ctr.l1_hits;
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &t1);
+        assert_eq!(ctr.l1_hits, before + 1);
+        assert!(ctr.global_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn alu_cost_is_lane_maximum() {
+        let (cfg, mut caches, mut ctr) = setup();
+        let traces = warp_of(vec![vec![Op::Alu(10)], vec![Op::Alu(2)]]);
+        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        assert_eq!(out.cycles, 10);
+        assert_eq!(ctr.inst_executed, 1);
+    }
+
+    #[test]
+    fn empty_warp() {
+        let (cfg, mut caches, mut ctr) = setup();
+        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &[]);
+        assert_eq!(out.cycles, 0);
+        assert_eq!(ctr.inst_executed, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-lane operation traces.
+//!
+//! While a thread's body runs, every simulated instruction appends an
+//! [`Op`] to its lane trace. Traces are warp-local and short-lived: a
+//! warp's 32 traces are replayed and discarded before the next warp
+//! executes, keeping simulator memory proportional to warp size, not
+//! kernel size.
+
+/// One recorded lane operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Global memory load of a 4-byte word at a byte address.
+    Load(u64),
+    /// Global memory store.
+    Store(u64),
+    /// Atomic read-modify-write (min/add/cas/exch all cost alike).
+    Atomic(u64),
+    /// `n` arithmetic/control instructions (collapsed).
+    Alu(u32),
+}
+
+impl Op {
+    /// Coarse kind used for divergence grouping during replay.
+    #[inline]
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Load(_) => OpKind::Load,
+            Op::Store(_) => OpKind::Store,
+            Op::Atomic(_) => OpKind::Atomic,
+            Op::Alu(_) => OpKind::Alu,
+        }
+    }
+
+    /// Byte address for memory ops.
+    #[inline]
+    pub fn addr(&self) -> Option<u64> {
+        match *self {
+            Op::Load(a) | Op::Store(a) | Op::Atomic(a) => Some(a),
+            Op::Alu(_) => None,
+        }
+    }
+}
+
+/// Operation kind (divergence grouping key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    Load,
+    Store,
+    Atomic,
+    Alu,
+}
+
+/// The recorded trace of one lane.
+#[derive(Clone, Debug, Default)]
+pub struct LaneTrace {
+    pub ops: Vec<Op>,
+}
+
+impl LaneTrace {
+    #[inline]
+    pub fn push(&mut self, op: Op) {
+        // Collapse consecutive ALU ops to keep traces small: graph
+        // kernels interleave long arithmetic runs with memory ops.
+        if let (Some(Op::Alu(n)), Op::Alu(m)) = (self.ops.last_mut().map(|o| *o), op) {
+            if let Some(Op::Alu(last)) = self.ops.last_mut() {
+                *last = n + m;
+                return;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_collapse() {
+        let mut t = LaneTrace::default();
+        t.push(Op::Alu(2));
+        t.push(Op::Alu(3));
+        assert_eq!(t.ops, vec![Op::Alu(5)]);
+        t.push(Op::Load(64));
+        t.push(Op::Alu(1));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn kinds_and_addrs() {
+        assert_eq!(Op::Load(8).kind(), OpKind::Load);
+        assert_eq!(Op::Store(8).addr(), Some(8));
+        assert_eq!(Op::Alu(1).addr(), None);
+        assert_eq!(Op::Atomic(4).kind(), OpKind::Atomic);
+    }
+}

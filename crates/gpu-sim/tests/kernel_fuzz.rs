@@ -1,0 +1,133 @@
+//! Property-based fuzzing of the simulator: random kernel programs
+//! must execute deterministically, keep every counter invariant, and
+//! respect snapshot semantics.
+
+use proptest::prelude::*;
+use rdbs_gpu_sim::{Counters, Device, DeviceConfig};
+
+/// A tiny interpreted "instruction set" so proptest can generate
+/// arbitrary kernel bodies.
+#[derive(Clone, Copy, Debug)]
+enum FuzzOp {
+    Load(u16),
+    VolatileLoad(u16),
+    Store(u16, u32),
+    AtomicMin(u16, u32),
+    AtomicAdd(u16, u32),
+    AtomicCas(u16, u32, u32),
+    Alu(u8),
+}
+
+const BUF_LEN: u16 = 256;
+
+fn arb_op() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        (0..BUF_LEN).prop_map(FuzzOp::Load),
+        (0..BUF_LEN).prop_map(FuzzOp::VolatileLoad),
+        (0..BUF_LEN, any::<u32>()).prop_map(|(i, v)| FuzzOp::Store(i, v)),
+        (0..BUF_LEN, any::<u32>()).prop_map(|(i, v)| FuzzOp::AtomicMin(i, v)),
+        (0..BUF_LEN, 0u32..1000).prop_map(|(i, v)| FuzzOp::AtomicAdd(i, v)),
+        (0..BUF_LEN, any::<u32>(), any::<u32>()).prop_map(|(i, c, v)| FuzzOp::AtomicCas(i, c, v)),
+        (1u8..8).prop_map(FuzzOp::Alu),
+    ]
+}
+
+/// Each thread runs a (tid-dependent) slice of the program.
+fn arb_program() -> impl Strategy<Value = Vec<FuzzOp>> {
+    proptest::collection::vec(arb_op(), 1..24)
+}
+
+fn run_program(program: &[FuzzOp], threads: u64, sync: bool) -> (Vec<u32>, Counters, f64) {
+    let mut d = Device::new(DeviceConfig::test_tiny());
+    let buf = d.alloc("fuzz", BUF_LEN as usize);
+    let body = |lane: &mut rdbs_gpu_sim::Lane<'_>| {
+        // Rotate the program by tid so lanes diverge.
+        let rot = (lane.tid() % program.len() as u64) as usize;
+        for op in program.iter().cycle().skip(rot).take(program.len()) {
+            match *op {
+                FuzzOp::Load(i) => {
+                    lane.ld(buf, i as u32);
+                }
+                FuzzOp::VolatileLoad(i) => {
+                    lane.ld_volatile(buf, i as u32);
+                }
+                FuzzOp::Store(i, v) => lane.st(buf, i as u32, v),
+                FuzzOp::AtomicMin(i, v) => {
+                    lane.atomic_min(buf, i as u32, v);
+                }
+                FuzzOp::AtomicAdd(i, v) => {
+                    lane.atomic_add(buf, i as u32, v);
+                }
+                FuzzOp::AtomicCas(i, c, v) => {
+                    lane.atomic_cas(buf, i as u32, c, v);
+                }
+                FuzzOp::Alu(n) => lane.alu(n as u32),
+            }
+        }
+    };
+    if sync {
+        d.launch("fuzz", threads, body);
+    } else {
+        d.wave("fuzz", threads, 1, body);
+    }
+    (d.read(buf).to_vec(), d.counters().clone(), d.elapsed_ms())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn deterministic_execution(program in arb_program(), threads in 1u64..128, sync in any::<bool>()) {
+        let a = run_program(&program, threads, sync);
+        let b = run_program(&program, threads, sync);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert!((a.2 - b.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_invariants(program in arb_program(), threads in 1u64..128, sync in any::<bool>()) {
+        let (_, c, ms) = run_program(&program, threads, sync);
+        // Structural invariants of the counting model.
+        prop_assert!(c.inst_executed >= c.inst_executed_global_loads
+            + c.inst_executed_global_stores + c.inst_executed_atomics);
+        prop_assert!(c.gld_transactions >= c.inst_executed_global_loads);
+        prop_assert!(c.gst_transactions >= c.inst_executed_global_stores);
+        prop_assert!(c.atom_transactions >= c.inst_executed_atomics);
+        prop_assert!(c.l1_hits <= c.l1_accesses);
+        prop_assert!(c.l2_hits <= c.l2_accesses);
+        prop_assert_eq!(c.l1_accesses, c.total_transactions());
+        // Every transaction either hits L1 or proceeds to L2.
+        prop_assert_eq!(c.l2_accesses, c.l1_accesses - c.l1_hits);
+        prop_assert_eq!(c.dram_transactions, c.l2_accesses - c.l2_hits);
+        prop_assert!(c.active_lane_sum <= c.lane_slot_sum);
+        prop_assert_eq!(c.threads, threads);
+        prop_assert_eq!(c.warps, threads.div_ceil(32));
+        prop_assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn snapshot_only_affects_plain_loads(program in arb_program(), threads in 1u64..64) {
+        // Functional memory state must be identical for sync vs wave
+        // execution of programs without plain loads feeding stores —
+        // here: programs of stores/atomics only at fixed values, whose
+        // final state is order-insensitive per address.
+        let stores_only: Vec<FuzzOp> = program
+            .iter()
+            .filter(|op| matches!(op, FuzzOp::AtomicMin(_, _) | FuzzOp::AtomicAdd(_, _)))
+            .copied()
+            .collect();
+        prop_assume!(!stores_only.is_empty());
+        let (mem_sync, _, _) = run_program(&stores_only, threads, true);
+        let (mem_wave, _, _) = run_program(&stores_only, threads, false);
+        prop_assert_eq!(mem_sync, mem_wave);
+    }
+
+    #[test]
+    fn more_threads_never_reduce_instructions(program in arb_program(), sync in any::<bool>()) {
+        let (_, c1, _) = run_program(&program, 16, sync);
+        let (_, c2, _) = run_program(&program, 64, sync);
+        prop_assert!(c2.inst_executed >= c1.inst_executed);
+        prop_assert!(c2.threads > c1.threads);
+    }
+}

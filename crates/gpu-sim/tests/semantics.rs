@@ -1,0 +1,192 @@
+//! Integration tests of the simulator's coherence and scaling
+//! semantics — the behaviours the SSSP kernels rely on.
+
+use rdbs_gpu_sim::{Device, DeviceConfig};
+
+fn tiny() -> Device {
+    Device::new(DeviceConfig::test_tiny())
+}
+
+// ---------------- snapshot coherence (sync kernels) ----------------
+
+#[test]
+fn sync_kernel_plain_loads_see_kernel_entry_values() {
+    let mut d = tiny();
+    let x = d.alloc_upload("x", &[7, 0]);
+    // Lane 0 stores x[0] = 99; lane 1 (executed after in the
+    // sequential model) must still *load* the snapshot value 7.
+    let seen = std::cell::Cell::new(0u32);
+    d.launch("k", 2, |lane| {
+        if lane.tid() == 0 {
+            lane.st(x, 0, 99);
+        } else {
+            seen.set(lane.ld(x, 0));
+        }
+    });
+    assert_eq!(seen.get(), 7, "plain load must observe the snapshot");
+    assert_eq!(d.read_word(x, 0), 99, "the store itself is live");
+}
+
+#[test]
+fn sync_kernel_volatile_loads_see_live_values() {
+    let mut d = tiny();
+    let x = d.alloc_upload("x", &[7]);
+    let seen = std::cell::Cell::new(0u32);
+    d.launch("k", 2, |lane| {
+        if lane.tid() == 0 {
+            lane.st(x, 0, 99);
+        } else {
+            seen.set(lane.ld_volatile(x, 0));
+        }
+    });
+    assert_eq!(seen.get(), 99, "volatile load must observe live memory");
+}
+
+#[test]
+fn sync_kernel_atomics_are_coherent() {
+    let mut d = tiny();
+    let x = d.alloc_upload("x", &[100]);
+    // Successive atomic_mins see each other even in snapshot mode.
+    let olds = std::cell::RefCell::new(Vec::new());
+    d.launch("k", 3, |lane| {
+        let old = lane.atomic_min(x, 0, 90 - lane.tid() as u32);
+        olds.borrow_mut().push(old);
+    });
+    assert_eq!(*olds.borrow(), vec![100, 90, 89]);
+    assert_eq!(d.read_word(x, 0), 88);
+}
+
+#[test]
+fn wave_has_immediate_visibility() {
+    let mut d = tiny();
+    let x = d.alloc_upload("x", &[7]);
+    let seen = std::cell::Cell::new(0u32);
+    // Waves model persistent/asynchronous kernels: plain loads see
+    // earlier lanes' stores.
+    d.wave("async", 2, 1, |lane| {
+        if lane.tid() == 0 {
+            lane.st(x, 0, 99);
+        } else {
+            seen.set(lane.ld(x, 0));
+        }
+    });
+    assert_eq!(seen.get(), 99);
+}
+
+#[test]
+fn snapshots_reset_between_launches() {
+    let mut d = tiny();
+    let x = d.alloc_upload("x", &[1]);
+    d.launch("k1", 1, |lane| {
+        lane.st(x, 0, 2);
+    });
+    let seen = std::cell::Cell::new(0u32);
+    d.launch("k2", 1, |lane| {
+        seen.set(lane.ld(x, 0));
+    });
+    assert_eq!(seen.get(), 2, "next kernel snapshots the committed state");
+}
+
+// ---------------- scaling helpers ----------------
+
+#[test]
+fn overhead_scaling_divides_fixed_costs() {
+    let base = DeviceConfig::v100();
+    let scaled = base.clone().with_overhead_scale(1.0 / 64.0);
+    assert!((scaled.kernel_launch_us - base.kernel_launch_us / 64.0).abs() < 1e-12);
+    assert!((scaled.barrier_us - base.barrier_us / 64.0).abs() < 1e-12);
+    assert!((scaled.child_launch_us - base.child_launch_us / 64.0).abs() < 1e-12);
+    // Throughput parameters untouched.
+    assert_eq!(scaled.mem_bandwidth_gbps, base.mem_bandwidth_gbps);
+    assert_eq!(scaled.num_sms, base.num_sms);
+}
+
+#[test]
+fn cache_scaling_floors_at_one_set() {
+    let base = DeviceConfig::v100();
+    let scaled = base.clone().with_cache_scale(1.0 / 1_000_000.0);
+    assert!(scaled.l1_bytes >= scaled.line_bytes * scaled.ways as u64);
+    assert!(scaled.l2_bytes >= scaled.l1_bytes);
+    let mid = base.clone().with_cache_scale(0.5);
+    assert_eq!(mid.l1_bytes, base.l1_bytes / 2);
+}
+
+#[test]
+fn smaller_cache_lowers_hit_rate() {
+    let run = |cfg: DeviceConfig| {
+        let mut d = Device::new(cfg);
+        let x = d.alloc("x", 1 << 14);
+        // Two passes over a 64 KiB array.
+        for _ in 0..2 {
+            d.launch("scan", 1 << 14, |lane| {
+                let i = lane.tid() as u32;
+                let _ = lane.ld(x, i);
+            });
+        }
+        d.counters().global_hit_rate()
+    };
+    let big = run(DeviceConfig::v100());
+    let small = run(DeviceConfig::v100().with_cache_scale(1.0 / 4096.0));
+    assert!(big > small, "big-cache hit {big:.1}% vs small {small:.1}%");
+}
+
+// ---------------- timing sanity ----------------
+
+#[test]
+fn charged_time_is_monotone_in_work() {
+    let mut d = Device::new(DeviceConfig::v100());
+    let x = d.alloc("x", 1 << 12);
+    d.launch("small", 1 << 8, |lane| {
+        let _ = lane.ld(x, lane.tid() as u32);
+    });
+    let t1 = d.elapsed_ms();
+    d.launch("large", 1 << 12, |lane| {
+        let _ = lane.ld(x, lane.tid() as u32);
+    });
+    let t2 = d.elapsed_ms() - t1;
+    assert!(t2 > 0.0 && t1 > 0.0);
+    // 16x the threads must cost more than the small kernel's body
+    // (both also pay one launch overhead).
+    assert!(t2 >= t1);
+}
+
+#[test]
+fn reports_accumulate_and_reset() {
+    let mut d = tiny();
+    let x = d.alloc("x", 32);
+    d.launch("a", 32, |lane| {
+        lane.st(x, lane.tid() as u32, 1);
+    });
+    d.wave("b", 32, 1, |lane| {
+        let _ = lane.ld(x, lane.tid() as u32);
+    });
+    assert_eq!(d.reports().len(), 2);
+    assert_eq!(d.reports()[0].name, "a");
+    assert!(!d.reports()[0].child);
+    d.reset_stats();
+    assert!(d.reports().is_empty());
+    assert_eq!(d.elapsed_ms(), 0.0);
+    // Memory survives a stats reset.
+    assert_eq!(d.read_word(x, 5), 1);
+}
+
+#[test]
+fn buffer_traffic_attribution() {
+    let mut d = tiny();
+    let a = d.alloc("hot", 64);
+    let b = d.alloc("cold", 64);
+    d.launch("k", 64, |lane| {
+        let i = lane.tid() as u32;
+        let _ = lane.ld(a, i);
+        let _ = lane.ld(a, (i + 1) % 64);
+        lane.atomic_add(b, i, 1);
+    });
+    let rows = d.buffer_traffic();
+    let hot = rows.iter().find(|r| r.0 == "hot").unwrap();
+    let cold = rows.iter().find(|r| r.0 == "cold").unwrap();
+    assert_eq!(hot.1, 128, "two loads per lane");
+    assert_eq!(hot.2 + hot.3, 0);
+    assert_eq!(cold.3, 64, "one atomic per lane");
+    // Sorted by total descending: hot first.
+    assert_eq!(rows[0].0, "hot");
+}

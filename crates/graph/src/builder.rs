@@ -1,0 +1,202 @@
+//! Edge-list representation and CSR construction.
+//!
+//! Generators and file loaders produce an [`EdgeList`]; the builder
+//! turns it into a [`Csr`], optionally symmetrizing (the paper treats
+//! every input as undirected), deduplicating parallel edges (keeping the
+//! minimum weight, which is the only one that can matter for shortest
+//! paths) and dropping self-loops (which never improve any distance).
+
+use crate::{Csr, VertexId, Weight};
+
+/// A list of weighted directed edges plus a vertex count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices; every endpoint must be `< num_vertices`.
+    pub num_vertices: usize,
+    /// `(src, dst, weight)` triples.
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl EdgeList {
+    /// New empty edge list over `n` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self { num_vertices, edges: Vec::new() }
+    }
+
+    /// Construct from parts, panicking on out-of-range endpoints.
+    pub fn from_edges(num_vertices: usize, edges: Vec<(VertexId, VertexId, Weight)>) -> Self {
+        let n = num_vertices as VertexId;
+        for &(u, v, _) in &edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={num_vertices}");
+        }
+        Self { num_vertices, edges }
+    }
+
+    /// Append an edge.
+    #[inline]
+    pub fn push(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        debug_assert!((u as usize) < self.num_vertices && (v as usize) < self.num_vertices);
+        self.edges.push((u, v, w));
+    }
+
+    /// Number of (directed) edges currently stored.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Add the reverse of every edge (same weight). Does not dedup.
+    pub fn symmetrize(&mut self) {
+        let fwd = self.edges.len();
+        self.edges.reserve(fwd);
+        for i in 0..fwd {
+            let (u, v, w) = self.edges[i];
+            if u != v {
+                self.edges.push((v, u, w));
+            }
+        }
+    }
+}
+
+/// Configurable EdgeList → CSR conversion.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrBuilder {
+    /// Add the reverse of every edge first (undirected semantics).
+    pub symmetrize: bool,
+    /// Collapse parallel `(u, v)` edges, keeping the minimum weight.
+    pub dedup: bool,
+    /// Drop `(u, u)` self-loops.
+    pub drop_self_loops: bool,
+}
+
+impl Default for CsrBuilder {
+    /// The paper's preprocessing: undirected, deduplicated, loop-free.
+    fn default() -> Self {
+        Self { symmetrize: true, dedup: true, drop_self_loops: true }
+    }
+}
+
+impl CsrBuilder {
+    /// A builder that keeps the edge list exactly as given (directed,
+    /// multi-edges and loops preserved).
+    pub fn directed_raw() -> Self {
+        Self { symmetrize: false, dedup: false, drop_self_loops: false }
+    }
+
+    /// Build the CSR.
+    pub fn build(&self, list: &EdgeList) -> Csr {
+        let n = list.num_vertices;
+        let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(
+            list.edges.len() * if self.symmetrize { 2 } else { 1 },
+        );
+        for &(u, v, w) in &list.edges {
+            if self.drop_self_loops && u == v {
+                continue;
+            }
+            edges.push((u, v, w));
+            if self.symmetrize && u != v {
+                edges.push((v, u, w));
+            }
+        }
+
+        // Sort by (src, dst, weight) so dedup keeps the lightest copy.
+        edges.sort_unstable();
+        if self.dedup {
+            edges.dedup_by_key(|e| (e.0, e.1));
+        }
+
+        let mut row_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &edges {
+            row_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let mut adjacency = Vec::with_capacity(edges.len());
+        let mut weights = Vec::with_capacity(edges.len());
+        for &(_, v, w) in &edges {
+            adjacency.push(v);
+            weights.push(w);
+        }
+        Csr::from_raw(row_offsets, adjacency, weights)
+    }
+}
+
+/// Shorthand: undirected, deduplicated, loop-free CSR (the paper's
+/// standard preprocessing).
+pub fn build_undirected(list: &EdgeList) -> Csr {
+    CsrBuilder::default().build(list)
+}
+
+/// Shorthand: directed CSR preserving the list verbatim.
+pub fn build_directed(list: &EdgeList) -> Csr {
+    CsrBuilder::directed_raw().build(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_undirected() {
+        let mut el = EdgeList::new(3);
+        el.push(2, 0, 7);
+        el.push(0, 1, 3);
+        let g = build_undirected(&el);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.edge_weights(0), &[3, 7]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn dedup_keeps_min_weight() {
+        let el = EdgeList::from_edges(2, vec![(0, 1, 9), (0, 1, 4), (0, 1, 6)]);
+        let g = build_undirected(&el);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weights(0), &[4]);
+        assert_eq!(g.edge_weights(1), &[4]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let el = EdgeList::from_edges(2, vec![(0, 0, 1), (0, 1, 2)]);
+        let g = build_undirected(&el);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn directed_raw_preserves_everything() {
+        let el = EdgeList::from_edges(2, vec![(0, 0, 1), (0, 1, 2), (0, 1, 3)]);
+        let g = build_directed(&el);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[0, 1, 1]);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn symmetrize_method_doubles_non_loops() {
+        let mut el = EdgeList::from_edges(3, vec![(0, 1, 2), (1, 1, 5)]);
+        el.symmetrize();
+        assert_eq!(el.len(), 3); // loop not doubled
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = EdgeList::from_edges(2, vec![(0, 5, 1)]);
+    }
+
+    #[test]
+    fn empty_list_builds_empty_graph() {
+        let g = build_undirected(&EdgeList::new(4));
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

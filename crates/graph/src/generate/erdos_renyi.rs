@@ -1,0 +1,43 @@
+//! Erdős–Rényi G(n, m) generator: `m` uniformly random edges.
+//!
+//! Used in tests and as a locality-free control in the ablation
+//! benches (no skew, no structure — the worst case for reordering).
+
+use super::rng;
+use crate::builder::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Sample `m` edges uniformly at random over `n` vertices (endpoints
+/// independent; self-loops possible and left for the builder to drop).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n > 0 && n <= u32::MAX as usize);
+    let mut r = rng(seed);
+    let mut list = EdgeList::new(n);
+    list.edges.reserve(m);
+    for _ in 0..m {
+        let u = r.gen_range(0..n) as VertexId;
+        let v = r.gen_range(0..n) as VertexId;
+        list.push(u, v, 1);
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_determinism() {
+        let a = erdos_renyi(100, 400, 2);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a, erdos_renyi(100, 400, 2));
+        assert_ne!(a, erdos_renyi(100, 400, 3));
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let el = erdos_renyi(50, 1000, 1);
+        assert!(el.edges.iter().all(|&(u, v, _)| u < 50 && v < 50));
+    }
+}

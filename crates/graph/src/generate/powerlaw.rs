@@ -1,0 +1,180 @@
+//! Preferential-attachment (Barabási–Albert) power-law generator.
+//!
+//! Used for stand-ins of the paper's social/web graphs whose degree
+//! distributions follow a power law (§3.2): a few hub vertices with
+//! enormous degree, most vertices with a handful of edges — the shape
+//! that makes vertex-centric GPU SSSP load-imbalanced.
+
+use super::rng;
+use crate::builder::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Generate a preferential-attachment graph: starts from a small clique
+/// of `m + 1` vertices; every further vertex attaches `m` edges to
+/// existing vertices chosen proportionally to their current degree.
+///
+/// # Panics
+/// Panics if `n <= m` or `m == 0`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachments");
+    let mut r = rng(seed);
+    let mut list = EdgeList::new(n);
+    // Endpoint pool: each edge contributes both endpoints, so sampling
+    // uniformly from the pool is degree-proportional sampling.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique over vertices 0..=m.
+    for u in 0..=m as VertexId {
+        for v in 0..u {
+            list.push(u, v, 1);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for u in (m + 1)..n {
+        let u = u as VertexId;
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m {
+            let v = pool[r.gen_range(0..pool.len())];
+            guard += 1;
+            if v == u {
+                continue;
+            }
+            // Tolerate occasional parallel edges (the CSR builder dedups)
+            // but avoid degenerate loops when the pool is tiny.
+            if guard > 16 * m && attached > 0 {
+                break;
+            }
+            list.push(u, v, 1);
+            pool.push(u);
+            pool.push(v);
+            attached += 1;
+        }
+    }
+    list
+}
+
+/// Preferential attachment with a **recency window**: each new vertex
+/// attaches `m` edges degree-proportionally, but only among the
+/// endpoints contributed by the most recent `window` vertices.
+///
+/// Plain preferential attachment always produces diameter ~5–6, while
+/// several of the paper's graphs (Amazon 21, web-GL 21, com-LJ 17)
+/// combine power-law hubs with a much deeper structure — and that
+/// depth is what bounds the iteration count of synchronous GPU SSSP.
+/// The window turns the graph into a chain of hub-and-spoke
+/// communities whose hop diameter is ≈ `n / window`, independent of
+/// the absolute size — so a scaled-down stand-in keeps the paper
+/// graph's diameter.
+///
+/// `window >= n` degenerates to plain preferential attachment.
+pub fn windowed_preferential_attachment(n: usize, m: usize, window: usize, seed: u64) -> EdgeList {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachments");
+    assert!(window > m, "window must exceed attachment count");
+    let mut r = rng(seed ^ 0xA5A5_1234);
+    let mut list = EdgeList::new(n);
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    for u in 0..=m as VertexId {
+        for v in 0..u {
+            list.push(u, v, 1);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    // Each vertex contributes ~2m endpoints; the active pool region is
+    // the suffix covering the last `window` vertices.
+    let span = 2 * m * window;
+    for u in (m + 1)..n {
+        let u = u as VertexId;
+        let lo = pool.len().saturating_sub(span);
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m {
+            let v = pool[r.gen_range(lo..pool.len())];
+            guard += 1;
+            if v == u {
+                continue;
+            }
+            if guard > 16 * m && attached > 0 {
+                break;
+            }
+            list.push(u, v, 1);
+            pool.push(u);
+            pool.push(v);
+            attached += 1;
+        }
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(preferential_attachment(200, 3, 5), preferential_attachment(200, 3, 5));
+    }
+
+    #[test]
+    fn edge_count() {
+        let m = 4;
+        let n = 300;
+        let el = preferential_attachment(n, m, 1);
+        // Clique: C(m+1, 2) edges; then (n - m - 1) * m attachments.
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(el.len(), expected);
+    }
+
+    #[test]
+    fn has_hubs() {
+        let el = preferential_attachment(2000, 4, 3);
+        let g = build_undirected(&el);
+        let max = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max as f64 > 8.0 * avg,
+            "expected hub (max {max}, avg {avg:.1})"
+        );
+    }
+
+    #[test]
+    fn connected() {
+        let el = preferential_attachment(500, 2, 7);
+        let g = build_undirected(&el);
+        let comps = crate::stats::connected_components(&g);
+        assert_eq!(comps.num_components, 1);
+    }
+
+    #[test]
+    fn windowed_is_deterministic_and_connected() {
+        let a = windowed_preferential_attachment(800, 3, 100, 4);
+        assert_eq!(a, windowed_preferential_attachment(800, 3, 100, 4));
+        let g = build_undirected(&a);
+        assert_eq!(crate::stats::connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn window_stretches_diameter() {
+        let plain = build_undirected(&preferential_attachment(3000, 3, 1));
+        let deep = build_undirected(&windowed_preferential_attachment(3000, 3, 150, 1));
+        let d_plain = crate::stats::pseudo_diameter(&plain);
+        let d_deep = crate::stats::pseudo_diameter(&deep);
+        assert!(
+            d_deep >= d_plain * 2,
+            "windowed diameter {d_deep} should far exceed plain {d_plain}"
+        );
+    }
+
+    #[test]
+    fn huge_window_matches_plain_shape() {
+        // window >= n behaves like plain preferential attachment.
+        let el = windowed_preferential_attachment(1000, 3, 1000, 2);
+        let g = build_undirected(&el);
+        assert!(crate::stats::pseudo_diameter(&g) <= 8);
+    }
+}

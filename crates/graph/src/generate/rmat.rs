@@ -1,0 +1,145 @@
+//! R-MAT recursive-matrix generator (Chakrabarti et al., SDM 2004).
+//!
+//! Each edge is placed by recursively descending a 2×2 partition of the
+//! adjacency matrix with probabilities `(a, b, c, d)`. The paper's
+//! synthetic inputs use the Graph500 parameterization
+//! `A=0.57, B=0.19, C=0.19, D=0.05` (§5.1.2).
+
+use super::rng;
+use crate::builder::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// R-MAT generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices (`n = 2^scale`).
+    pub scale: u32,
+    /// Average directed edges per vertex (`m = edgefactor * n`).
+    pub edgefactor: u32,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Per-level probability noise, as in the Graph500 reference
+    /// implementation ("smoothing" to avoid exact self-similarity).
+    /// 0.0 disables it.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// The Graph500/paper parameterization (A=0.57, B=0.19, C=0.19).
+    pub fn graph500(scale: u32, edgefactor: u32) -> Self {
+        Self { scale, edgefactor, a: 0.57, b: 0.19, c: 0.19, noise: 0.0 }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate an R-MAT edge list (unweighted: all weights 1; use
+/// [`super::assign_uniform_weights`] afterwards).
+///
+/// # Panics
+/// Panics if `scale >= 32` or the probabilities are invalid.
+pub fn rmat(config: RmatConfig, seed: u64) -> EdgeList {
+    assert!(config.scale < 32, "scale must fit u32 vertex ids");
+    assert!(
+        config.a > 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0,
+        "invalid R-MAT probabilities"
+    );
+    let n = 1usize << config.scale;
+    let m = n * config.edgefactor as usize;
+    let mut r = rng(seed);
+    let mut list = EdgeList::new(n);
+    list.edges.reserve(m);
+    for _ in 0..m {
+        let (u, v) = sample_edge(&config, &mut r);
+        list.push(u, v, 1);
+    }
+    list
+}
+
+fn sample_edge(config: &RmatConfig, r: &mut impl Rng) -> (VertexId, VertexId) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    let d = config.d();
+    for _ in 0..config.scale {
+        let (mut a, mut b, mut c, mut dd) = (config.a, config.b, config.c, d);
+        if config.noise > 0.0 {
+            // Multiplicative noise per level, then renormalize.
+            let jitter = |x: f64, r: &mut dyn rand::RngCore| {
+                x * (1.0 - config.noise + 2.0 * config.noise * rand::Rng::gen::<f64>(&mut *r))
+            };
+            a = jitter(a, r);
+            b = jitter(b, r);
+            c = jitter(c, r);
+            dd = jitter(dd, r);
+            let s = a + b + c + dd;
+            a /= s;
+            b /= s;
+            c /= s;
+        }
+        let x: f64 = r.gen();
+        u <<= 1;
+        v <<= 1;
+        if x < a {
+            // top-left: no bits set
+        } else if x < a + b {
+            v |= 1;
+        } else if x < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RmatConfig::graph500(8, 4);
+        let a = rmat(cfg, 42);
+        let b = rmat(cfg, 42);
+        assert_eq!(a, b);
+        let c = rmat(cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_and_range() {
+        let cfg = RmatConfig::graph500(6, 8);
+        let el = rmat(cfg, 7);
+        assert_eq!(el.num_vertices, 64);
+        assert_eq!(el.len(), 64 * 8);
+        assert!(el.edges.iter().all(|&(u, v, _)| u < 64 && v < 64));
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        // With A=0.57 the low-id quadrant should attract clearly more
+        // endpoints than the high-id quadrant.
+        let cfg = RmatConfig::graph500(10, 16);
+        let el = rmat(cfg, 1);
+        let n = el.num_vertices as VertexId;
+        let low = el.edges.iter().filter(|&&(u, _, _)| u < n / 2).count();
+        let high = el.len() - low;
+        assert!(low > high * 2, "low {low} high {high}");
+    }
+
+    #[test]
+    fn noise_changes_output_but_not_counts() {
+        let mut cfg = RmatConfig::graph500(7, 4);
+        let base = rmat(cfg, 5);
+        cfg.noise = 0.1;
+        let noisy = rmat(cfg, 5);
+        assert_eq!(base.len(), noisy.len());
+        assert_ne!(base, noisy);
+    }
+}

@@ -1,0 +1,83 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! A ring lattice (each vertex linked to its `k` nearest neighbours on
+//! each side) with each edge rewired to a random endpoint with
+//! probability `p`. Sweeping `p` from 0 to 1 moves the graph from
+//! high-diameter lattice to random graph — useful as a *controlled
+//! diameter knob* in ablations of the bucket count and of synchronous
+//! iteration depth.
+
+use super::rng;
+use crate::builder::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Generate a Watts–Strogatz ring: `n` vertices, `k` neighbours per
+/// side (degree `2k` before rewiring), rewiring probability `p`.
+///
+/// # Panics
+/// Panics if `n <= 2 * k` or `p` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> EdgeList {
+    assert!(k >= 1 && n > 2 * k, "need n > 2k (n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut r = rng(seed ^ 0x57A7_5057);
+    let mut list = EdgeList::new(n);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut u = (v + j) % n;
+            if r.gen::<f64>() < p {
+                // Rewire to a uniform random non-self endpoint.
+                loop {
+                    u = r.gen_range(0..n);
+                    if u != v {
+                        break;
+                    }
+                }
+            }
+            list.push(v as VertexId, u as VertexId, 1);
+        }
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+    use crate::stats::{graph_stats, pseudo_diameter};
+
+    #[test]
+    fn deterministic_and_counts() {
+        let a = watts_strogatz(100, 3, 0.1, 5);
+        assert_eq!(a, watts_strogatz(100, 3, 0.1, 5));
+        assert_eq!(a.len(), 300);
+    }
+
+    #[test]
+    fn zero_p_is_a_lattice() {
+        let g = build_undirected(&watts_strogatz(60, 2, 0.0, 1));
+        let st = graph_stats(&g);
+        assert_eq!(st.max_degree, 4);
+        // Ring lattice diameter = ceil((n/2)/k) = 15.
+        assert_eq!(st.pseudo_diameter, 15);
+        assert_eq!(st.num_components, 1);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = build_undirected(&watts_strogatz(400, 2, 0.0, 3));
+        let small_world = build_undirected(&watts_strogatz(400, 2, 0.2, 3));
+        assert!(
+            pseudo_diameter(&small_world) < pseudo_diameter(&lattice) / 2,
+            "small-world {} vs lattice {}",
+            pseudo_diameter(&small_world),
+            pseudo_diameter(&lattice)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > 2k")]
+    fn rejects_tiny_ring() {
+        let _ = watts_strogatz(4, 2, 0.0, 0);
+    }
+}

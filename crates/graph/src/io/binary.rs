@@ -1,0 +1,128 @@
+//! Compact binary CSR snapshots.
+//!
+//! Preprocessing (symmetrize + dedup + PRO) is expensive on large
+//! graphs; this format lets the harness cache the result. Layout
+//! (little endian): magic `RDBS`, version u32, n u64, m u64, flags u32
+//! (bit 0 = heavy offsets present) , heavy delta u32, then the raw
+//! arrays. Uses `bytes` for buffer handling.
+
+use super::IoError;
+use crate::Csr;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"RDBS";
+const VERSION: u32 = 1;
+
+/// Serialize a CSR (including heavy offsets, if attached).
+pub fn write_binary_csr<W: Write>(g: &Csr, mut writer: W) -> Result<(), IoError> {
+    let mut buf = BytesMut::with_capacity(32 + g.memory_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    let has_heavy = g.heavy_offsets().is_some();
+    buf.put_u32_le(has_heavy as u32);
+    buf.put_u32_le(g.heavy_delta().unwrap_or(0));
+    for &x in g.row_offsets() {
+        buf.put_u32_le(x);
+    }
+    for &x in g.adjacency() {
+        buf.put_u32_le(x);
+    }
+    for &x in g.weights() {
+        buf.put_u32_le(x);
+    }
+    if let Some(h) = g.heavy_offsets() {
+        for &x in h {
+            buf.put_u32_le(x);
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a CSR written by [`write_binary_csr`].
+pub fn read_binary_csr<R: Read>(mut reader: R) -> Result<Csr, IoError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 32 {
+        return Err(IoError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    let has_heavy = buf.get_u32_le() != 0;
+    let heavy_delta = buf.get_u32_le();
+    let need = (n + 1 + 2 * m + if has_heavy { n } else { 0 }) * 4;
+    if buf.remaining() != need {
+        return Err(IoError::Format(format!(
+            "payload size mismatch: have {}, need {need}",
+            buf.remaining()
+        )));
+    }
+    let mut read_vec = |len: usize| {
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(buf.get_u32_le());
+        }
+        v
+    };
+    let row_offsets = read_vec(n + 1);
+    let adjacency = read_vec(m);
+    let weights = read_vec(m);
+    let heavy = if has_heavy { Some(read_vec(n)) } else { None };
+    let mut csr = Csr::from_raw(row_offsets, adjacency, weights);
+    if let Some(h) = heavy {
+        csr.set_heavy_offsets(h, heavy_delta);
+        csr.validate().map_err(IoError::Format)?;
+    }
+    Ok(csr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_undirected, EdgeList};
+    use crate::reorder;
+
+    #[test]
+    fn roundtrip_plain() {
+        let el = EdgeList::from_edges(4, vec![(0, 1, 5), (1, 2, 3), (2, 3, 8)]);
+        let g = build_undirected(&el);
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        let back = read_binary_csr(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_with_heavy_offsets() {
+        let el = EdgeList::from_edges(4, vec![(0, 1, 5), (1, 2, 3), (2, 3, 8)]);
+        let (g, _) = reorder::pro(&build_undirected(&el), 4);
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        let back = read_binary_csr(&buf[..]).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.heavy_delta(), Some(4));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let g = build_undirected(&EdgeList::from_edges(2, vec![(0, 1, 1)]));
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_binary_csr(&buf[..]).is_err());
+        assert!(read_binary_csr(&b"NOPE"[..]).is_err());
+    }
+}

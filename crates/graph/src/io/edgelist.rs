@@ -1,0 +1,91 @@
+//! SNAP-style plain edge lists: one `src dst [weight]` per line,
+//! `#`-prefixed comments, whitespace separated. Vertex ids are used
+//! as-is; the vertex count is `max id + 1` unless a larger count is
+//! requested.
+
+use super::{parse_err, IoError};
+use crate::builder::EdgeList;
+use crate::{VertexId, Weight};
+use std::io::{BufRead, Write};
+
+/// Parse an edge list from a reader. Missing weights default to 1.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing source"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad source: {e}")))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing destination"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad destination: {e}")))?;
+        let w: Weight = match it.next() {
+            Some(s) => s.parse().map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
+            None => 1,
+        };
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(parse_err(lineno, "vertex id exceeds u32"));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    Ok(EdgeList { num_vertices: n, edges })
+}
+
+/// Write an edge list as `src dst weight` lines.
+pub fn write_edge_list<W: Write>(list: &EdgeList, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "# {} vertices, {} edges", list.num_vertices, list.edges.len())?;
+    for &(u, v, w) in &list.edges {
+        writeln!(writer, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_with_comments_and_default_weight() {
+        let text = "# comment\n0 1 5\n\n2 0\n";
+        let el = parse_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(el.num_vertices, 3);
+        assert_eq!(el.edges, vec![(0, 1, 5), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let el = EdgeList::from_edges(4, vec![(0, 3, 9), (1, 2, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&el, &mut buf).unwrap();
+        let parsed = parse_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.edges, el.edges);
+        assert_eq!(parsed.num_vertices, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse_edge_list(Cursor::new("0 x\n")).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let el = parse_edge_list(Cursor::new("")).unwrap();
+        assert_eq!(el.num_vertices, 0);
+        assert!(el.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! MatrixMarket `coordinate` format (`.mtx`), as distributed by the
+//! SuiteSparse collection for several of the paper's graphs.
+//!
+//! Supported headers: `%%MatrixMarket matrix coordinate
+//! {pattern|integer|real} {general|symmetric}`. `real` weights are
+//! rounded to the nearest positive integer (0 becomes 1), since the
+//! SSSP kernels use integer weights.
+
+use super::{parse_err, IoError};
+use crate::builder::EdgeList;
+use crate::{VertexId, Weight};
+use std::io::BufRead;
+
+/// Parse a MatrixMarket coordinate file into an edge list. For
+/// `symmetric` files only the stored triangle is returned; build with
+/// the default (symmetrizing) [`crate::builder::CsrBuilder`] to expand.
+pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<EdgeList, IoError> {
+    let mut lines = reader.lines().enumerate();
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".into()))?;
+    let header = header?;
+    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(IoError::Format(format!("unsupported header: {header}")));
+    }
+    let field = h[3].as_str();
+    if !matches!(field, "pattern" | "integer" | "real") {
+        return Err(IoError::Format(format!("unsupported field type: {field}")));
+    }
+    let symmetry = h[4].as_str();
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(IoError::Format(format!("unsupported symmetry: {symmetry}")));
+    }
+
+    // Skip comments, find size line.
+    let mut size_line = None;
+    for (idx, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((idx + 1, t.to_string()));
+        break;
+    }
+    let (lineno, size) = size_line.ok_or_else(|| IoError::Format("missing size line".into()))?;
+    let mut it = size.split_whitespace();
+    let rows: usize = it
+        .next()
+        .ok_or_else(|| parse_err(lineno, "missing rows"))?
+        .parse()
+        .map_err(|e| parse_err(lineno, format!("bad rows: {e}")))?;
+    let cols: usize = it
+        .next()
+        .ok_or_else(|| parse_err(lineno, "missing cols"))?
+        .parse()
+        .map_err(|e| parse_err(lineno, format!("bad cols: {e}")))?;
+    let nnz: usize = it
+        .next()
+        .ok_or_else(|| parse_err(lineno, "missing nnz"))?
+        .parse()
+        .map_err(|e| parse_err(lineno, format!("bad nnz: {e}")))?;
+    let n = rows.max(cols);
+    let mut list = EdgeList::new(n);
+    list.edges.reserve(nnz);
+
+    for (idx, line) in lines {
+        let line = line?;
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing row"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing col"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad col: {e}")))?;
+        if u == 0 || v == 0 || u as usize > n || v as usize > n {
+            return Err(parse_err(lineno, "entry out of declared bounds"));
+        }
+        let w: Weight = match field {
+            "pattern" => 1,
+            "integer" => it
+                .next()
+                .ok_or_else(|| parse_err(lineno, "missing value"))?
+                .parse::<i64>()
+                .map_err(|e| parse_err(lineno, format!("bad value: {e}")))?
+                .unsigned_abs()
+                .max(1)
+                .min(u32::MAX as u64) as Weight,
+            "real" => {
+                let x: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing value"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad value: {e}")))?;
+                (x.abs().round() as u64).clamp(1, u32::MAX as u64) as Weight
+            }
+            _ => unreachable!(),
+        };
+        list.push((u - 1) as VertexId, (v - 1) as VertexId, w);
+    }
+    if list.len() != nnz {
+        return Err(IoError::Format(format!("declared {nnz} entries, found {}", list.len())));
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_pattern_general() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 2\n1 2\n3 1\n";
+        let el = parse_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(el.num_vertices, 3);
+        assert_eq!(el.edges, vec![(0, 1, 1), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn parses_integer_values() {
+        let text = "%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1 7\n";
+        let el = parse_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(el.edges, vec![(1, 0, 7)]);
+    }
+
+    #[test]
+    fn real_values_rounded_and_clamped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 2.6\n2 1 0.0\n";
+        let el = parse_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(el.edges, vec![(0, 1, 3), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = parse_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n")).unwrap_err();
+        assert!(err.to_string().contains("unsupported header"));
+    }
+
+    #[test]
+    fn rejects_nnz_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n";
+        assert!(parse_matrix_market(Cursor::new(text)).is_err());
+    }
+}

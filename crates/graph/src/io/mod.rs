@@ -1,0 +1,54 @@
+//! Graph file IO.
+//!
+//! The paper's real-world inputs come from SNAP/network-repository
+//! downloads in several formats. Loaders are provided so real datasets
+//! can be dropped in place of the synthetic stand-ins:
+//!
+//! * [`edgelist`] — whitespace-separated `src dst [weight]` lines
+//!   (SNAP's `.txt` format, `#` comments);
+//! * [`dimacs`] — DIMACS shortest-path `.gr` challenge format;
+//! * [`matrix_market`] — MatrixMarket `coordinate` `.mtx` files;
+//! * [`binary`] — a compact little-endian binary CSR snapshot for fast
+//!   reloading of preprocessed graphs.
+
+pub mod binary;
+pub mod dimacs;
+pub mod edgelist;
+pub mod matrix_market;
+
+pub use binary::{read_binary_csr, write_binary_csr};
+pub use dimacs::{parse_dimacs, write_dimacs};
+pub use edgelist::{parse_edge_list, write_edge_list};
+pub use matrix_market::parse_matrix_market;
+
+use std::fmt;
+
+/// IO / parse errors for every loader.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse { line: usize, message: String },
+    Format(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub(crate) fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}

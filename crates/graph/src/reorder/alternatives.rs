@@ -1,0 +1,113 @@
+//! Alternative vertex orderings, for ablating PRO's degree-descending
+//! choice (§4.1 justifies it with "vertices with high degrees are
+//! frequently used"; these alternatives test that justification).
+//!
+//! * [`random_order`] — a seeded shuffle: the locality *floor* (any
+//!   structure in the input labelling is destroyed);
+//! * [`bfs_order`] — breadth-first discovery order from a seed vertex:
+//!   the classic locality-oriented relabeling (neighbours end up close
+//!   in memory), degree-agnostic;
+//! * [`degree_ascending`] — the deliberate inverse of PRO's step 1.
+
+use super::permutation::Permutation;
+use crate::{Csr, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// A seeded random relabeling.
+pub fn random_order(g: &Csr, seed: u64) -> Permutation {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0x04D3_04D3));
+    // `order[new] = old`; invert to old → new.
+    let mut old_to_new = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        old_to_new[old as usize] = new as VertexId;
+    }
+    Permutation::from_old_to_new(old_to_new)
+}
+
+/// BFS discovery order from `seed_vertex`, unreached vertices appended
+/// in id order.
+pub fn bfs_order(g: &Csr, seed_vertex: VertexId) -> Permutation {
+    let n = g.num_vertices();
+    let mut old_to_new = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    if (seed_vertex as usize) < n {
+        old_to_new[seed_vertex as usize] = next;
+        next += 1;
+        queue.push_back(seed_vertex);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if old_to_new[v as usize] == u32::MAX {
+                old_to_new[v as usize] = next;
+                next += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    for slot in old_to_new.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    Permutation::from_old_to_new(old_to_new)
+}
+
+/// Ascending-degree relabeling (PRO's inverse).
+pub fn degree_ascending(g: &Csr) -> Permutation {
+    let n = g.num_vertices();
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    ids.sort_by_key(|&v| (g.degree(v), v));
+    let mut old_to_new = vec![0 as VertexId; n];
+    for (new, &old) in ids.iter().enumerate() {
+        old_to_new[old as usize] = new as VertexId;
+    }
+    Permutation::from_old_to_new(old_to_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_undirected, EdgeList};
+    use crate::generate::preferential_attachment;
+
+    fn graph() -> Csr {
+        build_undirected(&preferential_attachment(200, 3, 7))
+    }
+
+    #[test]
+    fn random_is_a_seeded_bijection() {
+        let g = graph();
+        let p = random_order(&g, 3);
+        assert_eq!(p, random_order(&g, 3));
+        assert_ne!(p, random_order(&g, 4));
+        assert_eq!(p.compose(&p.inverse()), Permutation::identity(g.num_vertices()));
+    }
+
+    #[test]
+    fn bfs_order_places_neighbours_nearby() {
+        let el = EdgeList::from_edges(6, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 4, 1)]);
+        let g = build_undirected(&el);
+        let p = bfs_order(&g, 0);
+        assert_eq!(p.new_id(0), 0);
+        // Direct neighbours get the next ids.
+        assert!(p.new_id(1) <= 2 && p.new_id(2) <= 2);
+        // Unreached vertex 5 goes last.
+        assert_eq!(p.new_id(5), 5);
+    }
+
+    #[test]
+    fn ascending_is_descending_reversed() {
+        let g = graph();
+        let asc = degree_ascending(&g);
+        let rg = asc.apply_to_graph(&g);
+        let degs: Vec<u32> = (0..rg.num_vertices() as u32).map(|v| rg.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

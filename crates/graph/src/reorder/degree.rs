@@ -1,0 +1,75 @@
+//! Descending-degree vertex relabeling (PRO step 1).
+//!
+//! §4.1: *"vertices with high degrees are frequently used ... we reorder
+//! the vertices in descending order by degree and reassign the index for
+//! them. In this way, vertices with high degrees are assigned low vertex
+//! id and stored together."* Ties are broken by original id, making the
+//! permutation deterministic.
+
+use super::permutation::Permutation;
+use crate::{Csr, VertexId};
+
+/// Compute the descending-degree permutation (old → new id).
+pub fn degree_descending(g: &Csr) -> Permutation {
+    let n = g.num_vertices();
+    let order: Vec<VertexId> = (0..n as VertexId).collect();
+    // Sort vertex ids by (degree desc, id asc) — a counting sort over
+    // degrees keeps this O(n + m) even for huge graphs.
+    let max_deg = order.iter().map(|&v| g.degree(v)).max().unwrap_or(0) as usize;
+    let mut buckets = vec![0u32; max_deg + 2];
+    for &v in &order {
+        buckets[g.degree(v) as usize + 1] += 1;
+    }
+    // Prefix sums over descending degree: position of first vertex with
+    // degree d = count of vertices with degree > d.
+    let mut start = vec![0u32; max_deg + 1];
+    let mut acc = 0u32;
+    for d in (0..=max_deg).rev() {
+        start[d] = acc;
+        acc += buckets[d + 1];
+    }
+    let mut old_to_new = vec![0 as VertexId; n];
+    for &v in &order {
+        let d = g.degree(v) as usize;
+        old_to_new[v as usize] = start[d];
+        start[d] += 1;
+    }
+    Permutation::from_old_to_new(old_to_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_undirected, EdgeList};
+
+    #[test]
+    fn orders_by_degree_with_stable_ties() {
+        // degrees: v0=1, v1=3, v2=1, v3=2, v4=1
+        let el = EdgeList::from_edges(5, vec![(1, 0, 1), (1, 2, 1), (1, 3, 1), (3, 4, 1)]);
+        let g = build_undirected(&el);
+        let p = degree_descending(&g);
+        assert_eq!(p.new_id(1), 0); // highest degree first
+        assert_eq!(p.new_id(3), 1);
+        // Ties (v0, v2, v4 with degree 1) keep original relative order.
+        assert_eq!(p.new_id(0), 2);
+        assert_eq!(p.new_id(2), 3);
+        assert_eq!(p.new_id(4), 4);
+    }
+
+    #[test]
+    fn relabeled_graph_has_monotone_degrees() {
+        let el = crate::generate::preferential_attachment(300, 3, 4);
+        let g = build_undirected(&el);
+        let p = degree_descending(&g);
+        let rg = p.apply_to_graph(&g);
+        let degs: Vec<u32> = (0..rg.num_vertices() as VertexId).map(|v| rg.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = Csr::empty(3);
+        let p = degree_descending(&g);
+        assert_eq!(p, Permutation::identity(3));
+    }
+}

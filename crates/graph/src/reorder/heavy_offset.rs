@@ -1,0 +1,89 @@
+//! Heavy-edge offsets (PRO step 3).
+//!
+//! §4.1 / Fig. 4 (c): *"to quickly locate the heavy edges in phase 2 of
+//! Δ-stepping algorithm, the offset of heavy edges is also added to row
+//! list."* With rows sorted by ascending weight, `heavy_offsets[v]` is
+//! the absolute edge index of `v`'s first heavy edge (`w >= delta`);
+//! light edges are `row[v]..heavy_offsets[v]`, heavy edges are
+//! `heavy_offsets[v]..row[v + 1]`.
+//!
+//! The paper notes the offset *"can be changed immediately in phase 1
+//! ... it can adapt itself to the change of Δ value"* — with sorted
+//! rows, recomputation for a new Δ is one binary search per vertex,
+//! exposed as [`recompute_heavy_offsets`].
+
+use crate::{Csr, VertexId, Weight};
+
+/// Compute and attach heavy offsets for `delta`. Requires every row to
+/// be weight-sorted (run [`super::sort_edges_by_weight`] first).
+///
+/// # Panics
+/// Panics if any row is not sorted by ascending weight.
+pub fn attach_heavy_offsets(g: &mut Csr, delta: Weight) {
+    let offsets = compute_heavy_offsets(g, delta);
+    g.set_heavy_offsets(offsets, delta);
+}
+
+/// Compute heavy offsets without attaching.
+pub fn compute_heavy_offsets(g: &Csr, delta: Weight) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut offsets = vec![0u32; n];
+    for v in 0..n as VertexId {
+        assert!(g.is_weight_sorted(v), "vertex {v} not weight-sorted");
+        let r = g.edge_range(v);
+        let split = g.edge_weights(v).partition_point(|&w| w < delta);
+        offsets[v as usize] = (r.start + split) as u32;
+    }
+    offsets
+}
+
+/// Recompute the offsets in place for a new delta (the adaptive-Δ path
+/// of §4.3 changes the bucket width between buckets).
+pub fn recompute_heavy_offsets(g: &mut Csr, delta: Weight) {
+    attach_heavy_offsets(g, delta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_split_light_heavy() {
+        let mut g = Csr::from_raw(
+            vec![0, 3, 5],
+            vec![1, 1, 1, 0, 0],
+            vec![1, 2, 8, 4, 9],
+        );
+        attach_heavy_offsets(&mut g, 3);
+        assert_eq!(g.heavy_offsets().unwrap(), &[2, 3]);
+        assert_eq!(g.light_range(0, 3), Some(0..2));
+        assert_eq!(g.light_range(1, 3), Some(3..3));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn all_light_and_all_heavy() {
+        let mut g = Csr::from_raw(vec![0, 2], vec![0, 0], vec![1, 2]);
+        attach_heavy_offsets(&mut g, 100);
+        assert_eq!(g.heavy_offsets().unwrap(), &[2]); // all light
+        attach_heavy_offsets(&mut g, 1);
+        assert_eq!(g.heavy_offsets().unwrap(), &[0]); // all heavy
+    }
+
+    #[test]
+    fn recompute_for_new_delta() {
+        let mut g = Csr::from_raw(vec![0, 3], vec![0, 0, 0], vec![2, 5, 9]);
+        attach_heavy_offsets(&mut g, 4);
+        assert_eq!(g.heavy_offsets().unwrap(), &[1]);
+        recompute_heavy_offsets(&mut g, 6);
+        assert_eq!(g.heavy_offsets().unwrap(), &[2]);
+        assert_eq!(g.heavy_delta(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "not weight-sorted")]
+    fn requires_sorted_rows() {
+        let mut g = Csr::from_raw(vec![0, 2], vec![0, 0], vec![9, 1]);
+        attach_heavy_offsets(&mut g, 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Vertex permutations: relabeling maps with graph/array application.
+
+use crate::{Csr, VertexId};
+
+/// A bijective relabeling of vertices, stored as **old id → new id**.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    old_to_new: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// Build from an old→new map, validating bijectivity.
+    ///
+    /// # Panics
+    /// Panics if the map is not a permutation of `0..len`.
+    pub fn from_old_to_new(old_to_new: Vec<VertexId>) -> Self {
+        let n = old_to_new.len();
+        let mut seen = vec![false; n];
+        for &x in &old_to_new {
+            assert!((x as usize) < n, "permutation entry {x} out of range");
+            assert!(!seen[x as usize], "duplicate permutation entry {x}");
+            seen[x as usize] = true;
+        }
+        Self { old_to_new }
+    }
+
+    /// The identity permutation over `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Self { old_to_new: (0..n as VertexId).collect() }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Whether this permutes zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.old_to_new.is_empty()
+    }
+
+    /// New id of an old vertex.
+    #[inline]
+    pub fn new_id(&self, old: VertexId) -> VertexId {
+        self.old_to_new[old as usize]
+    }
+
+    /// The inverse map, **new id → old id**.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as VertexId; self.len()];
+        for (old, &new) in self.old_to_new.iter().enumerate() {
+            inv[new as usize] = old as VertexId;
+        }
+        Permutation { old_to_new: inv }
+    }
+
+    /// Compose: apply `self` first, then `then` (`old → then(self(old))`).
+    pub fn compose(&self, then: &Permutation) -> Permutation {
+        assert_eq!(self.len(), then.len());
+        Permutation {
+            old_to_new: self.old_to_new.iter().map(|&mid| then.new_id(mid)).collect(),
+        }
+    }
+
+    /// Relabel a graph: vertex `v` becomes `new_id(v)`; adjacency
+    /// entries are rewritten and rows rebuilt in new-id order. Edge
+    /// order within a row follows the old row order (callers that need
+    /// weight-sorted rows run [`super::sort_edges_by_weight`] after).
+    pub fn apply_to_graph(&self, g: &Csr) -> Csr {
+        let n = g.num_vertices();
+        assert_eq!(n, self.len());
+        let inv = self.inverse();
+        let mut row_offsets = vec![0u32; n + 1];
+        for new_v in 0..n {
+            let old_v = inv.new_id(new_v as VertexId);
+            row_offsets[new_v + 1] = row_offsets[new_v] + g.degree(old_v);
+        }
+        let m = g.num_edges();
+        let mut adjacency = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        for new_v in 0..n {
+            let old_v = inv.new_id(new_v as VertexId);
+            for (dst, w) in g.edges(old_v) {
+                adjacency.push(self.new_id(dst));
+                weights.push(w);
+            }
+        }
+        Csr::from_raw(row_offsets, adjacency, weights)
+    }
+
+    /// Relabel a per-vertex array indexed by **old** ids into one
+    /// indexed by **new** ids.
+    pub fn apply_to_array<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len());
+        let mut out = vec![values[0]; values.len()];
+        for (old, &new) in self.old_to_new.iter().enumerate() {
+            out[new as usize] = values[old];
+        }
+        out
+    }
+
+    /// Map a per-vertex array indexed by **new** ids back to old order.
+    pub fn unapply_to_array<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        self.inverse().apply_to_array(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.new_id(2), 2);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_old_to_new(vec![2, 0, 3, 1]);
+        assert_eq!(p.compose(&p.inverse()), Permutation::identity(4));
+        assert_eq!(p.inverse().compose(&p), Permutation::identity(4));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let p = Permutation::from_old_to_new(vec![2, 0, 1]);
+        let vals = [10, 20, 30];
+        let new = p.apply_to_array(&vals);
+        assert_eq!(new, vec![20, 30, 10]);
+        assert_eq!(p.unapply_to_array(&new), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_non_bijection() {
+        let _ = Permutation::from_old_to_new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn graph_relabel_preserves_structure() {
+        // path 0 - 1 - 2 with weights 5, 7.
+        let g = Csr::from_raw(vec![0, 1, 3, 4], vec![1, 0, 2, 1], vec![5, 5, 7, 7]);
+        let p = Permutation::from_old_to_new(vec![2, 1, 0]); // reverse
+        let rg = p.apply_to_graph(&g);
+        // New vertex 2 is old 0: degree 1, neighbour new-id of old 1 = 1.
+        assert_eq!(rg.neighbors(2), &[1]);
+        assert_eq!(rg.edge_weights(2), &[5]);
+        assert_eq!(rg.neighbors(1), &[2, 0]);
+        assert_eq!(rg.edge_weights(1), &[5, 7]);
+        assert_eq!(rg.neighbors(0), &[1]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Per-vertex ascending-weight edge sorting (PRO step 2).
+//!
+//! §4.1: *"the relaxation of edges with small weight values has a high
+//! possibility for valid updates. Hence, for each vertex, we further
+//! reorder the adjacent vertices in adjacency list and value list in
+//! ascending order of weight."* After this, light edges (`w < Δ`) form
+//! a prefix of every row, removing the per-edge branch of phase 1/2.
+
+use crate::Csr;
+
+/// Sort every vertex's `(adjacency, weights)` pair by ascending weight
+/// in place. Ties are broken by destination id for determinism. Any
+/// attached heavy offsets are invalidated and cleared.
+pub fn sort_edges_by_weight(g: &mut Csr) {
+    let n = g.num_vertices();
+    let (rows, adj, ws) = g.edges_mut();
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    for v in 0..n {
+        let r = rows[v] as usize..rows[v + 1] as usize;
+        if r.len() <= 1 {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend(ws[r.clone()].iter().copied().zip(adj[r.clone()].iter().copied()));
+        scratch.sort_unstable();
+        for (i, &(w, d)) in scratch.iter().enumerate() {
+            ws[r.start + i] = w;
+            adj[r.start + i] = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_each_row() {
+        let mut g = Csr::from_raw(
+            vec![0, 3, 5],
+            vec![1, 0, 1, 0, 1],
+            vec![9, 2, 5, 7, 3],
+        );
+        sort_edges_by_weight(&mut g);
+        assert_eq!(g.edge_weights(0), &[2, 5, 9]);
+        assert_eq!(g.neighbors(0), &[0, 1, 1]);
+        assert_eq!(g.edge_weights(1), &[3, 7]);
+        assert_eq!(g.neighbors(1), &[1, 0]);
+        assert!(g.is_fully_weight_sorted());
+    }
+
+    #[test]
+    fn tie_break_by_destination() {
+        let mut g = Csr::from_raw(vec![0, 3, 3, 3], vec![2, 0, 1], vec![5, 5, 5]);
+        sort_edges_by_weight(&mut g);
+        assert_eq!(g.neighbors(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn clears_heavy_offsets() {
+        let mut g = Csr::from_raw(vec![0, 2], vec![0, 0], vec![1, 9]);
+        crate::reorder::attach_heavy_offsets(&mut g, 5);
+        assert!(g.heavy_offsets().is_some());
+        sort_edges_by_weight(&mut g);
+        assert!(g.heavy_offsets().is_none());
+    }
+}

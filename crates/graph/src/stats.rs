@@ -1,0 +1,255 @@
+//! Graph statistics: degree distribution, components, pseudo-diameter.
+//!
+//! Used by the Table 1 harness to report the same columns the paper
+//! does (#vertices, #edges, #avg_deg, #diameter) for the stand-in
+//! datasets, and by tests to validate generator properties.
+
+use crate::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Summary of a graph's shape.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    /// Directed average degree (`m / n`), matching Table 1's convention.
+    pub avg_degree: f64,
+    pub max_degree: u32,
+    /// Lower bound on the diameter from a double BFS sweep on the
+    /// largest component (hop count, unweighted).
+    pub pseudo_diameter: u32,
+    pub num_components: usize,
+    pub largest_component: usize,
+}
+
+/// Compute all summary statistics.
+pub fn graph_stats(g: &Csr) -> GraphStats {
+    let n = g.num_vertices();
+    let comps = connected_components(g);
+    let pseudo_diameter = pseudo_diameter(g);
+    let max_degree = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        avg_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+        max_degree,
+        pseudo_diameter,
+        num_components: comps.num_components,
+        largest_component: comps.largest,
+    }
+}
+
+/// Connected-component labelling (treating edges as undirected links —
+/// correct for the symmetrized graphs this workspace uses).
+pub struct Components {
+    /// Component id per vertex.
+    pub labels: Vec<u32>,
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+/// Label components with BFS.
+pub fn connected_components(g: &Csr) -> Components {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut num = 0u32;
+    let mut largest = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n as VertexId {
+        if labels[s as usize] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        labels[s as usize] = num;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = num;
+                    queue.push_back(v);
+                }
+            }
+        }
+        largest = largest.max(size);
+        num += 1;
+    }
+    Components { labels, num_components: num as usize, largest }
+}
+
+/// Hop distances from `src` (unweighted BFS); `u32::MAX` = unreachable.
+pub fn bfs_levels(g: &Csr, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut level = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    level[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let next = level[u as usize] + 1;
+        for &v in g.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Double-sweep pseudo-diameter: BFS from an arbitrary vertex of the
+/// largest component, then BFS from the farthest vertex found; the
+/// eccentricity of the second sweep lower-bounds the diameter and is
+/// usually tight on road/social graphs.
+pub fn pseudo_diameter(g: &Csr) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let comps = connected_components(g);
+    // Pick a start vertex inside the largest component.
+    let mut sizes = vec![0usize; comps.num_components];
+    for &l in &comps.labels {
+        sizes[l as usize] += 1;
+    }
+    let Some(label) = (0..sizes.len()).max_by_key(|&l| sizes[l]) else { return 0 };
+    let start = (0..n as VertexId).find(|&v| comps.labels[v as usize] == label as u32).unwrap();
+    let l1 = bfs_levels(g, start);
+    let far = farthest(&l1);
+    let l2 = bfs_levels(g, far);
+    l2.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+fn farthest(levels: &[u32]) -> VertexId {
+    levels
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(0)
+}
+
+/// Gini coefficient of the degree distribution: 0 = perfectly
+/// uniform (road meshes), → 1 = extreme hub concentration (the
+/// power-law skew §3.2 blames for GPU load imbalance).
+pub fn degree_gini(g: &Csr) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut degs: Vec<u64> = (0..n as VertexId).map(|v| g.degree(v) as u64).collect();
+    degs.sort_unstable();
+    let total: u64 = degs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Gini = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, 1-indexed.
+    let weighted: u128 = degs.iter().enumerate().map(|(i, &d)| (i as u128 + 1) * d as u128).sum();
+    (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Degree value at a given percentile (0–100) of the distribution.
+pub fn degree_percentile(g: &Csr, pct: f64) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut degs: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    let idx = ((pct / 100.0) * (n as f64 - 1.0)).round() as usize;
+    degs[idx.min(n - 1)]
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let n = g.num_vertices();
+    let max = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0) as usize;
+    let mut hist = vec![0usize; max + 1];
+    for v in 0..n as VertexId {
+        hist[g.degree(v) as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_undirected, EdgeList};
+
+    fn path(n: usize) -> Csr {
+        let edges = (0..n as VertexId - 1).map(|i| (i, i + 1, 1)).collect();
+        build_undirected(&EdgeList::from_edges(n, edges))
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = path(10);
+        assert_eq!(pseudo_diameter(&g), 9);
+        let st = graph_stats(&g);
+        assert_eq!(st.num_components, 1);
+        assert_eq!(st.largest_component, 10);
+        assert_eq!(st.max_degree, 2);
+    }
+
+    #[test]
+    fn components_counted() {
+        // two disjoint edges + isolated vertex
+        let el = EdgeList::from_edges(5, vec![(0, 1, 1), (2, 3, 1)]);
+        let g = build_undirected(&el);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3);
+        assert_eq!(c.largest, 2);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_ne!(c.labels[0], c.labels[2]);
+    }
+
+    #[test]
+    fn bfs_levels_unreachable() {
+        let el = EdgeList::from_edges(3, vec![(0, 1, 1)]);
+        let g = build_undirected(&el);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = path(7);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+        assert_eq!(h[1], 2); // endpoints
+        assert_eq!(h[2], 5);
+    }
+
+    #[test]
+    fn gini_and_percentiles() {
+        // Uniform degrees → Gini ~ 0.
+        let ring: Vec<(VertexId, VertexId, u32)> =
+            (0..20).map(|i| (i, (i + 1) % 20, 1)).collect();
+        let g = build_undirected(&EdgeList::from_edges(20, ring));
+        assert!(degree_gini(&g) < 0.01);
+        assert_eq!(degree_percentile(&g, 50.0), 2);
+        // A star → high Gini.
+        let star: Vec<(VertexId, VertexId, u32)> = (1..40).map(|i| (0, i, 1)).collect();
+        let g = build_undirected(&EdgeList::from_edges(40, star));
+        assert!(degree_gini(&g) > 0.45, "gini {}", degree_gini(&g));
+        assert_eq!(degree_percentile(&g, 0.0), 1);
+        assert_eq!(degree_percentile(&g, 100.0), 39);
+    }
+
+    #[test]
+    fn stats_are_serializable() {
+        // Compile-time check: downstream users can export GraphStats
+        // with any serde serializer.
+        fn assert_serialize<T: serde::Serialize>() {}
+        assert_serialize::<GraphStats>();
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::empty(0);
+        let st = graph_stats(&g);
+        assert_eq!(st.num_vertices, 0);
+        assert_eq!(st.pseudo_diameter, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Graph transforms: subgraph induction and component extraction.
+//!
+//! Real-dataset workflows (the paper's Table 1 graphs are raw SNAP
+//! downloads) usually restrict the experiment to the largest connected
+//! component so that random sources reach most of the graph. These
+//! helpers do that restriction while keeping a mapping back to the
+//! original vertex ids.
+
+use crate::stats::connected_components;
+use crate::{Csr, VertexId};
+
+/// A subgraph plus the mapping from its ids to the original ids.
+pub struct Subgraph {
+    pub graph: Csr,
+    /// `original[new_id] = old_id`.
+    pub original: Vec<VertexId>,
+}
+
+/// Induce the subgraph on `keep` (must be strictly increasing).
+/// Edges with either endpoint outside `keep` are dropped.
+pub fn induce_subgraph(g: &Csr, keep: &[VertexId]) -> Subgraph {
+    assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted unique");
+    let n_old = g.num_vertices();
+    let mut new_id = vec![u32::MAX; n_old];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!((old as usize) < n_old, "keep contains out-of-range vertex {old}");
+        new_id[old as usize] = new as u32;
+    }
+    let n = keep.len();
+    let mut row_offsets = vec![0u32; n + 1];
+    let mut adjacency = Vec::new();
+    let mut weights = Vec::new();
+    for (new, &old) in keep.iter().enumerate() {
+        for (dst, w) in g.edges(old) {
+            let nd = new_id[dst as usize];
+            if nd != u32::MAX {
+                adjacency.push(nd);
+                weights.push(w);
+            }
+        }
+        row_offsets[new + 1] = adjacency.len() as u32;
+    }
+    Subgraph { graph: Csr::from_raw(row_offsets, adjacency, weights), original: keep.to_vec() }
+}
+
+/// Extract the largest connected component.
+pub fn largest_component(g: &Csr) -> Subgraph {
+    let comps = connected_components(g);
+    if g.num_vertices() == 0 {
+        return Subgraph { graph: Csr::empty(0), original: Vec::new() };
+    }
+    let mut sizes = vec![0usize; comps.num_components];
+    for &l in &comps.labels {
+        sizes[l as usize] += 1;
+    }
+    let best = (0..sizes.len()).max_by_key(|&l| sizes[l]).unwrap() as u32;
+    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| comps.labels[v as usize] == best)
+        .collect();
+    induce_subgraph(g, &keep)
+}
+
+/// Drop vertices below a minimum degree (one pass, not iterated — use
+/// repeatedly for a k-core-style peel).
+pub fn filter_min_degree(g: &Csr, min_degree: u32) -> Subgraph {
+    let keep: Vec<VertexId> =
+        (0..g.num_vertices() as VertexId).filter(|&v| g.degree(v) >= min_degree).collect();
+    induce_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_undirected, EdgeList};
+
+    fn two_components() -> Csr {
+        // component A: 0-1-2 (triangle), component B: 3-4.
+        build_undirected(&EdgeList::from_edges(
+            6,
+            vec![(0, 1, 1), (1, 2, 2), (0, 2, 3), (3, 4, 4)],
+        ))
+    }
+
+    #[test]
+    fn largest_component_extracted() {
+        let g = two_components();
+        let sub = largest_component(&g);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 6);
+        assert_eq!(sub.original, vec![0, 1, 2]);
+        assert!(sub.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn induce_preserves_weights() {
+        let g = two_components();
+        let sub = induce_subgraph(&g, &[0, 2]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        // Only the 0-2 edge (weight 3) survives, both directions.
+        assert_eq!(sub.graph.num_edges(), 2);
+        assert_eq!(sub.graph.edge_weights(0), &[3]);
+        assert_eq!(sub.graph.neighbors(0), &[1]); // new id of old 2
+    }
+
+    #[test]
+    fn min_degree_filter() {
+        let g = two_components(); // degrees: 2,2,2,1,1,0
+        let sub = filter_min_degree(&g, 2);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.original, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Csr::empty(3);
+        let sub = largest_component(&g);
+        assert_eq!(sub.graph.num_vertices(), 1); // one isolated vertex
+        let sub = induce_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted unique")]
+    fn unsorted_keep_rejected() {
+        let g = two_components();
+        let _ = induce_subgraph(&g, &[2, 0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rdbs_graph::builder::{build_directed, build_undirected, CsrBuilder, EdgeList};
+use rdbs_graph::io;
+use rdbs_graph::reorder;
+use rdbs_graph::{VertexId, Weight};
+use std::io::Cursor;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as VertexId, 0..n as VertexId, 1..1000 as Weight);
+        proptest::collection::vec(edge, 0..max_m)
+            .prop_map(move |edges| EdgeList::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn builder_invariants(el in arb_edges(64, 256)) {
+        let g = build_undirected(&el);
+        prop_assert!(g.validate().is_ok());
+        // Undirected: every edge has its reverse with the same weight.
+        for (u, v, w) in g.all_edges() {
+            prop_assert!(g.edges(v).any(|(x, wx)| x == u && wx == w));
+        }
+        // No self loops, no duplicate (u, v) pairs.
+        for u in 0..g.num_vertices() as VertexId {
+            let mut seen = std::collections::HashSet::new();
+            for (v, _) in g.edges(u) {
+                prop_assert_ne!(u, v);
+                prop_assert!(seen.insert(v), "duplicate edge ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn directed_raw_preserves_count(el in arb_edges(64, 256)) {
+        let g = build_directed(&el);
+        prop_assert_eq!(g.num_edges(), el.len());
+    }
+
+    #[test]
+    fn dedup_keeps_minimum(el in arb_edges(24, 128)) {
+        let g = CsrBuilder { symmetrize: false, dedup: true, drop_self_loops: true }.build(&el);
+        for (u, v, w) in g.all_edges() {
+            let min = el.edges.iter()
+                .filter(|&&(a, b, _)| a == u && b == v)
+                .map(|&(_, _, w)| w)
+                .min()
+                .unwrap();
+            prop_assert_eq!(w, min);
+        }
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip(el in arb_edges(64, 128)) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&el, &mut buf).unwrap();
+        let back = io::parse_edge_list(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.edges, el.edges);
+    }
+
+    #[test]
+    fn dimacs_io_roundtrip(el in arb_edges(64, 128)) {
+        let mut buf = Vec::new();
+        io::write_dimacs(&el, &mut buf).unwrap();
+        let back = io::parse_dimacs(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.num_vertices, el.num_vertices);
+        prop_assert_eq!(back.edges, el.edges);
+    }
+
+    #[test]
+    fn binary_io_roundtrip(el in arb_edges(64, 128)) {
+        let g = build_undirected(&el);
+        let mut buf = Vec::new();
+        io::write_binary_csr(&g, &mut buf).unwrap();
+        let back = io::read_binary_csr(&buf[..]).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_io_roundtrip_with_pro(el in arb_edges(48, 96), delta in 1u32..1500) {
+        let (g, _) = reorder::pro(&build_undirected(&el), delta);
+        let mut buf = Vec::new();
+        io::write_binary_csr(&g, &mut buf).unwrap();
+        let back = io::read_binary_csr(&buf[..]).unwrap();
+        prop_assert_eq!(back.heavy_offsets(), g.heavy_offsets());
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn degree_reorder_is_monotone(el in arb_edges(64, 256)) {
+        let g = build_undirected(&el);
+        let p = reorder::degree_descending(&g);
+        let rg = p.apply_to_graph(&g);
+        let degs: Vec<u32> = (0..rg.num_vertices() as VertexId).map(|v| rg.degree(v)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+        // Degree multiset preserved.
+        let mut a: Vec<u32> = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
+        let mut b = degs;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_offsets_partition_edges(el in arb_edges(48, 192), delta in 1u32..1500) {
+        let g = build_undirected(&el);
+        let mut sorted = g.clone();
+        reorder::sort_edges_by_weight(&mut sorted);
+        reorder::attach_heavy_offsets(&mut sorted, delta);
+        let offsets = sorted.heavy_offsets().unwrap();
+        for v in 0..sorted.num_vertices() as VertexId {
+            let r = sorted.edge_range(v);
+            let h = offsets[v as usize] as usize;
+            let light = sorted.weights()[r.start..h].iter().filter(|&&w| w < delta).count();
+            prop_assert_eq!(light, h - r.start);
+            prop_assert!(sorted.weights()[h..r.end].iter().all(|&w| w >= delta));
+            prop_assert_eq!(
+                sorted.light_degree(v, delta),
+                g.edge_weights(v).iter().filter(|&&w| w < delta).count() as u32
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_market_parse_synthesized(el in arb_edges(32, 64)) {
+        // Write a MatrixMarket file by hand, parse it back.
+        let mut text = format!(
+            "%%MatrixMarket matrix coordinate integer general\n{} {} {}\n",
+            el.num_vertices, el.num_vertices, el.len()
+        );
+        for &(u, v, w) in &el.edges {
+            text.push_str(&format!("{} {} {}\n", u + 1, v + 1, w));
+        }
+        let back = io::parse_matrix_market(Cursor::new(text)).unwrap();
+        prop_assert_eq!(back.edges, el.edges);
+    }
+}

@@ -1,0 +1,86 @@
+//! Dynamic routing: maintain shortest paths on a road network while
+//! edges close, reopen and change weight — the §1 "road layout
+//! management" application, served by the Ramalingam–Reps-style
+//! [`rdbs::sssp::dynamic::DynamicSssp`] instead of full recomputes.
+//!
+//! ```text
+//! cargo run --release --example dynamic_routing
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rdbs::graph::datasets::by_name;
+use rdbs::sssp::dynamic::DynamicSssp;
+use rdbs::sssp::paths::{build_parent_tree, extract_path};
+use rdbs::sssp::seq::dijkstra;
+use rdbs::sssp::INF;
+
+fn main() {
+    let graph = by_name("road-TX").expect("spec").generate(9, 17);
+    println!(
+        "road network: {} intersections, {} road segments",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let n = graph.num_vertices() as u32;
+    // Put the depot at a well-connected intersection.
+    let depot = (0..n).max_by_key(|&v| graph.degree(v)).unwrap_or(0);
+    let mut sssp = DynamicSssp::new(&graph, depot);
+    let reachable = |d: &DynamicSssp| d.dist().iter().filter(|&&x| x != INF).count();
+    println!("initial: {} intersections reachable from the depot\n", reachable(&sssp));
+
+    // A day of traffic: random closures, reopenings, congestion.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut closed: Vec<(u32, u32, u32)> = Vec::new();
+    let t0 = std::time::Instant::now();
+    let mut events = 0;
+    for _ in 0..300 {
+        let u = rng.gen_range(0..n);
+        match rng.gen_range(0..3) {
+            0 => {
+                // Close a random segment at u.
+                if let Some((v, w)) = graph.edges(u).next() {
+                    sssp.delete_edge(u, v);
+                    closed.push((u, v, w));
+                    events += 1;
+                }
+            }
+            1 => {
+                // Reopen the oldest closure.
+                if let Some((a, b, w)) = closed.pop() {
+                    sssp.insert_or_decrease(a, b, w);
+                    events += 1;
+                }
+            }
+            _ => {
+                // Congestion: double a segment's weight.
+                if let Some((v, w)) = graph.edges(u).next() {
+                    sssp.increase_weight(u, v, w.saturating_mul(2).min(1000));
+                    events += 1;
+                }
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64() * 1e3;
+    println!("processed {events} network events in {dt:.1} ms ({:.3} ms/event)", dt / events as f64);
+    println!("now reachable: {}", reachable(&sssp));
+
+    // Validate against a fresh Dijkstra on the mutated network.
+    let current = sssp.to_csr();
+    let oracle = dijkstra(&current, depot);
+    assert_eq!(sssp.dist(), &oracle.dist[..], "incremental state must match recompute");
+    println!("validation: incremental distances match a full recompute ✓");
+
+    // Route to the farthest reachable intersection.
+    let far = (0..n)
+        .filter(|&v| sssp.dist()[v as usize] != INF)
+        .max_by_key(|&v| sssp.dist()[v as usize])
+        .unwrap();
+    let parents = build_parent_tree(&current, depot, sssp.dist());
+    let path = extract_path(&parents, depot, far).unwrap();
+    println!(
+        "\nfarthest delivery: intersection {far}, distance {}, {} hops",
+        sssp.dist()[far as usize],
+        path.len() - 1
+    );
+}

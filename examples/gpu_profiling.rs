@@ -1,0 +1,69 @@
+//! Using the simulator as an nvprof substitute: profile two SSSP
+//! implementations side by side and inspect per-kernel reports.
+//!
+//! ```text
+//! cargo run --release --example gpu_profiling
+//! ```
+
+use rdbs::baselines::adds;
+use rdbs::graph::builder::build_undirected;
+use rdbs::graph::generate::{kronecker, uniform_weights, KroneckerConfig};
+use rdbs::graph::reorder;
+use rdbs::sim::{Device, DeviceConfig};
+use rdbs::sssp::default_delta;
+use rdbs::sssp::gpu::rdbs::{rdbs, RdbsConfig};
+
+fn main() {
+    let mut el = kronecker(KroneckerConfig::new(13, 16), 9);
+    uniform_weights(&mut el, 9);
+    let graph = build_undirected(&el);
+    let source = 5;
+    println!(
+        "profiling on k-n13-16: {} vertices, {} edges\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // --- RDBS (with PRO preprocessing) ---
+    let delta0 = default_delta(&graph);
+    let (pg, perm) = reorder::pro(&graph, delta0);
+    let mut dev = Device::new(DeviceConfig::v100());
+    let _ = rdbs(&mut dev, &pg, perm.new_id(source), RdbsConfig::full());
+    print_profile("RDBS (BASYN+PRO+ADWL)", &dev);
+
+    // --- ADDS comparator on the identical raw graph ---
+    let mut dev = Device::new(DeviceConfig::v100());
+    let _ = adds(&mut dev, &graph, source, delta0);
+    print_profile("ADDS", &dev);
+}
+
+fn print_profile(label: &str, dev: &Device) {
+    let c = dev.counters();
+    println!("== {label} ==");
+    println!("  simulated time            : {:.3} ms", dev.elapsed_ms());
+    println!("  inst_executed             : {}", c.inst_executed);
+    println!("  inst_executed_global_loads: {}", c.inst_executed_global_loads);
+    println!("  inst_executed_global_stores: {}", c.inst_executed_global_stores);
+    println!("  inst_executed_atomics     : {}", c.inst_executed_atomics);
+    println!("  gld/gst transactions      : {} / {}", c.gld_transactions, c.gst_transactions);
+    println!("  global_hit_rate           : {:.2} %", c.global_hit_rate());
+    println!("  warp_execution_efficiency : {:.2} %", c.warp_execution_efficiency());
+    println!("  atomic conflicts          : {}", c.atomic_conflicts);
+    println!("  kernel launches (host/dev): {} / {}", c.kernel_launches, c.child_kernel_launches);
+    println!("  barriers                  : {}", c.barriers);
+
+    // Aggregate the per-kernel reports.
+    let mut by_name: std::collections::BTreeMap<&str, (u64, f64)> = Default::default();
+    for r in dev.reports() {
+        let e = by_name.entry(r.name).or_default();
+        e.0 += 1;
+        e.1 += r.total_ns;
+    }
+    let mut rows: Vec<_> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap());
+    println!("  hottest kernels:");
+    for (name, (count, ns)) in rows.into_iter().take(4) {
+        println!("    {name:<22} x{count:<6} {:.3} ms", ns / 1e6);
+    }
+    println!();
+}

@@ -1,0 +1,61 @@
+//! Road-network routing: the paper's adversarial workload.
+//!
+//! Generates a roadNet-TX-like strip mesh (near-uniform tiny degree,
+//! enormous diameter), runs every GPU variant plus the ADDS comparator
+//! and shows the crossover the paper reports in §5.2.2: on
+//! high-diameter uniform-degree graphs the reordering/load-balancing
+//! machinery cannot pay for itself and ADDS's simpler asynchronous
+//! scheme is competitive.
+//!
+//! ```text
+//! cargo run --release --example road_network
+//! ```
+
+use rdbs::baselines::run_adds;
+use rdbs::graph::datasets::by_name;
+use rdbs::graph::stats::graph_stats;
+use rdbs::sim::DeviceConfig;
+use rdbs::sssp::gpu::{run_gpu, Variant};
+use rdbs::sssp::{seq::dijkstra, validate::check_against};
+
+fn main() {
+    let spec = by_name("road-TX").expect("road-TX spec");
+    let graph = spec.generate(8, 7);
+    let st = graph_stats(&graph);
+    println!(
+        "road-TX stand-in: {} vertices, {} edges, max degree {}, pseudo-diameter {}",
+        st.num_vertices, st.num_edges, st.max_degree, st.pseudo_diameter
+    );
+
+    let source = 0;
+    let oracle = dijkstra(&graph, source);
+    let device = DeviceConfig::v100()
+        .with_overhead_scale(1.0 / 256.0)
+        .with_cache_scale(1.0 / 256.0);
+
+    println!("\n{:<16} {:>12} {:>10} {:>9}", "variant", "time (ms)", "updates", "buckets");
+    for variant in Variant::fig8_variants() {
+        let run = run_gpu(&graph, source, variant, device.clone());
+        check_against(&oracle.dist, &run.result.dist).expect("wrong distances");
+        println!(
+            "{:<16} {:>12.4} {:>10} {:>9}",
+            run.label,
+            run.elapsed_ms,
+            run.result.stats.total_updates,
+            run.buckets.len()
+        );
+    }
+    let adds = run_adds(&graph, source, device);
+    check_against(&oracle.dist, &adds.result.dist).expect("ADDS wrong");
+    println!(
+        "{:<16} {:>12.4} {:>10} {:>9}",
+        "ADDS",
+        adds.elapsed_ms,
+        adds.result.stats.total_updates,
+        "-"
+    );
+    println!(
+        "\nNote the paper's observation (§5.2.2): \"for uniform-degree and high-diameter\n\
+         graphs, such as road-TX, the performance of our method is not as good as ADDS\"."
+    );
+}

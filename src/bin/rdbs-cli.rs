@@ -1,0 +1,338 @@
+//! `rdbs-cli` — run any SSSP implementation in the workspace on a
+//! generated or loaded graph from the command line.
+//!
+//! ```text
+//! rdbs-cli --gen kronecker:14:16 --algo rdbs --source 1
+//! rdbs-cli --load graph.gr --format dimacs --algo adds --profile
+//! rdbs-cli --gen dataset:soc-PK:6 --algo all --sources 4
+//! ```
+
+use rdbs::baselines::{adds, frontier_bf, near_far, pq_delta_stepping};
+use rdbs::graph::builder::build_undirected;
+use rdbs::graph::generate::{
+    erdos_renyi, grid_road, kronecker, preferential_attachment, uniform_weights, GridConfig,
+    KroneckerConfig,
+};
+use rdbs::graph::{datasets, io, Csr, Dist, VertexId, INF};
+use rdbs::sim::{Device, DeviceConfig};
+use rdbs::baselines::{rho_stepping, sep_graph};
+use rdbs::sssp::cpu::{async_bucket_sssp, default_threads, parallel_delta_stepping};
+use rdbs::sssp::gpu::{multi_gpu_sssp, MultiGpuConfig};
+use rdbs::sssp::seq::dial;
+use rdbs::sssp::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs::sssp::seq::{bellman_ford, delta_stepping, dijkstra};
+use rdbs::sssp::{default_delta, validate};
+use std::io::BufReader;
+use std::process::exit;
+
+struct Options {
+    gen_spec: Option<String>,
+    load_path: Option<String>,
+    format: String,
+    algo: String,
+    source: VertexId,
+    sources: usize,
+    seed: u64,
+    device: DeviceConfig,
+    profile: bool,
+    validate: bool,
+    print_dist: usize,
+    delta0: Option<u32>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            gen_spec: None,
+            load_path: None,
+            format: "edgelist".into(),
+            algo: "rdbs".into(),
+            source: 0,
+            sources: 1,
+            seed: 42,
+            device: DeviceConfig::v100(),
+            profile: false,
+            validate: false,
+            print_dist: 0,
+            delta0: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli [--gen SPEC | --load FILE] [options]
+
+graph input (one of):
+  --gen kronecker:SCALE:EF      Graph500 Kronecker
+  --gen rmat:SCALE:EF           (same parameters, unpermuted R-MAT)
+  --gen grid:ROWS:COLS          road-like mesh
+  --gen powerlaw:N:M            preferential attachment
+  --gen erdos:N:M               uniform random
+  --gen dataset:NAME:SHIFT      Table-1 stand-in (road-TX, soc-PK, ...)
+  --load FILE                   read a file (see --format)
+  --format edgelist|dimacs|mtx|binary
+
+run options:
+  --algo rdbs|basyn-pro|basyn-adwl|basyn|sync-delta|bl|frontier-bf|
+         adds|near-far|sep-graph|framework|multi-gpu:K|
+         dijkstra|dial|bellman-ford|delta-stepping|
+         cpu-parallel|cpu-async|pq-delta|rho-stepping|all
+  --source V          starting vertex (default 0)
+  --sources K         average over K random sources instead
+  --seed S            rng seed (default 42)
+  --device V100|T4    simulated GPU
+  --delta0 W          bucket width override
+  --profile           print nvprof-style counters (GPU algos)
+  --validate          check against Dijkstra
+  --print-dist N      print the first N distances"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut o = Options::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--gen" => o.gen_spec = Some(val()),
+            "--load" => o.load_path = Some(val()),
+            "--format" => o.format = val(),
+            "--algo" => o.algo = val().to_lowercase(),
+            "--source" => o.source = val().parse().unwrap_or_else(|_| usage()),
+            "--sources" => o.sources = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--delta0" => o.delta0 = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--device" => {
+                o.device = match val().to_uppercase().as_str() {
+                    "V100" => DeviceConfig::v100(),
+                    "T4" => DeviceConfig::t4(),
+                    _ => usage(),
+                }
+            }
+            "--profile" => o.profile = true,
+            "--validate" => o.validate = true,
+            "--print-dist" => o.print_dist = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if o.gen_spec.is_none() && o.load_path.is_none() {
+        eprintln!("error: provide --gen or --load\n");
+        usage();
+    }
+    o
+}
+
+fn build_graph(o: &Options) -> Csr {
+    if let Some(spec) = &o.gen_spec {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let num = |i: usize| -> u64 {
+            parts.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        let mut el = match parts[0] {
+            "kronecker" => kronecker(KroneckerConfig::new(num(1) as u32, num(2) as u32), o.seed),
+            "rmat" => rdbs::graph::generate::rmat(
+                rdbs::graph::generate::RmatConfig::graph500(num(1) as u32, num(2) as u32),
+                o.seed,
+            ),
+            "grid" => grid_road(GridConfig::road(num(1) as usize, num(2) as usize), o.seed),
+            "powerlaw" => preferential_attachment(num(1) as usize, num(2) as usize, o.seed),
+            "erdos" => erdos_renyi(num(1) as usize, num(2) as usize, o.seed),
+            "dataset" => {
+                let name = parts.get(1).copied().unwrap_or_else(|| usage());
+                let shift = num(2) as u32;
+                let spec = if name.starts_with("k-n") {
+                    datasets::kronecker_spec(21, 16)
+                } else {
+                    datasets::by_name(name).unwrap_or_else(|| {
+                        eprintln!("unknown dataset '{name}'");
+                        exit(2)
+                    })
+                };
+                return spec.generate(shift, o.seed);
+            }
+            _ => usage(),
+        };
+        uniform_weights(&mut el, o.seed);
+        build_undirected(&el)
+    } else {
+        let path = o.load_path.as_ref().unwrap();
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            exit(1)
+        });
+        let reader = BufReader::new(file);
+        let result = match o.format.as_str() {
+            "edgelist" => io::parse_edge_list(reader).map(|el| build_undirected(&el)),
+            "dimacs" => io::parse_dimacs(reader).map(|el| build_undirected(&el)),
+            "mtx" => io::parse_matrix_market(reader).map(|el| build_undirected(&el)),
+            "binary" => io::read_binary_csr(reader),
+            _ => usage(),
+        };
+        result.unwrap_or_else(|e| {
+            eprintln!("failed to parse {path}: {e}");
+            exit(1)
+        })
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let g = build_graph(&o);
+    println!(
+        "graph: {} vertices, {} directed edges, max weight {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_weight()
+    );
+    if (o.source as usize) >= g.num_vertices() {
+        eprintln!("source {} out of range", o.source);
+        exit(2);
+    }
+    let algos: Vec<String> = if o.algo == "all" {
+        ["rdbs", "bl", "adds", "near-far", "frontier-bf", "sep-graph", "framework",
+         "dijkstra", "dial", "cpu-parallel", "pq-delta"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        vec![o.algo.clone()]
+    };
+    for algo in algos {
+        run_algo(&o, &g, &algo);
+    }
+}
+
+fn run_algo(o: &Options, g: &Csr, algo: &str) {
+    let delta = o.delta0.unwrap_or_else(|| default_delta(g));
+    let threads = default_threads();
+    let s = o.source;
+    let started = std::time::Instant::now();
+    let gpu_variant = |cfg: RdbsConfig| Some(Variant::Rdbs(cfg));
+    let variant = match algo {
+        "rdbs" => gpu_variant(RdbsConfig { delta0: o.delta0, ..RdbsConfig::full() }),
+        "basyn-pro" => gpu_variant(RdbsConfig { delta0: o.delta0, ..RdbsConfig::basyn_pro() }),
+        "basyn-adwl" => gpu_variant(RdbsConfig { delta0: o.delta0, ..RdbsConfig::basyn_adwl() }),
+        "basyn" => gpu_variant(RdbsConfig { delta0: o.delta0, ..RdbsConfig::basyn_only() }),
+        "sync-delta" => gpu_variant(RdbsConfig { delta0: o.delta0, ..RdbsConfig::sync_delta() }),
+        "bl" => Some(Variant::Baseline),
+        _ => None,
+    };
+
+    let (dist, sim_ms, label): (Vec<Dist>, Option<f64>, String) = if let Some(v) = variant {
+        let run = run_gpu(g, s, v, o.device.clone());
+        if o.profile {
+            let c = &run.counters;
+            println!(
+                "  profile[{}]: insts {} loads {} stores {} atomics {} hit {:.1}% warps-eff {:.1}%",
+                run.label,
+                c.inst_executed,
+                c.inst_executed_global_loads,
+                c.inst_executed_global_stores,
+                c.inst_executed_atomics,
+                c.global_hit_rate(),
+                c.warp_execution_efficiency()
+            );
+        }
+        (run.result.dist, Some(run.elapsed_ms), run.label)
+    } else {
+        match algo {
+            "adds" => {
+                let mut d = Device::new(o.device.clone());
+                let r = adds(&mut d, g, s, delta);
+                (r.dist, Some(d.elapsed_ms()), "ADDS".into())
+            }
+            "near-far" => {
+                let mut d = Device::new(o.device.clone());
+                let r = near_far(&mut d, g, s, delta);
+                (r.dist, Some(d.elapsed_ms()), "Near-Far".into())
+            }
+            "frontier-bf" => {
+                let mut d = Device::new(o.device.clone());
+                let r = frontier_bf(&mut d, g, s);
+                (r.dist, Some(d.elapsed_ms()), "Frontier-BF".into())
+            }
+            "sep-graph" => {
+                let mut d = Device::new(o.device.clone());
+                let (r, modes) = sep_graph(&mut d, g, s);
+                if o.profile {
+                    println!("  modes: {modes:?}");
+                }
+                (r.dist, Some(d.elapsed_ms()), "SEP-Graph hybrid".into())
+            }
+            "framework" => {
+                let (r, engine) = rdbs::framework::algorithms::sssp(o.device.clone(), g, s);
+                (r.dist, Some(engine.elapsed_ms()), "framework (Gunrock-style)".into())
+            }
+            a if a.starts_with("multi-gpu") => {
+                let k: usize = a.split(':').nth(1).and_then(|x| x.parse().ok()).unwrap_or(2);
+                let mut cfg = MultiGpuConfig::v100s(k);
+                cfg.device = o.device.clone();
+                let run = multi_gpu_sssp(g, s, &cfg);
+                if o.profile {
+                    println!(
+                        "  multi-gpu: {} devices, {} supersteps, {:.4} ms exchange, {} bytes moved",
+                        k, run.supersteps, run.exchange_ms, run.exchanged_bytes
+                    );
+                }
+                (run.result.dist, Some(run.elapsed_ms), format!("multi-GPU x{k}"))
+            }
+            "dijkstra" => (dijkstra(g, s).dist, None, "Dijkstra".into()),
+            "dial" => (dial(g, s).dist, None, "Dial".into()),
+            "bellman-ford" => (bellman_ford(g, s).dist, None, "Bellman-Ford".into()),
+            "delta-stepping" => (delta_stepping(g, s, delta).dist, None, "Δ-stepping".into()),
+            "cpu-parallel" => (
+                parallel_delta_stepping(g, s, delta, threads).dist,
+                None,
+                format!("CPU parallel Δ ({threads}t)"),
+            ),
+            "cpu-async" => (
+                async_bucket_sssp(g, s, delta, threads).dist,
+                None,
+                format!("CPU async ({threads}t)"),
+            ),
+            "pq-delta" => (
+                pq_delta_stepping(g, s, threads, None).dist,
+                None,
+                format!("PQ-Δ* ({threads}t)"),
+            ),
+            "rho-stepping" => (
+                rho_stepping(g, s, threads, 0.1).dist,
+                None,
+                format!("ρ-stepping ({threads}t)"),
+            ),
+            other => {
+                eprintln!("unknown algorithm '{other}'");
+                exit(2);
+            }
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let reached = dist.iter().filter(|&&d| d != INF).count();
+
+    print!("{label:<22} reached {reached:>8}");
+    if let Some(ms) = sim_ms {
+        print!("  simulated {ms:>10.4} ms");
+    }
+    println!("  host {wall_ms:>9.2} ms");
+
+    if o.validate {
+        match validate::check_against(&dijkstra(g, s).dist, &dist) {
+            Ok(()) => println!("  validation: OK (matches Dijkstra)"),
+            Err(m) => {
+                println!("  validation: FAILED — {m}");
+                exit(1);
+            }
+        }
+    }
+    if o.print_dist > 0 {
+        let shown: Vec<String> = dist
+            .iter()
+            .take(o.print_dist)
+            .map(|&d| if d == INF { "INF".into() } else { d.to_string() })
+            .collect();
+        println!("  dist[0..{}] = [{}]", shown.len(), shown.join(", "));
+    }
+}

@@ -1,0 +1,20 @@
+//! # RDBS — bucket-aware asynchronous SSSP on a simulated GPU
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — CSR graphs, generators (Kronecker/R-MAT, grids,
+//!   power-law), IO and the property-driven reordering preprocessing.
+//! * [`sim`] — the SIMT GPU simulator substrate (warps, blocks, caches,
+//!   dynamic parallelism, nvprof-style counters, V100/T4 presets).
+//! * [`sssp`] — the SSSP algorithms: the paper's RDBS plus the ablations
+//!   (BL, BASYN, +PRO, +ADWL) and sequential/CPU-parallel references.
+//! * [`baselines`] — comparators: ADDS (GPU, async Δ-stepping), PQ-Δ*
+//!   (CPU, lazy-batched priority queue), Near-Far, GPU Bellman-Ford.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use rdbs_baselines as baselines;
+pub use rdbs_core as sssp;
+pub use rdbs_framework as framework;
+pub use rdbs_gpu_sim as sim;
+pub use rdbs_graph as graph;

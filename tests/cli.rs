@@ -1,0 +1,75 @@
+//! Integration tests for the `rdbs-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdbs-cli"))
+}
+
+#[test]
+fn generates_runs_and_validates() {
+    let out = cli()
+        .args(["--gen", "kronecker:10:8", "--algo", "rdbs", "--validate", "--profile"])
+        .output()
+        .expect("cli must run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("graph: 1024 vertices"));
+    assert!(stdout.contains("validation: OK"));
+    assert!(stdout.contains("profile[BASYN+PRO+ADWL]"));
+    assert!(stdout.contains("simulated"));
+}
+
+#[test]
+fn loads_dimacs_file() {
+    let dir = std::env::temp_dir().join("rdbs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.gr");
+    std::fs::write(&path, "c tiny\np sp 3 2\na 1 2 7\na 2 3 5\n").unwrap();
+    let out = cli()
+        .args([
+            "--load",
+            path.to_str().unwrap(),
+            "--format",
+            "dimacs",
+            "--algo",
+            "dijkstra",
+            "--print-dist",
+            "3",
+        ])
+        .output()
+        .expect("cli must run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dist[0..3] = [0, 7, 12]"), "stdout: {stdout}");
+}
+
+#[test]
+fn dataset_standin_and_cpu_algo() {
+    let out = cli()
+        .args(["--gen", "dataset:Amazon:8", "--algo", "cpu-parallel", "--validate"])
+        .output()
+        .expect("cli must run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("validation: OK"));
+}
+
+#[test]
+fn rejects_unknown_flags_and_missing_input() {
+    let out = cli().args(["--gen", "kronecker:8:4", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().args(["--algo", "rdbs"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--gen or --load"));
+}
+
+#[test]
+fn t4_device_and_seed_flags() {
+    let out = cli()
+        .args(["--gen", "erdos:500:2000", "--algo", "adds", "--device", "T4", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ADDS"));
+}

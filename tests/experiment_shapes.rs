@@ -1,0 +1,175 @@
+//! Miniature versions of the paper's experiments asserting the
+//! *shapes* the evaluation section reports. These run on reduced
+//! inputs, so they check orderings and qualitative relations, not the
+//! paper's absolute factors (see EXPERIMENTS.md for the recorded
+//! full-harness runs).
+
+use rdbs::baselines::run_adds;
+use rdbs::graph::builder::build_undirected;
+use rdbs::graph::datasets::{by_name, kronecker_spec};
+use rdbs::graph::generate::{kronecker, uniform_weights, KroneckerConfig};
+use rdbs::sim::DeviceConfig;
+use rdbs::sssp::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs::sssp::seq::{delta_stepping_traced, dijkstra};
+use rdbs::graph::{Csr, VertexId};
+
+/// A typical (low-degree, connected) starting vertex — Kronecker
+/// graphs contain isolated vertices after label permutation, and
+/// starting from a hub saturates bucket 0 immediately, masking the
+/// rise-then-tail occupancy shape Fig. 2 plots.
+fn connected_source(g: &Csr) -> VertexId {
+    (0..g.num_vertices() as VertexId)
+        .find(|&v| (1..=3).contains(&g.degree(v)))
+        .or_else(|| (0..g.num_vertices() as VertexId).find(|&v| g.degree(v) > 0))
+        .expect("edgeless graph")
+}
+
+fn scaled_device() -> DeviceConfig {
+    DeviceConfig::v100().with_overhead_scale(1.0 / 128.0).with_cache_scale(1.0 / 128.0)
+}
+
+/// Fig. 2: Δ-stepping bucket occupancy rises to an early peak and
+/// decays over a long tail on Kronecker graphs.
+#[test]
+fn fig2_shape_bucket_occupancy_peaks_early() {
+    let mut el = kronecker(KroneckerConfig::new(14, 16), 1);
+    uniform_weights(&mut el, 2);
+    let g = build_undirected(&el);
+    let s = connected_source(&g);
+    let run = delta_stepping_traced(&g, s, g.max_weight() / 10, None);
+    let occ: Vec<u64> = run.buckets.iter().map(|b| b.active).collect();
+    let peak = run.peak_bucket().unwrap();
+    assert!(occ.len() >= 6, "need several buckets, got {}", occ.len());
+    assert!(peak <= occ.len() / 2, "peak at {peak} of {}", occ.len());
+    assert!(occ[peak] as f64 >= 3.0 * occ[0] as f64, "sharp rise expected: {occ:?}");
+    assert!(occ[peak] > 10 * *occ.last().unwrap(), "decaying tail expected: {occ:?}");
+}
+
+/// Fig. 3: the peak bucket takes many phase-1 layers and total updates
+/// exceed valid updates substantially.
+#[test]
+fn fig3_shape_peak_bucket_iterations_and_waste() {
+    let mut el = kronecker(KroneckerConfig::new(14, 16), 1);
+    uniform_weights(&mut el, 2);
+    let g = build_undirected(&el);
+    let s = connected_source(&g);
+    let oracle = dijkstra(&g, s);
+    let run = delta_stepping_traced(&g, s, g.max_weight() / 10, Some(&oracle.dist));
+    let b = &run.buckets[run.peak_bucket().unwrap()];
+    assert!(b.layer_active.len() >= 3, "peak bucket should take several iterations");
+    assert!(
+        b.phase1_updates > b.phase1_valid_updates,
+        "total updates ({}) must exceed valid ({})",
+        b.phase1_updates,
+        b.phase1_valid_updates
+    );
+}
+
+/// Fig. 8 (headline): on the Kronecker graph, full RDBS beats the
+/// synchronous baseline, and each added optimization is not harmful.
+#[test]
+fn fig8_shape_rdbs_beats_bl_on_kronecker() {
+    let g = kronecker_spec(21, 16).generate(8, 42);
+    let s = 3;
+    let bl = run_gpu(&g, s, Variant::Baseline, scaled_device());
+    let full = run_gpu(&g, s, Variant::Rdbs(RdbsConfig::full()), scaled_device());
+    assert!(
+        full.elapsed_ms < bl.elapsed_ms,
+        "RDBS {} ms must beat BL {} ms on Kronecker",
+        full.elapsed_ms,
+        bl.elapsed_ms
+    );
+    // Work efficiency: RDBS does far fewer updates.
+    assert!(full.result.stats.total_updates * 2 < bl.result.stats.total_updates);
+}
+
+/// Table 2 / Fig. 9: RDBS beats ADDS on the skewed Kronecker graph and
+/// ADDS performs more updates.
+#[test]
+fn table2_shape_rdbs_beats_adds_on_kronecker() {
+    let g = kronecker_spec(21, 16).generate(8, 42);
+    let s = 3;
+    let rdbs = run_gpu(&g, s, Variant::Rdbs(RdbsConfig::full()), scaled_device());
+    let adds = run_adds(&g, s, scaled_device());
+    assert!(
+        rdbs.elapsed_ms < adds.elapsed_ms,
+        "RDBS {} ms vs ADDS {} ms",
+        rdbs.elapsed_ms,
+        adds.elapsed_ms
+    );
+    assert!(
+        adds.result.stats.total_updates > rdbs.result.stats.total_updates,
+        "ADDS must be less work-efficient (Fig. 9)"
+    );
+}
+
+/// §5.2.2: ADDS wins (or at least matches) on the road graph — the
+/// paper's crossover.
+#[test]
+fn table2_shape_road_crossover() {
+    let g = by_name("road-TX").unwrap().generate(9, 42);
+    let s = 0;
+    let rdbs = run_gpu(&g, s, Variant::Rdbs(RdbsConfig::full()), scaled_device());
+    let adds = run_adds(&g, s, scaled_device());
+    assert!(
+        adds.elapsed_ms <= rdbs.elapsed_ms * 1.4,
+        "road-TX: ADDS ({} ms) should be competitive with RDBS ({} ms)",
+        adds.elapsed_ms,
+        rdbs.elapsed_ms
+    );
+}
+
+/// Fig. 10: RDBS executes fewer warp-level load instructions than ADDS
+/// and enjoys a better L1 hit rate on skewed graphs.
+#[test]
+fn fig10_shape_profiling_counters() {
+    let g = kronecker_spec(21, 16).generate(8, 7);
+    let s = 1;
+    let rdbs = run_gpu(&g, s, Variant::Rdbs(RdbsConfig::full()), scaled_device());
+    let adds = run_adds(&g, s, scaled_device());
+    assert!(
+        rdbs.counters.inst_executed_global_loads < adds.counters.inst_executed_global_loads,
+        "loads: rdbs {} vs adds {}",
+        rdbs.counters.inst_executed_global_loads,
+        adds.counters.inst_executed_global_loads
+    );
+    assert!(
+        rdbs.counters.global_hit_rate() > adds.counters.global_hit_rate(),
+        "hit rate: rdbs {:.1} vs adds {:.1}",
+        rdbs.counters.global_hit_rate(),
+        adds.counters.global_hit_rate()
+    );
+}
+
+/// Fig. 11: GTEPS grows with edgefactor.
+#[test]
+fn fig11_shape_gteps_grows_with_edgefactor() {
+    let mut gteps = Vec::new();
+    for ef in [4u32, 16] {
+        let mut el = kronecker(KroneckerConfig::new(12, ef), 3);
+        uniform_weights(&mut el, 4);
+        let g = build_undirected(&el);
+        let run = run_gpu(&g, 1, Variant::Rdbs(RdbsConfig::full()), scaled_device());
+        gteps.push(run.gteps);
+    }
+    assert!(gteps[1] > gteps[0], "GTEPS must rise with edgefactor: {gteps:?}");
+}
+
+/// Fig. 12: the V100 beats the T4 by roughly the hardware ratio.
+#[test]
+fn fig12_shape_v100_vs_t4() {
+    let g = kronecker_spec(21, 16).generate(7, 5);
+    let s = connected_source(&g);
+    let v100 = run_gpu(&g, s, Variant::Rdbs(RdbsConfig::full()),
+        DeviceConfig::v100().with_overhead_scale(1.0 / 128.0).with_cache_scale(1.0 / 128.0));
+    let t4 = run_gpu(&g, s, Variant::Rdbs(RdbsConfig::full()),
+        DeviceConfig::t4().with_overhead_scale(1.0 / 128.0).with_cache_scale(1.0 / 128.0));
+    let ratio = t4.elapsed_ms / v100.elapsed_ms;
+    // At 1/128 scale much of the run is latency-bound, which both
+    // devices share, so the ratio compresses below the paper's
+    // bandwidth-bound 1.47–2.58; it must still clearly favour V100.
+    assert!(
+        ratio > 1.1 && ratio < 4.0,
+        "V100 must beat T4 (paper: 1.47-2.58x), got {ratio:.2}"
+    );
+}
