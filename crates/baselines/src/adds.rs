@@ -171,11 +171,8 @@ pub fn run_adds(graph: &Csr, source: VertexId, device_config: DeviceConfig) -> A
     let delta0 = default_delta(graph);
     let result = adds(&mut device, graph, source, delta0);
     let elapsed_ms = device.elapsed_ms();
-    let gteps = if elapsed_ms > 0.0 {
-        graph.num_edges() as f64 / (elapsed_ms * 1e-3) / 1e9
-    } else {
-        0.0
-    };
+    let gteps =
+        if elapsed_ms > 0.0 { graph.num_edges() as f64 / (elapsed_ms * 1e-3) / 1e9 } else { 0.0 };
     AddsRun { result, elapsed_ms, counters: device.counters().clone(), gteps }
 }
 
@@ -236,6 +233,6 @@ mod tests {
         let mut d = Device::new(DeviceConfig::test_tiny());
         let r = adds(&mut d, &g, 0, 100);
         let ratio = r.work_ratio().unwrap();
-        assert!(ratio >= 1.0 && ratio < 10.0, "ratio {ratio}");
+        assert!((1.0..10.0).contains(&ratio), "ratio {ratio}");
     }
 }

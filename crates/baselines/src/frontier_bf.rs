@@ -89,9 +89,9 @@ mod tests {
     use rdbs_core::seq::dijkstra;
     use rdbs_core::validate::check_against;
     use rdbs_core::INF;
+    use rdbs_gpu_sim::DeviceConfig;
     use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_graph::generate::{erdos_renyi, uniform_weights};
-    use rdbs_gpu_sim::DeviceConfig;
 
     fn graph(seed: u64) -> Csr {
         let mut el = erdos_renyi(120, 700, seed);

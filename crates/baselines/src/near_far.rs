@@ -72,9 +72,7 @@ pub fn near_far(device: &mut Device, graph: &Csr, source: VertexId, delta: Weigh
                         if nd < old {
                             updates_ref.set(updates_ref.get() + 1);
                             // Only near-side improvements re-enter now.
-                            if (nd as u64) < threshold
-                                && lane.atomic_exch(pending, v2, 1) == 0
-                            {
+                            if (nd as u64) < threshold && lane.atomic_exch(pending, v2, 1) == 0 {
                                 near.push(lane, v2);
                             }
                         }
@@ -142,9 +140,9 @@ mod tests {
     use super::*;
     use rdbs_core::seq::dijkstra;
     use rdbs_core::validate::check_against;
+    use rdbs_gpu_sim::DeviceConfig;
     use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_graph::generate::{erdos_renyi, uniform_weights};
-    use rdbs_gpu_sim::DeviceConfig;
 
     fn graph(seed: u64) -> Csr {
         let mut el = erdos_renyi(100, 500, seed);

@@ -120,12 +120,7 @@ pub fn pq_delta_stepping(
 /// is within the ρ-quantile of the current queue — the batch adapts to
 /// the frontier's distance profile. `rho` is the quantile (0 → one
 /// vertex ≈ Dijkstra; 1 → whole queue ≈ Bellman-Ford).
-pub fn rho_stepping(
-    graph: &Csr,
-    source: VertexId,
-    threads: usize,
-    rho: f64,
-) -> SsspResult {
+pub fn rho_stepping(graph: &Csr, source: VertexId, threads: usize, rho: f64) -> SsspResult {
     assert!((0.0..=1.0).contains(&rho), "rho is a quantile");
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source out of range");

@@ -41,11 +41,7 @@ pub enum Mode {
 }
 
 /// Run the hybrid SSSP; returns the result and the mode sequence.
-pub fn sep_graph(
-    device: &mut Device,
-    graph: &Csr,
-    source: VertexId,
-) -> (SsspResult, Vec<Mode>) {
+pub fn sep_graph(device: &mut Device, graph: &Csr, source: VertexId) -> (SsspResult, Vec<Mode>) {
     let n = graph.num_vertices() as u32;
     assert!(source < n, "source out of range");
     let gb = GraphBuffers::upload(device, graph);
@@ -182,9 +178,9 @@ mod tests {
     use super::*;
     use rdbs_core::seq::dijkstra;
     use rdbs_core::validate::check_against;
+    use rdbs_gpu_sim::DeviceConfig;
     use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_graph::generate::{erdos_renyi, preferential_attachment, uniform_weights};
-    use rdbs_gpu_sim::DeviceConfig;
 
     fn graph(seed: u64, n: usize, m: usize) -> Csr {
         let mut el = erdos_renyi(n, m, seed);

@@ -26,9 +26,7 @@ fn bench_cpu_sssp(c: &mut Criterion) {
 
     group.bench_function("dijkstra", |b| b.iter(|| dijkstra(&g, 1).reached()));
     group.bench_function("bellman_ford", |b| b.iter(|| bellman_ford(&g, 1).reached()));
-    group.bench_function("delta_stepping", |b| {
-        b.iter(|| delta_stepping(&g, 1, delta).reached())
-    });
+    group.bench_function("delta_stepping", |b| b.iter(|| delta_stepping(&g, 1, delta).reached()));
     group.bench_function(BenchmarkId::new("parallel_delta", threads), |b| {
         b.iter(|| parallel_delta_stepping(&g, 1, delta, threads).reached())
     });

@@ -2,10 +2,10 @@
 //! dataset. Not a paper artifact — used to calibrate the cost model.
 
 use rdbs_bench::{pick_sources, HarnessArgs};
-use rdbs_core::gpu::{bl, rdbs::rdbs, RdbsConfig};
 use rdbs_core::default_delta;
-use rdbs_graph::datasets::by_name;
+use rdbs_core::gpu::{bl, rdbs::rdbs, RdbsConfig};
 use rdbs_gpu_sim::Device;
+use rdbs_graph::datasets::by_name;
 use std::collections::BTreeMap;
 
 fn summarize(label: &str, device: &Device) {

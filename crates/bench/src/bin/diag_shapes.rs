@@ -1,10 +1,10 @@
 //! Diagnostic probe for the shape tests (not a paper artifact).
-use rdbs_graph::builder::build_undirected;
-use rdbs_graph::generate::{kronecker, uniform_weights, KroneckerConfig};
+use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
 use rdbs_core::seq::{delta_stepping_traced, dijkstra};
 use rdbs_gpu_sim::DeviceConfig;
-use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs_graph::builder::build_undirected;
 use rdbs_graph::datasets::kronecker_spec;
+use rdbs_graph::generate::{kronecker, uniform_weights, KroneckerConfig};
 
 fn main() {
     for scale in [12u32, 13, 14] {
@@ -16,13 +16,34 @@ fn main() {
         let occ: Vec<u64> = run.buckets.iter().map(|b| b.active).collect();
         let peak = run.peak_bucket().unwrap();
         let b = &run.buckets[peak];
-        println!("scale {scale}: occ {:?} peak {peak} layers {} upd {} valid {}", &occ[..occ.len().min(12)], b.layer_active.len(), b.phase1_updates, b.phase1_valid_updates);
+        println!(
+            "scale {scale}: occ {:?} peak {peak} layers {} upd {} valid {}",
+            &occ[..occ.len().min(12)],
+            b.layer_active.len(),
+            b.phase1_updates,
+            b.phase1_valid_updates
+        );
     }
     for shift in [8u32, 7, 6] {
         let g = kronecker_spec(21, 16).generate(shift, 5);
         let f = 1.0 / (1u64 << shift) as f64;
-        let v = run_gpu(&g, 2, Variant::Rdbs(RdbsConfig::full()), DeviceConfig::v100().with_overhead_scale(f).with_cache_scale(f));
-        let t = run_gpu(&g, 2, Variant::Rdbs(RdbsConfig::full()), DeviceConfig::t4().with_overhead_scale(f).with_cache_scale(f));
-        println!("shift {shift}: v100 {:.4} t4 {:.4} ratio {:.2}", v.elapsed_ms, t.elapsed_ms, t.elapsed_ms / v.elapsed_ms);
+        let v = run_gpu(
+            &g,
+            2,
+            Variant::Rdbs(RdbsConfig::full()),
+            DeviceConfig::v100().with_overhead_scale(f).with_cache_scale(f),
+        );
+        let t = run_gpu(
+            &g,
+            2,
+            Variant::Rdbs(RdbsConfig::full()),
+            DeviceConfig::t4().with_overhead_scale(f).with_cache_scale(f),
+        );
+        println!(
+            "shift {shift}: v100 {:.4} t4 {:.4} ratio {:.2}",
+            v.elapsed_ms,
+            t.elapsed_ms,
+            t.elapsed_ms / v.elapsed_ms
+        );
     }
 }

@@ -11,11 +11,12 @@
 //! 4. **GPU comparator lineup** — every GPU SSSP in the workspace on
 //!    one graph.
 
-use rdbs_bench::{pick_sources, HarnessArgs, Table};
 use rdbs_baselines::{adds, frontier_bf, near_far, sep_graph};
+use rdbs_bench::{pick_sources, HarnessArgs, Table};
 use rdbs_core::default_delta;
 use rdbs_core::gpu::rdbs::{rdbs, RdbsConfig};
 use rdbs_core::gpu::{bl, run_gpu, Variant};
+use rdbs_gpu_sim::Device;
 use rdbs_graph::builder::build_undirected;
 use rdbs_graph::datasets::kronecker_spec;
 use rdbs_graph::generate::{
@@ -25,11 +26,13 @@ use rdbs_graph::reorder::{
     attach_heavy_offsets, bfs_order, degree_ascending, degree_descending, random_order,
     sort_edges_by_weight, Permutation,
 };
-use rdbs_gpu_sim::Device;
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("Extension — design-choice ablations ({} | scale-shift {})\n", args.device.name, args.scale_shift);
+    println!(
+        "Extension — design-choice ablations ({} | scale-shift {})\n",
+        args.device.name, args.scale_shift
+    );
     ordering_ablation(&args);
     delta_sensitivity(&args);
     weight_distribution(&args);
@@ -88,7 +91,10 @@ fn delta_sensitivity(args: &HarnessArgs) {
 }
 
 fn weight_distribution(args: &HarnessArgs) {
-    println!("## 3. Weight-distribution sensitivity (SCALE {} ef 16, full RDBS)\n", 21 - args.scale_shift.min(13));
+    println!(
+        "## 3. Weight-distribution sensitivity (SCALE {} ef 16, full RDBS)\n",
+        21 - args.scale_shift.min(13)
+    );
     let scale = (21 - args.scale_shift.min(13)).max(8);
     let mut t = Table::new(&["distribution", "sim ms", "buckets", "work ratio"]);
     for (name, dist) in [

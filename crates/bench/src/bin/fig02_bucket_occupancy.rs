@@ -14,8 +14,10 @@ use rdbs_graph::generate::{kronecker, uniform_weights, KroneckerConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let scales: [u32; 2] = [24u32.saturating_sub(args.scale_shift).max(10),
-                            25u32.saturating_sub(args.scale_shift).max(11)];
+    let scales: [u32; 2] = [
+        24u32.saturating_sub(args.scale_shift).max(10),
+        25u32.saturating_sub(args.scale_shift).max(11),
+    ];
     println!(
         "Fig. 2 — Δ-stepping bucket occupancy (Kronecker SCALE {}/{} standing in for 24/25, ef=16, Δ = 0.1·max_w)\n",
         scales[0], scales[1]

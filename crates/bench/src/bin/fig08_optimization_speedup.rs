@@ -16,13 +16,7 @@ fn main() {
         args.device.name, args.scale_shift, args.sources
     );
     let variants = Variant::fig8_variants();
-    let mut t = Table::new(&[
-        "dataset",
-        "BL ms",
-        "BASYN+PRO",
-        "BASYN+ADWL",
-        "BASYN+PRO+ADWL",
-    ]);
+    let mut t = Table::new(&["dataset", "BL ms", "BASYN+PRO", "BASYN+ADWL", "BASYN+PRO+ADWL"]);
     for spec in fig8_suite() {
         let g = spec.generate(args.scale_shift, args.seed);
         let sources = pick_sources(&g, args.sources, args.seed);

@@ -17,7 +17,9 @@ fn main() {
     );
     // Paper order: k-n21-16, web-GL, soc-PK, com-LJ, soc-TW, as-Skt,
     // soc-LJ, wiki-TK, com-OK, road-TX.
-    let order = ["web-GL", "soc-PK", "com-LJ", "soc-TW", "as-Skt", "soc-LJ", "wiki-TK", "com-OK", "road-TX"];
+    let order = [
+        "web-GL", "soc-PK", "com-LJ", "soc-TW", "as-Skt", "soc-LJ", "wiki-TK", "com-OK", "road-TX",
+    ];
     let mut specs = vec![kronecker_spec(21, 16)];
     for name in order {
         specs.push(table1().into_iter().find(|d| d.name == name).unwrap());
@@ -39,8 +41,8 @@ fn main() {
 
         let rdbs_ratio = rdbs.result.work_ratio().unwrap_or(f64::NAN);
         let adds_ratio = adds.result.work_ratio().unwrap_or(f64::NAN);
-        let workload = adds.result.stats.total_updates as f64
-            / rdbs.result.stats.total_updates.max(1) as f64;
+        let workload =
+            adds.result.stats.total_updates as f64 / rdbs.result.stats.total_updates.max(1) as f64;
         ratios.push(rdbs_ratio);
         t.row(vec![
             spec.name.to_string(),

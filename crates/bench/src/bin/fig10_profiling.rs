@@ -48,11 +48,12 @@ fn main() {
             format!("{:.2}", ca.global_hit_rate()),
             format!("{:.2}", cr.global_hit_rate()),
         ]);
-        load_ratio += cr.inst_executed_global_loads as f64 / ca.inst_executed_global_loads.max(1) as f64;
+        load_ratio +=
+            cr.inst_executed_global_loads as f64 / ca.inst_executed_global_loads.max(1) as f64;
         store_ratio +=
             cr.inst_executed_global_stores as f64 / ca.inst_executed_global_stores.max(1) as f64;
-        atomic_drop += 1.0
-            - cr.inst_executed_atomics as f64 / ca.inst_executed_atomics.max(1) as f64;
+        atomic_drop +=
+            1.0 - cr.inst_executed_atomics as f64 / ca.inst_executed_atomics.max(1) as f64;
         hit_gain += cr.global_hit_rate() - ca.global_hit_rate();
         eprintln!("  done {}", spec.name);
     }

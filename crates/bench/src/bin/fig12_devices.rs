@@ -5,8 +5,8 @@
 
 use rdbs_bench::{average_gpu, pick_sources, HarnessArgs, Table};
 use rdbs_core::gpu::{RdbsConfig, Variant};
-use rdbs_graph::datasets::fig8_suite;
 use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::datasets::fig8_suite;
 
 fn main() {
     let args = HarnessArgs::parse();

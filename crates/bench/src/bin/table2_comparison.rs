@@ -47,5 +47,7 @@ fn main() {
     }
     t.print();
     println!("\n(paper: PQ-D* avg 10.32x slower; ADDS 0.91x on road-TX — its only win — up to 21x on k-n21-16)");
-    println!("(CPU numbers are wall clock on this host; GPU numbers are simulated-device milliseconds)");
+    println!(
+        "(CPU numbers are wall clock on this host; GPU numbers are simulated-device milliseconds)"
+    );
 }

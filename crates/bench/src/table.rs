@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn format_helpers() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(2.46913, 2), "2.47");
         assert_eq!(speedup(4.476), "4.48x");
     }
 

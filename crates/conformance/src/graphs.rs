@@ -1,0 +1,117 @@
+//! The graph families and seeded sources the differential matrix
+//! sweeps. Instances are deterministic (fixed generator seeds), small
+//! enough that the full matrix finishes in seconds, and chosen to
+//! cover the regimes where SSSP implementations historically diverge:
+//! dense random, power-law skew, Kronecker skew with isolated
+//! vertices, high-diameter grid, and a graph with unreachable
+//! components.
+
+use rdbs_graph::builder::{build_undirected, EdgeList};
+use rdbs_graph::generate::{
+    erdos_renyi, grid_road, kronecker, preferential_attachment, uniform_weights, GridConfig,
+    KroneckerConfig,
+};
+use rdbs_graph::{Csr, VertexId};
+
+/// Seeded source vertices each instance is searched from (taken modulo
+/// the vertex count).
+pub const SOURCES: [VertexId; 3] = [0, 7, 42];
+
+/// One named, reproducible graph instance.
+pub struct GraphCase {
+    /// Stable name used in reports and filters.
+    pub name: &'static str,
+    build_edges: fn() -> EdgeList,
+}
+
+impl GraphCase {
+    /// The raw (directed, pre-symmetrization) edge list — what the
+    /// shrinker mutates.
+    pub fn edge_list(&self) -> EdgeList {
+        (self.build_edges)()
+    }
+
+    /// The CSR instance the matrix actually runs on.
+    pub fn build(&self) -> Csr {
+        build_undirected(&self.edge_list())
+    }
+
+    /// Sources for an instance of `n` vertices.
+    pub fn sources(&self, n: usize) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for s in SOURCES {
+            let s = s % n.max(1) as VertexId;
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+fn weighted(mut el: EdgeList, seed: u64) -> EdgeList {
+    uniform_weights(&mut el, seed);
+    el
+}
+
+/// Every family in the matrix.
+pub fn families() -> Vec<GraphCase> {
+    vec![
+        GraphCase { name: "erdos-renyi", build_edges: || weighted(erdos_renyi(300, 1500, 1), 11) },
+        GraphCase {
+            name: "powerlaw",
+            build_edges: || weighted(preferential_attachment(400, 4, 2), 12),
+        },
+        GraphCase {
+            name: "kronecker",
+            build_edges: || weighted(kronecker(KroneckerConfig::new(9, 6), 3), 13),
+        },
+        GraphCase {
+            name: "grid",
+            build_edges: || weighted(grid_road(GridConfig::road(24, 24), 4), 14),
+        },
+        GraphCase {
+            name: "disconnected",
+            build_edges: || {
+                let mut el = erdos_renyi(200, 400, 5);
+                el.num_vertices = 260; // 60 isolated vertices
+                weighted(el, 15)
+            },
+        },
+    ]
+}
+
+/// The reduced sweep for `verify --quick`: the two most
+/// divergence-prone families, first source only.
+pub fn quick_families() -> Vec<GraphCase> {
+    families().into_iter().filter(|f| matches!(f.name, "erdos-renyi" | "disconnected")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_deterministic() {
+        for f in families() {
+            let a = f.edge_list();
+            let b = f.edge_list();
+            assert_eq!(a, b, "{} not reproducible", f.name);
+            assert!(!f.sources(a.num_vertices).is_empty());
+        }
+    }
+
+    #[test]
+    fn disconnected_family_has_isolated_vertices() {
+        let f = families().into_iter().find(|f| f.name == "disconnected").unwrap();
+        let g = f.build();
+        assert_eq!(g.num_vertices(), 260);
+        assert!((0..260).any(|v| g.degree(v) == 0));
+    }
+
+    #[test]
+    fn sources_deduplicate_on_tiny_graphs() {
+        let f = &families()[0];
+        assert_eq!(f.sources(1), vec![0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # Conformance harness for the RDBS workspace
+//!
+//! Keeps every SSSP implementation honest against the Dijkstra oracle,
+//! and turns any disagreement into a minimal, replayable artifact:
+//!
+//! * [`registry`] — every public SSSP entry point (sequential
+//!   references, CPU-parallel, the simulated-GPU RDBS with all
+//!   ablation toggles, the multi-GPU port at k ∈ {1, 2, 4}, every
+//!   baseline comparator, and the framework integration) behind one
+//!   uniform `(graph, source, Δ₀) → SsspResult` signature.
+//! * [`runner`] — the differential matrix: implementations × graph
+//!   families × seeded sources, each compared exactly against the
+//!   oracle; panics are caught and reported as failures.
+//! * [`shrink`] — delta-debugging minimization of a failing instance
+//!   (chunked edge removal, vertex compaction, weight reduction) down
+//!   to a witness of a few vertices, plus the exact CLI replay
+//!   command.
+//! * [`localize`] — replays the failing implementation with the
+//!   relaxation trace sink in `rdbs_core::stats::trace` armed and
+//!   reports the first bucket/phase/edge where settled distances
+//!   depart from the oracle.
+//!
+//! The whole pipeline is reachable from the command line via
+//! `rdbs-cli verify`, which exits non-zero on any mismatch.
+
+pub mod graphs;
+pub mod localize;
+pub mod registry;
+pub mod runner;
+pub mod shrink;
+
+pub use graphs::{families, GraphCase};
+pub use localize::{localize, Divergence};
+pub use registry::{all, by_id, with_faults, Family, Implementation, FAULT_OFF_BY_ONE};
+pub use runner::{run_matrix, CaseFailure, FailureKind, MatrixOptions, MatrixReport};
+pub use shrink::{shrink, ShrunkWitness};

@@ -175,7 +175,10 @@ mod tests {
     fn delta_never_below_one() {
         let mut c = DeltaController::new(1);
         for i in 0..20 {
-            c.finish_bucket(if i % 2 == 0 { 1 } else { 1000 }, if i % 2 == 0 { 1 } else { 100_000 });
+            c.finish_bucket(
+                if i % 2 == 0 { 1 } else { 1000 },
+                if i % 2 == 0 { 1 } else { 100_000 },
+            );
         }
         assert!(c.delta() >= 1);
     }

@@ -88,8 +88,7 @@ pub fn gpu_buckets_csv(buckets: &[GpuBucketTrace]) -> String {
 
 /// CSV of a sequential Δ-stepping trace.
 pub fn seq_buckets_csv(buckets: &[BucketTrace]) -> String {
-    let mut out =
-        String::from("bucket,active,layers,phase1_updates,phase1_valid,phase2_updates\n");
+    let mut out = String::from("bucket,active,layers,phase1_updates,phase1_valid,phase2_updates\n");
     for b in buckets {
         out.push_str(&format!(
             "{},{},{},{},{},{}\n",
@@ -144,7 +143,14 @@ mod tests {
 
     #[test]
     fn csv_shapes() {
-        let buckets = vec![GpuBucketTrace { lo: 0, width: 100, layers: 3, active: 42, converged: 40, threads: 99 }];
+        let buckets = vec![GpuBucketTrace {
+            lo: 0,
+            width: 100,
+            layers: 3,
+            active: 42,
+            converged: 40,
+            threads: 99,
+        }];
         let csv = gpu_buckets_csv(&buckets);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -58,9 +58,8 @@ pub fn parallel_delta_stepping(
                     settled.push(v);
                 }
             }
-            let outs = relax_parallel(graph, &dist, &fresh, threads, &updates, &checks, |w| {
-                w < delta
-            });
+            let outs =
+                relax_parallel(graph, &dist, &fresh, threads, &updates, &checks, |w| w < delta);
             for (v, d) in outs {
                 let b = bucket_of(d);
                 if buckets.len() <= b {
@@ -70,9 +69,8 @@ pub fn parallel_delta_stepping(
             }
         }
         // Phase 2: heavy edges of everything settled.
-        let outs = relax_parallel(graph, &dist, &settled, threads, &updates, &checks, |w| {
-            w >= delta
-        });
+        let outs =
+            relax_parallel(graph, &dist, &settled, threads, &updates, &checks, |w| w >= delta);
         for (v, d) in outs {
             let b = bucket_of(d);
             if buckets.len() <= b {

@@ -89,9 +89,9 @@ mod tests {
     use crate::seq::dijkstra;
     use crate::validate::check_against;
     use crate::INF;
+    use rdbs_gpu_sim::DeviceConfig;
     use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_graph::generate::{erdos_renyi, uniform_weights};
-    use rdbs_gpu_sim::DeviceConfig;
 
     fn random_graph(seed: u64, n: usize, m: usize) -> Csr {
         let mut el = erdos_renyi(n, m, seed);

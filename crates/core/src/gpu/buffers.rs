@@ -107,8 +107,8 @@ impl DeviceQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_gpu_sim::DeviceConfig;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
 
     #[test]
     fn upload_roundtrip() {

@@ -87,6 +87,12 @@ pub fn run_gpu(
                 let mut run = rdbs::rdbs(&mut device, &pg, perm.new_id(source), cfg);
                 run.result.dist = perm.unapply_to_array(&run.result.dist);
                 run.result.source = source;
+                if crate::stats::trace::armed() {
+                    // Trace events carry PRO-relabelled ids; map them
+                    // back like the distances.
+                    let inv = perm.inverse();
+                    crate::stats::trace::remap_ids(|v| inv.new_id(v));
+                }
                 (run.result, run.buckets)
             } else {
                 let run = rdbs::rdbs(&mut device, graph, source, cfg);
@@ -95,11 +101,8 @@ pub fn run_gpu(
         }
     };
     let elapsed_ms = device.elapsed_ms();
-    let gteps = if elapsed_ms > 0.0 {
-        graph.num_edges() as f64 / (elapsed_ms * 1e-3) / 1e9
-    } else {
-        0.0
-    };
+    let gteps =
+        if elapsed_ms > 0.0 { graph.num_edges() as f64 / (elapsed_ms * 1e-3) / 1e9 } else { 0.0 };
     GpuRun {
         label: variant.label(),
         result,
@@ -139,8 +142,7 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<String> =
-            Variant::fig8_variants().iter().map(|v| v.label()).collect();
+        let labels: Vec<String> = Variant::fig8_variants().iter().map(|v| v.label()).collect();
         assert_eq!(labels, vec!["BL", "BASYN+PRO", "BASYN+ADWL", "BASYN+PRO+ADWL"]);
     }
 

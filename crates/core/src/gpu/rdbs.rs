@@ -24,7 +24,7 @@
 
 use super::buffers::{DeviceQueue, GraphBuffers};
 use crate::adaptive_delta::DeltaController;
-use crate::stats::{SsspResult, UpdateStats};
+use crate::stats::{trace as relax_trace, SsspResult, UpdateStats};
 use crate::workload::{classify, WorkloadClass};
 use crate::{default_delta, Csr, VertexId, Weight, INF};
 use rdbs_gpu_sim::{Buf, Device, Lane};
@@ -212,11 +212,8 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
 
     // Seed the source.
     device.write_word(queues.pending, source as usize, 1);
-    let src_class = if config.adwl {
-        classify(host_light_degree(graph, source))
-    } else {
-        WorkloadClass::Small
-    };
+    let src_class =
+        if config.adwl { classify(host_light_degree(graph, source)) } else { WorkloadClass::Small };
     queues.q[src_class.index()].host_push(device, source);
     queues.members.host_push(device, source);
 
@@ -242,6 +239,9 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
             let mut any = false;
             let lists: Vec<Vec<VertexId>> =
                 (0..WorkloadClass::COUNT).map(|c| queues.q[c].drain(device)).collect();
+            if relax_trace::armed() {
+                relax_trace::set_context(lo, relax_trace::Phase::Light, trace.layers);
+            }
             for (c, items) in lists.iter().enumerate() {
                 if items.is_empty() {
                     continue;
@@ -261,11 +261,8 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
         trace.active = inst.active.get() - active_before;
 
         // C_i: vertices settled by this bucket (host instrumentation).
-        let settled_now = device
-            .read(gb.dist)
-            .iter()
-            .filter(|&&d| (d as u64) < hi && d != INF)
-            .count() as u64;
+        let settled_now =
+            device.read(gb.dist).iter().filter(|&&d| (d as u64) < hi && d != INF).count() as u64;
         trace.converged = settled_now.saturating_sub(settled_before);
         settled_before = settled_now;
 
@@ -284,7 +281,21 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
         // relaxes (a vertex improved twice in phase 1 is one member).
         bucket_members.sort_unstable();
         bucket_members.dedup();
-        heavy_relax_wave(device, gb, queues.members, &bucket_members, graph, lo, hi, width, config.pro, &inst);
+        if relax_trace::armed() {
+            relax_trace::set_context(lo, relax_trace::Phase::Heavy, 0);
+        }
+        heavy_relax_wave(
+            device,
+            gb,
+            queues.members,
+            &bucket_members,
+            graph,
+            lo,
+            hi,
+            width,
+            config.pro,
+            &inst,
+        );
         device.charge_barrier();
 
         let mut next_lo = hi;
@@ -341,18 +352,20 @@ fn host_light_degree(graph: &Csr, v: VertexId) -> u32 {
 }
 
 /// Lanes a phase-1 wave will use (T_i accounting).
-fn phase1_wave_threads(graph: &Csr, class: usize, items: &[VertexId], width: Weight, pro: bool) -> u64 {
+fn phase1_wave_threads(
+    graph: &Csr,
+    class: usize,
+    items: &[VertexId],
+    width: Weight,
+    pro: bool,
+) -> u64 {
     match class {
         0 => items.len() as u64,
         1 => items.len() as u64 * 32,
         _ => items
             .iter()
             .map(|&v| {
-                1 + if pro {
-                    graph.light_degree(v, width) as u64
-                } else {
-                    graph.degree(v) as u64
-                }
+                1 + if pro { graph.light_degree(v, width) as u64 } else { graph.degree(v) as u64 }
             })
             .sum(),
     }
@@ -417,14 +430,14 @@ fn run_phase1_list(
             let check_light = gb.heavy.is_none();
             lane.launch_child("phase1_child", count, move |cl| {
                 let e = start + cl.tid() as u32;
-                relax_light_edge(cl, gb, queues, e, dv, hi, width, check_light, &inst_child);
+                relax_light_edge(cl, gb, queues, v, e, dv, hi, width, check_light, &inst_child);
             });
             return;
         }
         let check_light = gb.heavy.is_none();
         let mut e = start + rank;
         while e < light_end {
-            relax_light_edge(lane, gb, queues, e, dv, hi, width, check_light, &inst_outer);
+            relax_light_edge(lane, gb, queues, v, e, dv, hi, width, check_light, &inst_outer);
             e += stride;
         }
     };
@@ -451,6 +464,7 @@ fn relax_light_edge(
     lane: &mut Lane<'_>,
     gb: GraphBuffers,
     queues: Queues,
+    src: VertexId,
     e: u32,
     dv: u32,
     hi: u64,
@@ -473,6 +487,9 @@ fn relax_light_edge(
     if nd < dv2 {
         let old = lane.atomic_min(gb.dist, v2, nd);
         if nd < old {
+            if relax_trace::armed() {
+                relax_trace::record(src, v2, old, nd);
+            }
             inst.updates.set(inst.updates.get() + 1);
             if (nd as u64) < hi {
                 queues.enqueue(lane, gb, v2);
@@ -548,6 +565,9 @@ fn heavy_relax_wave(
             if nd < dv2 {
                 let old = lane.atomic_min(gb.dist, v2, nd);
                 if nd < old {
+                    if relax_trace::armed() {
+                        relax_trace::record(v, v2, old, nd);
+                    }
                     inst.updates.set(inst.updates.get() + 1);
                 }
             }
@@ -629,10 +649,10 @@ mod tests {
     use super::*;
     use crate::seq::dijkstra;
     use crate::validate::check_against;
+    use rdbs_gpu_sim::DeviceConfig;
     use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_graph::generate::{erdos_renyi, preferential_attachment, uniform_weights};
     use rdbs_graph::reorder;
-    use rdbs_gpu_sim::DeviceConfig;
 
     fn random_graph(seed: u64, n: usize, m: usize) -> Csr {
         let mut el = erdos_renyi(n, m, seed);

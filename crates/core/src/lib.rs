@@ -31,6 +31,19 @@ pub mod workload;
 pub use rdbs_graph::{Csr, Dist, VertexId, Weight, INF};
 pub use stats::{SsspResult, UpdateStats};
 
+/// Saturating tentative distance `du + w`.
+///
+/// Distances saturate at [`INF`]: a sum that would overflow (or pass
+/// through an unreachable `du == INF`) clamps to `INF`, which every
+/// relaxation rejects (`INF < dist[v]` is never true), so overflowing
+/// paths degrade to "unreachable" instead of wrapping around and
+/// corrupting finite distances. All sequential kernels relax through
+/// this helper; the GPU kernels apply the same `saturating_add`.
+#[inline(always)]
+pub fn saturating_relax(du: Dist, w: Weight) -> Dist {
+    du.saturating_add(w)
+}
+
 /// Pick the default bucket width Δ₀ for a graph.
 ///
 /// Dense/skewed graphs use the paper's empirical `Δ = 0.1` of §3.2

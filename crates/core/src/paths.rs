@@ -50,7 +50,11 @@ pub fn build_parent_tree(graph: &Csr, source: VertexId, dist: &[Dist]) -> Vec<Ve
 
 /// Extract the path `source → target` from a parent tree; `None` if
 /// the target is unreached.
-pub fn extract_path(parent: &[VertexId], source: VertexId, target: VertexId) -> Option<Vec<VertexId>> {
+pub fn extract_path(
+    parent: &[VertexId],
+    source: VertexId,
+    target: VertexId,
+) -> Option<Vec<VertexId>> {
     if parent[target as usize] == NO_PARENT {
         return None;
     }
@@ -180,7 +184,11 @@ pub fn bidirectional_dijkstra(graph: &Csr, source: VertexId, target: VertexId) -
 
 /// Convenience: full shortest path between two vertices via Dijkstra +
 /// parent reconstruction.
-pub fn shortest_path(graph: &Csr, source: VertexId, target: VertexId) -> Option<(Dist, Vec<VertexId>)> {
+pub fn shortest_path(
+    graph: &Csr,
+    source: VertexId,
+    target: VertexId,
+) -> Option<(Dist, Vec<VertexId>)> {
     let r = dijkstra(graph, source);
     let d = r.dist[target as usize];
     if d == INF {
@@ -256,11 +264,8 @@ mod tests {
         let r = dijkstra(&g, 7);
         for target in [0u32, 33, 77, 149] {
             let bd = bidirectional_dijkstra(&g, 7, target);
-            let expect = if r.dist[target as usize] == INF {
-                None
-            } else {
-                Some(r.dist[target as usize])
-            };
+            let expect =
+                if r.dist[target as usize] == INF { None } else { Some(r.dist[target as usize]) };
             assert_eq!(bd, expect, "target {target}");
         }
         assert_eq!(bidirectional_dijkstra(&g, 5, 5), Some(0));

@@ -29,7 +29,7 @@ pub fn bellman_ford(graph: &Csr, source: VertexId) -> SsspResult {
             let du = dist[u as usize];
             for (v, w) in graph.edges(u) {
                 stats.checks += 1;
-                let nd = du + w;
+                let nd = crate::saturating_relax(du, w);
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
                     stats.total_updates += 1;

@@ -12,7 +12,7 @@
 //! Fig. 2 (bucket occupancy) and Fig. 3 (layer counts, valid vs total
 //! updates of the peak bucket) exactly.
 
-use crate::stats::{SsspResult, UpdateStats};
+use crate::stats::{trace, SsspResult, UpdateStats};
 use crate::{Csr, Dist, VertexId, Weight, INF};
 
 /// Per-bucket trace of one Δ-stepping run.
@@ -65,7 +65,12 @@ pub fn delta_stepping_traced(
     run(graph, source, delta, final_dist)
 }
 
-fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>) -> DeltaSteppingRun {
+fn run(
+    graph: &Csr,
+    source: VertexId,
+    delta: Weight,
+    final_dist: Option<&[Dist]>,
+) -> DeltaSteppingRun {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source out of range");
     assert!(delta >= 1, "delta must be at least 1");
@@ -87,9 +92,7 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
     dist[source as usize] = 0;
     push_bucket(&mut buckets, source, 0);
 
-    let valid = |v: VertexId, d: Dist| -> bool {
-        final_dist.is_some_and(|f| f[v as usize] == d)
-    };
+    let valid = |v: VertexId, d: Dist| -> bool { final_dist.is_some_and(|f| f[v as usize] == d) };
 
     let mut i = 0usize;
     while i < buckets.len() {
@@ -98,6 +101,7 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
             continue;
         }
         let mut trace = BucketTrace { bucket_id: i as u64, ..Default::default() };
+        let mut trace_layer = 0u32;
         // Settled set for phase 2 (each vertex recorded once).
         let mut settled: Vec<VertexId> = Vec::new();
         let mut settled_mark = std::collections::HashSet::new();
@@ -106,6 +110,10 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
         while !buckets[i].is_empty() {
             let layer = std::mem::take(&mut buckets[i]);
             let mut layer_active = 0u64;
+            if trace::armed() {
+                trace::set_context(i as u64, trace::Phase::Light, trace_layer);
+            }
+            trace_layer += 1;
             for v in layer {
                 let dv = dist[v as usize];
                 if dv == INF || bucket_of(dv) != i {
@@ -121,8 +129,11 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
                         continue;
                     }
                     stats.checks += 1;
-                    let nd = dv + w;
+                    let nd = crate::saturating_relax(dv, w);
                     if nd < dist[u as usize] {
+                        if trace::armed() {
+                            trace::record(v, u, dist[u as usize], nd);
+                        }
                         dist[u as usize] = nd;
                         stats.total_updates += 1;
                         trace.phase1_updates += 1;
@@ -140,6 +151,9 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
         }
 
         // Phase 2: heavy edges of everything settled in this bucket.
+        if trace::armed() {
+            trace::set_context(i as u64, trace::Phase::Heavy, 0);
+        }
         for &v in &settled {
             let dv = dist[v as usize];
             for (u, w) in graph.edges(v) {
@@ -147,8 +161,11 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
                     continue;
                 }
                 stats.checks += 1;
-                let nd = dv + w;
+                let nd = crate::saturating_relax(dv, w);
                 if nd < dist[u as usize] {
+                    if trace::armed() {
+                        trace::record(v, u, dist[u as usize], nd);
+                    }
                     dist[u as usize] = nd;
                     stats.total_updates += 1;
                     trace.phase2_updates += 1;
@@ -168,11 +185,7 @@ fn run(graph: &Csr, source: VertexId, delta: Weight, final_dist: Option<&[Dist]>
         stats.peak_bucket_layer_active = traces[peak].layer_active.clone();
     }
 
-    DeltaSteppingRun {
-        result: SsspResult { source, dist, stats },
-        buckets: traces,
-        delta,
-    }
+    DeltaSteppingRun { result: SsspResult { source, dist, stats }, buckets: traces, delta }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ pub fn dijkstra(graph: &Csr, source: VertexId) -> SsspResult {
             continue; // stale entry
         }
         for (v, w) in graph.edges(u) {
-            let nd = d + w;
+            let nd = crate::saturating_relax(d, w);
             stats.checks += 1;
             if nd < dist[v as usize] {
                 dist[v as usize] = nd;

@@ -15,6 +15,6 @@ pub mod dial;
 pub mod dijkstra;
 
 pub use bellman_ford::bellman_ford;
-pub use dial::dial;
 pub use delta_stepping::{delta_stepping, delta_stepping_traced, BucketTrace, DeltaSteppingRun};
+pub use dial::dial;
 pub use dijkstra::dijkstra;

@@ -76,9 +76,176 @@ impl SsspResult {
     }
 }
 
+/// Relaxation tracing for the conformance localizer.
+///
+/// A thread-local event sink that instrumented kernels
+/// ([`crate::seq::delta_stepping`] and the simulated-GPU
+/// [`crate::gpu::rdbs()`](fn@crate::gpu::rdbs)) record successful
+/// relaxations into. Disabled (zero-cost beyond one thread-local flag
+/// check) unless [`trace::start`] was called on the current thread, so
+/// production runs never pay for it. The conformance crate's
+/// first-divergence localizer replays a failing implementation with
+/// the sink armed and reports the first bucket/phase/edge whose
+/// settled distance departs from the Dijkstra oracle.
+pub mod trace {
+    use crate::{Dist, VertexId};
+    use std::cell::{Cell, RefCell};
+
+    /// Which relaxation site recorded the event.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Phase {
+        /// Phase-1 light-edge relaxation.
+        Light,
+        /// Phase-2 heavy-edge relaxation.
+        Heavy,
+    }
+
+    impl std::fmt::Display for Phase {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Phase::Light => write!(f, "phase 1 (light)"),
+                Phase::Heavy => write!(f, "phase 2 (heavy)"),
+            }
+        }
+    }
+
+    /// One successful relaxation (`dist[dst]` lowered to `new`).
+    #[derive(Clone, Debug)]
+    pub struct RelaxEvent {
+        /// Low edge of the active bucket's distance window (the
+        /// sequential kernel stores the bucket index here).
+        pub bucket: u64,
+        /// Relaxation site.
+        pub phase: Phase,
+        /// Phase-1 layer (0 during phase 2).
+        pub layer: u32,
+        /// Edge tail.
+        pub src: VertexId,
+        /// Edge head — the improved vertex.
+        pub dst: VertexId,
+        /// Distance before the write.
+        pub old: Dist,
+        /// Distance written.
+        pub new: Dist,
+    }
+
+    struct Sink {
+        bucket: u64,
+        phase: Phase,
+        layer: u32,
+        events: Vec<RelaxEvent>,
+        cap: usize,
+        dropped: u64,
+    }
+
+    thread_local! {
+        static ARMED: Cell<bool> = const { Cell::new(false) };
+        static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
+    }
+
+    /// Arm the sink on this thread, keeping at most `cap` events.
+    pub fn start(cap: usize) {
+        SINK.with(|s| {
+            *s.borrow_mut() = Some(Sink {
+                bucket: 0,
+                phase: Phase::Light,
+                layer: 0,
+                events: Vec::new(),
+                cap,
+                dropped: 0,
+            })
+        });
+        ARMED.with(|a| a.set(true));
+    }
+
+    /// Is the sink armed on this thread? Kernels use this as the
+    /// fast-path guard before assembling an event.
+    #[inline(always)]
+    pub fn armed() -> bool {
+        ARMED.with(|a| a.get())
+    }
+
+    /// Label subsequent events with the current bucket/phase/layer
+    /// (host-side code calls this once per wave, not per edge).
+    pub fn set_context(bucket: u64, phase: Phase, layer: u32) {
+        if !armed() {
+            return;
+        }
+        SINK.with(|s| {
+            if let Some(sink) = s.borrow_mut().as_mut() {
+                sink.bucket = bucket;
+                sink.phase = phase;
+                sink.layer = layer;
+            }
+        });
+    }
+
+    /// Record one successful relaxation under the current context.
+    pub fn record(src: VertexId, dst: VertexId, old: Dist, new: Dist) {
+        if !armed() {
+            return;
+        }
+        SINK.with(|s| {
+            if let Some(sink) = s.borrow_mut().as_mut() {
+                if sink.events.len() >= sink.cap {
+                    sink.dropped += 1;
+                    return;
+                }
+                let (bucket, phase, layer) = (sink.bucket, sink.phase, sink.layer);
+                sink.events.push(RelaxEvent { bucket, phase, layer, src, dst, old, new });
+            }
+        });
+    }
+
+    /// Rewrite the `src`/`dst` ids of every buffered event (used by
+    /// runners that execute on a relabelled graph to map events back
+    /// to the caller's vertex ids before the sink is drained).
+    pub fn remap_ids(f: impl Fn(VertexId) -> VertexId) {
+        if !armed() {
+            return;
+        }
+        SINK.with(|s| {
+            if let Some(sink) = s.borrow_mut().as_mut() {
+                for ev in &mut sink.events {
+                    ev.src = f(ev.src);
+                    ev.dst = f(ev.dst);
+                }
+            }
+        });
+    }
+
+    /// Disarm and return the recorded events plus the overflow count.
+    pub fn take() -> (Vec<RelaxEvent>, u64) {
+        ARMED.with(|a| a.set(false));
+        SINK.with(|s| {
+            s.borrow_mut().take().map(|sink| (sink.events, sink.dropped)).unwrap_or_default()
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_sink_records_in_context() {
+        trace::start(2);
+        assert!(trace::armed());
+        trace::set_context(3, trace::Phase::Heavy, 0);
+        trace::record(1, 2, INF, 10);
+        trace::record(2, 4, 20, 15);
+        trace::record(4, 5, 30, 25); // over cap → dropped
+        let (events, dropped) = trace::take();
+        assert!(!trace::armed());
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 1);
+        assert_eq!(events[0].bucket, 3);
+        assert_eq!(events[0].phase, trace::Phase::Heavy);
+        assert_eq!(events[1].new, 15);
+        // Disarmed: records are no-ops.
+        trace::record(0, 1, 2, 1);
+        assert_eq!(trace::take().0.len(), 0);
+    }
 
     #[test]
     fn valid_updates_excludes_source_and_unreached() {
@@ -97,11 +264,7 @@ mod tests {
 
     #[test]
     fn reached_counts_source() {
-        let r = SsspResult {
-            source: 0,
-            dist: vec![0, 3, INF],
-            stats: UpdateStats::default(),
-        };
+        let r = SsspResult { source: 0, dist: vec![0, 3, INF], stats: UpdateStats::default() };
         assert_eq!(r.reached(), 2);
     }
 }

@@ -32,7 +32,11 @@ fn fmt_dist(d: Dist) -> String {
 }
 
 /// Compare `dist` against a fresh Dijkstra run from `source`.
-pub fn check_against_dijkstra(graph: &Csr, source: VertexId, dist: &[Dist]) -> Result<(), Mismatch> {
+pub fn check_against_dijkstra(
+    graph: &Csr,
+    source: VertexId,
+    dist: &[Dist],
+) -> Result<(), Mismatch> {
     let oracle = dijkstra(graph, source);
     check_against(&oracle.dist, dist)
 }

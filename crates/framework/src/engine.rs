@@ -175,7 +175,11 @@ impl Engine {
 
     /// Rebuild the frontier host-side from a device predicate scan
     /// (used by algorithms that activate vertices out-of-band).
-    pub fn gather_frontier(&mut self, name: &'static str, pred: impl Fn(&mut Lane<'_>, VertexId) -> bool) -> usize {
+    pub fn gather_frontier(
+        &mut self,
+        name: &'static str,
+        pred: impl Fn(&mut Lane<'_>, VertexId) -> bool,
+    ) -> usize {
         self.iterations += 1;
         let n = self.gb.n;
         let next = self.next;

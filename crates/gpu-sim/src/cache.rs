@@ -104,10 +104,8 @@ impl CacheHierarchy {
 
     /// Aggregate L1 hit rate across SMs (nvprof's `global_hit_rate`).
     pub fn l1_hit_rate(&self) -> f64 {
-        let (hits, accesses) = self
-            .l1
-            .iter()
-            .fold((0u64, 0u64), |(h, a), c| (h + c.hits, a + c.accesses));
+        let (hits, accesses) =
+            self.l1.iter().fold((0u64, 0u64), |(h, a), c| (h + c.hits, a + c.accesses));
         if accesses == 0 {
             0.0
         } else {

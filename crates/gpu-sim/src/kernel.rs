@@ -218,7 +218,13 @@ impl Device {
     /// Run a task wave with **no** launch overhead: the execution model
     /// of work dispatched inside an already-running persistent kernel.
     /// Children queued by the wave run before this returns.
-    pub fn wave(&mut self, name: &'static str, items: u64, gang_size: u32, body: impl Fn(&mut Lane<'_>)) {
+    pub fn wave(
+        &mut self,
+        name: &'static str,
+        items: u64,
+        gang_size: u32,
+        body: impl Fn(&mut Lane<'_>),
+    ) {
         self.execute(name, items * gang_size as u64, gang_size, false, false, false, &body);
         self.drain_children(false);
     }
@@ -326,7 +332,15 @@ impl<'d> WaveSession<'d> {
     /// overhead. Children queued by the wave run before this returns.
     pub fn wave(&mut self, items: u64, gang_size: u32, body: impl Fn(&mut Lane<'_>)) {
         self.waves += 1;
-        self.device.execute(self.name, items * gang_size as u64, gang_size, false, false, false, &body);
+        self.device.execute(
+            self.name,
+            items * gang_size as u64,
+            gang_size,
+            false,
+            false,
+            false,
+            &body,
+        );
         self.device.drain_children(false);
     }
 
@@ -454,7 +468,6 @@ mod tests {
             });
         }
         assert_eq!(s.waves(), 10);
-        drop(s);
         assert_eq!(d.read_word(x, 0), 40);
         assert_eq!(d.counters().kernel_launches, 1, "one launch for all waves");
     }

@@ -90,9 +90,8 @@ impl CsrBuilder {
     /// Build the CSR.
     pub fn build(&self, list: &EdgeList) -> Csr {
         let n = list.num_vertices;
-        let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(
-            list.edges.len() * if self.symmetrize { 2 } else { 1 },
-        );
+        let mut edges: Vec<(VertexId, VertexId, Weight)> =
+            Vec::with_capacity(list.edges.len() * if self.symmetrize { 2 } else { 1 });
         for &(u, v, w) in &list.edges {
             if self.drop_self_loops && u == v {
                 continue;

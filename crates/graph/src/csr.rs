@@ -363,7 +363,13 @@ mod tests {
 
     #[test]
     fn validate_catches_weight_len_mismatch() {
-        let g = Csr { row_offsets: vec![0, 1], adjacency: vec![0], weights: vec![], heavy_offsets: None, heavy_delta: None };
+        let g = Csr {
+            row_offsets: vec![0, 1],
+            adjacency: vec![0],
+            weights: vec![],
+            heavy_offsets: None,
+            heavy_delta: None,
+        };
         assert!(g.validate().is_err());
     }
 

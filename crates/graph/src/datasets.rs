@@ -57,9 +57,7 @@ impl DatasetSpec {
     /// Vertices the stand-in will have at a given shift.
     pub fn standin_vertices(&self, scale_shift: u32) -> usize {
         match self.family {
-            Family::Kronecker { scale, .. } => {
-                1usize << scale.saturating_sub(scale_shift).max(8)
-            }
+            Family::Kronecker { scale, .. } => 1usize << scale.saturating_sub(scale_shift).max(8),
             _ => (self.paper_vertices >> scale_shift).max(1 << 10),
         }
     }
@@ -87,10 +85,7 @@ impl DatasetSpec {
                 let cols = n.div_ceil(rows);
                 // No long-range shortcuts: they would crush the
                 // diameter that defines this dataset's behaviour.
-                grid_road(
-                    GridConfig { rows, cols, deletion_prob: 0.25, shortcuts: 0 },
-                    seed,
-                )
+                grid_road(GridConfig { rows, cols, deletion_prob: 0.25, shortcuts: 0 }, seed)
             }
             Family::PowerLaw { m } => {
                 // Recency window sized so the community-chain depth
@@ -132,16 +127,86 @@ fn shuffle_labels(list: &mut EdgeList, seed: u64) {
 /// The ten real-world rows of Table 1, in the paper's order.
 pub fn table1() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "road-TX", paper_vertices: 1_379_917, paper_edges: 1_921_660, paper_avg_deg: 1.39, paper_diameter: 1054, family: Family::Road },
-        DatasetSpec { name: "Amazon", paper_vertices: 403_394, paper_edges: 3_387_388, paper_avg_deg: 8.39, paper_diameter: 21, family: Family::PowerLaw { m: 4 } },
-        DatasetSpec { name: "web-GL", paper_vertices: 875_713, paper_edges: 5_105_039, paper_avg_deg: 5.82, paper_diameter: 21, family: Family::PowerLaw { m: 3 } },
-        DatasetSpec { name: "com-LJ", paper_vertices: 3_997_962, paper_edges: 34_681_189, paper_avg_deg: 8.67, paper_diameter: 17, family: Family::PowerLaw { m: 4 } },
-        DatasetSpec { name: "soc-PK", paper_vertices: 1_632_803, paper_edges: 30_622_564, paper_avg_deg: 18.75, paper_diameter: 11, family: Family::PowerLaw { m: 9 } },
-        DatasetSpec { name: "com-OK", paper_vertices: 3_072_441, paper_edges: 117_185_083, paper_avg_deg: 38.14, paper_diameter: 9, family: Family::PowerLaw { m: 19 } },
-        DatasetSpec { name: "as-Skt", paper_vertices: 1_696_415, paper_edges: 11_095_298, paper_avg_deg: 6.54, paper_diameter: 25, family: Family::PowerLaw { m: 3 } },
-        DatasetSpec { name: "soc-LJ", paper_vertices: 4_847_571, paper_edges: 68_993_773, paper_avg_deg: 14.23, paper_diameter: 16, family: Family::PowerLaw { m: 7 } },
-        DatasetSpec { name: "wiki-TK", paper_vertices: 2_394_385, paper_edges: 5_021_410, paper_avg_deg: 2.10, paper_diameter: 9, family: Family::PowerLaw { m: 1 } },
-        DatasetSpec { name: "soc-TW", paper_vertices: 21_297_772, paper_edges: 265_025_545, paper_avg_deg: 12.44, paper_diameter: 18, family: Family::PowerLaw { m: 6 } },
+        DatasetSpec {
+            name: "road-TX",
+            paper_vertices: 1_379_917,
+            paper_edges: 1_921_660,
+            paper_avg_deg: 1.39,
+            paper_diameter: 1054,
+            family: Family::Road,
+        },
+        DatasetSpec {
+            name: "Amazon",
+            paper_vertices: 403_394,
+            paper_edges: 3_387_388,
+            paper_avg_deg: 8.39,
+            paper_diameter: 21,
+            family: Family::PowerLaw { m: 4 },
+        },
+        DatasetSpec {
+            name: "web-GL",
+            paper_vertices: 875_713,
+            paper_edges: 5_105_039,
+            paper_avg_deg: 5.82,
+            paper_diameter: 21,
+            family: Family::PowerLaw { m: 3 },
+        },
+        DatasetSpec {
+            name: "com-LJ",
+            paper_vertices: 3_997_962,
+            paper_edges: 34_681_189,
+            paper_avg_deg: 8.67,
+            paper_diameter: 17,
+            family: Family::PowerLaw { m: 4 },
+        },
+        DatasetSpec {
+            name: "soc-PK",
+            paper_vertices: 1_632_803,
+            paper_edges: 30_622_564,
+            paper_avg_deg: 18.75,
+            paper_diameter: 11,
+            family: Family::PowerLaw { m: 9 },
+        },
+        DatasetSpec {
+            name: "com-OK",
+            paper_vertices: 3_072_441,
+            paper_edges: 117_185_083,
+            paper_avg_deg: 38.14,
+            paper_diameter: 9,
+            family: Family::PowerLaw { m: 19 },
+        },
+        DatasetSpec {
+            name: "as-Skt",
+            paper_vertices: 1_696_415,
+            paper_edges: 11_095_298,
+            paper_avg_deg: 6.54,
+            paper_diameter: 25,
+            family: Family::PowerLaw { m: 3 },
+        },
+        DatasetSpec {
+            name: "soc-LJ",
+            paper_vertices: 4_847_571,
+            paper_edges: 68_993_773,
+            paper_avg_deg: 14.23,
+            paper_diameter: 16,
+            family: Family::PowerLaw { m: 7 },
+        },
+        DatasetSpec {
+            name: "wiki-TK",
+            paper_vertices: 2_394_385,
+            paper_edges: 5_021_410,
+            paper_avg_deg: 2.10,
+            paper_diameter: 9,
+            family: Family::PowerLaw { m: 1 },
+        },
+        DatasetSpec {
+            name: "soc-TW",
+            paper_vertices: 21_297_772,
+            paper_edges: 265_025_545,
+            paper_avg_deg: 12.44,
+            paper_diameter: 18,
+            family: Family::PowerLaw { m: 6 },
+        },
     ]
 }
 
@@ -216,8 +281,12 @@ mod tests {
         let g = spec.generate(8, 1);
         let st = graph_stats(&g);
         // Undirected stand-in's directed avg degree ≈ 2m = paper avg.
-        assert!((st.avg_degree - spec.paper_avg_deg).abs() / spec.paper_avg_deg < 0.25,
-            "avg {} vs paper {}", st.avg_degree, spec.paper_avg_deg);
+        assert!(
+            (st.avg_degree - spec.paper_avg_deg).abs() / spec.paper_avg_deg < 0.25,
+            "avg {} vs paper {}",
+            st.avg_degree,
+            spec.paper_avg_deg
+        );
         assert!(st.max_degree as f64 > 8.0 * st.avg_degree, "needs hubs");
         // Social graphs: tiny diameter.
         assert!(st.pseudo_diameter < 15, "diameter {}", st.pseudo_diameter);

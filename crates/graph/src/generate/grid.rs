@@ -89,8 +89,10 @@ mod tests {
 
     #[test]
     fn deletions_reduce_degree() {
-        let full = grid_road(GridConfig { rows: 30, cols: 30, deletion_prob: 0.0, shortcuts: 0 }, 1);
-        let sparse = grid_road(GridConfig { rows: 30, cols: 30, deletion_prob: 0.5, shortcuts: 0 }, 1);
+        let full =
+            grid_road(GridConfig { rows: 30, cols: 30, deletion_prob: 0.0, shortcuts: 0 }, 1);
+        let sparse =
+            grid_road(GridConfig { rows: 30, cols: 30, deletion_prob: 0.5, shortcuts: 0 }, 1);
         assert!(sparse.len() < full.len() * 2 / 3);
     }
 

@@ -82,13 +82,9 @@ mod tests {
         // surely not be vertex 0 (it is for raw R-MAT with these params).
         let el = kronecker(KroneckerConfig::new(10, 8), 11);
         let g = crate::builder::build_undirected(&el);
-        let max_deg_v = (0..g.num_vertices() as VertexId)
-            .max_by_key(|&v| g.degree(v))
-            .unwrap();
+        let max_deg_v = (0..g.num_vertices() as VertexId).max_by_key(|&v| g.degree(v)).unwrap();
         let raw = crate::builder::build_undirected(&rmat(RmatConfig::graph500(10, 8), 11));
-        let raw_max = (0..raw.num_vertices() as VertexId)
-            .max_by_key(|&v| raw.degree(v))
-            .unwrap();
+        let raw_max = (0..raw.num_vertices() as VertexId).max_by_key(|&v| raw.degree(v)).unwrap();
         assert_eq!(raw_max, 0, "R-MAT concentrates degree on vertex 0");
         assert_ne!(max_deg_v, 0, "permutation should move the hub");
     }

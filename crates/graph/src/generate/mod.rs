@@ -18,7 +18,9 @@ pub use kronecker::{kronecker, KroneckerConfig};
 pub use powerlaw::preferential_attachment;
 pub use rmat::{rmat, RmatConfig};
 pub use watts_strogatz::watts_strogatz;
-pub use weights::{assign_distributed_weights, assign_uniform_weights, uniform_weights, WeightDistribution};
+pub use weights::{
+    assign_distributed_weights, assign_uniform_weights, uniform_weights, WeightDistribution,
+};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -136,10 +136,7 @@ mod tests {
         let g = build_undirected(&el);
         let max = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
         let avg = g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(
-            max as f64 > 8.0 * avg,
-            "expected hub (max {max}, avg {avg:.1})"
-        );
+        assert!(max as f64 > 8.0 * avg, "expected hub (max {max}, avg {avg:.1})");
     }
 
     #[test]

@@ -17,9 +17,7 @@ use std::io::BufRead;
 pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<EdgeList, IoError> {
     let mut lines = reader.lines().enumerate();
     // Header.
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| IoError::Format("empty file".into()))?;
+    let (_, header) = lines.next().ok_or_else(|| IoError::Format("empty file".into()))?;
     let header = header?;
     let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
@@ -144,7 +142,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        let err = parse_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n")).unwrap_err();
+        let err = parse_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n"))
+            .unwrap_err();
         assert!(err.to_string().contains("unsupported header"));
     }
 

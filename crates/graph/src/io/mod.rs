@@ -9,17 +9,21 @@
 //! * [`dimacs`] — DIMACS shortest-path `.gr` challenge format;
 //! * [`matrix_market`] — MatrixMarket `coordinate` `.mtx` files;
 //! * [`binary`] — a compact little-endian binary CSR snapshot for fast
-//!   reloading of preprocessed graphs.
+//!   reloading of preprocessed graphs;
+//! * [`witness`] — self-contained failing instances (graph + source)
+//!   emitted by the conformance shrinker for CLI replay.
 
 pub mod binary;
 pub mod dimacs;
 pub mod edgelist;
 pub mod matrix_market;
+pub mod witness;
 
 pub use binary::{read_binary_csr, write_binary_csr};
 pub use dimacs::{parse_dimacs, write_dimacs};
 pub use edgelist::{parse_edge_list, write_edge_list};
 pub use matrix_market::parse_matrix_market;
+pub use witness::{read_witness, write_witness, Witness};
 
 use std::fmt;
 

@@ -49,11 +49,7 @@ mod tests {
 
     #[test]
     fn offsets_split_light_heavy() {
-        let mut g = Csr::from_raw(
-            vec![0, 3, 5],
-            vec![1, 1, 1, 0, 0],
-            vec![1, 2, 8, 4, 9],
-        );
+        let mut g = Csr::from_raw(vec![0, 3, 5], vec![1, 1, 1, 0, 0], vec![1, 2, 8, 4, 9]);
         attach_heavy_offsets(&mut g, 3);
         assert_eq!(g.heavy_offsets().unwrap(), &[2, 3]);
         assert_eq!(g.light_range(0, 3), Some(0..2));

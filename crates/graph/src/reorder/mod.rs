@@ -70,15 +70,7 @@ mod tests {
     fn fig4_like() -> crate::Csr {
         let el = EdgeList::from_edges(
             5,
-            vec![
-                (0, 1, 15),
-                (0, 3, 2),
-                (1, 2, 9),
-                (1, 3, 1),
-                (1, 4, 4),
-                (3, 4, 2),
-                (2, 4, 9),
-            ],
+            vec![(0, 1, 15), (0, 3, 2), (1, 2, 9), (1, 3, 1), (1, 4, 4), (3, 4, 2), (2, 4, 9)],
         );
         build_undirected(&el)
     }
@@ -107,10 +99,8 @@ mod tests {
     fn pro_preserves_edge_multiset() {
         let g = fig4_like();
         let (rg, perm) = pro(&g, 5);
-        let mut orig: Vec<(VertexId, VertexId, Weight)> = g
-            .all_edges()
-            .map(|(u, v, w)| (perm.new_id(u), perm.new_id(v), w))
-            .collect();
+        let mut orig: Vec<(VertexId, VertexId, Weight)> =
+            g.all_edges().map(|(u, v, w)| (perm.new_id(u), perm.new_id(v), w)).collect();
         let mut reord: Vec<_> = rg.all_edges().collect();
         orig.sort_unstable();
         reord.sort_unstable();

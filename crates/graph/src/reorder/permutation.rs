@@ -57,9 +57,7 @@ impl Permutation {
     /// Compose: apply `self` first, then `then` (`old → then(self(old))`).
     pub fn compose(&self, then: &Permutation) -> Permutation {
         assert_eq!(self.len(), then.len());
-        Permutation {
-            old_to_new: self.old_to_new.iter().map(|&mid| then.new_id(mid)).collect(),
-        }
+        Permutation { old_to_new: self.old_to_new.iter().map(|&mid| then.new_id(mid)).collect() }
     }
 
     /// Relabel a graph: vertex `v` becomes `new_id(v)`; adjacency

@@ -36,11 +36,7 @@ mod tests {
 
     #[test]
     fn sorts_each_row() {
-        let mut g = Csr::from_raw(
-            vec![0, 3, 5],
-            vec![1, 0, 1, 0, 1],
-            vec![9, 2, 5, 7, 3],
-        );
+        let mut g = Csr::from_raw(vec![0, 3, 5], vec![1, 0, 1, 0, 1], vec![9, 2, 5, 7, 3]);
         sort_edges_by_weight(&mut g);
         assert_eq!(g.edge_weights(0), &[2, 5, 9]);
         assert_eq!(g.neighbors(0), &[0, 1, 1]);

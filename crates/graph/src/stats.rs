@@ -224,8 +224,7 @@ mod tests {
     #[test]
     fn gini_and_percentiles() {
         // Uniform degrees → Gini ~ 0.
-        let ring: Vec<(VertexId, VertexId, u32)> =
-            (0..20).map(|i| (i, (i + 1) % 20, 1)).collect();
+        let ring: Vec<(VertexId, VertexId, u32)> = (0..20).map(|i| (i, (i + 1) % 20, 1)).collect();
         let g = build_undirected(&EdgeList::from_edges(20, ring));
         assert!(degree_gini(&g) < 0.01);
         assert_eq!(degree_percentile(&g, 50.0), 2);

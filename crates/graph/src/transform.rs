@@ -54,9 +54,8 @@ pub fn largest_component(g: &Csr) -> Subgraph {
         sizes[l as usize] += 1;
     }
     let best = (0..sizes.len()).max_by_key(|&l| sizes[l]).unwrap() as u32;
-    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
-        .filter(|&v| comps.labels[v as usize] == best)
-        .collect();
+    let keep: Vec<VertexId> =
+        (0..g.num_vertices() as VertexId).filter(|&v| comps.labels[v as usize] == best).collect();
     induce_subgraph(g, &keep)
 }
 
@@ -75,10 +74,7 @@ mod tests {
 
     fn two_components() -> Csr {
         // component A: 0-1-2 (triangle), component B: 3-4.
-        build_undirected(&EdgeList::from_edges(
-            6,
-            vec![(0, 1, 1), (1, 2, 2), (0, 2, 3), (3, 4, 4)],
-        ))
+        build_undirected(&EdgeList::from_edges(6, vec![(0, 1, 1), (1, 2, 2), (0, 2, 3), (3, 4, 4)]))
     }
 
     #[test]

@@ -62,7 +62,10 @@ fn main() {
         }
     }
     let dt = t0.elapsed().as_secs_f64() * 1e3;
-    println!("processed {events} network events in {dt:.1} ms ({:.3} ms/event)", dt / events as f64);
+    println!(
+        "processed {events} network events in {dt:.1} ms ({:.3} ms/event)",
+        dt / events as f64
+    );
     println!("now reachable: {}", reachable(&sssp));
 
     // Validate against a fresh Dijkstra on the mutated network.

@@ -16,14 +16,9 @@ use rdbs::sssp::gpu::{run_gpu, RdbsConfig, Variant};
 fn main() {
     let spec = kronecker_spec(21, 16);
     let graph = spec.generate(7, 5);
-    println!(
-        "k-n21-16 stand-in: {} vertices, {} edges\n",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
-    let device = || {
-        DeviceConfig::v100().with_overhead_scale(1.0 / 128.0).with_cache_scale(1.0 / 128.0)
-    };
+    println!("k-n21-16 stand-in: {} vertices, {} edges\n", graph.num_vertices(), graph.num_edges());
+    let device =
+        || DeviceConfig::v100().with_overhead_scale(1.0 / 128.0).with_cache_scale(1.0 / 128.0);
     let source = 1;
 
     // BFS levels.
@@ -41,11 +36,7 @@ fn main() {
     let mut distinct = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    println!(
-        "CC         : {} components, {:.4} ms simulated",
-        distinct.len(),
-        engine.elapsed_ms()
-    );
+    println!("CC         : {} components, {:.4} ms simulated", distinct.len(), engine.elapsed_ms());
 
     // PageRank.
     let (ranks, engine) = pagerank(device(), &graph, 20);

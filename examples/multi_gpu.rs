@@ -13,15 +13,9 @@ use rdbs::sssp::validate::check_against;
 
 fn main() {
     let g = kronecker_spec(21, 16).generate(6, 11);
-    println!(
-        "k-n21-16 stand-in: {} vertices, {} edges\n",
-        g.num_vertices(),
-        g.num_edges()
-    );
-    let source = rdbs::graph::stats::bfs_levels(&g, 0)
-        .iter()
-        .position(|&l| l == 0)
-        .unwrap_or(0) as u32;
+    println!("k-n21-16 stand-in: {} vertices, {} edges\n", g.num_vertices(), g.num_edges());
+    let source =
+        rdbs::graph::stats::bfs_levels(&g, 0).iter().position(|&l| l == 0).unwrap_or(0) as u32;
     let oracle = dijkstra(&g, source);
 
     println!(
@@ -31,10 +25,7 @@ fn main() {
     let mut base = None;
     for k in [1usize, 2, 4] {
         let mut cfg = MultiGpuConfig::v100s(k);
-        cfg.device = cfg
-            .device
-            .with_overhead_scale(1.0 / 64.0)
-            .with_cache_scale(1.0 / 64.0);
+        cfg.device = cfg.device.with_overhead_scale(1.0 / 64.0).with_cache_scale(1.0 / 64.0);
         let run = multi_gpu_sssp(&g, source, &cfg);
         check_against(&oracle.dist, &run.result.dist).expect("multi-GPU result wrong");
         let compute = run.elapsed_ms - run.exchange_ms;

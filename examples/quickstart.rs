@@ -17,11 +17,7 @@ fn main() {
     let mut edges = kronecker(KroneckerConfig::new(14, 16), 42);
     uniform_weights(&mut edges, 42);
     let graph = build_undirected(&edges);
-    println!(
-        "graph: {} vertices, {} directed edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("graph: {} vertices, {} directed edges", graph.num_vertices(), graph.num_edges());
 
     // 2. Run the paper's full algorithm — property-driven reordering,
     //    adaptive load balancing, bucket-aware asynchronous execution —
@@ -34,8 +30,10 @@ fn main() {
     println!("  reached vertices      : {}", run.result.reached());
     println!("  buckets processed     : {}", run.buckets.len());
     println!("  total updates         : {}", run.result.stats.total_updates);
-    println!("  work ratio            : {:.2} (total/valid updates)",
-        run.result.work_ratio().unwrap_or(f64::NAN));
+    println!(
+        "  work ratio            : {:.2} (total/valid updates)",
+        run.result.work_ratio().unwrap_or(f64::NAN)
+    );
 
     // 3. nvprof-style counters from the simulator.
     let c = &run.counters;

@@ -29,9 +29,8 @@ fn main() {
 
     let source = 0;
     let oracle = dijkstra(&graph, source);
-    let device = DeviceConfig::v100()
-        .with_overhead_scale(1.0 / 256.0)
-        .with_cache_scale(1.0 / 256.0);
+    let device =
+        DeviceConfig::v100().with_overhead_scale(1.0 / 256.0).with_cache_scale(1.0 / 256.0);
 
     println!("\n{:<16} {:>12} {:>10} {:>9}", "variant", "time (ms)", "updates", "buckets");
     for variant in Variant::fig8_variants() {
@@ -49,10 +48,7 @@ fn main() {
     check_against(&oracle.dist, &adds.result.dist).expect("ADDS wrong");
     println!(
         "{:<16} {:>12.4} {:>10} {:>9}",
-        "ADDS",
-        adds.elapsed_ms,
-        adds.result.stats.total_updates,
-        "-"
+        "ADDS", adds.elapsed_ms, adds.result.stats.total_updates, "-"
     );
     println!(
         "\nNote the paper's observation (§5.2.2): \"for uniform-degree and high-diameter\n\

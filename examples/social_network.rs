@@ -20,20 +20,18 @@ use rdbs::sssp::{default_delta, INF};
 fn main() {
     let spec = by_name("soc-PK").expect("soc-PK spec");
     let graph = spec.generate(7, 3);
-    println!(
-        "soc-PK stand-in: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("soc-PK stand-in: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
 
-    let device = DeviceConfig::v100()
-        .with_overhead_scale(1.0 / 128.0)
-        .with_cache_scale(1.0 / 128.0);
+    let device =
+        DeviceConfig::v100().with_overhead_scale(1.0 / 128.0).with_cache_scale(1.0 / 128.0);
     let seeds = [1u32, 77, 4242];
     let threads = default_threads();
     let delta = default_delta(&graph);
 
-    println!("\n{:<8} {:>14} {:>16} {:>16}", "seed", "GPU RDBS (ms)", "CPU PQ-D* (ms)", "CPU async (ms)");
+    println!(
+        "\n{:<8} {:>14} {:>16} {:>16}",
+        "seed", "GPU RDBS (ms)", "CPU PQ-D* (ms)", "CPU async (ms)"
+    );
     let mut best: Vec<(u32, f64)> = Vec::new();
     for &s in &seeds {
         let gpu = run_gpu(&graph, s, Variant::Rdbs(RdbsConfig::full()), device.clone());

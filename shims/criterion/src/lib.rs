@@ -1,0 +1,175 @@
+//! Offline shim for `criterion`.
+//!
+//! A small wall-clock benchmarking harness exposing the criterion API
+//! this workspace's benches use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`). Reports
+//! mean/min/max per benchmark in plain text; no statistics engine, no
+//! HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), param) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 10, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().name, self.sample_size, None, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().name);
+        run_one(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(body());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size.max(1)), iters_per_sample: 1 };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().unwrap();
+    let max = *b.samples.iter().max().unwrap();
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Throughput::Bytes(n) => {
+                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+        })
+        .unwrap_or_default();
+    println!("  {id:<40} mean {:>10.3?}  min {:>10.3?}  max {:>10.3?}{rate}", mean, min, max);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,92 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the crossbeam 0.8 call shape —
+//! `scope(|s| { s.spawn(|_| ...); ... })` returning a
+//! `thread::Result` — implemented on top of `std::thread::scope`.
+//! Child panics are caught and surfaced as `Err`, exactly like the
+//! upstream crate, rather than unwinding through the caller.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scope handle passed to `scope` and to each spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope handle
+    /// (crossbeam's signature) so nested spawns work.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { handle: inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    handle: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.handle.join()
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the
+/// enclosing stack frame. Returns `Err` if any unjoined child panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // std::thread::scope re-raises child panics as a panic in the
+    // parent; catch it to match crossbeam's Result-returning contract.
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+/// Mirror of `crossbeam::thread` for callers that use the long path.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicU32::new(0);
+        let r = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            7u32
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

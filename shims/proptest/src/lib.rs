@@ -1,0 +1,448 @@
+//! Offline shim for `proptest`.
+//!
+//! A deterministic property-testing harness exposing the subset of the
+//! proptest 1.x API this workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range/tuple strategies, [`any`],
+//! `prop_oneof!`, `proptest::collection::vec`, the `proptest!` macro
+//! family and `prop_assert*`/`prop_assume!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic by default.** Every test function derives its case
+//!   seeds from a fixed base seed, so a red run on one machine is red
+//!   everywhere. Set `PROPTEST_SEED=0x<hex>` to replay one exact case.
+//! * **Regression files.** A failing case's seed is appended to
+//!   `proptest-regressions/<source-file-stem>.txt` under the crate
+//!   root; checked-in seeds are replayed before the main loop.
+//! * **No generic shrinking.** Failures report the full generated
+//!   inputs and a one-line repro command instead. (Domain-aware
+//!   shrinking for SSSP counterexamples lives in `rdbs-conformance`.)
+
+pub mod strategy;
+pub use strategy::{any, Arbitrary, Strategy};
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// Deterministic splitmix64 generator driving all value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point without losing determinism.
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+/// Outcome signal for one test case body.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The generated inputs do not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`cases` is the only knob this workspace sets).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Abort if this many inputs are rejected by `prop_assume!`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 4096 }
+    }
+}
+
+pub mod runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
+    /// Base seed all per-test streams derive from. Bump deliberately to
+    /// rotate the whole suite's inputs.
+    pub const DEFAULT_BASE_SEED: u64 = 0x5EED_0002_D1FF_5EED;
+
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    fn parse_seed(s: &str) -> Option<u64> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
+        }
+    }
+
+    fn regression_path(manifest_dir: &str, src_file: &str) -> PathBuf {
+        let stem = Path::new(src_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".into());
+        Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+    }
+
+    fn read_regression_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let (name, seed) = line.split_once(char::is_whitespace)?;
+                (name == test_name).then(|| parse_seed(seed)).flatten()
+            })
+            .collect()
+    }
+
+    fn record_regression(path: &Path, test_name: &str, seed: u64) {
+        if read_regression_seeds(path, test_name).contains(&seed) {
+            return;
+        }
+        let _ = std::fs::create_dir_all(path.parent().unwrap());
+        let fresh = !path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            if fresh {
+                let _ = writeln!(
+                    f,
+                    "# Seeds of proptest cases that failed at least once; replayed on\n\
+                     # every run before the main loop. Check this file in. Format:\n\
+                     # <test_name> 0x<seed>"
+                );
+            }
+            let _ = writeln!(f, "{test_name} {seed:#018x}");
+        }
+    }
+
+    /// Format generated arguments for the failure report.
+    pub fn describe(args: &[(&str, &dyn std::fmt::Debug)]) -> String {
+        const LIMIT: usize = 2048;
+        let mut out = String::new();
+        for (name, value) in args {
+            let mut rendered = format!("{value:?}");
+            if rendered.len() > LIMIT {
+                let cut = (0..=LIMIT).rev().find(|&i| rendered.is_char_boundary(i)).unwrap();
+                rendered.truncate(cut);
+                rendered.push_str("… (truncated)");
+            }
+            out.push_str("\n    ");
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(&rendered);
+        }
+        out
+    }
+
+    /// Drive one `proptest!`-generated test function.
+    pub fn run<F>(
+        config: &ProptestConfig,
+        manifest_dir: &str,
+        pkg_name: &str,
+        src_file: &str,
+        test_name: &str,
+        mut case: F,
+    ) where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let reg_path = regression_path(manifest_dir, src_file);
+        let fail = |seed: u64, label: &str, desc: &str, msg: &str| -> ! {
+            record_regression(&reg_path, test_name, seed);
+            panic!(
+                "proptest shim: property '{test_name}' failed ({label}, seed {seed:#x})\n  \
+                 args:{desc}\n  cause: {msg}\n  \
+                 repro: PROPTEST_SEED={seed:#x} cargo test -p {pkg_name} {test_name}\n  \
+                 (seed recorded in {})",
+                reg_path.display()
+            );
+        };
+
+        // A single explicit seed replays exactly one case.
+        if let Ok(var) = std::env::var("PROPTEST_SEED") {
+            let seed = parse_seed(&var)
+                .unwrap_or_else(|| panic!("unparseable PROPTEST_SEED value '{var}'"));
+            let mut rng = TestRng::new(seed);
+            let (desc, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => return,
+                Err(TestCaseError::Reject(m)) => {
+                    panic!("PROPTEST_SEED={seed:#x} was rejected by prop_assume!: {m}")
+                }
+                Err(TestCaseError::Fail(m)) => fail(seed, "explicit seed", &desc, &m),
+            }
+        }
+
+        // Replay checked-in regression seeds first.
+        for seed in read_regression_seeds(&reg_path, test_name) {
+            let mut rng = TestRng::new(seed);
+            let (desc, outcome) = case(&mut rng);
+            if let Err(TestCaseError::Fail(m)) = outcome {
+                fail(seed, "regression replay", &desc, &m);
+            }
+        }
+
+        // Main deterministic loop.
+        let base = mix(DEFAULT_BASE_SEED, fnv1a(test_name));
+        let mut rejects = 0u32;
+        for i in 0..config.cases {
+            let mut attempt = 0u64;
+            loop {
+                let seed = mix(base, (i as u64) << 20 | attempt);
+                let mut rng = TestRng::new(seed);
+                let (desc, outcome) = case(&mut rng);
+                match outcome {
+                    Ok(()) => break,
+                    Err(TestCaseError::Reject(m)) => {
+                        rejects += 1;
+                        attempt += 1;
+                        if rejects > config.max_global_rejects {
+                            panic!(
+                                "proptest shim: '{test_name}' rejected too many inputs \
+                                 ({rejects}); last: {m}"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(m)) => {
+                        fail(seed, &format!("case {}/{}", i + 1, config.cases), &desc, &m)
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::runner::run(
+                    &__config,
+                    env!("CARGO_MANIFEST_DIR"),
+                    env!("CARGO_PKG_NAME"),
+                    file!(),
+                    stringify!($name),
+                    |__rng: &mut $crate::TestRng| {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                        let __desc = $crate::runner::describe(&[
+                            $((stringify!($arg), &$arg as &dyn ::core::fmt::Debug)),+
+                        ]);
+                        let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                            (move || {
+                                $body
+                                #[allow(unreachable_code)]
+                                ::core::result::Result::Ok(())
+                            })();
+                        (__desc, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+// Re-exported under the path the `#[macro_export]` attribute flattens
+// away, so `proptest::prop_assert!`-style paths also work.
+pub use crate::{prop_assert as _prop_assert_reexport, proptest as _proptest_reexport};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_streams() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        assert_eq!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..17, y in 0usize..3, z in 1u8..255) {
+            prop_assert!((5..17).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((1..255).contains(&z));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(v in crate::collection::vec((0u32..10, 0u32..10), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 10 && b < 10);
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values(pair in (2usize..30).prop_flat_map(|n| {
+            (0..n).prop_map(move |i| (n, i))
+        })) {
+            prop_assert!(pair.1 < pair.0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(x in prop_oneof![0u32..1, 10u32..11, 20u32..21]) {
+            prop_assert!(x == 0 || x == 10 || x == 20);
+        }
+    }
+}

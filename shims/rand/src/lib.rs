@@ -1,0 +1,226 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! Implements the trait surface this workspace uses — `RngCore`,
+//! `SeedableRng`, `Rng::{gen, gen_range, gen_bool}` and
+//! `seq::SliceRandom::shuffle` — with the same signatures as upstream.
+//! Generators are deterministic; stream values differ from the real
+//! crate (nothing in-repo depends on upstream's exact streams).
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardSample for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let x = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + x as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let x = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (start as i128 + x as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// `RngCore` (mirrors upstream).
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    fn sample_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+        let wide = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        (wide % bound as u128) as usize
+    }
+
+    /// Slice extensions (`shuffle` via Fisher-Yates).
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = sample_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = sample_index(rng, self.len());
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Lcg(42);
+        for _ in 0..1000 {
+            let x = r.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(0..=5usize);
+            assert!(y <= 5);
+            let f = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut Lcg(7));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut r = Lcg(3);
+        let dynr: &mut dyn RngCore = &mut r;
+        let x = Rng::gen::<f64>(&mut *dynr);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline shim for `serde`.
+//!
+//! `Serialize`/`Deserialize` are marker traits here: nothing in this
+//! workspace actually serializes through serde (the binary CSR format
+//! is hand-rolled), but types carry the derives so downstream users
+//! can swap in real serde without touching call sites. Impls for std
+//! primitives and containers mirror upstream's blanket coverage.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String,
+    str
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}

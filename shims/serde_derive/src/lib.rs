@@ -1,0 +1,46 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Emits marker-trait impls (`impl serde::Serialize for T {}`) without
+//! depending on syn/quote: the type name is extracted by walking the
+//! raw token stream. Supports plain (non-generic) structs and enums,
+//! which is all this workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "serde shim derive does not support generic type `{name}`; \
+                                     write the impl manually"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}

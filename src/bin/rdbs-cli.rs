@@ -5,9 +5,13 @@
 //! rdbs-cli --gen kronecker:14:16 --algo rdbs --source 1
 //! rdbs-cli --load graph.gr --format dimacs --algo adds --profile
 //! rdbs-cli --gen dataset:soc-PK:6 --algo all --sources 4
+//! rdbs-cli verify                 # full differential conformance matrix
+//! rdbs-cli verify --impl gpu/full --graph kronecker
+//! rdbs-cli verify --impl seq/dijkstra --witness witness.txt
 //! ```
 
 use rdbs::baselines::{adds, frontier_bf, near_far, pq_delta_stepping};
+use rdbs::baselines::{rho_stepping, sep_graph};
 use rdbs::graph::builder::build_undirected;
 use rdbs::graph::generate::{
     erdos_renyi, grid_road, kronecker, preferential_attachment, uniform_weights, GridConfig,
@@ -15,11 +19,10 @@ use rdbs::graph::generate::{
 };
 use rdbs::graph::{datasets, io, Csr, Dist, VertexId, INF};
 use rdbs::sim::{Device, DeviceConfig};
-use rdbs::baselines::{rho_stepping, sep_graph};
 use rdbs::sssp::cpu::{async_bucket_sssp, default_threads, parallel_delta_stepping};
 use rdbs::sssp::gpu::{multi_gpu_sssp, MultiGpuConfig};
-use rdbs::sssp::seq::dial;
 use rdbs::sssp::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs::sssp::seq::dial;
 use rdbs::sssp::seq::{bellman_ford, delta_stepping, dijkstra};
 use rdbs::sssp::{default_delta, validate};
 use std::io::BufReader;
@@ -179,6 +182,9 @@ fn build_graph(o: &Options) -> Csr {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("verify") {
+        verify_main(std::env::args().skip(2).collect());
+    }
     let o = parse_args();
     let g = build_graph(&o);
     println!(
@@ -192,11 +198,22 @@ fn main() {
         exit(2);
     }
     let algos: Vec<String> = if o.algo == "all" {
-        ["rdbs", "bl", "adds", "near-far", "frontier-bf", "sep-graph", "framework",
-         "dijkstra", "dial", "cpu-parallel", "pq-delta"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "rdbs",
+            "bl",
+            "adds",
+            "near-far",
+            "frontier-bf",
+            "sep-graph",
+            "framework",
+            "dijkstra",
+            "dial",
+            "cpu-parallel",
+            "pq-delta",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         vec![o.algo.clone()]
     };
@@ -293,16 +310,12 @@ fn run_algo(o: &Options, g: &Csr, algo: &str) {
                 None,
                 format!("CPU async ({threads}t)"),
             ),
-            "pq-delta" => (
-                pq_delta_stepping(g, s, threads, None).dist,
-                None,
-                format!("PQ-Δ* ({threads}t)"),
-            ),
-            "rho-stepping" => (
-                rho_stepping(g, s, threads, 0.1).dist,
-                None,
-                format!("ρ-stepping ({threads}t)"),
-            ),
+            "pq-delta" => {
+                (pq_delta_stepping(g, s, threads, None).dist, None, format!("PQ-Δ* ({threads}t)"))
+            }
+            "rho-stepping" => {
+                (rho_stepping(g, s, threads, 0.1).dist, None, format!("ρ-stepping ({threads}t)"))
+            }
             other => {
                 eprintln!("unknown algorithm '{other}'");
                 exit(2);
@@ -335,4 +348,206 @@ fn run_algo(o: &Options, g: &Csr, algo: &str) {
             .collect();
         println!("  dist[0..{}] = [{}]", shown.len(), shown.join(", "));
     }
+}
+
+// ---------------------------------------------------------------------------
+// `rdbs-cli verify` — the differential conformance matrix.
+// ---------------------------------------------------------------------------
+
+fn verify_usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli verify [options]
+
+matrix mode (default): run every implementation x graph family x source
+against the Dijkstra oracle; on failure, minimize a witness and localize
+the first divergence. Exits non-zero on any mismatch.
+  --quick             reduced sweep (two families, one source)
+  --impl SUBSTR       only implementations whose id contains SUBSTR
+  --graph SUBSTR      only families whose name contains SUBSTR
+  --delta0 W          bucket-width override for the whole sweep
+  --inject-fault      also run the registry's deliberate fault specimen
+                      (demonstrates the shrink + localize pipeline)
+  --no-shrink         report failures without minimizing
+  --witness-out FILE  where to write the minimized witness
+                      (default rdbs-witness.txt)
+
+replay mode: re-run one implementation on a minimized witness file
+  --witness FILE      witness produced by a previous verify run
+  --impl ID           exact implementation id to replay (required)
+  --delta0 W          bucket width the witness was minimized under
+
+implementation ids:
+  {ids}",
+        ids = rdbs::conformance::with_faults().iter().map(|i| i.id).collect::<Vec<_>>().join(" ")
+    );
+    exit(2)
+}
+
+struct VerifyOptions {
+    quick: bool,
+    impl_filter: Option<String>,
+    graph_filter: Option<String>,
+    delta0: Option<u32>,
+    inject_fault: bool,
+    shrink: bool,
+    witness_out: String,
+    witness_in: Option<String>,
+}
+
+fn parse_verify_args(args: Vec<String>) -> VerifyOptions {
+    let mut o = VerifyOptions {
+        quick: false,
+        impl_filter: None,
+        graph_filter: None,
+        delta0: None,
+        inject_fault: false,
+        shrink: true,
+        witness_out: "rdbs-witness.txt".into(),
+        witness_in: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| verify_usage());
+        match flag.as_str() {
+            "--quick" => o.quick = true,
+            "--impl" => o.impl_filter = Some(val()),
+            "--graph" => o.graph_filter = Some(val()),
+            "--delta0" => o.delta0 = Some(val().parse().unwrap_or_else(|_| verify_usage())),
+            "--inject-fault" => o.inject_fault = true,
+            "--no-shrink" => o.shrink = false,
+            "--witness-out" => o.witness_out = val(),
+            "--witness" => o.witness_in = Some(val()),
+            "--help" | "-h" => verify_usage(),
+            _ => verify_usage(),
+        }
+    }
+    o
+}
+
+fn verify_main(args: Vec<String>) -> ! {
+    use rdbs::conformance as conf;
+    let o = parse_verify_args(args);
+
+    // Replay mode: one implementation on one witness file.
+    if let Some(path) = &o.witness_in {
+        let id = o.impl_filter.as_deref().unwrap_or_else(|| {
+            eprintln!("error: --witness requires --impl with an exact implementation id\n");
+            verify_usage()
+        });
+        let imp = conf::by_id(id).unwrap_or_else(|| {
+            eprintln!("error: unknown implementation '{id}'\n");
+            verify_usage()
+        });
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            exit(1)
+        });
+        let w = io::read_witness(BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("failed to parse witness {path}: {e}");
+            exit(1)
+        });
+        let g = build_undirected(&w.edges);
+        println!(
+            "witness: {} vertices, {} edges, source {}",
+            w.edges.num_vertices,
+            w.edges.edges.len(),
+            w.source
+        );
+        match conf::localize(&imp, &g, w.source, o.delta0) {
+            None => {
+                println!("{id}: OK (matches Dijkstra on the witness)");
+                exit(0)
+            }
+            Some(d) => {
+                println!("{d}");
+                exit(1)
+            }
+        }
+    }
+
+    // Matrix mode.
+    let opts = conf::MatrixOptions {
+        quick: o.quick,
+        impl_filter: o.impl_filter.clone(),
+        graph_filter: o.graph_filter.clone(),
+        include_faults: o.inject_fault,
+        delta0: o.delta0,
+    };
+    let mut current_graph = String::new();
+    let mut graph_cases = 0usize;
+    let mut graph_failures = 0usize;
+    let report = conf::run_matrix(&opts, |_imp, graph, _source, ok| {
+        if graph != current_graph {
+            if !current_graph.is_empty() {
+                println!("  {current_graph:<14} {graph_cases:>4} cases, {graph_failures} failures");
+            }
+            current_graph = graph.to_string();
+            graph_cases = 0;
+            graph_failures = 0;
+        }
+        graph_cases += 1;
+        graph_failures += usize::from(!ok);
+    });
+    if !current_graph.is_empty() {
+        println!("  {current_graph:<14} {graph_cases:>4} cases, {graph_failures} failures");
+    }
+    println!(
+        "verify: {} implementations x {} families, {} cases, {} failures",
+        report.impls_run,
+        report.graphs_run,
+        report.cases_run,
+        report.failures.len()
+    );
+    if report.cases_run == 0 {
+        eprintln!(
+            "error: the filters matched no (implementation, graph) pairs — nothing was verified"
+        );
+        exit(2);
+    }
+    if report.is_green() {
+        println!("verify: OK — every implementation matches the Dijkstra oracle");
+        exit(0);
+    }
+
+    for f in &report.failures {
+        println!("FAIL {} on {} from source {}: {}", f.impl_id, f.graph, f.source, f.kind);
+    }
+
+    // Minimize the first failure into a replayable witness.
+    if o.shrink {
+        let first = &report.failures[0];
+        let imp = conf::by_id(first.impl_id).expect("failure ids come from the registry");
+        let family = conf::families().into_iter().find(|g| g.name == first.graph);
+        if let Some(family) = family {
+            println!(
+                "\nminimizing {} on {} (source {})...",
+                first.impl_id, first.graph, first.source
+            );
+            let shrunk = conf::shrink(&imp, &family.edge_list(), first.source, o.delta0);
+            let w = &shrunk.witness;
+            println!(
+                "minimal witness: {} vertices, {} edges, source {} ({} evaluations): {}",
+                w.edges.num_vertices,
+                w.edges.edges.len(),
+                w.source,
+                shrunk.evals,
+                shrunk.failure
+            );
+            let file = std::fs::File::create(&o.witness_out).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", o.witness_out);
+                exit(1)
+            });
+            io::write_witness(w, file).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", o.witness_out);
+                exit(1)
+            });
+            println!("witness written to {}", o.witness_out);
+            println!("repro: {}", shrunk.repro_command(&o.witness_out));
+            let g = build_undirected(&w.edges);
+            if let Some(d) = conf::localize(&imp, &g, w.source, o.delta0) {
+                println!("\n{d}");
+            }
+        }
+    }
+    exit(1)
 }

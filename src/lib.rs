@@ -10,10 +10,15 @@
 //!   (BL, BASYN, +PRO, +ADWL) and sequential/CPU-parallel references.
 //! * [`baselines`] — comparators: ADDS (GPU, async Δ-stepping), PQ-Δ*
 //!   (CPU, lazy-batched priority queue), Near-Far, GPU Bellman-Ford.
+//! * [`conformance`] — the differential correctness harness: every
+//!   implementation vs the Dijkstra oracle, with delta-debugging
+//!   witness minimization and first-divergence localization
+//!   (`rdbs-cli verify`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use rdbs_baselines as baselines;
+pub use rdbs_conformance as conformance;
 pub use rdbs_core as sssp;
 pub use rdbs_framework as framework;
 pub use rdbs_gpu_sim as sim;

@@ -1,80 +1,65 @@
 //! Cross-crate correctness matrix: every SSSP implementation in the
-//! workspace × every graph family × several sources must agree with
-//! the Dijkstra oracle exactly.
+//! workspace × every graph family × several seeded sources must agree
+//! with the Dijkstra oracle exactly.
+//!
+//! The sweep itself lives in `rdbs::conformance` (shared with
+//! `rdbs-cli verify`); these tests drive the same harness so the
+//! in-tree matrix and the CLI can never drift apart.
 
-use rdbs::baselines::{adds, near_far, pq_delta_stepping};
-use rdbs::graph::builder::{build_undirected, EdgeList};
-use rdbs::graph::generate::{
-    erdos_renyi, grid_road, kronecker, preferential_attachment, uniform_weights, GridConfig,
-    KroneckerConfig,
+use rdbs::conformance::{
+    all, by_id, run_matrix, shrink, with_faults, MatrixOptions, FAULT_OFF_BY_ONE,
 };
-use rdbs::graph::Csr;
-use rdbs::sim::{Device, DeviceConfig};
-use rdbs::sssp::cpu::{async_bucket_sssp, parallel_delta_stepping};
+use rdbs::graph::builder::{build_undirected, EdgeList};
+use rdbs::graph::generate::{erdos_renyi, uniform_weights};
+use rdbs::sim::DeviceConfig;
 use rdbs::sssp::gpu::{run_gpu, RdbsConfig, Variant};
-use rdbs::sssp::seq::{bellman_ford, delta_stepping, dijkstra};
-use rdbs::sssp::{default_delta, validate::check_against};
-
-fn families() -> Vec<(&'static str, Csr)> {
-    let weights = |mut el: EdgeList, seed| {
-        uniform_weights(&mut el, seed);
-        build_undirected(&el)
-    };
-    vec![
-        ("erdos_renyi", weights(erdos_renyi(300, 1500, 1), 11)),
-        ("powerlaw", weights(preferential_attachment(400, 4, 2), 12)),
-        ("kronecker", weights(kronecker(KroneckerConfig::new(9, 6), 3), 13)),
-        ("grid", weights(grid_road(GridConfig::road(24, 24), 4), 14)),
-        (
-            "disconnected",
-            weights(
-                {
-                    let mut el = erdos_renyi(200, 400, 5);
-                    el.num_vertices = 260; // 60 isolated vertices
-                    el
-                },
-                15,
-            ),
-        ),
-    ]
-}
+use rdbs::sssp::seq::dijkstra;
+use rdbs::sssp::validate::check_against;
 
 #[test]
 fn every_implementation_matches_dijkstra() {
-    for (name, g) in families() {
-        let delta = default_delta(&g);
-        for source in [0u32, 7, 42] {
-            let source = source % g.num_vertices() as u32;
-            let oracle = dijkstra(&g, source);
-            let check = |label: &str, dist: &[u32]| {
-                check_against(&oracle.dist, dist)
-                    .unwrap_or_else(|m| panic!("{name}/{label} source {source}: {m}"));
-            };
+    let report = run_matrix(&MatrixOptions::default(), |_, _, _, _| {});
+    assert!(report.impls_run >= all().len(), "registry shrank");
+    assert!(report.graphs_run >= 5, "family list shrank");
+    assert!(
+        report.is_green(),
+        "{} conformance failures:\n{}",
+        report.failures.len(),
+        report
+            .failures
+            .iter()
+            .map(|f| format!("  {} on {} from {}: {}", f.impl_id, f.graph, f.source, f.kind))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
 
-            check("bellman_ford", &bellman_ford(&g, source).dist);
-            check("delta_stepping", &delta_stepping(&g, source, delta).dist);
-            check("cpu_parallel", &parallel_delta_stepping(&g, source, delta, 2).dist);
-            check("cpu_async", &async_bucket_sssp(&g, source, delta, 2).dist);
-            check("pq_delta", &pq_delta_stepping(&g, source, 2, None).dist);
+#[test]
+fn injected_fault_is_caught_and_minimized() {
+    // End-to-end acceptance: the deliberate off-by-one specimen must be
+    // flagged by the matrix and then shrink to a replayable witness of
+    // at most 20 vertices.
+    let opts = MatrixOptions {
+        quick: true,
+        impl_filter: Some("fault/".into()),
+        include_faults: true,
+        ..MatrixOptions::default()
+    };
+    let report = run_matrix(&opts, |_, _, _, _| {});
+    assert!(!report.is_green(), "fault specimen went undetected");
 
-            for variant in [
-                Variant::Baseline,
-                Variant::Rdbs(RdbsConfig::full()),
-                Variant::Rdbs(RdbsConfig::basyn_pro()),
-                Variant::Rdbs(RdbsConfig::basyn_adwl()),
-                Variant::Rdbs(RdbsConfig::basyn_only()),
-                Variant::Rdbs(RdbsConfig::sync_delta()),
-            ] {
-                let run = run_gpu(&g, source, variant, DeviceConfig::test_tiny());
-                check(&run.label, &run.result.dist);
-            }
-
-            let mut d = Device::new(DeviceConfig::test_tiny());
-            check("adds", &adds(&mut d, &g, source, delta).dist);
-            let mut d = Device::new(DeviceConfig::test_tiny());
-            check("near_far", &near_far(&mut d, &g, source, delta).dist);
-        }
-    }
+    let imp = by_id(FAULT_OFF_BY_ONE).unwrap();
+    assert!(with_faults().iter().any(|i| i.id == FAULT_OFF_BY_ONE));
+    let mut el = erdos_renyi(300, 1500, 1);
+    uniform_weights(&mut el, 11);
+    let shrunk = shrink(&imp, &el, 0, None);
+    assert!(
+        shrunk.witness.edges.num_vertices <= 20,
+        "witness not minimal: {} vertices",
+        shrunk.witness.edges.num_vertices
+    );
+    let cmd = shrunk.repro_command("witness.txt");
+    assert!(cmd.starts_with("rdbs-cli verify --impl fault/off-by-one"));
 }
 
 #[test]
@@ -94,12 +79,13 @@ fn delta_extremes_are_correct_on_gpu() {
 #[test]
 fn single_vertex_and_self_loop_edge_cases() {
     // Self-loops are dropped by the builder; a singleton graph works
-    // in every implementation.
+    // in every registered implementation.
     let g = build_undirected(&EdgeList::from_edges(1, vec![(0, 0, 5)]));
-    assert_eq!(dijkstra(&g, 0).dist, vec![0]);
-    assert_eq!(
-        run_gpu(&g, 0, Variant::Rdbs(RdbsConfig::full()), DeviceConfig::test_tiny()).result.dist,
-        vec![0]
-    );
-    assert_eq!(parallel_delta_stepping(&g, 0, 10, 2).dist, vec![0]);
+    let oracle = dijkstra(&g, 0);
+    assert_eq!(oracle.dist, vec![0]);
+    for imp in all() {
+        let r = imp.run(&g, 0, None);
+        check_against(&oracle.dist, &r.dist)
+            .unwrap_or_else(|m| panic!("{} on singleton: {m}", imp.id));
+    }
 }

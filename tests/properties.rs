@@ -28,7 +28,7 @@ proptest! {
         let oracle = dijkstra(&g, src);
         let r = delta_stepping(&g, src, delta);
         prop_assert_eq!(&r.dist, &oracle.dist);
-        check_relaxed(&g, src, &r.dist).map_err(|e| TestCaseError::fail(e))?;
+        check_relaxed(&g, src, &r.dist).map_err(TestCaseError::fail)?;
     }
 
     #[test]
