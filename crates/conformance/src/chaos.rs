@@ -1,0 +1,395 @@
+//! The chaos matrix: every device fault model × recovered entry point
+//! × graph family, with one invariant — **no silent wrong answer**.
+//!
+//! Each cell runs an SSSP entry point through the detect-and-recover
+//! layer ([`rdbs_core::recover`]) with a seeded [`FaultSpec`] armed,
+//! then grades the *final* distances against the Dijkstra oracle:
+//!
+//! * **Correct** — the answer matches, either because the run was
+//!   clean, the faults happened to be benign, or a recovery-ladder
+//!   rung repaired them (the cell records which);
+//! * **Error** — the cell raised an explicit error instead of
+//!   answering (a panic that escaped the harness). Loud failure is an
+//!   acceptable outcome; lying is not;
+//! * **SilentWrong** — wrong distances presented as good. This is the
+//!   invariant violation the matrix exists to rule out, and the only
+//!   verdict that makes a sweep red.
+//!
+//! Message-channel fault models only apply to the multi-GPU entry
+//! point; on single-device entries they have no injection sites and
+//! are skipped rather than swept as trivially-clean cells.
+
+use crate::graphs::{self, GraphCase};
+use rdbs_core::gpu::{MultiGpuConfig, RdbsConfig, Variant};
+use rdbs_core::recover::{run_gpu_recovered, run_multi_recovered, RecoveryOutcome, RecoveryReport};
+use rdbs_core::seq::dijkstra;
+use rdbs_core::validate::{check_against, Mismatch};
+use rdbs_core::{Csr, VertexId};
+use rdbs_gpu_sim::{DeviceConfig, FaultModel, FaultSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Which recovered entry point a chaos cell exercises.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosEntry {
+    /// Stable id used in reports and filters (e.g. `gpu/full`).
+    pub id: &'static str,
+    kind: EntryKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EntryKind {
+    Gpu(Variant),
+    MultiGpu(usize),
+}
+
+impl ChaosEntry {
+    /// Whether message-channel fault models have injection sites here.
+    pub fn carries_messages(&self) -> bool {
+        matches!(self.kind, EntryKind::MultiGpu(k) if k > 1)
+    }
+}
+
+/// Every entry point the full chaos sweep covers.
+pub fn chaos_entries() -> Vec<ChaosEntry> {
+    vec![
+        ChaosEntry { id: "gpu/full", kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::full())) },
+        ChaosEntry {
+            id: "gpu/sync-delta",
+            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::sync_delta())),
+        },
+        ChaosEntry {
+            id: "gpu/basyn",
+            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only())),
+        },
+        ChaosEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
+    ]
+}
+
+/// The reduced sweep: the asynchronous single-device entry (widest
+/// fault surface) plus the multi-GPU exchange (message models).
+pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
+    chaos_entries().into_iter().filter(|e| matches!(e.id, "gpu/full" | "multi-gpu/k2")).collect()
+}
+
+/// Per-model default injection rate: high enough that faults actually
+/// land on the small matrix graphs, low enough that runs terminate.
+/// (`BitFlip` corrupts persistently and can hit row offsets, so it is
+/// kept rare; the drop/duplicate models need many opportunities to
+/// matter.)
+pub fn default_rate(model: FaultModel) -> f64 {
+    match model {
+        FaultModel::BitFlip => 0.002,
+        FaultModel::DroppedAtomicMin => 0.25,
+        FaultModel::DuplicatedAtomicMin => 0.25,
+        FaultModel::FailedChildLaunch => 0.25,
+        FaultModel::StaleRead => 0.1,
+        FaultModel::LostMessage => 0.4,
+        FaultModel::DuplicatedMessage => 0.4,
+        FaultModel::ReorderedMessage => 0.4,
+    }
+}
+
+/// What to sweep.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosOptions {
+    /// Reduced sweep: quick graph families, two entries, one seed.
+    pub quick: bool,
+    /// Only fault models whose name contains this substring.
+    pub model_filter: Option<String>,
+    /// Only entries whose id contains this substring.
+    pub entry_filter: Option<String>,
+    /// Only families whose name contains this substring.
+    pub graph_filter: Option<String>,
+    /// Override every model's default injection rate.
+    pub rate: Option<f64>,
+    /// Fault seeds to sweep; empty picks the defaults (`[1]` quick,
+    /// `[1, 2]` full). A single explicit seed replays one schedule.
+    pub seeds: Vec<u64>,
+}
+
+impl ChaosOptions {
+    fn effective_seeds(&self) -> Vec<u64> {
+        if !self.seeds.is_empty() {
+            self.seeds.clone()
+        } else if self.quick {
+            vec![1]
+        } else {
+            vec![1, 2]
+        }
+    }
+}
+
+/// How a cell's final answer graded against the oracle.
+#[derive(Clone, Debug)]
+pub enum CellVerdict {
+    /// Final distances match Dijkstra.
+    Correct,
+    /// The cell errored out loudly instead of answering.
+    Error(String),
+    /// Wrong distances presented as good — the invariant violation.
+    SilentWrong(Mismatch),
+}
+
+impl std::fmt::Display for CellVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellVerdict::Correct => write!(f, "correct"),
+            CellVerdict::Error(msg) => write!(f, "explicit error: {msg}"),
+            CellVerdict::SilentWrong(m) => write!(f, "SILENT WRONG ANSWER: {m}"),
+        }
+    }
+}
+
+/// One (entry, model, graph, seed) cell of the chaos matrix.
+#[derive(Clone, Debug)]
+pub struct ChaosCell {
+    pub entry_id: &'static str,
+    pub model: FaultModel,
+    pub graph: &'static str,
+    pub source: VertexId,
+    pub seed: u64,
+    pub rate: f64,
+    /// The recovery evidence (`None` only when the cell errored before
+    /// the recovery layer could report).
+    pub report: Option<RecoveryReport>,
+    pub verdict: CellVerdict,
+}
+
+impl ChaosCell {
+    /// Whether any detector fired on the faulted attempt.
+    pub fn detected(&self) -> bool {
+        self.report.as_ref().is_some_and(|r| r.detected())
+    }
+
+    pub fn outcome(&self) -> Option<RecoveryOutcome> {
+        self.report.as_ref().map(|r| r.outcome)
+    }
+
+    pub fn injections(&self) -> u64 {
+        self.report.as_ref().map_or(0, |r| r.injections)
+    }
+}
+
+/// Outcome of a chaos sweep.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    /// Green iff no cell returned a silently wrong answer. Explicitly
+    /// errored cells stay green: the guarantee is about lying, not
+    /// about surviving every fault.
+    pub fn is_green(&self) -> bool {
+        self.silent_wrong().next().is_none()
+    }
+
+    /// The violating cells, if any.
+    pub fn silent_wrong(&self) -> impl Iterator<Item = &ChaosCell> {
+        self.cells.iter().filter(|c| matches!(c.verdict, CellVerdict::SilentWrong(_)))
+    }
+
+    /// Cell counts: `(clean, recovered, degraded, errored, silent_wrong)`.
+    pub fn tally(&self) -> (usize, usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0, 0);
+        for c in &self.cells {
+            match (&c.verdict, c.outcome()) {
+                (CellVerdict::SilentWrong(_), _) => t.4 += 1,
+                (CellVerdict::Error(_), _) => t.3 += 1,
+                (_, Some(RecoveryOutcome::Clean)) => t.0 += 1,
+                (_, Some(RecoveryOutcome::Recovered)) => t.1 += 1,
+                (_, Some(RecoveryOutcome::Degraded)) => t.2 += 1,
+                (_, None) => t.3 += 1,
+            }
+        }
+        t
+    }
+}
+
+fn substring(filter: &Option<String>, s: &str) -> bool {
+    match filter {
+        Some(f) => s.contains(f.as_str()),
+        None => true,
+    }
+}
+
+/// Run one chaos cell and grade it.
+pub fn run_cell(
+    entry: &ChaosEntry,
+    graph: &Csr,
+    oracle_dist: &[u32],
+    source: VertexId,
+    spec: FaultSpec,
+) -> (Option<RecoveryReport>, CellVerdict) {
+    let attempt = catch_unwind(AssertUnwindSafe(|| match entry.kind {
+        EntryKind::Gpu(variant) => {
+            run_gpu_recovered(graph, source, variant, DeviceConfig::test_tiny(), Some(spec))
+        }
+        EntryKind::MultiGpu(k) => {
+            let config = MultiGpuConfig {
+                num_devices: k,
+                device: DeviceConfig::test_tiny(),
+                interconnect_gbps: 50.0,
+                exchange_latency_us: 5.0,
+                delta0: None,
+            };
+            run_multi_recovered(graph, source, &config, Some(spec))
+        }
+    }));
+    match attempt {
+        Ok(run) => {
+            let verdict = match check_against(oracle_dist, &run.result.dist) {
+                Ok(()) => CellVerdict::Correct,
+                Err(m) => CellVerdict::SilentWrong(m),
+            };
+            (Some(run.report), verdict)
+        }
+        Err(payload) => (None, CellVerdict::Error(crate::runner::panic_message(payload.as_ref()))),
+    }
+}
+
+/// Sweep the chaos matrix. `progress` is called once per cell as it
+/// completes; pass a no-op closure when output is unwanted.
+pub fn run_chaos(opts: &ChaosOptions, mut progress: impl FnMut(&ChaosCell)) -> ChaosReport {
+    let entries: Vec<ChaosEntry> = if opts.quick { quick_chaos_entries() } else { chaos_entries() }
+        .into_iter()
+        .filter(|e| substring(&opts.entry_filter, e.id))
+        .collect();
+    let families: Vec<GraphCase> =
+        if opts.quick { graphs::quick_families() } else { graphs::families() }
+            .into_iter()
+            .filter(|g| substring(&opts.graph_filter, g.name))
+            .collect();
+    let models: Vec<FaultModel> =
+        FaultModel::ALL.into_iter().filter(|m| substring(&opts.model_filter, m.name())).collect();
+    let seeds = opts.effective_seeds();
+
+    let mut report = ChaosReport::default();
+    for family in &families {
+        let graph = family.build();
+        let source = family.sources(graph.num_vertices())[0];
+        let oracle = dijkstra(&graph, source);
+        for entry in &entries {
+            for &model in &models {
+                if model.is_message_model() && !entry.carries_messages() {
+                    continue;
+                }
+                let rate = opts.rate.unwrap_or_else(|| default_rate(model));
+                for &seed in &seeds {
+                    let spec = FaultSpec::new(model, rate, seed);
+                    let (cell_report, verdict) =
+                        run_cell(entry, &graph, &oracle.dist, source, spec);
+                    let cell = ChaosCell {
+                        entry_id: entry.id,
+                        model,
+                        graph: family.name,
+                        source,
+                        seed,
+                        rate,
+                        report: cell_report,
+                        verdict,
+                    };
+                    progress(&cell);
+                    report.cells.push(cell);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{by_id, FAULT_OFF_BY_ONE};
+    use rdbs_core::validate::audit_sssp;
+
+    /// The acceptance gate: the quick chaos matrix must have zero
+    /// silently-wrong cells — every cell is oracle-correct (clean or
+    /// recovered) or an explicit error.
+    #[test]
+    fn quick_chaos_matrix_has_no_silent_wrong_answers() {
+        let report = run_chaos(&ChaosOptions { quick: true, ..Default::default() }, |_| {});
+        assert!(!report.cells.is_empty());
+        let wrong: Vec<String> = report
+            .silent_wrong()
+            .map(|c| {
+                format!("{}/{} on {} seed {}: {}", c.entry_id, c.model, c.graph, c.seed, c.verdict)
+            })
+            .collect();
+        assert!(report.is_green(), "silent wrong answers:\n{}", wrong.join("\n"));
+    }
+
+    /// At least one quick cell must actually detect and climb the
+    /// ladder — otherwise the matrix proves nothing about recovery.
+    #[test]
+    fn quick_chaos_matrix_exercises_recovery() {
+        let report = run_chaos(&ChaosOptions { quick: true, ..Default::default() }, |_| {});
+        assert!(report.cells.iter().any(|c| c.injections() > 0), "no cell injected anything");
+        assert!(
+            report.cells.iter().any(|c| c.detected()),
+            "no cell detected a fault — rates too low to mean anything"
+        );
+    }
+
+    #[test]
+    fn filters_restrict_the_sweep() {
+        let opts = ChaosOptions {
+            quick: true,
+            model_filter: Some("dropped-atomic".into()),
+            entry_filter: Some("gpu/full".into()),
+            graph_filter: Some("erdos".into()),
+            seeds: vec![7],
+            ..Default::default()
+        };
+        let report = run_chaos(&opts, |_| {});
+        assert_eq!(report.cells.len(), 1);
+        let c = &report.cells[0];
+        assert_eq!(c.model, FaultModel::DroppedAtomicMin);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn chaos_cells_replay_deterministically() {
+        let opts = ChaosOptions {
+            quick: true,
+            model_filter: Some("bit-flip".into()),
+            entry_filter: Some("gpu/full".into()),
+            seeds: vec![3],
+            ..Default::default()
+        };
+        let a = run_chaos(&opts, |_| {});
+        let b = run_chaos(&opts, |_| {});
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.injections(), y.injections());
+            assert_eq!(x.detected(), y.detected());
+            assert_eq!(x.outcome(), y.outcome());
+        }
+    }
+
+    /// Regression for the PR-1 fault specimen: the deliberately broken
+    /// Dijkstra must be caught by the oracle-free audit alone — the
+    /// detection layer cannot depend on having an oracle around.
+    #[test]
+    fn off_by_one_specimen_is_caught_by_the_audit() {
+        let specimen = by_id(FAULT_OFF_BY_ONE).unwrap();
+        let mut caught = false;
+        for family in graphs::quick_families() {
+            let g = family.build();
+            let source = family.sources(g.num_vertices())[0];
+            let r = specimen.run(&g, source, None);
+            let audit = audit_sssp(&g, source, &r.dist);
+            let oracle = dijkstra(&g, source);
+            if r.dist != oracle.dist {
+                assert!(
+                    !audit.is_clean(),
+                    "{}: specimen is wrong but the audit saw nothing",
+                    family.name
+                );
+                caught = true;
+            }
+        }
+        assert!(caught, "specimen never diverged on the quick families");
+    }
+}

@@ -19,18 +19,27 @@
 //!   relaxation trace sink in `rdbs_core::stats::trace` armed and
 //!   reports the first bucket/phase/edge where settled distances
 //!   depart from the oracle.
+//! * [`chaos`] — the fault-injection matrix: every device fault model
+//!   × detect-and-recover entry point × graph family, each cell graded
+//!   correct / explicitly-errored / silently-wrong; the sweep is green
+//!   only when no cell lies.
 //!
 //! The whole pipeline is reachable from the command line via
-//! `rdbs-cli verify`, which exits non-zero on any mismatch.
+//! `rdbs-cli verify` (differential matrix) and `rdbs-cli chaos`
+//! (fault-injection matrix), both exiting non-zero on violation.
 
+pub mod chaos;
 pub mod graphs;
 pub mod localize;
 pub mod registry;
 pub mod runner;
 pub mod shrink;
 
+pub use chaos::{
+    chaos_entries, run_chaos, CellVerdict, ChaosCell, ChaosEntry, ChaosOptions, ChaosReport,
+};
 pub use graphs::{families, GraphCase};
 pub use localize::{localize, Divergence};
 pub use registry::{all, by_id, with_faults, Family, Implementation, FAULT_OFF_BY_ONE};
 pub use runner::{run_matrix, CaseFailure, FailureKind, MatrixOptions, MatrixReport};
-pub use shrink::{shrink, ShrunkWitness};
+pub use shrink::{shrink, shrink_built, ShrunkWitness};

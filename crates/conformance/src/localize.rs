@@ -226,6 +226,33 @@ mod tests {
     }
 
     #[test]
+    fn cpu_kernels_record_events_through_worker_shards() {
+        // The multi-threaded CPU kernels run their relaxations on
+        // worker threads; the sharded sink must still capture them on
+        // the armed host thread, so the localizer no longer falls back
+        // to oracle-side analysis for these implementations.
+        let g = matrix_graph();
+        let oracle = dijkstra(&g, 0);
+        for id in ["cpu/parallel-delta", "cpu/async-bucket"] {
+            let imp = by_id(id).unwrap();
+            assert!(imp.traced(), "{id} must be marked traced");
+            trace::start(1 << 20);
+            let r = imp.run(&g, 0, None);
+            let (events, _) = trace::take();
+            assert!(!events.is_empty(), "{id} recorded no events");
+            assert_eq!(r.dist, oracle.dist, "{id}");
+            // Merged stream is in (bucket, phase, layer) order.
+            let key =
+                |e: &RelaxEvent| (e.bucket, matches!(e.phase, trace::Phase::Heavy) as u8, e.layer);
+            assert!(events.windows(2).all(|w| key(&w[0]) <= key(&w[1])), "{id} out of order");
+            // No correct run writes below the oracle distance.
+            for e in &events {
+                assert!(e.new >= oracle.dist[e.dst as usize], "{id} write below oracle: {e:?}");
+            }
+        }
+    }
+
+    #[test]
     fn under_relaxation_reports_missing_edge() {
         // Star graph: the fault drops vertex 0's last out-edge, so one
         // leaf is unreachable; the localizer should name the edge.

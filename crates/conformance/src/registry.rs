@@ -131,9 +131,14 @@ impl Implementation {
 
     /// Whether the localizer's relaxation tracing covers this
     /// implementation (the instrumented kernels live in
-    /// `seq::delta_stepping` and `gpu::rdbs`).
+    /// `seq::delta_stepping`, `gpu::rdbs`, and — via the sharded
+    /// sink's worker handles — `cpu::parallel_delta` and
+    /// `cpu::async_bucket`).
     pub fn traced(&self) -> bool {
-        matches!(self.kind, Kind::DeltaStepping | Kind::Gpu(Variant::Rdbs(_)))
+        matches!(
+            self.kind,
+            Kind::DeltaStepping | Kind::Gpu(Variant::Rdbs(_)) | Kind::CpuParallel | Kind::CpuAsync
+        )
     }
 }
 

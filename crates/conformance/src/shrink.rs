@@ -10,7 +10,7 @@ use crate::registry::Implementation;
 use crate::runner::{run_case, FailureKind};
 use rdbs_core::seq::dijkstra;
 use rdbs_core::{VertexId, Weight};
-use rdbs_graph::builder::{build_undirected, EdgeList};
+use rdbs_graph::builder::{build_directed, build_undirected, EdgeList};
 use rdbs_graph::io::witness::Witness;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -49,28 +49,46 @@ impl ShrunkWitness {
 
 /// Does `imp` still fail on this instance? Panics count as failures;
 /// an instance whose *oracle* panics is rejected (never shrink toward
-/// inputs the reference itself cannot handle).
+/// inputs the reference itself cannot handle). `directed` controls how
+/// the candidate edge list becomes a CSR — a directed failure must be
+/// minimized against directed rebuilds, or symmetrization would mask
+/// (or manufacture) the divergence.
 fn fails(
     imp: &Implementation,
     el: &EdgeList,
     source: VertexId,
     delta0: Option<Weight>,
+    directed: bool,
 ) -> Option<FailureKind> {
     if (source as usize) >= el.num_vertices {
         return None;
     }
-    let graph = build_undirected(el);
+    let graph = if directed { build_directed(el) } else { build_undirected(el) };
     let oracle = catch_unwind(AssertUnwindSafe(|| dijkstra(&graph, source))).ok()?;
     run_case(imp, &graph, &oracle.dist, source, delta0).err()
 }
 
 /// Minimize a failing instance. The caller must have established that
-/// `imp` fails on `(el, source, delta0)`; panics otherwise.
+/// `imp` fails on `(el, source, delta0)` (with the same `directed`
+/// build mode); panics otherwise.
 pub fn shrink(
     imp: &Implementation,
     el: &EdgeList,
     source: VertexId,
     delta0: Option<Weight>,
+) -> ShrunkWitness {
+    shrink_built(imp, el, source, delta0, false)
+}
+
+/// [`shrink`] for an explicit CSR build mode; `directed = true`
+/// minimizes a directed-CSR failure and marks the witness so replay
+/// rebuilds the same shape.
+pub fn shrink_built(
+    imp: &Implementation,
+    el: &EdgeList,
+    source: VertexId,
+    delta0: Option<Weight>,
+    directed: bool,
 ) -> ShrunkWitness {
     let evals = std::cell::Cell::new(0usize);
     let check = |candidate: &EdgeList, src: VertexId| -> Option<FailureKind> {
@@ -78,7 +96,7 @@ pub fn shrink(
             return None;
         }
         evals.set(evals.get() + 1);
-        fails(imp, candidate, src, delta0)
+        fails(imp, candidate, src, delta0, directed)
     };
 
     let mut failure = check(el, source).expect("shrink() requires a failing instance");
@@ -149,7 +167,7 @@ pub fn shrink(
     }
 
     ShrunkWitness {
-        witness: Witness { edges: cur, source: src },
+        witness: Witness { edges: cur, source: src, directed },
         failure,
         delta0,
         impl_id: imp.id,
@@ -216,9 +234,27 @@ mod tests {
             shrunk.witness.edges.num_vertices
         );
         // The minimal instance still fails.
-        assert!(fails(&imp, &shrunk.witness.edges, shrunk.witness.source, shrunk.delta0).is_some());
+        assert!(fails(&imp, &shrunk.witness.edges, shrunk.witness.source, shrunk.delta0, false)
+            .is_some());
+        assert!(!shrunk.witness.directed);
         let cmd = shrunk.repro_command("witness.txt");
         assert!(cmd.contains("--impl fault/off-by-one"));
         assert!(cmd.contains("--witness witness.txt"));
+    }
+
+    #[test]
+    fn directed_failure_shrinks_with_directed_rebuilds() {
+        // The fault specimen also diverges on directed CSRs; the
+        // shrinker must minimize against directed rebuilds and mark
+        // the witness, so replay reconstructs the same graph shape.
+        let imp = by_id(FAULT_OFF_BY_ONE).unwrap();
+        let mut el = erdos_renyi(200, 1200, 4);
+        uniform_weights(&mut el, 13);
+        assert!(fails(&imp, &el, 0, None, true).is_some(), "specimen passes directed? pick a seed");
+        let shrunk = shrink_built(&imp, &el, 0, None, true);
+        assert!(shrunk.witness.directed);
+        assert!(shrunk.witness.edges.num_vertices <= 20);
+        // Still fails under directed rebuild — and the witness marks it.
+        assert!(fails(&imp, &shrunk.witness.edges, shrunk.witness.source, None, true).is_some());
     }
 }

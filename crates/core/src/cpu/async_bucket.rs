@@ -8,6 +8,7 @@
 //! a synchronous parallel sweep, as in the paper.
 
 use super::fetch_min;
+use crate::stats::trace::{self, Phase};
 use crate::stats::{SsspResult, UpdateStats};
 use crate::{Csr, VertexId, Weight, INF};
 use parking_lot::Mutex;
@@ -40,6 +41,9 @@ pub fn async_bucket_sssp(
         let hi = lo + delta as u64;
 
         // ---- Phase 1: asynchronous light-edge processing ----
+        // Async phase 1 has no layers; all events carry layer 0.
+        trace::set_context(lo, Phase::Light, 0);
+        let shard = trace::shard();
         let pool = Mutex::new(current);
         let in_flight = AtomicUsize::new(0);
         let active = AtomicU64::new(0);
@@ -80,6 +84,9 @@ pub fn async_bucket_sssp(
                                 let old = fetch_min(&dist[u as usize], nd);
                                 if nd < old {
                                     updates.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(sh) = &shard {
+                                        sh.record(v, u, old, nd);
+                                    }
                                     if (nd as u64) < hi
                                         && !pending[u as usize].swap(true, Ordering::SeqCst)
                                     {
@@ -102,6 +109,8 @@ pub fn async_bucket_sssp(
 
         // ---- Phases 2 & 3: synchronous sweep ----
         // Relax heavy edges of settled vertices; find the next window.
+        trace::set_context(lo, Phase::Heavy, 0);
+        let shard = trace::shard();
         let next_lo = AtomicU32::new(INF);
         let next_active = Mutex::new(Vec::<VertexId>::new());
         let chunk = n.div_ceil(threads).max(1);
@@ -110,6 +119,7 @@ pub fn async_bucket_sssp(
                 let dist = &dist;
                 let checks = &checks;
                 let updates = &updates;
+                let shard = &shard;
                 scope.spawn(move |_| {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
@@ -129,6 +139,9 @@ pub fn async_bucket_sssp(
                                 let old = fetch_min(&dist[u as usize], nd);
                                 if nd < old {
                                     updates.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(sh) = shard {
+                                        sh.record(v as VertexId, u, old, nd);
+                                    }
                                 }
                             }
                         }

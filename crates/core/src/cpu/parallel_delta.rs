@@ -8,6 +8,7 @@
 //! benches.
 
 use super::fetch_min;
+use crate::stats::trace::{self, Phase, TraceShard};
 use crate::stats::{SsspResult, UpdateStats};
 use crate::{Csr, VertexId, Weight, INF};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -58,8 +59,17 @@ pub fn parallel_delta_stepping(
                     settled.push(v);
                 }
             }
-            let outs =
-                relax_parallel(graph, &dist, &fresh, threads, &updates, &checks, |w| w < delta);
+            trace::set_context(i as u64, Phase::Light, layers - 1);
+            let outs = relax_parallel(
+                graph,
+                &dist,
+                &fresh,
+                threads,
+                &updates,
+                &checks,
+                trace::shard(),
+                |w| w < delta,
+            );
             for (v, d) in outs {
                 let b = bucket_of(d);
                 if buckets.len() <= b {
@@ -69,8 +79,17 @@ pub fn parallel_delta_stepping(
             }
         }
         // Phase 2: heavy edges of everything settled.
-        let outs =
-            relax_parallel(graph, &dist, &settled, threads, &updates, &checks, |w| w >= delta);
+        trace::set_context(i as u64, Phase::Heavy, 0);
+        let outs = relax_parallel(
+            graph,
+            &dist,
+            &settled,
+            threads,
+            &updates,
+            &checks,
+            trace::shard(),
+            |w| w >= delta,
+        );
         for (v, d) in outs {
             let b = bucket_of(d);
             if buckets.len() <= b {
@@ -90,7 +109,9 @@ pub fn parallel_delta_stepping(
 }
 
 /// Relax the selected edges of `frontier` in parallel; returns the
-/// `(vertex, new_dist)` pairs that improved.
+/// `(vertex, new_dist)` pairs that improved. `shard` is the trace
+/// handle the host captured for this wave (None when tracing is off).
+#[allow(clippy::too_many_arguments)]
 fn relax_parallel(
     graph: &Csr,
     dist: &[AtomicU32],
@@ -98,6 +119,7 @@ fn relax_parallel(
     threads: usize,
     updates: &AtomicU64,
     checks: &AtomicU64,
+    shard: Option<TraceShard>,
     edge_filter: impl Fn(Weight) -> bool + Sync,
 ) -> Vec<(VertexId, u32)> {
     if frontier.is_empty() {
@@ -110,6 +132,7 @@ fn relax_parallel(
             .chunks(chunk)
             .map(|part| {
                 let filter = &edge_filter;
+                let shard = &shard;
                 scope.spawn(move |_| {
                     let mut out: Vec<(VertexId, u32)> = Vec::new();
                     let mut local_updates = 0u64;
@@ -127,6 +150,9 @@ fn relax_parallel(
                                 if nd < old {
                                     local_updates += 1;
                                     out.push((u, nd));
+                                    if let Some(sh) = shard {
+                                        sh.record(v, u, old, nd);
+                                    }
                                 }
                             }
                         }

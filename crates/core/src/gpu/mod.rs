@@ -14,8 +14,8 @@ pub mod rdbs;
 
 pub use bl::bl;
 pub use buffers::{DeviceQueue, GraphBuffers};
-pub use multi::{multi_gpu_sssp, MultiGpuConfig, MultiGpuRun};
-pub use rdbs::{GpuBucketTrace, RdbsConfig, RdbsRun};
+pub use multi::{multi_gpu_sssp, multi_gpu_sssp_faulted, MultiGpuConfig, MultiGpuRun};
+pub use rdbs::{GpuBucketTrace, MonotonicityViolation, RdbsConfig, RdbsRun};
 
 use crate::stats::SsspResult;
 use crate::{default_delta, Csr, VertexId};
@@ -64,6 +64,9 @@ pub struct GpuRun {
     pub buckets: Vec<GpuBucketTrace>,
     /// Giga-traversed-edges per second: `m / time` (§5.1.3).
     pub gteps: f64,
+    /// Monotonicity audit hits (RDBS variants on a fault-armed device
+    /// only; always empty otherwise).
+    pub audit: Vec<MonotonicityViolation>,
 }
 
 /// Run `variant` from `source` on a fresh device of `device_config`.
@@ -78,13 +81,21 @@ pub fn run_gpu(
     device_config: DeviceConfig,
 ) -> GpuRun {
     let mut device = Device::new(device_config);
-    let (result, buckets) = match variant {
-        Variant::Baseline => (bl(&mut device, graph, source), Vec::new()),
+    run_gpu_on(&mut device, graph, source, variant)
+}
+
+/// Like [`run_gpu`] but on a caller-prepared device — the fault
+/// injection and recovery layer ([`crate::recover`]) uses this to run
+/// on a device with a fault plan armed. The device should be fresh
+/// (or stats-reset): elapsed time is read off the device afterwards.
+pub fn run_gpu_on(device: &mut Device, graph: &Csr, source: VertexId, variant: Variant) -> GpuRun {
+    let (result, buckets, audit) = match variant {
+        Variant::Baseline => (bl(device, graph, source), Vec::new(), Vec::new()),
         Variant::Rdbs(cfg) => {
             if cfg.pro {
                 let delta0 = cfg.delta0.unwrap_or_else(|| default_delta(graph));
                 let (pg, perm) = rdbs_graph::reorder::pro(graph, delta0);
-                let mut run = rdbs::rdbs(&mut device, &pg, perm.new_id(source), cfg);
+                let mut run = rdbs::rdbs(device, &pg, perm.new_id(source), cfg);
                 run.result.dist = perm.unapply_to_array(&run.result.dist);
                 run.result.source = source;
                 if crate::stats::trace::armed() {
@@ -93,10 +104,14 @@ pub fn run_gpu(
                     let inv = perm.inverse();
                     crate::stats::trace::remap_ids(|v| inv.new_id(v));
                 }
-                (run.result, run.buckets)
+                let inv = perm.inverse();
+                for hit in &mut run.audit {
+                    hit.vertex = inv.new_id(hit.vertex);
+                }
+                (run.result, run.buckets, run.audit)
             } else {
-                let run = rdbs::rdbs(&mut device, graph, source, cfg);
-                (run.result, run.buckets)
+                let run = rdbs::rdbs(device, graph, source, cfg);
+                (run.result, run.buckets, run.audit)
             }
         }
     };
@@ -110,6 +125,7 @@ pub fn run_gpu(
         counters: device.counters().clone(),
         buckets,
         gteps,
+        audit,
     }
 }
 

@@ -22,7 +22,7 @@
 use super::buffers::{DeviceQueue, GraphBuffers};
 use crate::stats::{SsspResult, UpdateStats};
 use crate::{default_delta, Csr, Dist, VertexId, Weight, INF};
-use rdbs_gpu_sim::{Device, DeviceConfig};
+use rdbs_gpu_sim::{Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
 use std::cell::Cell;
 
 /// Multi-GPU run configuration.
@@ -67,6 +67,10 @@ pub struct MultiGpuRun {
     pub supersteps: u32,
     /// Buckets processed.
     pub buckets: u32,
+    /// Injection log of the faulted device (empty on fault-free runs).
+    pub fault_events: Vec<FaultEvent>,
+    /// Total injections, including any beyond the log cap.
+    pub fault_injections: u64,
 }
 
 struct Shard {
@@ -98,6 +102,19 @@ impl Shard {
 
 /// Run the multi-GPU bucketed SSSP.
 pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) -> MultiGpuRun {
+    multi_gpu_sssp_faulted(graph, source, config, None)
+}
+
+/// [`multi_gpu_sssp`] with an optional fault plan armed on device 0:
+/// device-level models corrupt that shard's kernels, and the message
+/// models (lost/duplicated/reordered) mutate every boundary-exchange
+/// batch before it is applied to the replicas.
+pub fn multi_gpu_sssp_faulted(
+    graph: &Csr,
+    source: VertexId,
+    config: &MultiGpuConfig,
+    fault: Option<FaultSpec>,
+) -> MultiGpuRun {
     let n = graph.num_vertices() as u32;
     assert!(source < n, "source out of range");
     assert!(config.num_devices >= 1);
@@ -129,6 +146,10 @@ pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) ->
             }
         })
         .collect();
+
+    if let Some(spec) = fault {
+        shards[0].device.arm_faults(FaultPlan::new(spec));
+    }
 
     // Init distances and seed the owner of the source.
     for s in &mut shards {
@@ -179,7 +200,13 @@ pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) ->
             }
             supersteps += 1;
             elapsed_ms += step_max;
-            exchange(&mut shards, &all_improved, config, &mut exchange_ms, &mut exchanged_bytes);
+            exchange(
+                &mut shards,
+                &mut all_improved,
+                config,
+                &mut exchange_ms,
+                &mut exchanged_bytes,
+            );
             // Owners enqueue in-window improved vertices.
             seed_owners(&mut shards, &all_improved, win_lo, win_hi, chunk);
         }
@@ -202,7 +229,7 @@ pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) ->
         }
         supersteps += 1;
         elapsed_ms += step_max;
-        exchange(&mut shards, &all_improved, config, &mut exchange_ms, &mut exchanged_bytes);
+        exchange(&mut shards, &mut all_improved, config, &mut exchange_ms, &mut exchanged_bytes);
 
         // ---- Phase 3: next window (host-coordinated jump) ----
         let dist0 = shards[0].device.read(shards[0].gb.dist);
@@ -244,6 +271,10 @@ pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) ->
         total_updates: total_updates.get(),
         ..Default::default()
     };
+    let (fault_events, fault_injections) = match shards[0].device.disarm_faults() {
+        Some(plan) => (plan.log().to_vec(), plan.injections()),
+        None => (Vec::new(), 0),
+    };
     MultiGpuRun {
         result: SsspResult { source, dist, stats },
         elapsed_ms: elapsed_ms + exchange_ms,
@@ -251,6 +282,8 @@ pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) ->
         exchanged_bytes,
         supersteps,
         buckets,
+        fault_events,
+        fault_injections,
     }
 }
 
@@ -322,9 +355,14 @@ fn collect_updates(s: &mut Shard, out: &mut Vec<(VertexId, Dist)>) {
 }
 
 /// Broadcast improvements to every replica; charge the interconnect.
+///
+/// The batch is passed mutably so an armed fault plan can lose,
+/// duplicate or reorder messages *before* they are applied — the
+/// caller's subsequent owner-seeding then sees the same faulted batch,
+/// exactly as if the interconnect had dropped the packets.
 fn exchange(
     shards: &mut [Shard],
-    improved: &[(VertexId, Dist)],
+    improved: &mut Vec<(VertexId, Dist)>,
     config: &MultiGpuConfig,
     exchange_ms: &mut f64,
     exchanged_bytes: &mut u64,
@@ -332,13 +370,14 @@ fn exchange(
     if shards.len() <= 1 {
         return;
     }
+    shards[0].device.fault_filter_messages(improved);
     // 8 bytes per (vertex, dist) pair, to every other device.
     let bytes = improved.len() as u64 * 8 * (shards.len() as u64 - 1);
     *exchanged_bytes += bytes;
     *exchange_ms +=
         config.exchange_latency_us / 1e3 + bytes as f64 / (config.interconnect_gbps * 1e6);
     for s in shards.iter_mut() {
-        for &(v, d) in improved {
+        for &(v, d) in improved.iter() {
             let cur = s.device.read_word(s.gb.dist, v as usize);
             if d < cur {
                 s.device.write_word(s.gb.dist, v as usize, d);

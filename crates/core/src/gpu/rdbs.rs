@@ -26,7 +26,7 @@ use super::buffers::{DeviceQueue, GraphBuffers};
 use crate::adaptive_delta::DeltaController;
 use crate::stats::{trace as relax_trace, SsspResult, UpdateStats};
 use crate::workload::{classify, WorkloadClass};
-use crate::{default_delta, Csr, VertexId, Weight, INF};
+use crate::{default_delta, Csr, Dist, VertexId, Weight, INF};
 use rdbs_gpu_sim::{Buf, Device, Lane};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -173,10 +173,31 @@ pub struct GpuBucketTrace {
     pub threads: u64,
 }
 
+/// A per-bucket monotonicity audit hit: a distance that *increased*,
+/// or a settled vertex (below the bucket's window) that changed at
+/// all. Correct Δ-stepping can do neither — every write is an
+/// `atomicMin` of a candidate ≥ the window floor — so any hit is
+/// evidence of device-level corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonotonicityViolation {
+    pub vertex: VertexId,
+    /// Low edge of the bucket window after which the hit was observed.
+    pub bucket_lo: u64,
+    pub before: Dist,
+    pub after: Dist,
+}
+
+/// Keep the audit list bounded on heavily-faulted runs.
+const AUDIT_CAP: usize = 256;
+
 /// Result of an RDBS run plus the per-bucket trace.
 pub struct RdbsRun {
     pub result: SsspResult,
     pub buckets: Vec<GpuBucketTrace>,
+    /// Per-bucket monotonicity audit hits. Only populated when the
+    /// device has a fault plan armed — fault-free runs skip the audit
+    /// entirely (no extra reads, bit-identical results).
+    pub audit: Vec<MonotonicityViolation>,
 }
 
 /// Run RDBS (or any ablation) on `device`.
@@ -209,6 +230,7 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
 
     let inst = Rc::new(Inst::default());
     let mut traces: Vec<GpuBucketTrace> = Vec::new();
+    let mut audit: Vec<MonotonicityViolation> = Vec::new();
 
     // Seed the source.
     device.write_word(queues.pending, source as usize, 1);
@@ -220,6 +242,11 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
     let mut lo: u64 = 0;
     let mut width: Weight = width0;
     let mut settled_before: u64 = 0;
+    // Distance snapshot for the per-bucket monotonicity audit; only
+    // taken when faults are armed, so the fault-free path reads
+    // nothing extra and stays bit-identical.
+    let mut audit_prev: Option<Vec<Dist>> =
+        device.faults_armed().then(|| device.read(gb.dist).to_vec());
 
     // BASYN: one persistent manager/worker kernel serves phase 1 for
     // the whole run — a single host launch (§4.3).
@@ -324,6 +351,9 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
         if config.pro && new_width != width && !done {
             update_heavy_offsets_wave(device, gb, new_width, next_lo);
         }
+        if let Some(prev) = audit_prev.as_mut() {
+            audit_bucket(device, gb, prev, lo, &mut audit);
+        }
         traces.push(trace);
         if done {
             break;
@@ -340,7 +370,34 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
     stats.phase1_layers = traces.iter().map(|t| t.layers).collect();
     stats.bucket_active = traces.iter().map(|t| t.active).collect();
     let dist = gb.download_dist(device);
-    RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces }
+    RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces, audit }
+}
+
+/// Compare the live distances with the previous bucket's snapshot:
+/// distances must never increase, and vertices settled below the
+/// current window must not change at all. O(V) host-side, run only
+/// between buckets of a fault-armed device.
+fn audit_bucket(
+    device: &Device,
+    gb: GraphBuffers,
+    prev: &mut [Dist],
+    bucket_lo: u64,
+    audit: &mut Vec<MonotonicityViolation>,
+) {
+    let cur = device.read(gb.dist);
+    for (v, (&after, before)) in cur.iter().zip(prev.iter_mut()).enumerate() {
+        let increased = after > *before;
+        let settled_moved = (*before as u64) < bucket_lo && after != *before;
+        if (increased || settled_moved) && audit.len() < AUDIT_CAP {
+            audit.push(MonotonicityViolation {
+                vertex: v as VertexId,
+                bucket_lo,
+                before: *before,
+                after,
+            });
+        }
+        *before = after;
+    }
 }
 
 /// Host-side light-degree (for seeding and T_i accounting).

@@ -23,6 +23,7 @@ pub mod cpu;
 pub mod dynamic;
 pub mod gpu;
 pub mod paths;
+pub mod recover;
 pub mod seq;
 pub mod stats;
 pub mod validate;

@@ -1,0 +1,431 @@
+//! Detect-and-recover execution: run a GPU SSSP entry point (possibly
+//! under an armed fault plan), audit the result without an oracle, and
+//! climb a recovery ladder until the answer is certified — so RDBS
+//! never returns a silently wrong answer.
+//!
+//! Detection is cheap and oracle-free:
+//!
+//! * the per-bucket monotonicity audit inside [`crate::gpu::rdbs`]
+//!   (distances never increase, settled vertices stay settled — only
+//!   active when faults are armed, so fault-free runs pay nothing);
+//! * a final O(V+E) post-pass, [`crate::validate::audit_sssp`]: no
+//!   edge left relaxable, and every reached vertex certified by a
+//!   tight-edge path from the source.
+//!
+//! The recovery ladder, each rung bounded and recorded in the
+//! [`RecoveryReport`]:
+//!
+//! 1. **Repair sweep** — reset the audit-flagged vertices and run a
+//!    bounded host-side re-relaxation seeded from the intact ones;
+//! 2. **Synchronous rerun** — rerun fault-free with the barrier-per-
+//!    layer [`RdbsConfig::sync_delta`] variant (for multi-GPU, a
+//!    fault-free multi rerun);
+//! 3. **Graceful degradation** — sequential Dijkstra.
+//!
+//! Recovery reruns are fault-free (transient-fault semantics): the
+//! plan stays on the faulted device and is not re-armed.
+
+use crate::gpu::{
+    multi_gpu_sssp, multi_gpu_sssp_faulted, run_gpu_on, MultiGpuConfig, RdbsConfig, Variant,
+};
+use crate::seq::dijkstra;
+use crate::stats::SsspResult;
+use crate::validate::audit_sssp;
+use crate::{saturating_relax, Csr, Dist, VertexId, INF};
+use rdbs_gpu_sim::{Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Upper bound on full-edge re-relaxation rounds in the repair sweep.
+const REPAIR_ROUNDS: u32 = 32;
+
+/// One rung climbed on the recovery ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// Bounded re-relaxation seeded from the audit-flagged vertices.
+    RepairSweep { rounds: u32, relaxations: u64, clean: bool },
+    /// Fault-free rerun with the synchronous variant.
+    SyncRerun { clean: bool },
+    /// Graceful degradation to sequential Dijkstra.
+    SequentialFallback,
+}
+
+impl std::fmt::Display for RecoveryStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryStep::RepairSweep { rounds, relaxations, clean } => write!(
+                f,
+                "repair sweep: {rounds} rounds, {relaxations} relaxations — {}",
+                if *clean { "clean" } else { "still dirty" }
+            ),
+            RecoveryStep::SyncRerun { clean } => write!(
+                f,
+                "synchronous fault-free rerun — {}",
+                if *clean { "clean" } else { "still dirty" }
+            ),
+            RecoveryStep::SequentialFallback => write!(f, "sequential Dijkstra fallback"),
+        }
+    }
+}
+
+/// How the run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The first attempt passed every audit — nothing to recover.
+    Clean,
+    /// A fault was detected and a ladder rung produced a certified
+    /// answer.
+    Recovered,
+    /// All GPU-side rungs failed; the answer comes from sequential
+    /// Dijkstra.
+    Degraded,
+}
+
+impl std::fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryOutcome::Clean => "clean",
+            RecoveryOutcome::Recovered => "recovered",
+            RecoveryOutcome::Degraded => "degraded",
+        })
+    }
+}
+
+/// What was injected, what was detected, and what recovery did.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// The fault spec the run was executed under, if any.
+    pub fault: Option<FaultSpec>,
+    /// Total injections the plan performed.
+    pub injections: u64,
+    /// Injection log (capped device-side).
+    pub fault_events: Vec<FaultEvent>,
+    /// Per-bucket monotonicity audit hits during the run.
+    pub monotonicity_hits: usize,
+    /// Vertices flagged by the final audit of the faulted attempt.
+    pub flagged: usize,
+    /// Panic message if the faulted attempt crashed outright (e.g. a
+    /// bit flip in a row offset driving an out-of-bounds access).
+    pub panic: Option<String>,
+    /// Ladder rungs climbed, in order (empty for a clean run).
+    pub steps: Vec<RecoveryStep>,
+    pub outcome: RecoveryOutcome,
+}
+
+impl RecoveryReport {
+    /// Whether any detector fired on the first attempt.
+    pub fn detected(&self) -> bool {
+        self.monotonicity_hits > 0 || self.flagged > 0 || self.panic.is_some()
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.fault {
+            Some(spec) => writeln!(
+                f,
+                "fault: {} rate {} seed {} — {} injection(s)",
+                spec.model, spec.rate, spec.seed, self.injections
+            )?,
+            None => writeln!(f, "fault: none")?,
+        }
+        write!(
+            f,
+            "detection: {} monotonicity hit(s), {} flagged vertex(es)",
+            self.monotonicity_hits, self.flagged
+        )?;
+        if let Some(msg) = &self.panic {
+            write!(f, ", attempt panicked: {msg}")?;
+        }
+        writeln!(f)?;
+        if self.steps.is_empty() {
+            writeln!(f, "ladder: not needed")?;
+        } else {
+            writeln!(f, "ladder:")?;
+            for (i, step) in self.steps.iter().enumerate() {
+                writeln!(f, "  {}. {step}", i + 1)?;
+            }
+        }
+        write!(f, "outcome: {}", self.outcome)
+    }
+}
+
+/// An SSSP result carrying the recovery evidence.
+pub struct RecoveredRun {
+    pub result: SsspResult,
+    pub report: RecoveryReport,
+}
+
+/// Run a single-device GPU variant under `fault` (or fault-free when
+/// `None`), audit, and recover. The returned distances are always
+/// audit-certified.
+pub fn run_gpu_recovered(
+    graph: &Csr,
+    source: VertexId,
+    variant: Variant,
+    device_config: DeviceConfig,
+    fault: Option<FaultSpec>,
+) -> RecoveredRun {
+    let mut device = Device::new(device_config.clone());
+    if let Some(spec) = fault {
+        device.arm_faults(FaultPlan::new(spec));
+    }
+    let attempt =
+        catch_unwind(AssertUnwindSafe(|| run_gpu_on(&mut device, graph, source, variant)));
+    let (injections, fault_events) = match device.disarm_faults() {
+        Some(plan) => (plan.injections(), plan.log().to_vec()),
+        None => (0, Vec::new()),
+    };
+    let (attempt, panic) = match attempt {
+        Ok(run) => (Some((run.result, run.audit.len())), None),
+        Err(payload) => (None, Some(panic_text(payload.as_ref()))),
+    };
+    let delta0 = match variant {
+        Variant::Rdbs(cfg) => cfg.delta0,
+        Variant::Baseline => None,
+    };
+    let rerun = |graph: &Csr, source: VertexId| {
+        let mut fresh = Device::new(device_config.clone());
+        let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
+        run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
+    };
+    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+}
+
+/// Run the multi-GPU entry point under `fault` (armed on device 0),
+/// audit, and recover. Rung 2 is a fault-free multi rerun.
+pub fn run_multi_recovered(
+    graph: &Csr,
+    source: VertexId,
+    config: &MultiGpuConfig,
+    fault: Option<FaultSpec>,
+) -> RecoveredRun {
+    let attempt =
+        catch_unwind(AssertUnwindSafe(|| multi_gpu_sssp_faulted(graph, source, config, fault)));
+    let (attempt, injections, fault_events, panic) = match attempt {
+        Ok(run) => (Some((run.result, 0)), run.fault_injections, run.fault_events, None),
+        Err(payload) => (None, 0, Vec::new(), Some(panic_text(payload.as_ref()))),
+    };
+    let rerun = |graph: &Csr, source: VertexId| multi_gpu_sssp(graph, source, config).result;
+    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+}
+
+/// Shared detection + ladder. `attempt` is the faulted attempt's
+/// result plus its monotonicity-hit count (`None` if it panicked);
+/// `rerun` is the fault-free rung-2 entry.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    graph: &Csr,
+    source: VertexId,
+    fault: Option<FaultSpec>,
+    injections: u64,
+    fault_events: Vec<FaultEvent>,
+    attempt: Option<(SsspResult, usize)>,
+    panic: Option<String>,
+    rerun: &dyn Fn(&Csr, VertexId) -> SsspResult,
+) -> RecoveredRun {
+    let mut report = RecoveryReport {
+        fault,
+        injections,
+        fault_events,
+        monotonicity_hits: 0,
+        flagged: 0,
+        panic,
+        steps: Vec::new(),
+        outcome: RecoveryOutcome::Clean,
+    };
+
+    // ---- Detection ----
+    let mut result = match attempt {
+        Some((result, mono_hits)) => {
+            report.monotonicity_hits = mono_hits;
+            let audit = audit_sssp(graph, source, &result.dist);
+            report.flagged = audit.flagged.len();
+            if audit.is_clean() && mono_hits == 0 {
+                return RecoveredRun { result, report };
+            }
+            // ---- Rung 1: bounded repair sweep ----
+            let mut repaired = result;
+            let (rounds, relaxations, clean) =
+                repair_sweep(graph, source, &mut repaired.dist, &audit.flagged);
+            report.steps.push(RecoveryStep::RepairSweep { rounds, relaxations, clean });
+            if clean {
+                report.outcome = RecoveryOutcome::Recovered;
+                return RecoveredRun { result: repaired, report };
+            }
+            Some(repaired)
+        }
+        None => None, // panicked: no distances to repair
+    };
+
+    // ---- Rung 2: fault-free rerun of a synchronous variant ----
+    match catch_unwind(AssertUnwindSafe(|| rerun(graph, source))) {
+        Ok(rr) => {
+            let clean = audit_sssp(graph, source, &rr.dist).is_clean();
+            report.steps.push(RecoveryStep::SyncRerun { clean });
+            if clean {
+                report.outcome = RecoveryOutcome::Recovered;
+                return RecoveredRun { result: rr, report };
+            }
+            result = Some(rr);
+        }
+        Err(_) => {
+            report.steps.push(RecoveryStep::SyncRerun { clean: false });
+        }
+    }
+    let _ = result;
+
+    // ---- Rung 3: graceful degradation ----
+    report.steps.push(RecoveryStep::SequentialFallback);
+    report.outcome = RecoveryOutcome::Degraded;
+    RecoveredRun { result: dijkstra(graph, source), report }
+}
+
+/// Rung 1: reset the flagged vertices to `INF` (uncorrupted values are
+/// kept as seeds) and re-relax over all edges, Bellman-Ford style,
+/// until a fixpoint or the round budget. Never increases a kept value,
+/// so an intact prefix of the solution is preserved. Returns
+/// `(rounds, relaxations, audit-clean)`.
+fn repair_sweep(
+    graph: &Csr,
+    source: VertexId,
+    dist: &mut [Dist],
+    flagged: &[VertexId],
+) -> (u32, u64, bool) {
+    for &v in flagged {
+        dist[v as usize] = INF;
+    }
+    dist[source as usize] = if flagged.contains(&source) { 0 } else { dist[source as usize] };
+    let mut rounds = 0u32;
+    let mut relaxations = 0u64;
+    while rounds < REPAIR_ROUNDS {
+        rounds += 1;
+        let mut changed = false;
+        for (u, v, w) in graph.all_edges() {
+            let du = dist[u as usize];
+            if du == INF {
+                continue;
+            }
+            let nd = saturating_relax(du, w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                relaxations += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let clean = audit_sssp(graph, source, dist).is_clean();
+    (rounds, relaxations, clean)
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_against_dijkstra;
+    use rdbs_gpu_sim::FaultModel;
+    use rdbs_graph::builder::build_undirected;
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    fn graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(120, 600, seed);
+        uniform_weights(&mut el, seed + 9);
+        build_undirected(&el)
+    }
+
+    fn tiny() -> DeviceConfig {
+        DeviceConfig::test_tiny()
+    }
+
+    #[test]
+    fn fault_free_run_is_clean() {
+        let g = graph(1);
+        let run = run_gpu_recovered(&g, 0, Variant::Rdbs(RdbsConfig::full()), tiny(), None);
+        assert_eq!(run.report.outcome, RecoveryOutcome::Clean);
+        assert!(run.report.steps.is_empty());
+        assert!(!run.report.detected());
+        check_against_dijkstra(&g, 0, &run.result.dist).unwrap();
+    }
+
+    #[test]
+    fn dropped_atomics_are_never_silently_wrong() {
+        let g = graph(2);
+        for seed in 0..4 {
+            let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 0.3, seed);
+            let run =
+                run_gpu_recovered(&g, 0, Variant::Rdbs(RdbsConfig::full()), tiny(), Some(spec));
+            check_against_dijkstra(&g, 0, &run.result.dist)
+                .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected_and_recovered() {
+        let g = graph(3);
+        let mut detected_any = false;
+        for seed in 0..4 {
+            let spec = FaultSpec::new(FaultModel::BitFlip, 0.002, seed);
+            let run =
+                run_gpu_recovered(&g, 0, Variant::Rdbs(RdbsConfig::full()), tiny(), Some(spec));
+            check_against_dijkstra(&g, 0, &run.result.dist)
+                .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
+            detected_any |= run.report.detected();
+        }
+        assert!(detected_any, "no seed produced a detectable flip");
+    }
+
+    #[test]
+    fn repair_sweep_fixes_local_corruption() {
+        let g = graph(4);
+        let oracle = dijkstra(&g, 0);
+        let mut dist = oracle.dist.clone();
+        // Corrupt three vertices both ways.
+        dist[10] = dist[10].saturating_add(1_000);
+        dist[20] = dist[20].saturating_sub(dist[20].min(3));
+        dist[30] = 0;
+        let audit = audit_sssp(&g, 0, &dist);
+        assert!(!audit.is_clean());
+        let (_, _, clean) = repair_sweep(&g, 0, &mut dist, &audit.flagged);
+        assert!(clean);
+        assert_eq!(dist, oracle.dist);
+    }
+
+    #[test]
+    fn multi_gpu_message_loss_recovers() {
+        let g = graph(5);
+        let config = MultiGpuConfig {
+            num_devices: 2,
+            device: tiny(),
+            interconnect_gbps: 50.0,
+            exchange_latency_us: 5.0,
+            delta0: None,
+        };
+        for seed in 0..3 {
+            let spec = FaultSpec::new(FaultModel::LostMessage, 0.5, seed);
+            let run = run_multi_recovered(&g, 0, &config, Some(spec));
+            check_against_dijkstra(&g, 0, &run.result.dist)
+                .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
+        }
+    }
+
+    #[test]
+    fn report_displays_the_ladder() {
+        let g = graph(6);
+        let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 1.0, 0);
+        let run = run_gpu_recovered(&g, 0, Variant::Rdbs(RdbsConfig::full()), tiny(), Some(spec));
+        let text = run.report.to_string();
+        assert!(text.contains("outcome:"), "{text}");
+        assert!(text.contains("dropped-atomic"), "{text}");
+    }
+}

@@ -12,6 +12,7 @@
 //! Fig. 2 (bucket occupancy) and Fig. 3 (layer counts, valid vs total
 //! updates of the peak bucket) exactly.
 
+use crate::seq::wheel::BucketWheel;
 use crate::stats::{trace, SsspResult, UpdateStats};
 use crate::{Csr, Dist, VertexId, Weight, INF};
 
@@ -78,40 +79,34 @@ fn run(
     let mut stats = UpdateStats::default();
     let mut traces: Vec<BucketTrace> = Vec::new();
 
-    // Buckets as growable vectors of (possibly stale) vertex entries.
-    let mut buckets: Vec<Vec<VertexId>> = Vec::new();
-    let bucket_of = |d: Dist| (d / delta) as usize;
-    let push_bucket = |buckets: &mut Vec<Vec<VertexId>>, v: VertexId, d: Dist| {
-        let b = bucket_of(d);
-        if buckets.len() <= b {
-            buckets.resize_with(b + 1, Vec::new);
-        }
-        buckets[b].push(v);
-    };
+    // Buckets live in a capped circular wheel: pending buckets span at
+    // most ⌈w_max/Δ⌉ + 1 ids at any time, so the usual weight ranges
+    // fit the window exactly; near-`u32::MAX` distances spill to the
+    // overflow list instead of growing a dist/Δ-indexed array without
+    // bound, and phase 3 jumps over empty bucket ranges.
+    let bucket_of = |d: Dist| (d / delta) as u64;
+    let span = graph.max_weight().max(1) as u64 / delta as u64 + 2;
+    let mut wheel = BucketWheel::new(span);
 
     dist[source as usize] = 0;
-    push_bucket(&mut buckets, source, 0);
+    wheel.push(source, 0);
 
     let valid = |v: VertexId, d: Dist| -> bool { final_dist.is_some_and(|f| f[v as usize] == d) };
 
-    let mut i = 0usize;
-    while i < buckets.len() {
-        if buckets[i].is_empty() {
-            i += 1;
-            continue;
-        }
-        let mut trace = BucketTrace { bucket_id: i as u64, ..Default::default() };
+    let mut cursor = Some(0u64);
+    while let Some(i) = cursor {
+        let mut trace = BucketTrace { bucket_id: i, ..Default::default() };
         let mut trace_layer = 0u32;
         // Settled set for phase 2 (each vertex recorded once).
         let mut settled: Vec<VertexId> = Vec::new();
         let mut settled_mark = std::collections::HashSet::new();
 
         // Phase 1: drain the bucket layer by layer.
-        while !buckets[i].is_empty() {
-            let layer = std::mem::take(&mut buckets[i]);
+        while !wheel.current_is_empty() {
+            let layer = wheel.take_current();
             let mut layer_active = 0u64;
             if trace::armed() {
-                trace::set_context(i as u64, trace::Phase::Light, trace_layer);
+                trace::set_context(i, trace::Phase::Light, trace_layer);
             }
             trace_layer += 1;
             for v in layer {
@@ -140,7 +135,7 @@ fn run(
                         if valid(u, nd) {
                             trace.phase1_valid_updates += 1;
                         }
-                        push_bucket(&mut buckets, u, nd);
+                        wheel.push(u, bucket_of(nd));
                     }
                 }
             }
@@ -152,7 +147,7 @@ fn run(
 
         // Phase 2: heavy edges of everything settled in this bucket.
         if trace::armed() {
-            trace::set_context(i as u64, trace::Phase::Heavy, 0);
+            trace::set_context(i, trace::Phase::Heavy, 0);
         }
         for &v in &settled {
             let dv = dist[v as usize];
@@ -169,15 +164,18 @@ fn run(
                     dist[u as usize] = nd;
                     stats.total_updates += 1;
                     trace.phase2_updates += 1;
-                    push_bucket(&mut buckets, u, nd);
+                    wheel.push(u, bucket_of(nd));
                 }
             }
         }
         stats.phase1_layers.push(trace.layer_active.len() as u32);
         stats.bucket_active.push(trace.active);
         traces.push(trace);
-        // Phase 3: advance.
-        i += 1;
+        // Phase 3: jump to the next non-empty bucket.
+        cursor = wheel.advance(|v| {
+            let d = dist[v as usize];
+            (d != INF).then(|| bucket_of(d))
+        });
     }
 
     // Record the peak bucket's layer series in the shared stats.

@@ -6,51 +6,51 @@
 //! weights (§2.2: "For Δ = 1, it is equivalent to Dijkstra's
 //! algorithm"), and serves as a second work-optimal reference.
 
+use crate::seq::wheel::BucketWheel;
 use crate::stats::{SsspResult, UpdateStats};
 use crate::{Csr, Dist, VertexId, INF};
 
-/// Run Dial's algorithm. Memory is `O(n + max_weight)`; suited to the
-/// workspace's small integer weights (≤ 1000).
+/// Run Dial's algorithm. The bucket queue is a capped circular wheel
+/// ([`crate::seq::wheel`]): any pending entry is within `w_max` of the
+/// current minimum, so small weights fit the window exactly (the
+/// classic layout, no collisions), while near-`u32::MAX` weights spill
+/// to the overflow list and the cursor *jumps* across empty distance
+/// ranges instead of scanning them. Memory is
+/// `O(n + min(max_weight, WHEEL_SLOTS))` for any weight range.
 pub fn dial(graph: &Csr, source: VertexId) -> SsspResult {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source out of range");
-    let w_max = graph.max_weight().max(1) as usize;
-    let num_buckets = w_max + 1;
+    let w_max = graph.max_weight().max(1) as u64;
     let mut dist: Vec<Dist> = vec![INF; n];
     let mut stats = UpdateStats::default();
-    // Circular bucket array indexed by dist % (w_max + 1): any pending
-    // entry has distance within w_max of the current minimum, so no
-    // wrap-around collision is possible.
-    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); num_buckets];
-    let mut remaining = 1usize;
+    // Bucket id == tentative distance (Δ = 1).
+    let mut wheel = BucketWheel::new(w_max + 1);
     dist[source as usize] = 0;
-    buckets[0].push(source);
+    wheel.push(source, 0);
 
-    let mut cursor = 0usize; // current tentative distance
-    while remaining > 0 {
-        let slot = cursor % num_buckets;
-        while let Some(v) = buckets[slot].pop() {
-            remaining -= 1;
-            let dv = dist[v as usize];
-            if dv as usize != cursor {
-                continue; // stale entry
-            }
-            for (u, w) in graph.edges(v) {
-                stats.checks += 1;
-                let nd = crate::saturating_relax(dv, w);
-                if nd < dist[u as usize] {
-                    dist[u as usize] = nd;
-                    stats.total_updates += 1;
-                    buckets[nd as usize % num_buckets].push(u);
-                    remaining += 1;
+    let mut cursor = Some(0u64);
+    while let Some(c) = cursor {
+        while !wheel.current_is_empty() {
+            for v in wheel.take_current() {
+                let dv = dist[v as usize];
+                if dv as u64 != c {
+                    continue; // stale entry
+                }
+                for (u, w) in graph.edges(v) {
+                    stats.checks += 1;
+                    let nd = crate::saturating_relax(dv, w);
+                    if nd < dist[u as usize] {
+                        dist[u as usize] = nd;
+                        stats.total_updates += 1;
+                        wheel.push(u, nd as u64);
+                    }
                 }
             }
         }
-        cursor += 1;
-        // Safety valve: distances are bounded by (n-1) * w_max.
-        if cursor as u64 > n as u64 * w_max as u64 + 1 {
-            break;
-        }
+        cursor = wheel.advance(|v| {
+            let d = dist[v as usize];
+            (d != INF).then_some(d as u64)
+        });
     }
     SsspResult { source, dist, stats }
 }

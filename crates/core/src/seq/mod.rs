@@ -13,6 +13,7 @@ pub mod bellman_ford;
 pub mod delta_stepping;
 pub mod dial;
 pub mod dijkstra;
+pub(crate) mod wheel;
 
 pub use bellman_ford::bellman_ford;
 pub use delta_stepping::{delta_stepping, delta_stepping_traced, BucketTrace, DeltaSteppingRun};

@@ -88,6 +88,95 @@ pub fn check_relaxed(graph: &Csr, source: VertexId, dist: &[Dist]) -> Result<(),
     Ok(())
 }
 
+/// Everything the oracle-free audit found wrong with a distance array.
+#[derive(Clone, Debug, Default)]
+pub struct SsspAudit {
+    /// Vertices whose distances are suspect, sorted and deduplicated —
+    /// the seed set for a repair sweep.
+    pub flagged: Vec<VertexId>,
+    /// Human-readable findings (capped).
+    pub notes: Vec<String>,
+}
+
+const NOTE_CAP: usize = 16;
+
+impl SsspAudit {
+    pub fn is_clean(&self) -> bool {
+        self.flagged.is_empty() && self.notes.is_empty()
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.notes.len() < NOTE_CAP {
+            self.notes.push(msg);
+        }
+    }
+}
+
+/// Oracle-free audit of an SSSP output, O(V+E): the checks of
+/// [`check_relaxed`] plus a *certification pass* — every reached
+/// vertex must be reachable from the source along tight edges
+/// (`dist[v] == dist[u] + w`), which closes the hole where a
+/// consistent-looking island of too-low distances certifies itself in
+/// the per-vertex tight-predecessor check. (With zero-weight cycles a
+/// mutually-tight island at exactly consistent wrong values can still
+/// pass `check_relaxed`; the certification pass rejects it because no
+/// tight path connects it to the source.)
+///
+/// Unlike [`check_relaxed`] this collects *all* suspect vertices, so a
+/// recovery layer can seed a bounded repair from them.
+pub fn audit_sssp(graph: &Csr, source: VertexId, dist: &[Dist]) -> SsspAudit {
+    let mut audit = SsspAudit::default();
+    if dist[source as usize] != 0 {
+        audit.note(format!("dist[source] = {}, expected 0", dist[source as usize]));
+        audit.flagged.push(source);
+    }
+    // Too-high side: any still-relaxable edge flags its head.
+    for (u, v, w) in graph.all_edges() {
+        let (du, dv) = (dist[u as usize], dist[v as usize]);
+        if du != INF && (dv == INF || dv as u64 > du as u64 + w as u64) {
+            audit.note(format!(
+                "edge ({u} -> {v}, w {w}) still relaxable: dist[{u}]={}, dist[{v}]={}",
+                fmt_dist(du),
+                fmt_dist(dv)
+            ));
+            audit.flagged.push(v);
+        }
+    }
+    // Too-low side: certify reached vertices by BFS over tight edges
+    // from the source; anything reached but uncertified is corrupt (or
+    // downstream of a corrupt value).
+    let n = dist.len();
+    let mut tight_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for (u, v, w) in graph.all_edges() {
+        let (du, dv) = (dist[u as usize], dist[v as usize]);
+        if du != INF && dv != INF && du as u64 + w as u64 == dv as u64 {
+            tight_adj[u as usize].push(v);
+        }
+    }
+    let mut certified = vec![false; n];
+    if dist[source as usize] == 0 {
+        certified[source as usize] = true;
+        let mut stack = vec![source];
+        while let Some(u) = stack.pop() {
+            for &v in &tight_adj[u as usize] {
+                if !certified[v as usize] {
+                    certified[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    for (v, (&d, &c)) in dist.iter().zip(&certified).enumerate() {
+        if d != INF && !c {
+            audit.note(format!("vertex {v} at distance {d} has no tight path from the source"));
+            audit.flagged.push(v as VertexId);
+        }
+    }
+    audit.flagged.sort_unstable();
+    audit.flagged.dedup();
+    audit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +213,32 @@ mod tests {
     fn relaxed_check_rejects_unreached_reachable() {
         let g = line();
         assert!(check_relaxed(&g, 0, &[0, 2, INF]).is_err());
+    }
+
+    #[test]
+    fn audit_flags_both_directions() {
+        let g = line();
+        assert!(audit_sssp(&g, 0, &[0, 2, 5]).is_clean());
+        // Too high at vertex 2: the (1,2) edge is relaxable.
+        let high = audit_sssp(&g, 0, &[0, 2, 6]);
+        assert!(high.flagged.contains(&2));
+        // Too low at vertex 2: no tight path reaches it.
+        let low = audit_sssp(&g, 0, &[0, 2, 4]);
+        assert!(low.flagged.contains(&2));
+        // Unreached-but-reachable is the INF-side of "too high".
+        let unreached = audit_sssp(&g, 0, &[0, 2, INF]);
+        assert!(unreached.flagged.contains(&2));
+    }
+
+    #[test]
+    fn audit_rejects_self_certifying_zero_cycle() {
+        // a <-> b with weight 0, true distance 5 via the source edge;
+        // both claiming 3 passes check_relaxed's per-vertex test but
+        // not the tight-path certification.
+        let g = build_undirected(&EdgeList::from_edges(3, vec![(0, 1, 5), (1, 2, 0)]));
+        assert!(check_relaxed(&g, 0, &[0, 3, 3]).is_ok(), "the hole audit_sssp closes");
+        let audit = audit_sssp(&g, 0, &[0, 3, 3]);
+        assert_eq!(audit.flagged, vec![1, 2]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `INF` — an overflowing path degrades to "unreachable" instead of
 //! corrupting finite distances.
 
-use rdbs_core::seq::{bellman_ford, delta_stepping, dijkstra};
+use rdbs_core::seq::{bellman_ford, delta_stepping, dial, dijkstra};
 use rdbs_core::{saturating_relax, INF};
 use rdbs_graph::builder::{build_undirected, EdgeList};
 
@@ -52,15 +52,38 @@ fn bellman_ford_survives_near_max_weights() {
 
 #[test]
 fn delta_stepping_survives_near_max_weights() {
-    // Δ must be wide here: the bucket array is indexed by dist/Δ, so a
-    // narrow Δ with near-MAX distances would allocate billions of
-    // buckets (a separate scaling concern, not the overflow under
-    // test).
     let g = overflow_graph();
     let oracle = dijkstra(&g, 0);
     for delta in [1 << 28, u32::MAX] {
         assert_eq!(delta_stepping(&g, 0, delta).dist, oracle.dist, "delta {delta}");
     }
+}
+
+#[test]
+fn delta_stepping_narrow_delta_allocation_is_bounded() {
+    // Bucket ids reach ~u32::MAX/Δ here. The old dist/Δ-indexed bucket
+    // array allocated one Vec per id — billions for Δ = 1 — where the
+    // circular wheel keeps a fixed window and jumps across the empty
+    // ranges; this completing at all (quickly, in bounded memory) is
+    // the regression under test.
+    let g = overflow_graph();
+    let oracle = dijkstra(&g, 0);
+    for delta in [1, 7, 1000] {
+        assert_eq!(delta_stepping(&g, 0, delta).dist, oracle.dist, "delta {delta}");
+    }
+}
+
+#[test]
+fn dial_survives_near_max_weights() {
+    // Dial's bucket id *is* the distance: the classic w_max+1 circular
+    // array would be ~4 billion slots on this graph. The wheel caps the
+    // window and the cursor jumps between the sparse distance values.
+    let g = overflow_graph();
+    let oracle = dijkstra(&g, 0);
+    for s in 0..4 {
+        assert_eq!(dial(&g, s).dist, dijkstra(&g, s).dist, "source {s}");
+    }
+    assert_eq!(dial(&g, 0).dist, oracle.dist);
 }
 
 #[test]

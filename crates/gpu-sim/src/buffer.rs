@@ -140,6 +140,12 @@ impl Arena {
     pub fn total_words(&self) -> usize {
         self.buffers.iter().map(|b| b.words.len()).sum()
     }
+
+    /// Copy of every buffer's live words, indexed by buffer id (the
+    /// stale-read fault model's snapshot source).
+    pub fn clone_words(&self) -> Vec<Vec<u32>> {
+        self.buffers.iter().map(|b| b.words.clone()).collect()
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::buffer::{Arena, Buf};
 use crate::cache::CacheHierarchy;
 use crate::counters::{Counters, KernelReport};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::kernel::ChildLaunch;
 
 /// Hardware parameters of a simulated GPU.
@@ -176,6 +177,10 @@ pub struct Device {
     pub(crate) pending_children: Vec<ChildLaunch>,
     /// Per-buffer (load, store, atomic) op counts, indexed by buffer id.
     pub(crate) buffer_traffic: Vec<[u64; 3]>,
+    /// Armed fault-injection plan, if any. `None` (the default) keeps
+    /// every hook a single branch and the device bit-identical to a
+    /// fault-free build.
+    pub(crate) fault: Option<FaultPlan>,
 }
 
 impl Device {
@@ -191,6 +196,42 @@ impl Device {
             reports: Vec::new(),
             pending_children: Vec::new(),
             buffer_traffic: Vec::new(),
+            fault: None,
+        }
+    }
+
+    /// Arm a fault-injection plan. Subsequent kernels run under it;
+    /// the injection log accumulates until [`Device::disarm_faults`].
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Whether a fault plan is currently armed.
+    pub fn faults_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Remove the armed plan (if any), returning it with its log.
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// Injections recorded so far (empty when no plan is armed).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.fault.as_ref().map(|p| p.log()).unwrap_or(&[])
+    }
+
+    /// Total injections so far, including any beyond the log cap.
+    pub fn fault_injections(&self) -> u64 {
+        self.fault.as_ref().map(|p| p.injections()).unwrap_or(0)
+    }
+
+    /// Apply the armed plan's message-fault models to an outgoing
+    /// boundary-exchange batch (no-op when nothing is armed — the
+    /// multi-device exchange calls this unconditionally).
+    pub fn fault_filter_messages(&mut self, msgs: &mut Vec<(u32, u32)>) {
+        if let Some(plan) = self.fault.as_mut() {
+            plan.filter_messages(msgs);
         }
     }
 

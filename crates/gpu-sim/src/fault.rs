@@ -1,0 +1,423 @@
+//! Deterministic device-level fault injection.
+//!
+//! A [`FaultPlan`] is armed on a [`crate::Device`] and hooks the memory
+//! and launch paths the SSSP kernels exercise:
+//!
+//! * **BitFlip** — a plain global load flips one random bit of the word
+//!   *in device memory* (persistent corruption, like an uncorrected
+//!   DRAM upset), so later readers observe it too;
+//! * **DroppedAtomicMin** — an `atomicMin` reports success (returns the
+//!   old value) but never writes, modelling a lost read-modify-write;
+//! * **DuplicatedAtomicMin** — an `atomicMin` is applied twice
+//!   (idempotent for min — deliberately a benign fault class);
+//! * **FailedChildLaunch** — a dynamic-parallelism child kernel is
+//!   silently discarded, as when the device launch pool is exhausted;
+//! * **StaleRead** — a plain load is served from a snapshot of device
+//!   memory several kernels old, widening the asynchronous visibility
+//!   window far beyond what [`crate::buffer::Arena`] snapshots model;
+//! * **LostMessage** / **DuplicatedMessage** / **ReorderedMessage** —
+//!   update-queue messages in a multi-device boundary exchange are
+//!   dropped, repeated or shuffled (hooked by the host-side exchange
+//!   via [`crate::Device::fault_filter_messages`]).
+//!
+//! Everything is driven by one splitmix64 stream seeded from
+//! [`FaultSpec::seed`]: the same spec replays the same faults
+//! byte-for-byte on the same kernel sequence. Every injection is
+//! recorded in the plan's [`FaultEvent`] log (capped) so a recovery
+//! layer can report exactly what happened. With no plan armed the
+//! device takes a single `Option` check per hook and is bit-identical
+//! to a fault-free build.
+
+use crate::buffer::Arena;
+
+/// Fault classes the plan can inject. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    BitFlip,
+    DroppedAtomicMin,
+    DuplicatedAtomicMin,
+    FailedChildLaunch,
+    StaleRead,
+    LostMessage,
+    DuplicatedMessage,
+    ReorderedMessage,
+}
+
+impl FaultModel {
+    /// Every fault model, for matrix-style sweeps.
+    pub const ALL: [FaultModel; 8] = [
+        FaultModel::BitFlip,
+        FaultModel::DroppedAtomicMin,
+        FaultModel::DuplicatedAtomicMin,
+        FaultModel::FailedChildLaunch,
+        FaultModel::StaleRead,
+        FaultModel::LostMessage,
+        FaultModel::DuplicatedMessage,
+        FaultModel::ReorderedMessage,
+    ];
+
+    /// Stable CLI-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::BitFlip => "bit-flip",
+            FaultModel::DroppedAtomicMin => "dropped-atomic",
+            FaultModel::DuplicatedAtomicMin => "duplicated-atomic",
+            FaultModel::FailedChildLaunch => "failed-child-launch",
+            FaultModel::StaleRead => "stale-read",
+            FaultModel::LostMessage => "lost-message",
+            FaultModel::DuplicatedMessage => "duplicated-message",
+            FaultModel::ReorderedMessage => "reordered-message",
+        }
+    }
+
+    /// Inverse of [`FaultModel::name`].
+    pub fn from_name(name: &str) -> Option<FaultModel> {
+        FaultModel::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Whether this model only fires in the multi-device boundary
+    /// exchange (and is a no-op on single-device kernels).
+    pub fn is_message_model(&self) -> bool {
+        matches!(
+            self,
+            FaultModel::LostMessage | FaultModel::DuplicatedMessage | FaultModel::ReorderedMessage
+        )
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to inject: a model, a per-opportunity probability, and the
+/// seed that makes the run replayable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    pub model: FaultModel,
+    /// Probability in `[0, 1]` that each opportunity (load, atomic,
+    /// child launch, message…) fires.
+    pub rate: f64,
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    pub fn new(model: FaultModel, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1], got {rate}");
+        Self { model, rate, seed }
+    }
+}
+
+/// One injected fault, as recorded in the plan's log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub model: FaultModel,
+    /// Buffer label, kernel name, or `"exchange"` for message models.
+    pub site: &'static str,
+    /// Word index, message slot, or 0 when not meaningful.
+    pub index: u32,
+    /// Model-specific detail: flipped bit, stale age in kernels,
+    /// duplicated value… 0 when not meaningful.
+    pub detail: u32,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}[{}] (detail {})", self.model, self.site, self.index, self.detail)
+    }
+}
+
+/// Keep the log bounded even at high rates on big runs.
+const LOG_CAP: usize = 10_000;
+
+/// Refresh the stale-read snapshot every this many kernels, so faulted
+/// loads observe values up to `STALE_WINDOW` kernels old.
+const STALE_WINDOW: u64 = 4;
+
+/// A seeded, deterministic, replayable per-run fault plan.
+///
+/// Arm one on a device with [`crate::Device::arm_faults`]; read the
+/// injection log back with [`crate::Device::fault_log`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    /// splitmix64 state; the whole plan's behaviour is a pure function
+    /// of the seed and the sequence of hook calls.
+    state: u64,
+    /// `rate` mapped onto the top 53 bits of the PRNG output, so the
+    /// fire/no-fire decision is integer-exact and platform-independent.
+    threshold: u64,
+    log: Vec<FaultEvent>,
+    /// Injections not recorded because the log hit [`LOG_CAP`].
+    dropped_log: u64,
+    /// Stale per-buffer memory image (StaleRead only).
+    stale: Vec<Vec<u32>>,
+    kernels_seen: u64,
+    kernels_at_refresh: u64,
+}
+
+impl FaultPlan {
+    pub fn new(spec: FaultSpec) -> Self {
+        assert!((0.0..=1.0).contains(&spec.rate), "fault rate must be in [0,1]");
+        let threshold = (spec.rate * (1u64 << 53) as f64) as u64;
+        Self {
+            spec,
+            state: spec.seed,
+            threshold,
+            log: Vec::new(),
+            dropped_log: 0,
+            stale: Vec::new(),
+            kernels_seen: 0,
+            kernels_at_refresh: 0,
+        }
+    }
+
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+
+    /// Injections recorded so far, in order.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// Total injections, including any beyond the log cap.
+    pub fn injections(&self) -> u64 {
+        self.log.len() as u64 + self.dropped_log
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele et al.) — tiny, dependency-free, and
+        // plenty for fault scheduling.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One Bernoulli draw at the plan's rate.
+    fn fires(&mut self) -> bool {
+        (self.next_u64() >> 11) < self.threshold
+    }
+
+    fn record(&mut self, site: &'static str, index: u32, detail: u32) {
+        if self.log.len() < LOG_CAP {
+            self.log.push(FaultEvent { model: self.spec.model, site, index, detail });
+        } else {
+            self.dropped_log += 1;
+        }
+    }
+
+    /// Kernel-start hook: maintains the stale-read snapshot cadence.
+    pub(crate) fn on_kernel_start(&mut self, arena: &Arena) {
+        if self.spec.model != FaultModel::StaleRead {
+            return;
+        }
+        if self.kernels_seen.is_multiple_of(STALE_WINDOW) {
+            self.stale = arena.clone_words();
+            self.kernels_at_refresh = self.kernels_seen;
+        }
+        self.kernels_seen += 1;
+    }
+
+    /// Plain-load hook. Returns `Some(observed)` when a fault fires:
+    /// for BitFlip the corrupted word (already written back by the
+    /// caller), for StaleRead the old snapshot value.
+    pub(crate) fn on_load(
+        &mut self,
+        site: &'static str,
+        buf_id: u32,
+        idx: u32,
+        val: u32,
+    ) -> Option<u32> {
+        match self.spec.model {
+            FaultModel::BitFlip => {
+                if !self.fires() {
+                    return None;
+                }
+                let bit = (self.next_u64() % 32) as u32;
+                self.record(site, idx, bit);
+                Some(val ^ (1 << bit))
+            }
+            FaultModel::StaleRead => {
+                if !self.fires() {
+                    return None;
+                }
+                let old = *self.stale.get(buf_id as usize)?.get(idx as usize)?;
+                if old == val {
+                    return None; // indistinguishable, don't log
+                }
+                let age = (self.kernels_seen - self.kernels_at_refresh) as u32;
+                self.record(site, idx, age);
+                Some(old)
+            }
+            _ => None,
+        }
+    }
+
+    /// `atomicMin` hook. `Drop` means skip the store (but still return
+    /// the old value to the caller); `Duplicate` means apply it twice.
+    pub(crate) fn on_atomic_min(&mut self, site: &'static str, idx: u32) -> AtomicMinFault {
+        match self.spec.model {
+            FaultModel::DroppedAtomicMin => {
+                if !self.fires() {
+                    return AtomicMinFault::None;
+                }
+                self.record(site, idx, 0);
+                AtomicMinFault::Drop
+            }
+            FaultModel::DuplicatedAtomicMin => {
+                if !self.fires() {
+                    return AtomicMinFault::None;
+                }
+                self.record(site, idx, 2);
+                AtomicMinFault::Duplicate
+            }
+            _ => AtomicMinFault::None,
+        }
+    }
+
+    /// Child-launch hook: `true` means the launch is silently dropped.
+    pub(crate) fn on_child_launch(&mut self, name: &'static str, threads: u64) -> bool {
+        if self.spec.model == FaultModel::FailedChildLaunch && self.fires() {
+            self.record(name, threads.min(u32::MAX as u64) as u32, 0);
+            return true;
+        }
+        false
+    }
+
+    /// Host-side boundary-exchange hook: mutate the outgoing
+    /// `(vertex, distance)` message batch in place.
+    pub fn filter_messages(&mut self, msgs: &mut Vec<(u32, u32)>) {
+        // Matching on a copy keeps `self` free for the guard below.
+        let model = self.spec.model;
+        match model {
+            FaultModel::LostMessage => {
+                let mut slot = 0u32;
+                let mut plan = std::mem::take(msgs);
+                plan.retain(|&(v, _)| {
+                    let keep = !self.fires();
+                    if !keep {
+                        self.record("exchange", slot, v);
+                    }
+                    slot += 1;
+                    keep
+                });
+                *msgs = plan;
+            }
+            FaultModel::DuplicatedMessage => {
+                let mut out = Vec::with_capacity(msgs.len());
+                for (slot, &(v, d)) in msgs.iter().enumerate() {
+                    out.push((v, d));
+                    if self.fires() {
+                        self.record("exchange", slot as u32, v);
+                        out.push((v, d));
+                    }
+                }
+                *msgs = out;
+            }
+            FaultModel::ReorderedMessage if msgs.len() >= 2 && self.fires() => {
+                // Deterministic Fisher–Yates off the plan stream.
+                for i in (1..msgs.len()).rev() {
+                    let j = (self.next_u64() % (i as u64 + 1)) as usize;
+                    msgs.swap(i, j);
+                }
+                self.record("exchange", msgs.len() as u32, 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of the `atomicMin` hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AtomicMinFault {
+    None,
+    Drop,
+    Duplicate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(model: FaultModel, rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultSpec::new(model, rate, seed))
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for m in FaultModel::ALL {
+            assert_eq!(FaultModel::from_name(m.name()), Some(m));
+        }
+        assert_eq!(FaultModel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut p = plan(FaultModel::BitFlip, 0.0, 7);
+        for i in 0..1000 {
+            assert_eq!(p.on_load("dist", 0, i, 42), None);
+        }
+        assert_eq!(p.injections(), 0);
+    }
+
+    #[test]
+    fn unit_rate_always_fires() {
+        let mut p = plan(FaultModel::DroppedAtomicMin, 1.0, 7);
+        for i in 0..100 {
+            assert_eq!(p.on_atomic_min("dist", i), AtomicMinFault::Drop);
+        }
+        assert_eq!(p.injections(), 100);
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let mut p = plan(FaultModel::BitFlip, 1.0, 3);
+        let corrupted = p.on_load("dist", 0, 5, 0xDEAD_BEEF).unwrap();
+        assert_eq!((corrupted ^ 0xDEAD_BEEF).count_ones(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = |seed| {
+            let mut p = plan(FaultModel::BitFlip, 0.3, seed);
+            let vals: Vec<Option<u32>> = (0..200).map(|i| p.on_load("d", 0, i, i * 3)).collect();
+            (vals, p.log().to_vec())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn message_models_mutate_batches() {
+        let batch: Vec<(u32, u32)> = (0..20).map(|i| (i, i * 10)).collect();
+
+        let mut lost = batch.clone();
+        plan(FaultModel::LostMessage, 1.0, 1).filter_messages(&mut lost);
+        assert!(lost.is_empty());
+
+        let mut dup = batch.clone();
+        plan(FaultModel::DuplicatedMessage, 1.0, 1).filter_messages(&mut dup);
+        assert_eq!(dup.len(), 40);
+
+        let mut shuffled = batch.clone();
+        plan(FaultModel::ReorderedMessage, 1.0, 1).filter_messages(&mut shuffled);
+        assert_ne!(shuffled, batch);
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, batch, "reordering must not lose or invent messages");
+    }
+
+    #[test]
+    fn log_caps_but_keeps_counting() {
+        let mut p = plan(FaultModel::DroppedAtomicMin, 1.0, 9);
+        for i in 0..(LOG_CAP + 50) {
+            p.on_atomic_min("dist", i as u32);
+        }
+        assert_eq!(p.log().len(), LOG_CAP);
+        assert_eq!(p.injections(), (LOG_CAP + 50) as u64);
+    }
+}

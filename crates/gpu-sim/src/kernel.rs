@@ -17,6 +17,7 @@ use crate::buffer::{Arena, Buf};
 use crate::cost::kernel_time;
 use crate::counters::KernelReport;
 use crate::device::Device;
+use crate::fault::{AtomicMinFault, FaultModel, FaultPlan};
 use crate::replay::replay_warp;
 use crate::trace::{LaneTrace, Op};
 use crate::{SECTOR_BYTES, WARP_SIZE};
@@ -35,6 +36,7 @@ pub struct Lane<'a> {
     arena: &'a mut Arena,
     children: &'a mut Vec<ChildLaunch>,
     traffic: &'a mut Vec<[u64; 3]>,
+    fault: Option<&'a mut FaultPlan>,
     trace: LaneTrace,
     tid: u64,
     gang_rank: u32,
@@ -69,7 +71,25 @@ impl<'a> Lane<'a> {
     pub fn ld(&mut self, buf: Buf, idx: u32) -> u32 {
         self.trace.push(Op::Load(self.arena.addr(buf, idx)));
         self.traffic[buf.id as usize][0] += 1;
-        self.arena.load_visible(buf, idx)
+        let val = self.arena.load_visible(buf, idx);
+        self.fault_load(buf, idx, val)
+    }
+
+    /// Apply the armed fault plan (if any) to a plain load's value.
+    #[inline]
+    fn fault_load(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
+        let Some(plan) = self.fault.as_deref_mut() else { return val };
+        match plan.on_load(self.arena.label(buf), buf.id, idx, val) {
+            Some(observed) => {
+                if plan.spec().model == FaultModel::BitFlip {
+                    // The upset lands in device memory, not just this
+                    // lane's register: later readers see it too.
+                    self.arena.slice_mut(buf)[idx as usize] = observed;
+                }
+                observed
+            }
+            None => val,
+        }
     }
 
     /// Volatile/L2-coherent load: observes live memory even inside a
@@ -81,7 +101,8 @@ impl<'a> Lane<'a> {
     pub fn ld_volatile(&mut self, buf: Buf, idx: u32) -> u32 {
         self.trace.push(Op::Load(self.arena.addr(buf, idx)));
         self.traffic[buf.id as usize][0] += 1;
-        self.arena.load(buf, idx)
+        let val = self.arena.load(buf, idx);
+        self.fault_load(buf, idx, val)
     }
 
     /// Global store of one word.
@@ -99,6 +120,23 @@ impl<'a> Lane<'a> {
         self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
         self.traffic[buf.id as usize][2] += 1;
         let old = self.arena.load(buf, idx);
+        if let Some(plan) = self.fault.as_deref_mut() {
+            match plan.on_atomic_min(self.arena.label(buf), idx) {
+                // Lost read-modify-write: the caller is told `old` (and
+                // so believes its improvement landed) but nothing did.
+                AtomicMinFault::Drop => return old,
+                AtomicMinFault::Duplicate => {
+                    // min is idempotent — apply twice, pay twice.
+                    if val < old {
+                        self.arena.store(buf, idx, val);
+                        self.arena.store(buf, idx, val);
+                    }
+                    self.traffic[buf.id as usize][2] += 1;
+                    return old;
+                }
+                AtomicMinFault::None => {}
+            }
+        }
         if val < old {
             self.arena.store(buf, idx, val);
         }
@@ -156,6 +194,11 @@ impl<'a> Lane<'a> {
     ) {
         // The launch itself costs a few instructions on the parent.
         self.alu(4);
+        if let Some(plan) = self.fault.as_deref_mut() {
+            if plan.on_child_launch(name, threads) {
+                return;
+            }
+        }
         self.children.push(ChildLaunch { name, threads, gang_size: 1, body: Box::new(body) });
     }
 
@@ -168,6 +211,11 @@ impl<'a> Lane<'a> {
         body: impl Fn(&mut Lane<'_>) + 'static,
     ) {
         self.alu(4);
+        if let Some(plan) = self.fault.as_deref_mut() {
+            if plan.on_child_launch(name, items * gang_size as u64) {
+                return;
+            }
+        }
         self.children.push(ChildLaunch {
             name,
             threads: items * gang_size as u64,
@@ -271,6 +319,9 @@ impl Device {
         if lanes == 0 {
             return;
         }
+        if let Some(plan) = self.fault.as_mut() {
+            plan.on_kernel_start(&self.arena);
+        }
         if snapshot {
             self.arena.begin_snapshot();
         }
@@ -289,6 +340,7 @@ impl Device {
                     arena: &mut self.arena,
                     children: &mut self.pending_children,
                     traffic: &mut self.buffer_traffic,
+                    fault: self.fault.as_mut(),
                     trace: LaneTrace::default(),
                     tid: lane_idx / gang_size as u64,
                     gang_rank: (lane_idx % gang_size as u64) as u32,

@@ -64,6 +64,7 @@ pub mod cache;
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod replay;
 pub mod trace;
@@ -71,6 +72,7 @@ pub mod trace;
 pub use buffer::Buf;
 pub use counters::{Counters, KernelReport};
 pub use device::{Device, DeviceConfig};
+pub use fault::{FaultEvent, FaultModel, FaultPlan, FaultSpec};
 pub use kernel::{Lane, WaveSession};
 
 /// Threads per warp, fixed at 32 like every NVIDIA architecture.

@@ -47,9 +47,20 @@ impl Csr {
     /// # Panics
     /// Panics if the arrays violate the CSR invariants.
     pub fn from_raw(row_offsets: Vec<u32>, adjacency: Vec<VertexId>, weights: Vec<Weight>) -> Self {
+        Self::try_from_raw(row_offsets, adjacency, weights).expect("invalid CSR arrays")
+    }
+
+    /// Like [`Csr::from_raw`] but returns the first invariant
+    /// violation instead of panicking — for loaders that handle
+    /// untrusted input (e.g. [`crate::io::binary`]).
+    pub fn try_from_raw(
+        row_offsets: Vec<u32>,
+        adjacency: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Result<Self, String> {
         let csr = Self { row_offsets, adjacency, weights, heavy_offsets: None, heavy_delta: None };
-        csr.validate().expect("invalid CSR arrays");
-        csr
+        csr.validate()?;
+        Ok(csr)
     }
 
     /// An empty graph with `n` vertices and no edges.

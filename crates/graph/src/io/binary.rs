@@ -59,17 +59,29 @@ pub fn read_binary_csr<R: Read>(mut reader: R) -> Result<Csr, IoError> {
     if version != VERSION {
         return Err(IoError::Format(format!("unsupported version {version}")));
     }
-    let n = buf.get_u64_le() as usize;
-    let m = buf.get_u64_le() as usize;
+    let n = buf.get_u64_le();
+    let m = buf.get_u64_le();
     let has_heavy = buf.get_u32_le() != 0;
     let heavy_delta = buf.get_u32_le();
-    let need = (n + 1 + 2 * m + if has_heavy { n } else { 0 }) * 4;
-    if buf.remaining() != need {
-        return Err(IoError::Format(format!(
-            "payload size mismatch: have {}, need {need}",
-            buf.remaining()
-        )));
+    // All size arithmetic is checked in u64: a corrupt header with
+    // huge n/m must produce a Format error, not an overflow-wrapped
+    // `need` that lets a giant allocation (or a short read) through.
+    let words = (n.checked_add(1))
+        .and_then(|x| m.checked_mul(2).and_then(|y| x.checked_add(y)))
+        .and_then(|x| x.checked_add(if has_heavy { n } else { 0 }));
+    let need = words.and_then(|w| w.checked_mul(4));
+    let have = buf.remaining() as u64;
+    match need {
+        Some(need) if need == have => {}
+        _ => {
+            return Err(IoError::Format(format!(
+                "payload size mismatch: have {have}, need {}",
+                need.map_or_else(|| "an overflowing size".into(), |x| x.to_string())
+            )));
+        }
     }
+    // `need == have` bounds every length below by the actual payload.
+    let (n, m) = (n as usize, m as usize);
     let mut read_vec = |len: usize| {
         let mut v = Vec::with_capacity(len);
         for _ in 0..len {
@@ -81,7 +93,8 @@ pub fn read_binary_csr<R: Read>(mut reader: R) -> Result<Csr, IoError> {
     let adjacency = read_vec(m);
     let weights = read_vec(m);
     let heavy = if has_heavy { Some(read_vec(n)) } else { None };
-    let mut csr = Csr::from_raw(row_offsets, adjacency, weights);
+    let mut csr = Csr::try_from_raw(row_offsets, adjacency, weights)
+        .map_err(|e| IoError::Format(format!("inconsistent CSR payload: {e}")))?;
     if let Some(h) = heavy {
         csr.set_heavy_offsets(h, heavy_delta);
         csr.validate().map_err(IoError::Format)?;
@@ -124,5 +137,49 @@ mod tests {
         buf.truncate(buf.len() - 2);
         assert!(read_binary_csr(&buf[..]).is_err());
         assert!(read_binary_csr(&b"NOPE"[..]).is_err());
+    }
+
+    fn header(n: u64, m: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // flags
+        buf.extend_from_slice(&0u32.to_le_bytes()); // heavy delta
+        buf
+    }
+
+    #[test]
+    fn rejects_overflowing_header_sizes() {
+        // n/m near u64::MAX used to wrap the payload-size arithmetic;
+        // now they must fail the size check as errors, not allocate.
+        for (n, m) in [(u64::MAX, u64::MAX), (u64::MAX - 1, 3), (2, u64::MAX / 2)] {
+            let err = read_binary_csr(&header(n, m)[..]).unwrap_err();
+            assert!(err.to_string().contains("size mismatch"), "{n} {m}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_csr_payload_without_panicking() {
+        // Structurally valid sizes, semantically broken arrays: the
+        // adjacency entry points past n. Must be a typed error, not the
+        // `Csr::from_raw` panic this loader used to hit.
+        let mut buf = header(1, 1);
+        for word in [0u32, 1, 5, 7] {
+            // row_offsets [0,1], adjacency [5] (out of range), weights [7]
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        let err = read_binary_csr(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("inconsistent CSR payload"), "{err}");
+
+        // Non-monotonic row offsets.
+        let mut buf = header(2, 1);
+        for word in [0u32, 9, 1, 0, 3] {
+            // row_offsets [0,9,1], adjacency [0], weights [3]
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        let err = read_binary_csr(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("inconsistent CSR payload"), "{err}");
     }
 }

@@ -62,7 +62,8 @@ pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<EdgeList, IoError> {
         .map_err(|e| parse_err(lineno, format!("bad nnz: {e}")))?;
     let n = rows.max(cols);
     let mut list = EdgeList::new(n);
-    list.edges.reserve(nnz);
+    // Capped: a corrupt nnz must not force a huge up-front allocation.
+    list.edges.reserve(nnz.min(1 << 20));
 
     for (idx, line) in lines {
         let line = line?;

@@ -7,24 +7,31 @@
 //! # rdbs witness v1
 //! vertices 5
 //! source 0
+//! directed
 //! edge 0 1 3
 //! edge 1 2 7
 //! ```
 //!
 //! Unlike the SNAP edge-list loader, the vertex count is explicit — a
 //! minimized witness may keep an isolated vertex (e.g. the
-//! disconnected-component cases) whose id no edge mentions.
+//! disconnected-component cases) whose id no edge mentions. The
+//! optional `directed` directive records how the CSR must be rebuilt:
+//! absent (the default, and the pre-flag format) the edges are
+//! symmetrized, present they are taken as-is — so witnesses minimized
+//! from directed-CSR failures replay against the same graph shape.
 
 use super::{parse_err, IoError};
 use crate::builder::EdgeList;
 use crate::{VertexId, Weight};
 use std::io::{BufRead, Write};
 
-/// A minimal failing instance: the graph and the search source.
+/// A minimal failing instance: the graph, the search source, and
+/// whether the edges are directed (false → symmetrize on rebuild).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Witness {
     pub edges: EdgeList,
     pub source: VertexId,
+    pub directed: bool,
 }
 
 /// Serialize a witness.
@@ -32,6 +39,9 @@ pub fn write_witness<W: Write>(witness: &Witness, mut writer: W) -> Result<(), I
     writeln!(writer, "# rdbs witness v1")?;
     writeln!(writer, "vertices {}", witness.edges.num_vertices)?;
     writeln!(writer, "source {}", witness.source)?;
+    if witness.directed {
+        writeln!(writer, "directed")?;
+    }
     for &(u, v, w) in &witness.edges.edges {
         writeln!(writer, "edge {u} {v} {w}")?;
     }
@@ -42,6 +52,7 @@ pub fn write_witness<W: Write>(witness: &Witness, mut writer: W) -> Result<(), I
 pub fn read_witness<R: BufRead>(reader: R) -> Result<Witness, IoError> {
     let mut num_vertices: Option<usize> = None;
     let mut source: Option<VertexId> = None;
+    let mut directed = false;
     let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
@@ -59,6 +70,7 @@ pub fn read_witness<R: BufRead>(reader: R) -> Result<Witness, IoError> {
         match it.next() {
             Some("vertices") => num_vertices = Some(field(it.next(), "vertex count")? as usize),
             Some("source") => source = Some(field(it.next(), "source")? as VertexId),
+            Some("directed") => directed = true,
             Some("edge") => {
                 let u = field(it.next(), "edge source")?;
                 let v = field(it.next(), "edge destination")?;
@@ -87,7 +99,7 @@ pub fn read_witness<R: BufRead>(reader: R) -> Result<Witness, IoError> {
             )));
         }
     }
-    Ok(Witness { edges: EdgeList { num_vertices, edges }, source })
+    Ok(Witness { edges: EdgeList { num_vertices, edges }, source, directed })
 }
 
 #[cfg(test)]
@@ -97,10 +109,28 @@ mod tests {
 
     #[test]
     fn roundtrip_with_isolated_vertex() {
-        let w = Witness { edges: EdgeList::from_edges(5, vec![(0, 1, 3), (1, 2, 7)]), source: 0 };
+        let w = Witness {
+            edges: EdgeList::from_edges(5, vec![(0, 1, 3), (1, 2, 7)]),
+            source: 0,
+            directed: false,
+        };
         let mut buf = Vec::new();
         write_witness(&w, &mut buf).unwrap();
         assert_eq!(read_witness(Cursor::new(buf)).unwrap(), w);
+    }
+
+    #[test]
+    fn directed_flag_roundtrips_and_defaults_to_false() {
+        let w =
+            Witness { edges: EdgeList::from_edges(3, vec![(0, 1, 2)]), source: 0, directed: true };
+        let mut buf = Vec::new();
+        write_witness(&w, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.lines().any(|l| l.trim() == "directed"), "{text}");
+        assert_eq!(read_witness(Cursor::new(buf)).unwrap(), w);
+        // Pre-flag files (no directive) stay undirected.
+        let old = read_witness(Cursor::new("vertices 2\nsource 0\nedge 0 1 5\n")).unwrap();
+        assert!(!old.directed);
     }
 
     #[test]

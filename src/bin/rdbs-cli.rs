@@ -8,11 +8,13 @@
 //! rdbs-cli verify                 # full differential conformance matrix
 //! rdbs-cli verify --impl gpu/full --graph kronecker
 //! rdbs-cli verify --impl seq/dijkstra --witness witness.txt
+//! rdbs-cli chaos                  # fault-injection matrix, no silent wrong answers
+//! rdbs-cli chaos --model bit-flip --entry gpu/full --seed 3
 //! ```
 
 use rdbs::baselines::{adds, frontier_bf, near_far, pq_delta_stepping};
 use rdbs::baselines::{rho_stepping, sep_graph};
-use rdbs::graph::builder::build_undirected;
+use rdbs::graph::builder::{build_directed, build_undirected};
 use rdbs::graph::generate::{
     erdos_renyi, grid_road, kronecker, preferential_attachment, uniform_weights, GridConfig,
     KroneckerConfig,
@@ -184,6 +186,9 @@ fn build_graph(o: &Options) -> Csr {
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("verify") {
         verify_main(std::env::args().skip(2).collect());
+    }
+    if std::env::args().nth(1).as_deref() == Some("chaos") {
+        chaos_main(std::env::args().skip(2).collect());
     }
     let o = parse_args();
     let g = build_graph(&o);
@@ -446,12 +451,13 @@ fn verify_main(args: Vec<String>) -> ! {
             eprintln!("failed to parse witness {path}: {e}");
             exit(1)
         });
-        let g = build_undirected(&w.edges);
+        let g = if w.directed { build_directed(&w.edges) } else { build_undirected(&w.edges) };
         println!(
-            "witness: {} vertices, {} edges, source {}",
+            "witness: {} vertices, {} edges, source {}{}",
             w.edges.num_vertices,
             w.edges.edges.len(),
-            w.source
+            w.source,
+            if w.directed { ", directed" } else { "" }
         );
         match conf::localize(&imp, &g, w.source, o.delta0) {
             None => {
@@ -548,6 +554,117 @@ fn verify_main(args: Vec<String>) -> ! {
                 println!("\n{d}");
             }
         }
+    }
+    exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// `rdbs-cli chaos` — the fault-injection matrix.
+// ---------------------------------------------------------------------------
+
+fn chaos_usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli chaos [options]
+
+Sweep fault models x detect-and-recover entry points x graph families,
+grading each cell's final answer against the Dijkstra oracle. A cell may
+be correct (clean or recovered — the ladder is reported) or explicitly
+errored; a silently wrong answer fails the sweep. Exits non-zero on any
+silent wrong answer. The sweep is deterministic: the same flags replay
+the same fault schedules byte for byte.
+
+  --quick             reduced sweep (quick families, two entries, seed 1)
+  --model SUBSTR      only fault models whose name contains SUBSTR
+  --entry SUBSTR      only entry points whose id contains SUBSTR
+  --graph SUBSTR      only families whose name contains SUBSTR
+  --rate R            injection rate override (default is per-model)
+  --seed N            fault seed (repeatable; default 1,2 — or 1 with --quick)
+  --reports           print the recovery report for every cell, not just
+                      the cells where a detector fired
+
+fault models:
+  {models}
+
+entry points:
+  {entries}",
+        models = rdbs::sim::FaultModel::ALL.map(|m| m.name()).join(" "),
+        entries =
+            rdbs::conformance::chaos_entries().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
+    );
+    exit(2)
+}
+
+fn chaos_main(args: Vec<String>) -> ! {
+    use rdbs::conformance as conf;
+    let mut o = conf::ChaosOptions::default();
+    let mut show_all_reports = false;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| chaos_usage());
+        match flag.as_str() {
+            "--quick" => o.quick = true,
+            "--model" => o.model_filter = Some(val()),
+            "--entry" => o.entry_filter = Some(val()),
+            "--graph" => o.graph_filter = Some(val()),
+            "--rate" => o.rate = Some(val().parse().unwrap_or_else(|_| chaos_usage())),
+            "--seed" => o.seeds.push(val().parse().unwrap_or_else(|_| chaos_usage())),
+            "--reports" => show_all_reports = true,
+            "--help" | "-h" => chaos_usage(),
+            _ => chaos_usage(),
+        }
+    }
+
+    // Faulted attempts are allowed to panic (the recovery layer
+    // catches them and that is a graded outcome, not noise) — keep the
+    // default hook from spraying backtraces over the report.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = conf::run_chaos(&o, |cell| {
+        let outcome = match cell.outcome() {
+            Some(oc) => oc.to_string(),
+            None => "-".into(),
+        };
+        println!(
+            "  {:<14} {:<20} {:<14} seed {:<3} {:>5} inj  {:<9} {:<10} {}",
+            cell.entry_id,
+            cell.model.name(),
+            cell.graph,
+            cell.seed,
+            cell.injections(),
+            if cell.detected() { "detected" } else { "quiet" },
+            outcome,
+            cell.verdict
+        );
+        if let Some(r) = &cell.report {
+            if show_all_reports || cell.detected() {
+                for line in r.to_string().lines() {
+                    println!("      {line}");
+                }
+            }
+        }
+    });
+
+    std::panic::set_hook(prev_hook);
+
+    let (clean, recovered, degraded, errored, silent) = report.tally();
+    println!(
+        "chaos: {} cells — {clean} clean, {recovered} recovered, {degraded} degraded, \
+         {errored} errored, {silent} silently wrong",
+        report.cells.len()
+    );
+    if report.cells.is_empty() {
+        eprintln!("error: the filters matched no (entry, model, graph) cells — nothing was swept");
+        exit(2);
+    }
+    if report.is_green() {
+        println!("chaos: OK — no silent wrong answers");
+        exit(0);
+    }
+    for c in report.silent_wrong() {
+        println!(
+            "FAIL {} under {} on {} (source {}, seed {}, rate {}): {}",
+            c.entry_id, c.model, c.graph, c.source, c.seed, c.rate, c.verdict
+        );
     }
     exit(1)
 }
