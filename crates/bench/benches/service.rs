@@ -1,0 +1,66 @@
+//! Resident-service bench: the amortization claim in numbers. A batch
+//! of sources answered by the pooled [`rdbs_core::service`] vs the
+//! same batch re-running the one-shot entry point (fresh device +
+//! upload + allocation per query), plus the pool's acquire/release
+//! round-trip cost in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdbs_core::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs_core::service::{Backend, ServiceConfig, SsspService};
+use rdbs_core::{Csr, VertexId};
+use rdbs_gpu_sim::{Device, DeviceConfig};
+use rdbs_graph::datasets::kronecker_spec;
+
+const BATCH: usize = 16;
+
+fn graph() -> Csr {
+    kronecker_spec(21, 16).generate(8, 42)
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::v100().with_overhead_scale(1.0 / 256.0).with_cache_scale(1.0 / 256.0)
+}
+
+fn sources(n: usize) -> Vec<VertexId> {
+    (0..BATCH as u64).map(|i| ((i * 2_654_435_761) % n as u64) as VertexId).collect()
+}
+
+fn bench_batch_vs_one_shot(c: &mut Criterion) {
+    let g = graph();
+    let srcs = sources(g.num_vertices());
+    let variant = Variant::Rdbs(RdbsConfig::full());
+    let mut group = c.benchmark_group("service_batch16_k-n13-16");
+    group.sample_size(10);
+
+    group.bench_function("one_shot_x16", |b| {
+        b.iter(|| {
+            srcs.iter().map(|&s| run_gpu(&g, s, variant, device()).result.dist[7]).sum::<u32>()
+        })
+    });
+    group.bench_function("service_resident_x16", |b| {
+        b.iter(|| {
+            let config =
+                ServiceConfig { backend: Backend::Gpu(variant), device: device(), delta0: None };
+            let mut svc = SsspService::new(&g, config);
+            svc.batch(&srcs).iter().map(|r| r.dist[7]).sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_roundtrip(c: &mut Criterion) {
+    use rdbs_core::service::pool::BufferPool;
+    let mut device = Device::new(DeviceConfig::test_tiny());
+    let mut pool = BufferPool::new();
+    let mut group = c.benchmark_group("buffer_pool");
+    group.bench_function("acquire_release_64k_words", |b| {
+        b.iter(|| {
+            let buf = pool.acquire(&mut device, "bench", 65_536);
+            pool.release(&mut device, buf);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_one_shot, bench_pool_roundtrip);
+criterion_main!(benches);

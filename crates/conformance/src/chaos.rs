@@ -21,8 +21,11 @@
 
 use crate::graphs::{self, GraphCase};
 use rdbs_core::gpu::{MultiGpuConfig, RdbsConfig, Variant};
-use rdbs_core::recover::{run_gpu_recovered, run_multi_recovered, RecoveryOutcome, RecoveryReport};
+use rdbs_core::recover::{
+    run_gpu_recovered, run_multi_recovered, run_service_recovered, RecoveryOutcome, RecoveryReport,
+};
 use rdbs_core::seq::dijkstra;
+use rdbs_core::service::ServiceConfig;
 use rdbs_core::validate::{check_against, Mismatch};
 use rdbs_core::{Csr, VertexId};
 use rdbs_gpu_sim::{DeviceConfig, FaultModel, FaultSpec};
@@ -40,6 +43,9 @@ pub struct ChaosEntry {
 enum EntryKind {
     Gpu(Variant),
     MultiGpu(usize),
+    /// The resident batched service's pooled entry point (full RDBS
+    /// on one device; the faulted query runs on recycled buffers).
+    Service,
 }
 
 impl ChaosEntry {
@@ -62,13 +68,18 @@ pub fn chaos_entries() -> Vec<ChaosEntry> {
             kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only())),
         },
         ChaosEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
+        ChaosEntry { id: "service/pooled", kind: EntryKind::Service },
     ]
 }
 
 /// The reduced sweep: the asynchronous single-device entry (widest
-/// fault surface) plus the multi-GPU exchange (message models).
+/// fault surface), the multi-GPU exchange (message models), and the
+/// pooled service entry (buffer-reuse surface).
 pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
-    chaos_entries().into_iter().filter(|e| matches!(e.id, "gpu/full" | "multi-gpu/k2")).collect()
+    chaos_entries()
+        .into_iter()
+        .filter(|e| matches!(e.id, "gpu/full" | "multi-gpu/k2" | "service/pooled"))
+        .collect()
 }
 
 /// Per-model default injection rate: high enough that faults actually
@@ -234,6 +245,10 @@ pub fn run_cell(
                 delta0: None,
             };
             run_multi_recovered(graph, source, &config, Some(spec))
+        }
+        EntryKind::Service => {
+            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny());
+            run_service_recovered(graph, source, config, Some(spec))
         }
     }));
     match attempt {

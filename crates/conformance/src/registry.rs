@@ -9,6 +9,7 @@
 //! localizer end to end.
 
 use rdbs_core::gpu::{multi_gpu_sssp, run_gpu, MultiGpuConfig, RdbsConfig, Variant};
+use rdbs_core::service::{ServiceConfig, SsspService};
 use rdbs_core::stats::{SsspResult, UpdateStats};
 use rdbs_core::{cpu, default_delta, saturating_relax, seq, Csr, VertexId, Weight, INF};
 use rdbs_gpu_sim::{Device, DeviceConfig};
@@ -34,6 +35,8 @@ pub enum Family {
     Gpu,
     /// The multi-GPU port.
     MultiGpu,
+    /// The resident batched service (`rdbs-core::service`).
+    Service,
     /// Comparators (`rdbs-baselines`).
     Baseline,
     /// The graph-framework integration (`rdbs-framework`).
@@ -52,6 +55,7 @@ enum Kind {
     CpuAsync,
     Gpu(Variant),
     MultiGpu(usize),
+    Service,
     Adds,
     NearFar,
     FrontierBf,
@@ -103,6 +107,25 @@ impl Implementation {
                     delta0,
                 };
                 multi_gpu_sssp(graph, source, &config).result
+            }
+            Kind::Service => {
+                let mut cfg = RdbsConfig::full();
+                cfg.delta0 = delta0;
+                let mut svc = SsspService::new(
+                    graph,
+                    ServiceConfig {
+                        backend: rdbs_core::service::Backend::Gpu(Variant::Rdbs(cfg)),
+                        device: DeviceConfig::test_tiny(),
+                        delta0,
+                    },
+                );
+                // Warm-up on a different source first, so the scored
+                // query runs on recycled pooled buffers — the matrix
+                // differentials pooled-reuse against every one-shot
+                // entry, not just a fresh service.
+                let n = graph.num_vertices() as u32;
+                let warm = if n > 1 { (source + 1) % n } else { source };
+                svc.batch(&[warm, source]).pop().expect("batch of two returns two results")
             }
             Kind::Adds => {
                 let mut device = Device::new(DeviceConfig::test_tiny());
@@ -163,6 +186,7 @@ pub fn all() -> Vec<Implementation> {
         imp("multi-gpu/k1", MultiGpu, Kind::MultiGpu(1)),
         imp("multi-gpu/k2", MultiGpu, Kind::MultiGpu(2)),
         imp("multi-gpu/k4", MultiGpu, Kind::MultiGpu(4)),
+        imp("service/pooled", Service, Kind::Service),
         imp("baseline/adds", Baseline, Kind::Adds),
         imp("baseline/near-far", Baseline, Kind::NearFar),
         imp("baseline/frontier-bf", Baseline, Kind::FrontierBf),

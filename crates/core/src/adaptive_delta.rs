@@ -30,8 +30,16 @@
 pub struct DeltaController {
     delta0: f64,
     delta: f64,
-    /// `(C_i, T_i)` per completed bucket.
-    history: Vec<(u64, u64)>,
+    /// The last ≤ 2 `(C_i, T_i)` records — all Eq. (1) needs. Bounded
+    /// so a long-lived service reusing one controller across queries
+    /// cannot grow without bound.
+    recent: Vec<(u64, u64)>,
+    /// Full per-bucket records, kept only when the experiment harness
+    /// opts in with [`DeltaController::with_full_history`].
+    full: Option<Vec<(u64, u64)>>,
+    /// Buckets completed in the current run (reset by
+    /// [`DeltaController::start_run`]).
+    completed: usize,
     /// Smallest width the controller will return.
     min_delta: f64,
     /// Largest width the controller will return (guards pathological
@@ -49,11 +57,21 @@ impl DeltaController {
         Self {
             delta0: d0,
             delta: d0,
-            history: Vec::new(),
+            recent: Vec::with_capacity(2),
+            full: None,
+            completed: 0,
             min_delta: 1.0,
             max_delta: d0 * 64.0,
             target_parallelism: 0,
         }
+    }
+
+    /// Opt in to retaining every `(C, T)` record for
+    /// [`DeltaController::history`] (the experiment harness' per-bucket
+    /// plots need the full series; long-lived services must not).
+    pub fn with_full_history(mut self) -> Self {
+        self.full = Some(Vec::new());
+        self
     }
 
     /// Enable the utilization floor: a bucket that used fewer than
@@ -73,19 +91,40 @@ impl DeltaController {
         self.delta.round().max(1.0) as u32
     }
 
-    /// Buckets completed so far.
+    /// Buckets completed in the current run.
     pub fn buckets_completed(&self) -> usize {
-        self.history.len()
+        self.completed
+    }
+
+    /// Begin a new query on the same controller (the resident-service
+    /// path). Δ restarts at Δ₀: Eq. 1 is a *within-run* differential
+    /// controller, and the width it ends a run with is inflated by the
+    /// utilization floor firing on the final near-empty buckets —
+    /// carrying it into the next query starts that query in
+    /// Bellman-Ford territory (measured ~1.5× slower per query).
+    /// The C/T window and bucket count reset too, so ε is pinned to
+    /// zero for the new run's first two buckets exactly as for a
+    /// fresh controller.
+    pub fn start_run(&mut self) {
+        self.delta = self.delta0;
+        self.recent.clear();
+        self.completed = 0;
     }
 
     /// Record bucket `i`'s outcome (`converged` = C_i, `threads` =
     /// T_i) and compute Δ for the next bucket. Returns the new width.
     pub fn finish_bucket(&mut self, converged: u64, threads: u64) -> u32 {
-        self.history.push((converged, threads));
-        let i = self.history.len(); // next bucket index
-        if i >= 2 {
-            let (c2, t2) = self.history[i - 2];
-            let (c1, t1) = self.history[i - 1];
+        if self.recent.len() == 2 {
+            self.recent.remove(0);
+        }
+        self.recent.push((converged, threads));
+        if let Some(full) = &mut self.full {
+            full.push((converged, threads));
+        }
+        self.completed += 1;
+        if self.completed >= 2 {
+            let (c2, t2) = self.recent[self.recent.len() - 2];
+            let (c1, t1) = self.recent[self.recent.len() - 1];
             let eps = epsilon(c2, c1, t2, t1, self.delta0);
             self.delta = (self.delta + eps).clamp(self.min_delta, self.max_delta);
         }
@@ -97,9 +136,12 @@ impl DeltaController {
     }
 
     /// The ε history is reconstructible from the C/T history; expose
-    /// the raw records for the experiment harness.
+    /// the raw records for the experiment harness. Without
+    /// [`DeltaController::with_full_history`] only the last two records
+    /// are retained (all the recurrence needs — the bounded default
+    /// for long-lived services).
     pub fn history(&self) -> &[(u64, u64)] {
-        &self.history
+        self.full.as_deref().unwrap_or(&self.recent)
     }
 }
 
@@ -169,6 +211,52 @@ mod tests {
         assert!(e <= 100.0);
         let e = epsilon(0, 1_000_000, 0, 1_000_000, 100.0);
         assert!(e >= -100.0);
+    }
+
+    #[test]
+    fn history_is_bounded_by_default() {
+        let mut c = DeltaController::new(100);
+        for i in 0..1000 {
+            c.finish_bucket(i, i * 3 + 1);
+        }
+        assert_eq!(c.buckets_completed(), 1000);
+        assert_eq!(c.history(), &[(998, 998 * 3 + 1), (999, 999 * 3 + 1)]);
+    }
+
+    #[test]
+    fn full_history_behind_opt_in() {
+        let mut c = DeltaController::new(100).with_full_history();
+        for i in 0..10 {
+            c.finish_bucket(i, i + 1);
+        }
+        assert_eq!(c.history().len(), 10);
+        assert_eq!(c.history()[0], (0, 1));
+    }
+
+    #[test]
+    fn bounded_recurrence_matches_unbounded() {
+        // The recurrence only ever reads the last two records, so the
+        // bounded window must produce the identical Δ sequence.
+        let mut bounded = DeltaController::new(100);
+        let mut full = DeltaController::new(100).with_full_history();
+        for i in 0..50u64 {
+            let (c_i, t_i) = (i * 7 % 13 + 1, i * 11 % 29 + 1);
+            assert_eq!(bounded.finish_bucket(c_i, t_i), full.finish_bucket(c_i, t_i));
+        }
+    }
+
+    #[test]
+    fn start_run_restarts_at_delta0_and_resets_window() {
+        let mut c = DeltaController::new(100);
+        c.finish_bucket(300, 900);
+        let inflated = c.finish_bucket(100, 100);
+        assert!(inflated > 100, "falling utilization widened Δ");
+        c.start_run();
+        assert_eq!(c.buckets_completed(), 0);
+        // The tail-inflated Δ does not leak into the next run, and the
+        // first bucket of the new run applies no ε.
+        assert_eq!(c.delta(), 100);
+        assert_eq!(c.finish_bucket(1, 1_000_000), 100);
     }
 
     #[test]

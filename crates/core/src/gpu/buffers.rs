@@ -3,6 +3,56 @@
 use crate::{Csr, Dist, VertexId, INF};
 use rdbs_gpu_sim::{Buf, Device, Lane};
 
+/// The immutable CSR arrays on the device — everything that is a
+/// function of the *graph*, not of any one query. A resident service
+/// uploads these once per graph generation and reuses them across
+/// queries; pair with a per-query distance buffer via
+/// [`GraphArrays::with_dist`].
+///
+/// `Copy` so kernel closures — including `'static` dynamic-parallelism
+/// children — can capture it by value.
+#[derive(Clone, Copy)]
+pub struct GraphArrays {
+    pub n: u32,
+    pub m: u32,
+    /// Row offsets, `n + 1` words.
+    pub row: Buf,
+    /// Adjacency list, `m` words.
+    pub adj: Buf,
+    /// Edge weights, `m` words.
+    pub wt: Buf,
+    /// Heavy-edge offsets (`n` words) when the graph was preprocessed
+    /// with property-driven reordering.
+    pub heavy: Option<Buf>,
+}
+
+impl GraphArrays {
+    /// Upload the CSR arrays (3 uploads, plus heavy offsets with PRO).
+    pub fn upload(device: &mut Device, graph: &Csr) -> Self {
+        let n = graph.num_vertices() as u32;
+        let m = graph.num_edges() as u32;
+        let row = device.alloc_upload("row_offsets", graph.row_offsets());
+        let adj = device.alloc_upload("adjacency", graph.adjacency());
+        let wt = device.alloc_upload("weights", graph.weights());
+        let heavy = graph.heavy_offsets().map(|h| device.alloc_upload("heavy_offsets", h));
+        Self { n, m, row, adj, wt, heavy }
+    }
+
+    /// Pair the resident arrays with a per-query distance buffer (at
+    /// least `n` words; a pooled buffer may be larger).
+    pub fn with_dist(self, dist: Buf) -> GraphBuffers {
+        GraphBuffers {
+            n: self.n,
+            m: self.m,
+            row: self.row,
+            adj: self.adj,
+            wt: self.wt,
+            heavy: self.heavy,
+            dist,
+        }
+    }
+}
+
 /// The CSR arrays plus the distance vector on the device.
 ///
 /// `Copy` so kernel closures — including `'static` dynamic-parallelism
@@ -20,22 +70,25 @@ pub struct GraphBuffers {
     /// Heavy-edge offsets (`n` words) when the graph was preprocessed
     /// with property-driven reordering.
     pub heavy: Option<Buf>,
-    /// Tentative distances, `n` words.
+    /// Tentative distances, `n` words (pooled buffers may hold more;
+    /// only the first `n` are meaningful).
     pub dist: Buf,
 }
 
 impl GraphBuffers {
     /// Upload a graph and an all-`INF` distance vector.
     pub fn upload(device: &mut Device, graph: &Csr) -> Self {
-        let n = graph.num_vertices() as u32;
-        let m = graph.num_edges() as u32;
-        let row = device.alloc_upload("row_offsets", graph.row_offsets());
-        let adj = device.alloc_upload("adjacency", graph.adjacency());
-        let wt = device.alloc_upload("weights", graph.weights());
-        let heavy = graph.heavy_offsets().map(|h| device.alloc_upload("heavy_offsets", h));
-        let dist = device.alloc("dist", n as usize);
+        let arrays = GraphArrays::upload(device, graph);
+        let dist = device.alloc("dist", arrays.n as usize);
         device.fill(dist, INF);
-        Self { n, m, row, adj, wt, heavy, dist }
+        arrays.with_dist(dist)
+    }
+
+    /// Reset the distance vector for a fresh query: all `INF`, source
+    /// at zero (host-side, the resident-service `reset` path).
+    pub fn reset_dist(&self, device: &mut Device, source: VertexId) {
+        device.fill(self.dist, INF);
+        self.init_source(device, source);
     }
 
     /// Set the source distance to zero (host-side init).
@@ -43,51 +96,141 @@ impl GraphBuffers {
         device.write_word(self.dist, source as usize, 0);
     }
 
-    /// Copy the distance vector back to the host.
+    /// Copy the distance vector back to the host (first `n` words —
+    /// a pooled buffer may be larger than the graph).
     pub fn download_dist(&self, device: &Device) -> Vec<Dist> {
-        device.read(self.dist).to_vec()
+        device.read(self.dist)[..self.n as usize].to_vec()
     }
 }
 
-/// A device-side vertex queue: data buffer plus a tail cursor cell.
-/// Kernels push with `atomicAdd` on the cursor; the host "manager
-/// thread" drains and resets it between waves.
+/// A device queue's cursor ran past its capacity: kernel-side pushes
+/// were dropped (and counted), or a faulted cursor overshot. Surfaced
+/// as a typed host error so release builds fail loudly instead of
+/// silently losing work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueOverflow {
+    /// Allocation label of the overflowed queue.
+    pub queue: &'static str,
+    /// Slots the queue actually holds.
+    pub capacity: u32,
+    /// Push slots demanded (capacity + dropped pushes), best effort.
+    pub attempted: u32,
+}
+
+impl std::fmt::Display for QueueOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device queue '{}' overflow: {} pushes against capacity {}",
+            self.queue, self.attempted, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for QueueOverflow {}
+
+/// A device-side vertex queue: data buffer, a tail cursor cell, and a
+/// sticky overflow cell. Kernels push with `atomicAdd` on the cursor;
+/// the host "manager thread" drains and resets it between waves.
+///
+/// ## Overflow semantics
+///
+/// A push that lands past `capacity` is **dropped** and counted in the
+/// overflow cell — never stored out of bounds. The cell is sticky: it
+/// survives [`DeviceQueue::drain`] and is only cleared by
+/// [`DeviceQueue::reset`], so the host can detect an overflow that
+/// happened any time since the last reset and surface a typed
+/// [`QueueOverflow`] (or hand it to the recovery ladder) instead of
+/// returning a silently truncated frontier.
 #[derive(Clone, Copy)]
 pub struct DeviceQueue {
     pub data: Buf,
     pub tail: Buf,
+    /// Sticky overflow cell: dropped-push count (or the cursor
+    /// overshoot observed by a drain when no drop was recorded).
+    pub overflow: Buf,
     pub capacity: u32,
+    /// Allocation label, for overflow reports.
+    pub label: &'static str,
 }
 
 impl DeviceQueue {
     pub fn new(device: &mut Device, label: &'static str, capacity: u32) -> Self {
         let data = device.alloc(label, capacity as usize);
         let tail = device.alloc("queue_tail", 1);
-        Self { data, tail, capacity }
+        let overflow = device.alloc("queue_overflow", 1);
+        Self { data, tail, overflow, capacity, label }
     }
 
     /// Device-side push (kernel context): bump the tail, store `v`.
-    /// Returns the slot.
+    /// Returns the slot. On overflow the push is dropped and the
+    /// sticky overflow cell incremented — checked in release builds
+    /// too, so a full queue can never corrupt adjacent buffers or
+    /// silently truncate.
     #[inline]
     pub fn push(&self, lane: &mut Lane<'_>, v: VertexId) -> u32 {
         let slot = lane.atomic_add(self.tail, 0, 1);
-        debug_assert!(slot < self.capacity, "device queue overflow");
+        if slot >= self.capacity {
+            lane.atomic_add(self.overflow, 0, 1);
+            return slot;
+        }
         lane.st(self.data, slot, v);
         slot
     }
 
     /// Host-side drain: copy out the current entries and reset the
-    /// tail (the manager-thread step of §4.3).
+    /// tail (the manager-thread step of §4.3). The length is clamped
+    /// to `capacity` — a faulted or overflowed cursor raises the
+    /// sticky overflow cell instead of panicking the manager thread.
     pub fn drain(&self, device: &mut Device) -> Vec<VertexId> {
-        let len = device.read_word(self.tail, 0) as usize;
+        let tail = device.read_word(self.tail, 0);
+        if tail > self.capacity && device.read_word(self.overflow, 0) == 0 {
+            device.write_word(self.overflow, 0, tail - self.capacity);
+        }
+        let len = tail.min(self.capacity) as usize;
         let items = device.read(self.data)[..len].to_vec();
         device.write_word(self.tail, 0, 0);
         items
     }
 
-    /// Host-side length peek.
+    /// Like [`DeviceQueue::drain`], surfacing any overflow recorded
+    /// since the last reset as a typed error.
+    pub fn drain_checked(&self, device: &mut Device) -> Result<Vec<VertexId>, QueueOverflow> {
+        let items = self.drain(device);
+        self.check(device)?;
+        Ok(items)
+    }
+
+    /// `Err(QueueOverflow)` if the sticky overflow cell is raised.
+    pub fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
+        let dropped = device.read_word(self.overflow, 0);
+        if dropped == 0 {
+            return Ok(());
+        }
+        Err(QueueOverflow {
+            queue: self.label,
+            capacity: self.capacity,
+            attempted: self.capacity.saturating_add(dropped),
+        })
+    }
+
+    /// Whether the sticky overflow cell is raised.
+    pub fn overflowed(&self, device: &Device) -> bool {
+        device.read_word(self.overflow, 0) != 0
+    }
+
+    /// Reset to an empty, non-overflowed queue (the pooled-reuse
+    /// `reset` path; contents are not cleared — the cursor defines
+    /// what is live).
+    pub fn reset(&self, device: &mut Device) {
+        device.write_word(self.tail, 0, 0);
+        device.write_word(self.overflow, 0, 0);
+    }
+
+    /// Host-side length peek (clamped to capacity; the raw cursor may
+    /// overshoot after an overflow).
     pub fn len(&self, device: &Device) -> u32 {
-        device.read_word(self.tail, 0)
+        device.read_word(self.tail, 0).min(self.capacity)
     }
 
     /// Host-side emptiness peek.
@@ -133,6 +276,65 @@ mod tests {
         let gb = GraphBuffers::upload(&mut d, &g);
         assert!(gb.heavy.is_some());
         assert_eq!(d.read(gb.heavy.unwrap()), g.heavy_offsets().unwrap());
+    }
+
+    #[test]
+    fn overflow_storm_errors_instead_of_corrupting() {
+        // The headline release-build bug: a capacity-1 queue under a
+        // 32-lane push storm must drop the excess pushes, leave the
+        // neighbouring allocations untouched, and surface a typed
+        // error — never store past the queue.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let before = d.alloc("sentinel_before", 4);
+        let q = DeviceQueue::new(&mut d, "storm_q", 1);
+        let after = d.alloc("sentinel_after", 4);
+        d.fill(before, 0xDEAD_BEEF);
+        d.fill(after, 0xDEAD_BEEF);
+        d.launch("storm", 32, |lane| {
+            q.push(lane, 100 + lane.tid() as u32);
+        });
+        assert!(q.overflowed(&d));
+        assert_eq!(d.read(before), &[0xDEAD_BEEF; 4]);
+        assert_eq!(d.read(after), &[0xDEAD_BEEF; 4]);
+        assert_eq!(q.len(&d), 1);
+        let err = q.drain_checked(&mut d).unwrap_err();
+        assert_eq!(err.queue, "storm_q");
+        assert_eq!(err.capacity, 1);
+        assert_eq!(err.attempted, 32);
+        assert!(err.to_string().contains("overflow"));
+        // Sticky across the drain; cleared only by reset.
+        assert!(q.overflowed(&d));
+        q.reset(&mut d);
+        assert!(!q.overflowed(&d));
+        assert!(q.check(&d).is_ok());
+    }
+
+    #[test]
+    fn drain_clamps_faulted_cursor() {
+        // A fault-corrupted tail (no recorded drops) must not panic
+        // the host mid-recovery: drain clamps and raises the flag.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let q = DeviceQueue::new(&mut d, "q", 4);
+        q.host_push(&mut d, 9);
+        d.write_word(q.tail, 0, 1000);
+        let items = q.drain(&mut d);
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0], 9);
+        assert!(q.overflowed(&d));
+        assert_eq!(q.check(&d).unwrap_err().attempted, 1000);
+    }
+
+    #[test]
+    fn arrays_split_pairs_with_pooled_dist() {
+        // GraphArrays (upload-once) + an oversized pooled dist buffer:
+        // download must slice to n.
+        let g = build_undirected(&EdgeList::from_edges(3, vec![(0, 1, 4), (1, 2, 6)]));
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let arrays = GraphArrays::upload(&mut d, &g);
+        let dist = d.alloc("dist_pooled", 8); // size-class rounded past n=3
+        let gb = arrays.with_dist(dist);
+        gb.reset_dist(&mut d, 1);
+        assert_eq!(gb.download_dist(&d), vec![INF, 0, INF]);
     }
 
     #[test]

@@ -12,10 +12,12 @@ pub mod buffers;
 pub mod multi;
 pub mod rdbs;
 
-pub use bl::bl;
-pub use buffers::{DeviceQueue, GraphBuffers};
-pub use multi::{multi_gpu_sssp, multi_gpu_sssp_faulted, MultiGpuConfig, MultiGpuRun};
-pub use rdbs::{GpuBucketTrace, MonotonicityViolation, RdbsConfig, RdbsRun};
+pub use bl::{bl, bl_on, BlScratch};
+pub use buffers::{DeviceQueue, GraphArrays, GraphBuffers, QueueOverflow};
+pub use multi::{
+    multi_gpu_sssp, multi_gpu_sssp_faulted, MultiGpuConfig, MultiGpuRun, MultiGpuState,
+};
+pub use rdbs::{rdbs_on, GpuBucketTrace, MonotonicityViolation, RdbsConfig, RdbsRun, RdbsScratch};
 
 use crate::stats::SsspResult;
 use crate::{default_delta, Csr, VertexId};

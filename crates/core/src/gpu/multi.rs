@@ -19,7 +19,7 @@
 //! Wall time is `Σ supersteps max_d(device-step time) + transfer
 //! time` — the devices run concurrently, the exchange is the barrier.
 
-use super::buffers::{DeviceQueue, GraphBuffers};
+use super::buffers::{DeviceQueue, GraphBuffers, QueueOverflow};
 use crate::stats::{SsspResult, UpdateStats};
 use crate::{default_delta, Csr, Dist, VertexId, Weight, INF};
 use rdbs_gpu_sim::{Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
@@ -100,7 +100,232 @@ impl Shard {
     }
 }
 
-/// Run the multi-GPU bucketed SSSP.
+/// Resident multi-GPU state: `k` simulated devices with the graph
+/// arrays uploaded once at construction (the replicated-CSR layout
+/// common in 1-D multi-GPU SSSP), re-runnable for many sources via
+/// [`MultiGpuState::run`] — the batched service's multi-device
+/// backend. Per-query state (distances, frontiers, update queues,
+/// dedup marks) is reset in place; nothing is re-uploaded.
+pub struct MultiGpuState {
+    shards: Vec<Shard>,
+    config: MultiGpuConfig,
+    n: u32,
+    chunk: u32,
+    delta: Weight,
+}
+
+impl MultiGpuState {
+    /// Build the shards and upload the graph to each device once.
+    pub fn new(graph: &Csr, config: &MultiGpuConfig) -> Self {
+        let n = graph.num_vertices() as u32;
+        assert!(config.num_devices >= 1);
+        let k = config.num_devices as u32;
+        let delta = config.delta0.unwrap_or_else(|| default_delta(graph));
+        let chunk = n.div_ceil(k);
+        let shards: Vec<Shard> = (0..k)
+            .map(|d| {
+                let mut device = Device::new(config.device.clone());
+                let gb = GraphBuffers::upload(&mut device, graph);
+                let frontier = DeviceQueue::new(&mut device, "mg_frontier", n);
+                let updates = DeviceQueue::new(&mut device, "mg_updates", n);
+                let dirty = device.alloc("mg_dirty", n as usize);
+                let pending = device.alloc("mg_pending", n as usize);
+                Shard {
+                    device,
+                    gb,
+                    frontier,
+                    updates,
+                    dirty,
+                    pending,
+                    lo: d * chunk,
+                    hi: ((d + 1) * chunk).min(n),
+                    mark: 0.0,
+                }
+            })
+            .collect();
+        Self { shards, config: config.clone(), n, chunk, delta }
+    }
+
+    /// Arm a fault plan on shard 0 (device-level models corrupt that
+    /// shard's kernels; message models mutate every exchange batch).
+    pub fn arm_faults(&mut self, spec: FaultSpec) {
+        self.shards[0].device.arm_faults(FaultPlan::new(spec));
+    }
+
+    /// Disarm shard 0's fault plan, returning it (for recovery
+    /// reports).
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.shards[0].device.disarm_faults()
+    }
+
+    /// Total host→device uploads across all shards so far (the
+    /// amortization counter: constant across [`MultiGpuState::run`]s).
+    pub fn graph_uploads(&self) -> u64 {
+        self.shards.iter().map(|s| s.device.counters().h2d_uploads).sum()
+    }
+
+    /// Reset per-query state in place and seed `source`'s owner.
+    fn reset(&mut self, source: VertexId) {
+        for s in &mut self.shards {
+            s.gb.reset_dist(&mut s.device, source);
+            s.frontier.reset(&mut s.device);
+            s.updates.reset(&mut s.device);
+            s.device.fill(s.dirty, 0);
+            s.device.fill(s.pending, 0);
+            s.device.charge_kernel_launch(); // persistent phase-1 kernel
+            s.mark = s.device.elapsed_ms();
+        }
+        let owner = (source / self.chunk) as usize;
+        let s = &mut self.shards[owner];
+        let frontier = s.frontier;
+        let pending = s.pending;
+        frontier.host_push(&mut s.device, source);
+        s.device.write_word(pending, source as usize, 1);
+    }
+
+    /// Answer one query against the resident shards. Panics on a
+    /// detected device-queue overflow (which the recovery ladder,
+    /// [`crate::recover`], treats as a detection) — use
+    /// [`MultiGpuState::try_run`] for the typed error.
+    pub fn run(&mut self, source: VertexId) -> MultiGpuRun {
+        self.try_run(source).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Answer one query; `Err` on a detected device-queue overflow.
+    pub fn try_run(&mut self, source: VertexId) -> Result<MultiGpuRun, QueueOverflow> {
+        let n = self.n;
+        assert!(source < n, "source out of range");
+        self.reset(source);
+        let (config, chunk, delta) = (self.config.clone(), self.chunk, self.delta);
+        let shards = &mut self.shards;
+        let checks = Cell::new(0u64);
+        let total_updates = Cell::new(0u64);
+        let mut elapsed_ms = 0.0f64;
+        let mut exchange_ms = 0.0f64;
+        let mut exchanged_bytes = 0u64;
+        let mut supersteps = 0u32;
+        let mut buckets = 0u32;
+
+        let mut win_lo: u64 = 0;
+        loop {
+            let win_hi = win_lo + delta as u64;
+            buckets += 1;
+
+            // ---- Phase 1: light edges, inner exchange loop ----
+            loop {
+                let mut any = false;
+                let mut step_max = 0.0f64;
+                let mut all_improved: Vec<(VertexId, Dist)> = Vec::new();
+                for s in shards.iter_mut() {
+                    let items = s.frontier.drain(&mut s.device);
+                    if items.is_empty() {
+                        s.step_time();
+                        continue;
+                    }
+                    any = true;
+                    relax_wave(s, &items, win_lo, win_hi, delta, true, &checks, &total_updates);
+                    step_max = step_max.max(s.step_time());
+                    collect_updates(s, &mut all_improved);
+                }
+                if !any {
+                    break;
+                }
+                supersteps += 1;
+                elapsed_ms += step_max;
+                exchange(
+                    shards,
+                    &mut all_improved,
+                    &config,
+                    &mut exchange_ms,
+                    &mut exchanged_bytes,
+                );
+                // Owners enqueue in-window improved vertices.
+                seed_owners(shards, &all_improved, win_lo, win_hi, chunk);
+            }
+
+            // ---- Phase 2: heavy edges over owned settled ranges ----
+            let mut step_max = 0.0f64;
+            let mut all_improved: Vec<(VertexId, Dist)> = Vec::new();
+            for s in shards.iter_mut() {
+                let owned: Vec<VertexId> = (s.lo..s.hi)
+                    .filter(|&v| {
+                        let d = s.device.read_word(s.gb.dist, v as usize) as u64;
+                        d >= win_lo && d < win_hi
+                    })
+                    .collect();
+                if !owned.is_empty() {
+                    relax_wave(s, &owned, win_lo, win_hi, delta, false, &checks, &total_updates);
+                    collect_updates(s, &mut all_improved);
+                }
+                step_max = step_max.max(s.step_time());
+            }
+            supersteps += 1;
+            elapsed_ms += step_max;
+            exchange(shards, &mut all_improved, &config, &mut exchange_ms, &mut exchanged_bytes);
+
+            // Surface queue overflows (sticky cells survive the drains)
+            // before trusting this bucket's output.
+            check_shard_queues(shards)?;
+
+            // ---- Phase 3: next window (host-coordinated jump) ----
+            let dist0 = &shards[0].device.read(shards[0].gb.dist)[..n as usize];
+            let mut next_active = false;
+            let mut min_beyond = INF as u64;
+            for &d in dist0.iter() {
+                let du = d as u64;
+                if d != INF && du >= win_hi {
+                    if du < win_hi + delta as u64 {
+                        next_active = true;
+                    } else {
+                        min_beyond = min_beyond.min(du);
+                    }
+                }
+            }
+            let next_lo = if next_active {
+                win_hi
+            } else if min_beyond != INF as u64 {
+                min_beyond
+            } else {
+                break; // converged everywhere
+            };
+            let next_hi = next_lo + delta as u64;
+            // Seed owners with the next window's active vertices.
+            let seeds: Vec<(VertexId, Dist)> = dist0
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d != INF && (d as u64) >= next_lo && (d as u64) < next_hi)
+                .map(|(v, &d)| (v as VertexId, d))
+                .collect();
+            seed_owners(shards, &seeds, next_lo, next_hi, chunk);
+            win_lo = next_lo;
+        }
+
+        let dist = shards[0].device.read(shards[0].gb.dist)[..n as usize].to_vec();
+        let stats = UpdateStats {
+            checks: checks.get(),
+            total_updates: total_updates.get(),
+            ..Default::default()
+        };
+        // Snapshot the armed plan's log (cumulative while armed — the
+        // one-shot wrappers arm per run, so this matches their run).
+        let dev0 = &shards[0].device;
+        let fault_events = dev0.fault_log().to_vec();
+        let fault_injections = dev0.fault_injections();
+        Ok(MultiGpuRun {
+            result: SsspResult { source, dist, stats },
+            elapsed_ms: elapsed_ms + exchange_ms,
+            exchange_ms,
+            exchanged_bytes,
+            supersteps,
+            buckets,
+            fault_events,
+            fault_injections,
+        })
+    }
+}
+
+/// Run the multi-GPU bucketed SSSP (one-shot: builds a fresh
+/// [`MultiGpuState`], runs one query).
 pub fn multi_gpu_sssp(graph: &Csr, source: VertexId, config: &MultiGpuConfig) -> MultiGpuRun {
     multi_gpu_sssp_faulted(graph, source, config, None)
 }
@@ -117,174 +342,20 @@ pub fn multi_gpu_sssp_faulted(
 ) -> MultiGpuRun {
     let n = graph.num_vertices() as u32;
     assert!(source < n, "source out of range");
-    assert!(config.num_devices >= 1);
-    let k = config.num_devices as u32;
-    let delta = config.delta0.unwrap_or_else(|| default_delta(graph));
-    let chunk = n.div_ceil(k);
-
-    // Build shards: each device uploads the full graph arrays (the
-    // replicated-CSR layout common in 1-D multi-GPU SSSP; only the
-    // owned range is ever relaxed from) plus its own queues.
-    let mut shards: Vec<Shard> = (0..k)
-        .map(|d| {
-            let mut device = Device::new(config.device.clone());
-            let gb = GraphBuffers::upload(&mut device, graph);
-            let frontier = DeviceQueue::new(&mut device, "mg_frontier", n);
-            let updates = DeviceQueue::new(&mut device, "mg_updates", n);
-            let dirty = device.alloc("mg_dirty", n as usize);
-            let pending = device.alloc("mg_pending", n as usize);
-            Shard {
-                device,
-                gb,
-                frontier,
-                updates,
-                dirty,
-                pending,
-                lo: d * chunk,
-                hi: ((d + 1) * chunk).min(n),
-                mark: 0.0,
-            }
-        })
-        .collect();
-
+    let mut state = MultiGpuState::new(graph, config);
     if let Some(spec) = fault {
-        shards[0].device.arm_faults(FaultPlan::new(spec));
+        state.arm_faults(spec);
     }
+    state.run(source)
+}
 
-    // Init distances and seed the owner of the source.
-    for s in &mut shards {
-        s.gb.init_source(&mut s.device, source);
-        s.device.charge_kernel_launch(); // persistent phase-1 kernel
-        s.mark = s.device.elapsed_ms();
+/// `Err` if any shard's frontier or update queue overflowed.
+fn check_shard_queues(shards: &[Shard]) -> Result<(), QueueOverflow> {
+    for s in shards {
+        s.frontier.check(&s.device)?;
+        s.updates.check(&s.device)?;
     }
-    let owner = (source / chunk) as usize;
-    {
-        let s = &mut shards[owner];
-        let frontier = s.frontier;
-        let pending = s.pending;
-        frontier.host_push(&mut s.device, source);
-        s.device.write_word(pending, source as usize, 1);
-    }
-
-    let checks = Cell::new(0u64);
-    let total_updates = Cell::new(0u64);
-    let mut elapsed_ms = 0.0f64;
-    let mut exchange_ms = 0.0f64;
-    let mut exchanged_bytes = 0u64;
-    let mut supersteps = 0u32;
-    let mut buckets = 0u32;
-
-    let mut win_lo: u64 = 0;
-    loop {
-        let win_hi = win_lo + delta as u64;
-        buckets += 1;
-
-        // ---- Phase 1: light edges, inner exchange loop ----
-        loop {
-            let mut any = false;
-            let mut step_max = 0.0f64;
-            let mut all_improved: Vec<(VertexId, Dist)> = Vec::new();
-            for s in &mut shards {
-                let items = s.frontier.drain(&mut s.device);
-                if items.is_empty() {
-                    s.step_time();
-                    continue;
-                }
-                any = true;
-                relax_wave(s, &items, win_lo, win_hi, delta, true, &checks, &total_updates);
-                step_max = step_max.max(s.step_time());
-                collect_updates(s, &mut all_improved);
-            }
-            if !any {
-                break;
-            }
-            supersteps += 1;
-            elapsed_ms += step_max;
-            exchange(
-                &mut shards,
-                &mut all_improved,
-                config,
-                &mut exchange_ms,
-                &mut exchanged_bytes,
-            );
-            // Owners enqueue in-window improved vertices.
-            seed_owners(&mut shards, &all_improved, win_lo, win_hi, chunk);
-        }
-
-        // ---- Phase 2: heavy edges over owned settled ranges ----
-        let mut step_max = 0.0f64;
-        let mut all_improved: Vec<(VertexId, Dist)> = Vec::new();
-        for s in &mut shards {
-            let owned: Vec<VertexId> = (s.lo..s.hi)
-                .filter(|&v| {
-                    let d = s.device.read_word(s.gb.dist, v as usize) as u64;
-                    d >= win_lo && d < win_hi
-                })
-                .collect();
-            if !owned.is_empty() {
-                relax_wave(s, &owned, win_lo, win_hi, delta, false, &checks, &total_updates);
-                collect_updates(s, &mut all_improved);
-            }
-            step_max = step_max.max(s.step_time());
-        }
-        supersteps += 1;
-        elapsed_ms += step_max;
-        exchange(&mut shards, &mut all_improved, config, &mut exchange_ms, &mut exchanged_bytes);
-
-        // ---- Phase 3: next window (host-coordinated jump) ----
-        let dist0 = shards[0].device.read(shards[0].gb.dist);
-        let mut next_active = false;
-        let mut min_beyond = INF as u64;
-        for (v, &d) in dist0.iter().enumerate() {
-            let du = d as u64;
-            if d != INF && du >= win_hi {
-                if du < win_hi + delta as u64 {
-                    next_active = true;
-                } else {
-                    min_beyond = min_beyond.min(du);
-                }
-            }
-            let _ = v;
-        }
-        let next_lo = if next_active {
-            win_hi
-        } else if min_beyond != INF as u64 {
-            min_beyond
-        } else {
-            break; // converged everywhere
-        };
-        let next_hi = next_lo + delta as u64;
-        // Seed owners with the next window's active vertices.
-        let seeds: Vec<(VertexId, Dist)> = dist0
-            .iter()
-            .enumerate()
-            .filter(|&(_, &d)| d != INF && (d as u64) >= next_lo && (d as u64) < next_hi)
-            .map(|(v, &d)| (v as VertexId, d))
-            .collect();
-        seed_owners(&mut shards, &seeds, next_lo, next_hi, chunk);
-        win_lo = next_lo;
-    }
-
-    let dist = shards[0].device.read(shards[0].gb.dist).to_vec();
-    let stats = UpdateStats {
-        checks: checks.get(),
-        total_updates: total_updates.get(),
-        ..Default::default()
-    };
-    let (fault_events, fault_injections) = match shards[0].device.disarm_faults() {
-        Some(plan) => (plan.log().to_vec(), plan.injections()),
-        None => (Vec::new(), 0),
-    };
-    MultiGpuRun {
-        result: SsspResult { source, dist, stats },
-        elapsed_ms: elapsed_ms + exchange_ms,
-        exchange_ms,
-        exchanged_bytes,
-        supersteps,
-        buckets,
-        fault_events,
-        fault_injections,
-    }
+    Ok(())
 }
 
 /// One relaxation wave on a shard: light (`w < delta`) or heavy

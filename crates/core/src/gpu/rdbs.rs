@@ -22,7 +22,7 @@
 //!   recomputed on-device when the width changed (§4.1: "the offset of
 //!   heavy edges can be changed immediately").
 
-use super::buffers::{DeviceQueue, GraphBuffers};
+use super::buffers::{DeviceQueue, GraphBuffers, QueueOverflow};
 use crate::adaptive_delta::DeltaController;
 use crate::stats::{trace as relax_trace, SsspResult, UpdateStats};
 use crate::workload::{classify, WorkloadClass};
@@ -103,14 +103,14 @@ struct Inst {
 
 /// The three workload lists (one used when ADWL is off).
 #[derive(Clone, Copy)]
-struct Queues {
-    q: [DeviceQueue; WorkloadClass::COUNT],
+pub(crate) struct Queues {
+    pub(crate) q: [DeviceQueue; WorkloadClass::COUNT],
     /// Every enqueued vertex is also recorded here: the union over a
     /// bucket is exactly the bucket's membership, which phase 2 needs
     /// — tracking it at enqueue time replaces a full vertex scan.
-    members: DeviceQueue,
-    pending: Buf,
-    adwl: bool,
+    pub(crate) members: DeviceQueue,
+    pub(crate) pending: Buf,
+    pub(crate) adwl: bool,
 }
 
 impl Queues {
@@ -123,6 +123,15 @@ impl Queues {
         let members = DeviceQueue::new(device, "bucket_members", n);
         let pending = device.alloc("pending", n as usize);
         Self { q, members, pending, adwl }
+    }
+
+    /// `Err` if any workload list's sticky overflow cell is raised
+    /// (checked once per bucket — the cells survive drains).
+    fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
+        for q in self.q.iter().chain(std::iter::once(&self.members)) {
+            q.check(device)?;
+        }
+        Ok(())
     }
 
     /// Device-side light-degree probe used for classification. Under
@@ -200,13 +209,86 @@ pub struct RdbsRun {
     pub audit: Vec<MonotonicityViolation>,
 }
 
+/// Per-query device scratch for [`rdbs_on`]: the workload lists, the
+/// bucket-membership queue, the pending marks and the phase-3 scan
+/// cells. Allocated once and recycled across queries of the same
+/// graph by the resident service ([`crate::service`]) via
+/// [`RdbsScratch::reset`].
+pub struct RdbsScratch {
+    pub(crate) queues: Queues,
+    /// `scan_out[0]` = next-bucket active count, `scan_out[1]` = min
+    /// unsettled distance beyond the window.
+    pub(crate) scan_out: Buf,
+}
+
+impl RdbsScratch {
+    /// Allocate fresh scratch for an `n`-vertex graph.
+    pub fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+        let queues = Queues::new(device, n, adwl);
+        let scan_out = device.alloc("scan_out", 2);
+        Self { queues, scan_out }
+    }
+
+    /// Assemble scratch from caller-provided (e.g. pooled) parts.
+    pub(crate) fn from_parts(queues: Queues, scan_out: Buf) -> Self {
+        Self { queues, scan_out }
+    }
+
+    /// Reset for a fresh query: empty non-overflowed queues, cleared
+    /// pending marks. Queue *contents* are not zeroed — the cursors
+    /// define what is live.
+    pub fn reset(&self, device: &mut Device) {
+        for q in &self.queues.q {
+            q.reset(device);
+        }
+        self.queues.members.reset(device);
+        device.fill(self.queues.pending, 0);
+    }
+}
+
 /// Run RDBS (or any ablation) on `device`.
+///
+/// The one-shot entry point: uploads the graph, allocates fresh
+/// scratch and a fresh Δ controller, and delegates to [`rdbs_on`].
 ///
 /// If `config.pro` the graph must already be preprocessed (weight
 /// sorted, heavy offsets attached — see `rdbs_graph::reorder::pro`);
 /// the distances returned are in the graph's labelling
 /// ([`super::run_gpu`] maps them back to original ids).
 pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConfig) -> RdbsRun {
+    let n = graph.num_vertices() as u32;
+    let width0 = config.delta0.unwrap_or_else(|| default_delta(graph));
+    // Utilization floor: a bucket that cannot fill a quarter of the
+    // device's lanes doubles Δ (§4.3's utilization driver).
+    let lanes = device.config().num_sms as u64 * 32 * 2;
+    let mut controller = DeltaController::new(width0).with_target_parallelism(lanes);
+    let gb = GraphBuffers::upload(device, graph);
+    let scratch = RdbsScratch::new(device, n, config.adwl);
+    match rdbs_on(device, gb, &scratch, graph, source, config, &mut controller) {
+        Ok(run) => run,
+        // Fault-free runs cannot overflow (capacity-n lists with
+        // pending dedup); under an armed fault plan the panic is a
+        // *detection* the recovery ladder ([`crate::recover`]) catches.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Run RDBS against caller-resident device state: graph arrays +
+/// distance buffer (`gb`), recyclable scratch, and a Δ controller
+/// whose current width seeds Δ₀ (warm-started across queries by the
+/// resident service). Resets `scratch` and the distance vector
+/// itself; `Err` on a detected device-queue overflow (the queues'
+/// sticky cells are checked every bucket).
+#[allow(clippy::too_many_arguments)]
+pub fn rdbs_on(
+    device: &mut Device,
+    gb: GraphBuffers,
+    scratch: &RdbsScratch,
+    graph: &Csr,
+    source: VertexId,
+    config: RdbsConfig,
+    controller: &mut DeltaController,
+) -> Result<RdbsRun, QueueOverflow> {
     let n = graph.num_vertices() as u32;
     assert!(source < n, "source out of range");
     if config.pro {
@@ -215,18 +297,13 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
             "PRO requires a graph preprocessed with rdbs_graph::reorder::pro"
         );
     }
-    let width0 = config.delta0.unwrap_or_else(|| default_delta(graph));
-    // Utilization floor: a bucket that cannot fill a quarter of the
-    // device's lanes doubles Δ (§4.3's utilization driver).
-    let lanes = device.config().num_sms as u64 * 32 * 2;
-    let mut controller = DeltaController::new(width0).with_target_parallelism(lanes);
+    let width0 = controller.delta();
+    controller.start_run();
 
-    let gb = GraphBuffers::upload(device, graph);
-    gb.init_source(device, source);
-    let queues = Queues::new(device, n, config.adwl);
-    // scan_out[0] = next-bucket active count, scan_out[1] = min
-    // unsettled distance beyond the window.
-    let scan_out = device.alloc("scan_out", 2);
+    scratch.reset(device);
+    gb.reset_dist(device, source);
+    let queues = scratch.queues;
+    let scan_out = scratch.scan_out;
 
     let inst = Rc::new(Inst::default());
     let mut traces: Vec<GpuBucketTrace> = Vec::new();
@@ -246,7 +323,7 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
     // taken when faults are armed, so the fault-free path reads
     // nothing extra and stays bit-identical.
     let mut audit_prev: Option<Vec<Dist>> =
-        device.faults_armed().then(|| device.read(gb.dist).to_vec());
+        device.faults_armed().then(|| device.read(gb.dist)[..n as usize].to_vec());
 
     // BASYN: one persistent manager/worker kernel serves phase 1 for
     // the whole run — a single host launch (§4.3).
@@ -288,8 +365,10 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
         trace.active = inst.active.get() - active_before;
 
         // C_i: vertices settled by this bucket (host instrumentation).
-        let settled_now =
-            device.read(gb.dist).iter().filter(|&&d| (d as u64) < hi && d != INF).count() as u64;
+        let settled_now = device.read(gb.dist)[..n as usize]
+            .iter()
+            .filter(|&&d| (d as u64) < hi && d != INF)
+            .count() as u64;
         trace.converged = settled_now.saturating_sub(settled_before);
         settled_before = settled_now;
 
@@ -354,6 +433,9 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
         if let Some(prev) = audit_prev.as_mut() {
             audit_bucket(device, gb, prev, lo, &mut audit);
         }
+        // Surface any queue overflow this bucket produced (the sticky
+        // cells survive the drains above) before trusting its output.
+        queues.check(device)?;
         traces.push(trace);
         if done {
             break;
@@ -370,7 +452,7 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
     stats.phase1_layers = traces.iter().map(|t| t.layers).collect();
     stats.bucket_active = traces.iter().map(|t| t.active).collect();
     let dist = gb.download_dist(device);
-    RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces, audit }
+    Ok(RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces, audit })
 }
 
 /// Compare the live distances with the previous bucket's snapshot:
@@ -699,6 +781,15 @@ fn update_heavy_offsets_wave(
         }
         lane.st(heavy, v, lo);
     });
+}
+
+/// Recompute every vertex's heavy offset for `width` — the resident
+/// service's query-reset path. A finished query leaves per-vertex
+/// offsets split at whatever width each vertex last saw before it
+/// settled; a fresh query must start from a uniform split matching
+/// its Δ₀, recomputed on-device with no H2D re-upload.
+pub(crate) fn refresh_heavy_offsets(device: &mut Device, gb: GraphBuffers, width: Weight) {
+    update_heavy_offsets_wave(device, gb, width, 0);
 }
 
 #[cfg(test)]

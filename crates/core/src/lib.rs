@@ -25,6 +25,7 @@ pub mod gpu;
 pub mod paths;
 pub mod recover;
 pub mod seq;
+pub mod service;
 pub mod stats;
 pub mod validate;
 pub mod workload;

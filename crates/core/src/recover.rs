@@ -29,6 +29,7 @@ use crate::gpu::{
     multi_gpu_sssp, multi_gpu_sssp_faulted, run_gpu_on, MultiGpuConfig, RdbsConfig, Variant,
 };
 use crate::seq::dijkstra;
+use crate::service::{ServiceConfig, SsspService};
 use crate::stats::SsspResult;
 use crate::validate::audit_sssp;
 use crate::{saturating_relax, Csr, Dist, VertexId, INF};
@@ -184,6 +185,46 @@ pub fn run_gpu_recovered(
         Variant::Baseline => None,
     };
     let rerun = |graph: &Csr, source: VertexId| {
+        let mut fresh = Device::new(device_config.clone());
+        let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
+        run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
+    };
+    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+}
+
+/// Run the resident batched service ([`crate::service`]) under
+/// `fault`, audit, and recover. The faulted query runs *after* a
+/// fault-free warm-up query, so the attempt exercises recycled pooled
+/// buffers — the reuse path the chaos matrix must show can never turn
+/// a fault into a silent wrong answer. A typed [`ServiceError`]
+/// (e.g. a queue overflow) counts as a detection and is recorded in
+/// the report's `panic` field alongside real panics.
+///
+/// [`ServiceError`]: crate::service::ServiceError
+pub fn run_service_recovered(
+    graph: &Csr,
+    source: VertexId,
+    config: ServiceConfig,
+    fault: Option<FaultSpec>,
+) -> RecoveredRun {
+    let device_config = config.device.clone();
+    let delta0 = config.delta0;
+    let mut service = SsspService::new(graph, config);
+    let n = graph.num_vertices() as u32;
+    if n > 1 {
+        let _ = service.query((source + 1) % n); // warm the pooled buffers
+    }
+    if let Some(spec) = fault {
+        service.arm_faults(spec);
+    }
+    let attempt = catch_unwind(AssertUnwindSafe(|| service.try_query(source)));
+    let (injections, fault_events) = service.disarm_faults().unwrap_or((0, Vec::new()));
+    let (attempt, panic) = match attempt {
+        Ok(Ok(result)) => (Some((result, service.last_audit_hits())), None),
+        Ok(Err(e)) => (None, Some(e.to_string())), // typed detection
+        Err(payload) => (None, Some(panic_text(payload.as_ref()))),
+    };
+    let rerun = move |graph: &Csr, source: VertexId| {
         let mut fresh = Device::new(device_config.clone());
         let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
         run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
@@ -417,6 +458,31 @@ mod tests {
             check_against_dijkstra(&g, 0, &run.result.dist)
                 .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
         }
+    }
+
+    #[test]
+    fn service_pooled_queries_are_never_silently_wrong() {
+        // The faulted query runs on recycled pooled buffers (after a
+        // fault-free warm-up) — reuse must not weaken the guarantee.
+        let g = graph(7);
+        let mut detected_any = false;
+        for seed in 0..4 {
+            let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 0.3, seed);
+            let run = run_service_recovered(&g, 0, ServiceConfig::rdbs(tiny()), Some(spec));
+            check_against_dijkstra(&g, 0, &run.result.dist)
+                .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
+            detected_any |= run.report.detected();
+        }
+        assert!(detected_any, "no seed tripped a detector on the pooled path");
+    }
+
+    #[test]
+    fn service_fault_free_run_is_clean() {
+        let g = graph(8);
+        let run = run_service_recovered(&g, 3, ServiceConfig::rdbs(tiny()), None);
+        assert_eq!(run.report.outcome, RecoveryOutcome::Clean);
+        assert!(!run.report.detected());
+        check_against_dijkstra(&g, 3, &run.result.dist).unwrap();
     }
 
     #[test]

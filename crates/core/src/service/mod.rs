@@ -1,0 +1,635 @@
+//! Resident SSSP service: upload the graph once, answer many sources.
+//!
+//! The one-shot entry points ([`crate::gpu::rdbs::rdbs`],
+//! [`crate::gpu::bl()`](fn@crate::gpu::bl), [`crate::gpu::multi_gpu_sssp`]) pay the full
+//! setup price per query: graph H2D upload, buffer allocation, Δ
+//! controller warm-up, and (with PRO) the host-side reorder. A
+//! workload that asks many sources of the same graph — betweenness
+//! sampling, reachability sweeps, all-pairs seeds — re-pays all of it
+//! for no reason. [`SsspService`] keeps everything that is a function
+//! of the *graph* resident on the device and recycles everything that
+//! is a function of the *query* through a size-class
+//! [`pool::BufferPool`]:
+//!
+//! * the CSR arrays ([`GraphArrays`]) are uploaded once per
+//!   [`SsspService::load_graph`] generation;
+//! * distance vector, workload lists, bucket membership queue,
+//!   pending marks and scan cells are acquired from the pool and
+//!   **reset** (an explicit, cheap cursor/fill step) per query —
+//!   never reallocated;
+//! * the [`DeltaController`] is reused across queries, so a batch
+//!   warm-starts each query's Δ₀ from the previous query's converged
+//!   width (Δ-stepping with `atomicMin` relaxations is exact under
+//!   any Δ schedule, so distances stay bit-identical to one-shot);
+//! * with PRO, the heavy-edge offsets are refreshed on-device at
+//!   query start — a finished run leaves them at per-vertex widths.
+//!
+//! [`SsspService::batch`] answers a slice of sources and accounts the
+//! amortization in [`BatchStats`]: uploads avoided, bytes recycled,
+//! per-query wall time. A query whose device attempt reports a
+//! [`QueueOverflow`] is re-answered by host Dijkstra and counted in
+//! [`BatchStats::fallbacks`] — the service never returns a silently
+//! truncated answer.
+
+pub mod pool;
+
+use crate::adaptive_delta::DeltaController;
+use crate::gpu::bl::{bl_on, BlScratch};
+use crate::gpu::buffers::{DeviceQueue, GraphArrays, QueueOverflow};
+use crate::gpu::multi::{MultiGpuConfig, MultiGpuState};
+use crate::gpu::rdbs::{self, rdbs_on, Queues, RdbsScratch};
+use crate::gpu::Variant;
+use crate::seq::dijkstra;
+use crate::stats::{BatchStats, SsspResult};
+use crate::{default_delta, Csr, VertexId, Weight};
+use pool::BufferPool;
+use rdbs_gpu_sim::{Buf, Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
+use rdbs_graph::reorder::Permutation;
+use std::time::Instant;
+
+/// Which execution engine answers the service's queries.
+#[derive(Clone, Copy, Debug)]
+pub enum Backend {
+    /// One simulated device running `Variant` (BL or any RDBS
+    /// ablation).
+    Gpu(Variant),
+    /// `k` simulated devices running the bulk-synchronous multi-GPU
+    /// port.
+    MultiGpu(usize),
+}
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    pub backend: Backend,
+    /// Per-device hardware model.
+    pub device: DeviceConfig,
+    /// Δ₀ override for the multi-GPU backend (single-GPU variants
+    /// carry their own in [`crate::gpu::RdbsConfig`]).
+    pub delta0: Option<Weight>,
+}
+
+impl ServiceConfig {
+    /// Full RDBS (BASYN+PRO+ADWL) on one device.
+    pub fn rdbs(device: DeviceConfig) -> Self {
+        Self {
+            backend: Backend::Gpu(Variant::Rdbs(crate::gpu::RdbsConfig::full())),
+            device,
+            delta0: None,
+        }
+    }
+
+    /// The synchronous push baseline on one device.
+    pub fn baseline(device: DeviceConfig) -> Self {
+        Self { backend: Backend::Gpu(Variant::Baseline), device, delta0: None }
+    }
+
+    /// The multi-GPU port over `devices` shards (NVLink-class
+    /// interconnect defaults).
+    pub fn multi(devices: usize, device: DeviceConfig) -> Self {
+        Self { backend: Backend::MultiGpu(devices), device, delta0: None }
+    }
+}
+
+/// Why a query could not be answered by the device path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A device queue's sticky overflow cell was raised — the device
+    /// attempt may have dropped work and its output is untrusted.
+    Overflow(QueueOverflow),
+    /// The source is not a vertex of the resident graph.
+    SourceOutOfRange { source: VertexId, n: u32 },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overflow(e) => write!(f, "{e}"),
+            ServiceError::SourceOutOfRange { source, n } => {
+                write!(f, "source {source} out of range for a {n}-vertex graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<QueueOverflow> for ServiceError {
+    fn from(e: QueueOverflow) -> Self {
+        ServiceError::Overflow(e)
+    }
+}
+
+/// Per-query device scratch, shaped by the variant.
+enum Scratch {
+    Rdbs(RdbsScratch),
+    Bl(BlScratch),
+}
+
+/// Resident single-device state.
+struct GpuState {
+    device: Device,
+    variant: Variant,
+    /// PRO relabelling of the current graph, when the variant
+    /// preprocesses.
+    perm: Option<Permutation>,
+    arrays: GraphArrays,
+    dist: Buf,
+    scratch: Scratch,
+    controller: DeltaController,
+}
+
+enum State {
+    Gpu(Box<GpuState>),
+    Multi(Box<MultiGpuState>),
+}
+
+/// A resident, batched SSSP service — see the module docs.
+pub struct SsspService {
+    config: ServiceConfig,
+    state: State,
+    /// The graph queries actually run on (PRO-relabelled when the
+    /// variant preprocesses; the original otherwise).
+    graph: Csr,
+    pool: BufferPool,
+    stats: BatchStats,
+    /// H2D uploads one graph generation costs (charged once; avoided
+    /// by every follow-up query).
+    uploads_per_graph: u64,
+    /// Queries answered against the current graph generation.
+    queries_on_graph: u64,
+    /// Monotonicity-audit hits of the most recent device attempt
+    /// (only populated while faults are armed).
+    last_audit_hits: usize,
+}
+
+impl SsspService {
+    /// Build the backend, upload `graph` once, and pre-acquire the
+    /// per-query buffers from the pool.
+    pub fn new(graph: &Csr, config: ServiceConfig) -> Self {
+        let mut pool = BufferPool::new();
+        let (state, run_graph, uploads) = match config.backend {
+            Backend::Gpu(variant) => {
+                let mut device = Device::new(config.device.clone());
+                let (run_graph, perm) = prepare(graph, variant);
+                let n = run_graph.num_vertices() as u32;
+                let arrays = GraphArrays::upload(&mut device, &run_graph);
+                let uploads = device.counters().h2d_uploads;
+                let dist = pool.acquire(&mut device, "dist", n as usize);
+                let scratch = build_scratch(&mut pool, &mut device, n, variant);
+                let controller = fresh_controller(&device, &run_graph, variant);
+                let st = GpuState { device, variant, perm, arrays, dist, scratch, controller };
+                (State::Gpu(Box::new(st)), run_graph, uploads)
+            }
+            Backend::MultiGpu(k) => {
+                let st = MultiGpuState::new(graph, &multi_config(&config, k));
+                let uploads = st.graph_uploads();
+                (State::Multi(Box::new(st)), graph.clone(), uploads)
+            }
+        };
+        let stats = BatchStats { graph_uploads: uploads, ..Default::default() };
+        Self {
+            config,
+            state,
+            graph: run_graph,
+            pool,
+            stats,
+            uploads_per_graph: uploads,
+            queries_on_graph: 0,
+            last_audit_hits: 0,
+        }
+    }
+
+    /// Swap in a new graph generation: the old generation's buffers go
+    /// back to the pool (per-query buffers of the new generation are
+    /// recycled from them when the size classes match), the new CSR is
+    /// uploaded once, and the Δ controller starts fresh.
+    pub fn load_graph(&mut self, graph: &Csr) {
+        match &mut self.state {
+            State::Gpu(st) => {
+                release_gpu_buffers(&self.pool, st);
+                let (run_graph, perm) = prepare(graph, st.variant);
+                let n = run_graph.num_vertices() as u32;
+                let before = st.device.counters().h2d_uploads;
+                st.arrays = GraphArrays::upload(&mut st.device, &run_graph);
+                self.uploads_per_graph = st.device.counters().h2d_uploads - before;
+                st.dist = self.pool.acquire(&mut st.device, "dist", n as usize);
+                st.scratch = build_scratch(&mut self.pool, &mut st.device, n, st.variant);
+                st.controller = fresh_controller(&st.device, &run_graph, st.variant);
+                st.perm = perm;
+                self.graph = run_graph;
+            }
+            State::Multi(_) => {
+                let Backend::MultiGpu(k) = self.config.backend else { unreachable!() };
+                let st = MultiGpuState::new(graph, &multi_config(&self.config, k));
+                self.uploads_per_graph = st.graph_uploads();
+                self.state = State::Multi(Box::new(st));
+                self.graph = graph.clone();
+            }
+        }
+        self.stats.graph_uploads += self.uploads_per_graph;
+        self.queries_on_graph = 0;
+    }
+
+    /// Answer one query against the resident graph; `Err` on an
+    /// out-of-range source or a detected device-queue overflow.
+    pub fn try_query(&mut self, source: VertexId) -> Result<SsspResult, ServiceError> {
+        let n = self.graph.num_vertices() as u32;
+        if source >= n {
+            return Err(ServiceError::SourceOutOfRange { source, n });
+        }
+        let started = Instant::now();
+        let result = self.device_query(source)?;
+        self.note_query(started);
+        Ok(result)
+    }
+
+    /// Like [`SsspService::try_query`] but panicking on error — the
+    /// recovery ladder ([`crate::recover`]) treats the panic as a
+    /// detection.
+    pub fn query(&mut self, source: VertexId) -> SsspResult {
+        self.try_query(source).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Answer many sources against one upload. A query whose device
+    /// attempt reports an overflow is re-answered by host Dijkstra
+    /// (counted in [`BatchStats::fallbacks`]); an out-of-range source
+    /// panics — the batch's shape is the caller's contract.
+    pub fn batch(&mut self, sources: &[VertexId]) -> Vec<SsspResult> {
+        sources
+            .iter()
+            .map(|&source| match self.try_query(source) {
+                Ok(result) => result,
+                Err(e @ ServiceError::SourceOutOfRange { .. }) => panic!("{e}"),
+                Err(ServiceError::Overflow(_)) => self.host_fallback(source),
+            })
+            .collect()
+    }
+
+    /// Amortization accounting since construction (pool counters are
+    /// folded in at read time).
+    pub fn stats(&self) -> BatchStats {
+        let mut stats = self.stats.clone();
+        stats.pool_allocs = self.pool.allocs();
+        stats.pool_reuses = self.pool.reuses();
+        stats.bytes_recycled = self.pool.words_recycled() * 4;
+        stats
+    }
+
+    /// H2D uploads performed so far, read off the live device
+    /// counters — the batched-amortization assertion: constant across
+    /// queries of one graph generation.
+    pub fn device_uploads(&self) -> u64 {
+        match &self.state {
+            State::Gpu(st) => st.device.counters().h2d_uploads,
+            State::Multi(st) => st.graph_uploads(),
+        }
+    }
+
+    /// The graph the service currently answers queries for, in the
+    /// service's internal labelling.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Arm a fault plan on the resident device (shard 0 for the
+    /// multi-GPU backend) — the chaos matrix drives the pooled entry
+    /// point through this.
+    pub fn arm_faults(&mut self, spec: FaultSpec) {
+        match &mut self.state {
+            State::Gpu(st) => st.device.arm_faults(FaultPlan::new(spec)),
+            State::Multi(st) => st.arm_faults(spec),
+        }
+    }
+
+    /// Disarm any armed fault plan, returning its injection count and
+    /// event log for the recovery report.
+    pub fn disarm_faults(&mut self) -> Option<(u64, Vec<FaultEvent>)> {
+        let plan = match &mut self.state {
+            State::Gpu(st) => st.device.disarm_faults(),
+            State::Multi(st) => st.disarm_faults(),
+        };
+        plan.map(|p| (p.injections(), p.log().to_vec()))
+    }
+
+    /// Monotonicity-audit hits of the most recent device attempt
+    /// (non-zero only while faults are armed).
+    pub fn last_audit_hits(&self) -> usize {
+        self.last_audit_hits
+    }
+
+    /// The device attempt proper: reset recycled buffers, run, map
+    /// distances back to the caller's labelling.
+    fn device_query(&mut self, source: VertexId) -> Result<SsspResult, QueueOverflow> {
+        self.last_audit_hits = 0;
+        match &mut self.state {
+            State::Gpu(st) => {
+                let st = &mut **st;
+                let gb = st.arrays.with_dist(st.dist);
+                let mapped = st.perm.as_ref().map_or(source, |p| p.new_id(source));
+                match (&st.variant, &st.scratch) {
+                    (Variant::Baseline, Scratch::Bl(scratch)) => {
+                        Ok(bl_on(&mut st.device, gb, scratch, &self.graph, mapped))
+                    }
+                    (Variant::Rdbs(cfg), Scratch::Rdbs(scratch)) => {
+                        if cfg.pro && self.queries_on_graph > 0 {
+                            // A finished run leaves the heavy offsets at
+                            // whatever widths its buckets last touched,
+                            // per vertex; re-arm the controller first so
+                            // they are recomputed device-side at the
+                            // width the run will actually start at.
+                            st.controller.start_run();
+                            rdbs::refresh_heavy_offsets(&mut st.device, gb, st.controller.delta());
+                        }
+                        let run = rdbs_on(
+                            &mut st.device,
+                            gb,
+                            scratch,
+                            &self.graph,
+                            mapped,
+                            *cfg,
+                            &mut st.controller,
+                        )?;
+                        self.last_audit_hits = run.audit.len();
+                        let mut result = run.result;
+                        if let Some(perm) = &st.perm {
+                            result.dist = perm.unapply_to_array(&result.dist);
+                            result.source = source;
+                        }
+                        Ok(result)
+                    }
+                    _ => unreachable!("scratch kind always matches the variant"),
+                }
+            }
+            State::Multi(st) => Ok(st.try_run(source)?.result),
+        }
+    }
+
+    /// Answer from the host oracle after a detected device error —
+    /// never a silently truncated device answer.
+    fn host_fallback(&mut self, source: VertexId) -> SsspResult {
+        let started = Instant::now();
+        self.stats.fallbacks += 1;
+        let mapped = self.perm().map_or(source, |p| p.new_id(source));
+        let mut result = dijkstra(&self.graph, mapped);
+        if let Some(perm) = self.perm() {
+            result.dist = perm.unapply_to_array(&result.dist);
+            result.source = source;
+        }
+        self.note_query(started);
+        result
+    }
+
+    fn perm(&self) -> Option<&Permutation> {
+        match &self.state {
+            State::Gpu(st) => st.perm.as_ref(),
+            State::Multi(_) => None,
+        }
+    }
+
+    fn note_query(&mut self, started: Instant) {
+        self.stats.queries += 1;
+        self.stats.per_query_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        if self.queries_on_graph > 0 {
+            self.stats.uploads_avoided += self.uploads_per_graph;
+        }
+        self.queries_on_graph += 1;
+    }
+}
+
+/// PRO-preprocess when the variant asks for it.
+fn prepare(graph: &Csr, variant: Variant) -> (Csr, Option<Permutation>) {
+    match variant {
+        Variant::Rdbs(cfg) if cfg.pro => {
+            let delta0 = cfg.delta0.unwrap_or_else(|| default_delta(graph));
+            let (pg, perm) = rdbs_graph::reorder::pro(graph, delta0);
+            (pg, Some(perm))
+        }
+        _ => (graph.clone(), None),
+    }
+}
+
+/// Fresh Δ controller matching the one-shot entry point's seeding.
+fn fresh_controller(device: &Device, graph: &Csr, variant: Variant) -> DeltaController {
+    let width0 = match variant {
+        Variant::Rdbs(cfg) => cfg.delta0.unwrap_or_else(|| default_delta(graph)),
+        Variant::Baseline => default_delta(graph),
+    };
+    let lanes = device.config().num_sms as u64 * 32 * 2;
+    DeltaController::new(width0).with_target_parallelism(lanes)
+}
+
+fn multi_config(config: &ServiceConfig, devices: usize) -> MultiGpuConfig {
+    MultiGpuConfig {
+        num_devices: devices,
+        device: config.device.clone(),
+        interconnect_gbps: 50.0,
+        exchange_latency_us: 5.0,
+        delta0: config.delta0,
+    }
+}
+
+/// Acquire the per-query scratch from the pool.
+fn build_scratch(pool: &mut BufferPool, device: &mut Device, n: u32, variant: Variant) -> Scratch {
+    match variant {
+        Variant::Baseline => {
+            let mask = pool.acquire(device, "bl_mask", n as usize);
+            let progress = pool.acquire(device, "bl_progress", 1);
+            Scratch::Bl(BlScratch::from_parts(mask, progress))
+        }
+        Variant::Rdbs(cfg) => {
+            let q = [
+                pooled_queue(pool, device, "workload_small", n),
+                pooled_queue(pool, device, "workload_medium", n),
+                pooled_queue(pool, device, "workload_large", n),
+            ];
+            let members = pooled_queue(pool, device, "bucket_members", n);
+            let pending = pool.acquire(device, "pending", n as usize);
+            let queues = Queues { q, members, pending, adwl: cfg.adwl };
+            let scan_out = pool.acquire(device, "scan_out", 2);
+            Scratch::Rdbs(RdbsScratch::from_parts(queues, scan_out))
+        }
+    }
+}
+
+/// Assemble a queue from pooled parts. The logical capacity stays the
+/// requested one even when the pooled data buffer is size-class
+/// rounded past it, so overflow semantics match a one-shot queue
+/// exactly.
+fn pooled_queue(
+    pool: &mut BufferPool,
+    device: &mut Device,
+    label: &'static str,
+    capacity: u32,
+) -> DeviceQueue {
+    let data = pool.acquire(device, label, capacity as usize);
+    let tail = pool.acquire(device, "queue_tail", 1);
+    let overflow = pool.acquire(device, "queue_overflow", 1);
+    let queue = DeviceQueue { data, tail, overflow, capacity, label };
+    queue.reset(device); // recycled cursor/overflow cells hold stale words
+    queue
+}
+
+/// Return one generation's per-query and graph buffers to the pool.
+fn release_gpu_buffers(pool: &BufferPool, st: &mut GpuState) {
+    let device = &mut st.device;
+    pool.release(device, st.dist);
+    match &st.scratch {
+        Scratch::Bl(s) => {
+            pool.release(device, s.mask);
+            pool.release(device, s.progress);
+        }
+        Scratch::Rdbs(s) => {
+            for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
+                pool.release(device, q.data);
+                pool.release(device, q.tail);
+                pool.release(device, q.overflow);
+            }
+            pool.release(device, s.queues.pending);
+            pool.release(device, s.scan_out);
+        }
+    }
+    pool.release(device, st.arrays.row);
+    pool.release(device, st.arrays.adj);
+    pool.release(device, st.arrays.wt);
+    if let Some(heavy) = st.arrays.heavy {
+        pool.release(device, heavy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{run_gpu, RdbsConfig};
+    use crate::validate::check_against_dijkstra;
+    use rdbs_graph::builder::build_undirected;
+    use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+    fn graph(seed: u64) -> Csr {
+        let mut el = erdos_renyi(120, 600, seed);
+        uniform_weights(&mut el, seed + 9);
+        build_undirected(&el)
+    }
+
+    fn tiny() -> DeviceConfig {
+        DeviceConfig::test_tiny()
+    }
+
+    #[test]
+    fn batched_matches_one_shot_bit_identical() {
+        let g = graph(1);
+        let variant = Variant::Rdbs(RdbsConfig::full());
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let sources: Vec<VertexId> = (0..8).map(|i| i * 13 % 120).collect();
+        let batched = svc.batch(&sources);
+        for (i, &s) in sources.iter().enumerate() {
+            let one_shot = run_gpu(&g, s, variant, tiny());
+            assert_eq!(batched[i].dist, one_shot.result.dist, "source {s}");
+            assert_eq!(batched[i].source, s);
+        }
+        assert_eq!(svc.stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn one_upload_serves_a_whole_batch() {
+        let g = graph(2);
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let after_build = svc.device_uploads();
+        assert_eq!(after_build, 4, "row+adj+wt+heavy, exactly once");
+        let sources: Vec<VertexId> = (0..16).collect();
+        let results = svc.batch(&sources);
+        assert_eq!(results.len(), 16);
+        assert_eq!(svc.device_uploads(), after_build, "no re-upload per query");
+        let stats = svc.stats();
+        assert_eq!(stats.queries, 16);
+        assert_eq!(stats.uploads_avoided, 15 * 4);
+        assert_eq!(stats.per_query_ms.len(), 16);
+        assert!(stats.mean_query_ms().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn load_graph_recycles_buffers() {
+        let g1 = graph(3);
+        let g2 = graph(4);
+        let mut svc = SsspService::new(&g1, ServiceConfig::rdbs(tiny()));
+        svc.query(5);
+        let allocs_before = svc.stats().pool_allocs;
+        svc.load_graph(&g2);
+        svc.query(5);
+        let stats = svc.stats();
+        assert_eq!(stats.pool_allocs, allocs_before, "generation 2 allocates nothing new");
+        assert!(stats.pool_reuses >= 8, "dist + queues + pending + scan recycled");
+        assert!(stats.bytes_recycled > 0);
+        assert_eq!(stats.graph_uploads, 8, "two generations, four uploads each");
+        check_against_dijkstra(&g2, 5, &svc.query(5).dist).unwrap();
+    }
+
+    #[test]
+    fn poisoned_recycled_buffers_do_not_leak() {
+        // Fill every per-query buffer with garbage between queries —
+        // the explicit reset path must erase all of the previous
+        // query's state the kernels can observe.
+        let g = graph(5);
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let clean = svc.query(7).dist;
+        if let State::Gpu(st) = &mut svc.state {
+            st.device.fill(st.dist, 0xDEAD_BEEF);
+            if let Scratch::Rdbs(s) = &st.scratch {
+                for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
+                    st.device.fill(q.data, 0xDEAD_BEEF);
+                    st.device.fill(q.tail, 0);
+                    st.device.fill(q.overflow, 0);
+                }
+                st.device.fill(s.queues.pending, 0xDEAD_BEEF);
+                st.device.fill(s.scan_out, 0xDEAD_BEEF);
+            }
+        }
+        assert_eq!(svc.query(7).dist, clean);
+        check_against_dijkstra(&g, 7, &clean).unwrap();
+    }
+
+    #[test]
+    fn overflow_falls_back_typed_never_silent() {
+        // Shrink the workload lists' logical capacity under the data
+        // buffers: the push storm must surface as a typed error on
+        // try_query and as a host-fallback (still correct) in batch.
+        let g = graph(6);
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        if let State::Gpu(st) = &mut svc.state {
+            if let Scratch::Rdbs(s) = &mut st.scratch {
+                for q in s.queues.q.iter_mut() {
+                    q.capacity = 1;
+                }
+            }
+        }
+        let err = svc.try_query(0).unwrap_err();
+        assert!(matches!(err, ServiceError::Overflow(_)), "{err}");
+        let results = svc.batch(&[0, 1]);
+        assert_eq!(svc.stats().fallbacks, 2);
+        for (i, &s) in [0u32, 1].iter().enumerate() {
+            check_against_dijkstra(&g, s, &results[i].dist).unwrap();
+        }
+    }
+
+    #[test]
+    fn baseline_and_multi_backends_answer_correctly() {
+        let g = graph(7);
+        for config in [ServiceConfig::baseline(tiny()), ServiceConfig::multi(2, tiny())] {
+            let mut svc = SsspService::new(&g, config);
+            let uploads = svc.device_uploads();
+            for s in [0u32, 40, 119] {
+                check_against_dijkstra(&g, s, &svc.query(s).dist).unwrap();
+            }
+            assert_eq!(svc.device_uploads(), uploads);
+        }
+    }
+
+    #[test]
+    fn out_of_range_source_is_typed() {
+        let g = graph(8);
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let err = svc.try_query(10_000).unwrap_err();
+        assert_eq!(err, ServiceError::SourceOutOfRange { source: 10_000, n: 120 });
+        assert!(err.to_string().contains("out of range"));
+    }
+}

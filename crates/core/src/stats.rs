@@ -76,6 +76,44 @@ impl SsspResult {
     }
 }
 
+/// Amortization accounting for a resident SSSP service
+/// ([`crate::service`]): what the batch saved relative to one-shot
+/// clients that re-upload and re-allocate per query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// Queries answered since service construction.
+    pub queries: u64,
+    /// Host→device uploads actually performed (once per graph
+    /// generation; constant across queries).
+    pub graph_uploads: u64,
+    /// Uploads a one-shot client would have performed on top of ours
+    /// (uploads-per-graph × follow-up queries on a resident graph).
+    pub uploads_avoided: u64,
+    /// Bytes served from the buffer pool's free lists instead of
+    /// freshly allocated.
+    pub bytes_recycled: u64,
+    /// Fresh pool allocations.
+    pub pool_allocs: u64,
+    /// Pool acquisitions recycled from the free lists.
+    pub pool_reuses: u64,
+    /// Per-query host wall-clock times, milliseconds, in query order.
+    pub per_query_ms: Vec<f64>,
+    /// Queries recovered through the host fallback after a detected
+    /// device error (e.g. a queue overflow) — never silently wrong.
+    pub fallbacks: u64,
+}
+
+impl BatchStats {
+    /// Mean per-query wall time, ms; `None` before the first query.
+    pub fn mean_query_ms(&self) -> Option<f64> {
+        if self.per_query_ms.is_empty() {
+            None
+        } else {
+            Some(self.per_query_ms.iter().sum::<f64>() / self.per_query_ms.len() as f64)
+        }
+    }
+}
+
 /// Relaxation tracing for the conformance localizer.
 ///
 /// A thread-local event sink that instrumented kernels

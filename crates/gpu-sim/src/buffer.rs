@@ -41,6 +41,10 @@ pub(crate) struct Arena {
     buffers: Vec<Buffer>,
     next_addr: u64,
     snapshot_mode: bool,
+    /// Buffer ids released for reuse, keyed by exact word length.
+    /// Contents persist across release/acquire — the next owner resets
+    /// explicitly (the buffer pool's poisoned-fill tests rely on it).
+    free: std::collections::HashMap<usize, Vec<u32>>,
 }
 
 /// Buffers are aligned to this many bytes so distinct buffers never
@@ -50,7 +54,30 @@ const ALIGN: u64 = 256;
 impl Arena {
     pub fn new() -> Self {
         // Start away from address zero, like a real virtual space.
-        Self { buffers: Vec::new(), next_addr: 0x1000, snapshot_mode: false }
+        Self {
+            buffers: Vec::new(),
+            next_addr: 0x1000,
+            snapshot_mode: false,
+            free: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Return `buf` to the free list for a later same-length
+    /// [`Arena::acquire`]. The handle must not be used afterwards; the
+    /// words keep their values until the next owner resets them.
+    pub fn release(&mut self, buf: Buf) {
+        let len = self.buffers[buf.id as usize].words.len();
+        let ids = self.free.entry(len).or_default();
+        debug_assert!(!ids.contains(&buf.id), "double release of '{}'", self.label(buf));
+        ids.push(buf.id);
+    }
+
+    /// Re-acquire a released buffer of exactly `len` words, relabelling
+    /// it. `None` when the free list has no buffer of that length.
+    pub fn acquire(&mut self, label: &'static str, len: usize) -> Option<Buf> {
+        let id = self.free.get_mut(&len)?.pop()?;
+        self.buffers[id as usize].label = label;
+        Some(Buf { id })
     }
 
     pub fn alloc(&mut self, label: &'static str, len: usize) -> Buf {

@@ -47,6 +47,15 @@ pub struct Counters {
     pub threads: u64,
     /// Total warps executed.
     pub warps: u64,
+    /// Host→device uploads ([`crate::Device::alloc_upload`] calls).
+    pub h2d_uploads: u64,
+    /// 32-bit words copied host→device by those uploads.
+    pub h2d_words: u64,
+    /// Fresh device buffer allocations.
+    pub buffer_allocs: u64,
+    /// Allocations served from the arena free list instead of fresh
+    /// memory ([`crate::Device::alloc_pooled`] hits).
+    pub buffer_reuses: u64,
 }
 
 impl Counters {
@@ -98,6 +107,10 @@ impl Counters {
             ("kernel_launches", self.kernel_launches as f64),
             ("child_kernel_launches", self.child_kernel_launches as f64),
             ("barriers", self.barriers as f64),
+            ("h2d_uploads", self.h2d_uploads as f64),
+            ("h2d_words", self.h2d_words as f64),
+            ("buffer_allocs", self.buffer_allocs as f64),
+            ("buffer_reuses", self.buffer_reuses as f64),
         ]
     }
 
@@ -123,6 +136,10 @@ impl Counters {
         self.lane_slot_sum += other.lane_slot_sum;
         self.threads += other.threads;
         self.warps += other.warps;
+        self.h2d_uploads += other.h2d_uploads;
+        self.h2d_words += other.h2d_words;
+        self.buffer_allocs += other.buffer_allocs;
+        self.buffer_reuses += other.buffer_reuses;
     }
 }
 

@@ -242,17 +242,43 @@ impl Device {
 
     /// Allocate a zero-initialized buffer of `len` 32-bit words.
     pub fn alloc(&mut self, label: &'static str, len: usize) -> Buf {
+        self.counters.buffer_allocs += 1;
         self.buffer_traffic.push([0; 3]);
         self.arena.alloc(label, len)
     }
 
     /// Allocate and upload host data (host→device copies are free in
     /// the model, matching the paper's convention of reporting kernel
-    /// time only).
+    /// time only). Counted in [`Counters::h2d_uploads`] /
+    /// [`Counters::h2d_words`] so resident-buffer services can assert
+    /// upload amortization.
     pub fn alloc_upload(&mut self, label: &'static str, data: &[u32]) -> Buf {
+        self.counters.h2d_uploads += 1;
+        self.counters.h2d_words += data.len() as u64;
         let buf = self.alloc(label, data.len());
         self.arena.slice_mut(buf).copy_from_slice(data);
         buf
+    }
+
+    /// Pool-aware allocation: reuse a same-length buffer previously
+    /// returned with [`Device::release`], allocating fresh otherwise.
+    /// Returns the buffer and whether it was recycled. A recycled
+    /// buffer keeps its previous contents — callers reset explicitly.
+    pub fn alloc_pooled(&mut self, label: &'static str, len: usize) -> (Buf, bool) {
+        match self.arena.acquire(label, len) {
+            Some(buf) => {
+                self.counters.buffer_reuses += 1;
+                (buf, true)
+            }
+            None => (self.alloc(label, len), false),
+        }
+    }
+
+    /// Return a buffer to the arena free list for later reuse by
+    /// [`Device::alloc_pooled`]. The handle must not be used again
+    /// until re-acquired.
+    pub fn release(&mut self, buf: Buf) {
+        self.arena.release(buf);
     }
 
     /// Host-side read of a whole buffer (no counters charged).

@@ -10,6 +10,7 @@
 //! rdbs-cli verify --impl seq/dijkstra --witness witness.txt
 //! rdbs-cli chaos                  # fault-injection matrix, no silent wrong answers
 //! rdbs-cli chaos --model bit-flip --entry gpu/full --seed 3
+//! rdbs-cli serve --sources 64     # resident service: one upload, many queries
 //! ```
 
 use rdbs::baselines::{adds, frontier_bf, near_far, pq_delta_stepping};
@@ -190,6 +191,9 @@ fn main() {
     if std::env::args().nth(1).as_deref() == Some("chaos") {
         chaos_main(std::env::args().skip(2).collect());
     }
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_main(std::env::args().skip(2).collect());
+    }
     let o = parse_args();
     let g = build_graph(&o);
     println!(
@@ -353,6 +357,152 @@ fn run_algo(o: &Options, g: &Csr, algo: &str) {
             .collect();
         println!("  dist[0..{}] = [{}]", shown.len(), shown.join(", "));
     }
+}
+
+// ---------------------------------------------------------------------------
+// `rdbs-cli serve` — the resident batched SSSP service.
+// ---------------------------------------------------------------------------
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli serve [options]
+
+Answer many sources against one resident graph upload through the
+batched service (rdbs-core::service): graph arrays H2D once, per-query
+buffers recycled from a size-class pool, Δ controller warm-started
+across queries. Prints per-batch amortization stats and exits non-zero
+if the batch needed more than one graph upload (or, with --validate,
+if any query disagrees with Dijkstra).
+
+  --sources K         sources in the batch (default 16, seeded-random)
+  --gen SPEC          graph spec, as in the run mode (default
+                      kronecker:12:16; erdos:1500:6000 with --quick)
+  --backend rdbs|bl|multi-gpu:K
+                      execution engine (default rdbs = BASYN+PRO+ADWL)
+  --seed S            rng seed for graph and source choice (default 42)
+  --device V100|T4|TINY  simulated GPU (default V100; TINY with --quick)
+  --delta0 W          bucket width override
+  --validate          check every query against Dijkstra
+  --quick             small graph + tiny device (CI smoke job)"
+    );
+    exit(2)
+}
+
+fn serve_main(args: Vec<String>) -> ! {
+    use rdbs::sssp::service::{Backend, ServiceConfig, SsspService};
+    let mut o = Options::default();
+    let mut sources = 16usize;
+    let mut backend_spec = "rdbs".to_string();
+    let mut quick = false;
+    let mut device_flag: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| serve_usage());
+        match flag.as_str() {
+            "--sources" => sources = val().parse().unwrap_or_else(|_| serve_usage()),
+            "--gen" => o.gen_spec = Some(val()),
+            "--backend" => backend_spec = val().to_lowercase(),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| serve_usage()),
+            "--device" => device_flag = Some(val()),
+            "--delta0" => o.delta0 = Some(val().parse().unwrap_or_else(|_| serve_usage())),
+            "--validate" => o.validate = true,
+            "--quick" => quick = true,
+            "--help" | "-h" => serve_usage(),
+            _ => serve_usage(),
+        }
+    }
+    o.device = match device_flag.as_deref().map(str::to_uppercase).as_deref() {
+        Some("V100") => DeviceConfig::v100(),
+        Some("T4") => DeviceConfig::t4(),
+        Some("TINY") => DeviceConfig::test_tiny(),
+        Some(_) => serve_usage(),
+        None if quick => DeviceConfig::test_tiny(),
+        None => DeviceConfig::v100(),
+    };
+    if o.gen_spec.is_none() {
+        o.gen_spec = Some(if quick { "erdos:1500:6000".into() } else { "kronecker:12:16".into() });
+    }
+    let g = build_graph(&o);
+    let n = g.num_vertices();
+    println!("graph: {} vertices, {} directed edges", n, g.num_edges());
+
+    let backend = match backend_spec.as_str() {
+        "rdbs" => {
+            Backend::Gpu(Variant::Rdbs(RdbsConfig { delta0: o.delta0, ..RdbsConfig::full() }))
+        }
+        "bl" => Backend::Gpu(Variant::Baseline),
+        b if b.starts_with("multi-gpu") => {
+            let k: usize = b.split(':').nth(1).and_then(|x| x.parse().ok()).unwrap_or(2);
+            Backend::MultiGpu(k)
+        }
+        _ => serve_usage(),
+    };
+    let config = ServiceConfig { backend, device: o.device.clone(), delta0: o.delta0 };
+
+    let built = std::time::Instant::now();
+    let mut service = SsspService::new(&g, config);
+    let uploads_per_graph = service.device_uploads();
+    println!(
+        "service: backend {backend_spec}, resident in {:.1} ms ({uploads_per_graph} uploads)",
+        built.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Seeded source choice (splitmix64 over the vertex range).
+    let picks: Vec<VertexId> = (0..sources as u64)
+        .map(|i| {
+            let mut x = o.seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((x ^ (x >> 31)) % n as u64) as VertexId
+        })
+        .collect();
+
+    let results = service.batch(&picks);
+    let stats = service.stats();
+    for (i, r) in results.iter().enumerate().take(8) {
+        let reached = r.dist.iter().filter(|&&d| d != INF).count();
+        println!(
+            "  query {i:>3}: source {:>8} reached {reached:>8}  host {:>8.3} ms",
+            r.source, stats.per_query_ms[i]
+        );
+    }
+    if results.len() > 8 {
+        println!("  ... {} more", results.len() - 8);
+    }
+    println!(
+        "amortization: {} uploads for {} queries ({} avoided), {} bytes recycled, \
+         {} pool reuses / {} allocs, {} fallbacks",
+        stats.graph_uploads,
+        stats.queries,
+        stats.uploads_avoided,
+        stats.bytes_recycled,
+        stats.pool_reuses,
+        stats.pool_allocs,
+        stats.fallbacks
+    );
+    if let Some(mean) = stats.mean_query_ms() {
+        println!("mean query: {mean:.3} ms host");
+    }
+
+    if service.device_uploads() != uploads_per_graph {
+        println!(
+            "serve: FAILED — the batch re-uploaded the graph ({} uploads, expected {})",
+            service.device_uploads(),
+            uploads_per_graph
+        );
+        exit(1);
+    }
+    if o.validate {
+        for r in &results {
+            if let Err(m) = validate::check_against(&dijkstra(&g, r.source).dist, &r.dist) {
+                println!("serve: FAILED — source {} disagrees with Dijkstra: {m}", r.source);
+                exit(1);
+            }
+        }
+        println!("validation: OK — all {} queries match Dijkstra", results.len());
+    }
+    println!("serve: OK — one upload served {} queries", results.len());
+    exit(0)
 }
 
 // ---------------------------------------------------------------------------
