@@ -111,7 +111,7 @@ pub fn pq_delta_stepping(
     stats.phase1_layers.push(steps);
     stats.total_updates = updates.load(Ordering::Relaxed);
     stats.checks = checks.load(Ordering::Relaxed);
-    let dist = dist.into_iter().map(|a| a.into_inner()).collect();
+    let dist = dist.into_iter().map(std::sync::atomic::AtomicU32::into_inner).collect();
     SsspResult { source, dist, stats }
 }
 
@@ -191,7 +191,7 @@ pub fn rho_stepping(graph: &Csr, source: VertexId, threads: usize, rho: f64) -> 
     stats.phase1_layers.push(steps);
     stats.total_updates = updates.load(Ordering::Relaxed);
     stats.checks = checks.load(Ordering::Relaxed);
-    let dist = dist.into_iter().map(|a| a.into_inner()).collect();
+    let dist = dist.into_iter().map(std::sync::atomic::AtomicU32::into_inner).collect();
     SsspResult { source, dist, stats }
 }
 

@@ -33,7 +33,7 @@ fn bench_variants(c: &mut Criterion) {
         Variant::Rdbs(RdbsConfig::sync_delta()),
     ] {
         group.bench_function(variant.label(), |b| {
-            b.iter(|| run_gpu(&g, 3, variant, device()).elapsed_ms)
+            b.iter(|| run_gpu(&g, 3, variant, device()).elapsed_ms);
         });
     }
     group.bench_function("ADDS", |b| b.iter(|| run_adds(&g, 3, device()).elapsed_ms));
@@ -49,7 +49,7 @@ fn bench_delta_sensitivity(c: &mut Criterion) {
     for delta0 in [10u32, 100, 1000, 10_000] {
         let cfg = RdbsConfig { delta0: Some(delta0), ..RdbsConfig::full() };
         group.bench_function(format!("delta0_{delta0}"), |b| {
-            b.iter(|| run_gpu(&g, 3, Variant::Rdbs(cfg), device()).elapsed_ms)
+            b.iter(|| run_gpu(&g, 3, Variant::Rdbs(cfg), device()).elapsed_ms);
         });
     }
     group.finish();
@@ -62,10 +62,10 @@ fn bench_adaptive_vs_fixed_delta(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptive_delta");
     group.sample_size(10);
     group.bench_function("adaptive_eq12", |b| {
-        b.iter(|| run_gpu(&g, 3, Variant::Rdbs(RdbsConfig::basyn_only()), device()).elapsed_ms)
+        b.iter(|| run_gpu(&g, 3, Variant::Rdbs(RdbsConfig::basyn_only()), device()).elapsed_ms);
     });
     group.bench_function("fixed_sync", |b| {
-        b.iter(|| run_gpu(&g, 3, Variant::Rdbs(RdbsConfig::sync_delta()), device()).elapsed_ms)
+        b.iter(|| run_gpu(&g, 3, Variant::Rdbs(RdbsConfig::sync_delta()), device()).elapsed_ms);
     });
     group.finish();
 }

@@ -28,13 +28,13 @@ fn bench_cpu_sssp(c: &mut Criterion) {
     group.bench_function("bellman_ford", |b| b.iter(|| bellman_ford(&g, 1).reached()));
     group.bench_function("delta_stepping", |b| b.iter(|| delta_stepping(&g, 1, delta).reached()));
     group.bench_function(BenchmarkId::new("parallel_delta", threads), |b| {
-        b.iter(|| parallel_delta_stepping(&g, 1, delta, threads).reached())
+        b.iter(|| parallel_delta_stepping(&g, 1, delta, threads).reached());
     });
     group.bench_function(BenchmarkId::new("async_bucket", threads), |b| {
-        b.iter(|| async_bucket_sssp(&g, 1, delta, threads).reached())
+        b.iter(|| async_bucket_sssp(&g, 1, delta, threads).reached());
     });
     group.bench_function(BenchmarkId::new("pq_delta", threads), |b| {
-        b.iter(|| pq_delta_stepping(&g, 1, threads, None).reached())
+        b.iter(|| pq_delta_stepping(&g, 1, threads, None).reached());
     });
     group.finish();
 }

@@ -23,7 +23,7 @@ fn bench_memory_patterns(c: &mut Criterion) {
                 lane.st(out, i, x + 1);
             });
             d.elapsed_ms()
-        })
+        });
     });
 
     group.bench_function("scattered_load", |b| {
@@ -38,7 +38,7 @@ fn bench_memory_patterns(c: &mut Criterion) {
                 lane.st(out, i, x + 1);
             });
             d.elapsed_ms()
-        })
+        });
     });
 
     group.bench_function("contended_atomics", |b| {
@@ -49,7 +49,7 @@ fn bench_memory_patterns(c: &mut Criterion) {
                 lane.atomic_add(cell, 0, 1);
             });
             d.read_word(cell, 0)
-        })
+        });
     });
 
     group.bench_function("dynamic_parallelism", |b| {
@@ -64,7 +64,7 @@ fn bench_memory_patterns(c: &mut Criterion) {
                 });
             });
             d.counters().child_kernel_launches
-        })
+        });
     });
 
     group.finish();

@@ -21,17 +21,17 @@ fn bench_pro_pipeline(c: &mut Criterion) {
         let g = graph(scale);
         group.throughput(Throughput::Elements(g.num_edges() as u64));
         group.bench_with_input(BenchmarkId::new("full_pro", scale), &g, |b, g| {
-            b.iter(|| reorder::pro(g, 100).0.num_edges())
+            b.iter(|| reorder::pro(g, 100).0.num_edges());
         });
         group.bench_with_input(BenchmarkId::new("degree_relabel", scale), &g, |b, g| {
-            b.iter(|| reorder::degree_descending(g).len())
+            b.iter(|| reorder::degree_descending(g).len());
         });
         group.bench_with_input(BenchmarkId::new("weight_sort", scale), &g, |b, g| {
             b.iter(|| {
                 let mut h = g.clone();
                 reorder::sort_edges_by_weight(&mut h);
                 h.num_edges()
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_build(c: &mut Criterion) {
         uniform_weights(&mut el, 7);
         group.throughput(Throughput::Elements(el.len() as u64));
         group.bench_with_input(BenchmarkId::new("build_undirected", scale), &el, |b, el| {
-            b.iter(|| build_undirected(el).num_edges())
+            b.iter(|| build_undirected(el).num_edges());
         });
     }
     group.finish();

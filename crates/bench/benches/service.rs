@@ -35,7 +35,7 @@ fn bench_batch_vs_one_shot(c: &mut Criterion) {
     group.bench_function("one_shot_x16", |b| {
         b.iter(|| {
             srcs.iter().map(|&s| run_gpu(&g, s, variant, device()).result.dist[7]).sum::<u32>()
-        })
+        });
     });
     group.bench_function("service_resident_x16", |b| {
         b.iter(|| {
@@ -43,7 +43,7 @@ fn bench_batch_vs_one_shot(c: &mut Criterion) {
                 ServiceConfig { backend: Backend::Gpu(variant), device: device(), delta0: None };
             let mut svc = SsspService::new(&g, config);
             svc.batch(&srcs).iter().map(|r| r.dist[7]).sum::<u32>()
-        })
+        });
     });
     group.finish();
 }
@@ -57,7 +57,7 @@ fn bench_pool_roundtrip(c: &mut Criterion) {
         b.iter(|| {
             let buf = pool.acquire(&mut device, "bench", 65_536);
             pool.release(&mut device, buf);
-        })
+        });
     });
     group.finish();
 }

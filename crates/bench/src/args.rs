@@ -96,7 +96,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> HarnessArgs {
-        HarnessArgs::parse_from(s.iter().map(|x| x.to_string()))
+        HarnessArgs::parse_from(s.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() {
     table.print();
 
     for (scale, occ) in &series {
-        let peak = occ.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap_or(0);
+        let peak = occ.iter().enumerate().max_by_key(|(_, &c)| c).map_or(0, |(i, _)| i);
         println!(
             "\nSCALE={scale}: {} buckets, peak at bucket {peak} ({} active) — the paper's rise-then-tail shape",
             occ.len(),

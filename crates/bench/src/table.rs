@@ -9,7 +9,10 @@ pub struct Table {
 impl Table {
     /// Start a table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(std::string::ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).

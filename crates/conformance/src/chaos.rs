@@ -18,11 +18,17 @@
 //! Message-channel fault models only apply to the multi-GPU entry
 //! point; on single-device entries they have no injection sites and
 //! are skipped rather than swept as trivially-clean cells.
+//!
+//! The `gpu/refault` entry re-arms the same fault spec on the rung-2
+//! recovery rerun (persistent-fault semantics), so the recovery path
+//! itself executes under fire: the ladder's audit gate on the rerun's
+//! output — not fault-free luck — is what keeps that cell honest.
 
 use crate::graphs::{self, GraphCase};
 use rdbs_core::gpu::{MultiGpuConfig, RdbsConfig, Variant};
 use rdbs_core::recover::{
-    run_gpu_recovered, run_multi_recovered, run_service_recovered, RecoveryOutcome, RecoveryReport,
+    run_gpu_recovered, run_gpu_recovered_refault, run_multi_recovered, run_service_recovered,
+    RecoveryOutcome, RecoveryReport,
 };
 use rdbs_core::seq::dijkstra;
 use rdbs_core::service::ServiceConfig;
@@ -42,6 +48,10 @@ pub struct ChaosEntry {
 #[derive(Clone, Copy, Debug)]
 enum EntryKind {
     Gpu(Variant),
+    /// Same as `Gpu`, but with persistent-fault semantics: the spec
+    /// is re-armed on the rung-2 rerun device, so the recovery path
+    /// itself runs under fire and must still never lie.
+    GpuRefault(Variant),
     MultiGpu(usize),
     /// The resident batched service's pooled entry point (full RDBS
     /// on one device; the faulted query runs on recycled buffers).
@@ -67,18 +77,23 @@ pub fn chaos_entries() -> Vec<ChaosEntry> {
             id: "gpu/basyn",
             kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only())),
         },
+        ChaosEntry {
+            id: "gpu/refault",
+            kind: EntryKind::GpuRefault(Variant::Rdbs(RdbsConfig::full())),
+        },
         ChaosEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
         ChaosEntry { id: "service/pooled", kind: EntryKind::Service },
     ]
 }
 
 /// The reduced sweep: the asynchronous single-device entry (widest
-/// fault surface), the multi-GPU exchange (message models), and the
-/// pooled service entry (buffer-reuse surface).
+/// fault surface), the persistent-fault entry (recovery path under
+/// fire), the multi-GPU exchange (message models), and the pooled
+/// service entry (buffer-reuse surface).
 pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
     chaos_entries()
         .into_iter()
-        .filter(|e| matches!(e.id, "gpu/full" | "multi-gpu/k2" | "service/pooled"))
+        .filter(|e| matches!(e.id, "gpu/full" | "gpu/refault" | "multi-gpu/k2" | "service/pooled"))
         .collect()
 }
 
@@ -169,7 +184,7 @@ pub struct ChaosCell {
 impl ChaosCell {
     /// Whether any detector fired on the faulted attempt.
     pub fn detected(&self) -> bool {
-        self.report.as_ref().is_some_and(|r| r.detected())
+        self.report.as_ref().is_some_and(rdbs_core::recover::RecoveryReport::detected)
     }
 
     pub fn outcome(&self) -> Option<RecoveryOutcome> {
@@ -235,6 +250,9 @@ pub fn run_cell(
     let attempt = catch_unwind(AssertUnwindSafe(|| match entry.kind {
         EntryKind::Gpu(variant) => {
             run_gpu_recovered(graph, source, variant, DeviceConfig::test_tiny(), Some(spec))
+        }
+        EntryKind::GpuRefault(variant) => {
+            run_gpu_recovered_refault(graph, source, variant, DeviceConfig::test_tiny(), Some(spec))
         }
         EntryKind::MultiGpu(k) => {
             let config = MultiGpuConfig {
@@ -342,7 +360,7 @@ mod tests {
         let report = run_chaos(&ChaosOptions { quick: true, ..Default::default() }, |_| {});
         assert!(report.cells.iter().any(|c| c.injections() > 0), "no cell injected anything");
         assert!(
-            report.cells.iter().any(|c| c.detected()),
+            report.cells.iter().any(super::ChaosCell::detected),
             "no cell detected a fault — rates too low to mean anything"
         );
     }

@@ -23,16 +23,22 @@
 //!   × detect-and-recover entry point × graph family, each cell graded
 //!   correct / explicitly-errored / silently-wrong; the sweep is green
 //!   only when no cell lies.
+//! * [`sanitize`] — the memory-model matrix: every GPU entry point run
+//!   with the wave-level sanitizer armed; green only when every cell
+//!   is correct *and* produced zero violations, with a planted-race
+//!   specimen proving the detector itself is alive.
 //!
 //! The whole pipeline is reachable from the command line via
-//! `rdbs-cli verify` (differential matrix) and `rdbs-cli chaos`
-//! (fault-injection matrix), both exiting non-zero on violation.
+//! `rdbs-cli verify` (differential matrix), `rdbs-cli chaos`
+//! (fault-injection matrix) and `rdbs-cli sanitize` (memory-model
+//! matrix), all exiting non-zero on violation.
 
 pub mod chaos;
 pub mod graphs;
 pub mod localize;
 pub mod registry;
 pub mod runner;
+pub mod sanitize;
 pub mod shrink;
 
 pub use chaos::{
@@ -42,4 +48,8 @@ pub use graphs::{families, GraphCase};
 pub use localize::{localize, Divergence};
 pub use registry::{all, by_id, with_faults, Family, Implementation, FAULT_OFF_BY_ONE};
 pub use runner::{run_matrix, CaseFailure, FailureKind, MatrixOptions, MatrixReport};
+pub use sanitize::{
+    planted_race_specimen, run_sanitize, san_entries, specimen_detected, SanCell, SanEntry,
+    SanMatrixReport, SanOptions,
+};
 pub use shrink::{shrink, shrink_built, ShrunkWitness};

@@ -213,7 +213,7 @@ pub fn async_bucket_sssp(
 
     stats.total_updates = updates.load(Ordering::Relaxed);
     stats.checks = checks.load(Ordering::Relaxed);
-    let dist = dist.into_iter().map(|a| a.into_inner()).collect();
+    let dist = dist.into_iter().map(std::sync::atomic::AtomicU32::into_inner).collect();
     SsspResult { source, dist, stats }
 }
 

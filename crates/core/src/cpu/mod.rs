@@ -32,7 +32,7 @@ pub fn fetch_min(cell: &AtomicU32, val: u32) -> u32 {
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 #[cfg(test)]

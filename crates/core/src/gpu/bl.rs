@@ -90,7 +90,9 @@ pub fn bl_on(
                 return;
             }
             active.set(active.get() + 1);
-            lane.st(mask, v, 0);
+            // Atomic: a concurrent improver may set this same mask
+            // word — clear and set must both be schedule-independent.
+            lane.atomic_exch(mask, v, 0);
             // Volatile: the mask/dist handshake with concurrent
             // improvers needs a coherent read.
             let dv = lane.ld_volatile(gb.dist, v);
@@ -107,8 +109,10 @@ pub fn bl_on(
                     let old = lane.atomic_min(gb.dist, v2, nd);
                     if nd < old {
                         total_updates.set(total_updates.get() + 1);
-                        lane.st(mask, v2, 1);
-                        lane.st(progress, 0, 1);
+                        // Atomics: many improvers hit the same mask
+                        // word and all of them hit progress[0].
+                        lane.atomic_exch(mask, v2, 1);
+                        lane.atomic_exch(progress, 0, 1);
                     }
                 }
             }

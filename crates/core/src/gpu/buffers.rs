@@ -167,6 +167,13 @@ impl DeviceQueue {
     /// sticky overflow cell incremented — checked in release builds
     /// too, so a full queue can never corrupt adjacent buffers or
     /// silently truncate.
+    ///
+    /// The slot store is atomic: after a host drain resets the tail,
+    /// the same slot is refilled by a *different* thread of a later
+    /// wave, and the only ordering between the two writers is the
+    /// tail-counter handshake. Real implementations protect the slot
+    /// with `st.volatile` + a threadfence; the atomic store is the
+    /// simulator's sanctioned equivalent (same immediate effect).
     #[inline]
     pub fn push(&self, lane: &mut Lane<'_>, v: VertexId) -> u32 {
         let slot = lane.atomic_add(self.tail, 0, 1);
@@ -174,8 +181,17 @@ impl DeviceQueue {
             lane.atomic_add(self.overflow, 0, 1);
             return slot;
         }
-        lane.st(self.data, slot, v);
+        lane.atomic_exch(self.data, slot, v);
         slot
+    }
+
+    /// Device-side read of slot `i` (kernel context). Volatile: the
+    /// slot may have been written by a lane of an earlier wave of the
+    /// same persistent kernel, with no grid barrier in between — a
+    /// plain (snapshot-semantics) load could legitimately miss it.
+    #[inline]
+    pub fn read_slot(&self, lane: &mut Lane<'_>, i: u32) -> u32 {
+        lane.ld_volatile(self.data, i)
     }
 
     /// Host-side drain: copy out the current entries and reset the

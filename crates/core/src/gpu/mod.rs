@@ -160,7 +160,8 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<String> = Variant::fig8_variants().iter().map(|v| v.label()).collect();
+        let labels: Vec<String> =
+            Variant::fig8_variants().iter().map(super::Variant::label).collect();
         assert_eq!(labels, vec!["BL", "BASYN+PRO", "BASYN+ADWL", "BASYN+PRO+ADWL"]);
     }
 

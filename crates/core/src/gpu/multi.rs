@@ -22,7 +22,9 @@
 use super::buffers::{DeviceQueue, GraphBuffers, QueueOverflow};
 use crate::stats::{SsspResult, UpdateStats};
 use crate::{default_delta, Csr, Dist, VertexId, Weight, INF};
-use rdbs_gpu_sim::{Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
+use rdbs_gpu_sim::{
+    Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec, SanConfig, SanViolation,
+};
 use std::cell::Cell;
 
 /// Multi-GPU run configuration.
@@ -158,6 +160,29 @@ impl MultiGpuState {
         self.shards[0].device.disarm_faults()
     }
 
+    /// Arm the memory-model sanitizer on every shard (races span the
+    /// per-shard persistent kernels, so all devices watch).
+    pub fn arm_sanitizer(&mut self, config: SanConfig) {
+        for s in &mut self.shards {
+            s.device.arm_sanitizer(config);
+        }
+    }
+
+    /// Sanitizer violations across all shards as `(shard, violation)`
+    /// rows, in shard order.
+    pub fn san_violations(&self) -> Vec<(usize, SanViolation)> {
+        let mut rows = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            rows.extend(s.device.san_violations().iter().map(|v| (i, v.clone())));
+        }
+        rows
+    }
+
+    /// Total sanitizer violations across all shards.
+    pub fn san_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.device.san_total()).sum()
+    }
+
     /// Total host→device uploads across all shards so far (the
     /// amortization counter: constant across [`MultiGpuState::run`]s).
     pub fn graph_uploads(&self) -> u64 {
@@ -271,7 +296,7 @@ impl MultiGpuState {
             let dist0 = &shards[0].device.read(shards[0].gb.dist)[..n as usize];
             let mut next_active = false;
             let mut min_beyond = INF as u64;
-            for &d in dist0.iter() {
+            for &d in dist0 {
                 let du = d as u64;
                 if d != INF && du >= win_hi {
                     if du < win_hi + delta as u64 {
@@ -379,10 +404,12 @@ fn relax_wave(
     let name = if light { "mg_light" } else { "mg_heavy" };
     s.device.wave(name, items.len() as u64, 1, |lane| {
         let i = lane.tid() as usize;
-        let _ = lane.ld(frontier.data, i as u32 % frontier.capacity);
+        let _ = frontier.read_slot(lane, i as u32 % frontier.capacity);
         let v = items[i];
         if light {
-            lane.st(pending, v, 0);
+            // Atomic: races the owner-seeding `atomic_exch(pending, 1)`
+            // handshake, same as the single-device phase 1.
+            lane.atomic_exch(pending, v, 0);
         }
         let dv = lane.ld_volatile(gb.dist, v);
         lane.alu(2);
@@ -402,7 +429,7 @@ fn relax_wave(
             lane.alu(1);
             let nd = dv.saturating_add(w);
             checks.set(checks.get() + 1);
-            let dv2 = lane.ld(gb.dist, v2);
+            let dv2 = lane.ld_volatile(gb.dist, v2);
             if nd < dv2 {
                 let old = lane.atomic_min(gb.dist, v2, nd);
                 if nd < old {
@@ -414,6 +441,10 @@ fn relax_wave(
             }
         }
     });
+    // Superstep boundary: the exchange's D2H drain synchronizes the
+    // device — this port is bulk-synchronous (only the single-device
+    // BASYN phase 1 is barrier-free), so charge the grid barrier.
+    s.device.charge_barrier();
 }
 
 /// Drain a shard's update queue into `(vertex, local distance)` pairs.

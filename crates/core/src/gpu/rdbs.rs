@@ -428,7 +428,19 @@ pub fn rdbs_on(
         // "can be changed immediately"). Settled vertices are skipped —
         // their edge ranges are never consulted again.
         if config.pro && new_width != width && !done {
+            // Sub-phase grid barrier of the fused kernel: phase 3's
+            // enqueue-side classification reads the heavy offsets this
+            // wave is about to overwrite.
+            device.charge_barrier();
             update_heavy_offsets_wave(device, gb, new_width, next_lo);
+        }
+        if config.basyn && !done {
+            // The fused kernel retires with a grid barrier before the
+            // persistent kernel's next-bucket waves are released: the
+            // paper drops the barrier between phase-1 *layers* (§4.3),
+            // not between buckets — phase 3's collected worklists and
+            // the re-split heavy offsets must be visible to phase 1.
+            device.charge_barrier();
         }
         if let Some(prev) = audit_prev.as_mut() {
             audit_bucket(device, gb, prev, lo, &mut audit);
@@ -451,6 +463,10 @@ pub fn rdbs_on(
     };
     stats.phase1_layers = traces.iter().map(|t| t.layers).collect();
     stats.bucket_active = traces.iter().map(|t| t.active).collect();
+    // The result download synchronizes the device, retiring the
+    // persistent kernel — without this, a resident service's next
+    // query would share a race window with this run's final waves.
+    device.charge_barrier();
     let dist = gb.download_dist(device);
     Ok(RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces, audit })
 }
@@ -536,10 +552,13 @@ fn run_phase1_list(
         let rank = lane.gang_rank();
         let stride = lane.gang_size();
         // Fetch the work item (charged against the queue buffer).
-        let _ = lane.ld(queue.data, i as u32);
+        let _ = queue.read_slot(lane, i as u32);
         let v = items[i];
         if rank == 0 {
-            lane.st(queues.pending, v, 0);
+            // Atomic: races the enqueue-side `atomic_exch(pending, 1)`
+            // of concurrent improvers — a plain store could be lost
+            // and strand a re-activation.
+            lane.atomic_exch(queues.pending, v, 0);
         }
         // Volatile: in synchronous mode this read races with another
         // lane's atomicMin + pending handshake; a snapshot read there
@@ -622,7 +641,9 @@ fn relax_light_edge(
     lane.alu(1);
     let nd = dv.saturating_add(w);
     inst.checks.set(inst.checks.get() + 1);
-    let dv2 = lane.ld(gb.dist, v2);
+    // Volatile pre-check: concurrent lanes atomicMin this word; the
+    // filter must see their progress or it re-attempts settled work.
+    let dv2 = lane.ld_volatile(gb.dist, v2);
     if nd < dv2 {
         let old = lane.atomic_min(gb.dist, v2, nd);
         if nd < old {
@@ -669,13 +690,22 @@ fn heavy_relax_wave(
     let gang = if total_deg / items.len() as u64 >= 32 { 32 } else { 1 };
     let inst = Rc::clone(inst);
     let cap = members.capacity;
+    // Republish the deduplicated membership list so the wave reads
+    // live worklist slots — the per-layer drains above reset the tail,
+    // and the compacted list can be longer than any single layer's
+    // high-water mark (reading those slots would be uninitialized).
+    for (i, &v) in items.iter().enumerate() {
+        device.write_word(members.data, i % cap as usize, v);
+    }
     device.wave("phase2_heavy", items.len() as u64, gang, move |lane| {
         let i = lane.tid() as usize;
         let rank = lane.gang_rank();
         let stride = lane.gang_size();
-        let _ = lane.ld(members.data, i as u32 % cap);
+        let _ = members.read_slot(lane, i as u32 % cap);
         let v = items[i];
-        let dv = lane.ld(gb.dist, v);
+        // Volatile: in BASYN mode no barrier separates this fused
+        // kernel from the persistent phase-1 waves still in flight.
+        let dv = lane.ld_volatile(gb.dist, v);
         lane.alu(1);
         let dvu = dv as u64;
         if dvu < lo || dvu >= hi {
@@ -700,7 +730,7 @@ fn heavy_relax_wave(
             lane.alu(1);
             let nd = dv.saturating_add(w);
             inst.checks.set(inst.checks.get() + 1);
-            let dv2 = lane.ld(gb.dist, v2);
+            let dv2 = lane.ld_volatile(gb.dist, v2);
             if nd < dv2 {
                 let old = lane.atomic_min(gb.dist, v2, nd);
                 if nd < old {
@@ -790,6 +820,10 @@ fn update_heavy_offsets_wave(
 /// its Δ₀, recomputed on-device with no H2D re-upload.
 pub(crate) fn refresh_heavy_offsets(device: &mut Device, gb: GraphBuffers, width: Weight) {
     update_heavy_offsets_wave(device, gb, width, 0);
+    // The next query's kernels are only launched after this wave
+    // retires (stream order + the query's own launch): order the
+    // refreshed offsets before their readers.
+    device.charge_barrier();
 }
 
 #[cfg(test)]

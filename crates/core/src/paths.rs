@@ -147,8 +147,8 @@ pub fn bidirectional_dijkstra(graph: &Csr, source: VertexId, target: VertexId) -
     let mut best: u64 = u64::MAX;
 
     loop {
-        let top_f = heap_f.peek().map(|Reverse((d, _))| *d as u64).unwrap_or(u64::MAX);
-        let top_b = heap_b.peek().map(|Reverse((d, _))| *d as u64).unwrap_or(u64::MAX);
+        let top_f = heap_f.peek().map_or(u64::MAX, |Reverse((d, _))| *d as u64);
+        let top_b = heap_b.peek().map_or(u64::MAX, |Reverse((d, _))| *d as u64);
         if top_f.saturating_add(top_b) >= best || (top_f == u64::MAX && top_b == u64::MAX) {
             break;
         }

@@ -22,8 +22,13 @@
 //!    fault-free multi rerun);
 //! 3. **Graceful degradation** — sequential Dijkstra.
 //!
-//! Recovery reruns are fault-free (transient-fault semantics): the
-//! plan stays on the faulted device and is not re-armed.
+//! Recovery reruns are fault-free by default (transient-fault
+//! semantics): the plan stays on the faulted device and is not
+//! re-armed. [`run_gpu_recovered_refault`] models *persistent* faults
+//! instead — the same spec is re-armed on the rerun device — and the
+//! ladder still never returns silently wrong, because [`finish`]
+//! audits the rerun's output and falls through to the sequential rung
+//! when the re-faulted rerun is itself corrupt.
 
 use crate::gpu::{
     multi_gpu_sssp, multi_gpu_sssp_faulted, run_gpu_on, MultiGpuConfig, RdbsConfig, Variant,
@@ -166,6 +171,33 @@ pub fn run_gpu_recovered(
     device_config: DeviceConfig,
     fault: Option<FaultSpec>,
 ) -> RecoveredRun {
+    run_gpu_recovered_with(graph, source, variant, device_config, fault, false)
+}
+
+/// Like [`run_gpu_recovered`], but with persistent-fault semantics:
+/// the fault spec is re-armed on the fresh device used for the rung-2
+/// synchronous rerun, so recovery itself executes under fire. Safe
+/// because the rerun's output is audited before it is accepted — a
+/// still-corrupt rerun is recorded as a dirty [`RecoveryStep::SyncRerun`]
+/// and the ladder degrades to sequential Dijkstra.
+pub fn run_gpu_recovered_refault(
+    graph: &Csr,
+    source: VertexId,
+    variant: Variant,
+    device_config: DeviceConfig,
+    fault: Option<FaultSpec>,
+) -> RecoveredRun {
+    run_gpu_recovered_with(graph, source, variant, device_config, fault, true)
+}
+
+fn run_gpu_recovered_with(
+    graph: &Csr,
+    source: VertexId,
+    variant: Variant,
+    device_config: DeviceConfig,
+    fault: Option<FaultSpec>,
+    refault_rerun: bool,
+) -> RecoveredRun {
     let mut device = Device::new(device_config.clone());
     if let Some(spec) = fault {
         device.arm_faults(FaultPlan::new(spec));
@@ -186,6 +218,11 @@ pub fn run_gpu_recovered(
     };
     let rerun = |graph: &Csr, source: VertexId| {
         let mut fresh = Device::new(device_config.clone());
+        if refault_rerun {
+            if let Some(spec) = fault {
+                fresh.arm_faults(FaultPlan::new(spec));
+            }
+        }
         let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
         run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
     };
@@ -483,6 +520,55 @@ mod tests {
         assert_eq!(run.report.outcome, RecoveryOutcome::Clean);
         assert!(!run.report.detected());
         check_against_dijkstra(&g, 3, &run.result.dist).unwrap();
+    }
+
+    #[test]
+    fn persistent_faults_exhaust_the_ladder_without_lying() {
+        // A directed path running *against* CSR edge order (source at
+        // the high end) under a total atomic-min drop: rung 1's
+        // Bellman-Ford gains one vertex per round, so the 199-hop
+        // diameter defeats its 32-round budget, and with the spec
+        // re-armed the rung-2 rerun is corrupt too. The audit must
+        // reject that rerun and degrade to Dijkstra — the persistent-
+        // fault cell is kept honest by the gate, not a fault-free
+        // retry.
+        let mut el = rdbs_graph::builder::EdgeList::new(200);
+        for i in 0..199u32 {
+            el.push(i + 1, i, 1);
+        }
+        let g = rdbs_graph::builder::build_directed(&el);
+        let source = 199;
+        let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 1.0, 0);
+        let run = run_gpu_recovered_refault(
+            &g,
+            source,
+            Variant::Rdbs(RdbsConfig::full()),
+            tiny(),
+            Some(spec),
+        );
+        check_against_dijkstra(&g, source, &run.result.dist)
+            .unwrap_or_else(|m| panic!("{m}\n{}", run.report));
+        assert!(
+            run.report.steps.iter().any(|s| matches!(s, RecoveryStep::SyncRerun { clean: false })),
+            "refaulted rerun was not exercised or came back clean:\n{}",
+            run.report
+        );
+        assert_eq!(run.report.outcome, RecoveryOutcome::Degraded, "{}", run.report);
+
+        // Moderate persistent rates must also never be silently wrong.
+        let g = graph(9);
+        for seed in 0..4 {
+            let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 0.3, seed);
+            let run = run_gpu_recovered_refault(
+                &g,
+                0,
+                Variant::Rdbs(RdbsConfig::full()),
+                tiny(),
+                Some(spec),
+            );
+            check_against_dijkstra(&g, 0, &run.result.dist)
+                .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
+        }
     }
 
     #[test]

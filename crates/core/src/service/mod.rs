@@ -43,7 +43,9 @@ use crate::seq::dijkstra;
 use crate::stats::{BatchStats, SsspResult};
 use crate::{default_delta, Csr, VertexId, Weight};
 use pool::BufferPool;
-use rdbs_gpu_sim::{Buf, Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
+use rdbs_gpu_sim::{
+    Buf, Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec, SanConfig, SanViolation,
+};
 use rdbs_graph::reorder::Permutation;
 use std::time::Instant;
 
@@ -310,6 +312,32 @@ impl SsspService {
             State::Multi(st) => st.disarm_faults(),
         };
         plan.map(|p| (p.injections(), p.log().to_vec()))
+    }
+
+    /// Arm the memory-model sanitizer on the resident device (every
+    /// shard for the multi-GPU backend) — the sanitized conformance
+    /// matrix drives the pooled entry point through this.
+    pub fn arm_sanitizer(&mut self, config: SanConfig) {
+        match &mut self.state {
+            State::Gpu(st) => st.device.arm_sanitizer(config),
+            State::Multi(st) => st.arm_sanitizer(config),
+        }
+    }
+
+    /// Sanitizer violations recorded so far across the backend.
+    pub fn san_violations(&self) -> Vec<SanViolation> {
+        match &self.state {
+            State::Gpu(st) => st.device.san_violations().to_vec(),
+            State::Multi(st) => st.san_violations().into_iter().map(|(_, v)| v).collect(),
+        }
+    }
+
+    /// Total sanitizer violations including any beyond the report cap.
+    pub fn san_total(&self) -> u64 {
+        match &self.state {
+            State::Gpu(st) => st.device.san_total(),
+            State::Multi(st) => st.san_total(),
+        }
     }
 
     /// Monotonicity-audit hits of the most recent device attempt
@@ -597,7 +625,7 @@ mod tests {
         let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
         if let State::Gpu(st) = &mut svc.state {
             if let Scratch::Rdbs(s) = &mut st.scratch {
-                for q in s.queues.q.iter_mut() {
+                for q in &mut s.queues.q {
                     q.capacity = 1;
                 }
             }

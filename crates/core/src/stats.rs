@@ -235,7 +235,7 @@ pub mod trace {
                 phase: Phase::Light,
                 layer: 0,
                 shared: Arc::new(Mutex::new(Shared { events: Vec::new(), cap, dropped: 0 })),
-            })
+            });
         });
         ARMED.with(|a| a.set(true));
     }
@@ -244,7 +244,7 @@ pub mod trace {
     /// fast-path guard before assembling an event.
     #[inline(always)]
     pub fn armed() -> bool {
-        ARMED.with(|a| a.get())
+        ARMED.with(std::cell::Cell::get)
     }
 
     /// Label subsequent events with the current bucket/phase/layer

@@ -20,6 +20,14 @@ pub(crate) struct Buffer {
     /// Kernel-entry snapshot, created lazily on first write while the
     /// arena is in snapshot mode (synchronous-kernel semantics).
     pub shadow: Option<Vec<u32>>,
+    /// Per-word uninitialized-read poison, tracked only while the
+    /// sanitizer has poison mode on ([`Arena::set_poison_mode`]).
+    /// `true` = never written since alloc/recycle.
+    pub poison: Option<Vec<bool>>,
+    /// Kernel-entry copy of `poison`, captured together with `shadow`:
+    /// a plain load that observes the snapshot must also see the
+    /// snapshot's initialization state, not the live one.
+    pub shadow_poison: Option<Vec<bool>>,
 }
 
 /// The allocation arena inside a device.
@@ -41,6 +49,9 @@ pub(crate) struct Arena {
     buffers: Vec<Buffer>,
     next_addr: u64,
     snapshot_mode: bool,
+    /// When on (sanitizer armed with the uninit check), fresh and
+    /// recycled buffers are poisoned word-by-word until written.
+    poison_mode: bool,
     /// Buffer ids released for reuse, keyed by exact word length.
     /// Contents persist across release/acquire — the next owner resets
     /// explicitly (the buffer pool's poisoned-fill tests rely on it).
@@ -58,7 +69,54 @@ impl Arena {
             buffers: Vec::new(),
             next_addr: 0x1000,
             snapshot_mode: false,
+            poison_mode: false,
             free: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Turn uninitialized-read poison tracking on or off. Turning it
+    /// off drops all poison state (everything counts as initialized).
+    pub fn set_poison_mode(&mut self, on: bool) {
+        self.poison_mode = on;
+        if !on {
+            for b in &mut self.buffers {
+                b.poison = None;
+                b.shadow_poison = None;
+            }
+        }
+    }
+
+    /// Whether a plain load of `buf[idx]` observes an uninitialized
+    /// word, honouring snapshot semantics: if the buffer was written
+    /// during this snapshot kernel, visibility (and therefore poison)
+    /// is that of the kernel entry.
+    #[inline]
+    pub fn poisoned_visible(&self, buf: Buf, idx: u32) -> bool {
+        let b = &self.buffers[buf.id as usize];
+        if self.snapshot_mode && b.shadow.is_some() {
+            return b.shadow_poison.as_ref().is_some_and(|p| p[idx as usize]);
+        }
+        b.poison.as_ref().is_some_and(|p| p[idx as usize])
+    }
+
+    /// Whether the live word `buf[idx]` is uninitialized (what a
+    /// volatile load or an atomic read-modify-write observes).
+    #[inline]
+    pub fn poisoned_live(&self, buf: Buf, idx: u32) -> bool {
+        self.buffers[buf.id as usize].poison.as_ref().is_some_and(|p| p[idx as usize])
+    }
+
+    /// Mark a whole buffer initialized (host-side write/fill/upload).
+    #[inline]
+    pub fn clear_poison(&mut self, buf: Buf) {
+        self.buffers[buf.id as usize].poison = None;
+    }
+
+    /// Mark one word initialized (host-side single-word write).
+    #[inline]
+    pub fn clear_poison_at(&mut self, buf: Buf, idx: u32) {
+        if let Some(p) = self.buffers[buf.id as usize].poison.as_mut() {
+            p[idx as usize] = false;
         }
     }
 
@@ -76,7 +134,12 @@ impl Arena {
     /// it. `None` when the free list has no buffer of that length.
     pub fn acquire(&mut self, label: &'static str, len: usize) -> Option<Buf> {
         let id = self.free.get_mut(&len)?.pop()?;
-        self.buffers[id as usize].label = label;
+        let b = &mut self.buffers[id as usize];
+        b.label = label;
+        // A recycled buffer's contents are stale: reading a word the
+        // new owner never reset is exactly the bug the uninit check
+        // exists for, so re-poison the whole range.
+        b.poison = self.poison_mode.then(|| vec![true; len]);
         Some(Buf { id })
     }
 
@@ -85,8 +148,44 @@ impl Arena {
         let bytes = (len as u64) * 4;
         let base = self.next_addr;
         self.next_addr = (base + bytes).div_ceil(ALIGN) * ALIGN;
-        self.buffers.push(Buffer { label, base_addr: base, words: vec![0; len], shadow: None });
+        self.buffers.push(Buffer {
+            label,
+            base_addr: base,
+            words: vec![0; len],
+            shadow: None,
+            poison: self.poison_mode.then(|| vec![true; len]),
+            shadow_poison: None,
+        });
         Buf { id }
+    }
+
+    /// Words currently sitting on the free list (recyclable but idle).
+    pub fn free_words(&self) -> usize {
+        self.free.iter().map(|(len, ids)| len * ids.len()).sum()
+    }
+
+    /// Evict free-list buffers, largest word-length classes first,
+    /// until at most `max_words` remain idle. Evicted buffers give
+    /// their memory back (the handle becomes permanently dead) and
+    /// can never be re-acquired. Returns the number of words evicted.
+    pub fn trim_free_to(&mut self, max_words: usize) -> usize {
+        let mut evicted = 0usize;
+        while self.free_words() > max_words {
+            let largest = self.free.keys().copied().max().expect("non-empty free map");
+            let ids = self.free.get_mut(&largest).expect("key exists");
+            let id = ids.pop().expect("non-empty class");
+            if ids.is_empty() {
+                self.free.remove(&largest);
+            }
+            let b = &mut self.buffers[id as usize];
+            b.label = "(evicted)";
+            b.words = Vec::new();
+            b.shadow = None;
+            b.poison = None;
+            b.shadow_poison = None;
+            evicted += largest;
+        }
+        evicted
     }
 
     /// Enter synchronous-kernel snapshot mode (see type docs).
@@ -100,6 +199,7 @@ impl Arena {
         self.snapshot_mode = false;
         for b in &mut self.buffers {
             b.shadow = None;
+            b.shadow_poison = None;
         }
     }
 
@@ -109,6 +209,7 @@ impl Arena {
             let b = &mut self.buffers[buf.id as usize];
             if b.shadow.is_none() {
                 b.shadow = Some(b.words.clone());
+                b.shadow_poison = b.poison.clone();
             }
         }
     }
@@ -156,7 +257,11 @@ impl Arena {
     #[inline]
     pub fn store(&mut self, buf: Buf, idx: u32, val: u32) {
         self.ensure_shadow(buf);
-        self.buffers[buf.id as usize].words[idx as usize] = val;
+        let b = &mut self.buffers[buf.id as usize];
+        if let Some(p) = b.poison.as_mut() {
+            p[idx as usize] = false;
+        }
+        b.words[idx as usize] = val;
     }
 
     pub fn label(&self, buf: Buf) -> &'static str {
@@ -209,5 +314,60 @@ mod tests {
         let mut a = Arena::new();
         let x = a.alloc("x", 2);
         let _ = a.load(x, 5);
+    }
+
+    #[test]
+    fn poison_set_on_alloc_cleared_by_store() {
+        let mut a = Arena::new();
+        a.set_poison_mode(true);
+        let x = a.alloc("x", 2);
+        assert!(a.poisoned_live(x, 0) && a.poisoned_visible(x, 1));
+        a.store(x, 0, 7);
+        assert!(!a.poisoned_live(x, 0));
+        assert!(a.poisoned_live(x, 1));
+        a.clear_poison(x);
+        assert!(!a.poisoned_live(x, 1));
+    }
+
+    #[test]
+    fn poison_reapplied_on_recycle_and_snapshot_aware() {
+        let mut a = Arena::new();
+        a.set_poison_mode(true);
+        let x = a.alloc("x", 1);
+        a.store(x, 0, 1);
+        a.release(x);
+        let y = a.acquire("y", 1).unwrap();
+        assert!(a.poisoned_live(y, 0), "recycled contents are stale");
+        // In a snapshot kernel, a store clears live poison but a plain
+        // load still observes the kernel-entry (poisoned) state.
+        a.begin_snapshot();
+        a.store(y, 0, 5);
+        assert!(!a.poisoned_live(y, 0));
+        assert!(a.poisoned_visible(y, 0));
+        a.end_snapshot();
+        assert!(!a.poisoned_visible(y, 0));
+    }
+
+    #[test]
+    fn poison_mode_off_tracks_nothing() {
+        let mut a = Arena::new();
+        let x = a.alloc("x", 4);
+        assert!(!a.poisoned_live(x, 0) && !a.poisoned_visible(x, 0));
+    }
+
+    #[test]
+    fn trim_evicts_largest_free_classes_first() {
+        let mut a = Arena::new();
+        let big = a.alloc("big", 100);
+        let small = a.alloc("small", 10);
+        a.release(big);
+        a.release(small);
+        assert_eq!(a.free_words(), 110);
+        let evicted = a.trim_free_to(20);
+        assert_eq!(evicted, 100, "the 100-word class goes first");
+        assert_eq!(a.free_words(), 10);
+        assert_eq!(a.total_words(), 10);
+        assert!(a.acquire("again", 100).is_none(), "evicted buffers never come back");
+        assert!(a.acquire("again", 10).is_some());
     }
 }

@@ -5,6 +5,7 @@ use crate::cache::CacheHierarchy;
 use crate::counters::{Counters, KernelReport};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::kernel::ChildLaunch;
+use crate::san::{SanConfig, SanState, SanViolation};
 
 /// Hardware parameters of a simulated GPU.
 ///
@@ -181,6 +182,9 @@ pub struct Device {
     /// every hook a single branch and the device bit-identical to a
     /// fault-free build.
     pub(crate) fault: Option<FaultPlan>,
+    /// Armed memory-model sanitizer, if any. Like `fault`, `None` (the
+    /// default) keeps every hook a single branch.
+    pub(crate) san: Option<Box<SanState>>,
 }
 
 impl Device {
@@ -197,7 +201,39 @@ impl Device {
             pending_children: Vec::new(),
             buffer_traffic: Vec::new(),
             fault: None,
+            san: None,
         }
+    }
+
+    /// Arm the memory-model sanitizer. Subsequent kernels run under
+    /// it; buffers allocated (or recycled from the pool) from now on
+    /// carry uninitialized-read poison. Violations accumulate until
+    /// [`Device::disarm_sanitizer`].
+    pub fn arm_sanitizer(&mut self, config: SanConfig) {
+        self.arena.set_poison_mode(config.uninit);
+        self.san = Some(Box::new(SanState::new(config)));
+    }
+
+    /// Whether the sanitizer is currently armed.
+    pub fn sanitizer_armed(&self) -> bool {
+        self.san.is_some()
+    }
+
+    /// Remove the armed sanitizer (if any), returning it with its
+    /// violation log. Poison tracking stops.
+    pub fn disarm_sanitizer(&mut self) -> Option<Box<SanState>> {
+        self.arena.set_poison_mode(false);
+        self.san.take()
+    }
+
+    /// Violations recorded so far (empty when nothing is armed).
+    pub fn san_violations(&self) -> &[SanViolation] {
+        self.san.as_ref().map_or(&[], |s| s.violations())
+    }
+
+    /// Total violations so far, including any beyond the report cap.
+    pub fn san_total(&self) -> u64 {
+        self.san.as_ref().map_or(0, |s| s.total())
     }
 
     /// Arm a fault-injection plan. Subsequent kernels run under it;
@@ -218,12 +254,12 @@ impl Device {
 
     /// Injections recorded so far (empty when no plan is armed).
     pub fn fault_log(&self) -> &[FaultEvent] {
-        self.fault.as_ref().map(|p| p.log()).unwrap_or(&[])
+        self.fault.as_ref().map_or(&[], super::fault::FaultPlan::log)
     }
 
     /// Total injections so far, including any beyond the log cap.
     pub fn fault_injections(&self) -> u64 {
-        self.fault.as_ref().map(|p| p.injections()).unwrap_or(0)
+        self.fault.as_ref().map_or(0, super::fault::FaultPlan::injections)
     }
 
     /// Apply the armed plan's message-fault models to an outgoing
@@ -257,6 +293,7 @@ impl Device {
         self.counters.h2d_words += data.len() as u64;
         let buf = self.alloc(label, data.len());
         self.arena.slice_mut(buf).copy_from_slice(data);
+        self.arena.clear_poison(buf);
         buf
     }
 
@@ -294,16 +331,19 @@ impl Device {
     /// Host-side write of a whole buffer (no counters charged).
     pub fn write(&mut self, buf: Buf, data: &[u32]) {
         self.arena.slice_mut(buf).copy_from_slice(data);
+        self.arena.clear_poison(buf);
     }
 
     /// Host-side write of one word.
     pub fn write_word(&mut self, buf: Buf, idx: usize, val: u32) {
         self.arena.slice_mut(buf)[idx] = val;
+        self.arena.clear_poison_at(buf, idx as u32);
     }
 
     /// Host-side fill.
     pub fn fill(&mut self, buf: Buf, val: u32) {
         self.arena.slice_mut(buf).fill(val);
+        self.arena.clear_poison(buf);
     }
 
     /// Label a buffer was allocated with.
@@ -360,9 +400,27 @@ impl Device {
 
     /// Charge a grid-wide synchronization barrier (the sync-mode
     /// iteration barrier the paper's §4.3 eliminates in phase 1).
+    /// Also closes the sanitizer's race window: accesses before the
+    /// barrier are ordered before everything after it.
     pub fn charge_barrier(&mut self) {
         self.counters.barriers += 1;
         self.elapsed_ns += self.config.barrier_us * 1e3;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_barrier();
+        }
+    }
+
+    /// Words currently idle on the pool free list.
+    pub fn pooled_free_words(&self) -> usize {
+        self.arena.free_words()
+    }
+
+    /// Evict idle pooled buffers, largest first, until at most
+    /// `max_bytes` of free-list memory remains. Returns bytes evicted.
+    /// Evicted buffers are gone for good: a later
+    /// [`Device::alloc_pooled`] of that size allocates fresh.
+    pub fn trim_pool_to(&mut self, max_bytes: usize) -> usize {
+        self.arena.trim_free_to(max_bytes / 4) * 4
     }
 }
 

@@ -19,6 +19,7 @@ use crate::counters::KernelReport;
 use crate::device::Device;
 use crate::fault::{AtomicMinFault, FaultModel, FaultPlan};
 use crate::replay::replay_warp;
+use crate::san::SanState;
 use crate::trace::{LaneTrace, Op};
 use crate::{SECTOR_BYTES, WARP_SIZE};
 
@@ -37,6 +38,7 @@ pub struct Lane<'a> {
     children: &'a mut Vec<ChildLaunch>,
     traffic: &'a mut Vec<[u64; 3]>,
     fault: Option<&'a mut FaultPlan>,
+    san: Option<&'a mut SanState>,
     trace: LaneTrace,
     tid: u64,
     gang_rank: u32,
@@ -69,8 +71,14 @@ impl<'a> Lane<'a> {
     /// real GPUs); atomics always observe live memory.
     #[inline]
     pub fn ld(&mut self, buf: Buf, idx: u32) -> u32 {
-        self.trace.push(Op::Load(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::Load(addr));
         self.traffic[buf.id as usize][0] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            let poisoned = self.arena.poisoned_visible(buf, idx);
+            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
+            san.on_plain_load(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
         let val = self.arena.load_visible(buf, idx);
         self.fault_load(buf, idx, val)
     }
@@ -99,8 +107,14 @@ impl<'a> Lane<'a> {
     /// there loses updates.
     #[inline]
     pub fn ld_volatile(&mut self, buf: Buf, idx: u32) -> u32 {
-        self.trace.push(Op::Load(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::LoadVolatile(addr));
         self.traffic[buf.id as usize][0] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            let poisoned = self.arena.poisoned_live(buf, idx);
+            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
+            san.on_volatile_load(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
         let val = self.arena.load(buf, idx);
         self.fault_load(buf, idx, val)
     }
@@ -108,17 +122,37 @@ impl<'a> Lane<'a> {
     /// Global store of one word.
     #[inline]
     pub fn st(&mut self, buf: Buf, idx: u32, val: u32) {
-        self.trace.push(Op::Store(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::Store(addr));
         self.traffic[buf.id as usize][1] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
+            san.on_store(addr, lane, gang, self.arena.label(buf), idx);
+        }
         self.arena.store(buf, idx, val);
+    }
+
+    /// Sanitizer entry shared by all four atomic flavours. `reads` is
+    /// false for `atomicExch` — the only atomic whose effect does not
+    /// depend on the old value, so exchanging into a never-written
+    /// word is an initialization, not an uninit read.
+    #[inline]
+    fn san_atomic(&mut self, buf: Buf, idx: u32, addr: u64, reads: bool) {
+        if let Some(san) = self.san.as_deref_mut() {
+            let poisoned = reads && self.arena.poisoned_live(buf, idx);
+            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
+            san.on_atomic(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
     }
 
     /// `atomicMin`: returns the previous value (Alg. 1's relaxation
     /// update).
     #[inline]
     pub fn atomic_min(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
-        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::Atomic(addr));
         self.traffic[buf.id as usize][2] += 1;
+        self.san_atomic(buf, idx, addr, true);
         let old = self.arena.load(buf, idx);
         if let Some(plan) = self.fault.as_deref_mut() {
             match plan.on_atomic_min(self.arena.label(buf), idx) {
@@ -146,8 +180,10 @@ impl<'a> Lane<'a> {
     /// `atomicAdd`: returns the previous value (queue-tail bumps).
     #[inline]
     pub fn atomic_add(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
-        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::Atomic(addr));
         self.traffic[buf.id as usize][2] += 1;
+        self.san_atomic(buf, idx, addr, true);
         let old = self.arena.load(buf, idx);
         self.arena.store(buf, idx, old.wrapping_add(val));
         old
@@ -156,8 +192,10 @@ impl<'a> Lane<'a> {
     /// `atomicCAS`: returns the previous value.
     #[inline]
     pub fn atomic_cas(&mut self, buf: Buf, idx: u32, expected: u32, val: u32) -> u32 {
-        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::Atomic(addr));
         self.traffic[buf.id as usize][2] += 1;
+        self.san_atomic(buf, idx, addr, true);
         let old = self.arena.load(buf, idx);
         if old == expected {
             self.arena.store(buf, idx, val);
@@ -168,8 +206,10 @@ impl<'a> Lane<'a> {
     /// `atomicExch`: returns the previous value.
     #[inline]
     pub fn atomic_exch(&mut self, buf: Buf, idx: u32, val: u32) -> u32 {
-        self.trace.push(Op::Atomic(self.arena.addr(buf, idx)));
+        let addr = self.arena.addr(buf, idx);
+        self.trace.push(Op::Atomic(addr));
         self.traffic[buf.id as usize][2] += 1;
+        self.san_atomic(buf, idx, addr, false);
         let old = self.arena.load(buf, idx);
         self.arena.store(buf, idx, val);
         old
@@ -194,6 +234,10 @@ impl<'a> Lane<'a> {
     ) {
         // The launch itself costs a few instructions on the parent.
         self.alu(4);
+        if let Some(san) = self.san.as_deref_mut() {
+            let lane = self.tid * self.gang_size as u64 + self.gang_rank as u64;
+            san.on_child_launch(lane, self.tid);
+        }
         if let Some(plan) = self.fault.as_deref_mut() {
             if plan.on_child_launch(name, threads) {
                 return;
@@ -211,6 +255,10 @@ impl<'a> Lane<'a> {
         body: impl Fn(&mut Lane<'_>) + 'static,
     ) {
         self.alu(4);
+        if let Some(san) = self.san.as_deref_mut() {
+            let lane = self.tid * self.gang_size as u64 + self.gang_rank as u64;
+            san.on_child_launch(lane, self.tid);
+        }
         if let Some(plan) = self.fault.as_deref_mut() {
             if plan.on_child_launch(name, items * gang_size as u64) {
                 return;
@@ -322,6 +370,9 @@ impl Device {
         if let Some(plan) = self.fault.as_mut() {
             plan.on_kernel_start(&self.arena);
         }
+        if let Some(san) = self.san.as_deref_mut() {
+            san.begin_wave(name, snapshot);
+        }
         if snapshot {
             self.arena.begin_snapshot();
         }
@@ -341,6 +392,7 @@ impl Device {
                     children: &mut self.pending_children,
                     traffic: &mut self.buffer_traffic,
                     fault: self.fault.as_mut(),
+                    san: self.san.as_deref_mut(),
                     trace: LaneTrace::default(),
                     tid: lane_idx / gang_size as u64,
                     gang_rank: (lane_idx % gang_size as u64) as u32,
@@ -355,6 +407,9 @@ impl Device {
         }
         if snapshot {
             self.arena.end_snapshot();
+        }
+        if let Some(san) = self.san.as_deref_mut() {
+            san.end_wave();
         }
         let dram_bytes = (self.counters.dram_transactions - dram_before) * SECTOR_BYTES;
         let max_cycles = sm_cycles.iter().copied().max().unwrap_or(0);
@@ -537,6 +592,161 @@ mod tests {
             (d.counters().clone(), d.elapsed_ms())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sanitizer_flags_planted_write_write_race() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let out = d.alloc("victim", 1);
+        d.launch("racy", 8, |lane| {
+            lane.st(out, 0, lane.tid() as u32);
+        });
+        assert_eq!(d.san_total(), 1);
+        let v = &d.san_violations()[0];
+        assert_eq!(v.check, crate::san::SanCheck::WriteWriteRace);
+        assert_eq!(v.buffer, "victim");
+        assert_eq!(v.lanes, [0, 1]);
+    }
+
+    #[test]
+    fn sanitizer_clean_on_disjoint_and_atomic_kernels() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let a = d.alloc_upload("a", &[1, 2, 3, 4]);
+        let out = d.alloc("out", 4);
+        let acc = d.alloc_upload("acc", &[0]);
+        d.launch("map", 4, |lane| {
+            let i = lane.tid() as u32;
+            let x = lane.ld(a, i);
+            lane.st(out, i, x + 1);
+            lane.atomic_add(acc, 0, x);
+        });
+        assert_eq!(d.san_total(), 0, "{:?}", d.san_violations());
+    }
+
+    #[test]
+    fn sanitizer_flags_plain_load_in_live_wave() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let x = d.alloc_upload("dist", &[100, 100]);
+        let mut s = d.wave_session("async");
+        s.wave(2, 1, |lane| {
+            // Plain load of a word another lane atomically improves in
+            // the same (barrier-free) window: snapshot-visibility bug.
+            let other = 1 - lane.tid() as u32;
+            let _ = lane.ld(x, other);
+            lane.atomic_min(x, lane.tid() as u32, 5);
+        });
+        assert!(d
+            .san_violations()
+            .iter()
+            .any(|v| v.check == crate::san::SanCheck::SnapshotVisibility && v.buffer == "dist"));
+
+        // The same pattern with a volatile load is sanctioned.
+        let mut d2 = tiny();
+        d2.arm_sanitizer(crate::san::SanConfig::default());
+        let y = d2.alloc_upload("dist", &[100, 100]);
+        let mut s2 = d2.wave_session("async");
+        s2.wave(2, 1, |lane| {
+            let other = 1 - lane.tid() as u32;
+            let _ = lane.ld_volatile(y, other);
+            lane.atomic_min(y, lane.tid() as u32, 5);
+        });
+        assert_eq!(d2.san_total(), 0, "{:?}", d2.san_violations());
+    }
+
+    #[test]
+    fn sanitizer_plain_load_safe_in_snapshot_kernel() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let x = d.alloc_upload("dist", &[100, 100]);
+        d.launch("sync", 2, |lane| {
+            let other = 1 - lane.tid() as u32;
+            let _ = lane.ld(x, other);
+            lane.atomic_min(x, lane.tid() as u32, 5);
+        });
+        assert_eq!(d.san_total(), 0, "{:?}", d.san_violations());
+    }
+
+    #[test]
+    fn sanitizer_flags_uninit_read_after_recycle() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let b = d.alloc("scratch", 4);
+        d.fill(b, 7);
+        d.release(b);
+        let (b2, recycled) = d.alloc_pooled("scratch2", 4);
+        assert!(recycled);
+        d.write_word(b2, 0, 1); // words 1..4 stay stale
+        let out = d.alloc("out", 4);
+        d.fill(out, 0);
+        d.launch("reader", 4, |lane| {
+            let i = lane.tid() as u32;
+            let v = lane.ld(b2, i);
+            lane.st(out, i, v);
+        });
+        let hits: Vec<_> = d
+            .san_violations()
+            .iter()
+            .filter(|v| v.check == crate::san::SanCheck::UninitRead)
+            .collect();
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|v| v.buffer == "scratch2"));
+    }
+
+    #[test]
+    fn sanitizer_barrier_closes_window() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let x = d.alloc_upload("x", &[0]);
+        let mut s = d.wave_session("p");
+        s.wave(1, 1, |lane| lane.st(x, 0, 1));
+        s.device().charge_barrier();
+        s.wave(1, 1, |lane| {
+            let _ = lane.ld(x, 0);
+            lane.st(x, 0, 2);
+        });
+        assert_eq!(d.san_total(), 0, "{:?}", d.san_violations());
+    }
+
+    #[test]
+    fn sanitizer_flags_gang_divergent_child_launches() {
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let out = d.alloc("out", 1);
+        d.fill(out, 0);
+        d.launch_gangs("diverge", 1, 4, |lane| {
+            // Each rank launches a different number of children.
+            for _ in 0..lane.gang_rank() {
+                lane.launch_child("c", 1, move |cl| {
+                    cl.atomic_add(out, 0, 1);
+                });
+            }
+        });
+        assert!(d
+            .san_violations()
+            .iter()
+            .any(|v| v.check == crate::san::SanCheck::GangChildDivergence));
+    }
+
+    #[test]
+    fn sanitizer_disarmed_device_is_bit_identical() {
+        let run = |armed: bool| {
+            let mut d = tiny();
+            if armed {
+                d.arm_sanitizer(crate::san::SanConfig::default());
+            }
+            let a = d.alloc_upload("a", &[5; 64]);
+            let out = d.alloc("out", 64);
+            d.launch("k", 64, |lane| {
+                let i = lane.tid() as u32;
+                let v = lane.ld(a, i);
+                lane.st(out, i, v * 2);
+            });
+            (d.counters().clone(), d.elapsed_ms(), d.read(out).to_vec())
+        };
+        assert_eq!(run(false), run(true), "arming must not perturb timing or results");
     }
 
     #[test]

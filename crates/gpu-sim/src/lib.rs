@@ -39,6 +39,12 @@
 //! [`Device::wave_session`]: one launch overhead, then arbitrarily many
 //! task waves whose updates are immediately visible.
 //!
+//! An opt-in memory-model sanitizer ([`Device::arm_sanitizer`], the
+//! [`san`] module) checks every lane access against the snapshot /
+//! volatile / atomic discipline the kernels rely on — races, reads of
+//! never-written words, gang divergence — reporting typed
+//! [`SanViolation`]s; disarmed, it costs one branch per access.
+//!
 //! Everything is deterministic: the same kernel sequence yields the
 //! same counters, byte-for-byte.
 //!
@@ -67,6 +73,7 @@ pub mod device;
 pub mod fault;
 pub mod kernel;
 pub mod replay;
+pub mod san;
 pub mod trace;
 
 pub use buffer::Buf;
@@ -74,6 +81,7 @@ pub use counters::{Counters, KernelReport};
 pub use device::{Device, DeviceConfig};
 pub use fault::{FaultEvent, FaultModel, FaultPlan, FaultSpec};
 pub use kernel::{Lane, WaveSession};
+pub use san::{SanCheck, SanConfig, SanViolation};
 
 /// Threads per warp, fixed at 32 like every NVIDIA architecture.
 pub const WARP_SIZE: u32 = 32;

@@ -39,7 +39,7 @@ pub fn replay_warp(
     traces: &[LaneTrace],
 ) -> WarpOutcome {
     debug_assert!(traces.len() <= WARP_SIZE as usize);
-    let max_len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    let max_len = traces.iter().map(super::trace::LaneTrace::len).max().unwrap_or(0);
     let mut cycles = 0u64;
     counters.warps += 1;
     counters.threads += traces.iter().filter(|t| !t.is_empty()).count().max(1) as u64;
@@ -62,7 +62,9 @@ pub fn replay_warp(
                 active += 1;
                 match *op {
                     Op::Alu(n) => alu_max = alu_max.max(n),
-                    Op::Load(a) | Op::Store(a) | Op::Atomic(a) => addrs.push(a),
+                    Op::Load(a) | Op::LoadVolatile(a) | Op::Store(a) | Op::Atomic(a) => {
+                        addrs.push(a);
+                    }
                 }
             }
             if active == 0 {

@@ -1,0 +1,690 @@
+//! Opt-in memory-model sanitizer: wave-level race detection, shadow
+//! poison for uninitialized reads, and gang-divergence checks.
+//!
+//! The simulator executes lanes sequentially, so a kernel that races
+//! on real hardware still produces one deterministic answer here —
+//! correct by luck. The sanitizer closes that gap: it watches every
+//! lane access while the kernel runs functionally and reports typed
+//! [`SanViolation`]s wherever the program leaves the memory-model
+//! discipline the kernels document:
+//!
+//! * plain loads ([`crate::Lane::ld`]) have snapshot semantics inside
+//!   synchronous kernels and **no** guarantee at all inside live
+//!   (wave/persistent-kernel) execution;
+//! * volatile loads ([`crate::Lane::ld_volatile`]) may observe
+//!   concurrent writes — the sanctioned racy-read idiom (the modelled
+//!   accesses are aligned 32-bit words, which cannot tear);
+//! * only atomics may write a location that another lane touches in
+//!   the same race window.
+//!
+//! A *race window* is one synchronous kernel launch, or — for task
+//! waves of a persistent kernel — everything since the last grid-wide
+//! barrier ([`crate::Device::charge_barrier`]): §4.3's asynchronous
+//! phase 1 runs many waves with no barrier, so conflicts across those
+//! waves are real on hardware and are flagged here.
+//!
+//! Armed via [`crate::Device::arm_sanitizer`]; when disarmed (the
+//! default) every hook is a single `Option` branch and the device
+//! behaves bit-identically to an uninstrumented build.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Which checks run. All on by default.
+#[derive(Clone, Copy, Debug)]
+pub struct SanConfig {
+    /// Same-address conflict detection between lanes.
+    pub races: bool,
+    /// Poison-shadow uninitialized-read detection.
+    pub uninit: bool,
+    /// Gang child-launch agreement and intra-gang overlap checks.
+    pub gangs: bool,
+    /// Keep at most this many violations; further ones only count.
+    pub max_violations: usize,
+}
+
+impl Default for SanConfig {
+    fn default() -> Self {
+        Self { races: true, uninit: true, gangs: true, max_violations: 10_000 }
+    }
+}
+
+/// The typed violation classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SanCheck {
+    /// Two different lanes plain-store the same word in one window.
+    WriteWriteRace,
+    /// A plain store and an atomic from different lanes hit the same
+    /// word in one window — the plain side can be lost or torn.
+    MixedAtomicRace,
+    /// A plain load can observe (or miss) a same-window write by
+    /// another lane under live-memory execution — the exact hazard
+    /// `ld_volatile` exists for.
+    SnapshotVisibility,
+    /// A read of a word never written since alloc or pool recycle.
+    UninitRead,
+    /// Lanes of one gang launched differing child-kernel counts.
+    GangChildDivergence,
+    /// Two lanes of the *same* gang plain-stored the same word: the
+    /// gang's rank-partitioned private region overlaps.
+    GangOverlap,
+}
+
+impl SanCheck {
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SanCheck::WriteWriteRace => "write-write-race",
+            SanCheck::MixedAtomicRace => "mixed-atomic-race",
+            SanCheck::SnapshotVisibility => "snapshot-visibility",
+            SanCheck::UninitRead => "uninit-read",
+            SanCheck::GangChildDivergence => "gang-child-divergence",
+            SanCheck::GangOverlap => "gang-overlap",
+        }
+    }
+}
+
+/// One reported violation. Lane ids are global lane indexes within
+/// their wave (`tid * gang_size + gang_rank`); for unary checks both
+/// entries name the same lane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SanViolation {
+    pub check: SanCheck,
+    /// Kernel (site) whose lane performed the *second* access.
+    pub kernel: &'static str,
+    /// Label of the buffer containing the word.
+    pub buffer: &'static str,
+    /// Word index within the buffer.
+    pub index: u32,
+    /// Flat device byte address of the word.
+    pub addr: u64,
+    /// The two conflicting lanes: `[earlier, later]`.
+    pub lanes: [u64; 2],
+    /// Wave sequence numbers of the two accesses (equal when the
+    /// conflict is within one wave).
+    pub waves: [u64; 2],
+    pub detail: String,
+}
+
+impl fmt::Display for SanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {}[{}] (addr {:#x}) lanes {}/{} waves {}/{}: {}",
+            self.check.name(),
+            self.kernel,
+            self.buffer,
+            self.index,
+            self.addr,
+            self.lanes[0],
+            self.lanes[1],
+            self.waves[0],
+            self.waves[1],
+            self.detail
+        )
+    }
+}
+
+/// One recorded access for conflict matching.
+#[derive(Clone, Copy, Debug)]
+struct Accessor {
+    wave: u64,
+    lane: u64,
+    gang: u64,
+    kernel: &'static str,
+}
+
+impl Accessor {
+    /// Two accesses conflict only between distinct logical threads:
+    /// the same lane index in a *different* wave is a different thread
+    /// (waves of a session overlap on hardware).
+    fn same_thread(&self, other: &Accessor) -> bool {
+        self.wave == other.wave && self.lane == other.lane
+    }
+}
+
+/// Per-address state within the current race window.
+#[derive(Clone, Copy, Debug, Default)]
+struct AccessRec {
+    plain_store: Option<Accessor>,
+    atomic: Option<Accessor>,
+    /// First plain load under live-memory execution (snapshot-kernel
+    /// plain loads are safe by construction and not recorded).
+    plain_load: Option<Accessor>,
+}
+
+/// Armed sanitizer state, owned by the device.
+pub struct SanState {
+    config: SanConfig,
+    violations: Vec<SanViolation>,
+    total: u64,
+    seen: HashSet<(SanCheck, &'static str, u64)>,
+    access: HashMap<u64, AccessRec>,
+    /// Child-launch counts of the current wave: (gang item, lane) →
+    /// launches. BTreeMap so the end-of-wave sweep is deterministic.
+    gang_launches: BTreeMap<(u64, u64), u64>,
+    wave: u64,
+    kernel: &'static str,
+    snapshot: bool,
+}
+
+impl SanState {
+    pub fn new(config: SanConfig) -> Self {
+        Self {
+            config,
+            violations: Vec::new(),
+            total: 0,
+            seen: HashSet::new(),
+            access: HashMap::new(),
+            gang_launches: BTreeMap::new(),
+            wave: 0,
+            kernel: "",
+            snapshot: false,
+        }
+    }
+
+    pub fn config(&self) -> &SanConfig {
+        &self.config
+    }
+
+    /// Violations recorded so far (capped at `max_violations`).
+    pub fn violations(&self) -> &[SanViolation] {
+        &self.violations
+    }
+
+    /// Total violations including any beyond the cap.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        check: SanCheck,
+        buffer: &'static str,
+        index: u32,
+        addr: u64,
+        first: &Accessor,
+        second: &Accessor,
+        detail: String,
+    ) {
+        // One report per (check, site, address): kernels revisit the
+        // same conflict every wave and would otherwise flood the log.
+        if !self.seen.insert((check, second.kernel, addr)) {
+            return;
+        }
+        self.total += 1;
+        if self.violations.len() < self.config.max_violations {
+            self.violations.push(SanViolation {
+                check,
+                kernel: second.kernel,
+                buffer,
+                index,
+                addr,
+                lanes: [first.lane, second.lane],
+                waves: [first.wave, second.wave],
+                detail,
+            });
+        }
+    }
+
+    /// A new wave (one `execute` call) begins. Synchronous (snapshot)
+    /// kernels are their own race window.
+    pub(crate) fn begin_wave(&mut self, kernel: &'static str, snapshot: bool) {
+        self.wave += 1;
+        self.kernel = kernel;
+        self.snapshot = snapshot;
+        if snapshot {
+            self.access.clear();
+        }
+        self.gang_launches.clear();
+    }
+
+    /// The wave finished: run gang agreement checks and close the
+    /// window if it was a synchronous kernel.
+    pub(crate) fn end_wave(&mut self) {
+        if self.config.gangs {
+            self.check_gang_launches();
+        }
+        if self.snapshot {
+            self.access.clear();
+        }
+    }
+
+    /// A grid-wide barrier: every pre-barrier access is ordered before
+    /// every post-barrier one, so the window closes.
+    pub(crate) fn on_barrier(&mut self) {
+        self.access.clear();
+    }
+
+    fn check_gang_launches(&mut self) {
+        let per_gang: Vec<(u64, Vec<(u64, u64)>)> = {
+            let mut v: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+            for (&(gang, lane), &count) in &self.gang_launches {
+                match v.last_mut() {
+                    Some((g, lanes)) if *g == gang => lanes.push((lane, count)),
+                    _ => v.push((gang, vec![(lane, count)])),
+                }
+            }
+            v
+        };
+        for (gang, lanes) in per_gang {
+            // A single launching lane (gang-leader pattern) and
+            // uniform counts across launching lanes are both fine;
+            // differing nonzero counts mean the gang diverged on the
+            // launch decision.
+            if lanes.len() < 2 {
+                continue;
+            }
+            let first_count = lanes[0].1;
+            if let Some(&(lane, count)) = lanes.iter().find(|&&(_, c)| c != first_count) {
+                let a = Accessor { wave: self.wave, lane: lanes[0].0, gang, kernel: self.kernel };
+                let b = Accessor { wave: self.wave, lane, gang, kernel: self.kernel };
+                self.record(
+                    SanCheck::GangChildDivergence,
+                    "(child launches)",
+                    0,
+                    gang,
+                    &a,
+                    &b,
+                    format!(
+                        "gang {gang}: lane {} launched {first_count} child kernel(s), \
+                         lane {lane} launched {count}",
+                        lanes[0].0
+                    ),
+                );
+            }
+        }
+    }
+
+    fn here(&self, lane: u64, gang: u64) -> Accessor {
+        Accessor { wave: self.wave, lane, gang, kernel: self.kernel }
+    }
+
+    fn uninit(&mut self, buffer: &'static str, index: u32, addr: u64, who: Accessor, how: &str) {
+        self.record(
+            SanCheck::UninitRead,
+            buffer,
+            index,
+            addr,
+            &who,
+            &who,
+            format!("{how} of a word never written since alloc/recycle"),
+        );
+    }
+
+    /// Hook: plain (snapshot-semantics) load.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_plain_load(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+        poisoned: bool,
+    ) {
+        let who = self.here(lane, gang);
+        if self.config.uninit && poisoned {
+            self.uninit(buffer, index, addr, who, "plain load");
+        }
+        if !self.config.races || self.snapshot {
+            // In a synchronous kernel a plain load reads the kernel-
+            // entry snapshot: deterministic regardless of what other
+            // lanes write, so it participates in no race.
+            return;
+        }
+        let rec = self.access.entry(addr).or_default();
+        let conflict = rec
+            .plain_store
+            .filter(|w| !w.same_thread(&who))
+            .or_else(|| rec.atomic.filter(|w| !w.same_thread(&who)));
+        if let Some(writer) = conflict {
+            self.record(
+                SanCheck::SnapshotVisibility,
+                buffer,
+                index,
+                addr,
+                &writer,
+                &who,
+                format!(
+                    "plain load may or may not observe lane {}'s same-window write \
+                     (use ld_volatile or order with a barrier)",
+                    writer.lane
+                ),
+            );
+        }
+        let rec = self.access.entry(addr).or_default();
+        if rec.plain_load.is_none() {
+            rec.plain_load = Some(who);
+        }
+    }
+
+    /// Hook: volatile load. Sanctioned to race with writes (aligned
+    /// words cannot tear), so only the uninit check applies.
+    pub(crate) fn on_volatile_load(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+        poisoned: bool,
+    ) {
+        if self.config.uninit && poisoned {
+            let who = self.here(lane, gang);
+            self.uninit(buffer, index, addr, who, "volatile load");
+        }
+    }
+
+    /// Hook: plain store.
+    pub(crate) fn on_store(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+    ) {
+        if !self.config.races {
+            return;
+        }
+        let who = self.here(lane, gang);
+        let rec = self.access.entry(addr).or_default();
+        let prior_store = rec.plain_store.filter(|w| !w.same_thread(&who));
+        let prior_atomic = rec.atomic.filter(|w| !w.same_thread(&who));
+        let prior_load = rec.plain_load.filter(|w| !w.same_thread(&who));
+        if rec.plain_store.is_none() {
+            rec.plain_store = Some(who);
+        }
+        if let Some(other) = prior_store {
+            let same_gang = self.config.gangs
+                && other.wave == who.wave
+                && other.gang == who.gang
+                && other.kernel == who.kernel;
+            let (check, detail) = if same_gang {
+                (
+                    SanCheck::GangOverlap,
+                    format!(
+                        "lanes {} and {} of gang {} both plain-stored this word — \
+                         rank-partitioned regions overlap",
+                        other.lane, who.lane, who.gang
+                    ),
+                )
+            } else {
+                (
+                    SanCheck::WriteWriteRace,
+                    format!(
+                        "plain stores from lanes {} and {} — last writer is \
+                         schedule-dependent on hardware",
+                        other.lane, who.lane
+                    ),
+                )
+            };
+            self.record(check, buffer, index, addr, &other, &who, detail);
+        } else if let Some(other) = prior_atomic {
+            self.record(
+                SanCheck::MixedAtomicRace,
+                buffer,
+                index,
+                addr,
+                &other,
+                &who,
+                format!(
+                    "plain store by lane {} races lane {}'s atomic on the same word",
+                    who.lane, other.lane
+                ),
+            );
+        } else if let Some(other) = prior_load {
+            self.record(
+                SanCheck::SnapshotVisibility,
+                buffer,
+                index,
+                addr,
+                &other,
+                &who,
+                format!(
+                    "lane {}'s earlier plain load may or may not observe this store \
+                     (use ld_volatile or order with a barrier)",
+                    other.lane
+                ),
+            );
+        }
+    }
+
+    /// Hook: atomic read-modify-write.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_atomic(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+        poisoned: bool,
+    ) {
+        let who = self.here(lane, gang);
+        if self.config.uninit && poisoned {
+            self.uninit(buffer, index, addr, who, "atomic read-modify-write");
+        }
+        if !self.config.races {
+            return;
+        }
+        let rec = self.access.entry(addr).or_default();
+        let prior_store = rec.plain_store.filter(|w| !w.same_thread(&who));
+        let prior_load = rec.plain_load.filter(|w| !w.same_thread(&who));
+        if rec.atomic.is_none() {
+            rec.atomic = Some(who);
+        }
+        if let Some(other) = prior_store {
+            self.record(
+                SanCheck::MixedAtomicRace,
+                buffer,
+                index,
+                addr,
+                &other,
+                &who,
+                format!(
+                    "atomic by lane {} races lane {}'s plain store on the same word",
+                    who.lane, other.lane
+                ),
+            );
+        } else if let Some(other) = prior_load {
+            self.record(
+                SanCheck::SnapshotVisibility,
+                buffer,
+                index,
+                addr,
+                &other,
+                &who,
+                format!(
+                    "lane {}'s earlier plain load may or may not observe this atomic's \
+                     result (use ld_volatile or order with a barrier)",
+                    other.lane
+                ),
+            );
+        }
+    }
+
+    /// Hook: one child-kernel launch by `lane` of gang item `gang`.
+    pub(crate) fn on_child_launch(&mut self, lane: u64, gang: u64) {
+        if self.config.gangs {
+            *self.gang_launches.entry((gang, lane)).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> SanState {
+        SanState::new(SanConfig::default())
+    }
+
+    #[test]
+    fn write_write_race_between_lanes() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_store(64, 0, 0, "buf", 0);
+        s.on_store(64, 5, 5, "buf", 0);
+        s.end_wave();
+        assert_eq!(s.total(), 1);
+        let v = &s.violations()[0];
+        assert_eq!(v.check, SanCheck::WriteWriteRace);
+        assert_eq!(v.lanes, [0, 5]);
+        assert_eq!(v.buffer, "buf");
+    }
+
+    #[test]
+    fn same_lane_never_conflicts_with_itself() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_store(64, 3, 3, "buf", 0);
+        s.on_store(64, 3, 3, "buf", 0);
+        s.on_plain_load(64, 3, 3, "buf", 0, false);
+        s.end_wave();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn atomics_on_both_sides_are_clean() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_atomic(64, 0, 0, "buf", 0, false);
+        s.on_atomic(64, 1, 1, "buf", 0, false);
+        s.end_wave();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn volatile_load_may_race_with_atomic() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_atomic(64, 0, 0, "buf", 0, false);
+        s.on_volatile_load(64, 1, 1, "buf", 0, false);
+        s.end_wave();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn plain_load_vs_atomic_is_snapshot_visibility_in_live_window() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_plain_load(64, 1, 1, "buf", 0, false);
+        s.on_atomic(64, 0, 0, "buf", 0, false);
+        s.end_wave();
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.violations()[0].check, SanCheck::SnapshotVisibility);
+    }
+
+    #[test]
+    fn plain_load_in_snapshot_kernel_is_safe() {
+        let mut s = state();
+        s.begin_wave("k", true);
+        s.on_plain_load(64, 1, 1, "buf", 0, false);
+        s.on_atomic(64, 0, 0, "buf", 0, false);
+        s.end_wave();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn window_spans_waves_until_barrier() {
+        let mut s = state();
+        s.begin_wave("w1", false);
+        s.on_store(64, 0, 0, "buf", 0);
+        s.end_wave();
+        s.begin_wave("w2", false);
+        // Same lane index, later wave: a different logical thread.
+        s.on_store(64, 0, 0, "buf", 0);
+        s.end_wave();
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.violations()[0].waves, [1, 2]);
+
+        let mut s = state();
+        s.begin_wave("w1", false);
+        s.on_store(64, 0, 0, "buf", 0);
+        s.end_wave();
+        s.on_barrier();
+        s.begin_wave("w2", false);
+        s.on_store(64, 0, 0, "buf", 0);
+        s.end_wave();
+        assert_eq!(s.total(), 0, "barrier closes the window");
+    }
+
+    #[test]
+    fn uninit_read_reported_once_per_site() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_plain_load(64, 0, 0, "scratch", 3, true);
+        s.on_plain_load(64, 1, 1, "scratch", 3, true);
+        s.end_wave();
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.violations()[0].check, SanCheck::UninitRead);
+        assert_eq!(s.violations()[0].index, 3);
+    }
+
+    #[test]
+    fn gang_divergent_child_launches_flagged() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_child_launch(0, 7); // gang 7, lane 0: one launch
+        s.on_child_launch(1, 7); // gang 7, lane 1: two launches
+        s.on_child_launch(1, 7);
+        s.on_child_launch(8, 9); // gang 9: single leader — fine
+        s.end_wave();
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.violations()[0].check, SanCheck::GangChildDivergence);
+    }
+
+    #[test]
+    fn gang_overlap_classified() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        s.on_store(64, 4, 2, "out", 0); // gang 2, lane 4
+        s.on_store(64, 5, 2, "out", 0); // gang 2, lane 5 — same gang
+        s.end_wave();
+        assert_eq!(s.violations()[0].check, SanCheck::GangOverlap);
+    }
+
+    #[test]
+    fn disabled_checks_stay_silent() {
+        let mut s = SanState::new(SanConfig {
+            races: false,
+            uninit: false,
+            gangs: false,
+            max_violations: 10,
+        });
+        s.begin_wave("k", false);
+        s.on_store(64, 0, 0, "buf", 0);
+        s.on_store(64, 1, 1, "buf", 0);
+        s.on_plain_load(64, 2, 2, "buf", 0, true);
+        s.end_wave();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn cap_counts_but_stops_storing() {
+        let mut s = SanState::new(SanConfig { max_violations: 1, ..SanConfig::default() });
+        s.begin_wave("k", false);
+        s.on_store(64, 0, 0, "buf", 0);
+        s.on_store(64, 1, 1, "buf", 0);
+        s.on_store(128, 0, 0, "buf", 1);
+        s.on_store(128, 1, 1, "buf", 1);
+        s.end_wave();
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.violations().len(), 1);
+    }
+
+    #[test]
+    fn display_carries_site_lane_and_address() {
+        let mut s = state();
+        s.begin_wave("kern", false);
+        s.on_store(0x2040, 3, 3, "dist", 16);
+        s.on_store(0x2040, 9, 9, "dist", 16);
+        s.end_wave();
+        let msg = s.violations()[0].to_string();
+        assert!(msg.contains("kern") && msg.contains("dist[16]"), "{msg}");
+        assert!(msg.contains("0x2040") && msg.contains("3/9"), "{msg}");
+    }
+}

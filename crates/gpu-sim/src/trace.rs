@@ -11,6 +11,11 @@
 pub enum Op {
     /// Global memory load of a 4-byte word at a byte address.
     Load(u64),
+    /// Volatile/L2-coherent load ([`crate::Lane::ld_volatile`]). Costs
+    /// and coalesces exactly like [`Op::Load`] — the distinction exists
+    /// so the sanitizer can tell a snapshot-semantics read from an
+    /// intentionally racy live read.
+    LoadVolatile(u64),
     /// Global memory store.
     Store(u64),
     /// Atomic read-modify-write (min/add/cas/exch all cost alike).
@@ -24,7 +29,7 @@ impl Op {
     #[inline]
     pub fn kind(&self) -> OpKind {
         match self {
-            Op::Load(_) => OpKind::Load,
+            Op::Load(_) | Op::LoadVolatile(_) => OpKind::Load,
             Op::Store(_) => OpKind::Store,
             Op::Atomic(_) => OpKind::Atomic,
             Op::Alu(_) => OpKind::Alu,
@@ -35,7 +40,7 @@ impl Op {
     #[inline]
     pub fn addr(&self) -> Option<u64> {
         match *self {
-            Op::Load(a) | Op::Store(a) | Op::Atomic(a) => Some(a),
+            Op::Load(a) | Op::LoadVolatile(a) | Op::Store(a) | Op::Atomic(a) => Some(a),
             Op::Alu(_) => None,
         }
     }
@@ -101,6 +106,8 @@ mod tests {
     #[test]
     fn kinds_and_addrs() {
         assert_eq!(Op::Load(8).kind(), OpKind::Load);
+        assert_eq!(Op::LoadVolatile(8).kind(), OpKind::Load, "replay must group them together");
+        assert_eq!(Op::LoadVolatile(12).addr(), Some(12));
         assert_eq!(Op::Store(8).addr(), Some(8));
         assert_eq!(Op::Alu(1).addr(), None);
         assert_eq!(Op::Atomic(4).kind(), OpKind::Atomic);

@@ -19,7 +19,7 @@ pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<EdgeList, IoError> {
     // Header.
     let (_, header) = lines.next().ok_or_else(|| IoError::Format("empty file".into()))?;
     let header = header?;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    let h: Vec<String> = header.split_whitespace().map(str::to_ascii_lowercase).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
         return Err(IoError::Format(format!("unsupported header: {header}")));
     }

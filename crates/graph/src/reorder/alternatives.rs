@@ -50,7 +50,7 @@ pub fn bfs_order(g: &Csr, seed_vertex: VertexId) -> Permutation {
             }
         }
     }
-    for slot in old_to_new.iter_mut() {
+    for slot in &mut old_to_new {
         if *slot == u32::MAX {
             *slot = next;
             next += 1;

@@ -126,8 +126,7 @@ fn farthest(levels: &[u32]) -> VertexId {
         .enumerate()
         .filter(|(_, &d)| d != u32::MAX)
         .max_by_key(|(_, &d)| d)
-        .map(|(v, _)| v as VertexId)
-        .unwrap_or(0)
+        .map_or(0, |(v, _)| v as VertexId)
 }
 
 /// Gini coefficient of the degree distribution: 0 = perfectly

@@ -2,9 +2,11 @@
 //!
 //! A small wall-clock benchmarking harness exposing the criterion API
 //! this workspace's benches use (`benchmark_group`, `bench_function`,
-//! `bench_with_input`, `Throughput`, `BenchmarkId`). Reports
-//! mean/min/max per benchmark in plain text; no statistics engine, no
-//! HTML reports.
+//! `bench_with_input`, `Throughput`, `BenchmarkId`). Like real
+//! criterion it reports robust statistics — the median and the median
+//! absolute deviation over samples surviving a 1.5×IQR outlier fence —
+//! rather than a wall-clock mean, which a single scheduler hiccup can
+//! drag arbitrarily far. Plain-text output only; no HTML reports.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -128,6 +130,55 @@ impl Bencher {
     }
 }
 
+/// Robust summary of a sample set: median and median absolute
+/// deviation after rejecting points outside the 1.5×IQR fences.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RobustStats {
+    /// Median of the surviving samples, in seconds.
+    pub median: f64,
+    /// Median absolute deviation of the surviving samples, in seconds.
+    pub mad: f64,
+    /// Samples surviving the outlier fence.
+    pub kept: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+}
+
+/// Median of an already-sorted slice (midpoint average for even n).
+fn sorted_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Compute [`RobustStats`] over raw samples (seconds). Quartiles use
+/// the simple midpoint-of-halves rule; a single sample passes through
+/// unfenced.
+pub fn robust_stats(samples: &[f64]) -> RobustStats {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let kept: Vec<f64> = if sorted.len() < 4 {
+        // Too few points for meaningful quartiles — keep everything.
+        sorted.clone()
+    } else {
+        let half = sorted.len() / 2;
+        let q1 = sorted_median(&sorted[..half]);
+        let q3 = sorted_median(&sorted[sorted.len() - half..]);
+        let iqr = q3 - q1;
+        let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        sorted.iter().copied().filter(|&s| s >= lo && s <= hi).collect()
+    };
+    let median = sorted_median(&kept);
+    let mut dev: Vec<f64> = kept.iter().map(|&s| (s - median).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
+    let mad = sorted_median(&dev);
+    RobustStats { median, mad, kept: kept.len(), rejected: samples.len() - kept.len() }
+}
+
 fn run_one<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -138,21 +189,26 @@ where
         println!("  {id:<40} (no samples)");
         return;
     }
-    let total: Duration = b.samples.iter().sum();
-    let mean = total / b.samples.len() as u32;
-    let min = *b.samples.iter().min().unwrap();
-    let max = *b.samples.iter().max().unwrap();
+    let secs: Vec<f64> = b.samples.iter().map(Duration::as_secs_f64).collect();
+    let stats = robust_stats(&secs);
+    let median = Duration::from_secs_f64(stats.median);
+    let mad = Duration::from_secs_f64(stats.mad);
     let rate = throughput
         .map(|t| match t {
             Throughput::Elements(n) => {
-                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+                format!("  {:>12.0} elem/s", n as f64 / stats.median)
             }
             Throughput::Bytes(n) => {
-                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+                format!("  {:>12.0} B/s", n as f64 / stats.median)
             }
         })
         .unwrap_or_default();
-    println!("  {id:<40} mean {:>10.3?}  min {:>10.3?}  max {:>10.3?}{rate}", mean, min, max);
+    let fence = if stats.rejected > 0 {
+        format!("  ({} outlier(s) fenced)", stats.rejected)
+    } else {
+        String::new()
+    };
+    println!("  {id:<40} median {median:>10.3?}  mad {mad:>10.3?}{rate}{fence}");
 }
 
 #[macro_export]
@@ -172,4 +228,39 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_of_clean_samples() {
+        let s = robust_stats(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mad, 1.0);
+        assert_eq!((s.kept, s.rejected), (5, 0));
+    }
+
+    #[test]
+    fn iqr_fence_rejects_a_scheduler_spike() {
+        // Nine tight samples and one 100× spike: the mean would be
+        // dragged to ~11, the fenced median stays at the true value.
+        let mut samples = vec![1.0; 9];
+        samples.push(100.0);
+        let s = robust_stats(&samples);
+        assert_eq!(s.median, 1.0);
+        assert_eq!(s.mad, 0.0);
+        assert_eq!((s.kept, s.rejected), (9, 1));
+    }
+
+    #[test]
+    fn tiny_sample_sets_pass_through() {
+        let s = robust_stats(&[5.0]);
+        assert_eq!(s.median, 5.0);
+        assert_eq!((s.kept, s.rejected), (1, 0));
+        let s = robust_stats(&[1.0, 1000.0]);
+        assert_eq!(s.median, 500.5);
+        assert_eq!(s.rejected, 0);
+    }
 }

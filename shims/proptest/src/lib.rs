@@ -134,8 +134,7 @@ pub mod runner {
     fn regression_path(manifest_dir: &str, src_file: &str) -> PathBuf {
         let stem = Path::new(src_file)
             .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "unknown".into());
+            .map_or_else(|| "unknown".into(), |s| s.to_string_lossy().into_owned());
         Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
     }
 

@@ -194,6 +194,9 @@ fn main() {
     if std::env::args().nth(1).as_deref() == Some("serve") {
         serve_main(std::env::args().skip(2).collect());
     }
+    if std::env::args().nth(1).as_deref() == Some("sanitize") {
+        sanitize_main(std::env::args().skip(2).collect());
+    }
     let o = parse_args();
     let g = build_graph(&o);
     println!(
@@ -221,7 +224,7 @@ fn main() {
             "pq-delta",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect()
     } else {
         vec![o.algo.clone()]
@@ -814,6 +817,115 @@ fn chaos_main(args: Vec<String>) -> ! {
         println!(
             "FAIL {} under {} on {} (source {}, seed {}, rate {}): {}",
             c.entry_id, c.model, c.graph, c.source, c.seed, c.rate, c.verdict
+        );
+    }
+    exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// `rdbs-cli sanitize` — the memory-model matrix.
+// ---------------------------------------------------------------------------
+
+fn sanitize_usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli sanitize [options]
+
+Run every GPU entry point over the graph families with the wave-level
+memory-model sanitizer armed: races between lanes, snapshot-visibility
+hazards of plain loads, reads of never-written words and gang
+divergence all become typed violations. Each cell's answer is also
+checked against the Dijkstra oracle. Before the sweep, a planted-race
+specimen proves the detector fires. Exits non-zero unless the specimen
+is detected AND every cell is correct with zero violations. The sweep
+is deterministic: the same flags reproduce the same reports byte for
+byte.
+
+  --quick             reduced sweep (quick families, four entries, one source)
+  --entry SUBSTR      only entry points whose id contains SUBSTR
+  --graph SUBSTR      only families whose name contains SUBSTR
+  --max N             violations to print per dirty cell (default 5)
+
+entry points:
+  {entries}",
+        entries =
+            rdbs::conformance::san_entries().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
+    );
+    exit(2)
+}
+
+fn sanitize_main(args: Vec<String>) -> ! {
+    use rdbs::conformance as conf;
+    let mut o = conf::SanOptions::default();
+    let mut max_print = 5usize;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| sanitize_usage());
+        match flag.as_str() {
+            "--quick" => o.quick = true,
+            "--entry" => o.entry_filter = Some(val()),
+            "--graph" => o.graph_filter = Some(val()),
+            "--max" => max_print = val().parse().unwrap_or_else(|_| sanitize_usage()),
+            "--help" | "-h" => sanitize_usage(),
+            _ => sanitize_usage(),
+        }
+    }
+
+    // Liveness first: a green matrix from a dead detector is
+    // meaningless.
+    match conf::specimen_detected() {
+        Ok(()) => {
+            let v = conf::planted_race_specimen();
+            println!("specimen: planted race detected ({} violation(s)); first:", v.len());
+            println!("  {}", v[0]);
+        }
+        Err(e) => {
+            eprintln!("FAIL specimen: {e}");
+            exit(1);
+        }
+    }
+
+    let report = conf::run_sanitize(&o, |cell| {
+        println!(
+            "  {:<16} {:<16} source {:<3} {:>6} violation(s)  {}",
+            cell.entry_id,
+            cell.graph,
+            cell.source,
+            cell.total,
+            if cell.is_clean() { "clean" } else { "DIRTY" }
+        );
+        for v in cell.violations.iter().take(max_print) {
+            println!("      {v}");
+        }
+        if let Some(m) = &cell.mismatch {
+            println!("      mismatch: {m}");
+        }
+        if let Some(p) = &cell.panic {
+            println!("      panic: {p}");
+        }
+    });
+
+    println!(
+        "sanitize: {} cells, {} violation(s) total",
+        report.cells.len(),
+        report.total_violations()
+    );
+    if report.cells.is_empty() {
+        eprintln!("error: the filters matched no (entry, graph) cells — nothing was swept");
+        exit(2);
+    }
+    if report.is_green() {
+        println!("sanitize: OK — zero violations, all answers correct");
+        exit(0);
+    }
+    for c in report.dirty_cells() {
+        println!(
+            "FAIL {} on {} (source {}): {} violation(s){}{}",
+            c.entry_id,
+            c.graph,
+            c.source,
+            c.total,
+            c.mismatch.as_deref().map(|m| format!(", mismatch: {m}")).unwrap_or_default(),
+            c.panic.as_deref().map(|p| format!(", panic: {p}")).unwrap_or_default(),
         );
     }
     exit(1)
