@@ -1,0 +1,176 @@
+//! Concurrent-scheduler bench: batch throughput of the resident
+//! service answered sequentially vs spread across 2 and 4 simulated
+//! command streams, on the default Kronecker configuration. Each
+//! configuration is timed over several host repetitions (median + MAD
+//! after outlier fencing), and the simulator's deterministic clock
+//! gives the noise-free makespan the speedup claim is graded on.
+//!
+//! Writes the machine-readable record to `results/BENCH_pr5.json`.
+
+use criterion::robust_stats;
+use rdbs_core::service::{ServiceConfig, SsspService};
+use rdbs_core::stats::BatchStats;
+use rdbs_core::{Csr, VertexId};
+use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::datasets::kronecker_spec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BATCH: usize = 16;
+const REPS: usize = 9;
+
+fn graph() -> Csr {
+    kronecker_spec(21, 16).generate(8, 42)
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::v100().with_overhead_scale(1.0 / 256.0).with_cache_scale(1.0 / 256.0)
+}
+
+fn sources(n: usize) -> Vec<VertexId> {
+    (0..BATCH as u64).map(|i| ((i * 2_654_435_761) % n as u64) as VertexId).collect()
+}
+
+/// One measured configuration of the scheduler.
+struct Row {
+    name: &'static str,
+    streams: usize,
+    host_median_ms: f64,
+    host_mad_ms: f64,
+    kept: usize,
+    rejected: usize,
+    stats: BatchStats,
+}
+
+impl Row {
+    /// Deterministic simulated batch throughput, queries per second.
+    fn sim_qps(&self) -> f64 {
+        BATCH as f64 / (self.stats.sim_batch_ms / 1e3)
+    }
+}
+
+fn measure(g: &Csr, srcs: &[VertexId], name: &'static str, streams: usize) -> Row {
+    let mut host_ms = Vec::with_capacity(REPS);
+    let mut stats = None;
+    for _ in 0..REPS {
+        // Fresh service per rep: identical cold-pool state, so the
+        // simulated clock is bit-identical across reps.
+        let config = ServiceConfig::rdbs(device()).with_streams(streams);
+        let mut svc = SsspService::new(g, config);
+        let started = Instant::now();
+        let results = svc.batch(srcs);
+        host_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(results.len(), srcs.len());
+        stats = Some(svc.stats().clone());
+    }
+    let stats = stats.expect("at least one rep ran");
+    assert_eq!(stats.fallbacks, 0, "{name}: batch degraded to the host oracle");
+    let r = robust_stats(&host_ms);
+    Row {
+        name,
+        streams,
+        host_median_ms: r.median,
+        host_mad_ms: r.mad,
+        kept: r.kept,
+        rejected: r.rejected,
+        stats,
+    }
+}
+
+fn json_row(out: &mut String, row: &Row, last: bool) {
+    let p50 = row.stats.sim_latency_percentile_ms(50.0).unwrap_or(0.0);
+    let p99 = row.stats.sim_latency_percentile_ms(99.0).unwrap_or(0.0);
+    writeln!(
+        out,
+        "    {{\n      \"name\": \"{}\",\n      \"streams\": {},\n      \
+         \"host_median_ms\": {:.4},\n      \"host_mad_ms\": {:.4},\n      \
+         \"host_samples_kept\": {},\n      \"host_samples_rejected\": {},\n      \
+         \"sim_batch_ms\": {:.4},\n      \"sim_qps\": {:.2},\n      \
+         \"sim_p50_ms\": {:.4},\n      \"sim_p99_ms\": {:.4},\n      \
+         \"inflight_peak\": {},\n      \"escalations\": {},\n      \
+         \"fallbacks\": {}\n    }}{}",
+        row.name,
+        row.streams,
+        row.host_median_ms,
+        row.host_mad_ms,
+        row.kept,
+        row.rejected,
+        row.stats.sim_batch_ms,
+        row.sim_qps(),
+        p50,
+        p99,
+        row.stats.inflight_peak,
+        row.stats.escalations,
+        row.stats.fallbacks,
+        if last { "" } else { "," },
+    )
+    .expect("writing to a String cannot fail");
+}
+
+fn main() {
+    let g = graph();
+    let srcs = sources(g.num_vertices());
+    println!(
+        "scheduler bench: kronecker scale-13 ef16 ({} vertices, {} edges), batch {BATCH}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let rows = [
+        measure(&g, &srcs, "sequential", 1),
+        measure(&g, &srcs, "streams2", 2),
+        measure(&g, &srcs, "streams4", 4),
+    ];
+    let seq_ms = rows[0].stats.sim_batch_ms;
+    for row in &rows {
+        println!(
+            "  {:<12} host {:8.3} ms ±{:6.3}  sim makespan {:8.3} ms ({:6.2}x)  \
+             qps {:8.1}  peak {}  esc {}",
+            row.name,
+            row.host_median_ms,
+            row.host_mad_ms,
+            row.stats.sim_batch_ms,
+            seq_ms / row.stats.sim_batch_ms,
+            row.sim_qps(),
+            row.stats.inflight_peak,
+            row.stats.escalations,
+        );
+    }
+
+    let speedup4 = seq_ms / rows[2].stats.sim_batch_ms;
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"concurrent_scheduler\",\n");
+    writeln!(
+        out,
+        "  \"graph\": {{\"family\": \"kronecker\", \"scale\": 13, \"edgefactor\": 16, \
+         \"seed\": 42, \"vertices\": {}, \"edges\": {}}},",
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .unwrap();
+    writeln!(out, "  \"device\": \"v100 (overhead/cache scaled 1/256)\",").unwrap();
+    writeln!(out, "  \"batch\": {BATCH},").unwrap();
+    writeln!(out, "  \"host_reps\": {REPS},").unwrap();
+    out.push_str("  \"configs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json_row(&mut out, row, i + 1 == rows.len());
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"sim_speedup_streams2\": {:.4},\n  \"sim_speedup_streams4\": {:.4},\n  \
+         \"acceptance_streams4_ge_1_5x\": {}\n}}",
+        seq_ms / rows[1].stats.sim_batch_ms,
+        speedup4,
+        speedup4 >= 1.5
+    )
+    .unwrap();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_pr5.json");
+    std::fs::write(path, &out).expect("write results/BENCH_pr5.json");
+    println!("wrote {path}");
+    assert!(
+        speedup4 >= 1.5,
+        "acceptance: --streams 4 sim speedup {speedup4:.2}x is below the 1.5x floor"
+    );
+}

@@ -39,8 +39,12 @@ fn bench_batch_vs_one_shot(c: &mut Criterion) {
     });
     group.bench_function("service_resident_x16", |b| {
         b.iter(|| {
-            let config =
-                ServiceConfig { backend: Backend::Gpu(variant), device: device(), delta0: None };
+            let config = ServiceConfig {
+                backend: Backend::Gpu(variant),
+                device: device(),
+                delta0: None,
+                streams: 1,
+            };
             let mut svc = SsspService::new(&g, config);
             svc.batch(&srcs).iter().map(|r| r.dist[7]).sum::<u32>()
         });

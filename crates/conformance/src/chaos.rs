@@ -27,8 +27,8 @@
 use crate::graphs::{self, GraphCase};
 use rdbs_core::gpu::{MultiGpuConfig, RdbsConfig, Variant};
 use rdbs_core::recover::{
-    run_gpu_recovered, run_gpu_recovered_refault, run_multi_recovered, run_service_recovered,
-    RecoveryOutcome, RecoveryReport,
+    run_gpu_recovered, run_gpu_recovered_refault, run_multi_recovered,
+    run_service_concurrent_recovered, run_service_recovered, RecoveryOutcome, RecoveryReport,
 };
 use rdbs_core::seq::dijkstra;
 use rdbs_core::service::ServiceConfig;
@@ -56,6 +56,10 @@ enum EntryKind {
     /// The resident batched service's pooled entry point (full RDBS
     /// on one device; the faulted query runs on recycled buffers).
     Service,
+    /// The service's concurrent scheduler: the scored query flies in a
+    /// three-source batch across four command streams, so injections
+    /// land while sibling queries are in flight.
+    ServiceConcurrent,
 }
 
 impl ChaosEntry {
@@ -83,17 +87,28 @@ pub fn chaos_entries() -> Vec<ChaosEntry> {
         },
         ChaosEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
         ChaosEntry { id: "service/pooled", kind: EntryKind::Service },
+        ChaosEntry { id: "service/concurrent", kind: EntryKind::ServiceConcurrent },
     ]
 }
 
 /// The reduced sweep: the asynchronous single-device entry (widest
 /// fault surface), the persistent-fault entry (recovery path under
-/// fire), the multi-GPU exchange (message models), and the pooled
-/// service entry (buffer-reuse surface).
+/// fire), the multi-GPU exchange (message models), the pooled service
+/// entry (buffer-reuse surface), and the concurrent scheduler (faults
+/// under in-flight concurrency).
 pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
     chaos_entries()
         .into_iter()
-        .filter(|e| matches!(e.id, "gpu/full" | "gpu/refault" | "multi-gpu/k2" | "service/pooled"))
+        .filter(|e| {
+            matches!(
+                e.id,
+                "gpu/full"
+                    | "gpu/refault"
+                    | "multi-gpu/k2"
+                    | "service/pooled"
+                    | "service/concurrent"
+            )
+        })
         .collect()
 }
 
@@ -267,6 +282,10 @@ pub fn run_cell(
         EntryKind::Service => {
             let config = ServiceConfig::rdbs(DeviceConfig::test_tiny());
             run_service_recovered(graph, source, config, Some(spec))
+        }
+        EntryKind::ServiceConcurrent => {
+            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4);
+            run_service_concurrent_recovered(graph, source, config, Some(spec))
         }
     }));
     match attempt {

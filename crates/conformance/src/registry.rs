@@ -56,6 +56,7 @@ enum Kind {
     Gpu(Variant),
     MultiGpu(usize),
     Service,
+    ServiceConcurrent,
     Adds,
     NearFar,
     FrontierBf,
@@ -108,15 +109,21 @@ impl Implementation {
                 };
                 multi_gpu_sssp(graph, source, &config).result
             }
-            Kind::Service => {
+            Kind::Service | Kind::ServiceConcurrent => {
                 let mut cfg = RdbsConfig::full();
                 cfg.delta0 = delta0;
+                // The concurrent entry spreads the batch across four
+                // command streams (clamped to the batch size), so the
+                // matrix differentials the scheduler's lane isolation
+                // against every one-shot entry.
+                let streams = if matches!(self.kind, Kind::ServiceConcurrent) { 4 } else { 1 };
                 let mut svc = SsspService::new(
                     graph,
                     ServiceConfig {
                         backend: rdbs_core::service::Backend::Gpu(Variant::Rdbs(cfg)),
                         device: DeviceConfig::test_tiny(),
                         delta0,
+                        streams,
                     },
                 );
                 // Warm-up on a different source first, so the scored
@@ -187,6 +194,7 @@ pub fn all() -> Vec<Implementation> {
         imp("multi-gpu/k2", MultiGpu, Kind::MultiGpu(2)),
         imp("multi-gpu/k4", MultiGpu, Kind::MultiGpu(4)),
         imp("service/pooled", Service, Kind::Service),
+        imp("service/concurrent", Service, Kind::ServiceConcurrent),
         imp("baseline/adds", Baseline, Kind::Adds),
         imp("baseline/near-far", Baseline, Kind::NearFar),
         imp("baseline/frontier-bf", Baseline, Kind::FrontierBf),

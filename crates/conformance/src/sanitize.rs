@@ -41,6 +41,11 @@ enum EntryKind {
     /// query then the real one, so the sanitized run crosses pool
     /// recycling (the uninit check's main quarry).
     Service,
+    /// The service's concurrent scheduler: a four-source batch spread
+    /// across four command streams, so the sanitized run interleaves
+    /// in-flight queries — any cross-lane buffer sharing shows up as a
+    /// race or uninit read.
+    ServiceConcurrent,
 }
 
 /// Every GPU entry point: the baseline, all RDBS ablation toggles,
@@ -66,16 +71,23 @@ pub fn san_entries() -> Vec<SanEntry> {
         SanEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
         SanEntry { id: "multi-gpu/k4", kind: EntryKind::MultiGpu(4) },
         SanEntry { id: "service/pooled", kind: EntryKind::Service },
+        SanEntry { id: "service/concurrent", kind: EntryKind::ServiceConcurrent },
     ]
 }
 
 /// The reduced sweep: the synchronous baseline, the fully asynchronous
-/// single-device entry (widest race surface), the multi-GPU exchange
-/// and the pooled service (buffer-recycle surface).
+/// single-device entry (widest race surface), the multi-GPU exchange,
+/// the pooled service (buffer-recycle surface) and the concurrent
+/// scheduler (cross-lane isolation surface).
 pub fn quick_san_entries() -> Vec<SanEntry> {
     san_entries()
         .into_iter()
-        .filter(|e| matches!(e.id, "gpu/bl" | "gpu/full" | "multi-gpu/k2" | "service/pooled"))
+        .filter(|e| {
+            matches!(
+                e.id,
+                "gpu/bl" | "gpu/full" | "multi-gpu/k2" | "service/pooled" | "service/concurrent"
+            )
+        })
         .collect()
 }
 
@@ -175,6 +187,19 @@ pub fn run_cell(entry: &SanEntry, graph: &Csr, oracle_dist: &[u32], source: Vert
             let warm = VertexId::try_from((source as usize + 1) % n).expect("vertex id fits");
             let _ = svc.query(warm);
             let result = svc.query(source);
+            (result.dist, svc.san_violations(), svc.san_total())
+        }
+        EntryKind::ServiceConcurrent => {
+            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4);
+            let mut svc = SsspService::new(graph, config);
+            svc.arm_sanitizer(SanConfig::default());
+            // Four sources in flight at once: the scored one plus
+            // three offsets, each on its own leased lane.
+            let n = graph.num_vertices();
+            let other = |k: usize| VertexId::try_from((source as usize + k) % n).expect("fits");
+            let batch = [source, other(1), other(2), other(3)];
+            let mut results = svc.batch(&batch);
+            let result = results.swap_remove(0);
             (result.dist, svc.san_violations(), svc.san_total())
         }
     }));

@@ -127,6 +127,9 @@ impl MultiGpuState {
         let shards: Vec<Shard> = (0..k)
             .map(|d| {
                 let mut device = Device::new(config.device.clone());
+                // One command stream per shard device: kernel reports
+                // and sanitizer violations carry the shard id.
+                device.set_stream(d);
                 let gb = GraphBuffers::upload(&mut device, graph);
                 let frontier = DeviceQueue::new(&mut device, "mg_frontier", n);
                 let updates = DeviceQueue::new(&mut device, "mg_updates", n);

@@ -289,50 +289,119 @@ pub fn rdbs_on(
     config: RdbsConfig,
     controller: &mut DeltaController,
 ) -> Result<RdbsRun, QueueOverflow> {
-    let n = graph.num_vertices() as u32;
-    assert!(source < n, "source out of range");
-    if config.pro {
-        assert!(
-            graph.heavy_offsets().is_some(),
-            "PRO requires a graph preprocessed with rdbs_graph::reorder::pro"
-        );
+    let mut driver = RdbsDriver::start(device, gb, scratch, graph, source, config, controller);
+    while !driver.step(device, graph, controller)? {}
+    Ok(driver.finish(device))
+}
+
+/// A resumable RDBS run: the loop of [`rdbs_on`] reified as a state
+/// machine so a concurrent scheduler can interleave many queries on
+/// one device at bucket granularity. `start` seeds the query,
+/// [`RdbsDriver::step`] processes one bucket (phase 1 → fused phases
+/// 2&3 → Δ readjust), and [`RdbsDriver::finish`] downloads the result.
+/// Driving `start → step* → finish` back-to-back is bit-identical to
+/// [`rdbs_on`] — the scheduler only changes *whose* buckets run
+/// between a query's own.
+pub(crate) struct RdbsDriver {
+    gb: GraphBuffers,
+    queues: Queues,
+    scan_out: Buf,
+    config: RdbsConfig,
+    source: VertexId,
+    n: u32,
+    lo: u64,
+    width: Weight,
+    width0: Weight,
+    settled_before: u64,
+    /// Distance snapshot for the per-bucket monotonicity audit; only
+    /// taken when faults are armed, so the fault-free path reads
+    /// nothing extra and stays bit-identical.
+    audit_prev: Option<Vec<Dist>>,
+    inst: Rc<Inst>,
+    traces: Vec<GpuBucketTrace>,
+    audit: Vec<MonotonicityViolation>,
+}
+
+impl RdbsDriver {
+    /// Validate, reset the scratch + distance buffer, and seed the
+    /// source — everything [`rdbs_on`] does before its bucket loop.
+    pub(crate) fn start(
+        device: &mut Device,
+        gb: GraphBuffers,
+        scratch: &RdbsScratch,
+        graph: &Csr,
+        source: VertexId,
+        config: RdbsConfig,
+        controller: &mut DeltaController,
+    ) -> Self {
+        let n = graph.num_vertices() as u32;
+        assert!(source < n, "source out of range");
+        if config.pro {
+            assert!(
+                graph.heavy_offsets().is_some(),
+                "PRO requires a graph preprocessed with rdbs_graph::reorder::pro"
+            );
+        }
+        let width0 = controller.delta();
+        controller.start_run();
+
+        scratch.reset(device);
+        gb.reset_dist(device, source);
+        let queues = scratch.queues;
+        let scan_out = scratch.scan_out;
+
+        // Seed the source.
+        device.write_word(queues.pending, source as usize, 1);
+        let src_class = if config.adwl {
+            classify(host_light_degree(graph, source))
+        } else {
+            WorkloadClass::Small
+        };
+        queues.q[src_class.index()].host_push(device, source);
+        queues.members.host_push(device, source);
+
+        let audit_prev: Option<Vec<Dist>> =
+            device.faults_armed().then(|| device.read(gb.dist)[..n as usize].to_vec());
+
+        // BASYN: one persistent manager/worker kernel serves phase 1
+        // for the whole run — a single host launch (§4.3).
+        if config.basyn {
+            device.charge_kernel_launch();
+        }
+
+        Self {
+            gb,
+            queues,
+            scan_out,
+            config,
+            source,
+            n,
+            lo: 0,
+            width: width0,
+            width0,
+            settled_before: 0,
+            audit_prev,
+            inst: Rc::new(Inst::default()),
+            traces: Vec::new(),
+            audit: Vec::new(),
+        }
     }
-    let width0 = controller.delta();
-    controller.start_run();
 
-    scratch.reset(device);
-    gb.reset_dist(device, source);
-    let queues = scratch.queues;
-    let scan_out = scratch.scan_out;
-
-    let inst = Rc::new(Inst::default());
-    let mut traces: Vec<GpuBucketTrace> = Vec::new();
-    let mut audit: Vec<MonotonicityViolation> = Vec::new();
-
-    // Seed the source.
-    device.write_word(queues.pending, source as usize, 1);
-    let src_class =
-        if config.adwl { classify(host_light_degree(graph, source)) } else { WorkloadClass::Small };
-    queues.q[src_class.index()].host_push(device, source);
-    queues.members.host_push(device, source);
-
-    let mut lo: u64 = 0;
-    let mut width: Weight = width0;
-    let mut settled_before: u64 = 0;
-    // Distance snapshot for the per-bucket monotonicity audit; only
-    // taken when faults are armed, so the fault-free path reads
-    // nothing extra and stays bit-identical.
-    let mut audit_prev: Option<Vec<Dist>> =
-        device.faults_armed().then(|| device.read(gb.dist)[..n as usize].to_vec());
-
-    // BASYN: one persistent manager/worker kernel serves phase 1 for
-    // the whole run — a single host launch (§4.3).
-    if config.basyn {
-        device.charge_kernel_launch();
-    }
-
-    loop {
+    /// Process one bucket. Returns `Ok(true)` when the run is
+    /// complete (call [`RdbsDriver::finish`]), `Ok(false)` when more
+    /// buckets remain, `Err` on a detected device-queue overflow (the
+    /// queues' sticky cells are checked every bucket).
+    pub(crate) fn step(
+        &mut self,
+        device: &mut Device,
+        graph: &Csr,
+        controller: &mut DeltaController,
+    ) -> Result<bool, QueueOverflow> {
+        let (gb, queues, scan_out, config) = (self.gb, self.queues, self.scan_out, self.config);
+        let lo = self.lo;
+        let width = self.width;
         let hi = lo + width as u64;
+        let inst = &self.inst;
         let mut trace = GpuBucketTrace { lo, width, ..Default::default() };
 
         // ---------------- Phase 1: light edges ----------------
@@ -352,7 +421,7 @@ pub fn rdbs_on(
                 }
                 any = true;
                 trace.threads += phase1_wave_threads(graph, c, items, width, config.pro);
-                run_phase1_list(device, config.basyn, c, items, gb, queues, lo, hi, width, &inst);
+                run_phase1_list(device, config.basyn, c, items, gb, queues, lo, hi, width, inst);
             }
             if !any {
                 break;
@@ -365,18 +434,18 @@ pub fn rdbs_on(
         trace.active = inst.active.get() - active_before;
 
         // C_i: vertices settled by this bucket (host instrumentation).
-        let settled_now = device.read(gb.dist)[..n as usize]
+        let settled_now = device.read(gb.dist)[..self.n as usize]
             .iter()
             .filter(|&&d| (d as u64) < hi && d != INF)
             .count() as u64;
-        trace.converged = settled_now.saturating_sub(settled_before);
-        settled_before = settled_now;
+        trace.converged = settled_now.saturating_sub(self.settled_before);
+        self.settled_before = settled_now;
 
         // Readjust Δ (Update_Delta_Epsilon of Alg. 2).
         let new_width = if config.basyn {
             controller.finish_bucket(trace.converged, trace.threads.max(1))
         } else {
-            width0
+            self.width0
         };
 
         // ---------------- Phases 2 & 3: fused sync kernel ----------------
@@ -400,7 +469,7 @@ pub fn rdbs_on(
             hi,
             width,
             config.pro,
-            &inst,
+            inst,
         );
         device.charge_barrier();
 
@@ -410,7 +479,7 @@ pub fn rdbs_on(
         loop {
             device.write_word(scan_out, 0, 0);
             device.write_word(scan_out, 1, INF);
-            collect_wave(device, gb, queues, scan_out, next_lo, next_hi, &inst);
+            collect_wave(device, gb, queues, scan_out, next_lo, next_hi, inst);
             let active = device.read_word(scan_out, 0);
             let min_beyond = device.read_word(scan_out, 1);
             if active > 0 {
@@ -442,33 +511,40 @@ pub fn rdbs_on(
             // the re-split heavy offsets must be visible to phase 1.
             device.charge_barrier();
         }
-        if let Some(prev) = audit_prev.as_mut() {
-            audit_bucket(device, gb, prev, lo, &mut audit);
+        if let Some(prev) = self.audit_prev.as_mut() {
+            audit_bucket(device, gb, prev, lo, &mut self.audit);
         }
         // Surface any queue overflow this bucket produced (the sticky
         // cells survive the drains above) before trusting its output.
         queues.check(device)?;
-        traces.push(trace);
-        if done {
-            break;
+        self.traces.push(trace);
+        if !done {
+            self.lo = next_lo;
+            self.width = new_width;
         }
-        lo = next_lo;
-        width = new_width;
+        Ok(done)
     }
 
-    let mut stats = UpdateStats {
-        checks: inst.checks.get(),
-        total_updates: inst.updates.get(),
-        ..Default::default()
-    };
-    stats.phase1_layers = traces.iter().map(|t| t.layers).collect();
-    stats.bucket_active = traces.iter().map(|t| t.active).collect();
-    // The result download synchronizes the device, retiring the
-    // persistent kernel — without this, a resident service's next
-    // query would share a race window with this run's final waves.
-    device.charge_barrier();
-    let dist = gb.download_dist(device);
-    Ok(RdbsRun { result: SsspResult { source, dist, stats }, buckets: traces, audit })
+    /// Assemble the run stats and download the distances.
+    pub(crate) fn finish(self, device: &mut Device) -> RdbsRun {
+        let mut stats = UpdateStats {
+            checks: self.inst.checks.get(),
+            total_updates: self.inst.updates.get(),
+            ..Default::default()
+        };
+        stats.phase1_layers = self.traces.iter().map(|t| t.layers).collect();
+        stats.bucket_active = self.traces.iter().map(|t| t.active).collect();
+        // The result download synchronizes the device, retiring the
+        // persistent kernel — without this, a resident service's next
+        // query would share a race window with this run's final waves.
+        device.charge_barrier();
+        let dist = self.gb.download_dist(device);
+        RdbsRun {
+            result: SsspResult { source: self.source, dist, stats },
+            buckets: self.traces,
+            audit: self.audit,
+        }
+    }
 }
 
 /// Compare the live distances with the previous bucket's snapshot:

@@ -269,6 +269,52 @@ pub fn run_service_recovered(
     finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
 }
 
+/// Run the resident service's *concurrent* scheduler under `fault`,
+/// audit, and recover. The scored query flies as the middle element of
+/// a three-source batch spread across `config.streams` command
+/// streams, after a fault-free warm-up — so injections land while
+/// other queries are in flight on sibling streams and the detection +
+/// ladder guarantee must hold with interleaved bucket execution. The
+/// batch itself never errors (overflow escalates on device, then
+/// degrades to a host oracle), so detection here rests on the
+/// monotonicity audit (maxed across every in-flight query of the
+/// batch), the final O(V+E) audit of the scored element, and panic
+/// capture.
+pub fn run_service_concurrent_recovered(
+    graph: &Csr,
+    source: VertexId,
+    config: ServiceConfig,
+    fault: Option<FaultSpec>,
+) -> RecoveredRun {
+    let device_config = config.device.clone();
+    let delta0 = config.delta0;
+    let mut service = SsspService::new(graph, config);
+    let n = graph.num_vertices() as u32;
+    let wrap = |k: u32| (source + k) % n;
+    if n > 1 {
+        let _ = service.query(wrap(1)); // warm the pooled buffers
+    }
+    if let Some(spec) = fault {
+        service.arm_faults(spec);
+    }
+    let batch = [wrap(2), source, wrap(3)];
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut results = service.batch(&batch);
+        results.swap_remove(1)
+    }));
+    let (injections, fault_events) = service.disarm_faults().unwrap_or((0, Vec::new()));
+    let (attempt, panic) = match attempt {
+        Ok(result) => (Some((result, service.last_audit_hits())), None),
+        Err(payload) => (None, Some(panic_text(payload.as_ref()))),
+    };
+    let rerun = move |graph: &Csr, source: VertexId| {
+        let mut fresh = Device::new(device_config.clone());
+        let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
+        run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
+    };
+    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+}
+
 /// Run the multi-GPU entry point under `fault` (armed on device 0),
 /// audit, and recover. Rung 2 is a fault-free multi rerun.
 pub fn run_multi_recovered(
@@ -511,6 +557,24 @@ mod tests {
             detected_any |= run.report.detected();
         }
         assert!(detected_any, "no seed tripped a detector on the pooled path");
+    }
+
+    #[test]
+    fn concurrent_batches_are_never_silently_wrong() {
+        // Faults land while three queries are in flight across four
+        // command streams — interleaved bucket execution must not
+        // weaken the zero-silent-wrong guarantee for the scored query.
+        let g = graph(10);
+        let mut detected_any = false;
+        for seed in 0..4 {
+            let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 0.3, seed);
+            let config = ServiceConfig::rdbs(tiny()).with_streams(4);
+            let run = run_service_concurrent_recovered(&g, 0, config, Some(spec));
+            check_against_dijkstra(&g, 0, &run.result.dist)
+                .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
+            detected_any |= run.report.detected();
+        }
+        assert!(detected_any, "no seed tripped a detector under concurrency");
     }
 
     #[test]

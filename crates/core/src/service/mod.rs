@@ -25,26 +25,37 @@
 //!   query start — a finished run leaves them at per-vertex widths.
 //!
 //! [`SsspService::batch`] answers a slice of sources and accounts the
-//! amortization in [`BatchStats`]: uploads avoided, bytes recycled,
-//! per-query wall time. A query whose device attempt reports a
-//! [`QueueOverflow`] is re-answered by host Dijkstra and counted in
-//! [`BatchStats::fallbacks`] — the service never returns a silently
-//! truncated answer.
+//! amortization in [`BatchStats`]. With [`ServiceConfig::streams`] > 1
+//! the single-GPU backend spreads a batch across simulated command
+//! streams ([`rdbs_gpu_sim::StreamSet`]): every in-flight query owns a
+//! pool-leased *lane* (distance vector, queue set, Δ controller, and
+//! its own heavy-offset copy under PRO) while sharing the single
+//! resident graph upload, and the scheduler steps whichever stream is
+//! least busy — at bucket granularity for RDBS variants — so answers
+//! stay bit-identical to a sequential batch.
+//!
+//! A query whose device attempt reports a [`QueueOverflow`] is
+//! replayed **on the device** with its queue set re-acquired from the
+//! pool one size class larger ([`BatchStats::escalations`]); only past
+//! the escalation ceiling — one class above the vertex count, which no
+//! fault-free frontier exceeds — is it re-answered by host Dijkstra
+//! and counted in [`BatchStats::fallbacks`]. The service never returns
+//! a silently truncated answer.
 
 pub mod pool;
 
 use crate::adaptive_delta::DeltaController;
 use crate::gpu::bl::{bl_on, BlScratch};
-use crate::gpu::buffers::{DeviceQueue, GraphArrays, QueueOverflow};
+use crate::gpu::buffers::{DeviceQueue, GraphArrays, GraphBuffers, QueueOverflow};
 use crate::gpu::multi::{MultiGpuConfig, MultiGpuState};
-use crate::gpu::rdbs::{self, rdbs_on, Queues, RdbsScratch};
-use crate::gpu::Variant;
+use crate::gpu::rdbs::{self, rdbs_on, Queues, RdbsDriver, RdbsScratch};
+use crate::gpu::{RdbsConfig, Variant};
 use crate::seq::dijkstra;
 use crate::stats::{BatchStats, SsspResult};
-use crate::{default_delta, Csr, VertexId, Weight};
+use crate::{default_delta, Csr, VertexId, Weight, INF};
 use pool::BufferPool;
 use rdbs_gpu_sim::{
-    Buf, Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec, SanConfig, SanViolation,
+    Buf, Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec, SanConfig, SanViolation, StreamSet,
 };
 use rdbs_graph::reorder::Permutation;
 use std::time::Instant;
@@ -69,6 +80,11 @@ pub struct ServiceConfig {
     /// Δ₀ override for the multi-GPU backend (single-GPU variants
     /// carry their own in [`crate::gpu::RdbsConfig`]).
     pub delta0: Option<Weight>,
+    /// Command streams a batch may be spread across on the single-GPU
+    /// backend (1 = sequential; clamped to the batch size at
+    /// dispatch). Each extra stream leases its own lane of per-query
+    /// buffers from the pool; the graph upload stays shared.
+    pub streams: usize,
 }
 
 impl ServiceConfig {
@@ -78,18 +94,26 @@ impl ServiceConfig {
             backend: Backend::Gpu(Variant::Rdbs(crate::gpu::RdbsConfig::full())),
             device,
             delta0: None,
+            streams: 1,
         }
     }
 
     /// The synchronous push baseline on one device.
     pub fn baseline(device: DeviceConfig) -> Self {
-        Self { backend: Backend::Gpu(Variant::Baseline), device, delta0: None }
+        Self { backend: Backend::Gpu(Variant::Baseline), device, delta0: None, streams: 1 }
     }
 
     /// The multi-GPU port over `devices` shards (NVLink-class
     /// interconnect defaults).
     pub fn multi(devices: usize, device: DeviceConfig) -> Self {
-        Self { backend: Backend::MultiGpu(devices), device, delta0: None }
+        Self { backend: Backend::MultiGpu(devices), device, delta0: None, streams: 1 }
+    }
+
+    /// Spread batches across `streams` command streams.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        assert!(streams >= 1, "a service needs at least one stream");
+        self.streams = streams;
+        self
     }
 }
 
@@ -98,6 +122,7 @@ impl ServiceConfig {
 pub enum ServiceError {
     /// A device queue's sticky overflow cell was raised — the device
     /// attempt may have dropped work and its output is untrusted.
+    /// Surfaced only once queue-set escalation has hit its ceiling.
     Overflow(QueueOverflow),
     /// The source is not a vertex of the resident graph.
     SourceOutOfRange { source: VertexId, n: u32 },
@@ -128,6 +153,27 @@ enum Scratch {
     Bl(BlScratch),
 }
 
+/// One query's exclusive device lease: everything the concurrent
+/// scheduler must keep disjoint between in-flight queries. Lane 0
+/// always exists and serves sequential queries; extra lanes are
+/// created on demand by concurrent batches and recycled with the
+/// graph generation.
+struct QueryLane {
+    dist: Buf,
+    scratch: Scratch,
+    controller: DeltaController,
+    /// Private heavy-offset buffer (PRO variants, lanes ≥ 1 only).
+    /// The uploaded [`GraphArrays::heavy`] is per-query *mutable*
+    /// state — runs re-split it as buckets settle — so concurrent
+    /// lanes each own a copy; lane 0 keeps the uploaded buffer,
+    /// preserving the sequential path bit-for-bit.
+    heavy: Option<Buf>,
+    /// Whether the lane's heavy offsets must be recomputed on-device
+    /// before its next run (fresh lanes, and every lane after a run
+    /// has re-split them).
+    heavy_dirty: bool,
+}
+
 /// Resident single-device state.
 struct GpuState {
     device: Device,
@@ -136,9 +182,7 @@ struct GpuState {
     /// preprocesses.
     perm: Option<Permutation>,
     arrays: GraphArrays,
-    dist: Buf,
-    scratch: Scratch,
-    controller: DeltaController,
+    lanes: Vec<QueryLane>,
 }
 
 enum State {
@@ -180,7 +224,9 @@ impl SsspService {
                 let dist = pool.acquire(&mut device, "dist", n as usize);
                 let scratch = build_scratch(&mut pool, &mut device, n, variant);
                 let controller = fresh_controller(&device, &run_graph, variant);
-                let st = GpuState { device, variant, perm, arrays, dist, scratch, controller };
+                let lane0 =
+                    QueryLane { dist, scratch, controller, heavy: None, heavy_dirty: false };
+                let st = GpuState { device, variant, perm, arrays, lanes: vec![lane0] };
                 (State::Gpu(Box::new(st)), run_graph, uploads)
             }
             Backend::MultiGpu(k) => {
@@ -215,9 +261,16 @@ impl SsspService {
                 let before = st.device.counters().h2d_uploads;
                 st.arrays = GraphArrays::upload(&mut st.device, &run_graph);
                 self.uploads_per_graph = st.device.counters().h2d_uploads - before;
-                st.dist = self.pool.acquire(&mut st.device, "dist", n as usize);
-                st.scratch = build_scratch(&mut self.pool, &mut st.device, n, st.variant);
-                st.controller = fresh_controller(&st.device, &run_graph, st.variant);
+                let dist = self.pool.acquire(&mut st.device, "dist", n as usize);
+                let scratch = build_scratch(&mut self.pool, &mut st.device, n, st.variant);
+                let controller = fresh_controller(&st.device, &run_graph, st.variant);
+                st.lanes.push(QueryLane {
+                    dist,
+                    scratch,
+                    controller,
+                    heavy: None,
+                    heavy_dirty: false,
+                });
                 st.perm = perm;
                 self.graph = run_graph;
             }
@@ -234,14 +287,20 @@ impl SsspService {
     }
 
     /// Answer one query against the resident graph; `Err` on an
-    /// out-of-range source or a detected device-queue overflow.
+    /// out-of-range source or a device-queue overflow that escalation
+    /// could not recover.
     pub fn try_query(&mut self, source: VertexId) -> Result<SsspResult, ServiceError> {
         let n = self.graph.num_vertices() as u32;
         if source >= n {
             return Err(ServiceError::SourceOutOfRange { source, n });
         }
         let started = Instant::now();
-        let result = self.device_query(source)?;
+        let sim_before = self.device_elapsed_ns();
+        let result = self.query_escalating(source, 0)?;
+        if let Some(before) = sim_before {
+            let after = self.device_elapsed_ns().expect("backend unchanged");
+            self.stats.per_query_sim_ms.push((after - before) / 1e6);
+        }
         self.note_query(started);
         Ok(result)
     }
@@ -253,19 +312,35 @@ impl SsspService {
         self.try_query(source).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Answer many sources against one upload. A query whose device
-    /// attempt reports an overflow is re-answered by host Dijkstra
-    /// (counted in [`BatchStats::fallbacks`]); an out-of-range source
-    /// panics — the batch's shape is the caller's contract.
+    /// Answer many sources against one upload. With
+    /// [`ServiceConfig::streams`] > 1 on the single-GPU backend the
+    /// batch is spread across command streams, one leased lane per
+    /// in-flight query. A query whose device attempt overflows is
+    /// replayed with an escalated queue set; only past the escalation
+    /// ceiling is it re-answered by host Dijkstra (counted in
+    /// [`BatchStats::fallbacks`]). An out-of-range source panics — the
+    /// batch's shape is the caller's contract.
     pub fn batch(&mut self, sources: &[VertexId]) -> Vec<SsspResult> {
-        sources
-            .iter()
-            .map(|&source| match self.try_query(source) {
-                Ok(result) => result,
-                Err(e @ ServiceError::SourceOutOfRange { .. }) => panic!("{e}"),
-                Err(ServiceError::Overflow(_)) => self.host_fallback(source),
-            })
-            .collect()
+        let sim_before = self.device_elapsed_ns();
+        let concurrent =
+            self.config.streams > 1 && sources.len() > 1 && matches!(self.state, State::Gpu(_));
+        let results = if concurrent {
+            self.batch_concurrent(sources)
+        } else {
+            sources
+                .iter()
+                .map(|&source| match self.try_query(source) {
+                    Ok(result) => result,
+                    Err(e @ ServiceError::SourceOutOfRange { .. }) => panic!("{e}"),
+                    Err(ServiceError::Overflow(_)) => self.host_fallback(source),
+                })
+                .collect()
+        };
+        if let Some(before) = sim_before {
+            let after = self.device_elapsed_ns().expect("backend unchanged");
+            self.stats.sim_batch_ms += (after - before) / 1e6;
+        }
+        results
     }
 
     /// Amortization accounting since construction (pool counters are
@@ -346,28 +421,78 @@ impl SsspService {
         self.last_audit_hits
     }
 
-    /// The device attempt proper: reset recycled buffers, run, map
-    /// distances back to the caller's labelling.
-    fn device_query(&mut self, source: VertexId) -> Result<SsspResult, QueueOverflow> {
+    /// Simulated device clock, ns (single-GPU backend only).
+    fn device_elapsed_ns(&self) -> Option<f64> {
+        match &self.state {
+            State::Gpu(st) => Some(st.device.elapsed_ns()),
+            State::Multi(_) => None,
+        }
+    }
+
+    /// Run the device attempt, escalating the lane's queue set one
+    /// size class per overflow; `Err` only past the ceiling.
+    fn query_escalating(
+        &mut self,
+        source: VertexId,
+        lane: usize,
+    ) -> Result<SsspResult, ServiceError> {
+        loop {
+            let overflow = match self.device_query(source, lane) {
+                Ok(result) => return Ok(result),
+                Err(e) => e,
+            };
+            let escalated = match &mut self.state {
+                State::Gpu(st) => escalate_queues(
+                    &mut self.pool,
+                    &mut st.device,
+                    &mut st.lanes[lane].scratch,
+                    self.graph.num_vertices(),
+                ),
+                State::Multi(_) => false,
+            };
+            if escalated {
+                self.stats.escalations += 1;
+            } else {
+                return Err(overflow.into());
+            }
+        }
+    }
+
+    /// The device attempt proper: reset recycled buffers, run on the
+    /// given lane, map distances back to the caller's labelling.
+    fn device_query(
+        &mut self,
+        source: VertexId,
+        lane_idx: usize,
+    ) -> Result<SsspResult, QueueOverflow> {
         self.last_audit_hits = 0;
         match &mut self.state {
             State::Gpu(st) => {
                 let st = &mut **st;
-                let gb = st.arrays.with_dist(st.dist);
                 let mapped = st.perm.as_ref().map_or(source, |p| p.new_id(source));
-                match (&st.variant, &st.scratch) {
+                let lane = &mut st.lanes[lane_idx];
+                let gb = lane_buffers(st.arrays, lane);
+                match (&st.variant, &lane.scratch) {
                     (Variant::Baseline, Scratch::Bl(scratch)) => {
                         Ok(bl_on(&mut st.device, gb, scratch, &self.graph, mapped))
                     }
                     (Variant::Rdbs(cfg), Scratch::Rdbs(scratch)) => {
-                        if cfg.pro && self.queries_on_graph > 0 {
-                            // A finished run leaves the heavy offsets at
-                            // whatever widths its buckets last touched,
-                            // per vertex; re-arm the controller first so
-                            // they are recomputed device-side at the
-                            // width the run will actually start at.
-                            st.controller.start_run();
-                            rdbs::refresh_heavy_offsets(&mut st.device, gb, st.controller.delta());
+                        if cfg.pro && lane.heavy_dirty {
+                            // A finished (or aborted) run leaves the
+                            // heavy offsets at whatever widths its
+                            // buckets last touched, per vertex; re-arm
+                            // the controller first so they are
+                            // recomputed device-side at the width the
+                            // run will actually start at.
+                            lane.controller.start_run();
+                            rdbs::refresh_heavy_offsets(
+                                &mut st.device,
+                                gb,
+                                lane.controller.delta(),
+                            );
+                        }
+                        if cfg.pro {
+                            lane.heavy_dirty = true; // the run re-splits them
                         }
                         let run = rdbs_on(
                             &mut st.device,
@@ -376,7 +501,7 @@ impl SsspService {
                             &self.graph,
                             mapped,
                             *cfg,
-                            &mut st.controller,
+                            &mut lane.controller,
                         )?;
                         self.last_audit_hits = run.audit.len();
                         let mut result = run.result;
@@ -391,6 +516,195 @@ impl SsspService {
             }
             State::Multi(st) => Ok(st.try_run(source)?.result),
         }
+    }
+
+    /// Grow the lane set to `count` leases (concurrent batches only).
+    /// Extra lanes pull their buffers from the pool, so a later
+    /// generation recycles them like any per-query buffer.
+    fn ensure_lanes(&mut self, count: usize) {
+        let State::Gpu(st) = &mut self.state else { return };
+        let st = &mut **st;
+        let n = self.graph.num_vertices() as u32;
+        while st.lanes.len() < count {
+            let dist = self.pool.acquire(&mut st.device, "dist", n as usize);
+            // The lane's first heavy-offset refresh reads dist before
+            // the query resets it — clear recycled (or poison-armed)
+            // contents up front.
+            st.device.fill(dist, INF);
+            let scratch = build_scratch(&mut self.pool, &mut st.device, n, st.variant);
+            let controller = fresh_controller(&st.device, &self.graph, st.variant);
+            let heavy = st
+                .arrays
+                .heavy
+                .map(|_| self.pool.acquire(&mut st.device, "heavy_offsets", n as usize));
+            st.lanes.push(QueryLane { dist, scratch, controller, heavy, heavy_dirty: true });
+        }
+    }
+
+    /// Spread a batch across the device's command streams: every busy
+    /// stream holds one in-flight query on its own lane, the scheduler
+    /// steps whichever stream is least loaded (bucket granularity for
+    /// RDBS variants), and an overflowed query escalates and replays
+    /// on its stream without disturbing the rest.
+    fn batch_concurrent(&mut self, sources: &[VertexId]) -> Vec<SsspResult> {
+        let n = self.graph.num_vertices() as u32;
+        if let Some(&bad) = sources.iter().find(|&&s| s >= n) {
+            let e = ServiceError::SourceOutOfRange { source: bad, n };
+            panic!("{e}");
+        }
+        let streams = self.config.streams.min(sources.len());
+        self.ensure_lanes(streams);
+        self.last_audit_hits = 0;
+
+        let mut results: Vec<Option<SsspResult>> = vec![None; sources.len()];
+        // Queries that overflowed past the escalation ceiling — graded
+        // by the host oracle once the scheduler's borrows are done.
+        let mut ceiling_hits: Vec<usize> = Vec::new();
+        // Per-query (dispatch, completion) busy times for the overlap
+        // sweep; all streams share one origin, so they are comparable.
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+
+        {
+            let State::Gpu(st) = &mut self.state else {
+                unreachable!("batch() gates concurrency on the single-GPU backend")
+            };
+            let GpuState { device, variant, perm, arrays, lanes } = &mut **st;
+            let lanes = &mut lanes[..streams];
+            let graph = &self.graph;
+            let mut set = StreamSet::new(device, streams);
+            match *variant {
+                Variant::Rdbs(cfg) => {
+                    struct Inflight {
+                        qi: usize,
+                        driver: RdbsDriver,
+                        started: Instant,
+                        dispatched_busy: f64,
+                    }
+                    let mut running: Vec<Option<Inflight>> = Vec::new();
+                    running.resize_with(streams, || None);
+                    let mut next = 0usize;
+                    loop {
+                        // Least-busy stream that can make progress:
+                        // running streams step one bucket, idle ones
+                        // dispatch the next source.
+                        let mut pick: Option<(usize, f64)> = None;
+                        for (s, slot) in running.iter().enumerate() {
+                            if slot.is_none() && next >= sources.len() {
+                                continue;
+                            }
+                            let busy = set.busy_ns(s as u32);
+                            if pick.is_none_or(|(_, best)| busy < best) {
+                                pick = Some((s, busy));
+                            }
+                        }
+                        let Some((s, _)) = pick else { break };
+                        let sid = s as u32;
+                        let lane = &mut lanes[s];
+                        if running[s].is_none() {
+                            let qi = next;
+                            next += 1;
+                            let source = sources[qi];
+                            let mapped = perm.as_ref().map_or(source, |p| p.new_id(source));
+                            let dispatched_busy = set.busy_ns(sid);
+                            let started = Instant::now();
+                            let driver = set.run(device, sid, |dev| {
+                                start_rdbs_driver(dev, lane, *arrays, graph, mapped, cfg)
+                            });
+                            running[s] = Some(Inflight { qi, driver, started, dispatched_busy });
+                            continue;
+                        }
+                        let inflight = running[s].as_mut().expect("picked a running stream");
+                        let stepped = set.run(device, sid, |dev| {
+                            inflight.driver.step(dev, graph, &mut lane.controller)
+                        });
+                        match stepped {
+                            Ok(false) => {}
+                            Ok(true) => {
+                                let done = running[s].take().expect("stream was running");
+                                let run = set.run(device, sid, |dev| done.driver.finish(dev));
+                                self.last_audit_hits = self.last_audit_hits.max(run.audit.len());
+                                let mut result = run.result;
+                                if let Some(perm) = perm.as_ref() {
+                                    result.dist = perm.unapply_to_array(&result.dist);
+                                    result.source = sources[done.qi];
+                                }
+                                let end = set.busy_ns(sid);
+                                intervals.push((done.dispatched_busy, end));
+                                self.stats
+                                    .per_query_sim_ms
+                                    .push((end - done.dispatched_busy) / 1e6);
+                                note_query_parts(
+                                    &mut self.stats,
+                                    &mut self.queries_on_graph,
+                                    self.uploads_per_graph,
+                                    done.started,
+                                );
+                                results[done.qi] = Some(result);
+                            }
+                            Err(_overflow) => {
+                                let escalated = escalate_queues(
+                                    &mut self.pool,
+                                    device,
+                                    &mut lane.scratch,
+                                    graph.num_vertices(),
+                                );
+                                if escalated {
+                                    self.stats.escalations += 1;
+                                    // Replay from the start on the same
+                                    // stream: the larger queue set is
+                                    // reset by the pool path, and the
+                                    // driver's scratch reset clears the
+                                    // stale pending marks.
+                                    let inflight = running[s].as_mut().expect("stream was running");
+                                    let source = sources[inflight.qi];
+                                    let mapped = perm.as_ref().map_or(source, |p| p.new_id(source));
+                                    inflight.driver = set.run(device, sid, |dev| {
+                                        start_rdbs_driver(dev, lane, *arrays, graph, mapped, cfg)
+                                    });
+                                } else {
+                                    let dead = running[s].take().expect("stream was running");
+                                    ceiling_hits.push(dead.qi);
+                                }
+                            }
+                        }
+                    }
+                }
+                Variant::Baseline => {
+                    // BL has no resumable driver: whole queries are the
+                    // scheduling grain, balanced onto the least-loaded
+                    // stream.
+                    for (qi, &source) in sources.iter().enumerate() {
+                        let sid = set.least_loaded();
+                        let lane = &mut lanes[sid as usize];
+                        let Scratch::Bl(scratch) = &lane.scratch else {
+                            unreachable!("scratch kind always matches the variant")
+                        };
+                        let gb = lane_buffers(*arrays, lane);
+                        let mapped = perm.as_ref().map_or(source, |p| p.new_id(source));
+                        let dispatched_busy = set.busy_ns(sid);
+                        let started = Instant::now();
+                        let result =
+                            set.run(device, sid, |dev| bl_on(dev, gb, scratch, graph, mapped));
+                        let end = set.busy_ns(sid);
+                        intervals.push((dispatched_busy, end));
+                        self.stats.per_query_sim_ms.push((end - dispatched_busy) / 1e6);
+                        note_query_parts(
+                            &mut self.stats,
+                            &mut self.queries_on_graph,
+                            self.uploads_per_graph,
+                            started,
+                        );
+                        results[qi] = Some(result);
+                    }
+                }
+            }
+        }
+
+        for qi in ceiling_hits {
+            results[qi] = Some(self.host_fallback(sources[qi]));
+        }
+        self.stats.inflight_peak = self.stats.inflight_peak.max(peak_overlap(&intervals));
+        results.into_iter().map(|r| r.expect("every query answered")).collect()
     }
 
     /// Answer from the host oracle after a detected device error —
@@ -416,13 +730,126 @@ impl SsspService {
     }
 
     fn note_query(&mut self, started: Instant) {
-        self.stats.queries += 1;
-        self.stats.per_query_ms.push(started.elapsed().as_secs_f64() * 1e3);
-        if self.queries_on_graph > 0 {
-            self.stats.uploads_avoided += self.uploads_per_graph;
-        }
-        self.queries_on_graph += 1;
+        note_query_parts(
+            &mut self.stats,
+            &mut self.queries_on_graph,
+            self.uploads_per_graph,
+            started,
+        );
     }
+}
+
+/// Per-query bookkeeping, split out so the concurrent scheduler can
+/// call it while the service's state is mutably borrowed.
+fn note_query_parts(
+    stats: &mut BatchStats,
+    queries_on_graph: &mut u64,
+    uploads_per_graph: u64,
+    started: Instant,
+) {
+    stats.queries += 1;
+    stats.per_query_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    stats.inflight_peak = stats.inflight_peak.max(1);
+    if *queries_on_graph > 0 {
+        stats.uploads_avoided += uploads_per_graph;
+    }
+    *queries_on_graph += 1;
+}
+
+/// Pair the resident arrays with a lane's distance buffer — and its
+/// private heavy-offset buffer when the lane owns one.
+fn lane_buffers(mut arrays: GraphArrays, lane: &QueryLane) -> GraphBuffers {
+    if let Some(heavy) = lane.heavy {
+        arrays.heavy = Some(heavy);
+    }
+    arrays.with_dist(lane.dist)
+}
+
+/// Dispatch one RDBS query on a lane: refresh its heavy offsets when
+/// stale, then seed a resumable driver. Runs inside the lane's stream.
+fn start_rdbs_driver(
+    device: &mut Device,
+    lane: &mut QueryLane,
+    arrays: GraphArrays,
+    graph: &Csr,
+    mapped: VertexId,
+    cfg: RdbsConfig,
+) -> RdbsDriver {
+    let gb = lane_buffers(arrays, lane);
+    if cfg.pro && lane.heavy_dirty {
+        lane.controller.start_run();
+        rdbs::refresh_heavy_offsets(device, gb, lane.controller.delta());
+    }
+    if cfg.pro {
+        lane.heavy_dirty = true; // the run re-splits the offsets
+    }
+    let Scratch::Rdbs(scratch) = &lane.scratch else {
+        unreachable!("scratch kind always matches the variant")
+    };
+    RdbsDriver::start(device, gb, scratch, graph, mapped, cfg, &mut lane.controller)
+}
+
+/// Escalate a lane's queue set one size class: release the four
+/// queues to the pool and re-acquire them at double the largest
+/// current class. Returns `false` once the next class would exceed
+/// the ceiling — one class above the vertex count, which no
+/// fault-free frontier outgrows (pending marks deduplicate enqueues)
+/// — leaving the caller to the existing recovery ladder.
+fn escalate_queues(
+    pool: &mut BufferPool,
+    device: &mut Device,
+    scratch: &mut Scratch,
+    n: usize,
+) -> bool {
+    let Scratch::Rdbs(s) = scratch else {
+        return false; // the BL scratch has no queues to escalate
+    };
+    let old_cap = s
+        .queues
+        .q
+        .iter()
+        .chain(std::iter::once(&s.queues.members))
+        .map(|q| q.capacity as usize)
+        .max()
+        .expect("four queues");
+    let new_cap = 2 * pool::size_class(old_cap);
+    if new_cap > 2 * pool::size_class(n) {
+        return false;
+    }
+    for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
+        pool.release(device, q.data);
+        pool.release(device, q.tail);
+        pool.release(device, q.overflow);
+    }
+    // pooled_queue resets the recycled cursor cells, clearing the
+    // sticky overflow flag before the replay.
+    let cap = new_cap as u32;
+    s.queues.q = [
+        pooled_queue(pool, device, "workload_small", cap),
+        pooled_queue(pool, device, "workload_medium", cap),
+        pooled_queue(pool, device, "workload_large", cap),
+    ];
+    s.queues.members = pooled_queue(pool, device, "bucket_members", cap);
+    true
+}
+
+/// Maximum number of intervals alive at once — the batch's in-flight
+/// peak. Interval ends sort before coincident starts, so back-to-back
+/// queries on one stream do not count as overlapping.
+fn peak_overlap(intervals: &[(f64, f64)]) -> u64 {
+    let mut events: Vec<(f64, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for &(start, end) in intervals {
+        events.push((start, 1));
+        events.push((end, -1));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+    let mut alive = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in events {
+        alive += i64::from(delta);
+        peak = peak.max(alive);
+    }
+    peak.max(0) as u64
 }
 
 /// PRO-preprocess when the variant asks for it.
@@ -501,20 +928,25 @@ fn pooled_queue(
 /// Return one generation's per-query and graph buffers to the pool.
 fn release_gpu_buffers(pool: &BufferPool, st: &mut GpuState) {
     let device = &mut st.device;
-    pool.release(device, st.dist);
-    match &st.scratch {
-        Scratch::Bl(s) => {
-            pool.release(device, s.mask);
-            pool.release(device, s.progress);
+    for lane in st.lanes.drain(..) {
+        pool.release(device, lane.dist);
+        if let Some(heavy) = lane.heavy {
+            pool.release(device, heavy);
         }
-        Scratch::Rdbs(s) => {
-            for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
-                pool.release(device, q.data);
-                pool.release(device, q.tail);
-                pool.release(device, q.overflow);
+        match &lane.scratch {
+            Scratch::Bl(s) => {
+                pool.release(device, s.mask);
+                pool.release(device, s.progress);
             }
-            pool.release(device, s.queues.pending);
-            pool.release(device, s.scan_out);
+            Scratch::Rdbs(s) => {
+                for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
+                    pool.release(device, q.data);
+                    pool.release(device, q.tail);
+                    pool.release(device, q.overflow);
+                }
+                pool.release(device, s.queues.pending);
+                pool.release(device, s.scan_out);
+            }
         }
     }
     pool.release(device, st.arrays.row);
@@ -530,7 +962,7 @@ mod tests {
     use super::*;
     use crate::gpu::{run_gpu, RdbsConfig};
     use crate::validate::check_against_dijkstra;
-    use rdbs_graph::builder::build_undirected;
+    use rdbs_graph::builder::{build_undirected, EdgeList};
     use rdbs_graph::generate::{erdos_renyi, uniform_weights};
 
     fn graph(seed: u64) -> Csr {
@@ -541,6 +973,22 @@ mod tests {
 
     fn tiny() -> DeviceConfig {
         DeviceConfig::test_tiny()
+    }
+
+    /// Star: hub 0 with `leaves` unit-weight spokes — one bucket, one
+    /// frontier whose queue pressure is exactly the spoke count.
+    fn star(leaves: usize) -> Csr {
+        let edges: Vec<(u32, u32, Weight)> = (0..leaves).map(|i| (0u32, i as u32 + 1, 1)).collect();
+        build_undirected(&EdgeList::from_edges(leaves + 1, edges))
+    }
+
+    /// Pin every queue of lane 0 at `cap` slots.
+    fn set_queue_caps(svc: &mut SsspService, cap: u32) {
+        let State::Gpu(st) = &mut svc.state else { unreachable!() };
+        let Scratch::Rdbs(s) = &mut st.lanes[0].scratch else { unreachable!() };
+        for q in s.queues.q.iter_mut().chain(std::iter::once(&mut s.queues.members)) {
+            q.capacity = cap;
+        }
     }
 
     #[test]
@@ -573,6 +1021,9 @@ mod tests {
         assert_eq!(stats.uploads_avoided, 15 * 4);
         assert_eq!(stats.per_query_ms.len(), 16);
         assert!(stats.mean_query_ms().unwrap() >= 0.0);
+        assert_eq!(stats.per_query_sim_ms.len(), 16);
+        assert!(stats.sim_batch_ms > 0.0);
+        assert_eq!(stats.inflight_peak, 1, "sequential batches never overlap");
     }
 
     #[test]
@@ -601,8 +1052,10 @@ mod tests {
         let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
         let clean = svc.query(7).dist;
         if let State::Gpu(st) = &mut svc.state {
-            st.device.fill(st.dist, 0xDEAD_BEEF);
-            if let Scratch::Rdbs(s) = &st.scratch {
+            let st = &mut **st;
+            let lane = &st.lanes[0];
+            st.device.fill(lane.dist, 0xDEAD_BEEF);
+            if let Scratch::Rdbs(s) = &lane.scratch {
                 for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
                     st.device.fill(q.data, 0xDEAD_BEEF);
                     st.device.fill(q.tail, 0);
@@ -617,26 +1070,135 @@ mod tests {
     }
 
     #[test]
-    fn overflow_falls_back_typed_never_silent() {
+    fn overflow_escalates_on_device_instead_of_falling_back() {
         // Shrink the workload lists' logical capacity under the data
-        // buffers: the push storm must surface as a typed error on
-        // try_query and as a host-fallback (still correct) in batch.
+        // buffers: the push storm must overflow, escalate the queue
+        // set to a larger size class, and replay GPU-side — correct
+        // answers, zero host fallbacks.
         let g = graph(6);
         let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
         if let State::Gpu(st) = &mut svc.state {
-            if let Scratch::Rdbs(s) = &mut st.scratch {
+            if let Scratch::Rdbs(s) = &mut st.lanes[0].scratch {
                 for q in &mut s.queues.q {
                     q.capacity = 1;
                 }
             }
         }
-        let err = svc.try_query(0).unwrap_err();
-        assert!(matches!(err, ServiceError::Overflow(_)), "{err}");
         let results = svc.batch(&[0, 1]);
-        assert_eq!(svc.stats().fallbacks, 2);
+        let stats = svc.stats();
+        assert!(stats.escalations >= 1, "capacity-1 queues must escalate");
+        assert_eq!(stats.fallbacks, 0, "recoverable overflow never reaches the host oracle");
         for (i, &s) in [0u32, 1].iter().enumerate() {
             check_against_dijkstra(&g, s, &results[i].dist).unwrap();
         }
+    }
+
+    #[test]
+    fn escalation_ladder_stops_one_class_above_n() {
+        let g = graph(6);
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let n = svc.num_vertices();
+        let State::Gpu(st) = &mut svc.state else { unreachable!() };
+        let mut steps = 0;
+        while escalate_queues(&mut svc.pool, &mut st.device, &mut st.lanes[0].scratch, n) {
+            steps += 1;
+            assert!(steps < 16, "the ladder must terminate");
+        }
+        let Scratch::Rdbs(s) = &st.lanes[0].scratch else { unreachable!() };
+        assert_eq!(s.queues.q[0].capacity as usize, 2 * pool::size_class(n));
+        assert_eq!(s.queues.members.capacity as usize, 2 * pool::size_class(n));
+        assert_eq!(steps, 1, "n=120 queues start at class 128; one step reaches the ceiling");
+    }
+
+    #[test]
+    fn escalation_boundary_is_exact_at_queue_capacity() {
+        // Self-calibrating boundary probe: find the exact queue
+        // high-water mark of a star query, then check that capacity
+        // passes clean while capacity-1 escalates exactly one size
+        // class — a strictly larger queue set from the pool, sticky
+        // overflow cleared before the replay — and stays correct.
+        let leaves = 9;
+        let g = star(leaves);
+        let mut exact = None;
+        for cap in 2..=(leaves as u32 + 1) {
+            let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+            set_queue_caps(&mut svc, cap);
+            svc.query(0);
+            if svc.stats().escalations == 0 {
+                exact = Some(cap);
+                break;
+            }
+        }
+        let exact = exact.expect("some capacity fits the star frontier");
+
+        // At capacity: clean pass, no escalation, no fallback.
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        set_queue_caps(&mut svc, exact);
+        check_against_dijkstra(&g, 0, &svc.query(0).dist).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.escalations, 0);
+        assert_eq!(stats.fallbacks, 0);
+
+        // One slot short: the frontier trips the sticky overflow cell,
+        // escalation replaces all four queues one class up, and the
+        // replay succeeds without ever reaching the host oracle.
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        set_queue_caps(&mut svc, exact - 1);
+        check_against_dijkstra(&g, 0, &svc.query(0).dist).unwrap();
+        let stats = svc.stats();
+        assert!(stats.escalations >= 1, "capacity-1 below the mark must escalate");
+        assert_eq!(stats.fallbacks, 0);
+        let State::Gpu(st) = &svc.state else { unreachable!() };
+        let Scratch::Rdbs(s) = &st.lanes[0].scratch else { unreachable!() };
+        assert!(
+            pool::size_class(s.queues.q[0].capacity as usize)
+                > pool::size_class((exact - 1) as usize),
+            "the pool must not hand back a same-size queue set"
+        );
+    }
+
+    #[test]
+    fn four_streams_overlap_and_match_sequential_bit_identical() {
+        let g = graph(9);
+        let sources: Vec<VertexId> = (0..16).map(|i| i * 7 % 120).collect();
+        let mut seq = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let seq_results = seq.batch(&sources);
+        let mut conc = SsspService::new(&g, ServiceConfig::rdbs(tiny()).with_streams(4));
+        let conc_results = conc.batch(&sources);
+        for (a, b) in seq_results.iter().zip(&conc_results) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.dist, b.dist, "source {}", a.source);
+        }
+        let s = seq.stats();
+        let c = conc.stats();
+        assert_eq!(c.fallbacks, 0);
+        assert_eq!(c.per_query_sim_ms.len(), 16);
+        assert!(c.inflight_peak > 1, "streams must actually overlap, peak {}", c.inflight_peak);
+        assert_eq!(s.inflight_peak, 1);
+        assert!(
+            s.sim_batch_ms >= 1.5 * c.sim_batch_ms,
+            "sequential {} ms vs 4-stream {} ms",
+            s.sim_batch_ms,
+            c.sim_batch_ms
+        );
+        let p50 = c.sim_latency_percentile_ms(50.0).unwrap();
+        let p99 = c.sim_latency_percentile_ms(99.0).unwrap();
+        assert!(p50 <= p99 && p50 > 0.0);
+    }
+
+    #[test]
+    fn concurrent_baseline_matches_sequential() {
+        let g = graph(10);
+        let sources: Vec<VertexId> = (0..8).map(|i| i * 11 % 120).collect();
+        let mut seq = SsspService::new(&g, ServiceConfig::baseline(tiny()));
+        let seq_results = seq.batch(&sources);
+        let mut conc = SsspService::new(&g, ServiceConfig::baseline(tiny()).with_streams(2));
+        let conc_results = conc.batch(&sources);
+        for (a, b) in seq_results.iter().zip(&conc_results) {
+            assert_eq!(a.dist, b.dist, "source {}", a.source);
+        }
+        assert!(conc.stats().inflight_peak > 1);
+        assert!(seq.stats().sim_batch_ms > conc.stats().sim_batch_ms);
     }
 
     #[test]

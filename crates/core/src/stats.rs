@@ -101,6 +101,26 @@ pub struct BatchStats {
     /// Queries recovered through the host fallback after a detected
     /// device error (e.g. a queue overflow) — never silently wrong.
     pub fallbacks: u64,
+    /// Queue overflows recovered **on the device** by re-acquiring the
+    /// query's queue set one size class larger and replaying — each
+    /// size-class step counts once. Only overflows past the escalation
+    /// ceiling reach [`BatchStats::fallbacks`].
+    pub escalations: u64,
+    /// Peak number of queries simultaneously in flight across the
+    /// device's command streams (1 for purely sequential batches, 0
+    /// before any query).
+    pub inflight_peak: u64,
+    /// Per-query *simulated device* latencies, milliseconds, in
+    /// completion order. Covers device-answered queries on the
+    /// single-GPU backend (host fallbacks and the multi-GPU backend
+    /// contribute nothing); includes escalation replays.
+    pub per_query_sim_ms: Vec<f64>,
+    /// Simulated device time batches occupied, milliseconds,
+    /// accumulated across [`crate::service::SsspService::batch`]
+    /// calls. For a concurrent batch this is the stream *makespan* —
+    /// the throughput number to compare against a sequential batch's
+    /// sum.
+    pub sim_batch_ms: f64,
 }
 
 impl BatchStats {
@@ -111,6 +131,19 @@ impl BatchStats {
         } else {
             Some(self.per_query_ms.iter().sum::<f64>() / self.per_query_ms.len() as f64)
         }
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100) of the simulated
+    /// per-query latencies, ms; `None` before the first device-answered
+    /// query.
+    pub fn sim_latency_percentile_ms(&self, p: f64) -> Option<f64> {
+        if self.per_query_sim_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.per_query_sim_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        Some(sorted[rank.min(sorted.len()) - 1])
     }
 }
 

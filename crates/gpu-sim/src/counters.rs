@@ -160,6 +160,8 @@ pub struct KernelReport {
     pub total_ns: f64,
     /// Whether this was a dynamic-parallelism child.
     pub child: bool,
+    /// Command stream the launch was issued on (0 = default stream).
+    pub stream: u32,
 }
 
 #[cfg(test)]

@@ -185,6 +185,10 @@ pub struct Device {
     /// Armed memory-model sanitizer, if any. Like `fault`, `None` (the
     /// default) keeps every hook a single branch.
     pub(crate) san: Option<Box<SanState>>,
+    /// Command stream subsequent kernels are issued on. Purely an
+    /// attribution tag: kernel reports and sanitizer violations carry
+    /// it so concurrent schedulers can tell interleaved work apart.
+    pub(crate) current_stream: u32,
 }
 
 impl Device {
@@ -202,7 +206,25 @@ impl Device {
             buffer_traffic: Vec::new(),
             fault: None,
             san: None,
+            current_stream: 0,
         }
+    }
+
+    /// Select the command stream subsequent kernels are attributed to.
+    /// Stream 0 is the default stream every device starts on.
+    pub fn set_stream(&mut self, stream: u32) {
+        self.current_stream = stream;
+    }
+
+    /// The currently selected command stream.
+    pub fn stream(&self) -> u32 {
+        self.current_stream
+    }
+
+    /// Simulated elapsed time in nanoseconds (see
+    /// [`Device::elapsed_ms`] for the reporting unit).
+    pub fn elapsed_ns(&self) -> f64 {
+        self.elapsed_ns
     }
 
     /// Arm the memory-model sanitizer. Subsequent kernels run under

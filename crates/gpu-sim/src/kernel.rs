@@ -371,6 +371,7 @@ impl Device {
             plan.on_kernel_start(&self.arena);
         }
         if let Some(san) = self.san.as_deref_mut() {
+            san.set_stream(self.current_stream);
             san.begin_wave(name, snapshot);
         }
         if snapshot {
@@ -423,6 +424,7 @@ impl Device {
             memory_ns: time.memory_ns,
             total_ns: time.busy_ns(),
             child,
+            stream: self.current_stream,
         });
     }
 }

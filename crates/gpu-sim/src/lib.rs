@@ -39,6 +39,11 @@
 //! [`Device::wave_session`]: one launch overhead, then arbitrarily many
 //! task waves whose updates are immediately visible.
 //!
+//! Independent command streams are modelled with [`StreamSet`]: work
+//! issued on different streams is charged to per-stream busy clocks and
+//! the device clock advances by their makespan, so a concurrent
+//! scheduler overlaps queries without threads — deterministically.
+//!
 //! An opt-in memory-model sanitizer ([`Device::arm_sanitizer`], the
 //! [`san`] module) checks every lane access against the snapshot /
 //! volatile / atomic discipline the kernels rely on — races, reads of
@@ -74,6 +79,7 @@ pub mod fault;
 pub mod kernel;
 pub mod replay;
 pub mod san;
+pub mod stream;
 pub mod trace;
 
 pub use buffer::Buf;
@@ -82,6 +88,7 @@ pub use device::{Device, DeviceConfig};
 pub use fault::{FaultEvent, FaultModel, FaultPlan, FaultSpec};
 pub use kernel::{Lane, WaveSession};
 pub use san::{SanCheck, SanConfig, SanViolation};
+pub use stream::StreamSet;
 
 /// Threads per warp, fixed at 32 like every NVIDIA architecture.
 pub const WARP_SIZE: u32 = 32;

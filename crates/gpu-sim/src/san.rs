@@ -103,6 +103,8 @@ pub struct SanViolation {
     /// Wave sequence numbers of the two accesses (equal when the
     /// conflict is within one wave).
     pub waves: [u64; 2],
+    /// Command stream the violating (second) access ran on.
+    pub stream: u32,
     pub detail: String,
 }
 
@@ -110,7 +112,7 @@ impl fmt::Display for SanViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{}] {} at {}[{}] (addr {:#x}) lanes {}/{} waves {}/{}: {}",
+            "[{}] {} at {}[{}] (addr {:#x}) lanes {}/{} waves {}/{} stream {}: {}",
             self.check.name(),
             self.kernel,
             self.buffer,
@@ -120,6 +122,7 @@ impl fmt::Display for SanViolation {
             self.lanes[1],
             self.waves[0],
             self.waves[1],
+            self.stream,
             self.detail
         )
     }
@@ -166,6 +169,8 @@ pub struct SanState {
     wave: u64,
     kernel: &'static str,
     snapshot: bool,
+    /// Command stream the current wave was issued on (attribution).
+    stream: u32,
 }
 
 impl SanState {
@@ -180,7 +185,13 @@ impl SanState {
             wave: 0,
             kernel: "",
             snapshot: false,
+            stream: 0,
         }
+    }
+
+    /// Tag subsequent waves with the command stream they run on.
+    pub(crate) fn set_stream(&mut self, stream: u32) {
+        self.stream = stream;
     }
 
     pub fn config(&self) -> &SanConfig {
@@ -223,6 +234,7 @@ impl SanState {
                 addr,
                 lanes: [first.lane, second.lane],
                 waves: [first.wave, second.wave],
+                stream: self.stream,
                 detail,
             });
         }

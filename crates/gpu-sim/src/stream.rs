@@ -1,0 +1,159 @@
+//! Simulated command streams.
+//!
+//! A real GPU overlaps independent work by issuing it on separate
+//! command streams; the hardware interleaves execution and the wall
+//! clock advances by the *makespan* of the streams, not the sum. The
+//! simulator is single-threaded and deterministic, so [`StreamSet`]
+//! models that overlap with time accounting instead of threads: every
+//! piece of work runs under [`StreamSet::run`], which measures how much
+//! simulated time the closure added and charges it to that stream's
+//! private busy clock. After each run the device clock is rewound to
+//! `base + max(busy)` — the concurrent makespan — which is sound
+//! because every cost in the simulator is a pure increment to
+//! `elapsed_ns` (nothing reads the clock to make a decision).
+//!
+//! Work scheduled on different streams must touch disjoint device
+//! buffers (each query lane leases its own dist/queue/scratch set);
+//! shared read-only buffers such as the uploaded graph arrays are fine.
+//! Determinism is preserved: the interleaving is whatever order the
+//! host issues `run` calls in, which the scheduler keeps deterministic.
+
+use crate::device::Device;
+
+/// A set of `N` independent command streams over one [`Device`].
+///
+/// Construction snapshots the device clock as the common start line;
+/// destruction is implicit — the device clock is left at the makespan
+/// after every [`StreamSet::run`], so dropping the set "joins" all
+/// streams.
+pub struct StreamSet {
+    /// Device clock at construction: all streams start here.
+    base_ns: f64,
+    /// Per-stream accumulated busy time since `base_ns`.
+    busy_ns: Vec<f64>,
+}
+
+impl StreamSet {
+    /// Create `streams` empty streams starting at the device's current
+    /// simulated time.
+    pub fn new(device: &Device, streams: usize) -> Self {
+        assert!(streams >= 1, "a StreamSet needs at least one stream");
+        Self { base_ns: device.elapsed_ns, busy_ns: vec![0.0; streams] }
+    }
+
+    /// Number of streams in the set.
+    pub fn len(&self) -> usize {
+        self.busy_ns.len()
+    }
+
+    /// Whether the set has no streams (never true — see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.busy_ns.is_empty()
+    }
+
+    /// The stream with the least accumulated busy time (lowest index on
+    /// ties) — the work-stealing target for the next dispatch.
+    pub fn least_loaded(&self) -> u32 {
+        let mut best = 0usize;
+        for (i, &b) in self.busy_ns.iter().enumerate() {
+            if b < self.busy_ns[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Busy time accumulated on `stream` since construction, ns.
+    pub fn busy_ns(&self, stream: u32) -> f64 {
+        self.busy_ns[stream as usize]
+    }
+
+    /// Makespan of the set so far: the busiest stream's clock, ns.
+    pub fn makespan_ns(&self) -> f64 {
+        self.busy_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Run `f` on `stream`: the simulated time it adds is charged to
+    /// that stream's busy clock, kernel reports and sanitizer
+    /// violations it produces are stamped with the stream id, and the
+    /// device clock is left at the concurrent makespan of all streams.
+    pub fn run<T>(
+        &mut self,
+        device: &mut Device,
+        stream: u32,
+        f: impl FnOnce(&mut Device) -> T,
+    ) -> T {
+        let sid = stream as usize;
+        assert!(sid < self.busy_ns.len(), "stream {stream} out of range");
+        let prev = device.stream();
+        device.set_stream(stream);
+        // Rewind to this stream's own frontier so the closure's costs
+        // accumulate from where the stream last left off.
+        device.elapsed_ns = self.base_ns + self.busy_ns[sid];
+        let start = device.elapsed_ns;
+        let out = f(device);
+        let delta = (device.elapsed_ns - start).max(0.0);
+        self.busy_ns[sid] += delta;
+        device.elapsed_ns = self.base_ns + self.makespan_ns();
+        device.set_stream(prev);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    #[test]
+    fn makespan_is_max_not_sum() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut set = StreamSet::new(&d, 2);
+        set.run(&mut d, 0, |d| {
+            d.charge_barrier();
+            d.charge_barrier();
+        });
+        set.run(&mut d, 1, Device::charge_barrier);
+        let barrier_ns = d.config().barrier_us * 1e3;
+        assert!((set.busy_ns(0) - 2.0 * barrier_ns).abs() < 1e-9);
+        assert!((set.busy_ns(1) - barrier_ns).abs() < 1e-9);
+        // Clock sits at the makespan (2 barriers), not the sum (3).
+        assert!((d.elapsed_ns - 2.0 * barrier_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_loaded_balances_and_breaks_ties_low() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut set = StreamSet::new(&d, 3);
+        assert_eq!(set.least_loaded(), 0);
+        set.run(&mut d, 0, Device::charge_barrier);
+        assert_eq!(set.least_loaded(), 1);
+        set.run(&mut d, 1, |d| {
+            d.charge_barrier();
+            d.charge_barrier();
+        });
+        set.run(&mut d, 2, Device::charge_barrier);
+        assert_eq!(set.least_loaded(), 0);
+    }
+
+    #[test]
+    fn run_stamps_and_restores_the_stream_id() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut set = StreamSet::new(&d, 2);
+        assert_eq!(d.stream(), 0);
+        set.run(&mut d, 1, |d| assert_eq!(d.stream(), 1));
+        assert_eq!(d.stream(), 0);
+    }
+
+    #[test]
+    fn streams_compose_with_prior_elapsed_time() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        d.charge_barrier();
+        let before = d.elapsed_ns;
+        let mut set = StreamSet::new(&d, 2);
+        set.run(&mut d, 0, Device::charge_barrier);
+        set.run(&mut d, 1, Device::charge_barrier);
+        let barrier_ns = d.config().barrier_us * 1e3;
+        assert!((d.elapsed_ns - (before + barrier_ns)).abs() < 1e-9);
+    }
+}

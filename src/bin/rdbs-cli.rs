@@ -373,11 +373,15 @@ fn serve_usage() -> ! {
 Answer many sources against one resident graph upload through the
 batched service (rdbs-core::service): graph arrays H2D once, per-query
 buffers recycled from a size-class pool, Δ controller warm-started
-across queries. Prints per-batch amortization stats and exits non-zero
-if the batch needed more than one graph upload (or, with --validate,
-if any query disagrees with Dijkstra).
+across queries. With --streams N the batch is scheduled concurrently
+across N simulated command streams (least-busy dispatch, on-device
+queue escalation on overflow). Prints per-batch amortization stats and
+exits non-zero if the batch needed more than one graph upload (or,
+with --validate, if any query disagrees with Dijkstra).
 
   --sources K         sources in the batch (default 16, seeded-random)
+  --streams N         concurrent command streams for the batch
+                      (default 1 = sequential; rdbs/bl backends only)
   --gen SPEC          graph spec, as in the run mode (default
                       kronecker:12:16; erdos:1500:6000 with --quick)
   --backend rdbs|bl|multi-gpu:K
@@ -395,6 +399,7 @@ fn serve_main(args: Vec<String>) -> ! {
     use rdbs::sssp::service::{Backend, ServiceConfig, SsspService};
     let mut o = Options::default();
     let mut sources = 16usize;
+    let mut streams = 1usize;
     let mut backend_spec = "rdbs".to_string();
     let mut quick = false;
     let mut device_flag: Option<String> = None;
@@ -403,6 +408,7 @@ fn serve_main(args: Vec<String>) -> ! {
         let mut val = || it.next().unwrap_or_else(|| serve_usage());
         match flag.as_str() {
             "--sources" => sources = val().parse().unwrap_or_else(|_| serve_usage()),
+            "--streams" => streams = val().parse().unwrap_or_else(|_| serve_usage()),
             "--gen" => o.gen_spec = Some(val()),
             "--backend" => backend_spec = val().to_lowercase(),
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| serve_usage()),
@@ -440,7 +446,10 @@ fn serve_main(args: Vec<String>) -> ! {
         }
         _ => serve_usage(),
     };
-    let config = ServiceConfig { backend, device: o.device.clone(), delta0: o.delta0 };
+    if streams == 0 {
+        serve_usage();
+    }
+    let config = ServiceConfig { backend, device: o.device.clone(), delta0: o.delta0, streams };
 
     let built = std::time::Instant::now();
     let mut service = SsspService::new(&g, config);
@@ -485,6 +494,18 @@ fn serve_main(args: Vec<String>) -> ! {
     );
     if let Some(mean) = stats.mean_query_ms() {
         println!("mean query: {mean:.3} ms host");
+    }
+    println!(
+        "concurrency: {} stream(s), in-flight peak {}, {} on-device escalation(s)",
+        streams, stats.inflight_peak, stats.escalations
+    );
+    if let (Some(p50), Some(p99)) =
+        (stats.sim_latency_percentile_ms(50.0), stats.sim_latency_percentile_ms(99.0))
+    {
+        println!(
+            "sim latency: p50 {p50:.3} ms, p99 {p99:.3} ms, batch makespan {:.3} ms",
+            stats.sim_batch_ms
+        );
     }
 
     if service.device_uploads() != uploads_per_graph {
