@@ -1,0 +1,232 @@
+//! Open-loop load bench: qps-vs-p99 curves for the service's traffic
+//! tier at several stream counts, on the default Kronecker
+//! configuration. Each point offers a seeded Poisson workload at a
+//! multiple of the measured per-stream service rate and records what
+//! admission control answered, shed, and how the answered sojourn tail
+//! behaved against the SLO. A second experiment runs a skewed
+//! (hot-source) mix with the answer cache enabled and certifies every
+//! cache hit bit-identical to a fresh device run.
+//!
+//! The load-bearing claims graded here:
+//!
+//! * at overload the tier *sheds* (typed rejections) instead of
+//!   letting the answered tail blow the SLO — answered p99 stays at
+//!   or under the SLO on every point of every curve;
+//! * a skewed source mix produces a non-zero cache hit rate, and the
+//!   hits are bit-identical to fresh answers.
+//!
+//! Writes the machine-readable record to `results/BENCH_load.json`.
+
+use rdbs_core::service::traffic::{AnswerSource, Outcome, SourceMix, TrafficConfig, TrafficReport};
+use rdbs_core::service::{ServiceConfig, SsspService};
+use rdbs_core::Csr;
+use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::datasets::kronecker_spec;
+use std::fmt::Write as _;
+
+const OFFERED: usize = 96;
+const SEED: u64 = 42;
+const STREAM_COUNTS: [usize; 2] = [1, 4];
+const LOAD_MULTS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+// Conservative admission: per-source service times on the Kronecker
+// graph spread to ~2x the EWMA, so the margin reserves that much.
+const SHED_MARGIN: f64 = 2.0;
+
+fn graph() -> Csr {
+    kronecker_spec(21, 16).generate(8, SEED)
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::v100().with_overhead_scale(1.0 / 256.0).with_cache_scale(1.0 / 256.0)
+}
+
+fn service(g: &Csr, streams: usize) -> SsspService {
+    SsspService::new(g, ServiceConfig::rdbs(device()).with_streams(streams))
+}
+
+/// One cold query's simulated service time, ms — the unit the sweep's
+/// rates and SLOs are expressed in.
+fn probe_service_ms(g: &Csr) -> f64 {
+    let mut svc = service(g, 1);
+    svc.query(0);
+    svc.stats().per_query_sim_ms[0]
+}
+
+struct Point {
+    mult: f64,
+    qps: f64,
+    report: TrafficReport,
+}
+
+fn measure(g: &Csr, streams: usize, mult: f64, qps: f64, slo_ms: f64) -> Point {
+    // Fresh service per point: identical cold state, bit-identical
+    // simulated clock across reruns.
+    let mut svc = service(g, streams);
+    let mut cfg = TrafficConfig::poisson(qps, OFFERED, slo_ms, SEED);
+    cfg.shed_margin = SHED_MARGIN;
+    let before = svc.stats();
+    let report = svc.serve_open_loop(&cfg);
+    let after = svc.stats();
+    report
+        .check_accounting(&before, &after)
+        .unwrap_or_else(|m| panic!("streams {streams} x{mult}: accounting inconsistency: {m}"));
+    Point { mult, qps, report }
+}
+
+fn json_point(out: &mut String, p: &Point, last: bool) {
+    let r = &p.report;
+    writeln!(
+        out,
+        "      {{\"load_mult\": {:.2}, \"qps\": {:.1}, \"offered\": {}, \
+         \"answered\": {}, \"shed\": {}, \"answered_p50_ms\": {:.4}, \
+         \"answered_p99_ms\": {:.4}, \"deadline_violations\": {}, \
+         \"makespan_ms\": {:.4}}}{}",
+        p.mult,
+        p.qps,
+        r.offered,
+        r.exact,
+        r.shed,
+        r.answered_percentile_ms(50.0).unwrap_or(0.0),
+        r.answered_percentile_ms(99.0).unwrap_or(0.0),
+        r.deadline_violations,
+        r.makespan_ms,
+        if last { "" } else { "," },
+    )
+    .expect("writing to a String cannot fail");
+}
+
+fn main() {
+    let g = graph();
+    let service_ms = probe_service_ms(&g);
+    let slo_ms = 4.0 * service_ms;
+    println!(
+        "load bench: kronecker scale-13 ef16 ({} vertices, {} edges), \
+         service {service_ms:.3} ms, SLO {slo_ms:.3} ms, {OFFERED} offered per point",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Sweep: per stream count, offered load from well under to 4x over
+    // the saturation rate of that many streams.
+    let mut curves: Vec<(usize, Vec<Point>)> = Vec::new();
+    for &streams in &STREAM_COUNTS {
+        let saturation_qps = streams as f64 * 1e3 / service_ms;
+        let mut points = Vec::new();
+        for &mult in &LOAD_MULTS {
+            let p = measure(&g, streams, mult, mult * saturation_qps, slo_ms);
+            println!(
+                "  streams {streams} x{mult:<4} qps {:9.1}: answered {:3} shed {:3}  \
+                 p50 {:8.4} ms  p99 {:8.4} ms  makespan {:9.3} ms",
+                p.qps,
+                p.report.exact,
+                p.report.shed,
+                p.report.answered_percentile_ms(50.0).unwrap_or(0.0),
+                p.report.answered_percentile_ms(99.0).unwrap_or(0.0),
+                p.report.makespan_ms,
+            );
+            points.push(p);
+        }
+        curves.push((streams, points));
+    }
+
+    // Acceptance (a): every point's answered p99 meets the SLO, and
+    // the overloaded tail of every curve actually shed load.
+    let mut p99_ok = true;
+    let mut sheds_at_overload = true;
+    for (streams, points) in &curves {
+        for p in points {
+            if let Some(p99) = p.report.answered_percentile_ms(99.0) {
+                if p99 > slo_ms + 1e-9 {
+                    println!(
+                        "FAIL: streams {streams} x{} answered p99 {p99:.4} ms > SLO {slo_ms:.4}",
+                        p.mult
+                    );
+                    p99_ok = false;
+                }
+            }
+        }
+        let overloaded = points.last().expect("sweep is non-empty");
+        if overloaded.report.shed == 0 {
+            println!("FAIL: streams {streams} x{} shed nothing at overload", overloaded.mult);
+            sheds_at_overload = false;
+        }
+    }
+
+    // Experiment 2 — skewed sources with the cache on: hits must occur
+    // and replay bit-identical answers.
+    let mut svc = service(&g, STREAM_COUNTS[1]);
+    let mut cfg = TrafficConfig::poisson(0.5 * 1e3 / service_ms, OFFERED, 1e9, SEED).with_cache();
+    cfg.sources = SourceMix::Hot { hot_sources: 8, hot_weight: 0.8 };
+    let before = svc.stats();
+    let cache_report = svc.serve_open_loop(&cfg);
+    let after = svc.stats();
+    cache_report
+        .check_accounting(&before, &after)
+        .unwrap_or_else(|m| panic!("cache experiment: accounting inconsistency: {m}"));
+    let mut fresh = service(&g, 1);
+    let mut bit_identical = true;
+    for o in &cache_report.outcomes {
+        if let Outcome::Exact { result, via: AnswerSource::Cache, .. } = o {
+            if fresh.query(result.source).dist != result.dist {
+                bit_identical = false;
+            }
+        }
+    }
+    let hit_rate = cache_report.hit_rate();
+    println!(
+        "  cache (hot 8 @ 0.8): {} hits / {} offered ({:.1}%), bit-identical: {}",
+        cache_report.cache_hits,
+        cache_report.offered,
+        100.0 * hit_rate,
+        bit_identical
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"open_loop_load\",\n");
+    writeln!(
+        out,
+        "  \"graph\": {{\"family\": \"kronecker\", \"scale\": 13, \"edgefactor\": 16, \
+         \"seed\": {SEED}, \"vertices\": {}, \"edges\": {}}},",
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .unwrap();
+    writeln!(out, "  \"device\": \"v100 (overhead/cache scaled 1/256)\",").unwrap();
+    writeln!(out, "  \"arrivals\": \"poisson (seeded, simulated time)\",").unwrap();
+    writeln!(out, "  \"offered_per_point\": {OFFERED},").unwrap();
+    writeln!(out, "  \"service_ms\": {service_ms:.4},").unwrap();
+    writeln!(out, "  \"slo_ms\": {slo_ms:.4},").unwrap();
+    writeln!(out, "  \"shed_margin\": {SHED_MARGIN},").unwrap();
+    out.push_str("  \"curves\": [\n");
+    for (ci, (streams, points)) in curves.iter().enumerate() {
+        writeln!(out, "    {{\"streams\": {streams}, \"points\": [").unwrap();
+        for (i, p) in points.iter().enumerate() {
+            json_point(&mut out, p, i + 1 == points.len());
+        }
+        writeln!(out, "    ]}}{}", if ci + 1 == curves.len() { "" } else { "," }).unwrap();
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"cache\": {{\"source_mix\": \"hot 8 @ 0.8\", \"offered\": {}, \"hits\": {}, \
+         \"hit_rate\": {:.4}, \"bit_identical\": {}}},",
+        cache_report.offered, cache_report.cache_hits, hit_rate, bit_identical
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"acceptance_answered_p99_le_slo\": {p99_ok},\n  \
+         \"acceptance_sheds_at_overload\": {sheds_at_overload},\n  \
+         \"acceptance_cache_hits_bit_identical\": {}\n}}",
+        hit_rate > 0.0 && bit_identical
+    )
+    .unwrap();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_load.json");
+    std::fs::write(path, &out).expect("write results/BENCH_load.json");
+    println!("wrote {path}");
+    assert!(p99_ok, "acceptance: an answered p99 exceeded the SLO");
+    assert!(sheds_at_overload, "acceptance: an overloaded curve shed nothing");
+    assert!(hit_rate > 0.0, "acceptance: the hot mix produced no cache hits");
+    assert!(bit_identical, "acceptance: a cache hit diverged from a fresh answer");
+}

@@ -28,7 +28,8 @@ use crate::graphs::{self, GraphCase};
 use rdbs_core::gpu::{MultiGpuConfig, RdbsConfig, Variant};
 use rdbs_core::recover::{
     run_gpu_recovered, run_gpu_recovered_refault, run_multi_recovered,
-    run_service_concurrent_recovered, run_service_recovered, RecoveryOutcome, RecoveryReport,
+    run_service_concurrent_recovered, run_service_recovered, run_service_traffic_recovered,
+    RecoveryOutcome, RecoveryReport,
 };
 use rdbs_core::seq::dijkstra;
 use rdbs_core::service::ServiceConfig;
@@ -60,6 +61,11 @@ enum EntryKind {
     /// three-source batch across four command streams, so injections
     /// land while sibling queries are in flight.
     ServiceConcurrent,
+    /// The service's open-loop traffic tier: the scored query is the
+    /// first arrival, a past-deadline arrival exercises typed
+    /// shedding, and the graded answer is a cache replay — injections
+    /// must never hide behind the answer cache or the shed path.
+    ServiceTraffic,
 }
 
 impl ChaosEntry {
@@ -88,14 +94,16 @@ pub fn chaos_entries() -> Vec<ChaosEntry> {
         ChaosEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
         ChaosEntry { id: "service/pooled", kind: EntryKind::Service },
         ChaosEntry { id: "service/concurrent", kind: EntryKind::ServiceConcurrent },
+        ChaosEntry { id: "service/traffic", kind: EntryKind::ServiceTraffic },
     ]
 }
 
 /// The reduced sweep: the asynchronous single-device entry (widest
 /// fault surface), the persistent-fault entry (recovery path under
 /// fire), the multi-GPU exchange (message models), the pooled service
-/// entry (buffer-reuse surface), and the concurrent scheduler (faults
-/// under in-flight concurrency).
+/// entry (buffer-reuse surface), the concurrent scheduler (faults
+/// under in-flight concurrency), and the traffic tier (faults behind
+/// the answer cache and the shedding path).
 pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
     chaos_entries()
         .into_iter()
@@ -107,6 +115,7 @@ pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
                     | "multi-gpu/k2"
                     | "service/pooled"
                     | "service/concurrent"
+                    | "service/traffic"
             )
         })
         .collect()
@@ -286,6 +295,10 @@ pub fn run_cell(
         EntryKind::ServiceConcurrent => {
             let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4);
             run_service_concurrent_recovered(graph, source, config, Some(spec))
+        }
+        EntryKind::ServiceTraffic => {
+            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(2);
+            run_service_traffic_recovered(graph, source, config, Some(spec))
         }
     }));
     match attempt {

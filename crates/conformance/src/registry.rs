@@ -57,6 +57,7 @@ enum Kind {
     MultiGpu(usize),
     Service,
     ServiceConcurrent,
+    ServiceTraffic,
     Adds,
     NearFar,
     FrontierBf,
@@ -134,6 +135,53 @@ impl Implementation {
                 let warm = if n > 1 { (source + 1) % n } else { source };
                 svc.batch(&[warm, source]).pop().expect("batch of two returns two results")
             }
+            Kind::ServiceTraffic => {
+                use rdbs_core::service::cache::CacheConfig;
+                use rdbs_core::service::traffic::{
+                    ArrivalProcess, Outcome, Query, SourceMix, TrafficConfig,
+                };
+                let mut cfg = RdbsConfig::full();
+                cfg.delta0 = delta0;
+                let mut svc = SsspService::new(
+                    graph,
+                    ServiceConfig {
+                        backend: rdbs_core::service::Backend::Gpu(Variant::Rdbs(cfg)),
+                        device: DeviceConfig::test_tiny(),
+                        delta0,
+                        streams: 2,
+                    },
+                );
+                // The scored query arrives first (an empty admission
+                // predictor always admits it); a late repeat replays it
+                // from the answer cache, so the matrix differentials
+                // the cache path — the returned bits ARE the cached
+                // bits — against every one-shot entry.
+                let n = graph.num_vertices() as u32;
+                let warm = if n > 1 { (source + 1) % n } else { source };
+                let generous = 1e12;
+                let queries = [
+                    Query { source, arrival_ms: 0.0, deadline_ms: generous },
+                    Query { source: warm, arrival_ms: 0.0, deadline_ms: generous },
+                    Query { source, arrival_ms: 1e6, deadline_ms: generous },
+                ];
+                let tcfg = TrafficConfig {
+                    arrivals: ArrivalProcess::Poisson { qps: 1.0 }, // unused: explicit queries
+                    offered: queries.len(),
+                    seed: 0,
+                    slo_ms: generous,
+                    tight_slo_ms: None,
+                    tight_every: 0,
+                    sources: SourceMix::Uniform,
+                    shed_margin: 1.0,
+                    cache: Some(CacheConfig::default()),
+                    approx_on_shed: false,
+                };
+                let report = svc.serve_queries(&queries, &tcfg);
+                match report.outcomes.into_iter().nth(2).expect("three outcomes") {
+                    Outcome::Exact { result, .. } => result,
+                    other => panic!("the cached repeat must be exact, got {other:?}"),
+                }
+            }
             Kind::Adds => {
                 let mut device = Device::new(DeviceConfig::test_tiny());
                 rdbs_baselines::adds(&mut device, graph, source, delta())
@@ -195,6 +243,7 @@ pub fn all() -> Vec<Implementation> {
         imp("multi-gpu/k4", MultiGpu, Kind::MultiGpu(4)),
         imp("service/pooled", Service, Kind::Service),
         imp("service/concurrent", Service, Kind::ServiceConcurrent),
+        imp("service/traffic", Service, Kind::ServiceTraffic),
         imp("baseline/adds", Baseline, Kind::Adds),
         imp("baseline/near-far", Baseline, Kind::NearFar),
         imp("baseline/frontier-bf", Baseline, Kind::FrontierBf),

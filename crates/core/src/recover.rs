@@ -315,6 +315,79 @@ pub fn run_service_concurrent_recovered(
     finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
 }
 
+/// Run the service's open-loop *traffic tier* under `fault`, audit,
+/// and recover. The scored query arrives first (an empty admission
+/// predictor always admits it), a sibling query runs alongside, a
+/// past-deadline query exercises the typed shedding path, and a late
+/// repeat of the scored source is answered from the answer cache — so
+/// the graded result flows through the cache-replay path and the
+/// detection + ladder guarantee must hold for cached answers too: a
+/// corrupted device answer must never hide behind a bit-identical
+/// replay.
+pub fn run_service_traffic_recovered(
+    graph: &Csr,
+    source: VertexId,
+    config: ServiceConfig,
+    fault: Option<FaultSpec>,
+) -> RecoveredRun {
+    use crate::service::cache::CacheConfig;
+    use crate::service::traffic::{ArrivalProcess, Outcome, Query, SourceMix, TrafficConfig};
+
+    let device_config = config.device.clone();
+    let delta0 = config.delta0;
+    let mut service = SsspService::new(graph, config);
+    let n = graph.num_vertices() as u32;
+    let wrap = |k: u32| (source + k) % n;
+    if n > 1 {
+        let _ = service.query(wrap(1)); // warm the pooled buffers
+    }
+    if let Some(spec) = fault {
+        service.arm_faults(spec);
+    }
+    let generous = 1e12;
+    let queries = [
+        Query { source, arrival_ms: 0.0, deadline_ms: generous },
+        Query { source: wrap(2), arrival_ms: 0.0, deadline_ms: generous },
+        // Deadline already blown at arrival: deterministically shed
+        // (typed), never silently answered late.
+        Query { source: wrap(3), arrival_ms: 0.01, deadline_ms: 0.0 },
+        // Arrives long after the scored answer completes: served from
+        // the cache, bit-identical to the faulted attempt's answer.
+        Query { source, arrival_ms: 1e6, deadline_ms: generous },
+    ];
+    let cfg = TrafficConfig {
+        arrivals: ArrivalProcess::Poisson { qps: 1.0 }, // unused: explicit queries
+        offered: queries.len(),
+        seed: 0,
+        slo_ms: generous,
+        tight_slo_ms: None,
+        tight_every: 0,
+        sources: SourceMix::Uniform,
+        shed_margin: 1.0,
+        cache: Some(CacheConfig::default()),
+        approx_on_shed: false,
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let report = service.serve_queries(&queries, &cfg);
+        let replayed = report.outcomes.into_iter().nth(3).expect("four outcomes");
+        match replayed {
+            Outcome::Exact { result, .. } => result,
+            other => panic!("the late repeat must be answered exactly, got {other:?}"),
+        }
+    }));
+    let (injections, fault_events) = service.disarm_faults().unwrap_or((0, Vec::new()));
+    let (attempt, panic) = match attempt {
+        Ok(result) => (Some((result, service.last_audit_hits())), None),
+        Err(payload) => (None, Some(panic_text(payload.as_ref()))),
+    };
+    let rerun = move |graph: &Csr, source: VertexId| {
+        let mut fresh = Device::new(device_config.clone());
+        let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
+        run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
+    };
+    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+}
+
 /// Run the multi-GPU entry point under `fault` (armed on device 0),
 /// audit, and recover. Rung 2 is a fault-free multi rerun.
 pub fn run_multi_recovered(

@@ -42,7 +42,9 @@
 //! and counted in [`BatchStats::fallbacks`]. The service never returns
 //! a silently truncated answer.
 
+pub mod cache;
 pub mod pool;
+pub mod traffic;
 
 use crate::adaptive_delta::DeltaController;
 use crate::gpu::bl::{bl_on, BlScratch};
@@ -204,9 +206,17 @@ pub struct SsspService {
     uploads_per_graph: u64,
     /// Queries answered against the current graph generation.
     queries_on_graph: u64,
+    /// Graph generation: 0 for the construction graph, +1 per
+    /// [`SsspService::load_graph`]. The traffic tier's answer cache is
+    /// keyed by `(generation, source)`, so stale answers can never
+    /// survive a graph swap.
+    generation: u64,
     /// Monotonicity-audit hits of the most recent device attempt
     /// (only populated while faults are armed).
     last_audit_hits: usize,
+    /// The traffic tier's answer cache, lazily created on the first
+    /// [`SsspService::serve_queries`] call that enables caching.
+    traffic_cache: Option<cache::AnswerCache>,
 }
 
 impl SsspService {
@@ -244,7 +254,9 @@ impl SsspService {
             stats,
             uploads_per_graph: uploads,
             queries_on_graph: 0,
+            generation: 0,
             last_audit_hits: 0,
+            traffic_cache: None,
         }
     }
 
@@ -284,12 +296,32 @@ impl SsspService {
         }
         self.stats.graph_uploads += self.uploads_per_graph;
         self.queries_on_graph = 0;
+        self.generation += 1;
+    }
+
+    /// The current graph generation (0 for the construction graph,
+    /// +1 per [`SsspService::load_graph`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Answer one query against the resident graph; `Err` on an
     /// out-of-range source or a device-queue overflow that escalation
     /// could not recover.
     pub fn try_query(&mut self, source: VertexId) -> Result<SsspResult, ServiceError> {
+        self.try_query_from(source, None)
+    }
+
+    /// Core of [`SsspService::try_query`]. `sojourn_origin_ns` is the
+    /// simulated wall time the query is considered to have *arrived*
+    /// — its own start when `None` (standalone queries), the batch
+    /// start for sequential batches, so the sojourn sample includes
+    /// time spent queued behind earlier queries of the same batch.
+    fn try_query_from(
+        &mut self,
+        source: VertexId,
+        sojourn_origin_ns: Option<f64>,
+    ) -> Result<SsspResult, ServiceError> {
         let n = self.graph.num_vertices() as u32;
         if source >= n {
             return Err(ServiceError::SourceOutOfRange { source, n });
@@ -300,6 +332,8 @@ impl SsspService {
         if let Some(before) = sim_before {
             let after = self.device_elapsed_ns().expect("backend unchanged");
             self.stats.per_query_sim_ms.push((after - before) / 1e6);
+            let origin = sojourn_origin_ns.unwrap_or(before);
+            self.stats.per_query_sojourn_ms.push((after - origin) / 1e6);
         }
         self.note_query(started);
         Ok(result)
@@ -329,10 +363,21 @@ impl SsspService {
         } else {
             sources
                 .iter()
-                .map(|&source| match self.try_query(source) {
+                .map(|&source| match self.try_query_from(source, sim_before) {
                     Ok(result) => result,
                     Err(e @ ServiceError::SourceOutOfRange { .. }) => panic!("{e}"),
-                    Err(ServiceError::Overflow(_)) => self.host_fallback(source),
+                    Err(ServiceError::Overflow(_)) => {
+                        let result = self.host_fallback(source);
+                        // The fallback's sojourn ends where its device
+                        // attempt died (the host recompute runs off the
+                        // simulated timeline) — recorded so the wall
+                        // series keeps covering every query.
+                        if let (Some(origin), Some(after)) = (sim_before, self.device_elapsed_ns())
+                        {
+                            self.stats.per_query_sojourn_ms.push((after - origin) / 1e6);
+                        }
+                        result
+                    }
                 })
                 .collect()
         };
@@ -560,8 +605,11 @@ impl SsspService {
         // Queries that overflowed past the escalation ceiling — graded
         // by the host oracle once the scheduler's borrows are done.
         let mut ceiling_hits: Vec<usize> = Vec::new();
-        // Per-query (dispatch, completion) busy times for the overlap
-        // sweep; all streams share one origin, so they are comparable.
+        // Per-query (dispatch, completion) *wall* times for the
+        // overlap sweep. Wall coordinates (`StreamSet::wall_ns`) are
+        // comparable across streams; per-stream busy clocks are not —
+        // a stream that sat idle while others worked would appear to
+        // dispatch "in the past" and overcount concurrency.
         let mut intervals: Vec<(f64, f64)> = Vec::new();
 
         {
@@ -578,7 +626,7 @@ impl SsspService {
                         qi: usize,
                         driver: RdbsDriver,
                         started: Instant,
-                        dispatched_busy: f64,
+                        dispatched_wall: f64,
                     }
                     let mut running: Vec<Option<Inflight>> = Vec::new();
                     running.resize_with(streams, || None);
@@ -605,12 +653,12 @@ impl SsspService {
                             next += 1;
                             let source = sources[qi];
                             let mapped = perm.as_ref().map_or(source, |p| p.new_id(source));
-                            let dispatched_busy = set.busy_ns(sid);
+                            let dispatched_wall = set.wall_ns(sid);
                             let started = Instant::now();
                             let driver = set.run(device, sid, |dev| {
                                 start_rdbs_driver(dev, lane, *arrays, graph, mapped, cfg)
                             });
-                            running[s] = Some(Inflight { qi, driver, started, dispatched_busy });
+                            running[s] = Some(Inflight { qi, driver, started, dispatched_wall });
                             continue;
                         }
                         let inflight = running[s].as_mut().expect("picked a running stream");
@@ -628,11 +676,15 @@ impl SsspService {
                                     result.dist = perm.unapply_to_array(&result.dist);
                                     result.source = sources[done.qi];
                                 }
-                                let end = set.busy_ns(sid);
-                                intervals.push((done.dispatched_busy, end));
+                                let end = set.wall_ns(sid);
+                                intervals.push((done.dispatched_wall, end));
                                 self.stats
                                     .per_query_sim_ms
-                                    .push((end - done.dispatched_busy) / 1e6);
+                                    .push((end - done.dispatched_wall) / 1e6);
+                                // Closed-loop batches: every query
+                                // "arrives" at batch start, so sojourn
+                                // runs from the set's base.
+                                self.stats.per_query_sojourn_ms.push((end - set.base_ns()) / 1e6);
                                 note_query_parts(
                                     &mut self.stats,
                                     &mut self.queries_on_graph,
@@ -663,6 +715,16 @@ impl SsspService {
                                     });
                                 } else {
                                     let dead = running[s].take().expect("stream was running");
+                                    // The fallback's sojourn ends where
+                                    // its device attempt died; the host
+                                    // recompute happens off the
+                                    // simulated timeline. Recording it
+                                    // here keeps the wall series — and
+                                    // its tail percentiles — covering
+                                    // the slowest queries.
+                                    self.stats
+                                        .per_query_sojourn_ms
+                                        .push((set.wall_ns(sid) - set.base_ns()) / 1e6);
                                     ceiling_hits.push(dead.qi);
                                 }
                             }
@@ -681,13 +743,14 @@ impl SsspService {
                         };
                         let gb = lane_buffers(*arrays, lane);
                         let mapped = perm.as_ref().map_or(source, |p| p.new_id(source));
-                        let dispatched_busy = set.busy_ns(sid);
+                        let dispatched_wall = set.wall_ns(sid);
                         let started = Instant::now();
                         let result =
                             set.run(device, sid, |dev| bl_on(dev, gb, scratch, graph, mapped));
-                        let end = set.busy_ns(sid);
-                        intervals.push((dispatched_busy, end));
-                        self.stats.per_query_sim_ms.push((end - dispatched_busy) / 1e6);
+                        let end = set.wall_ns(sid);
+                        intervals.push((dispatched_wall, end));
+                        self.stats.per_query_sim_ms.push((end - dispatched_wall) / 1e6);
+                        self.stats.per_query_sojourn_ms.push((end - set.base_ns()) / 1e6);
                         note_query_parts(
                             &mut self.stats,
                             &mut self.queries_on_graph,
@@ -1024,6 +1087,12 @@ mod tests {
         assert_eq!(stats.per_query_sim_ms.len(), 16);
         assert!(stats.sim_batch_ms > 0.0);
         assert_eq!(stats.inflight_peak, 1, "sequential batches never overlap");
+        // Sojourns run from batch start: one per query, completing in
+        // order, the last one landing exactly on the batch makespan.
+        assert_eq!(stats.per_query_sojourn_ms.len(), 16);
+        let sj = &stats.per_query_sojourn_ms;
+        assert!(sj.windows(2).all(|w| w[0] <= w[1]), "closed-loop sojourns complete in order");
+        assert!((sj.last().unwrap() - stats.sim_batch_ms).abs() < 1e-9);
     }
 
     #[test]
@@ -1184,6 +1253,90 @@ mod tests {
         let p50 = c.sim_latency_percentile_ms(50.0).unwrap();
         let p99 = c.sim_latency_percentile_ms(99.0).unwrap();
         assert!(p50 <= p99 && p50 > 0.0);
+        // The wall series covers the same queries; a sojourn includes
+        // queueing, so it is never below its query's service latency.
+        assert_eq!(c.per_query_sojourn_ms.len(), 16);
+        for (sj, sim) in c.per_query_sojourn_ms.iter().zip(&c.per_query_sim_ms) {
+            assert!(sj + 1e-9 >= *sim, "sojourn {sj} ms below service {sim} ms");
+        }
+    }
+
+    #[test]
+    fn inflight_peak_is_exact_with_unbalanced_queries() {
+        // More queries than streams and a deliberately unbalanced mix:
+        // the star component makes hub/leaf queries expensive while
+        // the 3-chain's queries are nearly free, so one stream churns
+        // through cheap work and keeps dispatching while its sibling
+        // is mid-query. Intervals are recorded on the shared wall
+        // timeline, so the sweep must pin the peak at exactly the
+        // stream count — per-stream busy coordinates would let a
+        // late-dispatching stream appear to start "in the past" and
+        // overcount.
+        let leaves = 64u32;
+        let mut edges: Vec<(u32, u32, Weight)> = (0..leaves).map(|i| (0, i + 1, 1)).collect();
+        let chain0 = leaves + 1;
+        edges.push((chain0, chain0 + 1, 2));
+        edges.push((chain0 + 1, chain0 + 2, 2));
+        let g = build_undirected(&EdgeList::from_edges(chain0 as usize + 3, edges));
+        let sources: Vec<VertexId> = vec![0, chain0 + 1, chain0, chain0 + 2, 1];
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()).with_streams(2));
+        let results = svc.batch(&sources);
+        for (i, &s) in sources.iter().enumerate() {
+            check_against_dijkstra(&g, s, &results[i].dist).unwrap();
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.inflight_peak, 2, "exactly the stream count, never more");
+        assert_eq!(stats.per_query_sim_ms.len(), 5);
+        assert_eq!(stats.per_query_sojourn_ms.len(), 5);
+    }
+
+    #[test]
+    fn percentiles_cover_forced_fallbacks() {
+        // Rig lane 1 so its queries overflow with the queue set already
+        // at the escalation ceiling: escalation refuses, the queries
+        // die on the device and are re-answered by the host oracle.
+        // The service-latency series drops them by design — the
+        // sojourn series (and its percentiles) must not.
+        let g = graph(12);
+        let n = g.num_vertices();
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()).with_streams(2));
+        svc.ensure_lanes(2);
+        {
+            let State::Gpu(st) = &mut svc.state else { unreachable!() };
+            let Scratch::Rdbs(s) = &mut st.lanes[1].scratch else { unreachable!() };
+            // The members queue pins the set's max capacity at the
+            // ceiling (so escalation refuses to grow it further) while
+            // the workload queues still overflow on the first push
+            // storm. The graph's frontier never outgrows the members
+            // buffer itself, so the logical cap is safe.
+            s.queues.members.capacity = (2 * pool::size_class(n)) as u32;
+            for q in &mut s.queues.q {
+                q.capacity = 1;
+            }
+        }
+        let sources: Vec<VertexId> = vec![5, 17, 33, 70];
+        let results = svc.batch(&sources);
+        for (i, &s) in sources.iter().enumerate() {
+            check_against_dijkstra(&g, s, &results[i].dist).unwrap();
+        }
+        let stats = svc.stats();
+        assert!(stats.fallbacks >= 1, "the rigged lane must force at least one fallback");
+        assert_eq!(
+            stats.per_query_sim_ms.len() as u64,
+            stats.queries - stats.fallbacks,
+            "service latencies cover device-answered queries only"
+        );
+        assert_eq!(
+            stats.per_query_sojourn_ms.len() as u64,
+            stats.queries,
+            "sojourns cover every query, fallbacks included"
+        );
+        assert!(stats.sojourn_percentile_ms(99.0).is_some());
+        assert!(
+            stats.sojourn_percentile_ms(99.0).unwrap()
+                >= stats.sojourn_percentile_ms(50.0).unwrap()
+        );
     }
 
     #[test]

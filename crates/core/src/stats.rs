@@ -110,11 +110,37 @@ pub struct BatchStats {
     /// device's command streams (1 for purely sequential batches, 0
     /// before any query).
     pub inflight_peak: u64,
-    /// Per-query *simulated device* latencies, milliseconds, in
-    /// completion order. Covers device-answered queries on the
-    /// single-GPU backend (host fallbacks and the multi-GPU backend
-    /// contribute nothing); includes escalation replays.
+    /// Per-query *simulated device service* latencies, milliseconds,
+    /// in completion order: dispatch → completion on the query's
+    /// stream. Covers device-answered queries on the single-GPU
+    /// backend (host fallbacks and the multi-GPU backend contribute
+    /// nothing); includes escalation replays. When
+    /// [`BatchStats::fallbacks`] > 0, `per_query_sim_ms.len()` is
+    /// *smaller* than [`BatchStats::queries`] — the slowest queries
+    /// are exactly the missing ones, so tail claims must use
+    /// [`BatchStats::per_query_sojourn_ms`], which covers every query.
     pub per_query_sim_ms: Vec<f64>,
+    /// Per-query *sojourn* latencies on the shared simulated wall
+    /// timeline, milliseconds, in completion order: batch start (the
+    /// query's arrival, for closed-loop batches) → completion,
+    /// including time spent queued behind other queries. Unlike
+    /// [`BatchStats::per_query_sim_ms`] this series also records
+    /// ceiling-hit queries re-answered by the host fallback (their
+    /// sojourn ends at the device attempt's death; the host recompute
+    /// runs off the simulated timeline), so on the single-GPU backend
+    /// `per_query_sojourn_ms.len() == queries`. The multi-GPU backend
+    /// has no shared simulated clock and contributes nothing.
+    pub per_query_sojourn_ms: Vec<f64>,
+    /// Queries refused by the traffic tier's admission control with a
+    /// typed rejection ([`crate::service::traffic`]) — never counted
+    /// in [`BatchStats::queries`], never answered.
+    pub shed: u64,
+    /// Traffic-tier queries answered bit-identically from the
+    /// `(generation, source)` answer cache without touching the device.
+    pub cache_exact_hits: u64,
+    /// Traffic-tier queries answered with a landmark triangle-inequality
+    /// *upper bound*, explicitly flagged approximate.
+    pub cache_approx_hits: u64,
     /// Simulated device time batches occupied, milliseconds,
     /// accumulated across [`crate::service::SsspService::batch`]
     /// calls. For a concurrent batch this is the stream *makespan* —
@@ -134,17 +160,33 @@ impl BatchStats {
     }
 
     /// Nearest-rank percentile (`p` in 0..=100) of the simulated
-    /// per-query latencies, ms; `None` before the first device-answered
-    /// query.
+    /// per-query *service* latencies, ms; `None` before the first
+    /// device-answered query. Host-fallback queries are absent from
+    /// this series — see [`BatchStats::per_query_sim_ms`] — so tail
+    /// percentiles here understate a batch containing fallbacks; use
+    /// [`BatchStats::sojourn_percentile_ms`] for an honest tail.
     pub fn sim_latency_percentile_ms(&self, p: f64) -> Option<f64> {
-        if self.per_query_sim_ms.is_empty() {
-            return None;
-        }
-        let mut sorted = self.per_query_sim_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-        Some(sorted[rank.min(sorted.len()) - 1])
+        percentile(&self.per_query_sim_ms, p)
     }
+
+    /// Nearest-rank percentile (`p` in 0..=100) of the per-query
+    /// *sojourn* latencies, ms; `None` before the first query on a
+    /// simulated-clock backend. Covers every query, including
+    /// host-fallback recoveries.
+    pub fn sojourn_percentile_ms(&self, p: f64) -> Option<f64> {
+        percentile(&self.per_query_sojourn_ms, p)
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample, `None` when empty.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
 }
 
 /// Relaxation tracing for the conformance localizer.

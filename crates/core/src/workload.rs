@@ -7,8 +7,15 @@
 //!   (32 lanes);
 //! * `>= α` → **large** list, processed via dynamic parallelism with
 //!   Block-granularity child kernels (256 threads; vertices above 4096
-//!   light edges get `⌊n/4096⌋`+ blocks — in the simulator, a child
+//!   light edges get `⌈n/4096⌉` blocks — in the simulator, a child
 //!   kernel with one thread per edge).
+//!
+//! Deviation from the paper: §4.2's text reads `⌊n/4096⌋` blocks, but a
+//! floor leaves the remainder edges (up to 4095 of them) uncovered —
+//! the simulator's child kernel relaxes one thread per edge, so the
+//! cost model must charge for every edge. We use ceiling division; the
+//! paper's floor is assumed to be shorthand for the usual grid-size
+//! round-up.
 
 /// Warp-granularity threshold β (number of light edges).
 pub const BETA: u32 = 32;
@@ -40,13 +47,16 @@ pub fn classify(light_edges: u32) -> WorkloadClass {
     }
 }
 
-/// Number of 256-thread blocks the paper assigns a large vertex.
+/// Number of 256-thread blocks assigned to a large vertex: one per
+/// 4096 light edges, rounded *up* so remainder edges are still owned
+/// by a block (ceiling division; see the module doc for why this
+/// deviates from the paper's `⌊n/4096⌋` wording).
 #[inline]
 pub fn blocks_for(light_edges: u32) -> u32 {
     if light_edges <= BLOCK_EDGE_LIMIT {
         1
     } else {
-        light_edges / BLOCK_EDGE_LIMIT
+        light_edges.div_ceil(BLOCK_EDGE_LIMIT)
     }
 }
 
@@ -95,7 +105,10 @@ mod tests {
         assert_eq!(blocks_for(300), 1);
         assert_eq!(blocks_for(4096), 1);
         assert_eq!(blocks_for(8192), 2);
-        assert_eq!(blocks_for(10_000), 2); // ⌊10000/4096⌋
+        // A remainder demands one extra block: 8193 edges do not fit in
+        // two 4096-edge blocks.
+        assert_eq!(blocks_for(8193), 3);
+        assert_eq!(blocks_for(10_000), 3); // ⌈10000/4096⌉
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Property tests for the service's open-loop traffic tier, driven
+//! purely through the public `rdbs_core::service::traffic` API. The
+//! three load-bearing guarantees:
+//!
+//! 1. **Cache exactness** — an answer served from the `(generation,
+//!    source)` cache is bit-identical to a fresh device run, across
+//!    graph swaps (generations).
+//! 2. **Approximation honesty** — a landmark upper bound is per-vertex
+//!    ≥ the true distance, and only ever arrives in the explicitly
+//!    flagged [`Outcome::Approx`] variant.
+//! 3. **Typed shedding** — every offered query is accounted for: the
+//!    ones the tier declines surface as [`Outcome::Rejected`] with the
+//!    blown prediction attached, never as a silently wrong, stale, or
+//!    truncated answer.
+
+use proptest::prelude::*;
+use rdbs_core::seq::dijkstra;
+use rdbs_core::service::cache::CacheConfig;
+use rdbs_core::service::traffic::{
+    generate_arrivals, ArrivalProcess, Outcome, SourceMix, TrafficConfig,
+};
+use rdbs_core::service::{ServiceConfig, SsspService};
+use rdbs_core::validate::check_against;
+use rdbs_core::Csr;
+use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::builder::build_undirected;
+use rdbs_graph::generate::{erdos_renyi, uniform_weights};
+
+fn graph(n: usize, m: usize, seed: u64) -> Csr {
+    let mut el = erdos_renyi(n, m, seed);
+    uniform_weights(&mut el, seed.wrapping_mul(31) + 7);
+    build_undirected(&el)
+}
+
+fn service(g: &Csr, streams: usize) -> SsspService {
+    SsspService::new(g, ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(streams))
+}
+
+/// One cold query's simulated service time, ms — the natural unit for
+/// picking arrival rates and SLOs that mean the same thing on every
+/// generated graph.
+fn probe_service_ms(g: &Csr) -> f64 {
+    let mut s = service(g, 1);
+    s.query(0);
+    s.stats().per_query_sim_ms[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Cache hits are bit-identical to fresh answers, across
+    /// generations: serve a hot-source workload, swap the graph, serve
+    /// again — every exact answer (cached or not) must match a fresh
+    /// service on whichever graph was resident when it was answered.
+    #[test]
+    fn cache_hits_are_bit_identical_across_generations(
+        seed in 1u64..500,
+        n in 24usize..72,
+        streams in 1usize..4,
+        hot in 1u32..4,
+    ) {
+        let g1 = graph(n, n * 4, seed);
+        let g2 = graph(n, n * 4, seed.wrapping_add(1000));
+        let service_ms = probe_service_ms(&g1);
+        let mut cfg = TrafficConfig::poisson(
+            1e3 / (4.0 * service_ms), 24, 1e9, seed,
+        ).with_cache();
+        cfg.sources = SourceMix::Hot { hot_sources: hot, hot_weight: 0.85 };
+        let mut svc = service(&g1, streams);
+
+        let mut fresh1 = service(&g1, 1);
+        let r1 = svc.serve_open_loop(&cfg);
+        prop_assert_eq!(r1.exact, r1.offered, "a 1e9 ms SLO never sheds");
+        for o in &r1.outcomes {
+            let Outcome::Exact { result, .. } = o else { unreachable!() };
+            prop_assert_eq!(&result.dist, &fresh1.query(result.source).dist);
+        }
+        prop_assert!(r1.cache_hits > 0, "a {hot}-source hot set must repeat in 24 queries");
+
+        svc.load_graph(&g2);
+        let mut fresh2 = service(&g2, 1);
+        let r2 = svc.serve_open_loop(&cfg);
+        for o in &r2.outcomes {
+            let Outcome::Exact { result, .. } = o else { unreachable!() };
+            prop_assert_eq!(
+                &result.dist, &fresh2.query(result.source).dist,
+                "generation 2 answers must come from generation 2 state"
+            );
+        }
+    }
+
+    /// Approximate answers are honest: every served upper bound
+    /// dominates the true distance vector and arrives flagged — no
+    /// approximate bits ever ride in an `Exact` outcome.
+    #[test]
+    fn approx_answers_dominate_truth_and_are_flagged(
+        seed in 1u64..500,
+        n in 24usize..72,
+    ) {
+        let g = graph(n, n * 4, seed);
+        let service_ms = probe_service_ms(&g);
+        // Warm landmarks at trivial load, then overload with a tight
+        // SLO so admission declines and serves bounds instead.
+        let mut cfg = TrafficConfig::poisson(
+            1e3 / (4.0 * service_ms), 6, 1e9, seed,
+        ).with_cache();
+        cfg.approx_on_shed = true;
+        let mut svc = service(&g, 1);
+        svc.serve_open_loop(&cfg);
+        let mut burst = cfg.clone();
+        burst.arrivals = ArrivalProcess::Poisson { qps: 25.0 * 1e3 / service_ms };
+        burst.offered = 20;
+        burst.slo_ms = 1.5 * service_ms;
+        burst.seed = seed.wrapping_add(7);
+        let report = svc.serve_open_loop(&burst);
+        for o in &report.outcomes {
+            match o {
+                Outcome::Approx { source, upper, .. } => {
+                    let truth = dijkstra(&g, *source);
+                    prop_assert_eq!(upper.len(), truth.dist.len());
+                    for (v, (&ub, &d)) in upper.iter().zip(&truth.dist).enumerate() {
+                        prop_assert!(ub >= d, "upper[{}] = {} below true {}", v, ub, d);
+                    }
+                }
+                Outcome::Exact { result, .. } => {
+                    // Anything claiming exactness must BE exact.
+                    prop_assert!(check_against(
+                        &dijkstra(&g, result.source).dist, &result.dist,
+                    ).is_ok());
+                }
+                Outcome::Rejected(_) => {}
+            }
+        }
+    }
+
+    /// Shed means typed: under any load, exact + approx + rejected
+    /// covers every offered query, rejections carry a prediction at or
+    /// past their deadline, and the service's accounting reconciles
+    /// with the report.
+    #[test]
+    fn shedding_is_typed_and_fully_accounted(
+        seed in 1u64..500,
+        n in 24usize..72,
+        overload in 2u32..12,
+        streams in 1usize..4,
+    ) {
+        let g = graph(n, n * 4, seed);
+        let service_ms = probe_service_ms(&g);
+        let mut cfg = TrafficConfig::poisson(
+            f64::from(overload) * 1e3 / service_ms,
+            32,
+            2.5 * service_ms,
+            seed,
+        );
+        cfg.shed_margin = 1.25;
+        let mut svc = service(&g, streams);
+        let before = svc.stats();
+        let report = svc.serve_open_loop(&cfg);
+        let after = svc.stats();
+        prop_assert!(report.check_accounting(&before, &after).is_ok(),
+            "{:?}", report.check_accounting(&before, &after));
+        prop_assert_eq!(report.exact + report.approx + report.shed, report.offered);
+        for (o, q) in report.outcomes.iter().zip(&generate_arrivals(&cfg, g.num_vertices() as u32)) {
+            match o {
+                Outcome::Rejected(r) => {
+                    prop_assert_eq!(r.source, q.source);
+                    prop_assert!(
+                        r.predicted_completion_ms > r.deadline_ms
+                            || r.predicted_completion_ms >= q.deadline_ms,
+                        "a rejection must carry the blown prediction"
+                    );
+                }
+                Outcome::Exact { result, .. } => {
+                    prop_assert!(check_against(
+                        &dijkstra(&g, result.source).dist, &result.dist,
+                    ).is_ok(), "answered queries must be exactly right");
+                }
+                Outcome::Approx { .. } => unreachable!("approx_on_shed is off"),
+            }
+        }
+    }
+}
+
+/// The cache config's landmark budget is respected even when the
+/// workload answers more distinct sources than the cache holds —
+/// deterministic companion to the proptests above.
+#[test]
+fn cache_capacity_is_enforced_under_uniform_load() {
+    let g = graph(64, 256, 3);
+    let service_ms = probe_service_ms(&g);
+    let mut cfg = TrafficConfig::poisson(1e3 / (4.0 * service_ms), 24, 1e9, 3);
+    cfg.cache = Some(CacheConfig { capacity: 4, landmarks: 2 });
+    let mut svc = service(&g, 2);
+    let before = svc.stats();
+    let report = svc.serve_open_loop(&cfg);
+    let after = svc.stats();
+    report.check_accounting(&before, &after).unwrap();
+    assert_eq!(report.exact, report.offered);
+}

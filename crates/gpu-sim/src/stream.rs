@@ -68,6 +68,37 @@ impl StreamSet {
         self.busy_ns[stream as usize]
     }
 
+    /// The device clock at construction — the common origin all
+    /// per-stream busy clocks are measured from.
+    pub fn base_ns(&self) -> f64 {
+        self.base_ns
+    }
+
+    /// `stream`'s frontier on the shared wall timeline:
+    /// `base + busy(stream)`, ns. Unlike [`busy_ns`](Self::busy_ns),
+    /// wall frontiers of *different* streams are directly comparable,
+    /// so overlap and occupancy accounting must use this coordinate
+    /// system.
+    pub fn wall_ns(&self, stream: u32) -> f64 {
+        self.base_ns + self.busy_ns[stream as usize]
+    }
+
+    /// Push `stream`'s frontier forward to the wall time `wall_ns`
+    /// without charging any work — the stream *waits idle* until then.
+    /// Used by open-loop schedulers so a dispatch can never start
+    /// before the query it serves has arrived. A target in the past is
+    /// a no-op (frontiers never move backwards). The device clock is
+    /// left at the set's makespan, which now includes the idle wait.
+    pub fn advance_to(&mut self, device: &mut Device, stream: u32, wall_ns: f64) {
+        let sid = stream as usize;
+        assert!(sid < self.busy_ns.len(), "stream {stream} out of range");
+        let target = wall_ns - self.base_ns;
+        if target > self.busy_ns[sid] {
+            self.busy_ns[sid] = target;
+        }
+        device.elapsed_ns = self.base_ns + self.makespan_ns();
+    }
+
     /// Makespan of the set so far: the busiest stream's clock, ns.
     pub fn makespan_ns(&self) -> f64 {
         self.busy_ns.iter().copied().fold(0.0, f64::max)
@@ -143,6 +174,42 @@ mod tests {
         assert_eq!(d.stream(), 0);
         set.run(&mut d, 1, |d| assert_eq!(d.stream(), 1));
         assert_eq!(d.stream(), 0);
+    }
+
+    #[test]
+    fn wall_frontiers_share_one_origin() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        d.charge_barrier();
+        let base = d.elapsed_ns;
+        let mut set = StreamSet::new(&d, 2);
+        assert!((set.base_ns() - base).abs() < 1e-9);
+        set.run(&mut d, 1, Device::charge_barrier);
+        let barrier_ns = d.config().barrier_us * 1e3;
+        // Stream 0 never ran: its wall frontier is the common base, not
+        // zero — comparable with stream 1's frontier.
+        assert!((set.wall_ns(0) - base).abs() < 1e-9);
+        assert!((set.wall_ns(1) - (base + barrier_ns)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_waits_idle_without_work() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut set = StreamSet::new(&d, 2);
+        let barrier_ns = d.config().barrier_us * 1e3;
+        // Wait until an "arrival" at 5 barriers of wall time.
+        set.advance_to(&mut d, 0, 5.0 * barrier_ns);
+        assert!((set.wall_ns(0) - 5.0 * barrier_ns).abs() < 1e-9);
+        // The makespan (and device clock) includes the idle wait.
+        assert!((d.elapsed_ns - 5.0 * barrier_ns).abs() < 1e-9);
+        // Moving backwards is a no-op.
+        set.advance_to(&mut d, 0, barrier_ns);
+        assert!((set.wall_ns(0) - 5.0 * barrier_ns).abs() < 1e-9);
+        // Work dispatched after the wait starts at the arrival, not at
+        // the stale pre-arrival frontier.
+        set.run(&mut d, 0, Device::charge_barrier);
+        assert!((set.wall_ns(0) - 6.0 * barrier_ns).abs() < 1e-9);
+        // The other stream is unaffected.
+        assert!((set.wall_ns(1) - 0.0).abs() < 1e-9);
     }
 
     #[test]

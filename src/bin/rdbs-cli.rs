@@ -379,7 +379,8 @@ queue escalation on overflow). Prints per-batch amortization stats and
 exits non-zero if the batch needed more than one graph upload (or,
 with --validate, if any query disagrees with Dijkstra).
 
-  --sources K         sources in the batch (default 16, seeded-random)
+  --sources K         sources in the batch (default 16, seeded-random;
+                      with --arrivals, the number of offered queries)
   --streams N         concurrent command streams for the batch
                       (default 1 = sequential; rdbs/bl backends only)
   --gen SPEC          graph spec, as in the run mode (default
@@ -390,7 +391,30 @@ with --validate, if any query disagrees with Dijkstra).
   --device V100|T4|TINY  simulated GPU (default V100; TINY with --quick)
   --delta0 W          bucket width override
   --validate          check every query against Dijkstra
-  --quick             small graph + tiny device (CI smoke job)"
+  --quick             small graph + tiny device (CI smoke job)
+
+open-loop traffic mode (simulated-time arrivals instead of a batch;
+deadline-aware EDF dispatch, admission control with typed shedding,
+optional answer cache; single-GPU backends only):
+  --arrivals poisson|mmpp
+                      offered as a seeded arrival process over
+                      simulated time
+  --qps X             arrival rate (mmpp: the slow phase); default
+                      auto-calibrates to ~2x the measured service rate
+  --fast-qps X        mmpp fast-phase rate (default 8x --qps)
+  --dwell-ms X        mmpp mean phase dwell (default 50)
+  --slo-ms Y          sojourn SLO; default 4x the measured service time
+  --shed-margin M     admission safety factor on predicted service
+                      time (default 1.25)
+  --hot K:W           draw sources from the first K vertices with
+                      probability W (cache-friendly skew)
+  --cache             enable the (generation, source) answer cache
+  --approx-on-shed    serve flagged landmark upper bounds instead of
+                      shedding when possible (implies --cache)
+
+The traffic mode always audits its own accounting (exact + approx +
+shed == offered; latency-series lengths reconcile with the stats
+deltas) and exits non-zero on any inconsistency."
     );
     exit(2)
 }
@@ -403,6 +427,15 @@ fn serve_main(args: Vec<String>) -> ! {
     let mut backend_spec = "rdbs".to_string();
     let mut quick = false;
     let mut device_flag: Option<String> = None;
+    let mut arrivals: Option<String> = None;
+    let mut qps: Option<f64> = None;
+    let mut fast_qps: Option<f64> = None;
+    let mut dwell_ms = 50.0f64;
+    let mut slo_ms: Option<f64> = None;
+    let mut shed_margin = 1.25f64;
+    let mut hot: Option<(u32, f64)> = None;
+    let mut use_cache = false;
+    let mut approx_on_shed = false;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| serve_usage());
@@ -416,6 +449,27 @@ fn serve_main(args: Vec<String>) -> ! {
             "--delta0" => o.delta0 = Some(val().parse().unwrap_or_else(|_| serve_usage())),
             "--validate" => o.validate = true,
             "--quick" => quick = true,
+            "--arrivals" => arrivals = Some(val().to_lowercase()),
+            "--qps" => qps = Some(val().parse().unwrap_or_else(|_| serve_usage())),
+            "--fast-qps" => fast_qps = Some(val().parse().unwrap_or_else(|_| serve_usage())),
+            "--dwell-ms" => dwell_ms = val().parse().unwrap_or_else(|_| serve_usage()),
+            "--slo-ms" => slo_ms = Some(val().parse().unwrap_or_else(|_| serve_usage())),
+            "--shed-margin" => shed_margin = val().parse().unwrap_or_else(|_| serve_usage()),
+            "--hot" => {
+                let spec = val();
+                let mut parts = spec.split(':');
+                let k = parts.next().and_then(|s| s.parse().ok());
+                let w = parts.next().and_then(|s| s.parse().ok());
+                match (k, w) {
+                    (Some(k), Some(w)) => hot = Some((k, w)),
+                    _ => serve_usage(),
+                }
+            }
+            "--cache" => use_cache = true,
+            "--approx-on-shed" => {
+                approx_on_shed = true;
+                use_cache = true;
+            }
             "--help" | "-h" => serve_usage(),
             _ => serve_usage(),
         }
@@ -458,6 +512,109 @@ fn serve_main(args: Vec<String>) -> ! {
         "service: backend {backend_spec}, resident in {:.1} ms ({uploads_per_graph} uploads)",
         built.elapsed().as_secs_f64() * 1e3
     );
+
+    // Open-loop traffic mode: seeded simulated-time arrivals with
+    // deadline-aware dispatch and admission control, instead of a
+    // closed-loop batch.
+    if let Some(kind) = arrivals {
+        use rdbs::sssp::service::traffic::{ArrivalProcess, Outcome, SourceMix, TrafficConfig};
+        if matches!(backend, Backend::MultiGpu(_)) {
+            eprintln!("error: --arrivals requires a single-GPU backend (rdbs or bl)\n");
+            serve_usage();
+        }
+        // Calibrate rate/SLO defaults from one probe query's measured
+        // service time so the workload stresses admission regardless
+        // of graph or device scale.
+        let _ = service.query((o.seed % n as u64) as VertexId);
+        let service_ms = *service
+            .stats()
+            .per_query_sim_ms
+            .last()
+            .expect("the probe query records a service time");
+        let qps = qps.unwrap_or(2.0 * streams as f64 * 1e3 / service_ms);
+        let slo_ms = slo_ms.unwrap_or(4.0 * service_ms);
+        let arrivals = match kind.as_str() {
+            "poisson" => ArrivalProcess::Poisson { qps },
+            "mmpp" => ArrivalProcess::Mmpp {
+                slow_qps: qps,
+                fast_qps: fast_qps.unwrap_or(8.0 * qps),
+                mean_dwell_ms: dwell_ms,
+            },
+            _ => serve_usage(),
+        };
+        let cfg = TrafficConfig {
+            arrivals,
+            offered: sources,
+            seed: o.seed,
+            slo_ms,
+            tight_slo_ms: None,
+            tight_every: 0,
+            sources: match hot {
+                Some((k, w)) => SourceMix::Hot { hot_sources: k, hot_weight: w },
+                None => SourceMix::Uniform,
+            },
+            shed_margin,
+            cache: use_cache.then(rdbs::sssp::service::cache::CacheConfig::default),
+            approx_on_shed,
+        };
+        println!(
+            "traffic: {kind} arrivals, {qps:.1} qps, SLO {slo_ms:.3} ms, \
+             {} offered, margin {shed_margin}, cache {}",
+            sources,
+            if use_cache { "on" } else { "off" }
+        );
+        let before = service.stats();
+        let report = service.serve_open_loop(&cfg);
+        let after = service.stats();
+        println!(
+            "outcomes: {} exact ({} device, {} fallback, {} cache hits), \
+             {} approx, {} shed",
+            report.exact,
+            report.device_answered,
+            report.fallbacks,
+            report.cache_hits,
+            report.approx,
+            report.shed
+        );
+        if let (Some(p50), Some(p99)) =
+            (report.answered_percentile_ms(50.0), report.answered_percentile_ms(99.0))
+        {
+            println!(
+                "answered sojourn: p50 {p50:.3} ms, p99 {p99:.3} ms ({} past deadline), \
+                 makespan {:.3} ms",
+                report.deadline_violations, report.makespan_ms
+            );
+        }
+        if use_cache {
+            println!("cache: hit rate {:.1}% of offered", 100.0 * report.hit_rate());
+        }
+        if o.validate {
+            for out in &report.outcomes {
+                if let Outcome::Exact { result, .. } = out {
+                    if let Err(m) =
+                        validate::check_against(&dijkstra(&g, result.source).dist, &result.dist)
+                    {
+                        println!(
+                            "serve: FAILED — source {} disagrees with Dijkstra: {m}",
+                            result.source
+                        );
+                        exit(1);
+                    }
+                }
+            }
+            println!("validation: OK — all {} exact answers match Dijkstra", report.exact);
+        }
+        if let Err(msg) = report.check_accounting(&before, &after) {
+            println!("serve: FAILED — accounting inconsistency: {msg}");
+            exit(1);
+        }
+        println!(
+            "serve: OK — accounting consistent, {} of {} offered answered",
+            report.exact + report.approx,
+            report.offered
+        );
+        exit(0)
+    }
 
     // Seeded source choice (splitmix64 over the vertex range).
     let picks: Vec<VertexId> = (0..sources as u64)
