@@ -73,6 +73,20 @@ impl ChaosEntry {
     pub fn carries_messages(&self) -> bool {
         matches!(self.kind, EntryKind::MultiGpu(k) if k > 1)
     }
+
+    /// The single-device kernel variant this entry runs, when it has
+    /// one — used by the adversarial scout to profile the entry's
+    /// memory accesses under the sanitizer.
+    pub(crate) fn scout_variant(&self) -> Option<Variant> {
+        match self.kind {
+            EntryKind::Gpu(v) | EntryKind::GpuRefault(v) => Some(v),
+            EntryKind::MultiGpu(_) => None,
+            // Every service tier runs full RDBS on one device.
+            EntryKind::Service | EntryKind::ServiceConcurrent | EntryKind::ServiceTraffic => {
+                Some(Variant::Rdbs(RdbsConfig::full()))
+            }
+        }
+    }
 }
 
 /// Every entry point the full chaos sweep covers.
@@ -249,7 +263,10 @@ impl ChaosReport {
                 (_, Some(RecoveryOutcome::Clean)) => t.0 += 1,
                 (_, Some(RecoveryOutcome::Recovered)) => t.1 += 1,
                 (_, Some(RecoveryOutcome::Degraded)) => t.2 += 1,
-                (_, None) => t.3 += 1,
+                // Exhausted cells are always graded `Error` by
+                // `run_cell`, so this arm is unreachable in practice —
+                // kept exhaustive so a new outcome can't slip through.
+                (_, Some(RecoveryOutcome::Exhausted)) | (_, None) => t.3 += 1,
             }
         }
         t
@@ -302,15 +319,29 @@ pub fn run_cell(
         }
     }));
     match attempt {
-        Ok(run) => {
-            let verdict = match check_against(oracle_dist, &run.result.dist) {
-                Ok(()) => CellVerdict::Correct,
-                Err(m) => CellVerdict::SilentWrong(m),
-            };
-            (Some(run.report), verdict)
-        }
+        Ok(run) => grade_run(oracle_dist, run),
         Err(payload) => (None, CellVerdict::Error(crate::runner::panic_message(payload.as_ref()))),
     }
+}
+
+/// Grade a completed recovered run against the oracle. An
+/// [`RecoveryOutcome::Exhausted`] run carries best-effort,
+/// *uncertified* distances — it is graded as a loud error before any
+/// oracle comparison, so an exhausted ladder can never be mistaken for
+/// (or graded as) a silent wrong answer.
+pub(crate) fn grade_run(
+    oracle_dist: &[u32],
+    run: rdbs_core::recover::RecoveredRun,
+) -> (Option<RecoveryReport>, CellVerdict) {
+    let verdict = if run.report.outcome == RecoveryOutcome::Exhausted {
+        CellVerdict::Error(format!("recovery budget exhausted ({})", run.report.budget))
+    } else {
+        match check_against(oracle_dist, &run.result.dist) {
+            Ok(()) => CellVerdict::Correct,
+            Err(m) => CellVerdict::SilentWrong(m),
+        }
+    };
+    (Some(run.report), verdict)
 }
 
 /// Sweep the chaos matrix. `progress` is called once per cell as it
@@ -431,6 +462,58 @@ mod tests {
             assert_eq!(x.detected(), y.detected());
             assert_eq!(x.outcome(), y.outcome());
         }
+    }
+
+    /// Regression: an exhausted recovery budget surfaces as a loud
+    /// `Error` cell verdict — never compared against the oracle, never
+    /// `SilentWrong`, even when the carried best-effort distances are
+    /// wrong.
+    #[test]
+    fn exhausted_budget_grades_as_error_not_silent_wrong() {
+        use rdbs_core::gpu::RdbsConfig;
+        use rdbs_core::recover::{run_gpu_recovered_budgeted, RecoveryBudget};
+
+        // The adversarial 199-hop path from the recover tests: rung 1
+        // cannot certify inside its round budget, so one rung exhausts.
+        let mut el = rdbs_graph::builder::EdgeList::new(200);
+        for i in 0..199u32 {
+            el.push(i + 1, i, 1);
+        }
+        let g = rdbs_graph::builder::build_directed(&el);
+        let source = 199;
+        let oracle = dijkstra(&g, source);
+        let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 1.0, 0);
+        let run = run_gpu_recovered_budgeted(
+            &g,
+            source,
+            Variant::Rdbs(RdbsConfig::full()),
+            DeviceConfig::test_tiny(),
+            Some(spec),
+            RecoveryBudget { max_rungs: 1, repair_rounds: 32 },
+        );
+        assert_eq!(run.report.outcome, RecoveryOutcome::Exhausted, "{}", run.report);
+        assert_ne!(run.result.dist, oracle.dist, "exhausted run accidentally correct");
+        let (report, verdict) = grade_run(&oracle.dist, run);
+        assert!(
+            matches!(&verdict, CellVerdict::Error(msg) if msg.contains("budget exhausted")),
+            "expected a loud budget-exhausted error, got: {verdict}"
+        );
+        assert_eq!(report.unwrap().outcome, RecoveryOutcome::Exhausted);
+
+        // And the tally counts it as an errored cell.
+        let cell = ChaosCell {
+            entry_id: "gpu/full",
+            model: FaultModel::DroppedAtomicMin,
+            graph: "path-199",
+            source,
+            seed: 0,
+            rate: 1.0,
+            report: None,
+            verdict,
+        };
+        let report = ChaosReport { cells: vec![cell] };
+        assert!(report.is_green());
+        assert_eq!(report.tally(), (0, 0, 0, 1, 0));
     }
 
     /// Regression for the PR-1 fault specimen: the deliberately broken

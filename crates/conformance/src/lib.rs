@@ -27,12 +27,20 @@
 //!   with the wave-level sanitizer armed; green only when every cell
 //!   is correct *and* produced zero violations, with a planted-race
 //!   specimen proving the detector itself is alive.
+//! * [`adversary`] — the adversarial layer on top of both: a budgeted
+//!   placement search that scouts each entry's sanitizer access
+//!   profile and the oracle's deep frontier, then pins fault plans to
+//!   the hottest targets and scores them by recovery-ladder depth
+//!   (keeping a replayable worst-case corpus); plus a seeded
+//!   lane-permutation schedule fuzzer that re-executes race windows
+//!   under shuffled interleavings with the sanitizer watching.
 //!
 //! The whole pipeline is reachable from the command line via
 //! `rdbs-cli verify` (differential matrix), `rdbs-cli chaos`
 //! (fault-injection matrix) and `rdbs-cli sanitize` (memory-model
 //! matrix), all exiting non-zero on violation.
 
+pub mod adversary;
 pub mod chaos;
 pub mod graphs;
 pub mod localize;
@@ -41,6 +49,11 @@ pub mod runner;
 pub mod sanitize;
 pub mod shrink;
 
+pub use adversary::{
+    corpus_lines, depth_label, fuzz_schedules, ladder_depth, parse_corpus_line, replay_case,
+    run_adversary, AdversaryOptions, AdversaryReport, AttackRun, Candidate, CorpusCase, FuzzCell,
+    FuzzOptions, FuzzReport, ScoutIntel,
+};
 pub use chaos::{
     chaos_entries, run_chaos, CellVerdict, ChaosCell, ChaosEntry, ChaosOptions, ChaosReport,
 };

@@ -35,7 +35,7 @@ use crate::gpu::{
 };
 use crate::seq::dijkstra;
 use crate::service::{ServiceConfig, SsspService};
-use crate::stats::SsspResult;
+use crate::stats::{SsspResult, UpdateStats};
 use crate::validate::audit_sssp;
 use crate::{saturating_relax, Csr, Dist, VertexId, INF};
 use rdbs_gpu_sim::{Device, DeviceConfig, FaultEvent, FaultPlan, FaultSpec};
@@ -43,6 +43,35 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Upper bound on full-edge re-relaxation rounds in the repair sweep.
 const REPAIR_ROUNDS: u32 = 32;
+
+/// Explicit retry budget for the recovery ladder. Every recovery is
+/// bounded: at most `max_rungs` rungs are *attempted* (a rung skipped
+/// for free — e.g. the repair sweep when the attempt panicked and left
+/// no distances — costs nothing), and the rung-1 sweep re-relaxes for
+/// at most `repair_rounds` rounds. When the budget runs out before a
+/// rung certifies an answer, the run ends in the typed
+/// [`RecoveryOutcome::Exhausted`] instead of climbing further — never
+/// an unbounded or implicit loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryBudget {
+    /// Maximum ladder rungs attempted: 1 = repair sweep only,
+    /// 2 = + synchronous rerun, 3 = + sequential fallback (default).
+    pub max_rungs: u32,
+    /// Round bound for the rung-1 repair sweep.
+    pub repair_rounds: u32,
+}
+
+impl Default for RecoveryBudget {
+    fn default() -> Self {
+        Self { max_rungs: 3, repair_rounds: REPAIR_ROUNDS }
+    }
+}
+
+impl std::fmt::Display for RecoveryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rung(s), {} repair round(s)", self.max_rungs, self.repair_rounds)
+    }
+}
 
 /// One rung climbed on the recovery ladder.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,6 +113,12 @@ pub enum RecoveryOutcome {
     /// All GPU-side rungs failed; the answer comes from sequential
     /// Dijkstra.
     Degraded,
+    /// The retry budget ran out before any rung certified an answer.
+    /// The carried distances are **best-effort and uncertified** —
+    /// callers must treat them as unusable for correctness purposes
+    /// (the chaos matrix grades this as an error cell, never compared
+    /// against the oracle).
+    Exhausted,
 }
 
 impl std::fmt::Display for RecoveryOutcome {
@@ -92,6 +127,7 @@ impl std::fmt::Display for RecoveryOutcome {
             RecoveryOutcome::Clean => "clean",
             RecoveryOutcome::Recovered => "recovered",
             RecoveryOutcome::Degraded => "degraded",
+            RecoveryOutcome::Exhausted => "exhausted",
         })
     }
 }
@@ -114,6 +150,8 @@ pub struct RecoveryReport {
     pub panic: Option<String>,
     /// Ladder rungs climbed, in order (empty for a clean run).
     pub steps: Vec<RecoveryStep>,
+    /// The retry budget the ladder ran under.
+    pub budget: RecoveryBudget,
     pub outcome: RecoveryOutcome,
 }
 
@@ -146,7 +184,7 @@ impl std::fmt::Display for RecoveryReport {
         if self.steps.is_empty() {
             writeln!(f, "ladder: not needed")?;
         } else {
-            writeln!(f, "ladder:")?;
+            writeln!(f, "ladder (budget {}):", self.budget)?;
             for (i, step) in self.steps.iter().enumerate() {
                 writeln!(f, "  {}. {step}", i + 1)?;
             }
@@ -171,7 +209,30 @@ pub fn run_gpu_recovered(
     device_config: DeviceConfig,
     fault: Option<FaultSpec>,
 ) -> RecoveredRun {
-    run_gpu_recovered_with(graph, source, variant, device_config, fault, false)
+    run_gpu_recovered_with(
+        graph,
+        source,
+        variant,
+        device_config,
+        fault,
+        false,
+        RecoveryBudget::default(),
+    )
+}
+
+/// Like [`run_gpu_recovered`], with an explicit ladder retry budget.
+/// With a budget too small to reach a certifying rung the run ends in
+/// the typed [`RecoveryOutcome::Exhausted`] carrying best-effort,
+/// **uncertified** distances.
+pub fn run_gpu_recovered_budgeted(
+    graph: &Csr,
+    source: VertexId,
+    variant: Variant,
+    device_config: DeviceConfig,
+    fault: Option<FaultSpec>,
+    budget: RecoveryBudget,
+) -> RecoveredRun {
+    run_gpu_recovered_with(graph, source, variant, device_config, fault, false, budget)
 }
 
 /// Like [`run_gpu_recovered`], but with persistent-fault semantics:
@@ -187,9 +248,18 @@ pub fn run_gpu_recovered_refault(
     device_config: DeviceConfig,
     fault: Option<FaultSpec>,
 ) -> RecoveredRun {
-    run_gpu_recovered_with(graph, source, variant, device_config, fault, true)
+    run_gpu_recovered_with(
+        graph,
+        source,
+        variant,
+        device_config,
+        fault,
+        true,
+        RecoveryBudget::default(),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_gpu_recovered_with(
     graph: &Csr,
     source: VertexId,
@@ -197,6 +267,7 @@ fn run_gpu_recovered_with(
     device_config: DeviceConfig,
     fault: Option<FaultSpec>,
     refault_rerun: bool,
+    budget: RecoveryBudget,
 ) -> RecoveredRun {
     let mut device = Device::new(device_config.clone());
     if let Some(spec) = fault {
@@ -226,7 +297,7 @@ fn run_gpu_recovered_with(
         let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
         run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
     };
-    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun, budget)
 }
 
 /// Run the resident batched service ([`crate::service`]) under
@@ -266,7 +337,17 @@ pub fn run_service_recovered(
         let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
         run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
     };
-    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+    finish(
+        graph,
+        source,
+        fault,
+        injections,
+        fault_events,
+        attempt,
+        panic,
+        &rerun,
+        RecoveryBudget::default(),
+    )
 }
 
 /// Run the resident service's *concurrent* scheduler under `fault`,
@@ -312,7 +393,17 @@ pub fn run_service_concurrent_recovered(
         let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
         run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
     };
-    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+    finish(
+        graph,
+        source,
+        fault,
+        injections,
+        fault_events,
+        attempt,
+        panic,
+        &rerun,
+        RecoveryBudget::default(),
+    )
 }
 
 /// Run the service's open-loop *traffic tier* under `fault`, audit,
@@ -385,7 +476,17 @@ pub fn run_service_traffic_recovered(
         let cfg = RdbsConfig { delta0, ..RdbsConfig::sync_delta() };
         run_gpu_on(&mut fresh, graph, source, Variant::Rdbs(cfg)).result
     };
-    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+    finish(
+        graph,
+        source,
+        fault,
+        injections,
+        fault_events,
+        attempt,
+        panic,
+        &rerun,
+        RecoveryBudget::default(),
+    )
 }
 
 /// Run the multi-GPU entry point under `fault` (armed on device 0),
@@ -403,7 +504,17 @@ pub fn run_multi_recovered(
         Err(payload) => (None, 0, Vec::new(), Some(panic_text(payload.as_ref()))),
     };
     let rerun = |graph: &Csr, source: VertexId| multi_gpu_sssp(graph, source, config).result;
-    finish(graph, source, fault, injections, fault_events, attempt, panic, &rerun)
+    finish(
+        graph,
+        source,
+        fault,
+        injections,
+        fault_events,
+        attempt,
+        panic,
+        &rerun,
+        RecoveryBudget::default(),
+    )
 }
 
 /// Shared detection + ladder. `attempt` is the faulted attempt's
@@ -419,6 +530,7 @@ fn finish(
     attempt: Option<(SsspResult, usize)>,
     panic: Option<String>,
     rerun: &dyn Fn(&Csr, VertexId) -> SsspResult,
+    budget: RecoveryBudget,
 ) -> RecoveredRun {
     let mut report = RecoveryReport {
         fault,
@@ -428,11 +540,13 @@ fn finish(
         flagged: 0,
         panic,
         steps: Vec::new(),
+        budget,
         outcome: RecoveryOutcome::Clean,
     };
+    let mut rungs_used = 0u32;
 
     // ---- Detection ----
-    let mut result = match attempt {
+    let mut best = match attempt {
         Some((result, mono_hits)) => {
             report.monotonicity_hits = mono_hits;
             let audit = audit_sssp(graph, source, &result.dist);
@@ -441,9 +555,18 @@ fn finish(
                 return RecoveredRun { result, report };
             }
             // ---- Rung 1: bounded repair sweep ----
+            if rungs_used >= budget.max_rungs {
+                return exhaust(graph, source, Some(result), report);
+            }
+            rungs_used += 1;
             let mut repaired = result;
-            let (rounds, relaxations, clean) =
-                repair_sweep(graph, source, &mut repaired.dist, &audit.flagged);
+            let (rounds, relaxations, clean) = repair_sweep(
+                graph,
+                source,
+                &mut repaired.dist,
+                &audit.flagged,
+                budget.repair_rounds,
+            );
             report.steps.push(RecoveryStep::RepairSweep { rounds, relaxations, clean });
             if clean {
                 report.outcome = RecoveryOutcome::Recovered;
@@ -455,6 +578,10 @@ fn finish(
     };
 
     // ---- Rung 2: fault-free rerun of a synchronous variant ----
+    if rungs_used >= budget.max_rungs {
+        return exhaust(graph, source, best, report);
+    }
+    rungs_used += 1;
     match catch_unwind(AssertUnwindSafe(|| rerun(graph, source))) {
         Ok(rr) => {
             let clean = audit_sssp(graph, source, &rr.dist).is_clean();
@@ -463,18 +590,39 @@ fn finish(
                 report.outcome = RecoveryOutcome::Recovered;
                 return RecoveredRun { result: rr, report };
             }
-            result = Some(rr);
+            best = Some(rr);
         }
         Err(_) => {
             report.steps.push(RecoveryStep::SyncRerun { clean: false });
         }
     }
-    let _ = result;
 
     // ---- Rung 3: graceful degradation ----
+    if rungs_used >= budget.max_rungs {
+        return exhaust(graph, source, best, report);
+    }
     report.steps.push(RecoveryStep::SequentialFallback);
     report.outcome = RecoveryOutcome::Degraded;
     RecoveredRun { result: dijkstra(graph, source), report }
+}
+
+/// Budget ran out before any rung certified an answer: end in the typed
+/// [`RecoveryOutcome::Exhausted`], carrying the best uncertified
+/// distances seen so far (or an all-`INF` placeholder when the attempt
+/// panicked and no rung produced anything).
+fn exhaust(
+    graph: &Csr,
+    source: VertexId,
+    best: Option<SsspResult>,
+    mut report: RecoveryReport,
+) -> RecoveredRun {
+    report.outcome = RecoveryOutcome::Exhausted;
+    let result = best.unwrap_or_else(|| {
+        let mut dist = vec![INF; graph.num_vertices()];
+        dist[source as usize] = 0;
+        SsspResult { source, dist, stats: UpdateStats::default() }
+    });
+    RecoveredRun { result, report }
 }
 
 /// Rung 1: reset the flagged vertices to `INF` (uncorrupted values are
@@ -487,6 +635,7 @@ fn repair_sweep(
     source: VertexId,
     dist: &mut [Dist],
     flagged: &[VertexId],
+    round_budget: u32,
 ) -> (u32, u64, bool) {
     for &v in flagged {
         dist[v as usize] = INF;
@@ -494,7 +643,7 @@ fn repair_sweep(
     dist[source as usize] = if flagged.contains(&source) { 0 } else { dist[source as usize] };
     let mut rounds = 0u32;
     let mut relaxations = 0u64;
-    while rounds < REPAIR_ROUNDS {
+    while rounds < round_budget {
         rounds += 1;
         let mut changed = false;
         for (u, v, w) in graph.all_edges() {
@@ -593,7 +742,7 @@ mod tests {
         dist[30] = 0;
         let audit = audit_sssp(&g, 0, &dist);
         assert!(!audit.is_clean());
-        let (_, _, clean) = repair_sweep(&g, 0, &mut dist, &audit.flagged);
+        let (_, _, clean) = repair_sweep(&g, 0, &mut dist, &audit.flagged, REPAIR_ROUNDS);
         assert!(clean);
         assert_eq!(dist, oracle.dist);
     }
@@ -706,6 +855,61 @@ mod tests {
             check_against_dijkstra(&g, 0, &run.result.dist)
                 .unwrap_or_else(|m| panic!("seed {seed}: {m}\n{}", run.report));
         }
+    }
+
+    #[test]
+    fn exhausted_budget_yields_typed_outcome_not_a_lie() {
+        // Same adversarial 199-hop path as the persistent-fault test:
+        // the rung-1 sweep cannot certify within its round budget, so a
+        // one-rung budget must end in the typed `Exhausted` outcome
+        // after exactly one (dirty) repair-sweep step — never a silent
+        // wrong answer and never an implicit extra rung.
+        let mut el = rdbs_graph::builder::EdgeList::new(200);
+        for i in 0..199u32 {
+            el.push(i + 1, i, 1);
+        }
+        let g = rdbs_graph::builder::build_directed(&el);
+        let source = 199;
+        let spec = FaultSpec::new(FaultModel::DroppedAtomicMin, 1.0, 0);
+        let budget = RecoveryBudget { max_rungs: 1, repair_rounds: REPAIR_ROUNDS };
+        let run = run_gpu_recovered_budgeted(
+            &g,
+            source,
+            Variant::Rdbs(RdbsConfig::full()),
+            tiny(),
+            Some(spec),
+            budget,
+        );
+        assert_eq!(run.report.outcome, RecoveryOutcome::Exhausted, "{}", run.report);
+        assert_eq!(run.report.budget, budget);
+        assert_eq!(run.report.steps.len(), 1, "{}", run.report);
+        assert!(
+            matches!(run.report.steps[0], RecoveryStep::RepairSweep { clean: false, .. }),
+            "{}",
+            run.report
+        );
+        assert!(run.report.to_string().contains("exhausted"), "{}", run.report);
+
+        // The default budget reaches a certifying rung on the same input.
+        let full =
+            run_gpu_recovered(&g, source, Variant::Rdbs(RdbsConfig::full()), tiny(), Some(spec));
+        check_against_dijkstra(&g, source, &full.result.dist)
+            .unwrap_or_else(|m| panic!("{m}\n{}", full.report));
+        assert_eq!(full.report.outcome, RecoveryOutcome::Recovered, "{}", full.report);
+
+        // And an explicit default budget is behaviourally identical to
+        // the unbudgeted entry point.
+        let dflt = run_gpu_recovered_budgeted(
+            &g,
+            source,
+            Variant::Rdbs(RdbsConfig::full()),
+            tiny(),
+            Some(spec),
+            RecoveryBudget::default(),
+        );
+        assert_eq!(dflt.result.dist, full.result.dist);
+        assert_eq!(dflt.report.outcome, full.report.outcome);
+        assert_eq!(dflt.report.steps, full.report.steps);
     }
 
     #[test]

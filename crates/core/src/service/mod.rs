@@ -460,6 +460,29 @@ impl SsspService {
         }
     }
 
+    /// The sanitizer's accumulated access profile (hot contended words,
+    /// atomic/plain overlap sites, per-kernel wave windows) — the
+    /// adversarial placement search scouts targets through this.
+    /// `None` when the sanitizer was never armed, or for the multi-GPU
+    /// backend (profiles are per-device; the search falls back to
+    /// generic targets there).
+    pub fn san_profile(&self) -> Option<&rdbs_gpu_sim::AccessProfile> {
+        match &self.state {
+            State::Gpu(st) => st.device.san_profile(),
+            State::Multi(_) => None,
+        }
+    }
+
+    /// Arm seeded schedule fuzzing on the resident device: every
+    /// subsequent kernel wave executes its lanes in a seeded
+    /// permutation (single-GPU backend only — the multi-GPU exchange
+    /// already permutes work across shards).
+    pub fn arm_schedule_fuzz(&mut self, seed: u64) {
+        if let State::Gpu(st) = &mut self.state {
+            st.device.arm_schedule_fuzz(seed);
+        }
+    }
+
     /// Monotonicity-audit hits of the most recent device attempt
     /// (non-zero only while faults are armed).
     pub fn last_audit_hits(&self) -> usize {

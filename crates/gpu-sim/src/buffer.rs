@@ -278,6 +278,90 @@ impl Arena {
     pub fn clone_words(&self) -> Vec<Vec<u32>> {
         self.buffers.iter().map(|b| b.words.clone()).collect()
     }
+
+    /// Set a buffer's poison to the complement of a host-staging write
+    /// map: words the host never wrote stay poisoned (only while
+    /// poison mode is on — a no-op clear otherwise). This is how
+    /// shadow poison crosses the host→device copy instead of being
+    /// wholesale-cleared by the upload.
+    pub fn set_poison_from_unwritten(&mut self, buf: Buf, written: &[bool]) {
+        let b = &mut self.buffers[buf.id as usize];
+        assert_eq!(b.words.len(), written.len(), "staging length mismatch for '{}'", b.label);
+        b.poison = (self.poison_mode && written.contains(&false))
+            .then(|| written.iter().map(|&w| !w).collect());
+    }
+}
+
+/// A host-side staging buffer with per-word shadow-poison tracking.
+///
+/// Host code that assembles an upload incrementally (CSR arrays,
+/// boundary-exchange batches…) historically lost the sanitizer's
+/// uninitialized-read check at the host→device seam: `alloc_upload`
+/// cleared poison wholesale, so a word the host *never actually wrote*
+/// arrived on device looking initialized (as a silent zero). Staging
+/// through [`HostStaging`] and uploading with
+/// [`crate::Device::upload_staged`] carries the "never written" state
+/// across the copy, so a kernel reading such a word trips `UninitRead`.
+#[derive(Clone, Debug)]
+pub struct HostStaging {
+    label: &'static str,
+    words: Vec<u32>,
+    written: Vec<bool>,
+}
+
+impl HostStaging {
+    /// A zero-filled staging buffer with every word *unwritten*.
+    pub fn new(label: &'static str, len: usize) -> Self {
+        Self { label, words: vec![0; len], written: vec![false; len] }
+    }
+
+    /// A staging buffer pre-filled from host data (fully written).
+    pub fn from_slice(label: &'static str, data: &[u32]) -> Self {
+        Self { label, words: data.to_vec(), written: vec![true; data.len()] }
+    }
+
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Write one word (marks it initialized).
+    pub fn write(&mut self, idx: usize, val: u32) {
+        self.words[idx] = val;
+        self.written[idx] = true;
+    }
+
+    /// Write a contiguous run starting at `offset`.
+    pub fn write_slice(&mut self, offset: usize, data: &[u32]) {
+        self.words[offset..offset + data.len()].copy_from_slice(data);
+        self.written[offset..offset + data.len()].fill(true);
+    }
+
+    /// Fill the whole buffer (marks everything initialized).
+    pub fn fill(&mut self, val: u32) {
+        self.words.fill(val);
+        self.written.fill(true);
+    }
+
+    /// Words never written since construction.
+    pub fn unwritten_words(&self) -> usize {
+        self.written.iter().filter(|&&w| !w).count()
+    }
+
+    pub(crate) fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    pub(crate) fn written(&self) -> &[bool] {
+        &self.written
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +437,26 @@ mod tests {
         let mut a = Arena::new();
         let x = a.alloc("x", 4);
         assert!(!a.poisoned_live(x, 0) && !a.poisoned_visible(x, 0));
+    }
+
+    #[test]
+    fn staging_poison_survives_the_upload_seam() {
+        let mut a = Arena::new();
+        a.set_poison_mode(true);
+        let mut st = HostStaging::new("csr", 4);
+        st.write(0, 7);
+        st.write_slice(2, &[8, 9]);
+        assert_eq!(st.unwritten_words(), 1);
+        let b = a.alloc("csr", 4);
+        a.slice_mut(b).copy_from_slice(st.words());
+        a.set_poison_from_unwritten(b, st.written());
+        assert!(!a.poisoned_live(b, 0));
+        assert!(a.poisoned_live(b, 1), "the never-written word stays poisoned");
+        assert!(!a.poisoned_live(b, 2) && !a.poisoned_live(b, 3));
+        // A fully written staging buffer clears poison entirely.
+        st.fill(1);
+        a.set_poison_from_unwritten(b, st.written());
+        assert!(!a.poisoned_live(b, 1));
     }
 
     #[test]

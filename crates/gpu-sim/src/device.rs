@@ -1,11 +1,12 @@
 //! Device configuration and the top-level [`Device`] object.
 
-use crate::buffer::{Arena, Buf};
+use crate::buffer::{Arena, Buf, HostStaging};
 use crate::cache::CacheHierarchy;
 use crate::counters::{Counters, KernelReport};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::kernel::ChildLaunch;
-use crate::san::{SanConfig, SanState, SanViolation};
+use crate::san::{AccessProfile, SanConfig, SanState, SanViolation};
+use crate::sched::SchedPlan;
 
 /// Hardware parameters of a simulated GPU.
 ///
@@ -185,6 +186,9 @@ pub struct Device {
     /// Armed memory-model sanitizer, if any. Like `fault`, `None` (the
     /// default) keeps every hook a single branch.
     pub(crate) san: Option<Box<SanState>>,
+    /// Armed schedule-fuzzing plan, if any: waves execute their lanes
+    /// in a seeded permuted order instead of ascending lane order.
+    pub(crate) sched: Option<SchedPlan>,
     /// Command stream subsequent kernels are issued on. Purely an
     /// attribution tag: kernel reports and sanitizer violations carry
     /// it so concurrent schedulers can tell interleaved work apart.
@@ -206,6 +210,7 @@ impl Device {
             buffer_traffic: Vec::new(),
             fault: None,
             san: None,
+            sched: None,
             current_stream: 0,
         }
     }
@@ -256,6 +261,32 @@ impl Device {
     /// Total violations so far, including any beyond the report cap.
     pub fn san_total(&self) -> u64 {
         self.san.as_ref().map_or(0, |s| s.total())
+    }
+
+    /// The access profile the armed sanitizer has accumulated so far
+    /// (`None` when nothing is armed) — the adversarial placement
+    /// search's evidence source.
+    pub fn san_profile(&self) -> Option<&AccessProfile> {
+        self.san.as_deref().map(SanState::profile)
+    }
+
+    /// Arm seeded schedule fuzzing: subsequent waves execute their
+    /// lanes in a deterministic permuted order drawn from `seed` (one
+    /// fresh permutation per wave). Disarm with
+    /// [`Device::disarm_schedule_fuzz`].
+    pub fn arm_schedule_fuzz(&mut self, seed: u64) {
+        self.sched = Some(SchedPlan::new(seed));
+    }
+
+    /// Whether schedule fuzzing is currently armed.
+    pub fn schedule_fuzz_armed(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// Remove the armed schedule-fuzz plan (if any), returning it with
+    /// its wave count. Execution reverts to ascending lane order.
+    pub fn disarm_schedule_fuzz(&mut self) -> Option<SchedPlan> {
+        self.sched.take()
     }
 
     /// Arm a fault-injection plan. Subsequent kernels run under it;
@@ -316,6 +347,21 @@ impl Device {
         let buf = self.alloc(label, data.len());
         self.arena.slice_mut(buf).copy_from_slice(data);
         self.arena.clear_poison(buf);
+        buf
+    }
+
+    /// Upload a host staging buffer, carrying its per-word shadow
+    /// poison across the copy: words the host never wrote into the
+    /// staging buffer stay poisoned on device (while the sanitizer's
+    /// poison mode is on), so a kernel reading one trips `UninitRead`
+    /// instead of silently observing the zero fill. Counted like
+    /// [`Device::alloc_upload`].
+    pub fn upload_staged(&mut self, staging: &HostStaging) -> Buf {
+        self.counters.h2d_uploads += 1;
+        self.counters.h2d_words += staging.len() as u64;
+        let buf = self.alloc(staging.label(), staging.len());
+        self.arena.slice_mut(buf).copy_from_slice(staging.words());
+        self.arena.set_poison_from_unwritten(buf, staging.written());
         buf
     }
 

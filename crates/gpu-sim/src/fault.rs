@@ -100,12 +100,108 @@ pub struct FaultSpec {
     /// child launch, message…) fires.
     pub rate: f64,
     pub seed: u64,
+    /// Optional placement constraint: the plan only considers
+    /// opportunities inside the target window (and spends no PRNG
+    /// draws outside it, concentrating the injection budget there).
+    /// `None` is the classic uniform spray.
+    pub target: Option<FaultTarget>,
+    /// Optional hard cap on total injections: once the plan has
+    /// injected this many faults it goes quiet for the rest of the
+    /// run. This is how the adversarial search enforces an *equal
+    /// injection budget* across competing plans. `None` is unlimited
+    /// (historical behaviour).
+    pub cap: Option<u64>,
 }
 
 impl FaultSpec {
     pub fn new(model: FaultModel, rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1], got {rate}");
-        Self { model, rate, seed }
+        Self { model, rate, seed, target: None, cap: None }
+    }
+
+    /// Pin this spec to a placement target (builder-style).
+    #[must_use]
+    pub fn with_target(mut self, target: FaultTarget) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Cap this spec's total injections (builder-style).
+    #[must_use]
+    pub fn with_cap(mut self, cap: u64) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+}
+
+/// A placement constraint for targeted fault injection: every field is
+/// an optional pin, and an opportunity is eligible only when all set
+/// pins match. Ranges are inclusive. Built by the adversarial search
+/// from sanitizer access profiles; `FaultSpec::target == None` keeps
+/// the historical uniform behaviour bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultTarget {
+    /// Buffer label / kernel name / `"exchange"` the fault must hit.
+    pub site: Option<&'static str>,
+    /// Inclusive word-index (or message-slot) window. Ignored at
+    /// opportunities that carry no index (e.g. child launches).
+    pub index: Option<(u32, u32)>,
+    /// Inclusive wave-number window (waves count from 1, across the
+    /// whole run in launch order).
+    pub wave: Option<(u64, u64)>,
+    /// Command stream the fault must land on.
+    pub stream: Option<u32>,
+}
+
+impl FaultTarget {
+    /// The unconstrained target (matches everything, like `None`).
+    pub const ANY: FaultTarget = FaultTarget { site: None, index: None, wave: None, stream: None };
+
+    /// Whether an opportunity at `site`/`index` during `wave` on
+    /// `stream` is inside this target window. `index == None` means
+    /// the opportunity carries no word index, and the index pin is
+    /// ignored for it.
+    pub fn matches(&self, site: &str, index: Option<u32>, wave: u64, stream: u32) -> bool {
+        if let Some(want) = self.site {
+            if want != site {
+                return false;
+            }
+        }
+        if let (Some((lo, hi)), Some(i)) = (self.index, index) {
+            if i < lo || i > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.wave {
+            if wave < lo || wave > hi {
+                return false;
+            }
+        }
+        if let Some(want) = self.stream {
+            if want != stream {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let site = self.site.unwrap_or("*");
+        write!(f, "site={site}")?;
+        match self.index {
+            Some((lo, hi)) => write!(f, " idx={lo}..={hi}")?,
+            None => write!(f, " idx=*")?,
+        }
+        match self.wave {
+            Some((lo, hi)) => write!(f, " wave={lo}..={hi}")?,
+            None => write!(f, " wave=*")?,
+        }
+        match self.stream {
+            Some(s) => write!(f, " stream={s}"),
+            None => write!(f, " stream=*"),
+        }
     }
 }
 
@@ -153,8 +249,12 @@ pub struct FaultPlan {
     dropped_log: u64,
     /// Stale per-buffer memory image (StaleRead only).
     stale: Vec<Vec<u32>>,
-    kernels_seen: u64,
-    kernels_at_refresh: u64,
+    /// Waves (kernel launches) observed so far; hooks during a kernel
+    /// see the wave number of that kernel (first kernel = wave 1).
+    waves_seen: u64,
+    waves_at_refresh: u64,
+    /// Stream the current kernel runs on (set at each kernel start).
+    stream: u32,
 }
 
 impl FaultPlan {
@@ -168,8 +268,9 @@ impl FaultPlan {
             log: Vec::new(),
             dropped_log: 0,
             stale: Vec::new(),
-            kernels_seen: 0,
-            kernels_at_refresh: 0,
+            waves_seen: 0,
+            waves_at_refresh: 0,
+            stream: 0,
         }
     }
 
@@ -210,16 +311,36 @@ impl FaultPlan {
         }
     }
 
-    /// Kernel-start hook: maintains the stale-read snapshot cadence.
-    pub(crate) fn on_kernel_start(&mut self, arena: &Arena) {
-        if self.spec.model != FaultModel::StaleRead {
-            return;
-        }
-        if self.kernels_seen.is_multiple_of(STALE_WINDOW) {
+    /// Kernel-start hook: counts waves, tracks the stream, and
+    /// maintains the stale-read snapshot cadence.
+    pub(crate) fn on_kernel_start(&mut self, arena: &Arena, stream: u32) {
+        self.stream = stream;
+        if self.spec.model == FaultModel::StaleRead && self.waves_seen.is_multiple_of(STALE_WINDOW)
+        {
             self.stale = arena.clone_words();
-            self.kernels_at_refresh = self.kernels_seen;
+            self.waves_at_refresh = self.waves_seen;
         }
-        self.kernels_seen += 1;
+        self.waves_seen += 1;
+    }
+
+    /// Whether the plan has spent its injection cap and must go quiet.
+    /// Checked before any targeting or PRNG draw, so a capped-out plan
+    /// consumes no further stream state.
+    fn capped_out(&self) -> bool {
+        self.spec.cap.is_some_and(|c| self.injections() >= c)
+    }
+
+    /// Whether an opportunity at `site`/`index` is inside the spec's
+    /// target window (always true for untargeted specs). A capped-out
+    /// plan matches nothing.
+    fn targeted(&self, site: &'static str, index: Option<u32>) -> bool {
+        if self.capped_out() {
+            return false;
+        }
+        match self.spec.target {
+            None => true,
+            Some(t) => t.matches(site, index, self.waves_seen, self.stream),
+        }
     }
 
     /// Plain-load hook. Returns `Some(observed)` when a fault fires:
@@ -234,7 +355,7 @@ impl FaultPlan {
     ) -> Option<u32> {
         match self.spec.model {
             FaultModel::BitFlip => {
-                if !self.fires() {
+                if !self.targeted(site, Some(idx)) || !self.fires() {
                     return None;
                 }
                 let bit = (self.next_u64() % 32) as u32;
@@ -242,14 +363,14 @@ impl FaultPlan {
                 Some(val ^ (1 << bit))
             }
             FaultModel::StaleRead => {
-                if !self.fires() {
+                if !self.targeted(site, Some(idx)) || !self.fires() {
                     return None;
                 }
                 let old = *self.stale.get(buf_id as usize)?.get(idx as usize)?;
                 if old == val {
                     return None; // indistinguishable, don't log
                 }
-                let age = (self.kernels_seen - self.kernels_at_refresh) as u32;
+                let age = (self.waves_seen - self.waves_at_refresh) as u32;
                 self.record(site, idx, age);
                 Some(old)
             }
@@ -262,14 +383,14 @@ impl FaultPlan {
     pub(crate) fn on_atomic_min(&mut self, site: &'static str, idx: u32) -> AtomicMinFault {
         match self.spec.model {
             FaultModel::DroppedAtomicMin => {
-                if !self.fires() {
+                if !self.targeted(site, Some(idx)) || !self.fires() {
                     return AtomicMinFault::None;
                 }
                 self.record(site, idx, 0);
                 AtomicMinFault::Drop
             }
             FaultModel::DuplicatedAtomicMin => {
-                if !self.fires() {
+                if !self.targeted(site, Some(idx)) || !self.fires() {
                     return AtomicMinFault::None;
                 }
                 self.record(site, idx, 2);
@@ -280,8 +401,13 @@ impl FaultPlan {
     }
 
     /// Child-launch hook: `true` means the launch is silently dropped.
+    /// A child launch carries no word index, so only the site, wave and
+    /// stream pins of a target apply here.
     pub(crate) fn on_child_launch(&mut self, name: &'static str, threads: u64) -> bool {
-        if self.spec.model == FaultModel::FailedChildLaunch && self.fires() {
+        if self.spec.model == FaultModel::FailedChildLaunch
+            && self.targeted(name, None)
+            && self.fires()
+        {
             self.record(name, threads.min(u32::MAX as u64) as u32, 0);
             return true;
         }
@@ -298,7 +424,7 @@ impl FaultPlan {
                 let mut slot = 0u32;
                 let mut plan = std::mem::take(msgs);
                 plan.retain(|&(v, _)| {
-                    let keep = !self.fires();
+                    let keep = !(self.targeted("exchange", Some(slot)) && self.fires());
                     if !keep {
                         self.record("exchange", slot, v);
                     }
@@ -311,14 +437,16 @@ impl FaultPlan {
                 let mut out = Vec::with_capacity(msgs.len());
                 for (slot, &(v, d)) in msgs.iter().enumerate() {
                     out.push((v, d));
-                    if self.fires() {
+                    if self.targeted("exchange", Some(slot as u32)) && self.fires() {
                         self.record("exchange", slot as u32, v);
                         out.push((v, d));
                     }
                 }
                 *msgs = out;
             }
-            FaultModel::ReorderedMessage if msgs.len() >= 2 && self.fires() => {
+            FaultModel::ReorderedMessage
+                if msgs.len() >= 2 && self.targeted("exchange", None) && self.fires() =>
+            {
                 // Deterministic Fisher–Yates off the plan stream.
                 for i in (1..msgs.len()).rev() {
                     let j = (self.next_u64() % (i as u64 + 1)) as usize;
@@ -409,6 +537,96 @@ mod tests {
         let mut sorted = shuffled.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, batch, "reordering must not lose or invent messages");
+    }
+
+    #[test]
+    fn target_pins_site_and_index() {
+        let t = FaultTarget { site: Some("dist"), index: Some((10, 20)), ..FaultTarget::ANY };
+        let mut p = FaultPlan::new(FaultSpec::new(FaultModel::BitFlip, 1.0, 5).with_target(t));
+        assert_eq!(p.on_load("pending", 0, 15, 1), None, "wrong site must not fire");
+        assert_eq!(p.on_load("dist", 0, 9, 1), None, "below the index window");
+        assert!(p.on_load("dist", 0, 10, 1).is_some());
+        assert!(p.on_load("dist", 0, 20, 1).is_some());
+        assert_eq!(p.on_load("dist", 0, 21, 1), None, "above the index window");
+        for e in p.log() {
+            assert_eq!(e.site, "dist");
+            assert!((10..=20).contains(&e.index));
+        }
+    }
+
+    #[test]
+    fn target_wave_window_gates_fires() {
+        let arena = Arena::new();
+        let t = FaultTarget { wave: Some((2, 2)), ..FaultTarget::ANY };
+        let mut p =
+            FaultPlan::new(FaultSpec::new(FaultModel::DroppedAtomicMin, 1.0, 5).with_target(t));
+        p.on_kernel_start(&arena, 0); // wave 1
+        assert_eq!(p.on_atomic_min("dist", 0), AtomicMinFault::None);
+        p.on_kernel_start(&arena, 0); // wave 2
+        assert_eq!(p.on_atomic_min("dist", 0), AtomicMinFault::Drop);
+        p.on_kernel_start(&arena, 0); // wave 3
+        assert_eq!(p.on_atomic_min("dist", 0), AtomicMinFault::None);
+        assert_eq!(p.injections(), 1);
+    }
+
+    #[test]
+    fn target_stream_pin_gates_fires() {
+        let arena = Arena::new();
+        let t = FaultTarget { stream: Some(1), ..FaultTarget::ANY };
+        let mut p =
+            FaultPlan::new(FaultSpec::new(FaultModel::DroppedAtomicMin, 1.0, 5).with_target(t));
+        p.on_kernel_start(&arena, 0);
+        assert_eq!(p.on_atomic_min("dist", 0), AtomicMinFault::None);
+        p.on_kernel_start(&arena, 1);
+        assert_eq!(p.on_atomic_min("dist", 0), AtomicMinFault::Drop);
+    }
+
+    #[test]
+    fn child_launch_ignores_index_pin() {
+        // A target with an index window still lets child launches fire
+        // (launches have no word index), but a site pin applies.
+        let t = FaultTarget { site: Some("relax"), index: Some((0, 0)), ..FaultTarget::ANY };
+        let mut p =
+            FaultPlan::new(FaultSpec::new(FaultModel::FailedChildLaunch, 1.0, 5).with_target(t));
+        assert!(!p.on_child_launch("other", 32));
+        assert!(p.on_child_launch("relax", 32));
+    }
+
+    #[test]
+    fn injection_cap_silences_the_plan() {
+        let mut p = FaultPlan::new(FaultSpec::new(FaultModel::BitFlip, 1.0, 3).with_cap(5));
+        let mut fired = 0;
+        for i in 0..1000 {
+            if p.on_load("dist", 0, i, 42).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 5);
+        assert_eq!(p.injections(), 5);
+        // Uncapped, the same spec fires on every opportunity.
+        let mut q = FaultPlan::new(FaultSpec::new(FaultModel::BitFlip, 1.0, 3));
+        let all = (0..1000).filter(|&i| q.on_load("dist", 0, i, 42).is_some()).count();
+        assert_eq!(all, 1000);
+    }
+
+    #[test]
+    fn any_target_is_equivalent_to_none() {
+        let run = |target: Option<FaultTarget>| {
+            let mut spec = FaultSpec::new(FaultModel::BitFlip, 0.3, 11);
+            spec.target = target;
+            let mut p = FaultPlan::new(spec);
+            let vals: Vec<Option<u32>> = (0..200).map(|i| p.on_load("d", 0, i, i * 3)).collect();
+            (vals, p.log().to_vec())
+        };
+        assert_eq!(run(None), run(Some(FaultTarget::ANY)));
+    }
+
+    #[test]
+    fn target_display_formats() {
+        let t =
+            FaultTarget { site: Some("dist"), index: Some((3, 9)), wave: None, stream: Some(2) };
+        assert_eq!(t.to_string(), "site=dist idx=3..=9 wave=* stream=2");
+        assert_eq!(FaultTarget::ANY.to_string(), "site=* idx=* wave=* stream=*");
     }
 
     #[test]

@@ -368,7 +368,7 @@ impl Device {
             return;
         }
         if let Some(plan) = self.fault.as_mut() {
-            plan.on_kernel_start(&self.arena);
+            plan.on_kernel_start(&self.arena, self.current_stream);
         }
         if let Some(san) = self.san.as_deref_mut() {
             san.set_stream(self.current_stream);
@@ -382,12 +382,15 @@ impl Device {
         let num_sms = self.config.num_sms as usize;
         let mut sm_cycles = vec![0u64; num_sms];
         let warps = lanes.div_ceil(WARP_SIZE as u64);
-        let mut traces: Vec<LaneTrace> = Vec::with_capacity(WARP_SIZE as usize);
-        for w in 0..warps {
-            traces.clear();
-            let base = w * WARP_SIZE as u64;
-            let end = (base + WARP_SIZE as u64).min(lanes);
-            for lane_idx in base..end {
+        if let Some(order) = self.sched.as_mut().map(|s| s.permutation(lanes)) {
+            // Schedule fuzzing: run every lane of the wave in the
+            // permuted order (each keeps its original tid/gang_rank,
+            // so only the interleaving of memory effects changes),
+            // then replay the timing model over the original warp
+            // grouping — functional execution touches only the arena,
+            // the replay only caches/counters, so the two decouple.
+            let mut all_traces: Vec<LaneTrace> = (0..lanes).map(|_| LaneTrace::default()).collect();
+            for &lane_idx in &order {
                 let mut lane = Lane {
                     arena: &mut self.arena,
                     children: &mut self.pending_children,
@@ -400,11 +403,47 @@ impl Device {
                     gang_size,
                 };
                 body(&mut lane);
-                traces.push(lane.trace);
+                all_traces[lane_idx as usize] = lane.trace;
             }
-            let sm = (w % num_sms as u64) as usize;
-            let out = replay_warp(&self.config, &mut self.caches, &mut self.counters, sm, &traces);
-            sm_cycles[sm] += out.cycles;
+            for w in 0..warps {
+                let base = (w * WARP_SIZE as u64) as usize;
+                let end = ((w + 1) * WARP_SIZE as u64).min(lanes) as usize;
+                let sm = (w % num_sms as u64) as usize;
+                let out = replay_warp(
+                    &self.config,
+                    &mut self.caches,
+                    &mut self.counters,
+                    sm,
+                    &all_traces[base..end],
+                );
+                sm_cycles[sm] += out.cycles;
+            }
+        } else {
+            let mut traces: Vec<LaneTrace> = Vec::with_capacity(WARP_SIZE as usize);
+            for w in 0..warps {
+                traces.clear();
+                let base = w * WARP_SIZE as u64;
+                let end = (base + WARP_SIZE as u64).min(lanes);
+                for lane_idx in base..end {
+                    let mut lane = Lane {
+                        arena: &mut self.arena,
+                        children: &mut self.pending_children,
+                        traffic: &mut self.buffer_traffic,
+                        fault: self.fault.as_mut(),
+                        san: self.san.as_deref_mut(),
+                        trace: LaneTrace::default(),
+                        tid: lane_idx / gang_size as u64,
+                        gang_rank: (lane_idx % gang_size as u64) as u32,
+                        gang_size,
+                    };
+                    body(&mut lane);
+                    traces.push(lane.trace);
+                }
+                let sm = (w % num_sms as u64) as usize;
+                let out =
+                    replay_warp(&self.config, &mut self.caches, &mut self.counters, sm, &traces);
+                sm_cycles[sm] += out.cycles;
+            }
         }
         if snapshot {
             self.arena.end_snapshot();
@@ -749,6 +788,94 @@ mod tests {
             (d.counters().clone(), d.elapsed_ms(), d.read(out).to_vec())
         };
         assert_eq!(run(false), run(true), "arming must not perturb timing or results");
+    }
+
+    #[test]
+    fn schedule_fuzz_is_invisible_to_order_insensitive_kernels() {
+        // Atomics commute, and each lane's plain store hits its own
+        // word: any lane interleaving yields the same memory state and
+        // the same replayed timing (warp grouping is preserved).
+        let run = |seed: Option<u64>| {
+            let mut d = tiny();
+            if let Some(seed) = seed {
+                d.arm_schedule_fuzz(seed);
+            }
+            let x = d.alloc_upload("x", &[u32::MAX, 0]);
+            let out = d.alloc("out", 64);
+            d.launch("k", 64, |lane| {
+                let i = lane.tid() as u32;
+                lane.atomic_min(x, 0, 1000 - i);
+                lane.atomic_add(x, 1, 1);
+                lane.st(out, i, i * 2);
+            });
+            (d.counters().clone(), d.elapsed_ms(), d.read(x).to_vec(), d.read(out).to_vec())
+        };
+        let base = run(None);
+        assert_eq!(base, run(Some(7)));
+        assert_eq!(base, run(Some(8)));
+    }
+
+    #[test]
+    fn schedule_fuzz_exposes_order_dependent_results() {
+        // Last-writer-wins on one shared word: the fixed ascending
+        // order always ends on lane 63, but that answer is a schedule
+        // artifact — permuted orders surface different winners, and
+        // the sanitizer flags the underlying write-write race.
+        let winner = |seed: Option<u64>| {
+            let mut d = tiny();
+            d.arm_sanitizer(crate::san::SanConfig::default());
+            if let Some(seed) = seed {
+                d.arm_schedule_fuzz(seed);
+            }
+            let x = d.alloc_upload("x", &[0]);
+            d.launch("racy", 64, |lane| {
+                lane.st(x, 0, lane.tid() as u32 + 1);
+            });
+            let caught =
+                d.san_violations().iter().any(|v| v.check == crate::san::SanCheck::WriteWriteRace);
+            (d.read_word(x, 0), caught)
+        };
+        let (base, base_caught) = winner(None);
+        assert_eq!(base, 64, "ascending order: lane 63 writes last");
+        assert!(base_caught);
+        let mut diverged = false;
+        for seed in 1..=8 {
+            let (w, caught) = winner(Some(seed));
+            assert!(caught, "sanitizer must keep catching the race under permutation");
+            assert_eq!(winner(Some(seed)).0, w, "same seed, same interleaving");
+            diverged |= w != base;
+        }
+        assert!(diverged, "some permutation must pick a different last writer");
+    }
+
+    #[test]
+    fn upload_staged_carries_host_poison_to_device() {
+        use crate::buffer::HostStaging;
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let mut st = HostStaging::new("staged", 4);
+        st.write(0, 10);
+        st.write(1, 11);
+        st.write(3, 13); // word 2 never written host-side
+        let b = d.upload_staged(&st);
+        let out = d.alloc("out", 4);
+        d.launch("copy", 4, |lane| {
+            let i = lane.tid() as u32;
+            let v = lane.ld(b, i);
+            lane.st(out, i, v);
+        });
+        let v = d.san_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].check, crate::san::SanCheck::UninitRead);
+        assert_eq!(v[0].buffer, "staged");
+        assert_eq!(v[0].index, 2);
+        // A fully written staging buffer uploads clean.
+        let full = d.upload_staged(&HostStaging::from_slice("full", &[1, 2]));
+        d.launch("read", 2, |lane| {
+            let i = lane.tid() as u32;
+            lane.ld(full, i);
+        });
+        assert_eq!(d.san_total(), 1);
     }
 
     #[test]

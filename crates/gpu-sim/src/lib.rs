@@ -79,15 +79,17 @@ pub mod fault;
 pub mod kernel;
 pub mod replay;
 pub mod san;
+pub mod sched;
 pub mod stream;
 pub mod trace;
 
-pub use buffer::Buf;
+pub use buffer::{Buf, HostStaging};
 pub use counters::{Counters, KernelReport};
 pub use device::{Device, DeviceConfig};
-pub use fault::{FaultEvent, FaultModel, FaultPlan, FaultSpec};
+pub use fault::{FaultEvent, FaultModel, FaultPlan, FaultSpec, FaultTarget};
 pub use kernel::{Lane, WaveSession};
-pub use san::{SanCheck, SanConfig, SanViolation};
+pub use san::{AccessProfile, SanCheck, SanConfig, SanViolation, WordStats};
+pub use sched::SchedPlan;
 pub use stream::StreamSet;
 
 /// Threads per warp, fixed at 32 like every NVIDIA architecture.

@@ -156,6 +156,170 @@ struct AccessRec {
     plain_load: Option<Accessor>,
 }
 
+/// Lifetime access statistics for one word, accumulated across the
+/// whole armed session (unlike the race-window map, never cleared at
+/// window close).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WordStats {
+    pub loads: u64,
+    pub stores: u64,
+    pub atomics: u64,
+    /// First `(wave, lane)` to touch the word, for shared detection.
+    first: Option<(u64, u64)>,
+    shared: bool,
+}
+
+impl WordStats {
+    /// Whether more than one logical thread (distinct `(wave, lane)`)
+    /// touched the word.
+    pub fn shared(&self) -> bool {
+        self.shared
+    }
+
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.atomics
+    }
+
+    fn touch(&mut self, wave: u64, lane: u64) {
+        match self.first {
+            None => self.first = Some((wave, lane)),
+            Some(f) if f != (wave, lane) => self.shared = true,
+            Some(_) => {}
+        }
+    }
+}
+
+/// What the sanitizer learned about a run's memory behaviour: per-word
+/// access counts and sharing, plus per-kernel wave windows. This is
+/// the evidence the adversarial placement search scouts for — the
+/// hottest contended words are where a mistimed fault is most likely
+/// to slip past detection. Keyed by `(buffer label, word index)` in a
+/// `BTreeMap` so iteration (and everything derived from it) is
+/// deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct AccessProfile {
+    words: BTreeMap<(&'static str, u32), WordStats>,
+    /// Per-kernel `(first wave, last wave)` windows, in wave numbers.
+    kernels: BTreeMap<&'static str, (u64, u64)>,
+    waves: u64,
+}
+
+impl AccessProfile {
+    fn begin_wave(&mut self, kernel: &'static str, wave: u64) {
+        self.waves = self.waves.max(wave);
+        self.kernels.entry(kernel).and_modify(|(_, last)| *last = wave).or_insert((wave, wave));
+    }
+
+    fn stats(&mut self, buffer: &'static str, index: u32, wave: u64, lane: u64) -> &mut WordStats {
+        let s = self.words.entry((buffer, index)).or_default();
+        s.touch(wave, lane);
+        s
+    }
+
+    /// Total waves observed.
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Distinct words touched.
+    pub fn words_touched(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `(first wave, last wave)` window of a kernel, if it ran.
+    pub fn kernel_window(&self, kernel: &str) -> Option<(u64, u64)> {
+        self.kernels.get(kernel).copied()
+    }
+
+    /// Every kernel's wave window, in kernel-name order.
+    pub fn kernel_windows(&self) -> Vec<(&'static str, u64, u64)> {
+        self.kernels.iter().map(|(&k, &(a, b))| (k, a, b)).collect()
+    }
+
+    /// Stats for one word, if touched.
+    pub fn word(&self, buffer: &'static str, index: u32) -> Option<WordStats> {
+        self.words.get(&(buffer, index)).copied()
+    }
+
+    /// The top `k` *contended* words — touched by multiple logical
+    /// threads with at least one atomic — ranked by atomic count, then
+    /// total traffic (ties broken by key, so the ranking is
+    /// deterministic). These are the shared-queue / distance hot words
+    /// where the paper's async hot path concentrates.
+    pub fn hottest_contended(&self, k: usize) -> Vec<(&'static str, u32, WordStats)> {
+        let mut rows: Vec<(&'static str, u32, WordStats)> = self
+            .words
+            .iter()
+            .filter(|(_, s)| s.shared && s.atomics > 0)
+            .map(|(&(b, i), &s)| (b, i, s))
+            .collect();
+        rows.sort_by(|a, b| {
+            (b.2.atomics, b.2.total())
+                .cmp(&(a.2.atomics, a.2.total()))
+                .then(a.0.cmp(b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        rows.truncate(k);
+        rows
+    }
+
+    /// Words that mix atomic and plain traffic — the atomic-vs-plain
+    /// overlap sites where dropped or duplicated atomics interact with
+    /// snapshot visibility. Ranked like
+    /// [`AccessProfile::hottest_contended`].
+    pub fn overlap_sites(&self, k: usize) -> Vec<(&'static str, u32, WordStats)> {
+        let mut rows: Vec<(&'static str, u32, WordStats)> = self
+            .words
+            .iter()
+            .filter(|(_, s)| s.atomics > 0 && s.loads + s.stores > 0)
+            .map(|(&(b, i), &s)| (b, i, s))
+            .collect();
+        rows.sort_by(|a, b| {
+            (b.2.atomics, b.2.total())
+                .cmp(&(a.2.atomics, a.2.total()))
+                .then(a.0.cmp(b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        rows.truncate(k);
+        rows
+    }
+
+    /// The top `k` most-*loaded* buffers, load counts summed across
+    /// all their words — the read-hot data (e.g. CSR topology arrays)
+    /// whose corruption hits every consumer downstream. Per-word
+    /// rankings drown wide read-mostly arrays behind a few hot
+    /// contended words; aggregating by buffer surfaces them.
+    pub fn hottest_buffers(&self, k: usize) -> Vec<(&'static str, u64)> {
+        let mut by_buf: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (&(b, _), s) in &self.words {
+            if s.loads > 0 {
+                *by_buf.entry(b).or_insert(0) += s.loads;
+            }
+        }
+        let mut rows: Vec<(&'static str, u64)> = by_buf.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows.truncate(k);
+        rows
+    }
+
+    /// The top `k` most-*loaded* words regardless of sharing — the
+    /// read-hot data (e.g. CSR topology arrays) whose corruption hits
+    /// every consumer downstream. Ranked by load count, then total
+    /// traffic, ties broken by key.
+    pub fn hottest_loaded(&self, k: usize) -> Vec<(&'static str, u32, WordStats)> {
+        let mut rows: Vec<(&'static str, u32, WordStats)> =
+            self.words.iter().filter(|(_, s)| s.loads > 0).map(|(&(b, i), &s)| (b, i, s)).collect();
+        rows.sort_by(|a, b| {
+            (b.2.loads, b.2.total())
+                .cmp(&(a.2.loads, a.2.total()))
+                .then(a.0.cmp(b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        rows.truncate(k);
+        rows
+    }
+}
+
 /// Armed sanitizer state, owned by the device.
 pub struct SanState {
     config: SanConfig,
@@ -171,6 +335,8 @@ pub struct SanState {
     snapshot: bool,
     /// Command stream the current wave was issued on (attribution).
     stream: u32,
+    /// Lifetime access profile (never window-cleared).
+    profile: AccessProfile,
 }
 
 impl SanState {
@@ -186,6 +352,7 @@ impl SanState {
             kernel: "",
             snapshot: false,
             stream: 0,
+            profile: AccessProfile::default(),
         }
     }
 
@@ -206,6 +373,11 @@ impl SanState {
     /// Total violations including any beyond the cap.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// The lifetime access profile accumulated while armed.
+    pub fn profile(&self) -> &AccessProfile {
+        &self.profile
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -246,6 +418,7 @@ impl SanState {
         self.wave += 1;
         self.kernel = kernel;
         self.snapshot = snapshot;
+        self.profile.begin_wave(kernel, self.wave);
         if snapshot {
             self.access.clear();
         }
@@ -336,6 +509,7 @@ impl SanState {
         index: u32,
         poisoned: bool,
     ) {
+        self.profile.stats(buffer, index, self.wave, lane).loads += 1;
         let who = self.here(lane, gang);
         if self.config.uninit && poisoned {
             self.uninit(buffer, index, addr, who, "plain load");
@@ -383,6 +557,7 @@ impl SanState {
         index: u32,
         poisoned: bool,
     ) {
+        self.profile.stats(buffer, index, self.wave, lane).loads += 1;
         if self.config.uninit && poisoned {
             let who = self.here(lane, gang);
             self.uninit(buffer, index, addr, who, "volatile load");
@@ -398,6 +573,7 @@ impl SanState {
         buffer: &'static str,
         index: u32,
     ) {
+        self.profile.stats(buffer, index, self.wave, lane).stores += 1;
         if !self.config.races {
             return;
         }
@@ -475,6 +651,7 @@ impl SanState {
         index: u32,
         poisoned: bool,
     ) {
+        self.profile.stats(buffer, index, self.wave, lane).atomics += 1;
         let who = self.here(lane, gang);
         if self.config.uninit && poisoned {
             self.uninit(buffer, index, addr, who, "atomic read-modify-write");
@@ -686,6 +863,69 @@ mod tests {
         s.end_wave();
         assert_eq!(s.total(), 2);
         assert_eq!(s.violations().len(), 1);
+    }
+
+    #[test]
+    fn profile_accumulates_across_windows() {
+        let mut s = state();
+        s.begin_wave("relax", false);
+        s.on_atomic(64, 0, 0, "dist", 0, false);
+        s.on_atomic(64, 1, 1, "dist", 0, false);
+        s.on_plain_load(68, 0, 0, "dist", 1, false);
+        s.end_wave();
+        s.on_barrier(); // closes the race window, NOT the profile
+        s.begin_wave("relax", false);
+        s.on_atomic(64, 2, 2, "dist", 0, false);
+        s.on_store(128, 0, 0, "pending", 0);
+        s.end_wave();
+        let p = s.profile();
+        assert_eq!(p.waves(), 2);
+        assert_eq!(p.kernel_window("relax"), Some((1, 2)));
+        let hot = p.word("dist", 0).unwrap();
+        assert_eq!(hot.atomics, 3);
+        assert!(hot.shared());
+        let solo = p.word("pending", 0).unwrap();
+        assert_eq!(solo.stores, 1);
+        assert!(!solo.shared(), "one logical thread only");
+    }
+
+    #[test]
+    fn profile_ranks_contended_and_overlap_sites() {
+        let mut s = state();
+        s.begin_wave("k", false);
+        // dist[0]: 3 atomics from distinct lanes (hot + contended).
+        for lane in 0..3 {
+            s.on_atomic(64, lane, lane, "dist", 0, false);
+        }
+        // dist[1]: 1 atomic + 1 plain load (overlap, less hot).
+        s.on_atomic(68, 0, 0, "dist", 1, false);
+        s.on_plain_load(68, 1, 1, "dist", 1, false);
+        // pending[0]: plain traffic only — in neither ranking.
+        s.on_store(128, 0, 0, "pending", 0);
+        s.end_wave();
+        let p = s.profile();
+        let contended = p.hottest_contended(10);
+        assert_eq!(contended[0].0, "dist");
+        assert_eq!(contended[0].1, 0);
+        assert!(contended.iter().all(|&(b, i, _)| !(b == "pending" && i == 0)));
+        let overlap = p.overlap_sites(10);
+        assert!(overlap.iter().any(|&(b, i, _)| b == "dist" && i == 1));
+        assert!(overlap.iter().all(|&(b, _, _)| b != "pending"));
+    }
+
+    #[test]
+    fn profile_ranking_is_deterministic() {
+        let build = || {
+            let mut s = state();
+            s.begin_wave("k", false);
+            for w in 0..8u32 {
+                s.on_atomic(64 + u64::from(w) * 4, 0, 0, "dist", w, false);
+                s.on_atomic(64 + u64::from(w) * 4, 1, 1, "dist", w, false);
+            }
+            s.end_wave();
+            s.profile().hottest_contended(8)
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -194,6 +194,9 @@ fn main() {
     if std::env::args().nth(1).as_deref() == Some("serve") {
         serve_main(std::env::args().skip(2).collect());
     }
+    if std::env::args().nth(1).as_deref() == Some("fuzz-schedules") {
+        fuzz_main(std::env::args().skip(2).collect());
+    }
     if std::env::args().nth(1).as_deref() == Some("sanitize") {
         sanitize_main(std::env::args().skip(2).collect());
     }
@@ -913,6 +916,15 @@ the same fault schedules byte for byte.
   --reports           print the recovery report for every cell, not just
                       the cells where a detector fired
 
+adversarial mode (replaces the uniform sweep with a placement search):
+  --adversarial       scout each entry's sanitizer access profile, then
+                      search fault placements for the deepest recovery
+                      rung at a fixed injection budget, racing an
+                      equal-budget uniform baseline
+  --budget N          injections per (entry, graph) per arm (default 64)
+  --evals N           candidate evaluations per arm (default 12)
+  --corpus-out FILE   write the replayable worst-case corpus to FILE
+
 fault models:
   {models}
 
@@ -925,8 +937,25 @@ entry points:
     exit(2)
 }
 
+/// A `--model` filter that matches no fault model is a typo, not an
+/// empty sweep: name the valid models and bail before running anything.
+fn check_model_filter(filter: &Option<String>) {
+    if let Some(f) = filter {
+        if !rdbs::sim::FaultModel::ALL.iter().any(|m| m.name().contains(f.as_str())) {
+            eprintln!(
+                "error: unknown fault model '{f}' — valid models: {}",
+                rdbs::sim::FaultModel::ALL.map(|m| m.name()).join(" ")
+            );
+            exit(2);
+        }
+    }
+}
+
 fn chaos_main(args: Vec<String>) -> ! {
     use rdbs::conformance as conf;
+    if args.iter().any(|a| a == "--adversarial") {
+        adversary_main(args);
+    }
     let mut o = conf::ChaosOptions::default();
     let mut show_all_reports = false;
     let mut it = args.into_iter();
@@ -944,6 +973,7 @@ fn chaos_main(args: Vec<String>) -> ! {
             _ => chaos_usage(),
         }
     }
+    check_model_filter(&o.model_filter);
 
     // Faulted attempts are allowed to panic (the recovery layer
     // catches them and that is a graded outcome, not noise) — keep the
@@ -997,6 +1027,172 @@ fn chaos_main(args: Vec<String>) -> ! {
             c.entry_id, c.model, c.graph, c.source, c.seed, c.rate, c.verdict
         );
     }
+    exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// `rdbs-cli chaos --adversarial` — the budgeted placement search.
+// ---------------------------------------------------------------------------
+
+fn adversary_main(args: Vec<String>) -> ! {
+    use rdbs::conformance as conf;
+    let mut o = conf::AdversaryOptions::default();
+    let mut model_filter: Option<String> = None;
+    let mut corpus_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| chaos_usage());
+        match flag.as_str() {
+            "--adversarial" => {}
+            "--quick" => o.quick = true,
+            "--model" => model_filter = Some(val()),
+            "--entry" => o.entry_filter = Some(val()),
+            "--graph" => o.graph_filter = Some(val()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| chaos_usage()),
+            "--budget" => o.budget = val().parse().unwrap_or_else(|_| chaos_usage()),
+            "--evals" => o.max_evals = val().parse().unwrap_or_else(|_| chaos_usage()),
+            "--corpus-out" => corpus_out = Some(val()),
+            "--help" | "-h" => chaos_usage(),
+            _ => chaos_usage(),
+        }
+    }
+    // The search picks its own models from the scouted profile; a
+    // `--model` filter still gets the typo check so `chaos --model nope
+    // --adversarial` fails the same way the uniform sweep does.
+    check_model_filter(&model_filter);
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = conf::run_adversary(&o, |run| {
+        println!(
+            "  {:<14} {:<14} source {:<6} {} waves, {} targets — targeted {} ({}), \
+             uniform {} ({}){}",
+            run.entry_id,
+            run.graph,
+            run.source,
+            run.waves,
+            run.pool_size,
+            run.best_targeted,
+            conf::depth_label(run.best_targeted),
+            run.best_uniform,
+            conf::depth_label(run.best_uniform),
+            if run.silent_wrong > 0 { "  SILENT WRONG" } else { "" }
+        );
+    });
+    std::panic::set_hook(prev_hook);
+
+    if report.runs.is_empty() {
+        eprintln!("error: the filters matched no (entry, graph) cells — nothing was searched");
+        exit(2);
+    }
+    let corpus = conf::corpus_lines(&report);
+    if let Some(path) = corpus_out {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::fs::write(&path, &corpus).unwrap_or_else(|e| {
+            eprintln!("cannot write corpus to {path}: {e}");
+            exit(1)
+        });
+        println!("adversary: corpus written to {path}");
+    } else {
+        print!("{corpus}");
+    }
+    let deepest = report.runs.iter().map(|r| r.best_targeted).max().unwrap_or(0);
+    println!(
+        "adversary: {} cells searched at budget {} — deepest rung {} ({}), targeted beat \
+         uniform on {} cell(s)",
+        report.runs.len(),
+        o.budget,
+        deepest,
+        conf::depth_label(deepest),
+        report.runs.iter().filter(|r| r.best_targeted > r.best_uniform).count()
+    );
+    if report.is_green() {
+        println!("adversary: OK — no silent wrong answers under targeted placement");
+        exit(0);
+    }
+    eprintln!("adversary: FAIL — a placement produced a silently wrong answer");
+    exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// `rdbs-cli fuzz-schedules` — seeded lane-permutation fuzzing.
+// ---------------------------------------------------------------------------
+
+fn fuzz_usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli fuzz-schedules [options]
+
+Re-execute every GPU chaos entry under seeded lane/wave interleaving
+permutations with the memory-model sanitizer armed, checking each
+permuted run against the Dijkstra oracle. A planted-race specimen is
+re-checked under every permutation seed to prove the detector stays
+alive when the schedule shifts. Exits non-zero if any permuted run is
+wrong, races, or the specimen goes undetected. Deterministic in
+(--seed, --perms).
+
+  --quick             reduced sweep (quick entries x quick families)
+  --entry SUBSTR      only entry points whose id contains SUBSTR
+  --perms N           permutation seeds per (entry, graph) (default 32)
+  --seed N            base seed the permutations derive from (default 1)",
+    );
+    exit(2)
+}
+
+fn fuzz_main(args: Vec<String>) -> ! {
+    use rdbs::conformance as conf;
+    let mut o = conf::FuzzOptions::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| fuzz_usage());
+        match flag.as_str() {
+            "--quick" => o.quick = true,
+            "--entry" => o.entry_filter = Some(val()),
+            "--perms" => o.perms = val().parse().unwrap_or_else(|_| fuzz_usage()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| fuzz_usage()),
+            "--help" | "-h" => fuzz_usage(),
+            _ => fuzz_usage(),
+        }
+    }
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = conf::fuzz_schedules(&o, |cell| {
+        if !cell.is_clean() {
+            println!(
+                "  {:<14} {:<14} perm {:<20} correct={} violations={} panic={:?}",
+                cell.entry_id,
+                cell.graph,
+                cell.perm_seed,
+                cell.correct,
+                cell.violations,
+                cell.panic
+            );
+        }
+    });
+    std::panic::set_hook(prev_hook);
+
+    if report.cells.is_empty() {
+        eprintln!("error: the filters matched no (entry, graph) cells — nothing was fuzzed");
+        exit(2);
+    }
+    println!(
+        "fuzz-schedules: {} permuted runs, specimen {}",
+        report.cells.len(),
+        if report.specimen_alive { "alive under every permutation" } else { "LOST" }
+    );
+    if report.is_green() {
+        println!("fuzz-schedules: OK — every permuted schedule correct, race-free");
+        exit(0);
+    }
+    let dirty = report.dirty_cells().count();
+    eprintln!(
+        "fuzz-schedules: FAIL — {dirty} dirty permuted run(s){}",
+        if report.specimen_alive { "" } else { "; sanitizer went blind under permutation" }
+    );
     exit(1)
 }
 

@@ -65,6 +65,63 @@ fn rejects_unknown_flags_and_missing_input() {
 }
 
 #[test]
+fn chaos_rejects_unknown_fault_model_and_names_the_valid_ones() {
+    let out = cli().args(["chaos", "--model", "nope"]).output().unwrap();
+    assert!(!out.status.success(), "an unknown fault model must not run a sweep");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown fault model 'nope'"), "stderr: {stderr}");
+    for name in ["bit-flip", "dropped-atomic", "stale-read", "failed-child-launch"] {
+        assert!(stderr.contains(name), "valid model '{name}' missing from: {stderr}");
+    }
+    // The adversarial mode shares the typo check.
+    let out = cli().args(["chaos", "--adversarial", "--model", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault model"));
+}
+
+#[test]
+fn chaos_adversarial_writes_a_replayable_corpus() {
+    let dir = std::env::temp_dir().join("rdbs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.txt");
+    let out = cli()
+        .args([
+            "chaos",
+            "--adversarial",
+            "--quick",
+            "--entry",
+            "gpu/refault",
+            "--graph",
+            "erdos",
+            "--seed",
+            "3",
+            "--budget",
+            "32",
+            "--corpus-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("cli must run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no silent wrong answers"), "stdout: {stdout}");
+    let corpus = std::fs::read_to_string(&path).unwrap();
+    assert!(corpus.contains("entry=gpu/refault"), "corpus: {corpus}");
+    assert!(corpus.contains("cap="), "corpus lines must record the injection cap: {corpus}");
+}
+
+#[test]
+fn fuzz_schedules_quick_run_is_green() {
+    let out = cli()
+        .args(["fuzz-schedules", "--quick", "--entry", "gpu/full", "--perms", "2"])
+        .output()
+        .expect("cli must run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("specimen alive"), "stdout: {stdout}");
+}
+
+#[test]
 fn t4_device_and_seed_flags() {
     let out = cli()
         .args(["--gen", "erdos:500:2000", "--algo", "adds", "--device", "T4", "--seed", "7"])
