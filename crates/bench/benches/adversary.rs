@@ -31,6 +31,7 @@ fn measure_search(name: &'static str, budget: u64, max_evals: u32) -> Row {
         max_evals,
         seed: 3,
         corpus_keep: 4,
+        frontier: None,
     };
     let mut host_ms = Vec::with_capacity(REPS);
     let mut report = None;
@@ -58,7 +59,13 @@ fn measure_search(name: &'static str, budget: u64, max_evals: u32) -> Row {
 }
 
 fn measure_fuzz(name: &'static str, perms: u32) -> Row {
-    let opts = FuzzOptions { quick: true, entry_filter: Some("gpu/".into()), perms, seed: 1 };
+    let opts = FuzzOptions {
+        quick: true,
+        entry_filter: Some("gpu/".into()),
+        perms,
+        seed: 1,
+        frontier: None,
+    };
     let mut host_ms = Vec::with_capacity(REPS);
     let mut report = None;
     for _ in 0..REPS {

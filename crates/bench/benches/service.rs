@@ -44,6 +44,7 @@ fn bench_batch_vs_one_shot(c: &mut Criterion) {
                 device: device(),
                 delta0: None,
                 streams: 1,
+                queue_capacity: None,
             };
             let mut svc = SsspService::new(&g, config);
             svc.batch(&srcs).iter().map(|r| r.dist[7]).sum::<u32>()

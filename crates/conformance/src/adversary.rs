@@ -45,7 +45,7 @@
 
 use crate::chaos::{self, default_rate, CellVerdict, ChaosEntry};
 use crate::graphs::{self, GraphCase};
-use rdbs_core::gpu::run_gpu_on;
+use rdbs_core::gpu::{run_gpu_on, FrontierKind};
 use rdbs_core::recover::{RecoveryOutcome, RecoveryReport, RecoveryStep};
 use rdbs_core::seq::dijkstra;
 use rdbs_core::validate::check_against;
@@ -365,6 +365,9 @@ pub struct AdversaryOptions {
     pub seed: u64,
     /// Corpus entries kept per `(entry, graph)`.
     pub corpus_keep: usize,
+    /// Attack every RDBS-backed entry on this frontier layout
+    /// (`--frontier`); `None` keeps each entry's own.
+    pub frontier: Option<FrontierKind>,
 }
 
 impl Default for AdversaryOptions {
@@ -377,6 +380,7 @@ impl Default for AdversaryOptions {
             max_evals: 12,
             seed: 1,
             corpus_keep: 4,
+            frontier: None,
         }
     }
 }
@@ -562,6 +566,10 @@ pub fn run_adversary(
         if opts.quick { chaos::quick_chaos_entries() } else { chaos::chaos_entries() }
             .into_iter()
             .filter(|e| substring(&opts.entry_filter, e.id))
+            .map(|e| match opts.frontier {
+                Some(kind) => e.with_frontier(kind),
+                None => e,
+            })
             .collect();
     let families: Vec<GraphCase> =
         if opts.quick { graphs::quick_families() } else { graphs::families() }
@@ -738,11 +746,14 @@ pub struct FuzzOptions {
     pub perms: u32,
     /// Base seed the permutation seeds derive from.
     pub seed: u64,
+    /// Fuzz every RDBS-backed entry on this frontier layout
+    /// (`--frontier`); `None` keeps each entry's own.
+    pub frontier: Option<FrontierKind>,
 }
 
 impl Default for FuzzOptions {
     fn default() -> Self {
-        Self { quick: true, entry_filter: None, perms: 32, seed: 1 }
+        Self { quick: true, entry_filter: None, perms: 32, seed: 1, frontier: None }
     }
 }
 
@@ -812,6 +823,10 @@ pub fn fuzz_schedules(opts: &FuzzOptions, mut progress: impl FnMut(&FuzzCell)) -
         if opts.quick { chaos::quick_chaos_entries() } else { chaos::chaos_entries() }
             .into_iter()
             .filter(|e| substring(&opts.entry_filter, e.id) && e.scout_variant().is_some())
+            .map(|e| match opts.frontier {
+                Some(kind) => e.with_frontier(kind),
+                None => e,
+            })
             .collect();
     let families: Vec<GraphCase> =
         if opts.quick { graphs::quick_families() } else { graphs::families() };
@@ -877,6 +892,7 @@ mod tests {
             max_evals: 6,
             seed: 1,
             corpus_keep: 3,
+            frontier: None,
         }
     }
 
@@ -953,6 +969,7 @@ mod tests {
             max_evals: 12,
             seed: 3,
             corpus_keep: 4,
+            frontier: None,
         };
         let report = run_adversary(&opts, |_| {});
         assert!(report.is_green());
@@ -969,8 +986,13 @@ mod tests {
 
     #[test]
     fn schedule_fuzz_quick_sweep_is_clean_and_specimen_stays_alive() {
-        let opts =
-            FuzzOptions { quick: true, entry_filter: Some("gpu/full".into()), perms: 8, seed: 1 };
+        let opts = FuzzOptions {
+            quick: true,
+            entry_filter: Some("gpu/full".into()),
+            perms: 8,
+            seed: 1,
+            frontier: None,
+        };
         let report = fuzz_schedules(&opts, |_| {});
         assert!(!report.cells.is_empty());
         assert!(report.specimen_alive, "sanitizer went blind under permutation");

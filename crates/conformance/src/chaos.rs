@@ -25,7 +25,7 @@
 //! output — not fault-free luck — is what keeps that cell honest.
 
 use crate::graphs::{self, GraphCase};
-use rdbs_core::gpu::{MultiGpuConfig, RdbsConfig, Variant};
+use rdbs_core::gpu::{FrontierKind, MultiGpuConfig, RdbsConfig, Variant};
 use rdbs_core::recover::{
     run_gpu_recovered, run_gpu_recovered_refault, run_multi_recovered,
     run_service_concurrent_recovered, run_service_recovered, run_service_traffic_recovered,
@@ -44,6 +44,9 @@ pub struct ChaosEntry {
     /// Stable id used in reports and filters (e.g. `gpu/full`).
     pub id: &'static str,
     kind: EntryKind,
+    /// `--frontier` override: run every RDBS-backed surface of this
+    /// entry on this frontier layout instead of its registered one.
+    frontier: Option<FrontierKind>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +69,12 @@ enum EntryKind {
     /// shedding, and the graded answer is a cache replay — injections
     /// must never hide behind the answer cache or the shed path.
     ServiceTraffic,
+    /// The MLMQ spill path under fire: the service runs the scored
+    /// query on a deliberately under-provisioned multi-level frontier,
+    /// so hot-level overflow spills into the deferred level while
+    /// faults land. A faulted spill must never go silently wrong —
+    /// real loss surfaces as a counted host fallback, never a lie.
+    ServiceSpill,
 }
 
 impl ChaosEntry {
@@ -74,41 +83,64 @@ impl ChaosEntry {
         matches!(self.kind, EntryKind::MultiGpu(k) if k > 1)
     }
 
+    /// Run every RDBS-backed surface of this entry on `kind`'s
+    /// frontier layout (`--frontier`). The dedicated spill entry keeps
+    /// its own MLMQ layout — its id names the layout it exists to
+    /// exercise.
+    #[must_use]
+    pub fn with_frontier(mut self, kind: FrontierKind) -> Self {
+        if !matches!(self.kind, EntryKind::ServiceSpill) {
+            self.frontier = Some(kind);
+        }
+        self
+    }
+
+    fn apply_variant(&self, v: Variant) -> Variant {
+        match (self.frontier, v) {
+            (Some(kind), Variant::Rdbs(cfg)) => Variant::Rdbs(cfg.with_frontier(kind)),
+            (_, v) => v,
+        }
+    }
+
+    fn apply_service(&self, config: ServiceConfig) -> ServiceConfig {
+        match self.frontier {
+            Some(kind) => config.with_frontier(kind),
+            None => config,
+        }
+    }
+
     /// The single-device kernel variant this entry runs, when it has
     /// one — used by the adversarial scout to profile the entry's
     /// memory accesses under the sanitizer.
     pub(crate) fn scout_variant(&self) -> Option<Variant> {
-        match self.kind {
-            EntryKind::Gpu(v) | EntryKind::GpuRefault(v) => Some(v),
-            EntryKind::MultiGpu(_) => None,
+        let variant = match self.kind {
+            EntryKind::Gpu(v) | EntryKind::GpuRefault(v) => v,
+            EntryKind::MultiGpu(_) => return None,
             // Every service tier runs full RDBS on one device.
             EntryKind::Service | EntryKind::ServiceConcurrent | EntryKind::ServiceTraffic => {
-                Some(Variant::Rdbs(RdbsConfig::full()))
+                Variant::Rdbs(RdbsConfig::full())
             }
-        }
+            EntryKind::ServiceSpill => {
+                Variant::Rdbs(RdbsConfig::full().with_frontier(FrontierKind::Mlmq))
+            }
+        };
+        Some(self.apply_variant(variant))
     }
 }
 
 /// Every entry point the full chaos sweep covers.
 pub fn chaos_entries() -> Vec<ChaosEntry> {
+    let entry = |id, kind| ChaosEntry { id, kind, frontier: None };
     vec![
-        ChaosEntry { id: "gpu/full", kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::full())) },
-        ChaosEntry {
-            id: "gpu/sync-delta",
-            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::sync_delta())),
-        },
-        ChaosEntry {
-            id: "gpu/basyn",
-            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only())),
-        },
-        ChaosEntry {
-            id: "gpu/refault",
-            kind: EntryKind::GpuRefault(Variant::Rdbs(RdbsConfig::full())),
-        },
-        ChaosEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
-        ChaosEntry { id: "service/pooled", kind: EntryKind::Service },
-        ChaosEntry { id: "service/concurrent", kind: EntryKind::ServiceConcurrent },
-        ChaosEntry { id: "service/traffic", kind: EntryKind::ServiceTraffic },
+        entry("gpu/full", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::full()))),
+        entry("gpu/sync-delta", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::sync_delta()))),
+        entry("gpu/basyn", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only()))),
+        entry("gpu/refault", EntryKind::GpuRefault(Variant::Rdbs(RdbsConfig::full()))),
+        entry("multi-gpu/k2", EntryKind::MultiGpu(2)),
+        entry("service/pooled", EntryKind::Service),
+        entry("service/concurrent", EntryKind::ServiceConcurrent),
+        entry("service/traffic", EntryKind::ServiceTraffic),
+        entry("service/mlmq-spill", EntryKind::ServiceSpill),
     ]
 }
 
@@ -116,8 +148,9 @@ pub fn chaos_entries() -> Vec<ChaosEntry> {
 /// fault surface), the persistent-fault entry (recovery path under
 /// fire), the multi-GPU exchange (message models), the pooled service
 /// entry (buffer-reuse surface), the concurrent scheduler (faults
-/// under in-flight concurrency), and the traffic tier (faults behind
-/// the answer cache and the shedding path).
+/// under in-flight concurrency), the traffic tier (faults behind the
+/// answer cache and the shedding path), and the under-provisioned
+/// MLMQ frontier (faults landing on the cross-level spill path).
 pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
     chaos_entries()
         .into_iter()
@@ -130,6 +163,7 @@ pub fn quick_chaos_entries() -> Vec<ChaosEntry> {
                     | "service/pooled"
                     | "service/concurrent"
                     | "service/traffic"
+                    | "service/mlmq-spill"
             )
         })
         .collect()
@@ -169,6 +203,9 @@ pub struct ChaosOptions {
     /// Fault seeds to sweep; empty picks the defaults (`[1]` quick,
     /// `[1, 2]` full). A single explicit seed replays one schedule.
     pub seeds: Vec<u64>,
+    /// Run every RDBS-backed entry on this frontier layout
+    /// (`--frontier`); `None` keeps each entry's own.
+    pub frontier: Option<FrontierKind>,
 }
 
 impl ChaosOptions {
@@ -280,6 +317,21 @@ fn substring(filter: &Option<String>, s: &str) -> bool {
     }
 }
 
+/// The under-provisioned MLMQ service the spill entry runs: each
+/// lane's frontier gets about a third of the vertex count in logical
+/// slots, so hot-level sub-queues overflow into the deferred level on
+/// dense buckets, while the level pair still holds enough total slots
+/// that a fault-free run never drops work. Real loss under fire is
+/// still possible (that is the point) — it must surface as a typed
+/// overflow and a counted host fallback through `batch`.
+pub(crate) fn spill_service_config(graph: &Csr) -> ServiceConfig {
+    let capacity = (graph.num_vertices() as u32 / 3).max(8);
+    ServiceConfig::rdbs(DeviceConfig::test_tiny())
+        .with_streams(2)
+        .with_frontier(FrontierKind::Mlmq)
+        .with_queue_capacity(capacity)
+}
+
 /// Run one chaos cell and grade it.
 pub fn run_cell(
     entry: &ChaosEntry,
@@ -289,12 +341,20 @@ pub fn run_cell(
     spec: FaultSpec,
 ) -> (Option<RecoveryReport>, CellVerdict) {
     let attempt = catch_unwind(AssertUnwindSafe(|| match entry.kind {
-        EntryKind::Gpu(variant) => {
-            run_gpu_recovered(graph, source, variant, DeviceConfig::test_tiny(), Some(spec))
-        }
-        EntryKind::GpuRefault(variant) => {
-            run_gpu_recovered_refault(graph, source, variant, DeviceConfig::test_tiny(), Some(spec))
-        }
+        EntryKind::Gpu(variant) => run_gpu_recovered(
+            graph,
+            source,
+            entry.apply_variant(variant),
+            DeviceConfig::test_tiny(),
+            Some(spec),
+        ),
+        EntryKind::GpuRefault(variant) => run_gpu_recovered_refault(
+            graph,
+            source,
+            entry.apply_variant(variant),
+            DeviceConfig::test_tiny(),
+            Some(spec),
+        ),
         EntryKind::MultiGpu(k) => {
             let config = MultiGpuConfig {
                 num_devices: k,
@@ -306,16 +366,22 @@ pub fn run_cell(
             run_multi_recovered(graph, source, &config, Some(spec))
         }
         EntryKind::Service => {
-            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny());
+            let config = entry.apply_service(ServiceConfig::rdbs(DeviceConfig::test_tiny()));
             run_service_recovered(graph, source, config, Some(spec))
         }
         EntryKind::ServiceConcurrent => {
-            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4);
+            let config =
+                entry.apply_service(ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4));
             run_service_concurrent_recovered(graph, source, config, Some(spec))
         }
         EntryKind::ServiceTraffic => {
-            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(2);
+            let config =
+                entry.apply_service(ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(2));
             run_service_traffic_recovered(graph, source, config, Some(spec))
+        }
+        EntryKind::ServiceSpill => {
+            let config = spill_service_config(graph);
+            run_service_concurrent_recovered(graph, source, config, Some(spec))
         }
     }));
     match attempt {
@@ -350,6 +416,10 @@ pub fn run_chaos(opts: &ChaosOptions, mut progress: impl FnMut(&ChaosCell)) -> C
     let entries: Vec<ChaosEntry> = if opts.quick { quick_chaos_entries() } else { chaos_entries() }
         .into_iter()
         .filter(|e| substring(&opts.entry_filter, e.id))
+        .map(|e| match opts.frontier {
+            Some(kind) => e.with_frontier(kind),
+            None => e,
+        })
         .collect();
     let families: Vec<GraphCase> =
         if opts.quick { graphs::quick_families() } else { graphs::families() }
@@ -514,6 +584,70 @@ mod tests {
         let report = ChaosReport { cells: vec![cell] };
         assert!(report.is_green());
         assert_eq!(report.tally(), (0, 0, 0, 1, 0));
+    }
+
+    /// The spill-path invariant: with faults landing while the
+    /// under-provisioned MLMQ frontier spills across levels, no cell
+    /// may present a wrong answer as good — every outcome is correct
+    /// (possibly via a counted host fallback) or a loud error.
+    #[test]
+    fn faulted_mlmq_spill_is_never_silently_wrong() {
+        let opts = ChaosOptions {
+            quick: true,
+            entry_filter: Some("mlmq-spill".into()),
+            ..Default::default()
+        };
+        let report = run_chaos(&opts, |_| {});
+        assert!(!report.cells.is_empty(), "the spill entry swept nothing");
+        assert!(
+            report.cells.iter().any(|c| c.injections() > 0),
+            "no fault ever landed on the spill path"
+        );
+        let wrong: Vec<String> = report
+            .silent_wrong()
+            .map(|c| format!("{}/{}: {}", c.model, c.graph, c.verdict))
+            .collect();
+        assert!(report.is_green(), "faulted spill lied:\n{}", wrong.join("\n"));
+    }
+
+    /// The spill entry's under-provisioning must be absorbed by the
+    /// level pair when no faults are armed: the batch completes
+    /// without escalation and without host fallback, so a red spill
+    /// cell can only ever be the fault's doing.
+    #[test]
+    fn spill_entry_config_is_clean_without_faults() {
+        use rdbs_core::service::SsspService;
+
+        for family in graphs::quick_families() {
+            let graph = family.build();
+            let source = family.sources(graph.num_vertices())[0];
+            let oracle = dijkstra(&graph, source);
+            let mut svc = SsspService::new(&graph, spill_service_config(&graph));
+            let results = svc.batch(&[source, (source + 1) % graph.num_vertices() as u32]);
+            check_against(&oracle.dist, &results[0].dist).unwrap();
+            let stats = svc.stats();
+            assert_eq!(stats.escalations, 0, "{}: MLMQ must spill, not escalate", family.name);
+            assert_eq!(stats.fallbacks, 0, "{}: fault-free spill dropped work", family.name);
+        }
+    }
+
+    /// `--frontier` reroutes every RDBS-backed entry: the quick sweep
+    /// stays green on the wheel and MLMQ layouts too.
+    #[test]
+    fn chaos_frontier_axis_stays_green() {
+        for kind in [FrontierKind::Wheel, FrontierKind::Mlmq] {
+            let opts = ChaosOptions {
+                quick: true,
+                model_filter: Some("dropped-atomic".into()),
+                entry_filter: Some("gpu/full".into()),
+                graph_filter: Some("erdos".into()),
+                frontier: Some(kind),
+                ..Default::default()
+            };
+            let report = run_chaos(&opts, |_| {});
+            assert!(!report.cells.is_empty());
+            assert!(report.is_green(), "{kind:?} frontier lied under faults");
+        }
     }
 
     /// Regression for the PR-1 fault specimen: the deliberately broken

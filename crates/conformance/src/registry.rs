@@ -8,7 +8,7 @@
 //! exists to demonstrate (and regression-test) the shrinker and
 //! localizer end to end.
 
-use rdbs_core::gpu::{multi_gpu_sssp, run_gpu, MultiGpuConfig, RdbsConfig, Variant};
+use rdbs_core::gpu::{multi_gpu_sssp, run_gpu, FrontierKind, MultiGpuConfig, RdbsConfig, Variant};
 use rdbs_core::service::{ServiceConfig, SsspService};
 use rdbs_core::stats::{SsspResult, UpdateStats};
 use rdbs_core::{cpu, default_delta, saturating_relax, seq, Csr, VertexId, Weight, INF};
@@ -75,9 +75,26 @@ pub struct Implementation {
     pub id: &'static str,
     pub family: Family,
     kind: Kind,
+    /// Frontier-layout override (`--frontier`): applied to the RDBS
+    /// config of GPU and service entries; `None` keeps each entry's
+    /// own layout. Non-RDBS entries ignore it.
+    frontier: Option<FrontierKind>,
 }
 
 impl Implementation {
+    /// Run this entry on the given frontier layout (where it has one).
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: FrontierKind) -> Self {
+        self.frontier = Some(frontier);
+        self
+    }
+
+    /// Apply the frontier override to an RDBS config.
+    fn apply_frontier(&self, cfg: &mut RdbsConfig) {
+        if let Some(f) = self.frontier {
+            cfg.frontier = f;
+        }
+    }
     /// Run this implementation. `delta0` overrides the bucket width
     /// where the algorithm has one (ignored otherwise); `None` uses
     /// each implementation's own default.
@@ -94,6 +111,7 @@ impl Implementation {
                 let variant = match variant {
                     Variant::Rdbs(mut cfg) => {
                         cfg.delta0 = delta0.or(cfg.delta0);
+                        self.apply_frontier(&mut cfg);
                         Variant::Rdbs(cfg)
                     }
                     v => v,
@@ -113,6 +131,7 @@ impl Implementation {
             Kind::Service | Kind::ServiceConcurrent => {
                 let mut cfg = RdbsConfig::full();
                 cfg.delta0 = delta0;
+                self.apply_frontier(&mut cfg);
                 // The concurrent entry spreads the batch across four
                 // command streams (clamped to the batch size), so the
                 // matrix differentials the scheduler's lane isolation
@@ -125,6 +144,7 @@ impl Implementation {
                         device: DeviceConfig::test_tiny(),
                         delta0,
                         streams,
+                        queue_capacity: None,
                     },
                 );
                 // Warm-up on a different source first, so the scored
@@ -142,6 +162,7 @@ impl Implementation {
                 };
                 let mut cfg = RdbsConfig::full();
                 cfg.delta0 = delta0;
+                self.apply_frontier(&mut cfg);
                 let mut svc = SsspService::new(
                     graph,
                     ServiceConfig {
@@ -149,6 +170,7 @@ impl Implementation {
                         device: DeviceConfig::test_tiny(),
                         delta0,
                         streams: 2,
+                        queue_capacity: None,
                     },
                 );
                 // The scored query arrives first (an empty admission
@@ -224,7 +246,7 @@ impl Implementation {
 /// oracle itself is included as a self-check of the harness.
 pub fn all() -> Vec<Implementation> {
     use Family::*;
-    let imp = |id, family, kind| Implementation { id, family, kind };
+    let imp = |id, family, kind| Implementation { id, family, kind, frontier: None };
     vec![
         imp("seq/dijkstra", Seq, Kind::Dijkstra),
         imp("seq/bellman-ford", Seq, Kind::BellmanFord),
@@ -238,6 +260,16 @@ pub fn all() -> Vec<Implementation> {
         imp("gpu/basyn-pro", Gpu, Kind::Gpu(Variant::Rdbs(RdbsConfig::basyn_pro()))),
         imp("gpu/basyn-adwl", Gpu, Kind::Gpu(Variant::Rdbs(RdbsConfig::basyn_adwl()))),
         imp("gpu/full", Gpu, Kind::Gpu(Variant::Rdbs(RdbsConfig::full()))),
+        imp(
+            "gpu/full-wheel",
+            Gpu,
+            Kind::Gpu(Variant::Rdbs(RdbsConfig::full().with_frontier(FrontierKind::Wheel))),
+        ),
+        imp(
+            "gpu/full-mlmq",
+            Gpu,
+            Kind::Gpu(Variant::Rdbs(RdbsConfig::full().with_frontier(FrontierKind::Mlmq))),
+        ),
         imp("multi-gpu/k1", MultiGpu, Kind::MultiGpu(1)),
         imp("multi-gpu/k2", MultiGpu, Kind::MultiGpu(2)),
         imp("multi-gpu/k4", MultiGpu, Kind::MultiGpu(4)),
@@ -261,6 +293,7 @@ pub fn with_faults() -> Vec<Implementation> {
         id: FAULT_OFF_BY_ONE,
         family: Family::Fault,
         kind: Kind::FaultOffByOne,
+        frontier: None,
     });
     v
 }

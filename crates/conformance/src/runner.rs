@@ -24,6 +24,9 @@ pub struct MatrixOptions {
     pub include_faults: bool,
     /// Override Δ₀ for every width-parameterized implementation.
     pub delta0: Option<Weight>,
+    /// Run every RDBS-backed implementation on this frontier layout
+    /// (`--frontier`); `None` keeps each entry's own.
+    pub frontier: Option<rdbs_core::gpu::FrontierKind>,
 }
 
 /// How one case failed.
@@ -113,6 +116,10 @@ pub fn run_matrix(
             .filter(|i| match &opts.impl_filter {
                 Some(f) => i.id.contains(f.as_str()),
                 None => true,
+            })
+            .map(|i| match opts.frontier {
+                Some(kind) => i.with_frontier(kind),
+                None => i,
             })
             .collect();
 

@@ -17,7 +17,9 @@
 //! so "zero violations" can never mean "detector asleep".
 
 use crate::graphs::{self, GraphCase};
-use rdbs_core::gpu::{run_gpu_on, MultiGpuConfig, MultiGpuState, RdbsConfig, Variant};
+use rdbs_core::gpu::{
+    run_gpu_on, FrontierKind, MultiGpuConfig, MultiGpuState, RdbsConfig, Variant,
+};
 use rdbs_core::seq::dijkstra;
 use rdbs_core::service::{ServiceConfig, SsspService};
 use rdbs_core::validate::check_against;
@@ -31,6 +33,32 @@ pub struct SanEntry {
     /// Stable id used in reports and filters (e.g. `gpu/full`).
     pub id: &'static str,
     kind: EntryKind,
+    /// `--frontier` override: sanitize every RDBS-backed surface of
+    /// this entry on this frontier layout instead of its own.
+    frontier: Option<FrontierKind>,
+}
+
+impl SanEntry {
+    /// Sanitize this entry on `kind`'s frontier layout (`--frontier`).
+    #[must_use]
+    pub fn with_frontier(mut self, kind: FrontierKind) -> Self {
+        self.frontier = Some(kind);
+        self
+    }
+
+    fn apply_variant(&self, v: Variant) -> Variant {
+        match (self.frontier, v) {
+            (Some(kind), Variant::Rdbs(cfg)) => Variant::Rdbs(cfg.with_frontier(kind)),
+            (_, v) => v,
+        }
+    }
+
+    fn apply_service(&self, config: ServiceConfig) -> ServiceConfig {
+        match self.frontier {
+            Some(kind) => config.with_frontier(kind),
+            None => config,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -51,27 +79,19 @@ enum EntryKind {
 /// Every GPU entry point: the baseline, all RDBS ablation toggles,
 /// multi-GPU at k ∈ {1, 2, 4}, and the pooled service.
 pub fn san_entries() -> Vec<SanEntry> {
+    let entry = |id, kind| SanEntry { id, kind, frontier: None };
     vec![
-        SanEntry { id: "gpu/bl", kind: EntryKind::Gpu(Variant::Baseline) },
-        SanEntry {
-            id: "gpu/sync-delta",
-            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::sync_delta())),
-        },
-        SanEntry { id: "gpu/basyn", kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only())) },
-        SanEntry {
-            id: "gpu/basyn-pro",
-            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_pro())),
-        },
-        SanEntry {
-            id: "gpu/basyn-adwl",
-            kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_adwl())),
-        },
-        SanEntry { id: "gpu/full", kind: EntryKind::Gpu(Variant::Rdbs(RdbsConfig::full())) },
-        SanEntry { id: "multi-gpu/k1", kind: EntryKind::MultiGpu(1) },
-        SanEntry { id: "multi-gpu/k2", kind: EntryKind::MultiGpu(2) },
-        SanEntry { id: "multi-gpu/k4", kind: EntryKind::MultiGpu(4) },
-        SanEntry { id: "service/pooled", kind: EntryKind::Service },
-        SanEntry { id: "service/concurrent", kind: EntryKind::ServiceConcurrent },
+        entry("gpu/bl", EntryKind::Gpu(Variant::Baseline)),
+        entry("gpu/sync-delta", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::sync_delta()))),
+        entry("gpu/basyn", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_only()))),
+        entry("gpu/basyn-pro", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_pro()))),
+        entry("gpu/basyn-adwl", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::basyn_adwl()))),
+        entry("gpu/full", EntryKind::Gpu(Variant::Rdbs(RdbsConfig::full()))),
+        entry("multi-gpu/k1", EntryKind::MultiGpu(1)),
+        entry("multi-gpu/k2", EntryKind::MultiGpu(2)),
+        entry("multi-gpu/k4", EntryKind::MultiGpu(4)),
+        entry("service/pooled", EntryKind::Service),
+        entry("service/concurrent", EntryKind::ServiceConcurrent),
     ]
 }
 
@@ -100,6 +120,9 @@ pub struct SanOptions {
     pub entry_filter: Option<String>,
     /// Only families whose name contains this substring.
     pub graph_filter: Option<String>,
+    /// Sanitize every RDBS-backed entry on this frontier layout
+    /// (`--frontier`); `None` keeps each entry's own.
+    pub frontier: Option<FrontierKind>,
 }
 
 /// One (entry, graph, source) cell of the sanitized matrix.
@@ -159,7 +182,7 @@ pub fn run_cell(entry: &SanEntry, graph: &Csr, oracle_dist: &[u32], source: Vert
         EntryKind::Gpu(variant) => {
             let mut device = Device::new(DeviceConfig::test_tiny());
             device.arm_sanitizer(SanConfig::default());
-            let run = run_gpu_on(&mut device, graph, source, variant);
+            let run = run_gpu_on(&mut device, graph, source, entry.apply_variant(variant));
             (run.result.dist, device.san_violations().to_vec(), device.san_total())
         }
         EntryKind::MultiGpu(k) => {
@@ -179,7 +202,8 @@ pub fn run_cell(entry: &SanEntry, graph: &Csr, oracle_dist: &[u32], source: Vert
             (run.result.dist, violations, total)
         }
         EntryKind::Service => {
-            let mut svc = SsspService::new(graph, ServiceConfig::rdbs(DeviceConfig::test_tiny()));
+            let config = entry.apply_service(ServiceConfig::rdbs(DeviceConfig::test_tiny()));
+            let mut svc = SsspService::new(graph, config);
             svc.arm_sanitizer(SanConfig::default());
             // Warm query first: the real query then runs entirely on
             // recycled (re-poisoned) pool buffers.
@@ -190,7 +214,8 @@ pub fn run_cell(entry: &SanEntry, graph: &Csr, oracle_dist: &[u32], source: Vert
             (result.dist, svc.san_violations(), svc.san_total())
         }
         EntryKind::ServiceConcurrent => {
-            let config = ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4);
+            let config =
+                entry.apply_service(ServiceConfig::rdbs(DeviceConfig::test_tiny()).with_streams(4));
             let mut svc = SsspService::new(graph, config);
             svc.arm_sanitizer(SanConfig::default());
             // Four sources in flight at once: the scored one plus
@@ -233,6 +258,10 @@ pub fn run_sanitize(opts: &SanOptions, mut progress: impl FnMut(&SanCell)) -> Sa
     let entries: Vec<SanEntry> = if opts.quick { quick_san_entries() } else { san_entries() }
         .into_iter()
         .filter(|e| substring(&opts.entry_filter, e.id))
+        .map(|e| match opts.frontier {
+            Some(kind) => e.with_frontier(kind),
+            None => e,
+        })
         .collect();
     let families: Vec<GraphCase> =
         if opts.quick { graphs::quick_families() } else { graphs::families() }
@@ -347,9 +376,28 @@ mod tests {
             quick: true,
             entry_filter: Some("gpu/bl".into()),
             graph_filter: Some("erdos".into()),
+            ..Default::default()
         };
         let report = run_sanitize(&opts, |_| {});
         assert_eq!(report.cells.len(), 1);
         assert_eq!(report.cells[0].entry_id, "gpu/bl");
+    }
+
+    /// The wheel and MLMQ frontiers must respect the same snapshot /
+    /// volatile / atomic discipline as the single queue: rerouting the
+    /// quick RDBS entries through `--frontier` stays violation-free.
+    #[test]
+    fn frontier_axis_is_violation_free() {
+        for kind in [FrontierKind::Wheel, FrontierKind::Mlmq] {
+            let opts = SanOptions {
+                quick: true,
+                entry_filter: Some("gpu/full".into()),
+                graph_filter: Some("erdos".into()),
+                frontier: Some(kind),
+            };
+            let report = run_sanitize(&opts, |_| {});
+            assert!(!report.cells.is_empty());
+            assert!(report.is_green(), "{kind:?} frontier is dirty: {:?}", report.cells);
+        }
     }
 }

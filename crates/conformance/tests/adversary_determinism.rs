@@ -20,6 +20,7 @@ fn opts(entry: &str, budget: u64, seed: u64) -> AdversaryOptions {
         max_evals: 6,
         seed,
         corpus_keep: 3,
+        frontier: None,
     }
 }
 

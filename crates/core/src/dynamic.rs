@@ -17,7 +17,37 @@ use crate::{Csr, Dist, VertexId, Weight, INF};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+/// The CSR handed to [`DynamicSssp::try_new`] is directed: some edge
+/// has no reverse twin of equal weight. Every repair path in the
+/// structure (boundary re-seeding, subtree invalidation) walks
+/// `adj[x]` as *both* the out- and in-edges of `x`, which is only
+/// sound on a symmetric graph — accepting a directed CSR here used to
+/// silently produce distances that diverge from the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsymmetricInput {
+    /// The directed edge with no matching reverse.
+    pub u: VertexId,
+    pub v: VertexId,
+    /// Its weight (the per-direction minimum when parallel edges
+    /// exist).
+    pub weight: Weight,
+}
+
+impl std::fmt::Display for AsymmetricInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "directed input: edge {} -> {} (weight {}) has no equal-weight reverse; \
+             DynamicSssp maintains undirected graphs only",
+            self.u, self.v, self.weight
+        )
+    }
+}
+
+impl std::error::Error for AsymmetricInput {}
+
 /// Dynamic single-source shortest paths.
+#[derive(Debug)]
 pub struct DynamicSssp {
     source: VertexId,
     /// Mutable adjacency: `adj[u]` maps neighbour → weight (undirected:
@@ -30,8 +60,21 @@ pub struct DynamicSssp {
 const NO_PARENT: VertexId = u32::MAX;
 
 impl DynamicSssp {
-    /// Build from a (symmetrized) CSR and compute the initial solution.
+    /// Build from a symmetrized CSR and compute the initial solution.
+    /// Panics on directed input; use [`DynamicSssp::try_new`] to get
+    /// the typed rejection instead.
     pub fn new(graph: &Csr, source: VertexId) -> Self {
+        match Self::try_new(graph, source) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build from a symmetrized CSR and compute the initial solution,
+    /// rejecting directed input with a typed [`AsymmetricInput`]
+    /// instead of silently symmetrizing it (per-direction minimum) and
+    /// diverging from the oracle on the first update.
+    pub fn try_new(graph: &Csr, source: VertexId) -> Result<Self, AsymmetricInput> {
         let n = graph.num_vertices();
         assert!((source as usize) < n, "source out of range");
         let mut adj: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); n];
@@ -39,9 +82,20 @@ impl DynamicSssp {
             let e = adj[u as usize].entry(v).or_insert(w);
             *e = (*e).min(w);
         }
+        // Honor directedness: the update paths keep both directions in
+        // sync, so the input must already be symmetric (parallel edges
+        // collapse to the per-direction minimum first — an undirected
+        // multigraph is fine, a genuinely directed one is not).
+        for (u, nbrs) in adj.iter().enumerate() {
+            for (&v, &w) in nbrs {
+                if adj[v as usize].get(&(u as VertexId)) != Some(&w) {
+                    return Err(AsymmetricInput { u: u as VertexId, v, weight: w });
+                }
+            }
+        }
         let mut s = Self { source, adj, dist: vec![INF; n], parent: vec![NO_PARENT; n] };
         s.recompute_from_scratch();
-        s
+        Ok(s)
     }
 
     /// Current distances.
@@ -306,6 +360,41 @@ mod tests {
             }
         }
         check(&d);
+    }
+
+    #[test]
+    fn directed_input_is_rejected_with_the_offending_edge() {
+        // A genuinely directed CSR (1→2 has no reverse) must be turned
+        // away with a typed error naming the edge, not silently
+        // symmetrized into a graph the oracle disagrees with.
+        let el = EdgeList::from_edges(3, vec![(0, 1, 4), (1, 0, 4), (1, 2, 7)]);
+        let g = rdbs_graph::builder::build_directed(&el);
+        let err = DynamicSssp::try_new(&g, 0).unwrap_err();
+        assert_eq!(err, AsymmetricInput { u: 1, v: 2, weight: 7 });
+        assert!(err.to_string().contains("1 -> 2"));
+    }
+
+    #[test]
+    fn asymmetric_weights_are_rejected() {
+        // Both directions present but at different weights is still
+        // directed input: the per-direction minimum would quietly pick
+        // a side.
+        let el = EdgeList::from_edges(2, vec![(0, 1, 4), (1, 0, 9)]);
+        let g = rdbs_graph::builder::build_directed(&el);
+        let err = DynamicSssp::try_new(&g, 0).unwrap_err();
+        assert_eq!((err.u, err.v), (0, 1));
+    }
+
+    #[test]
+    fn symmetric_csr_from_directed_builder_is_accepted() {
+        // Symmetry is about the edge set, not which builder made it: a
+        // directed CSR that *is* symmetric (including collapsed
+        // parallel edges) passes and matches the oracle.
+        let el =
+            EdgeList::from_edges(3, vec![(0, 1, 4), (1, 0, 4), (1, 0, 9), (1, 2, 2), (2, 1, 2)]);
+        let g = rdbs_graph::builder::build_directed(&el);
+        let d = DynamicSssp::try_new(&g, 0).unwrap();
+        assert_eq!(d.dist(), &[0, 4, 6]);
     }
 
     #[test]

@@ -130,14 +130,19 @@ impl std::fmt::Display for QueueOverflow {
 impl std::error::Error for QueueOverflow {}
 
 /// A device-side vertex queue: data buffer, a tail cursor cell, and a
-/// sticky overflow cell. Kernels push with `atomicAdd` on the cursor;
-/// the host "manager thread" drains and resets it between waves.
+/// sticky two-word overflow record. Kernels push with `atomicAdd` on
+/// the cursor; the host "manager thread" drains and resets it between
+/// waves.
 ///
 /// ## Overflow semantics
 ///
-/// A push that lands past `capacity` is **dropped** and counted in the
-/// overflow cell — never stored out of bounds. The cell is sticky: it
-/// survives [`DeviceQueue::drain`] and is only cleared by
+/// A push that lands past `capacity` is **dropped** and counted in
+/// overflow word 0 — never stored out of bounds. Independently, every
+/// drain that observes the cursor past `capacity` records the worst
+/// overshoot in overflow word 1, whether or not drops were already
+/// counted — a clamped faulted cursor after real drops (or drops after
+/// a faulted cursor) must not be discarded. Both words are sticky:
+/// they survive [`DeviceQueue::drain`] and are only cleared by
 /// [`DeviceQueue::reset`], so the host can detect an overflow that
 /// happened any time since the last reset and surface a typed
 /// [`QueueOverflow`] (or hand it to the recovery ladder) instead of
@@ -146,19 +151,23 @@ impl std::error::Error for QueueOverflow {}
 pub struct DeviceQueue {
     pub data: Buf,
     pub tail: Buf,
-    /// Sticky overflow cell: dropped-push count (or the cursor
-    /// overshoot observed by a drain when no drop was recorded).
+    /// Sticky overflow record, 2 words: `[dropped pushes, worst
+    /// drain-observed cursor overshoot]`. Only word 0 is touched from
+    /// device code.
     pub overflow: Buf,
     pub capacity: u32,
     /// Allocation label, for overflow reports.
     pub label: &'static str,
 }
 
+/// Allocation length of the [`DeviceQueue::overflow`] record.
+pub const OVERFLOW_WORDS: usize = 2;
+
 impl DeviceQueue {
     pub fn new(device: &mut Device, label: &'static str, capacity: u32) -> Self {
         let data = device.alloc(label, capacity as usize);
         let tail = device.alloc("queue_tail", 1);
-        let overflow = device.alloc("queue_overflow", 1);
+        let overflow = device.alloc("queue_overflow", OVERFLOW_WORDS);
         Self { data, tail, overflow, capacity, label }
     }
 
@@ -185,6 +194,22 @@ impl DeviceQueue {
         slot
     }
 
+    /// Device-side push that reports a full queue to the *caller*
+    /// instead of raising the sticky overflow record: `false` means
+    /// the push did not land and the caller is responsible for routing
+    /// `v` somewhere else (the MLMQ spill path). The tail still
+    /// overshoots — drain the queue with [`DeviceQueue::drain_lossy`],
+    /// which treats the overshoot as expected.
+    #[inline]
+    pub fn try_push(&self, lane: &mut Lane<'_>, v: VertexId) -> bool {
+        let slot = lane.atomic_add(self.tail, 0, 1);
+        if slot >= self.capacity {
+            return false;
+        }
+        lane.atomic_exch(self.data, slot, v);
+        true
+    }
+
     /// Device-side read of slot `i` (kernel context). Volatile: the
     /// slot may have been written by a lane of an earlier wave of the
     /// same persistent kernel, with no grid barrier in between — a
@@ -197,16 +222,39 @@ impl DeviceQueue {
     /// Host-side drain: copy out the current entries and reset the
     /// tail (the manager-thread step of §4.3). The length is clamped
     /// to `capacity` — a faulted or overflowed cursor raises the
-    /// sticky overflow cell instead of panicking the manager thread.
+    /// sticky overflow record instead of panicking the manager thread.
+    ///
+    /// The overshoot is recorded *unconditionally* (word 1 keeps the
+    /// worst one seen), never gated on whether drops were already
+    /// counted: a clamp after a real dropped push is evidence too, and
+    /// discarding it undercounts mixed drop-then-corrupt episodes.
     pub fn drain(&self, device: &mut Device) -> Vec<VertexId> {
         let tail = device.read_word(self.tail, 0);
-        if tail > self.capacity && device.read_word(self.overflow, 0) == 0 {
-            device.write_word(self.overflow, 0, tail - self.capacity);
+        if tail > self.capacity {
+            let overshoot = tail - self.capacity;
+            let worst = device.read_word(self.overflow, 1);
+            if overshoot > worst {
+                device.write_word(self.overflow, 1, overshoot);
+            }
         }
         let len = tail.min(self.capacity) as usize;
         let items = device.read(self.data)[..len].to_vec();
         device.write_word(self.tail, 0, 0);
         items
+    }
+
+    /// Host-side drain for queues where tail overshoot is *expected*
+    /// and handled by the caller (MLMQ sub-queues route the pushes
+    /// that did not land into the next level): clamp and reset without
+    /// raising the overflow record. Returns the entries and the
+    /// overshoot (how many pushes did not land here).
+    pub fn drain_lossy(&self, device: &mut Device) -> (Vec<VertexId>, u32) {
+        let tail = device.read_word(self.tail, 0);
+        let spilled = tail.saturating_sub(self.capacity);
+        let len = tail.min(self.capacity) as usize;
+        let items = device.read(self.data)[..len].to_vec();
+        device.write_word(self.tail, 0, 0);
+        (items, spilled)
     }
 
     /// Like [`DeviceQueue::drain`], surfacing any overflow recorded
@@ -217,22 +265,30 @@ impl DeviceQueue {
         Ok(items)
     }
 
-    /// `Err(QueueOverflow)` if the sticky overflow cell is raised.
+    /// `Err(QueueOverflow)` if the sticky overflow record is raised.
+    ///
+    /// `attempted` is `capacity + max(drops, worst overshoot)`: every
+    /// dropped push also bumped the tail, so a drain-observed
+    /// overshoot subsumes the drops it witnessed (taking the max never
+    /// double-counts a mixed corrupt-then-drop episode), while the
+    /// drop count alone survives a cursor faulted back *down*.
     pub fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
         let dropped = device.read_word(self.overflow, 0);
-        if dropped == 0 {
+        let overshoot = device.read_word(self.overflow, 1);
+        let excess = dropped.max(overshoot);
+        if excess == 0 {
             return Ok(());
         }
         Err(QueueOverflow {
             queue: self.label,
             capacity: self.capacity,
-            attempted: self.capacity.saturating_add(dropped),
+            attempted: self.capacity.saturating_add(excess),
         })
     }
 
-    /// Whether the sticky overflow cell is raised.
+    /// Whether the sticky overflow record is raised.
     pub fn overflowed(&self, device: &Device) -> bool {
-        device.read_word(self.overflow, 0) != 0
+        device.read_word(self.overflow, 0) != 0 || device.read_word(self.overflow, 1) != 0
     }
 
     /// Reset to an empty, non-overflowed queue (the pooled-reuse
@@ -241,6 +297,7 @@ impl DeviceQueue {
     pub fn reset(&self, device: &mut Device) {
         device.write_word(self.tail, 0, 0);
         device.write_word(self.overflow, 0, 0);
+        device.write_word(self.overflow, 1, 0);
     }
 
     /// Host-side length peek (clamped to capacity; the raw cursor may
@@ -338,6 +395,70 @@ mod tests {
         assert_eq!(items[0], 9);
         assert!(q.overflowed(&d));
         assert_eq!(q.check(&d).unwrap_err().attempted, 1000);
+    }
+
+    #[test]
+    fn drop_then_corrupt_keeps_the_clamp_evidence() {
+        // Real dropped pushes first, then a fault overshoots the tail
+        // further. The old drain gated the clamp on an untouched
+        // overflow cell, so the 1000-slot overshoot was silently
+        // discarded and `attempted` reported only the drops.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let q = DeviceQueue::new(&mut d, "q", 1);
+        d.launch("storm", 32, |lane| {
+            q.push(lane, lane.tid() as u32);
+        });
+        d.write_word(q.tail, 0, 1000);
+        let items = q.drain(&mut d);
+        assert_eq!(items.len(), 1);
+        // overshoot 999 subsumes the 31 drops it witnessed: the queue
+        // saw 1000 slots demanded against capacity 1.
+        assert_eq!(q.check(&d).unwrap_err().attempted, 1000);
+    }
+
+    #[test]
+    fn corrupt_then_drop_counts_both() {
+        // A faulted cursor first, then a real push that drops off the
+        // corrupted tail. The old accounting reported capacity + 1
+        // (just the drop); the overshoot recorded at drain must win.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let q = DeviceQueue::new(&mut d, "q", 4);
+        q.host_push(&mut d, 9);
+        d.write_word(q.tail, 0, 1000);
+        d.launch("late_push", 1, |lane| {
+            q.push(lane, 7);
+        });
+        let items = q.drain(&mut d);
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0], 9);
+        // tail reached 1001: the faulted 1000 plus the dropped push.
+        assert_eq!(q.check(&d).unwrap_err().attempted, 1001);
+        // Sticky across the drain, cleared only by reset.
+        assert!(q.overflowed(&d));
+        q.reset(&mut d);
+        assert!(q.check(&d).is_ok());
+    }
+
+    #[test]
+    fn try_push_and_lossy_drain_do_not_raise_overflow() {
+        // The spill-path primitives: a failed try_push reports to the
+        // caller, and drain_lossy returns the overshoot instead of
+        // recording it — the queue stays clean for `check`.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let q = DeviceQueue::new(&mut d, "q", 2);
+        let landed = d.alloc("landed", 8);
+        d.fill(landed, 0);
+        d.launch("spillers", 8, |lane| {
+            let ok = q.try_push(lane, 100 + lane.tid() as u32);
+            lane.st(landed, lane.tid() as u32, ok as u32);
+        });
+        let landed_count: u32 = d.read(landed).iter().sum();
+        assert_eq!(landed_count, 2);
+        let (items, spilled) = q.drain_lossy(&mut d);
+        assert_eq!(items.len(), 2);
+        assert_eq!(spilled, 6);
+        assert!(q.check(&d).is_ok());
+        assert!(!q.overflowed(&d));
     }
 
     #[test]

@@ -1,0 +1,754 @@
+//! Pluggable device frontiers behind the RDBS driver.
+//!
+//! The driver ([`super::rdbs::RdbsDriver`]) is generic over how the
+//! per-bucket worklists live on the device. Three implementations:
+//!
+//! * [`WorkloadQueues`] (`--frontier single`) — the original layout:
+//!   one queue per ADWL workload class plus a bucket-membership queue,
+//!   all capacity-`n`. Overflow is impossible fault-free (pending
+//!   marks deduplicate enqueues); a detected overflow goes to the
+//!   service's escalation ladder.
+//! * [`WheelFrontier`] (`--frontier wheel`) — a bucket wheel:
+//!   [`WHEEL_SLOTS`] rotating [`WorkloadQueues`] sets sharing one
+//!   pending buffer. Phase 1 works the active slot; phase 3 collects
+//!   into the next; `advance` rotates. Escalatable like `single`.
+//! * [`MlmqFrontier`] (`--frontier mlmq`) — a multi-level multi-queue:
+//!   [`MLMQ_LEVELS`] priority levels (current bucket, deferred) each
+//!   fanned out into [`MLMQ_FANOUT`] sub-queues. A device push picks
+//!   its sub-queue by a lane hash — spreading the tail-counter
+//!   `atomicAdd`s that make a single hot queue serialize
+//!   (`atomic_conflicts`) — and a full sub-queue **spills** the push
+//!   into the next level instead of raising overflow: the entry is
+//!   simply processed one bucket later. Because a spilled activation
+//!   arrives with a distance *below* the then-current window, the
+//!   driver relaxes its staleness check for spilling frontiers
+//!   (processing a settled vertex re-relaxes idempotently) and will
+//!   not finish while a deferred level still holds entries. Membership
+//!   tracking needs no second queue — the drained entries of a level
+//!   *are* the bucket's membership — so a publish costs one
+//!   tail-bump + one store against `single`'s two-queue double push.
+//!   MLMQ never escalates: only a genuine loss (a spill level
+//!   overflowing too, or a faulted cursor) raises [`QueueOverflow`],
+//!   and the service answers from the host oracle.
+
+use super::buffers::{DeviceQueue, GraphBuffers, QueueOverflow};
+use crate::workload::{classify, WorkloadClass};
+use crate::{Csr, VertexId};
+use rdbs_gpu_sim::{Buf, Device, Lane};
+
+/// Rotating queue sets in the bucket wheel.
+pub const WHEEL_SLOTS: usize = 4;
+/// Priority levels of the MLMQ: the active bucket and one deferred
+/// (spill) level. Two suffice — `advance` rotates, so a deferred
+/// entry is drained at most two buckets after it spilled.
+pub const MLMQ_LEVELS: usize = 2;
+/// Sub-queues per MLMQ level (the per-stream fan-out the tail
+/// counters are spread across).
+pub const MLMQ_FANOUT: usize = 4;
+
+/// Which frontier layout the RDBS driver runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FrontierKind {
+    /// One workload-queue set (the original layout).
+    #[default]
+    Single,
+    /// Rotating bucket wheel of workload-queue sets.
+    Wheel,
+    /// Multi-level multi-queue with overflow spilling.
+    Mlmq,
+}
+
+impl FrontierKind {
+    /// Every frontier implementation, in matrix order.
+    pub const ALL: [FrontierKind; 3] =
+        [FrontierKind::Single, FrontierKind::Wheel, FrontierKind::Mlmq];
+
+    /// CLI name (`--frontier <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontierKind::Single => "single",
+            FrontierKind::Wheel => "wheel",
+            FrontierKind::Mlmq => "mlmq",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Suffix appended to variant legend labels (empty for the
+    /// default layout, so existing labels are unchanged).
+    pub fn label_suffix(self) -> &'static str {
+        match self {
+            FrontierKind::Single => "",
+            FrontierKind::Wheel => "+WHEEL",
+            FrontierKind::Mlmq => "+MLMQ",
+        }
+    }
+}
+
+impl std::fmt::Display for FrontierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One phase-1 layer's host-side drain: per-class worklists plus the
+/// vertices to add to the bucket's membership set.
+pub(crate) struct DrainedLayer {
+    pub(crate) lists: [Vec<VertexId>; WorkloadClass::COUNT],
+    pub(crate) new_members: Vec<VertexId>,
+}
+
+/// Host-side light-degree (seeding, drain-time classification and
+/// T_i accounting).
+pub(crate) fn host_light_degree(graph: &Csr, v: VertexId) -> u32 {
+    match graph.heavy_delta() {
+        Some(d) => graph.light_degree(v, d),
+        None => graph.degree(v),
+    }
+}
+
+/// The host seam the RDBS driver drives a frontier through. Every
+/// implementation is a `Copy` bundle of buffer handles so the driver
+/// (and the kernel closures, via [`FrontierView`]) capture it by
+/// value.
+pub(crate) trait Frontier {
+    fn kind(&self) -> FrontierKind;
+
+    /// Whether a full queue routes pushes to a deferred level instead
+    /// of raising overflow. Spilling frontiers get the relaxed
+    /// staleness check and never enter the escalation ladder.
+    fn can_spill(&self) -> bool {
+        self.kind() == FrontierKind::Mlmq
+    }
+
+    /// Enqueue the source vertex (host-side, query start).
+    fn seed(&self, device: &mut Device, graph: &Csr, source: VertexId);
+
+    /// Drain one phase-1 layer of the active bucket.
+    fn drain_layer(&self, device: &mut Device, graph: &Csr) -> DrainedLayer;
+
+    /// Kernel-side view for phase-1/phase-2 enqueues (current bucket).
+    fn relax_view(&self) -> FrontierView;
+
+    /// Kernel-side view for phase-3 collection (next bucket).
+    fn collect_view(&self) -> FrontierView;
+
+    /// Queue whose data buffer backs phase 2's republished membership
+    /// list (read charges and live-slot stores).
+    fn membership_backing(&self) -> DeviceQueue;
+
+    /// Whether entries deferred to a later bucket are still queued —
+    /// the driver must not finish while this holds.
+    fn has_deferred(&self, device: &Device) -> bool;
+
+    /// Surface any sticky overflow raised since the last reset.
+    fn check(&self, device: &Device) -> Result<(), QueueOverflow>;
+
+    /// Rotate to the next bucket (no-op for the single layout).
+    fn advance(&mut self);
+
+    /// Reset every queue and the pending marks for a fresh query.
+    fn reset(&self, device: &mut Device);
+}
+
+/// The original frontier: three ADWL workload lists plus the
+/// bucket-membership queue and the pending dedup marks.
+#[derive(Clone, Copy)]
+pub(crate) struct WorkloadQueues {
+    pub(crate) q: [DeviceQueue; WorkloadClass::COUNT],
+    /// Every enqueued vertex is also recorded here: the union over a
+    /// bucket is exactly the bucket's membership, which phase 2 needs
+    /// — tracking it at enqueue time replaces a full vertex scan.
+    pub(crate) members: DeviceQueue,
+    pub(crate) pending: Buf,
+    pub(crate) adwl: bool,
+}
+
+impl WorkloadQueues {
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+        let pending = device.alloc("pending", n as usize);
+        Self::with_pending(device, n, adwl, pending)
+    }
+
+    /// Build a set around a caller-owned pending buffer (wheel slots
+    /// share one).
+    pub(crate) fn with_pending(device: &mut Device, n: u32, adwl: bool, pending: Buf) -> Self {
+        let q = [
+            DeviceQueue::new(device, "workload_small", n),
+            DeviceQueue::new(device, "workload_medium", n),
+            DeviceQueue::new(device, "workload_large", n),
+        ];
+        let members = DeviceQueue::new(device, "bucket_members", n);
+        Self { q, members, pending, adwl }
+    }
+
+    /// The set's queues (workload lists then members), for overflow
+    /// checks and pool release.
+    pub(crate) fn queues(&self) -> impl Iterator<Item = &DeviceQueue> {
+        self.q.iter().chain(std::iter::once(&self.members))
+    }
+
+    /// Device-side light-degree probe used for classification. Under
+    /// PRO this is two row loads (the paper: "with property-driven
+    /// reordering, we can quickly calculate the number of light
+    /// edges"); without it the total degree serves as the proxy.
+    #[inline]
+    fn light_degree(lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) -> u32 {
+        let s = lane.ld(gb.row, v);
+        let e = match gb.heavy {
+            Some(h) => lane.ld(h, v),
+            None => lane.ld(gb.row, v + 1),
+        };
+        e - s
+    }
+
+    /// Device-side enqueue with pending dedup and ADWL classification.
+    #[inline]
+    pub(crate) fn enqueue(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
+        if lane.atomic_exch(self.pending, v, 1) != 0 {
+            return; // already queued
+        }
+        let class = if self.adwl {
+            classify(Self::light_degree(lane, gb, v))
+        } else {
+            WorkloadClass::Small
+        };
+        self.q[class.index()].push(lane, v);
+        self.members.push(lane, v);
+    }
+
+    fn seed_queues(&self, device: &mut Device, graph: &Csr, source: VertexId) {
+        device.write_word(self.pending, source as usize, 1);
+        let src_class = if self.adwl {
+            classify(host_light_degree(graph, source))
+        } else {
+            WorkloadClass::Small
+        };
+        self.q[src_class.index()].host_push(device, source);
+        self.members.host_push(device, source);
+    }
+
+    fn drain_set(&self, device: &mut Device) -> DrainedLayer {
+        let new_members = self.members.drain(device);
+        let lists = std::array::from_fn(|c| self.q[c].drain(device));
+        DrainedLayer { lists, new_members }
+    }
+
+    fn check_set(&self, device: &Device) -> Result<(), QueueOverflow> {
+        for q in self.queues() {
+            q.check(device)?;
+        }
+        Ok(())
+    }
+
+    fn reset_queues(&self, device: &mut Device) {
+        for q in self.queues() {
+            q.reset(device);
+        }
+    }
+}
+
+impl Frontier for WorkloadQueues {
+    fn kind(&self) -> FrontierKind {
+        FrontierKind::Single
+    }
+
+    fn seed(&self, device: &mut Device, graph: &Csr, source: VertexId) {
+        self.seed_queues(device, graph, source);
+    }
+
+    fn drain_layer(&self, device: &mut Device, _graph: &Csr) -> DrainedLayer {
+        self.drain_set(device)
+    }
+
+    fn relax_view(&self) -> FrontierView {
+        FrontierView::Workload(*self)
+    }
+
+    fn collect_view(&self) -> FrontierView {
+        // Phase 3 collects into the same set phase 1 will drain next
+        // bucket — the single layout has nowhere else to put it.
+        FrontierView::Workload(*self)
+    }
+
+    fn membership_backing(&self) -> DeviceQueue {
+        self.members
+    }
+
+    fn has_deferred(&self, _device: &Device) -> bool {
+        false // a full queue raises overflow instead of deferring
+    }
+
+    fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
+        self.check_set(device)
+    }
+
+    fn advance(&mut self) {}
+
+    fn reset(&self, device: &mut Device) {
+        self.reset_queues(device);
+        device.fill(self.pending, 0);
+    }
+}
+
+/// A bucket wheel: [`WHEEL_SLOTS`] rotating [`WorkloadQueues`] sets
+/// over one shared pending buffer. Bucket ordinal `i` works slot
+/// `i % WHEEL_SLOTS`; phase 3 collects into the next slot, so the
+/// collect-side enqueues never interleave with the drains of the slot
+/// phase 1 is still working.
+#[derive(Clone, Copy)]
+pub(crate) struct WheelFrontier {
+    pub(crate) slots: [WorkloadQueues; WHEEL_SLOTS],
+    pub(crate) pending: Buf,
+    pub(crate) active: usize,
+}
+
+impl WheelFrontier {
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+        let pending = device.alloc("pending", n as usize);
+        let slots = std::array::from_fn(|_| WorkloadQueues::with_pending(device, n, adwl, pending));
+        Self { slots, pending, active: 0 }
+    }
+
+    fn slot(&self) -> &WorkloadQueues {
+        &self.slots[self.active]
+    }
+}
+
+impl Frontier for WheelFrontier {
+    fn kind(&self) -> FrontierKind {
+        FrontierKind::Wheel
+    }
+
+    fn seed(&self, device: &mut Device, graph: &Csr, source: VertexId) {
+        self.slot().seed_queues(device, graph, source);
+    }
+
+    fn drain_layer(&self, device: &mut Device, _graph: &Csr) -> DrainedLayer {
+        self.slot().drain_set(device)
+    }
+
+    fn relax_view(&self) -> FrontierView {
+        FrontierView::Workload(*self.slot())
+    }
+
+    fn collect_view(&self) -> FrontierView {
+        FrontierView::Workload(self.slots[(self.active + 1) % WHEEL_SLOTS])
+    }
+
+    fn membership_backing(&self) -> DeviceQueue {
+        self.slot().members
+    }
+
+    fn has_deferred(&self, _device: &Device) -> bool {
+        false // slots never hold work beyond the next rotation
+    }
+
+    fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
+        for slot in &self.slots {
+            slot.check_set(device)?;
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self) {
+        self.active = (self.active + 1) % WHEEL_SLOTS;
+    }
+
+    fn reset(&self, device: &mut Device) {
+        for slot in &self.slots {
+            slot.reset_queues(device);
+        }
+        device.fill(self.pending, 0);
+    }
+}
+
+/// The multi-level multi-queue — see the module docs for the push
+/// routing and spill semantics.
+#[derive(Clone, Copy)]
+pub(crate) struct MlmqFrontier {
+    /// `levels[l][s]`: sub-queue `s` of priority level `l`.
+    pub(crate) levels: [[DeviceQueue; MLMQ_FANOUT]; MLMQ_LEVELS],
+    pub(crate) pending: Buf,
+    pub(crate) adwl: bool,
+    /// Level holding the active bucket's entries (rotates per bucket).
+    pub(crate) active: usize,
+}
+
+impl MlmqFrontier {
+    /// Per-sub-queue capacity for a frontier provisioned at `cap`
+    /// total slots: 2×-overprovisioned against a perfectly uniform
+    /// hash so moderate skew stays in-level, while a genuinely hot
+    /// sub-queue spills instead of erroring.
+    pub(crate) fn sub_capacity(cap: u32) -> u32 {
+        ((cap as usize * 2).div_ceil(MLMQ_FANOUT)).max(1) as u32
+    }
+
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+        let pending = device.alloc("pending", n as usize);
+        let sub = Self::sub_capacity(n);
+        let levels = std::array::from_fn(|_| {
+            std::array::from_fn(|_| DeviceQueue::new(device, "mlmq_lane", sub))
+        });
+        Self { levels, pending, adwl, active: 0 }
+    }
+
+    /// Every sub-queue of every level, for checks and pool release.
+    pub(crate) fn queues(&self) -> impl Iterator<Item = &DeviceQueue> {
+        self.levels.iter().flatten()
+    }
+
+    /// Device-side enqueue: pending dedup, lane-hashed sub-queue
+    /// pick, `try_push` into `target`'s level — and on a full
+    /// sub-queue, a plain `push` into the *next* level (the spill).
+    /// Only the spill level's drop path can raise overflow: that is
+    /// real loss, reported by [`MlmqFrontier::check`].
+    #[inline]
+    fn enqueue(&self, lane: &mut Lane<'_>, target: usize, v: VertexId) {
+        if lane.atomic_exch(self.pending, v, 1) != 0 {
+            return; // already queued
+        }
+        // Fibonacci-hash the *physical* lane id (`tid` alone is the
+        // work-item index, shared by every rank of a gang) so dense
+        // lanes spread across the fan-out — the whole point:
+        // concurrent publishers hit *different* tail counters instead
+        // of serializing on one.
+        lane.alu(2);
+        let lane_id =
+            (lane.tid() as u32).wrapping_mul(lane.gang_size()).wrapping_add(lane.gang_rank());
+        let sub = (lane_id.wrapping_mul(0x9E37_79B9) >> 16) as usize % MLMQ_FANOUT;
+        if !self.levels[target][sub].try_push(lane, v) {
+            self.levels[(target + 1) % MLMQ_LEVELS][sub].push(lane, v);
+        }
+    }
+}
+
+impl Frontier for MlmqFrontier {
+    fn kind(&self) -> FrontierKind {
+        FrontierKind::Mlmq
+    }
+
+    fn seed(&self, device: &mut Device, _graph: &Csr, source: VertexId) {
+        device.write_word(self.pending, source as usize, 1);
+        self.levels[self.active][0].host_push(device, source);
+    }
+
+    /// Drain the active level's sub-queues and classify host-side:
+    /// the MLMQ routes pushes by lane, not by workload class, so the
+    /// ADWL split happens at drain time (the manager thread already
+    /// walks the entries). Tail overshoot on a sub-queue is the spill
+    /// signal, not corruption — those pushes landed one level over.
+    fn drain_layer(&self, device: &mut Device, graph: &Csr) -> DrainedLayer {
+        let mut new_members = Vec::new();
+        for sub in &self.levels[self.active] {
+            let (items, _spilled) = sub.drain_lossy(device);
+            new_members.extend(items);
+        }
+        let mut lists: [Vec<VertexId>; WorkloadClass::COUNT] = Default::default();
+        for &v in &new_members {
+            let class = if self.adwl {
+                classify(host_light_degree(graph, v))
+            } else {
+                WorkloadClass::Small
+            };
+            lists[class.index()].push(v);
+        }
+        DrainedLayer { lists, new_members }
+    }
+
+    fn relax_view(&self) -> FrontierView {
+        FrontierView::Mlmq { frontier: *self, target: self.active }
+    }
+
+    fn collect_view(&self) -> FrontierView {
+        FrontierView::Mlmq { frontier: *self, target: (self.active + 1) % MLMQ_LEVELS }
+    }
+
+    fn membership_backing(&self) -> DeviceQueue {
+        // Phase 2 republishes the deduplicated membership into this
+        // data buffer (modulo its capacity) after the level's drains
+        // emptied it, and before phase 3 pushes anything new.
+        self.levels[self.active][0]
+    }
+
+    fn has_deferred(&self, device: &Device) -> bool {
+        self.queues().any(|q| !q.is_empty(device))
+    }
+
+    fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
+        for q in self.queues() {
+            q.check(device)?;
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self) {
+        self.active = (self.active + 1) % MLMQ_LEVELS;
+    }
+
+    fn reset(&self, device: &mut Device) {
+        // The phase kernels charge the lane buffers as rings
+        // (`slot % capacity`), so every word must be defined before
+        // the first charge — the worklist-allocation memset.
+        for q in self.queues() {
+            q.reset(device);
+            device.fill(q.data, 0);
+        }
+        device.fill(self.pending, 0);
+    }
+}
+
+/// Static dispatch over the frontier implementations — the driver and
+/// the service scratch hold this by value (`Copy`, like the buffer
+/// bundles kernels capture).
+// The wheel variant is a few hundred bytes of queue handles; boxing it
+// would break the by-value `Copy` capture the kernel closures rely on.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Copy)]
+pub(crate) enum AnyFrontier {
+    Single(WorkloadQueues),
+    Wheel(WheelFrontier),
+    Mlmq(MlmqFrontier),
+}
+
+impl AnyFrontier {
+    /// Allocate a fresh frontier of `kind` (the one-shot entry path;
+    /// the service assembles pooled frontiers field by field).
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool, kind: FrontierKind) -> Self {
+        match kind {
+            FrontierKind::Single => AnyFrontier::Single(WorkloadQueues::new(device, n, adwl)),
+            FrontierKind::Wheel => AnyFrontier::Wheel(WheelFrontier::new(device, n, adwl)),
+            FrontierKind::Mlmq => AnyFrontier::Mlmq(MlmqFrontier::new(device, n, adwl)),
+        }
+    }
+
+    /// Every device queue of the frontier (pool release, poisoning
+    /// tests).
+    pub(crate) fn device_queues(&self) -> Vec<DeviceQueue> {
+        match self {
+            AnyFrontier::Single(wq) => wq.queues().copied().collect(),
+            AnyFrontier::Wheel(w) => {
+                w.slots.iter().flat_map(WorkloadQueues::queues).copied().collect()
+            }
+            AnyFrontier::Mlmq(m) => m.queues().copied().collect(),
+        }
+    }
+
+    /// The (single, possibly shared) pending-marks buffer.
+    pub(crate) fn pending(&self) -> Buf {
+        match self {
+            AnyFrontier::Single(wq) => wq.pending,
+            AnyFrontier::Wheel(w) => w.pending,
+            AnyFrontier::Mlmq(m) => m.pending,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $f:ident $(, $arg:expr)*) => {
+        match $self {
+            AnyFrontier::Single(x) => x.$f($($arg),*),
+            AnyFrontier::Wheel(x) => x.$f($($arg),*),
+            AnyFrontier::Mlmq(x) => x.$f($($arg),*),
+        }
+    };
+}
+
+impl Frontier for AnyFrontier {
+    fn kind(&self) -> FrontierKind {
+        dispatch!(self, kind)
+    }
+
+    fn can_spill(&self) -> bool {
+        dispatch!(self, can_spill)
+    }
+
+    fn seed(&self, device: &mut Device, graph: &Csr, source: VertexId) {
+        dispatch!(self, seed, device, graph, source);
+    }
+
+    fn drain_layer(&self, device: &mut Device, graph: &Csr) -> DrainedLayer {
+        dispatch!(self, drain_layer, device, graph)
+    }
+
+    fn relax_view(&self) -> FrontierView {
+        dispatch!(self, relax_view)
+    }
+
+    fn collect_view(&self) -> FrontierView {
+        dispatch!(self, collect_view)
+    }
+
+    fn membership_backing(&self) -> DeviceQueue {
+        dispatch!(self, membership_backing)
+    }
+
+    fn has_deferred(&self, device: &Device) -> bool {
+        dispatch!(self, has_deferred, device)
+    }
+
+    fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
+        dispatch!(self, check, device)
+    }
+
+    fn advance(&mut self) {
+        dispatch!(self, advance);
+    }
+
+    fn reset(&self, device: &mut Device) {
+        dispatch!(self, reset, device);
+    }
+}
+
+/// The kernel-side face of a frontier: a `Copy` capture for wave and
+/// child-kernel closures, resolved by the host to a concrete enqueue
+/// target (the wheel's active slot, the MLMQ's level) before launch.
+#[derive(Clone, Copy)]
+pub(crate) enum FrontierView {
+    /// A workload-queue set (single layout, or one wheel slot).
+    Workload(WorkloadQueues),
+    /// The MLMQ with the level this wave's enqueues land in.
+    Mlmq { frontier: MlmqFrontier, target: usize },
+}
+
+impl FrontierView {
+    /// Device-side publish of an improved in-window vertex.
+    #[inline]
+    pub(crate) fn enqueue(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
+        match *self {
+            FrontierView::Workload(wq) => wq.enqueue(lane, gb, v),
+            FrontierView::Mlmq { frontier, target } => frontier.enqueue(lane, target, v),
+        }
+    }
+
+    /// Device-side clear of a dequeued vertex's pending mark.
+    /// Atomic: races the enqueue-side `atomic_exch(pending, 1)` of
+    /// concurrent improvers — a plain store could be lost and strand
+    /// a re-activation.
+    #[inline]
+    pub(crate) fn clear_pending(&self, lane: &mut Lane<'_>, v: VertexId) {
+        let pending = match *self {
+            FrontierView::Workload(wq) => wq.pending,
+            FrontierView::Mlmq { frontier, .. } => frontier.pending,
+        };
+        lane.atomic_exch(pending, v, 0);
+    }
+
+    /// Charge the fetch of work item `i` of `class` against the queue
+    /// buffer that held it.
+    #[inline]
+    pub(crate) fn charge_slot(&self, lane: &mut Lane<'_>, class: usize, i: u32) {
+        match *self {
+            FrontierView::Workload(wq) => {
+                let _ = wq.q[class].read_slot(lane, i);
+            }
+            FrontierView::Mlmq { frontier, target } => {
+                // Host-side classing concatenated the sub-queues; the
+                // modulo keeps the charge inside one sub-queue buffer.
+                let q = frontier.levels[target][class % MLMQ_FANOUT];
+                let _ = q.read_slot(lane, i % q.capacity);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbs_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FrontierKind::ALL {
+            assert_eq!(FrontierKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(FrontierKind::parse("bogus"), None);
+        assert_eq!(FrontierKind::default(), FrontierKind::Single);
+        assert_eq!(FrontierKind::Single.label_suffix(), "");
+    }
+
+    #[test]
+    fn mlmq_spills_to_the_next_level_instead_of_overflowing() {
+        // Push far more distinct vertices than one level holds: the
+        // overflow must land in the deferred level, check() stays Ok,
+        // and has_deferred reports the spill until it is drained.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let n = 64u32;
+        let mut f = MlmqFrontier::new(&mut d, n, false);
+        // Shrink the active level so the storm must spill.
+        for q in &mut f.levels[0] {
+            q.capacity = 2;
+        }
+        let view = FrontierView::Mlmq { frontier: f, target: 0 };
+        d.launch("storm", n as u64, move |lane| {
+            let v = lane.tid() as u32;
+            // Exercise the enqueue path directly (no graph reads —
+            // adwl is off, so classification never touches gb).
+            match view {
+                FrontierView::Mlmq { frontier, target } => frontier.enqueue(lane, target, v),
+                FrontierView::Workload(_) => unreachable!(),
+            }
+        });
+        assert!(f.check(&d).is_ok(), "spilled pushes are not overflow");
+        assert!(f.has_deferred(&d));
+        let g = crate::Csr::from_raw(vec![0; n as usize + 1], vec![], vec![]);
+        let active: usize = f.drain_layer(&mut d, &g).new_members.len();
+        f.advance();
+        let deferred: usize = f.drain_layer(&mut d, &g).new_members.len();
+        assert_eq!(active + deferred, n as usize, "no push lost");
+        assert!(active <= 2 * MLMQ_FANOUT, "active level was capacity-capped");
+        assert!(deferred >= n as usize - 2 * MLMQ_FANOUT);
+        assert!(!f.has_deferred(&d));
+    }
+
+    #[test]
+    fn mlmq_spill_of_spill_is_real_loss() {
+        // Both levels rigged tiny: the spill level's drop path must
+        // raise the sticky overflow so the host never trusts the run.
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let n = 64u32;
+        let mut f = MlmqFrontier::new(&mut d, n, false);
+        for level in &mut f.levels {
+            for q in level {
+                q.capacity = 1;
+            }
+        }
+        d.launch("storm", n as u64, move |lane| {
+            let v = lane.tid() as u32;
+            f.enqueue(lane, 0, v);
+        });
+        assert!(f.check(&d).is_err(), "a full spill level is a detected loss");
+    }
+
+    #[test]
+    fn mlmq_pending_dedup_spans_levels() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let f = MlmqFrontier::new(&mut d, 16, false);
+        d.launch("dupes", 32, move |lane| {
+            f.enqueue(lane, 0, 7); // every lane publishes the same vertex
+        });
+        let g = crate::Csr::from_raw(vec![0; 17], vec![], vec![]);
+        let layer = f.drain_layer(&mut d, &g);
+        assert_eq!(layer.new_members, vec![7], "pending marks deduplicate across the fan-out");
+    }
+
+    #[test]
+    fn wheel_rotates_through_all_slots() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut w = WheelFrontier::new(&mut d, 8, false);
+        let first = w.slot().members.data;
+        let mut seen = vec![first];
+        for _ in 0..WHEEL_SLOTS - 1 {
+            w.advance();
+            let cur = w.slot().members.data;
+            assert!(!seen.contains(&cur), "each bucket gets its own slot");
+            seen.push(cur);
+        }
+        w.advance();
+        assert_eq!(w.slot().members.data, first, "the wheel wraps");
+    }
+}

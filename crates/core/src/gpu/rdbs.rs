@@ -21,11 +21,21 @@
 //!   ([`crate::adaptive_delta`]), and the heavy-edge offsets are
 //!   recomputed on-device when the width changed (§4.1: "the offset of
 //!   heavy edges can be changed immediately").
+//!
+//! The worklists themselves live behind the pluggable [`Frontier`]
+//! seam ([`super::frontier`]): the classic single queue set, a bucket
+//! wheel, or the multi-level multi-queue whose full sub-queues *spill*
+//! into a deferred level instead of overflowing. A spilling frontier
+//! changes two driver invariants: the phase-1/phase-2 staleness check
+//! only rejects `dist >= hi` (a deferred activation arrives with a
+//! distance below the current window and is re-relaxed idempotently),
+//! and a bucket that looks finished re-runs while any deferred level
+//! still holds entries.
 
 use super::buffers::{DeviceQueue, GraphBuffers, QueueOverflow};
+use super::frontier::{AnyFrontier, Frontier, FrontierKind, FrontierView};
 use crate::adaptive_delta::DeltaController;
 use crate::stats::{trace as relax_trace, SsspResult, UpdateStats};
-use crate::workload::{classify, WorkloadClass};
 use crate::{default_delta, Csr, Dist, VertexId, Weight, INF};
 use rdbs_gpu_sim::{Buf, Device, Lane};
 use std::cell::Cell;
@@ -45,50 +55,63 @@ pub struct RdbsConfig {
     pub basyn: bool,
     /// Initial bucket width Δ₀ (`None` → [`default_delta`]).
     pub delta0: Option<Weight>,
+    /// Device frontier layout ([`FrontierKind::Single`] reproduces
+    /// the original queue set bit-for-bit).
+    pub frontier: FrontierKind,
 }
 
 impl RdbsConfig {
     /// The full RDBS: BASYN + PRO + ADWL (the paper's headline).
     pub fn full() -> Self {
-        Self { pro: true, adwl: true, basyn: true, delta0: None }
+        Self { pro: true, adwl: true, basyn: true, delta0: None, frontier: FrontierKind::Single }
     }
 
     /// Fig. 8's `BASYN+PRO` ablation.
     pub fn basyn_pro() -> Self {
-        Self { pro: true, adwl: false, basyn: true, delta0: None }
+        Self { pro: true, adwl: false, basyn: true, delta0: None, frontier: FrontierKind::Single }
     }
 
     /// Fig. 8's `BASYN+ADWL` ablation.
     pub fn basyn_adwl() -> Self {
-        Self { pro: false, adwl: true, basyn: true, delta0: None }
+        Self { pro: false, adwl: true, basyn: true, delta0: None, frontier: FrontierKind::Single }
     }
 
     /// BASYN alone (not plotted in Fig. 8 but useful for ablations).
     pub fn basyn_only() -> Self {
-        Self { pro: false, adwl: false, basyn: true, delta0: None }
+        Self { pro: false, adwl: false, basyn: true, delta0: None, frontier: FrontierKind::Single }
     }
 
     /// Plain synchronous Δ-stepping on GPU (no paper optimization).
     pub fn sync_delta() -> Self {
-        Self { pro: false, adwl: false, basyn: false, delta0: None }
+        Self { pro: false, adwl: false, basyn: false, delta0: None, frontier: FrontierKind::Single }
     }
 
-    /// Human-readable variant label matching the paper's legends.
+    /// Run on the given frontier layout.
+    pub fn with_frontier(mut self, frontier: FrontierKind) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Human-readable variant label matching the paper's legends,
+    /// suffixed with the frontier layout when it is not the default.
     pub fn label(&self) -> String {
-        if !self.basyn && !self.pro && !self.adwl {
-            return "SYNC-Δ".into();
-        }
-        let mut parts: Vec<&str> = Vec::new();
-        if self.basyn {
-            parts.push("BASYN");
-        }
-        if self.pro {
-            parts.push("PRO");
-        }
-        if self.adwl {
-            parts.push("ADWL");
-        }
-        parts.join("+")
+        let mut label = if !self.basyn && !self.pro && !self.adwl {
+            "SYNC-Δ".to_string()
+        } else {
+            let mut parts: Vec<&str> = Vec::new();
+            if self.basyn {
+                parts.push("BASYN");
+            }
+            if self.pro {
+                parts.push("PRO");
+            }
+            if self.adwl {
+                parts.push("ADWL");
+            }
+            parts.join("+")
+        };
+        label.push_str(self.frontier.label_suffix());
+        label
     }
 }
 
@@ -99,69 +122,6 @@ struct Inst {
     checks: Cell<u64>,
     updates: Cell<u64>,
     active: Cell<u64>,
-}
-
-/// The three workload lists (one used when ADWL is off).
-#[derive(Clone, Copy)]
-pub(crate) struct Queues {
-    pub(crate) q: [DeviceQueue; WorkloadClass::COUNT],
-    /// Every enqueued vertex is also recorded here: the union over a
-    /// bucket is exactly the bucket's membership, which phase 2 needs
-    /// — tracking it at enqueue time replaces a full vertex scan.
-    pub(crate) members: DeviceQueue,
-    pub(crate) pending: Buf,
-    pub(crate) adwl: bool,
-}
-
-impl Queues {
-    fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
-        let q = [
-            DeviceQueue::new(device, "workload_small", n),
-            DeviceQueue::new(device, "workload_medium", n),
-            DeviceQueue::new(device, "workload_large", n),
-        ];
-        let members = DeviceQueue::new(device, "bucket_members", n);
-        let pending = device.alloc("pending", n as usize);
-        Self { q, members, pending, adwl }
-    }
-
-    /// `Err` if any workload list's sticky overflow cell is raised
-    /// (checked once per bucket — the cells survive drains).
-    fn check(&self, device: &Device) -> Result<(), QueueOverflow> {
-        for q in self.q.iter().chain(std::iter::once(&self.members)) {
-            q.check(device)?;
-        }
-        Ok(())
-    }
-
-    /// Device-side light-degree probe used for classification. Under
-    /// PRO this is two row loads (the paper: "with property-driven
-    /// reordering, we can quickly calculate the number of light
-    /// edges"); without it the total degree serves as the proxy.
-    #[inline]
-    fn light_degree(lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) -> u32 {
-        let s = lane.ld(gb.row, v);
-        let e = match gb.heavy {
-            Some(h) => lane.ld(h, v),
-            None => lane.ld(gb.row, v + 1),
-        };
-        e - s
-    }
-
-    /// Device-side enqueue with pending dedup and ADWL classification.
-    #[inline]
-    fn enqueue(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
-        if lane.atomic_exch(self.pending, v, 1) != 0 {
-            return; // already queued
-        }
-        let class = if self.adwl {
-            classify(Self::light_degree(lane, gb, v))
-        } else {
-            WorkloadClass::Small
-        };
-        self.q[class.index()].push(lane, v);
-        self.members.push(lane, v);
-    }
 }
 
 /// Per-bucket trace of a GPU run (coarser than the sequential
@@ -209,13 +169,13 @@ pub struct RdbsRun {
     pub audit: Vec<MonotonicityViolation>,
 }
 
-/// Per-query device scratch for [`rdbs_on`]: the workload lists, the
-/// bucket-membership queue, the pending marks and the phase-3 scan
-/// cells. Allocated once and recycled across queries of the same
-/// graph by the resident service ([`crate::service`]) via
+/// Per-query device scratch for [`rdbs_on`]: the frontier (workload
+/// lists, membership, pending marks — whatever the layout needs) and
+/// the phase-3 scan cells. Allocated once and recycled across queries
+/// of the same graph by the resident service ([`crate::service`]) via
 /// [`RdbsScratch::reset`].
 pub struct RdbsScratch {
-    pub(crate) queues: Queues,
+    pub(crate) frontier: AnyFrontier,
     /// `scan_out[0]` = next-bucket active count, `scan_out[1]` = min
     /// unsettled distance beyond the window.
     pub(crate) scan_out: Buf,
@@ -223,26 +183,22 @@ pub struct RdbsScratch {
 
 impl RdbsScratch {
     /// Allocate fresh scratch for an `n`-vertex graph.
-    pub fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
-        let queues = Queues::new(device, n, adwl);
+    pub fn new(device: &mut Device, n: u32, config: RdbsConfig) -> Self {
+        let frontier = AnyFrontier::new(device, n, config.adwl, config.frontier);
         let scan_out = device.alloc("scan_out", 2);
-        Self { queues, scan_out }
+        Self { frontier, scan_out }
     }
 
     /// Assemble scratch from caller-provided (e.g. pooled) parts.
-    pub(crate) fn from_parts(queues: Queues, scan_out: Buf) -> Self {
-        Self { queues, scan_out }
+    pub(crate) fn from_parts(frontier: AnyFrontier, scan_out: Buf) -> Self {
+        Self { frontier, scan_out }
     }
 
     /// Reset for a fresh query: empty non-overflowed queues, cleared
     /// pending marks. Queue *contents* are not zeroed — the cursors
     /// define what is live.
     pub fn reset(&self, device: &mut Device) {
-        for q in &self.queues.q {
-            q.reset(device);
-        }
-        self.queues.members.reset(device);
-        device.fill(self.queues.pending, 0);
+        self.frontier.reset(device);
     }
 }
 
@@ -263,12 +219,13 @@ pub fn rdbs(device: &mut Device, graph: &Csr, source: VertexId, config: RdbsConf
     let lanes = device.config().num_sms as u64 * 32 * 2;
     let mut controller = DeltaController::new(width0).with_target_parallelism(lanes);
     let gb = GraphBuffers::upload(device, graph);
-    let scratch = RdbsScratch::new(device, n, config.adwl);
+    let scratch = RdbsScratch::new(device, n, config);
     match rdbs_on(device, gb, &scratch, graph, source, config, &mut controller) {
         Ok(run) => run,
         // Fault-free runs cannot overflow (capacity-n lists with
-        // pending dedup); under an armed fault plan the panic is a
-        // *detection* the recovery ladder ([`crate::recover`]) catches.
+        // pending dedup; the MLMQ spills instead); under an armed
+        // fault plan the panic is a *detection* the recovery ladder
+        // ([`crate::recover`]) catches.
         Err(e) => panic!("{e}"),
     }
 }
@@ -304,7 +261,9 @@ pub fn rdbs_on(
 /// between a query's own.
 pub(crate) struct RdbsDriver {
     gb: GraphBuffers,
-    queues: Queues,
+    /// The driver's own copy of the scratch frontier (its rotation
+    /// cursor advances per bucket; the scratch copy stays at slot 0).
+    frontier: AnyFrontier,
     scan_out: Buf,
     config: RdbsConfig,
     source: VertexId,
@@ -347,18 +306,11 @@ impl RdbsDriver {
 
         scratch.reset(device);
         gb.reset_dist(device, source);
-        let queues = scratch.queues;
+        let frontier = scratch.frontier;
         let scan_out = scratch.scan_out;
 
         // Seed the source.
-        device.write_word(queues.pending, source as usize, 1);
-        let src_class = if config.adwl {
-            classify(host_light_degree(graph, source))
-        } else {
-            WorkloadClass::Small
-        };
-        queues.q[src_class.index()].host_push(device, source);
-        queues.members.host_push(device, source);
+        frontier.seed(device, graph, source);
 
         let audit_prev: Option<Vec<Dist>> =
             device.faults_armed().then(|| device.read(gb.dist)[..n as usize].to_vec());
@@ -371,7 +323,7 @@ impl RdbsDriver {
 
         Self {
             gb,
-            queues,
+            frontier,
             scan_out,
             config,
             source,
@@ -397,7 +349,12 @@ impl RdbsDriver {
         graph: &Csr,
         controller: &mut DeltaController,
     ) -> Result<bool, QueueOverflow> {
-        let (gb, queues, scan_out, config) = (self.gb, self.queues, self.scan_out, self.config);
+        let (gb, frontier, scan_out, config) = (self.gb, self.frontier, self.scan_out, self.config);
+        // A spilling frontier hands phase 1 activations whose
+        // distances settled below the window one bucket ago; accept
+        // them (re-relaxation is idempotent) instead of calling them
+        // stale.
+        let accept_below = frontier.can_spill();
         let lo = self.lo;
         let width = self.width;
         let hi = lo + width as u64;
@@ -408,20 +365,31 @@ impl RdbsDriver {
         let active_before = inst.active.get();
         let mut bucket_members: Vec<VertexId> = Vec::new();
         loop {
-            bucket_members.extend(queues.members.drain(device));
+            let layer = frontier.drain_layer(device, graph);
+            bucket_members.extend(layer.new_members);
             let mut any = false;
-            let lists: Vec<Vec<VertexId>> =
-                (0..WorkloadClass::COUNT).map(|c| queues.q[c].drain(device)).collect();
             if relax_trace::armed() {
                 relax_trace::set_context(lo, relax_trace::Phase::Light, trace.layers);
             }
-            for (c, items) in lists.iter().enumerate() {
+            for (c, items) in layer.lists.iter().enumerate() {
                 if items.is_empty() {
                     continue;
                 }
                 any = true;
                 trace.threads += phase1_wave_threads(graph, c, items, width, config.pro);
-                run_phase1_list(device, config.basyn, c, items, gb, queues, lo, hi, width, inst);
+                run_phase1_list(
+                    device,
+                    config.basyn,
+                    c,
+                    items,
+                    gb,
+                    frontier.relax_view(),
+                    lo,
+                    hi,
+                    width,
+                    accept_below,
+                    inst,
+                );
             }
             if !any {
                 break;
@@ -462,13 +430,14 @@ impl RdbsDriver {
         heavy_relax_wave(
             device,
             gb,
-            queues.members,
+            frontier.membership_backing(),
             &bucket_members,
             graph,
             lo,
             hi,
             width,
             config.pro,
+            accept_below,
             inst,
         );
         device.charge_barrier();
@@ -479,7 +448,7 @@ impl RdbsDriver {
         loop {
             device.write_word(scan_out, 0, 0);
             device.write_word(scan_out, 1, INF);
-            collect_wave(device, gb, queues, scan_out, next_lo, next_hi, inst);
+            collect_wave(device, gb, frontier.collect_view(), scan_out, next_lo, next_hi, inst);
             let active = device.read_word(scan_out, 0);
             let min_beyond = device.read_word(scan_out, 1);
             if active > 0 {
@@ -492,6 +461,13 @@ impl RdbsDriver {
             // Jump the empty distance window.
             next_lo = min_beyond as u64;
             next_hi = next_lo + new_width as u64;
+        }
+        // A spilling frontier may still hold deferred entries even
+        // though the distance scan looks converged: run another
+        // bucket so they drain (their relaxations are idempotent;
+        // convergence re-checks afterwards).
+        if done && frontier.has_deferred(device) {
+            done = false;
         }
         // Re-split light/heavy for the adjusted Δ (§4.1: the offset
         // "can be changed immediately"). Settled vertices are skipped —
@@ -516,11 +492,14 @@ impl RdbsDriver {
         }
         // Surface any queue overflow this bucket produced (the sticky
         // cells survive the drains above) before trusting its output.
-        queues.check(device)?;
+        frontier.check(device)?;
         self.traces.push(trace);
         if !done {
             self.lo = next_lo;
             self.width = new_width;
+            // Rotate: the level/slot phase 3 collected into becomes
+            // the next bucket's active one.
+            self.frontier.advance();
         }
         Ok(done)
     }
@@ -574,14 +553,6 @@ fn audit_bucket(
     }
 }
 
-/// Host-side light-degree (for seeding and T_i accounting).
-fn host_light_degree(graph: &Csr, v: VertexId) -> u32 {
-    match graph.heavy_delta() {
-        Some(d) => graph.light_degree(v, d),
-        None => graph.degree(v),
-    }
-}
-
 /// Lanes a phase-1 wave will use (T_i accounting).
 fn phase1_wave_threads(
     graph: &Csr,
@@ -609,13 +580,13 @@ fn run_phase1_list(
     class: usize,
     items: &[VertexId],
     gb: GraphBuffers,
-    queues: Queues,
+    view: FrontierView,
     lo: u64,
     hi: u64,
     width: Weight,
+    accept_below: bool,
     inst: &Rc<Inst>,
 ) {
-    let queue = queues.q[class];
     let gang = match class {
         0 => 1u32,
         1 => 32,
@@ -628,13 +599,10 @@ fn run_phase1_list(
         let rank = lane.gang_rank();
         let stride = lane.gang_size();
         // Fetch the work item (charged against the queue buffer).
-        let _ = queue.read_slot(lane, i as u32);
+        view.charge_slot(lane, class, i as u32);
         let v = items[i];
         if rank == 0 {
-            // Atomic: races the enqueue-side `atomic_exch(pending, 1)`
-            // of concurrent improvers — a plain store could be lost
-            // and strand a re-activation.
-            lane.atomic_exch(queues.pending, v, 0);
+            view.clear_pending(lane, v);
         }
         // Volatile: in synchronous mode this read races with another
         // lane's atomicMin + pending handshake; a snapshot read there
@@ -643,8 +611,8 @@ fn run_phase1_list(
         let dv = lane.ld_volatile(gb.dist, v);
         lane.alu(2);
         let dvu = dv as u64;
-        if dvu < lo || dvu >= hi {
-            return; // stale activation
+        if dvu >= hi || (!accept_below && dvu < lo) {
+            return; // stale activation (deferred spills are accepted)
         }
         if rank == 0 {
             inst_outer.active.set(inst_outer.active.get() + 1);
@@ -664,14 +632,14 @@ fn run_phase1_list(
             let check_light = gb.heavy.is_none();
             lane.launch_child("phase1_child", count, move |cl| {
                 let e = start + cl.tid() as u32;
-                relax_light_edge(cl, gb, queues, v, e, dv, hi, width, check_light, &inst_child);
+                relax_light_edge(cl, gb, view, v, e, dv, hi, width, check_light, &inst_child);
             });
             return;
         }
         let check_light = gb.heavy.is_none();
         let mut e = start + rank;
         while e < light_end {
-            relax_light_edge(lane, gb, queues, v, e, dv, hi, width, check_light, &inst_outer);
+            relax_light_edge(lane, gb, view, v, e, dv, hi, width, check_light, &inst_outer);
             e += stride;
         }
     };
@@ -697,7 +665,7 @@ fn run_phase1_list(
 fn relax_light_edge(
     lane: &mut Lane<'_>,
     gb: GraphBuffers,
-    queues: Queues,
+    view: FrontierView,
     src: VertexId,
     e: u32,
     dv: u32,
@@ -728,7 +696,7 @@ fn relax_light_edge(
             }
             inst.updates.set(inst.updates.get() + 1);
             if (nd as u64) < hi {
-                queues.enqueue(lane, gb, v2);
+                view.enqueue(lane, gb, v2);
             }
         }
     }
@@ -753,6 +721,7 @@ fn heavy_relax_wave(
     hi: u64,
     width: Weight,
     pro: bool,
+    accept_below: bool,
     inst: &Rc<Inst>,
 ) {
     if items.is_empty() {
@@ -784,7 +753,7 @@ fn heavy_relax_wave(
         let dv = lane.ld_volatile(gb.dist, v);
         lane.alu(1);
         let dvu = dv as u64;
-        if dvu < lo || dvu >= hi {
+        if dvu >= hi || (!accept_below && dvu < lo) {
             return; // stale membership entry
         }
         let end = lane.ld(gb.row, v + 1);
@@ -822,12 +791,12 @@ fn heavy_relax_wave(
 }
 
 /// Phase 3: collect the next bucket's active vertices into the
-/// workload lists; track the minimum unsettled distance beyond the
-/// window so empty windows can be skipped.
+/// frontier; track the minimum unsettled distance beyond the window
+/// so empty windows can be skipped.
 fn collect_wave(
     device: &mut Device,
     gb: GraphBuffers,
-    queues: Queues,
+    view: FrontierView,
     scan_out: Buf,
     next_lo: u64,
     next_hi: u64,
@@ -848,7 +817,7 @@ fn collect_wave(
         }
         if dvu < next_hi {
             lane.atomic_add(scan_out, 0, 1);
-            queues.enqueue(lane, gb, v);
+            view.enqueue(lane, gb, v);
         } else {
             lane.atomic_min(scan_out, 1, dv);
         }
@@ -951,6 +920,80 @@ mod tests {
                     .unwrap_or_else(|m| panic!("seed {seed} {}: {m}", cfg.label()));
             }
         }
+    }
+
+    #[test]
+    fn all_frontiers_match_dijkstra_on_every_ablation() {
+        for seed in 0..2 {
+            let g = random_graph(seed + 20, 80, 400);
+            let oracle = dijkstra(&g, 0);
+            for base in [RdbsConfig::full(), RdbsConfig::basyn_only(), RdbsConfig::sync_delta()] {
+                for kind in FrontierKind::ALL {
+                    let cfg = base.with_frontier(kind);
+                    let (run, _) = run_config(&g, cfg);
+                    check_against(&oracle.dist, &run.result.dist)
+                        .unwrap_or_else(|m| panic!("seed {seed} {}: {m}", cfg.label()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_frontier_is_bit_identical_to_the_pre_seam_layout() {
+        // The refactor contract: running with the explicit Single
+        // frontier is the *same computation* — same distances, same
+        // instruction counts — as the layout the seam replaced.
+        let g = random_graph(31, 100, 500);
+        let (a, da) = run_config(&g, RdbsConfig::full());
+        let (b, db) = run_config(&g, RdbsConfig::full().with_frontier(FrontierKind::Single));
+        assert_eq!(a.result.dist, b.result.dist);
+        assert_eq!(da.counters().inst_executed, db.counters().inst_executed);
+        assert_eq!(
+            da.counters().inst_executed_global_atomics,
+            db.counters().inst_executed_global_atomics
+        );
+    }
+
+    #[test]
+    fn mlmq_spreads_publish_atomics() {
+        // The headline claim at device level: on a frontier-heavy
+        // graph the MLMQ publish path executes fewer global-memory
+        // atomic instructions than the double-push single layout and
+        // serializes less on shared tail counters.
+        let g = random_graph(40, 400, 3200);
+        let base = RdbsConfig::basyn_only();
+        let (run_s, d_s) = run_config(&g, base);
+        let (run_m, d_m) = run_config(&g, base.with_frontier(FrontierKind::Mlmq));
+        assert_eq!(run_s.result.dist, run_m.result.dist);
+        let a_s = d_s.counters().inst_executed_global_atomics;
+        let a_m = d_m.counters().inst_executed_global_atomics;
+        assert!(a_m < a_s, "mlmq atomics {a_m} vs single {a_s}");
+    }
+
+    #[test]
+    fn mlmq_drains_deferred_spills_to_completion() {
+        // Rig a one-shot scratch whose active level is tiny: phase-1
+        // publish storms must spill to the deferred level, and the
+        // driver's has_deferred guard must keep stepping until every
+        // spilled entry is drained — correct distances, no overflow.
+        let g = random_graph(41, 120, 700);
+        let oracle = dijkstra(&g, 0);
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let cfg = RdbsConfig::basyn_only().with_frontier(FrontierKind::Mlmq);
+        let n = g.num_vertices() as u32;
+        let width0 = default_delta(&g);
+        let lanes = d.config().num_sms as u64 * 32 * 2;
+        let mut controller = DeltaController::new(width0).with_target_parallelism(lanes);
+        let gb = GraphBuffers::upload(&mut d, &g);
+        let mut scratch = RdbsScratch::new(&mut d, n, cfg);
+        let AnyFrontier::Mlmq(m) = &mut scratch.frontier else { unreachable!() };
+        // Starve one active-level lane: every push hashed onto it
+        // beyond two entries must take the spill path into the (fully
+        // provisioned) deferred level.
+        m.levels[0][0].capacity = 2;
+        let run = rdbs_on(&mut d, gb, &scratch, &g, 0, cfg, &mut controller)
+            .expect("spills are not overflow");
+        check_against(&oracle.dist, &run.result.dist).unwrap();
     }
 
     #[test]
@@ -1065,5 +1108,13 @@ mod tests {
         assert_eq!(RdbsConfig::basyn_pro().label(), "BASYN+PRO");
         assert_eq!(RdbsConfig::basyn_adwl().label(), "BASYN+ADWL");
         assert_eq!(RdbsConfig::sync_delta().label(), "SYNC-Δ");
+        assert_eq!(
+            RdbsConfig::full().with_frontier(FrontierKind::Mlmq).label(),
+            "BASYN+PRO+ADWL+MLMQ"
+        );
+        assert_eq!(
+            RdbsConfig::sync_delta().with_frontier(FrontierKind::Wheel).label(),
+            "SYNC-Δ+WHEEL"
+        );
     }
 }

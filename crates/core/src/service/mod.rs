@@ -49,8 +49,11 @@ pub mod traffic;
 use crate::adaptive_delta::DeltaController;
 use crate::gpu::bl::{bl_on, BlScratch};
 use crate::gpu::buffers::{DeviceQueue, GraphArrays, GraphBuffers, QueueOverflow};
+use crate::gpu::frontier::{
+    AnyFrontier, FrontierKind, MlmqFrontier, WheelFrontier, WorkloadQueues,
+};
 use crate::gpu::multi::{MultiGpuConfig, MultiGpuState};
-use crate::gpu::rdbs::{self, rdbs_on, Queues, RdbsDriver, RdbsScratch};
+use crate::gpu::rdbs::{self, rdbs_on, RdbsDriver, RdbsScratch};
 use crate::gpu::{RdbsConfig, Variant};
 use crate::seq::dijkstra;
 use crate::stats::{BatchStats, SsspResult};
@@ -87,6 +90,12 @@ pub struct ServiceConfig {
     /// dispatch). Each extra stream leases its own lane of per-query
     /// buffers from the pool; the graph upload stays shared.
     pub streams: usize,
+    /// Logical capacity of each lane's frontier queues (`None` → the
+    /// vertex count, which no fault-free frontier outgrows). Smaller
+    /// values under-provision the frontier deliberately — the
+    /// overflow-stress knob: the single layout escalates through the
+    /// pool ladder, the MLMQ absorbs the pressure by spilling.
+    pub queue_capacity: Option<u32>,
 }
 
 impl ServiceConfig {
@@ -97,24 +106,54 @@ impl ServiceConfig {
             device,
             delta0: None,
             streams: 1,
+            queue_capacity: None,
         }
     }
 
     /// The synchronous push baseline on one device.
     pub fn baseline(device: DeviceConfig) -> Self {
-        Self { backend: Backend::Gpu(Variant::Baseline), device, delta0: None, streams: 1 }
+        Self {
+            backend: Backend::Gpu(Variant::Baseline),
+            device,
+            delta0: None,
+            streams: 1,
+            queue_capacity: None,
+        }
     }
 
     /// The multi-GPU port over `devices` shards (NVLink-class
     /// interconnect defaults).
     pub fn multi(devices: usize, device: DeviceConfig) -> Self {
-        Self { backend: Backend::MultiGpu(devices), device, delta0: None, streams: 1 }
+        Self {
+            backend: Backend::MultiGpu(devices),
+            device,
+            delta0: None,
+            streams: 1,
+            queue_capacity: None,
+        }
     }
 
     /// Spread batches across `streams` command streams.
     pub fn with_streams(mut self, streams: usize) -> Self {
         assert!(streams >= 1, "a service needs at least one stream");
         self.streams = streams;
+        self
+    }
+
+    /// Run the RDBS backend on the given frontier layout (no effect on
+    /// the baseline and multi-GPU backends, which have no frontier).
+    pub fn with_frontier(mut self, frontier: FrontierKind) -> Self {
+        if let Backend::Gpu(Variant::Rdbs(cfg)) = &mut self.backend {
+            cfg.frontier = frontier;
+        }
+        self
+    }
+
+    /// Under- (or over-) provision each lane's frontier queues at
+    /// `capacity` logical slots instead of the vertex count.
+    pub fn with_queue_capacity(mut self, capacity: u32) -> Self {
+        assert!(capacity >= 1, "a frontier needs at least one slot");
+        self.queue_capacity = Some(capacity);
         self
     }
 }
@@ -150,6 +189,10 @@ impl From<QueueOverflow> for ServiceError {
 }
 
 /// Per-query device scratch, shaped by the variant.
+// The RDBS variant is a few hundred bytes of queue handles (the wheel
+// frontier holds four slot sets); it lives in a per-lane slot, not a
+// hot collection, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
 enum Scratch {
     Rdbs(RdbsScratch),
     Bl(BlScratch),
@@ -232,7 +275,8 @@ impl SsspService {
                 let arrays = GraphArrays::upload(&mut device, &run_graph);
                 let uploads = device.counters().h2d_uploads;
                 let dist = pool.acquire(&mut device, "dist", n as usize);
-                let scratch = build_scratch(&mut pool, &mut device, n, variant);
+                let scratch =
+                    build_scratch(&mut pool, &mut device, n, variant, config.queue_capacity);
                 let controller = fresh_controller(&device, &run_graph, variant);
                 let lane0 =
                     QueryLane { dist, scratch, controller, heavy: None, heavy_dirty: false };
@@ -274,7 +318,13 @@ impl SsspService {
                 st.arrays = GraphArrays::upload(&mut st.device, &run_graph);
                 self.uploads_per_graph = st.device.counters().h2d_uploads - before;
                 let dist = self.pool.acquire(&mut st.device, "dist", n as usize);
-                let scratch = build_scratch(&mut self.pool, &mut st.device, n, st.variant);
+                let scratch = build_scratch(
+                    &mut self.pool,
+                    &mut st.device,
+                    n,
+                    st.variant,
+                    self.config.queue_capacity,
+                );
                 let controller = fresh_controller(&st.device, &run_graph, st.variant);
                 st.lanes.push(QueryLane {
                     dist,
@@ -405,6 +455,16 @@ impl SsspService {
         match &self.state {
             State::Gpu(st) => st.device.counters().h2d_uploads,
             State::Multi(st) => st.graph_uploads(),
+        }
+    }
+
+    /// nvprof-style counters accumulated by the resident device since
+    /// construction (`None` for the multi-GPU backend, whose shards
+    /// keep per-device counters).
+    pub fn device_counters(&self) -> Option<&rdbs_gpu_sim::Counters> {
+        match &self.state {
+            State::Gpu(st) => Some(st.device.counters()),
+            State::Multi(_) => None,
         }
     }
 
@@ -599,7 +659,13 @@ impl SsspService {
             // the query resets it — clear recycled (or poison-armed)
             // contents up front.
             st.device.fill(dist, INF);
-            let scratch = build_scratch(&mut self.pool, &mut st.device, n, st.variant);
+            let scratch = build_scratch(
+                &mut self.pool,
+                &mut st.device,
+                n,
+                st.variant,
+                self.config.queue_capacity,
+            );
             let controller = fresh_controller(&st.device, &self.graph, st.variant);
             let heavy = st
                 .arrays
@@ -876,11 +942,23 @@ fn start_rdbs_driver(
 }
 
 /// Escalate a lane's queue set one size class: release the four
-/// queues to the pool and re-acquire them at double the largest
-/// current class. Returns `false` once the next class would exceed
-/// the ceiling — one class above the vertex count, which no
-/// fault-free frontier outgrows (pending marks deduplicate enqueues)
-/// — leaving the caller to the existing recovery ladder.
+/// queues to the pool and re-acquire them — all at the same class, so
+/// the set stays in one size class by construction — at the next
+/// class above the largest current capacity. Returns `false` once the
+/// next class would exceed the ceiling — one class above the vertex
+/// count (`2 * size_class(n)`), which no fault-free frontier outgrows
+/// (pending marks deduplicate enqueues) — leaving the caller to the
+/// existing recovery ladder.
+///
+/// "Next class" is exact, not `2 * size_class(cap)`: a capacity
+/// sitting below its class boundary (e.g. `n = 120`, class 128) first
+/// steps *to* that class, never over it. The old doubling skipped a
+/// class there and, worse, compared the skipped-ahead value against
+/// the ceiling — refusing escalations from any mid-class capacity
+/// (say 200 with ceiling 256) that the documented "replay up to one
+/// class above `size_class(n)`" semantics still allows. A step that
+/// lands exactly on the ceiling escalates; one past it returns
+/// `false`.
 fn escalate_queues(
     pool: &mut BufferPool,
     device: &mut Device,
@@ -890,32 +968,43 @@ fn escalate_queues(
     let Scratch::Rdbs(s) = scratch else {
         return false; // the BL scratch has no queues to escalate
     };
-    let old_cap = s
-        .queues
-        .q
+    // Which workload-queue sets grow: the single layout's one set, or
+    // every wheel slot (uniformly — the set must stay in one size
+    // class). The MLMQ never escalates: a full sub-queue spills to the
+    // deferred level by design, so a raised overflow there is genuine
+    // loss the host oracle answers.
+    let sets: Vec<&mut WorkloadQueues> = match &mut s.frontier {
+        AnyFrontier::Single(wq) => vec![wq],
+        AnyFrontier::Wheel(w) => w.slots.iter_mut().collect(),
+        AnyFrontier::Mlmq(_) => return false,
+    };
+    let old_cap = sets
         .iter()
-        .chain(std::iter::once(&s.queues.members))
+        .flat_map(|wq| wq.queues())
         .map(|q| q.capacity as usize)
         .max()
-        .expect("four queues");
-    let new_cap = 2 * pool::size_class(old_cap);
+        .expect("a workload set holds four queues");
+    let class = pool::size_class(old_cap);
+    let new_cap = if old_cap < class { class } else { 2 * class };
     if new_cap > 2 * pool::size_class(n) {
         return false;
-    }
-    for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
-        pool.release(device, q.data);
-        pool.release(device, q.tail);
-        pool.release(device, q.overflow);
     }
     // pooled_queue resets the recycled cursor cells, clearing the
     // sticky overflow flag before the replay.
     let cap = new_cap as u32;
-    s.queues.q = [
-        pooled_queue(pool, device, "workload_small", cap),
-        pooled_queue(pool, device, "workload_medium", cap),
-        pooled_queue(pool, device, "workload_large", cap),
-    ];
-    s.queues.members = pooled_queue(pool, device, "bucket_members", cap);
+    for wq in sets {
+        for q in wq.queues() {
+            pool.release(device, q.data);
+            pool.release(device, q.tail);
+            pool.release(device, q.overflow);
+        }
+        wq.q = [
+            pooled_queue(pool, device, "workload_small", cap),
+            pooled_queue(pool, device, "workload_medium", cap),
+            pooled_queue(pool, device, "workload_large", cap),
+        ];
+        wq.members = pooled_queue(pool, device, "bucket_members", cap);
+    }
     true
 }
 
@@ -970,8 +1059,17 @@ fn multi_config(config: &ServiceConfig, devices: usize) -> MultiGpuConfig {
     }
 }
 
-/// Acquire the per-query scratch from the pool.
-fn build_scratch(pool: &mut BufferPool, device: &mut Device, n: u32, variant: Variant) -> Scratch {
+/// Acquire the per-query scratch from the pool, shaped by the
+/// variant's frontier layout. The pending-marks buffer is always
+/// vertex-indexed (capacity under-provisioning shrinks the queues,
+/// never the dedup marks).
+fn build_scratch(
+    pool: &mut BufferPool,
+    device: &mut Device,
+    n: u32,
+    variant: Variant,
+    queue_capacity: Option<u32>,
+) -> Scratch {
     match variant {
         Variant::Baseline => {
             let mask = pool.acquire(device, "bl_mask", n as usize);
@@ -979,18 +1077,50 @@ fn build_scratch(pool: &mut BufferPool, device: &mut Device, n: u32, variant: Va
             Scratch::Bl(BlScratch::from_parts(mask, progress))
         }
         Variant::Rdbs(cfg) => {
-            let q = [
-                pooled_queue(pool, device, "workload_small", n),
-                pooled_queue(pool, device, "workload_medium", n),
-                pooled_queue(pool, device, "workload_large", n),
-            ];
-            let members = pooled_queue(pool, device, "bucket_members", n);
+            let cap = queue_capacity.unwrap_or(n);
+            // One vertex-indexed pending buffer per lane, shared by
+            // every slot/level of the frontier.
             let pending = pool.acquire(device, "pending", n as usize);
-            let queues = Queues { q, members, pending, adwl: cfg.adwl };
+            let frontier = match cfg.frontier {
+                FrontierKind::Single => {
+                    AnyFrontier::Single(pooled_workload(pool, device, cap, pending, cfg.adwl))
+                }
+                FrontierKind::Wheel => {
+                    let slots = std::array::from_fn(|_| {
+                        pooled_workload(pool, device, cap, pending, cfg.adwl)
+                    });
+                    AnyFrontier::Wheel(WheelFrontier { slots, pending, active: 0 })
+                }
+                FrontierKind::Mlmq => {
+                    let sub = MlmqFrontier::sub_capacity(cap);
+                    let levels = std::array::from_fn(|_| {
+                        std::array::from_fn(|_| pooled_queue(pool, device, "mlmq_lane", sub))
+                    });
+                    AnyFrontier::Mlmq(MlmqFrontier { levels, pending, adwl: cfg.adwl, active: 0 })
+                }
+            };
             let scan_out = pool.acquire(device, "scan_out", 2);
-            Scratch::Rdbs(RdbsScratch::from_parts(queues, scan_out))
+            Scratch::Rdbs(RdbsScratch::from_parts(frontier, scan_out))
         }
     }
+}
+
+/// One pooled workload-queue set around a caller-owned pending buffer
+/// (wheel slots share one).
+fn pooled_workload(
+    pool: &mut BufferPool,
+    device: &mut Device,
+    cap: u32,
+    pending: Buf,
+    adwl: bool,
+) -> WorkloadQueues {
+    let q = [
+        pooled_queue(pool, device, "workload_small", cap),
+        pooled_queue(pool, device, "workload_medium", cap),
+        pooled_queue(pool, device, "workload_large", cap),
+    ];
+    let members = pooled_queue(pool, device, "bucket_members", cap);
+    WorkloadQueues { q, members, pending, adwl }
 }
 
 /// Assemble a queue from pooled parts. The logical capacity stays the
@@ -1005,7 +1135,7 @@ fn pooled_queue(
 ) -> DeviceQueue {
     let data = pool.acquire(device, label, capacity as usize);
     let tail = pool.acquire(device, "queue_tail", 1);
-    let overflow = pool.acquire(device, "queue_overflow", 1);
+    let overflow = pool.acquire(device, "queue_overflow", crate::gpu::buffers::OVERFLOW_WORDS);
     let queue = DeviceQueue { data, tail, overflow, capacity, label };
     queue.reset(device); // recycled cursor/overflow cells hold stale words
     queue
@@ -1025,12 +1155,12 @@ fn release_gpu_buffers(pool: &BufferPool, st: &mut GpuState) {
                 pool.release(device, s.progress);
             }
             Scratch::Rdbs(s) => {
-                for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
+                for q in s.frontier.device_queues() {
                     pool.release(device, q.data);
                     pool.release(device, q.tail);
                     pool.release(device, q.overflow);
                 }
-                pool.release(device, s.queues.pending);
+                pool.release(device, s.frontier.pending());
                 pool.release(device, s.scan_out);
             }
         }
@@ -1068,11 +1198,18 @@ mod tests {
         build_undirected(&EdgeList::from_edges(leaves + 1, edges))
     }
 
-    /// Pin every queue of lane 0 at `cap` slots.
-    fn set_queue_caps(svc: &mut SsspService, cap: u32) {
+    /// Lane 0's single-layout workload set, for capacity rigs.
+    fn lane0_workload(svc: &mut SsspService) -> &mut WorkloadQueues {
         let State::Gpu(st) = &mut svc.state else { unreachable!() };
         let Scratch::Rdbs(s) = &mut st.lanes[0].scratch else { unreachable!() };
-        for q in s.queues.q.iter_mut().chain(std::iter::once(&mut s.queues.members)) {
+        let AnyFrontier::Single(wq) = &mut s.frontier else { unreachable!() };
+        wq
+    }
+
+    /// Pin every queue of lane 0 at `cap` slots.
+    fn set_queue_caps(svc: &mut SsspService, cap: u32) {
+        let wq = lane0_workload(svc);
+        for q in wq.q.iter_mut().chain(std::iter::once(&mut wq.members)) {
             q.capacity = cap;
         }
     }
@@ -1148,12 +1285,12 @@ mod tests {
             let lane = &st.lanes[0];
             st.device.fill(lane.dist, 0xDEAD_BEEF);
             if let Scratch::Rdbs(s) = &lane.scratch {
-                for q in s.queues.q.iter().chain(std::iter::once(&s.queues.members)) {
+                for q in s.frontier.device_queues() {
                     st.device.fill(q.data, 0xDEAD_BEEF);
                     st.device.fill(q.tail, 0);
                     st.device.fill(q.overflow, 0);
                 }
-                st.device.fill(s.queues.pending, 0xDEAD_BEEF);
+                st.device.fill(s.frontier.pending(), 0xDEAD_BEEF);
                 st.device.fill(s.scan_out, 0xDEAD_BEEF);
             }
         }
@@ -1169,12 +1306,8 @@ mod tests {
         // answers, zero host fallbacks.
         let g = graph(6);
         let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
-        if let State::Gpu(st) = &mut svc.state {
-            if let Scratch::Rdbs(s) = &mut st.lanes[0].scratch {
-                for q in &mut s.queues.q {
-                    q.capacity = 1;
-                }
-            }
+        for q in &mut lane0_workload(&mut svc).q {
+            q.capacity = 1;
         }
         let results = svc.batch(&[0, 1]);
         let stats = svc.stats();
@@ -1197,9 +1330,67 @@ mod tests {
             assert!(steps < 16, "the ladder must terminate");
         }
         let Scratch::Rdbs(s) = &st.lanes[0].scratch else { unreachable!() };
-        assert_eq!(s.queues.q[0].capacity as usize, 2 * pool::size_class(n));
-        assert_eq!(s.queues.members.capacity as usize, 2 * pool::size_class(n));
-        assert_eq!(steps, 1, "n=120 queues start at class 128; one step reaches the ceiling");
+        let AnyFrontier::Single(wq) = &s.frontier else { unreachable!() };
+        assert_eq!(wq.q[0].capacity as usize, 2 * pool::size_class(n));
+        assert_eq!(wq.members.capacity as usize, 2 * pool::size_class(n));
+        assert_eq!(
+            steps, 2,
+            "n=120 queues start mid-class at capacity 120: one step to class 128, one to the \
+             256 ceiling — never skipping a class"
+        );
+    }
+
+    #[test]
+    fn escalation_ceiling_is_inclusive_and_one_past_refuses() {
+        // The pinned boundary semantics: a step landing exactly on the
+        // ceiling (2 * size_class(n)) escalates; the step past it
+        // returns false. And after any escalation the four queues sit
+        // in one size class regardless of how unequal they were rigged.
+        let g = graph(6);
+        let mut svc = SsspService::new(&g, ServiceConfig::rdbs(tiny()));
+        let n = svc.num_vertices();
+        let ceiling = 2 * pool::size_class(n);
+
+        // Rig the set unequal, max exactly one class below the ceiling.
+        {
+            let wq = lane0_workload(&mut svc);
+            wq.members.capacity = pool::size_class(n) as u32;
+            for q in &mut wq.q {
+                q.capacity = 1;
+            }
+        }
+        let State::Gpu(st) = &mut svc.state else { unreachable!() };
+        assert!(
+            escalate_queues(&mut svc.pool, &mut st.device, &mut st.lanes[0].scratch, n),
+            "a step landing exactly on the ceiling must escalate"
+        );
+        {
+            let Scratch::Rdbs(s) = &st.lanes[0].scratch else { unreachable!() };
+            let AnyFrontier::Single(wq) = &s.frontier else { unreachable!() };
+            for q in wq.queues() {
+                assert_eq!(q.capacity as usize, ceiling, "all four queues in one size class");
+            }
+        }
+        assert!(
+            !escalate_queues(&mut svc.pool, &mut st.device, &mut st.lanes[0].scratch, n),
+            "one past the ceiling must refuse"
+        );
+        // A mid-class capacity below the ceiling (the old doubling
+        // refused here) steps to the ceiling, not past it.
+        {
+            let Scratch::Rdbs(s) = &mut st.lanes[0].scratch else { unreachable!() };
+            let AnyFrontier::Single(wq) = &mut s.frontier else { unreachable!() };
+            for q in wq.q.iter_mut().chain(std::iter::once(&mut wq.members)) {
+                q.capacity = (ceiling - 1) as u32;
+            }
+        }
+        assert!(
+            escalate_queues(&mut svc.pool, &mut st.device, &mut st.lanes[0].scratch, n),
+            "a mid-class capacity below the ceiling may still take its last step"
+        );
+        let Scratch::Rdbs(s) = &st.lanes[0].scratch else { unreachable!() };
+        let AnyFrontier::Single(wq) = &s.frontier else { unreachable!() };
+        assert_eq!(wq.q[0].capacity as usize, ceiling);
     }
 
     #[test]
@@ -1242,10 +1433,10 @@ mod tests {
         assert_eq!(stats.fallbacks, 0);
         let State::Gpu(st) = &svc.state else { unreachable!() };
         let Scratch::Rdbs(s) = &st.lanes[0].scratch else { unreachable!() };
+        let AnyFrontier::Single(wq) = &s.frontier else { unreachable!() };
         assert!(
-            pool::size_class(s.queues.q[0].capacity as usize)
-                > pool::size_class((exact - 1) as usize),
-            "the pool must not hand back a same-size queue set"
+            wq.q[0].capacity > exact - 1,
+            "the ladder must hand back a strictly larger queue set"
         );
     }
 
@@ -1328,13 +1519,14 @@ mod tests {
         {
             let State::Gpu(st) = &mut svc.state else { unreachable!() };
             let Scratch::Rdbs(s) = &mut st.lanes[1].scratch else { unreachable!() };
+            let AnyFrontier::Single(wq) = &mut s.frontier else { unreachable!() };
             // The members queue pins the set's max capacity at the
             // ceiling (so escalation refuses to grow it further) while
             // the workload queues still overflow on the first push
             // storm. The graph's frontier never outgrows the members
             // buffer itself, so the logical cap is safe.
-            s.queues.members.capacity = (2 * pool::size_class(n)) as u32;
-            for q in &mut s.queues.q {
+            wq.members.capacity = (2 * pool::size_class(n)) as u32;
+            for q in &mut wq.q {
                 q.capacity = 1;
             }
         }
@@ -1388,6 +1580,68 @@ mod tests {
             }
             assert_eq!(svc.device_uploads(), uploads);
         }
+    }
+
+    #[test]
+    fn every_frontier_answers_batches_correctly() {
+        let g = graph(14);
+        let sources: Vec<VertexId> = (0..8).map(|i| i * 11 % 120).collect();
+        for kind in FrontierKind::ALL {
+            for streams in [1usize, 4] {
+                let config = ServiceConfig::rdbs(tiny()).with_frontier(kind).with_streams(streams);
+                let mut svc = SsspService::new(&g, config);
+                let results = svc.batch(&sources);
+                for (i, &s) in sources.iter().enumerate() {
+                    check_against_dijkstra(&g, s, &results[i].dist)
+                        .unwrap_or_else(|m| panic!("{kind} streams={streams} source {s}: {m}"));
+                }
+                let stats = svc.stats();
+                assert_eq!(stats.fallbacks, 0, "{kind} streams={streams}");
+                if streams > 1 {
+                    assert!(stats.inflight_peak > 1, "{kind} must overlap across streams");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mlmq_spills_where_single_escalates() {
+        // Under-provision the frontier below a star's one-bucket push
+        // storm. The single layout must climb the escalation ladder;
+        // the MLMQ absorbs the same storm by spilling into its
+        // deferred level — zero escalations, zero fallbacks, and the
+        // answers stay exact either way.
+        let g = star(64);
+        let rigged = || ServiceConfig::rdbs(tiny()).with_queue_capacity(24);
+
+        let mut single = SsspService::new(&g, rigged());
+        check_against_dijkstra(&g, 0, &single.query(0).dist).unwrap();
+        let s = single.stats();
+        assert!(s.escalations >= 1, "a 24-slot queue cannot hold a 64-leaf frontier");
+        assert_eq!(s.fallbacks, 0);
+
+        let mut mlmq = SsspService::new(&g, rigged().with_frontier(FrontierKind::Mlmq));
+        check_against_dijkstra(&g, 0, &mlmq.query(0).dist).unwrap();
+        let m = mlmq.stats();
+        assert_eq!(m.escalations, 0, "the MLMQ spills instead of escalating");
+        assert_eq!(m.fallbacks, 0, "a spill is not a loss");
+    }
+
+    #[test]
+    fn mlmq_real_loss_still_reaches_the_host_oracle() {
+        // Starve the MLMQ so far that even the spill level drops
+        // pushes: escalation is not available to it, so the detected
+        // loss must fall back to host Dijkstra — never a silently
+        // truncated answer.
+        let g = star(64);
+        let config =
+            ServiceConfig::rdbs(tiny()).with_frontier(FrontierKind::Mlmq).with_queue_capacity(2);
+        let mut svc = SsspService::new(&g, config);
+        let results = svc.batch(&[0]);
+        check_against_dijkstra(&g, 0, &results[0].dist).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.escalations, 0);
+        assert!(stats.fallbacks >= 1, "spill-of-spill loss must be detected and re-answered");
     }
 
     #[test]

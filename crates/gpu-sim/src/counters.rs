@@ -16,6 +16,12 @@ pub struct Counters {
     pub inst_executed_global_stores: u64,
     /// Warp-level atomic instructions (Fig. 10 (c)).
     pub inst_executed_atomics: u64,
+    /// Warp-level atomic instructions on global memory. The simulator
+    /// models no shared-memory atomics, so this tracks
+    /// `inst_executed_atomics` exactly — kept as its own nvprof-named
+    /// counter so frontier ablations can gate on the metric the MLMQ
+    /// paper reports.
+    pub inst_executed_global_atomics: u64,
     /// Memory transactions from global load instructions.
     pub gld_transactions: u64,
     /// Memory transactions from global store instructions.
@@ -97,6 +103,7 @@ impl Counters {
             ("inst_executed_global_loads", self.inst_executed_global_loads as f64),
             ("inst_executed_global_stores", self.inst_executed_global_stores as f64),
             ("inst_executed_atomics", self.inst_executed_atomics as f64),
+            ("inst_executed_global_atomics", self.inst_executed_global_atomics as f64),
             ("gld_transactions", self.gld_transactions as f64),
             ("gst_transactions", self.gst_transactions as f64),
             ("atom_transactions", self.atom_transactions as f64),
@@ -120,6 +127,7 @@ impl Counters {
         self.inst_executed_global_loads += other.inst_executed_global_loads;
         self.inst_executed_global_stores += other.inst_executed_global_stores;
         self.inst_executed_atomics += other.inst_executed_atomics;
+        self.inst_executed_global_atomics += other.inst_executed_global_atomics;
         self.gld_transactions += other.gld_transactions;
         self.gst_transactions += other.gst_transactions;
         self.atom_transactions += other.atom_transactions;

@@ -83,7 +83,12 @@ pub fn replay_warp(
                     match kind {
                         OpKind::Load => counters.inst_executed_global_loads += 1,
                         OpKind::Store => counters.inst_executed_global_stores += 1,
-                        OpKind::Atomic => counters.inst_executed_atomics += 1,
+                        OpKind::Atomic => {
+                            counters.inst_executed_atomics += 1;
+                            // All simulated atomics target global
+                            // memory (there is no shared-memory tier).
+                            counters.inst_executed_global_atomics += 1;
+                        }
                         OpKind::Alu => unreachable!(),
                     }
                     // Coalesce into sectors.

@@ -24,7 +24,7 @@ use rdbs::graph::{datasets, io, Csr, Dist, VertexId, INF};
 use rdbs::sim::{Device, DeviceConfig};
 use rdbs::sssp::cpu::{async_bucket_sssp, default_threads, parallel_delta_stepping};
 use rdbs::sssp::gpu::{multi_gpu_sssp, MultiGpuConfig};
-use rdbs::sssp::gpu::{run_gpu, RdbsConfig, Variant};
+use rdbs::sssp::gpu::{run_gpu, FrontierKind, RdbsConfig, Variant};
 use rdbs::sssp::seq::dial;
 use rdbs::sssp::seq::{bellman_ford, delta_stepping, dijkstra};
 use rdbs::sssp::{default_delta, validate};
@@ -390,6 +390,13 @@ with --validate, if any query disagrees with Dijkstra).
                       kronecker:12:16; erdos:1500:6000 with --quick)
   --backend rdbs|bl|multi-gpu:K
                       execution engine (default rdbs = BASYN+PRO+ADWL)
+  --frontier single|wheel|mlmq
+                      device frontier layout for the rdbs backend
+                      (default single; mlmq spills overflow to the next
+                      level instead of escalating)
+  --queue-capacity N  under- (or over-) provision each lane's frontier
+                      queues at N logical slots instead of the vertex
+                      count (stresses escalation / the MLMQ spill path)
   --seed S            rng seed for graph and source choice (default 42)
   --device V100|T4|TINY  simulated GPU (default V100; TINY with --quick)
   --delta0 W          bucket width override
@@ -428,6 +435,8 @@ fn serve_main(args: Vec<String>) -> ! {
     let mut sources = 16usize;
     let mut streams = 1usize;
     let mut backend_spec = "rdbs".to_string();
+    let mut frontier: Option<FrontierKind> = None;
+    let mut queue_capacity: Option<u32> = None;
     let mut quick = false;
     let mut device_flag: Option<String> = None;
     let mut arrivals: Option<String> = None;
@@ -447,6 +456,15 @@ fn serve_main(args: Vec<String>) -> ! {
             "--streams" => streams = val().parse().unwrap_or_else(|_| serve_usage()),
             "--gen" => o.gen_spec = Some(val()),
             "--backend" => backend_spec = val().to_lowercase(),
+            "--frontier" => {
+                frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| serve_usage()));
+            }
+            "--queue-capacity" => {
+                queue_capacity = Some(val().parse().unwrap_or_else(|_| serve_usage()));
+                if queue_capacity == Some(0) {
+                    serve_usage();
+                }
+            }
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| serve_usage()),
             "--device" => device_flag = Some(val()),
             "--delta0" => o.delta0 = Some(val().parse().unwrap_or_else(|_| serve_usage())),
@@ -506,7 +524,20 @@ fn serve_main(args: Vec<String>) -> ! {
     if streams == 0 {
         serve_usage();
     }
-    let config = ServiceConfig { backend, device: o.device.clone(), delta0: o.delta0, streams };
+    let mut config = ServiceConfig {
+        backend,
+        device: o.device.clone(),
+        delta0: o.delta0,
+        streams,
+        queue_capacity,
+    };
+    if let Some(kind) = frontier {
+        if !matches!(config.backend, Backend::Gpu(Variant::Rdbs(_))) {
+            eprintln!("error: --frontier only applies to the rdbs backend\n");
+            serve_usage();
+        }
+        config = config.with_frontier(kind);
+    }
 
     let built = std::time::Instant::now();
     let mut service = SsspService::new(&g, config);
@@ -703,6 +734,9 @@ the first divergence. Exits non-zero on any mismatch.
   --quick             reduced sweep (two families, one source)
   --impl SUBSTR       only implementations whose id contains SUBSTR
   --graph SUBSTR      only families whose name contains SUBSTR
+  --frontier single|wheel|mlmq
+                      run every RDBS-backed implementation on this
+                      device frontier layout
   --delta0 W          bucket-width override for the whole sweep
   --inject-fault      also run the registry's deliberate fault specimen
                       (demonstrates the shrink + localize pipeline)
@@ -726,6 +760,7 @@ struct VerifyOptions {
     quick: bool,
     impl_filter: Option<String>,
     graph_filter: Option<String>,
+    frontier: Option<FrontierKind>,
     delta0: Option<u32>,
     inject_fault: bool,
     shrink: bool,
@@ -738,6 +773,7 @@ fn parse_verify_args(args: Vec<String>) -> VerifyOptions {
         quick: false,
         impl_filter: None,
         graph_filter: None,
+        frontier: None,
         delta0: None,
         inject_fault: false,
         shrink: true,
@@ -751,6 +787,9 @@ fn parse_verify_args(args: Vec<String>) -> VerifyOptions {
             "--quick" => o.quick = true,
             "--impl" => o.impl_filter = Some(val()),
             "--graph" => o.graph_filter = Some(val()),
+            "--frontier" => {
+                o.frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| verify_usage()));
+            }
             "--delta0" => o.delta0 = Some(val().parse().unwrap_or_else(|_| verify_usage())),
             "--inject-fault" => o.inject_fault = true,
             "--no-shrink" => o.shrink = false,
@@ -777,6 +816,10 @@ fn verify_main(args: Vec<String>) -> ! {
             eprintln!("error: unknown implementation '{id}'\n");
             verify_usage()
         });
+        let imp = match o.frontier {
+            Some(kind) => imp.with_frontier(kind),
+            None => imp,
+        };
         let file = std::fs::File::open(path).unwrap_or_else(|e| {
             eprintln!("cannot open {path}: {e}");
             exit(1)
@@ -812,6 +855,7 @@ fn verify_main(args: Vec<String>) -> ! {
         graph_filter: o.graph_filter.clone(),
         include_faults: o.inject_fault,
         delta0: o.delta0,
+        frontier: o.frontier,
     };
     let mut current_graph = String::new();
     let mut graph_cases = 0usize;
@@ -857,6 +901,10 @@ fn verify_main(args: Vec<String>) -> ! {
     if o.shrink {
         let first = &report.failures[0];
         let imp = conf::by_id(first.impl_id).expect("failure ids come from the registry");
+        let imp = match o.frontier {
+            Some(kind) => imp.with_frontier(kind),
+            None => imp,
+        };
         let family = conf::families().into_iter().find(|g| g.name == first.graph);
         if let Some(family) = family {
             println!(
@@ -911,6 +959,9 @@ the same fault schedules byte for byte.
   --model SUBSTR      only fault models whose name contains SUBSTR
   --entry SUBSTR      only entry points whose id contains SUBSTR
   --graph SUBSTR      only families whose name contains SUBSTR
+  --frontier single|wheel|mlmq
+                      run every RDBS-backed entry on this device
+                      frontier layout (service/mlmq-spill keeps its own)
   --rate R            injection rate override (default is per-model)
   --seed N            fault seed (repeatable; default 1,2 — or 1 with --quick)
   --reports           print the recovery report for every cell, not just
@@ -966,6 +1017,9 @@ fn chaos_main(args: Vec<String>) -> ! {
             "--model" => o.model_filter = Some(val()),
             "--entry" => o.entry_filter = Some(val()),
             "--graph" => o.graph_filter = Some(val()),
+            "--frontier" => {
+                o.frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| chaos_usage()));
+            }
             "--rate" => o.rate = Some(val().parse().unwrap_or_else(|_| chaos_usage())),
             "--seed" => o.seeds.push(val().parse().unwrap_or_else(|_| chaos_usage())),
             "--reports" => show_all_reports = true,
@@ -1048,6 +1102,9 @@ fn adversary_main(args: Vec<String>) -> ! {
             "--model" => model_filter = Some(val()),
             "--entry" => o.entry_filter = Some(val()),
             "--graph" => o.graph_filter = Some(val()),
+            "--frontier" => {
+                o.frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| chaos_usage()));
+            }
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| chaos_usage()),
             "--budget" => o.budget = val().parse().unwrap_or_else(|_| chaos_usage()),
             "--evals" => o.max_evals = val().parse().unwrap_or_else(|_| chaos_usage()),
@@ -1136,6 +1193,9 @@ wrong, races, or the specimen goes undetected. Deterministic in
 
   --quick             reduced sweep (quick entries x quick families)
   --entry SUBSTR      only entry points whose id contains SUBSTR
+  --frontier single|wheel|mlmq
+                      fuzz every RDBS-backed entry on this device
+                      frontier layout
   --perms N           permutation seeds per (entry, graph) (default 32)
   --seed N            base seed the permutations derive from (default 1)",
     );
@@ -1151,6 +1211,9 @@ fn fuzz_main(args: Vec<String>) -> ! {
         match flag.as_str() {
             "--quick" => o.quick = true,
             "--entry" => o.entry_filter = Some(val()),
+            "--frontier" => {
+                o.frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| fuzz_usage()));
+            }
             "--perms" => o.perms = val().parse().unwrap_or_else(|_| fuzz_usage()),
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| fuzz_usage()),
             "--help" | "-h" => fuzz_usage(),
@@ -1217,6 +1280,9 @@ byte.
   --quick             reduced sweep (quick families, four entries, one source)
   --entry SUBSTR      only entry points whose id contains SUBSTR
   --graph SUBSTR      only families whose name contains SUBSTR
+  --frontier single|wheel|mlmq
+                      sanitize every RDBS-backed entry on this device
+                      frontier layout
   --max N             violations to print per dirty cell (default 5)
 
 entry points:
@@ -1238,6 +1304,9 @@ fn sanitize_main(args: Vec<String>) -> ! {
             "--quick" => o.quick = true,
             "--entry" => o.entry_filter = Some(val()),
             "--graph" => o.graph_filter = Some(val()),
+            "--frontier" => {
+                o.frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| sanitize_usage()));
+            }
             "--max" => max_print = val().parse().unwrap_or_else(|_| sanitize_usage()),
             "--help" | "-h" => sanitize_usage(),
             _ => sanitize_usage(),
