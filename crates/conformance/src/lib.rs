@@ -41,6 +41,7 @@
 //! matrix), all exiting non-zero on violation.
 
 pub mod adversary;
+pub mod analyze;
 pub mod chaos;
 pub mod graphs;
 pub mod localize;
@@ -48,6 +49,12 @@ pub mod registry;
 pub mod runner;
 pub mod sanitize;
 pub mod shrink;
+
+pub use analyze::{
+    baseline_json, check_baseline, planted_race_static, report_json, run_analyze,
+    schedule_hidden_specimen, specimens_caught_statically, AnalyzeOptions, AnalyzeReport,
+    AnalyzedCell, BaselineCheck,
+};
 
 pub use adversary::{
     corpus_lines, depth_label, fuzz_schedules, ladder_depth, parse_corpus_line, replay_case,

@@ -32,7 +32,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub struct SanEntry {
     /// Stable id used in reports and filters (e.g. `gpu/full`).
     pub id: &'static str,
-    kind: EntryKind,
+    pub(crate) kind: EntryKind,
     /// `--frontier` override: sanitize every RDBS-backed surface of
     /// this entry on this frontier layout instead of its own.
     frontier: Option<FrontierKind>,
@@ -46,14 +46,14 @@ impl SanEntry {
         self
     }
 
-    fn apply_variant(&self, v: Variant) -> Variant {
+    pub(crate) fn apply_variant(&self, v: Variant) -> Variant {
         match (self.frontier, v) {
             (Some(kind), Variant::Rdbs(cfg)) => Variant::Rdbs(cfg.with_frontier(kind)),
             (_, v) => v,
         }
     }
 
-    fn apply_service(&self, config: ServiceConfig) -> ServiceConfig {
+    pub(crate) fn apply_service(&self, config: ServiceConfig) -> ServiceConfig {
         match self.frontier {
             Some(kind) => config.with_frontier(kind),
             None => config,
@@ -62,7 +62,7 @@ impl SanEntry {
 }
 
 #[derive(Clone, Copy, Debug)]
-enum EntryKind {
+pub(crate) enum EntryKind {
     Gpu(Variant),
     MultiGpu(usize),
     /// The resident batched service's pooled entry point: a warm-up

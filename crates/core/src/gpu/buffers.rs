@@ -168,7 +168,20 @@ impl DeviceQueue {
         let data = device.alloc(label, capacity as usize);
         let tail = device.alloc("queue_tail", 1);
         let overflow = device.alloc("queue_overflow", OVERFLOW_WORDS);
+        // Declare the queue to the device so the static push-bound
+        // certifier can recognize its tail/overflow traffic. Owners
+        // whose overshoot spills elsewhere (MLMQ) re-declare with
+        // `spill = true`.
+        device.declare_queue(label, tail, overflow, capacity, false);
         Self { data, tail, overflow, capacity, label }
+    }
+
+    /// Re-declare this queue as spill-capable: tail overshoot past
+    /// `capacity` is routed to another queue level by the owner
+    /// ([`DeviceQueue::try_push`] returning `false`), not dropped, so
+    /// the static certifier classes it `Spilling`, not `Overflowing`.
+    pub fn declare_spill(&self, device: &mut Device) {
+        device.declare_queue(self.label, self.tail, self.overflow, self.capacity, true);
     }
 
     /// Device-side push (kernel context): bump the tail, store `v`.

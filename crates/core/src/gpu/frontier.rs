@@ -391,7 +391,14 @@ impl MlmqFrontier {
         let pending = device.alloc("pending", n as usize);
         let sub = Self::sub_capacity(n);
         let levels = std::array::from_fn(|_| {
-            std::array::from_fn(|_| DeviceQueue::new(device, "mlmq_lane", sub))
+            std::array::from_fn(|_| {
+                // Every sub-queue can be a `try_push` target whose
+                // overshoot spills to the next level, so all of them
+                // are spill-class for the static push-bound certifier.
+                let q = DeviceQueue::new(device, "mlmq_lane", sub);
+                q.declare_spill(device);
+                q
+            })
         });
         Self { levels, pending, adwl, active: 0 }
     }
@@ -417,8 +424,7 @@ impl MlmqFrontier {
         // concurrent publishers hit *different* tail counters instead
         // of serializing on one.
         lane.alu(2);
-        let lane_id =
-            (lane.tid() as u32).wrapping_mul(lane.gang_size()).wrapping_add(lane.gang_rank());
+        let lane_id = lane.phys_id() as u32;
         let sub = (lane_id.wrapping_mul(0x9E37_79B9) >> 16) as usize % MLMQ_FANOUT;
         if !self.levels[target][sub].try_push(lane, v) {
             self.levels[(target + 1) % MLMQ_LEVELS][sub].push(lane, v);

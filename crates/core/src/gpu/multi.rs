@@ -186,6 +186,20 @@ impl MultiGpuState {
         self.shards.iter().map(|s| s.device.san_total()).sum()
     }
 
+    /// Arm the access-IR recorder on every shard (the static verifier
+    /// merges the per-device IRs into one analysis).
+    pub fn arm_ir(&mut self) {
+        for s in &mut self.shards {
+            s.device.arm_ir();
+        }
+    }
+
+    /// Take the retained access IR from every shard, in shard order,
+    /// disarming the recorders. Empty when never armed.
+    pub fn take_irs(&mut self) -> Vec<rdbs_gpu_sim::AccessIr> {
+        self.shards.iter_mut().filter_map(|s| s.device.take_ir()).collect()
+    }
+
     /// Total host→device uploads across all shards so far (the
     /// amortization counter: constant across [`MultiGpuState::run`]s).
     pub fn graph_uploads(&self) -> u64 {

@@ -533,6 +533,26 @@ impl SsspService {
         }
     }
 
+    /// Arm the access-IR recorder on the resident device (every shard
+    /// for the multi-GPU backend) — the static verification matrix
+    /// drives the pooled entry point through this.
+    pub fn arm_ir(&mut self) {
+        match &mut self.state {
+            State::Gpu(st) => st.device.arm_ir(),
+            State::Multi(st) => st.arm_ir(),
+        }
+    }
+
+    /// Take the retained access IR from every device of the backend
+    /// (one entry for the single-GPU backend), disarming the recorder.
+    /// Empty when [`SsspService::arm_ir`] was never called.
+    pub fn take_irs(&mut self) -> Vec<rdbs_gpu_sim::AccessIr> {
+        match &mut self.state {
+            State::Gpu(st) => st.device.take_ir().into_iter().collect(),
+            State::Multi(st) => st.take_irs(),
+        }
+    }
+
     /// Arm seeded schedule fuzzing on the resident device: every
     /// subsequent kernel wave executes its lanes in a seeded
     /// permutation (single-GPU backend only — the multi-GPU exchange
@@ -1094,7 +1114,11 @@ fn build_scratch(
                 FrontierKind::Mlmq => {
                     let sub = MlmqFrontier::sub_capacity(cap);
                     let levels = std::array::from_fn(|_| {
-                        std::array::from_fn(|_| pooled_queue(pool, device, "mlmq_lane", sub))
+                        std::array::from_fn(|_| {
+                            let q = pooled_queue(pool, device, "mlmq_lane", sub);
+                            q.declare_spill(device); // spill-class, like one-shot MLMQ queues
+                            q
+                        })
                     });
                     AnyFrontier::Mlmq(MlmqFrontier { levels, pending, adwl: cfg.adwl, active: 0 })
                 }
@@ -1137,6 +1161,10 @@ fn pooled_queue(
     let tail = pool.acquire(device, "queue_tail", 1);
     let overflow = pool.acquire(device, "queue_overflow", crate::gpu::buffers::OVERFLOW_WORDS);
     let queue = DeviceQueue { data, tail, overflow, capacity, label };
+    // Pooled assembly bypasses DeviceQueue::new, so declare the queue
+    // for the static push-bound certifier here (re-declaring a
+    // recycled tail cell replaces any stale declaration).
+    device.declare_queue(label, tail, overflow, capacity, false);
     queue.reset(device); // recycled cursor/overflow cells hold stale words
     queue
 }

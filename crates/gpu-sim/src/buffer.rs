@@ -320,14 +320,17 @@ impl HostStaging {
         Self { label, words: data.to_vec(), written: vec![true; data.len()] }
     }
 
+    /// The label the device buffer will carry.
     pub fn label(&self) -> &'static str {
         self.label
     }
 
+    /// Length in 32-bit words.
     pub fn len(&self) -> usize {
         self.words.len()
     }
 
+    /// True when the staging buffer holds no words.
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
     }

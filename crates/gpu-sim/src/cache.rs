@@ -12,8 +12,11 @@ use crate::device::DeviceConfig;
 /// Where a transaction was served from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheLevel {
+    /// Served by the per-SM L1.
     L1,
+    /// Served by the shared L2.
     L2,
+    /// Went all the way to DRAM.
     Dram,
 }
 
@@ -23,7 +26,9 @@ pub struct Cache {
     ways: usize,
     line_bytes: u64,
     num_sets: u64,
+    /// Transactions looked up in this cache.
     pub accesses: u64,
+    /// Lookups that hit.
     pub hits: u64,
 }
 
@@ -78,11 +83,14 @@ impl Cache {
 
 /// Per-SM L1s plus one shared L2.
 pub struct CacheHierarchy {
+    /// One L1 per SM.
     pub l1: Vec<Cache>,
+    /// The shared L2.
     pub l2: Cache,
 }
 
 impl CacheHierarchy {
+    /// Build the hierarchy a device configuration describes.
     pub fn new(config: &DeviceConfig) -> Self {
         let l1 = (0..config.num_sms)
             .map(|_| Cache::new(config.l1_bytes, config.ways, config.line_bytes))

@@ -18,7 +18,9 @@ use crate::device::DeviceConfig;
 /// Compute and memory components of one kernel, in nanoseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct KernelTime {
+    /// Instruction-issue (compute-bound) time.
     pub compute_ns: f64,
+    /// DRAM-traffic (bandwidth-bound) time.
     pub memory_ns: f64,
 }
 

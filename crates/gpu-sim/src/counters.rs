@@ -28,11 +28,13 @@ pub struct Counters {
     pub gst_transactions: u64,
     /// Transactions from atomics.
     pub atom_transactions: u64,
-    /// L1 accesses / hits (for `global_hit_rate`, Fig. 10 (d)).
+    /// L1 accesses (for `global_hit_rate`, Fig. 10 (d)).
     pub l1_accesses: u64,
+    /// L1 hits.
     pub l1_hits: u64,
-    /// L2 accesses / hits.
+    /// L2 accesses.
     pub l2_accesses: u64,
+    /// L2 hits.
     pub l2_hits: u64,
     /// Transactions served by DRAM.
     pub dram_transactions: u64,

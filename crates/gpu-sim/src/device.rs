@@ -4,9 +4,11 @@ use crate::buffer::{Arena, Buf, HostStaging};
 use crate::cache::CacheHierarchy;
 use crate::counters::{Counters, KernelReport};
 use crate::fault::{FaultEvent, FaultPlan};
+use crate::ir::{AccessIr, IrState, QueueDecl};
 use crate::kernel::ChildLaunch;
 use crate::san::{AccessProfile, SanConfig, SanState, SanViolation};
 use crate::sched::SchedPlan;
+use std::collections::HashMap;
 
 /// Hardware parameters of a simulated GPU.
 ///
@@ -186,6 +188,13 @@ pub struct Device {
     /// Armed memory-model sanitizer, if any. Like `fault`, `None` (the
     /// default) keeps every hook a single branch.
     pub(crate) san: Option<Box<SanState>>,
+    /// Armed access-IR recorder, if any (the static verifier's input).
+    /// Like `san`, `None` keeps every hook a single branch.
+    pub(crate) ir: Option<Box<IrState>>,
+    /// Device queues declared so far, keyed by tail-cursor address.
+    /// Always recorded (declaration is cheap and queues are created
+    /// before arming); seeded into the IR recorder at arm time.
+    pub(crate) queue_decls: HashMap<u64, QueueDecl>,
     /// Armed schedule-fuzzing plan, if any: waves execute their lanes
     /// in a seeded permuted order instead of ascending lane order.
     pub(crate) sched: Option<SchedPlan>,
@@ -210,6 +219,8 @@ impl Device {
             buffer_traffic: Vec::new(),
             fault: None,
             san: None,
+            ir: None,
+            queue_decls: HashMap::new(),
             sched: None,
             current_stream: 0,
         }
@@ -268,6 +279,58 @@ impl Device {
     /// search's evidence source.
     pub fn san_profile(&self) -> Option<&AccessProfile> {
         self.san.as_deref().map(SanState::profile)
+    }
+
+    /// Arm the access-IR recorder: subsequent kernels contribute to a
+    /// bounded per-race-window access summary (see [`crate::ir`]) that
+    /// the static verifier consumes. Purely observational — results,
+    /// timing and counters are bit-identical to an unarmed run. Queues
+    /// declared before arming are carried over.
+    pub fn arm_ir(&mut self) {
+        let mut ir = Box::new(IrState::new());
+        let mut decls: Vec<&QueueDecl> = self.queue_decls.values().collect();
+        decls.sort_by_key(|d| d.tail_addr);
+        for d in decls {
+            ir.declare_queue(*d);
+        }
+        self.ir = Some(ir);
+    }
+
+    /// Whether the IR recorder is currently armed.
+    pub fn ir_armed(&self) -> bool {
+        self.ir.is_some()
+    }
+
+    /// Remove the armed IR recorder (if any), closing its trailing
+    /// race window and returning the retained IR.
+    pub fn take_ir(&mut self) -> Option<AccessIr> {
+        self.ir.take().map(|ir| ir.finish())
+    }
+
+    /// Declare a device queue (tail cursor, overflow cell, capacity,
+    /// spill capability) so the static push-bound certifier can
+    /// recognize its traffic. Safe to call whether or not the IR
+    /// recorder is armed; re-declaring a tail address replaces the
+    /// previous declaration (pooled queues get re-assembled).
+    pub fn declare_queue(
+        &mut self,
+        label: &'static str,
+        tail: Buf,
+        overflow: Buf,
+        capacity: u32,
+        spill: bool,
+    ) {
+        let decl = QueueDecl {
+            label,
+            tail_addr: self.arena.addr(tail, 0),
+            overflow_addr: self.arena.addr(overflow, 0),
+            capacity,
+            spill,
+        };
+        self.queue_decls.insert(decl.tail_addr, decl);
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.declare_queue(decl);
+        }
     }
 
     /// Arm seeded schedule fuzzing: subsequent waves execute their
@@ -406,6 +469,9 @@ impl Device {
     pub fn write_word(&mut self, buf: Buf, idx: usize, val: u32) {
         self.arena.slice_mut(buf)[idx] = val;
         self.arena.clear_poison_at(buf, idx as u32);
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_host_write(self.arena.addr(buf, idx as u32), val);
+        }
     }
 
     /// Host-side fill.
@@ -475,6 +541,9 @@ impl Device {
         self.elapsed_ns += self.config.barrier_us * 1e3;
         if let Some(san) = self.san.as_deref_mut() {
             san.on_barrier();
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_barrier();
         }
     }
 

@@ -33,13 +33,22 @@ use crate::buffer::Arena;
 /// Fault classes the plan can inject. See the module docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultModel {
+    /// A loaded word comes back with one bit flipped (and the upset
+    /// persists in device memory).
     BitFlip,
+    /// An `atomicMin` is silently lost.
     DroppedAtomicMin,
+    /// An `atomicMin` is applied (and charged) twice.
     DuplicatedAtomicMin,
+    /// A dynamic-parallelism child launch silently fails.
     FailedChildLaunch,
+    /// A load observes a stale snapshot of the word.
     StaleRead,
+    /// A boundary-exchange message is dropped.
     LostMessage,
+    /// A boundary-exchange message is delivered twice.
     DuplicatedMessage,
+    /// Boundary-exchange messages are reordered.
     ReorderedMessage,
 }
 
@@ -95,10 +104,12 @@ impl std::fmt::Display for FaultModel {
 /// seed that makes the run replayable.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultSpec {
+    /// Which fault class to inject.
     pub model: FaultModel,
     /// Probability in `[0, 1]` that each opportunity (load, atomic,
     /// child launch, message…) fires.
     pub rate: f64,
+    /// PRNG seed making the injection sequence replayable.
     pub seed: u64,
     /// Optional placement constraint: the plan only considers
     /// opportunities inside the target window (and spends no PRNG
@@ -114,6 +125,7 @@ pub struct FaultSpec {
 }
 
 impl FaultSpec {
+    /// An unconstrained spec: uniform spray at `rate`, no cap.
     pub fn new(model: FaultModel, rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1], got {rate}");
         Self { model, rate, seed, target: None, cap: None }
@@ -208,6 +220,7 @@ impl std::fmt::Display for FaultTarget {
 /// One injected fault, as recorded in the plan's log.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultEvent {
+    /// The fault class that fired.
     pub model: FaultModel,
     /// Buffer label, kernel name, or `"exchange"` for message models.
     pub site: &'static str,
@@ -258,6 +271,7 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// Build the runtime plan for a spec.
     pub fn new(spec: FaultSpec) -> Self {
         assert!((0.0..=1.0).contains(&spec.rate), "fault rate must be in [0,1]");
         let threshold = (spec.rate * (1u64 << 53) as f64) as u64;
@@ -274,6 +288,7 @@ impl FaultPlan {
         }
     }
 
+    /// The spec this plan was built from.
     pub fn spec(&self) -> FaultSpec {
         self.spec
     }

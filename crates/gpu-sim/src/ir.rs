@@ -1,0 +1,854 @@
+//! Retained access IR for schedule-universal static verification.
+//!
+//! The dynamic sanitizer ([`crate::san`]) checks the *observed*
+//! interleaving and the schedule fuzzer checks N *sampled* lane
+//! permutations; a race that no sampled schedule exercises ships
+//! silently. This module retains a **bounded per-race-window access
+//! summary** — per touched buffer word: which access classes hit it,
+//! how often, and the first two *distinct threads* per class — and the
+//! happens-before structure that orders windows (barriers, snapshot
+//! kernel boundaries). Within a window every pair of lanes is treated
+//! as concurrent, so any verdict computed over this IR quantifies over
+//! **all** interleavings, not one.
+//!
+//! Memory stays O(touched words per window), not O(ops): the recorder
+//! keeps two accessors per (word, class) — enough to witness every
+//! pairwise hazard — plus lifetime contention tables folded at window
+//! close. Full traces are never retained (the warp-local
+//! [`crate::trace::LaneTrace`] replay still discards them per warp).
+//!
+//! The IR is consumed by the `rdbs-statan` crate, which runs the
+//! hazard matrix over it and emits typed per-kernel certificates.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Identity of one access. `(wave, lane)` is the *thread key*: two
+/// accesses sharing it are program-ordered; any two accesses in the
+/// same window with different keys are concurrent under some schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IrAccessor {
+    /// Wave counter at access time (monotonic across the device).
+    pub wave: u64,
+    /// Physical lane id ([`crate::Lane::phys_id`]).
+    pub lane: u64,
+    /// Gang/item id (`tid`; equals the lane for plain launches).
+    pub gang: u64,
+    /// Kernel name the access ran under.
+    pub kernel: &'static str,
+}
+
+impl IrAccessor {
+    /// Same simulated thread — program order applies.
+    #[inline]
+    pub fn same_thread(&self, other: &Self) -> bool {
+        self.wave == other.wave && self.lane == other.lane
+    }
+}
+
+/// The four access classes the hazard matrix distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessClass {
+    /// Plain global load (snapshot semantics in synchronous kernels).
+    PlainLoad = 0,
+    /// Volatile/L2-coherent load (live memory, the sanctioned racy read).
+    VolatileLoad = 1,
+    /// Plain global store.
+    Store = 2,
+    /// Atomic read-modify-write.
+    Atomic = 3,
+}
+
+/// Bounded summary of one access class on one word within a window:
+/// a count plus the first two accessors from distinct threads. Two
+/// witnesses suffice to decide every pairwise hazard, so retention is
+/// O(1) per (word, class) no matter how many lanes pile on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassSummary {
+    /// Accesses of this class on this word in the current window.
+    pub count: u64,
+    /// First accessor observed.
+    pub first: Option<IrAccessor>,
+    /// First accessor observed on a *different thread* than `first`.
+    pub second: Option<IrAccessor>,
+}
+
+impl ClassSummary {
+    #[inline]
+    fn note(&mut self, a: IrAccessor) {
+        self.count += 1;
+        match self.first {
+            None => self.first = Some(a),
+            Some(f) if self.second.is_none() && !f.same_thread(&a) => self.second = Some(a),
+            _ => {}
+        }
+    }
+
+    /// A pair of distinct-thread accessors within this class, if two
+    /// different threads used it.
+    #[inline]
+    pub fn self_pair(&self) -> Option<(IrAccessor, IrAccessor)> {
+        Some((self.first?, self.second?))
+    }
+
+    /// A pair of distinct-thread accessors, one from `self`, one from
+    /// `other` (cross-class hazard witness).
+    #[inline]
+    pub fn cross_pair(&self, other: &ClassSummary) -> Option<(IrAccessor, IrAccessor)> {
+        let (a, b) = (self.first?, other.first?);
+        if !a.same_thread(&b) {
+            return Some((a, b));
+        }
+        if let Some(b2) = other.second {
+            return Some((a, b2));
+        }
+        let a2 = self.second?;
+        Some((a2, b))
+    }
+}
+
+/// Per-word access summary within one race window.
+#[derive(Clone, Copy, Debug)]
+pub struct WordSummary {
+    /// Buffer label the word belongs to.
+    pub buffer: &'static str,
+    /// Word index within the buffer.
+    pub index: u32,
+    /// One summary per [`AccessClass`], indexed by discriminant.
+    pub classes: [ClassSummary; 4],
+}
+
+/// Hazard classes the closure derives from a window. The first four
+/// are red (unsanctioned); the last two are the memory-model idioms
+/// the kernel discipline explicitly sanctions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HazardKind {
+    /// Two plain stores to one word from distinct threads: the final
+    /// value is schedule-chosen.
+    WriteWrite,
+    /// Plain store and atomic RMW on one word: the store is unordered
+    /// against the atomic and can be lost or torn across it.
+    MixedAtomic,
+    /// Plain load of a word another thread writes in the same *live*
+    /// window: plain loads have no coherence guarantee there.
+    SnapshotRead,
+    /// Plain store observed by a live volatile read: the consumer side
+    /// is sanctioned but the publish side lacks atomic discipline, so
+    /// the reader can observe a half-published state.
+    UnsanctionedPublish,
+    /// Only atomics touch the shared word (sanctioned idiom).
+    AtomicShared,
+    /// Volatile read of an atomically-published word (sanctioned idiom).
+    VolatileRead,
+}
+
+impl HazardKind {
+    /// Sanctioned idioms are reported for certificate provenance but
+    /// do not make a kernel `Racy`.
+    #[inline]
+    pub fn sanctioned(&self) -> bool {
+        matches!(self, HazardKind::AtomicShared | HazardKind::VolatileRead)
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HazardKind::WriteWrite => "write-write",
+            HazardKind::MixedAtomic => "mixed-atomic",
+            HazardKind::SnapshotRead => "snapshot-read",
+            HazardKind::UnsanctionedPublish => "unsanctioned-publish",
+            HazardKind::AtomicShared => "atomic-shared",
+            HazardKind::VolatileRead => "volatile-read",
+        }
+    }
+}
+
+/// One deduplicated hazard: a kind, the buffer it lives in, the kernel
+/// pair it spans, a representative word and accessor pair, and how
+/// many distinct words exhibited it.
+#[derive(Clone, Debug)]
+pub struct Hazard {
+    /// Hazard class.
+    pub kind: HazardKind,
+    /// Buffer label.
+    pub buffer: &'static str,
+    /// Representative word index (first word that exhibited it).
+    pub index: u32,
+    /// Representative byte address.
+    pub addr: u64,
+    /// Representative accessor pair witnessing the hazard.
+    pub accessors: [IrAccessor; 2],
+    /// Whether the window was a snapshot (synchronous kernel) window.
+    pub snapshot_window: bool,
+    /// Number of distinct words that exhibited this (kind, buffer,
+    /// kernel-pair) hazard across all windows.
+    pub words: u64,
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at {}[{}] (addr {:#x}) {} x {} lanes {}/{} waves {}/{} ({} word(s))",
+            self.kind.name(),
+            self.buffer,
+            self.index,
+            self.addr,
+            self.accessors[0].kernel,
+            self.accessors[1].kernel,
+            self.accessors[0].lane,
+            self.accessors[1].lane,
+            self.accessors[0].wave,
+            self.accessors[1].wave,
+            self.words,
+        )
+    }
+}
+
+/// Static declaration of a device queue (tail cursor + overflow cell +
+/// capacity), registered by queue constructors so the push-bound
+/// certifier can recognize tail bumps and drops in the access stream.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueDecl {
+    /// Queue label (its data buffer's label).
+    pub label: &'static str,
+    /// Byte address of the tail cursor word.
+    pub tail_addr: u64,
+    /// Byte address of the overflow counter word.
+    pub overflow_addr: u64,
+    /// Slot capacity of the data buffer.
+    pub capacity: u32,
+    /// Whether the owner drains overshoot into another queue level
+    /// instead of dropping (MLMQ spill path).
+    pub spill: bool,
+}
+
+/// Observed push behaviour of one declared queue.
+#[derive(Clone, Debug)]
+pub struct QueueUsage {
+    /// The declaration this usage was recorded against.
+    pub decl: QueueDecl,
+    /// Total device-side tail bumps (pushes) observed.
+    pub pushes: u64,
+    /// Highest tail value ever reached (device bumps mirrored against
+    /// host drain resets).
+    pub high_water: u64,
+    /// Most pushes observed inside a single race window.
+    pub max_window_pushes: u64,
+    /// Device-side increments of the overflow counter (dropped pushes).
+    pub drops: u64,
+}
+
+/// Per-kernel aggregates retained for gang lints and wave accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Waves this kernel name executed.
+    pub waves: u64,
+    /// Largest wave (in lanes).
+    pub max_lanes: u64,
+    /// Multi-lane gangs whose members were compared.
+    pub gangs_checked: u64,
+    /// Gangs whose members disagreed on the op-kind sequence.
+    pub gangs_divergent: u64,
+    /// Gangs whose members disagreed on child-launch counts.
+    pub child_divergent: u64,
+    /// Whether any wave of this kernel ran with snapshot semantics.
+    pub snapshot: bool,
+    /// Whether any wave of this kernel ran live (persistent session).
+    pub live: bool,
+}
+
+/// Lifetime traffic + coalescing shape of one buffer label.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BufferTraffic {
+    /// Plain + volatile loads.
+    pub loads: u64,
+    /// Plain stores.
+    pub stores: u64,
+    /// Atomic RMWs.
+    pub atomics: u64,
+    /// Adjacent-lane pairs that hit the *same* word (broadcast).
+    pub same_word: u64,
+    /// Adjacent-lane pairs at unit stride (perfectly coalesced).
+    pub unit_stride: u64,
+    /// Adjacent-lane pairs at small stride (2..=32 words).
+    pub strided: u64,
+    /// Adjacent-lane pairs with no spatial relation.
+    pub scatter: u64,
+}
+
+/// The finished, retained access IR for one device. Everything a
+/// static verifier needs; nothing proportional to instruction count.
+#[derive(Clone, Debug, Default)]
+pub struct AccessIr {
+    /// Per-kernel wave/gang aggregates.
+    pub kernels: BTreeMap<&'static str, KernelStats>,
+    /// Deduplicated hazards across all closed windows.
+    pub hazards: Vec<Hazard>,
+    /// Push-bound observations for every declared queue, keyed by
+    /// queue label then tail address (stable across runs).
+    pub queues: Vec<QueueUsage>,
+    /// Lifetime per-buffer traffic and coalescing shape.
+    pub traffic: BTreeMap<&'static str, BufferTraffic>,
+    /// Per-word atomic counts — the hotspot table for the multisplit
+    /// scoping report. Keyed (buffer label, word index).
+    pub atomic_sites: BTreeMap<(&'static str, u32), u64>,
+    /// Race windows closed (barriers + snapshot kernels + final flush).
+    pub windows: u64,
+    /// Peak number of word summaries retained in any single window —
+    /// the recorder's actual memory bound.
+    pub peak_window_words: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LaneSig {
+    gang: u64,
+    sig: u64,
+    children: u64,
+}
+
+#[derive(Clone, Debug)]
+struct QueueTrack {
+    decl: QueueDecl,
+    epoch: u64,
+    high_water: u64,
+    pushes: u64,
+    window_pushes: u64,
+    max_window_pushes: u64,
+    drops: u64,
+}
+
+/// Armed IR recorder, owned by the device (see [`crate::Device::arm_ir`]).
+/// Purely observational: arming must not perturb results, timing, or
+/// counters.
+pub struct IrState {
+    window: HashMap<u64, WordSummary>,
+    window_snapshot: bool,
+    wave: u64,
+    kernel: &'static str,
+    stream: u32,
+    /// Dedup map: (kind, buffer, kernel-pair) → index into `hazards`.
+    seen: HashMap<(HazardKind, &'static str, &'static str, &'static str), usize>,
+    hazards: Vec<Hazard>,
+    kernels: BTreeMap<&'static str, KernelStats>,
+    /// Current wave's per-lane op-kind signature (FNV) + child counts.
+    wave_lanes: BTreeMap<u64, LaneSig>,
+    wave_lane_count: u64,
+    queues: Vec<QueueTrack>,
+    tail_index: HashMap<u64, usize>,
+    overflow_index: HashMap<u64, usize>,
+    traffic: BTreeMap<&'static str, BufferTraffic>,
+    /// Per-buffer last (lane, index) for adjacent-lane stride pairing;
+    /// cleared each wave.
+    last_touch: HashMap<&'static str, (u64, u32)>,
+    atomic_sites: BTreeMap<(&'static str, u32), u64>,
+    windows: u64,
+    peak_window_words: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl IrState {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self {
+            window: HashMap::new(),
+            window_snapshot: false,
+            wave: 0,
+            kernel: "",
+            stream: 0,
+            seen: HashMap::new(),
+            hazards: Vec::new(),
+            kernels: BTreeMap::new(),
+            wave_lanes: BTreeMap::new(),
+            wave_lane_count: 0,
+            queues: Vec::new(),
+            tail_index: HashMap::new(),
+            overflow_index: HashMap::new(),
+            traffic: BTreeMap::new(),
+            last_touch: HashMap::new(),
+            atomic_sites: BTreeMap::new(),
+            windows: 0,
+            peak_window_words: 0,
+        }
+    }
+
+    /// Register a device queue so tail/overflow traffic is certified
+    /// against its capacity class. Re-declaring the same tail address
+    /// replaces the declaration (pooled queues get re-assembled).
+    pub fn declare_queue(&mut self, decl: QueueDecl) {
+        if let Some(&i) = self.tail_index.get(&decl.tail_addr) {
+            self.overflow_index.remove(&self.queues[i].decl.overflow_addr);
+            self.queues[i].decl = decl;
+            self.overflow_index.insert(decl.overflow_addr, i);
+            return;
+        }
+        let i = self.queues.len();
+        self.queues.push(QueueTrack {
+            decl,
+            epoch: 0,
+            high_water: 0,
+            pushes: 0,
+            window_pushes: 0,
+            max_window_pushes: 0,
+            drops: 0,
+        });
+        self.tail_index.insert(decl.tail_addr, i);
+        self.overflow_index.insert(decl.overflow_addr, i);
+    }
+
+    pub(crate) fn set_stream(&mut self, stream: u32) {
+        self.stream = stream;
+    }
+
+    pub(crate) fn begin_wave(&mut self, kernel: &'static str, snapshot: bool) {
+        if snapshot {
+            // A synchronous kernel launch orders memory on its stream:
+            // whatever live window was accumulating closes here, and
+            // the kernel becomes its own window.
+            self.close_window();
+        }
+        self.wave += 1;
+        self.kernel = kernel;
+        self.window_snapshot = snapshot;
+        let st = self.kernels.entry(kernel).or_default();
+        st.waves += 1;
+        if snapshot {
+            st.snapshot = true;
+        } else {
+            st.live = true;
+        }
+        self.wave_lanes.clear();
+        self.wave_lane_count = 0;
+        self.last_touch.clear();
+    }
+
+    pub(crate) fn end_wave(&mut self) {
+        self.check_gangs();
+        let st = self.kernels.entry(self.kernel).or_default();
+        st.max_lanes = st.max_lanes.max(self.wave_lane_count);
+        if self.window_snapshot {
+            self.close_window();
+            self.window_snapshot = false;
+        }
+    }
+
+    /// Grid-wide barrier: orders every pre-barrier access before every
+    /// post-barrier one — the live window closes.
+    pub(crate) fn on_barrier(&mut self) {
+        self.close_window();
+    }
+
+    fn accessor(&self, lane: u64, gang: u64) -> IrAccessor {
+        IrAccessor { wave: self.wave, lane, gang, kernel: self.kernel }
+    }
+
+    fn note_lane(&mut self, lane: u64, gang: u64, kind_tag: u8) {
+        let count = &mut self.wave_lane_count;
+        let e = self.wave_lanes.entry(lane).or_insert_with(|| {
+            *count += 1;
+            LaneSig { gang, sig: FNV_OFFSET, children: 0 }
+        });
+        e.sig = (e.sig ^ kind_tag as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    fn note_word(
+        &mut self,
+        addr: u64,
+        class: AccessClass,
+        a: IrAccessor,
+        buffer: &'static str,
+        index: u32,
+    ) {
+        let w = self.window.entry(addr).or_insert(WordSummary {
+            buffer,
+            index,
+            classes: [ClassSummary::default(); 4],
+        });
+        w.classes[class as usize].note(a);
+        self.peak_window_words = self.peak_window_words.max(self.window.len() as u64);
+    }
+
+    fn note_stride(&mut self, buffer: &'static str, lane: u64, index: u32) {
+        if let Some(&(ll, li)) = self.last_touch.get(buffer) {
+            if lane == ll + 1 {
+                let t = self.traffic.entry(buffer).or_default();
+                match (index as i64 - li as i64).unsigned_abs() {
+                    0 => t.same_word += 1,
+                    1 => t.unit_stride += 1,
+                    2..=32 => t.strided += 1,
+                    _ => t.scatter += 1,
+                }
+            }
+        }
+        self.last_touch.insert(buffer, (lane, index));
+    }
+
+    /// Plain or volatile load hook.
+    pub(crate) fn on_load(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+        volatile: bool,
+    ) {
+        let a = self.accessor(lane, gang);
+        let class = if volatile { AccessClass::VolatileLoad } else { AccessClass::PlainLoad };
+        self.note_word(addr, class, a, buffer, index);
+        self.note_lane(lane, gang, 1);
+        self.traffic.entry(buffer).or_default().loads += 1;
+        self.note_stride(buffer, lane, index);
+    }
+
+    /// Plain store hook.
+    pub(crate) fn on_store(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+    ) {
+        let a = self.accessor(lane, gang);
+        self.note_word(addr, AccessClass::Store, a, buffer, index);
+        self.note_lane(lane, gang, 2);
+        self.traffic.entry(buffer).or_default().stores += 1;
+        self.note_stride(buffer, lane, index);
+    }
+
+    /// Atomic RMW hook (all four flavours).
+    pub(crate) fn on_atomic(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+    ) {
+        let a = self.accessor(lane, gang);
+        self.note_word(addr, AccessClass::Atomic, a, buffer, index);
+        self.note_lane(lane, gang, 3);
+        self.traffic.entry(buffer).or_default().atomics += 1;
+        *self.atomic_sites.entry((buffer, index)).or_default() += 1;
+        self.note_stride(buffer, lane, index);
+        if let Some(&i) = self.tail_index.get(&addr) {
+            let q = &mut self.queues[i];
+            q.epoch += 1;
+            q.pushes += 1;
+            q.window_pushes += 1;
+            q.high_water = q.high_water.max(q.epoch);
+        } else if let Some(&i) = self.overflow_index.get(&addr) {
+            self.queues[i].drops += 1;
+        }
+    }
+
+    /// Dynamic-parallelism child launch hook.
+    pub(crate) fn on_child_launch(&mut self, lane: u64, gang: u64) {
+        self.note_lane(lane, gang, 4);
+        if let Some(e) = self.wave_lanes.get_mut(&lane) {
+            e.children += 1;
+        }
+    }
+
+    /// Host-side word write (e.g. a drain resetting a queue tail):
+    /// host writes happen between waves and re-anchor the mirrored
+    /// tail epoch.
+    pub(crate) fn on_host_write(&mut self, addr: u64, val: u32) {
+        if let Some(&i) = self.tail_index.get(&addr) {
+            self.queues[i].epoch = val as u64;
+        }
+    }
+
+    fn check_gangs(&mut self) {
+        // Group the wave's lanes by gang (BTreeMap iteration is lane-
+        // ordered; gangs own consecutive phys lanes, so one linear scan
+        // groups them).
+        let mut checked = 0u64;
+        let mut divergent = 0u64;
+        let mut child_div = 0u64;
+        let mut cur_gang = u64::MAX;
+        let mut first: Option<LaneSig> = None;
+        let mut members = 0u64;
+        let mut sig_mismatch = false;
+        let mut child_mismatch = false;
+        let flush = |members: u64,
+                     sig_mismatch: bool,
+                     child_mismatch: bool,
+                     checked: &mut u64,
+                     divergent: &mut u64,
+                     child_div: &mut u64| {
+            if members >= 2 {
+                *checked += 1;
+                if sig_mismatch {
+                    *divergent += 1;
+                }
+                if child_mismatch {
+                    *child_div += 1;
+                }
+            }
+        };
+        for sig in self.wave_lanes.values() {
+            if sig.gang != cur_gang {
+                flush(
+                    members,
+                    sig_mismatch,
+                    child_mismatch,
+                    &mut checked,
+                    &mut divergent,
+                    &mut child_div,
+                );
+                cur_gang = sig.gang;
+                first = Some(*sig);
+                members = 1;
+                sig_mismatch = false;
+                child_mismatch = false;
+            } else {
+                members += 1;
+                let f = first.expect("first lane of gang recorded");
+                sig_mismatch |= sig.sig != f.sig;
+                child_mismatch |= sig.children != f.children;
+            }
+        }
+        flush(members, sig_mismatch, child_mismatch, &mut checked, &mut divergent, &mut child_div);
+        let st = self.kernels.entry(self.kernel).or_default();
+        st.gangs_checked += checked;
+        st.gangs_divergent += divergent;
+        st.child_divergent += child_div;
+    }
+
+    fn record_hazard(
+        &mut self,
+        kind: HazardKind,
+        buffer: &'static str,
+        index: u32,
+        addr: u64,
+        pair: (IrAccessor, IrAccessor),
+    ) {
+        let (a, b) = pair;
+        // Symmetric kernel pair: order lexicographically for dedup.
+        let (k1, k2) =
+            if a.kernel <= b.kernel { (a.kernel, b.kernel) } else { (b.kernel, a.kernel) };
+        match self.seen.get(&(kind, buffer, k1, k2)) {
+            Some(&i) => self.hazards[i].words += 1,
+            None => {
+                self.seen.insert((kind, buffer, k1, k2), self.hazards.len());
+                self.hazards.push(Hazard {
+                    kind,
+                    buffer,
+                    index,
+                    addr,
+                    accessors: [a, b],
+                    snapshot_window: self.window_snapshot,
+                    words: 1,
+                });
+            }
+        }
+    }
+
+    /// Run the hazard matrix over the closing window and drop it.
+    /// Every surviving fact is O(1)-sized; unshared words vanish here.
+    fn close_window(&mut self) {
+        if !self.window.is_empty() {
+            self.windows += 1;
+        }
+        // Deterministic order: sort the touched addresses.
+        let mut addrs: Vec<u64> = self.window.keys().copied().collect();
+        addrs.sort_unstable();
+        let snapshot = self.window_snapshot;
+        for addr in addrs {
+            let w = self.window[&addr];
+            let [pl, vl, st, at] = w.classes;
+            use HazardKind::*;
+            // Red hazards first, then sanctioned idioms; every
+            // applicable kind is recorded (dedup bounds the volume).
+            if let Some(p) = st.self_pair() {
+                self.record_hazard(WriteWrite, w.buffer, w.index, addr, p);
+            }
+            if let Some(p) = st.cross_pair(&at) {
+                self.record_hazard(MixedAtomic, w.buffer, w.index, addr, p);
+            }
+            if !snapshot {
+                // Plain loads read the kernel-entry snapshot inside a
+                // synchronous kernel, so they only race in live windows.
+                if let Some(p) = pl.cross_pair(&st) {
+                    self.record_hazard(SnapshotRead, w.buffer, w.index, addr, p);
+                }
+                if let Some(p) = pl.cross_pair(&at) {
+                    self.record_hazard(SnapshotRead, w.buffer, w.index, addr, p);
+                }
+            }
+            if let Some(p) = st.cross_pair(&vl) {
+                self.record_hazard(UnsanctionedPublish, w.buffer, w.index, addr, p);
+            }
+            if let Some(p) = at.self_pair() {
+                self.record_hazard(AtomicShared, w.buffer, w.index, addr, p);
+            }
+            if let Some(p) = vl.cross_pair(&at) {
+                self.record_hazard(VolatileRead, w.buffer, w.index, addr, p);
+            }
+        }
+        self.window.clear();
+        for q in &mut self.queues {
+            q.max_window_pushes = q.max_window_pushes.max(q.window_pushes);
+            q.window_pushes = 0;
+        }
+    }
+
+    /// Close the trailing window and hand back the retained IR.
+    pub(crate) fn finish(mut self) -> AccessIr {
+        self.close_window();
+        let mut queues: Vec<QueueUsage> = self
+            .queues
+            .into_iter()
+            .map(|q| QueueUsage {
+                decl: q.decl,
+                pushes: q.pushes,
+                high_water: q.high_water,
+                max_window_pushes: q.max_window_pushes,
+                drops: q.drops,
+            })
+            .collect();
+        queues.sort_by(|a, b| {
+            (a.decl.label, a.decl.tail_addr).cmp(&(b.decl.label, b.decl.tail_addr))
+        });
+        AccessIr {
+            kernels: self.kernels,
+            hazards: self.hazards,
+            queues,
+            traffic: self.traffic,
+            atomic_sites: self.atomic_sites,
+            windows: self.windows,
+            peak_window_words: self.peak_window_words,
+        }
+    }
+}
+
+impl Default for IrState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(wave: u64, lane: u64) -> IrAccessor {
+        IrAccessor { wave, lane, gang: lane, kernel: "k" }
+    }
+
+    #[test]
+    fn class_summary_keeps_two_distinct_threads() {
+        let mut c = ClassSummary::default();
+        c.note(acc(1, 0));
+        c.note(acc(1, 0)); // same thread — not a second witness
+        assert!(c.self_pair().is_none());
+        c.note(acc(1, 3));
+        c.note(acc(1, 7)); // third thread — bounded retention ignores it
+        let (a, b) = c.self_pair().expect("two distinct threads seen");
+        assert_eq!((a.lane, b.lane), (0, 3));
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn cross_pair_skips_shared_thread() {
+        let mut a = ClassSummary::default();
+        let mut b = ClassSummary::default();
+        a.note(acc(1, 5));
+        b.note(acc(1, 5)); // same thread in both classes: no pair yet
+        assert!(a.cross_pair(&b).is_none());
+        b.note(acc(1, 6));
+        let (x, y) = a.cross_pair(&b).expect("distinct pair via second");
+        assert_eq!((x.lane, y.lane), (5, 6));
+    }
+
+    #[test]
+    fn window_hazards_and_barrier_ordering() {
+        let mut ir = IrState::new();
+        ir.begin_wave("w", false);
+        ir.on_store(0x1000, 0, 0, "buf", 0);
+        ir.on_store(0x1000, 1, 1, "buf", 0);
+        ir.end_wave();
+        ir.on_barrier();
+        // Post-barrier store to the same word: ordered, no new hazard.
+        ir.begin_wave("w", false);
+        ir.on_store(0x1000, 2, 2, "buf", 0);
+        ir.end_wave();
+        let out = ir.finish();
+        let ww: Vec<_> = out.hazards.iter().filter(|h| h.kind == HazardKind::WriteWrite).collect();
+        assert_eq!(ww.len(), 1, "{:?}", out.hazards);
+        assert_eq!(ww[0].words, 1);
+    }
+
+    #[test]
+    fn snapshot_window_sanctions_plain_loads() {
+        let mut ir = IrState::new();
+        ir.begin_wave("sync", true);
+        ir.on_load(0x1000, 0, 0, "dist", 0, false);
+        ir.on_atomic(0x1000, 1, 1, "dist", 0);
+        ir.end_wave();
+        let out = ir.finish();
+        assert!(
+            out.hazards.iter().all(|h| h.kind != HazardKind::SnapshotRead),
+            "{:?}",
+            out.hazards
+        );
+        // The same shape in a live wave is a snapshot-read hazard.
+        let mut ir = IrState::new();
+        ir.begin_wave("live", false);
+        ir.on_load(0x1000, 0, 0, "dist", 0, false);
+        ir.on_atomic(0x1000, 1, 1, "dist", 0);
+        ir.end_wave();
+        let out = ir.finish();
+        assert!(out.hazards.iter().any(|h| h.kind == HazardKind::SnapshotRead));
+    }
+
+    #[test]
+    fn queue_epochs_follow_device_and_host() {
+        let mut ir = IrState::new();
+        ir.declare_queue(QueueDecl {
+            label: "q",
+            tail_addr: 0x2000,
+            overflow_addr: 0x3000,
+            capacity: 4,
+            spill: false,
+        });
+        ir.begin_wave("push", false);
+        for lane in 0..6 {
+            ir.on_atomic(0x2000, lane, lane, "queue_tail", 0);
+        }
+        ir.end_wave();
+        ir.on_host_write(0x2000, 0); // drain
+        ir.begin_wave("push", false);
+        ir.on_atomic(0x2000, 0, 0, "queue_tail", 0);
+        ir.on_atomic(0x3000, 1, 1, "queue_overflow", 0);
+        ir.end_wave();
+        let out = ir.finish();
+        assert_eq!(out.queues.len(), 1);
+        let q = &out.queues[0];
+        assert_eq!(q.pushes, 7);
+        assert_eq!(q.high_water, 6);
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.max_window_pushes, 7, "no window boundary between the waves");
+    }
+
+    #[test]
+    fn gang_signature_divergence_counted() {
+        let mut ir = IrState::new();
+        ir.begin_wave("gang", true);
+        // Gang 0 (lanes 0,1): same op sequence. Gang 1 (lanes 2,3):
+        // lane 3 does an extra atomic.
+        ir.on_load(0x10, 0, 0, "a", 0, false);
+        ir.on_load(0x14, 1, 0, "a", 1, false);
+        ir.on_load(0x18, 2, 1, "a", 2, false);
+        ir.on_load(0x1c, 3, 1, "a", 3, false);
+        ir.on_atomic(0x20, 3, 1, "acc", 0);
+        ir.end_wave();
+        let out = ir.finish();
+        let st = out.kernels["gang"];
+        assert_eq!(st.gangs_checked, 2);
+        assert_eq!(st.gangs_divergent, 1);
+    }
+}

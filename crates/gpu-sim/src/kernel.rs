@@ -18,6 +18,7 @@ use crate::cost::kernel_time;
 use crate::counters::KernelReport;
 use crate::device::Device;
 use crate::fault::{AtomicMinFault, FaultModel, FaultPlan};
+use crate::ir::IrState;
 use crate::replay::replay_warp;
 use crate::san::SanState;
 use crate::trace::{LaneTrace, Op};
@@ -39,6 +40,7 @@ pub struct Lane<'a> {
     traffic: &'a mut Vec<[u64; 3]>,
     fault: Option<&'a mut FaultPlan>,
     san: Option<&'a mut SanState>,
+    ir: Option<&'a mut IrState>,
     trace: LaneTrace,
     tid: u64,
     gang_rank: u32,
@@ -65,6 +67,15 @@ impl<'a> Lane<'a> {
         self.gang_size
     }
 
+    /// Physical lane id: the flattened SIMT lane index
+    /// (`tid * gang_size + gang_rank`). This is the identity the
+    /// sanitizer and the IR recorder key races on — two accesses with
+    /// the same `(wave, phys_id)` are program-ordered.
+    #[inline]
+    pub fn phys_id(&self) -> u64 {
+        self.tid * self.gang_size as u64 + self.gang_rank as u64
+    }
+
     /// Global load of one word. Inside a synchronous kernel this
     /// observes the kernel-entry snapshot of any buffer written since
     /// launch (plain global loads have no intra-kernel coherence on
@@ -74,10 +85,13 @@ impl<'a> Lane<'a> {
         let addr = self.arena.addr(buf, idx);
         self.trace.push(Op::Load(addr));
         self.traffic[buf.id as usize][0] += 1;
+        let (lane, gang) = (self.phys_id(), self.tid);
         if let Some(san) = self.san.as_deref_mut() {
             let poisoned = self.arena.poisoned_visible(buf, idx);
-            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
             san.on_plain_load(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_load(addr, lane, gang, self.arena.label(buf), idx, false);
         }
         let val = self.arena.load_visible(buf, idx);
         self.fault_load(buf, idx, val)
@@ -91,8 +105,16 @@ impl<'a> Lane<'a> {
             Some(observed) => {
                 if plan.spec().model == FaultModel::BitFlip {
                     // The upset lands in device memory, not just this
-                    // lane's register: later readers see it too.
-                    self.arena.slice_mut(buf)[idx as usize] = observed;
+                    // lane's register: later readers see it too. Going
+                    // through `Arena::store` (not a raw `slice_mut`
+                    // poke) keeps shadow state exact — the word's
+                    // poison clears (it now holds a defined, if
+                    // corrupted, value) and the kernel-entry snapshot
+                    // is captured first, so same-kernel plain loads
+                    // still observe the pre-flip value. Static and
+                    // dynamic verdicts both treat the flip as
+                    // environmental, not a program store.
+                    self.arena.store(buf, idx, observed);
                 }
                 observed
             }
@@ -110,10 +132,13 @@ impl<'a> Lane<'a> {
         let addr = self.arena.addr(buf, idx);
         self.trace.push(Op::LoadVolatile(addr));
         self.traffic[buf.id as usize][0] += 1;
+        let (lane, gang) = (self.phys_id(), self.tid);
         if let Some(san) = self.san.as_deref_mut() {
             let poisoned = self.arena.poisoned_live(buf, idx);
-            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
             san.on_volatile_load(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_load(addr, lane, gang, self.arena.label(buf), idx, true);
         }
         let val = self.arena.load(buf, idx);
         self.fault_load(buf, idx, val)
@@ -125,23 +150,29 @@ impl<'a> Lane<'a> {
         let addr = self.arena.addr(buf, idx);
         self.trace.push(Op::Store(addr));
         self.traffic[buf.id as usize][1] += 1;
+        let (lane, gang) = (self.phys_id(), self.tid);
         if let Some(san) = self.san.as_deref_mut() {
-            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
             san.on_store(addr, lane, gang, self.arena.label(buf), idx);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_store(addr, lane, gang, self.arena.label(buf), idx);
         }
         self.arena.store(buf, idx, val);
     }
 
-    /// Sanitizer entry shared by all four atomic flavours. `reads` is
-    /// false for `atomicExch` — the only atomic whose effect does not
-    /// depend on the old value, so exchanging into a never-written
-    /// word is an initialization, not an uninit read.
+    /// Sanitizer + IR entry shared by all four atomic flavours.
+    /// `reads` is false for `atomicExch` — the only atomic whose
+    /// effect does not depend on the old value, so exchanging into a
+    /// never-written word is an initialization, not an uninit read.
     #[inline]
     fn san_atomic(&mut self, buf: Buf, idx: u32, addr: u64, reads: bool) {
+        let (lane, gang) = (self.phys_id(), self.tid);
         if let Some(san) = self.san.as_deref_mut() {
             let poisoned = reads && self.arena.poisoned_live(buf, idx);
-            let (lane, gang) = (self.tid * self.gang_size as u64 + self.gang_rank as u64, self.tid);
             san.on_atomic(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_atomic(addr, lane, gang, self.arena.label(buf), idx);
         }
     }
 
@@ -234,9 +265,12 @@ impl<'a> Lane<'a> {
     ) {
         // The launch itself costs a few instructions on the parent.
         self.alu(4);
+        let lane = self.phys_id();
         if let Some(san) = self.san.as_deref_mut() {
-            let lane = self.tid * self.gang_size as u64 + self.gang_rank as u64;
             san.on_child_launch(lane, self.tid);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_child_launch(lane, self.tid);
         }
         if let Some(plan) = self.fault.as_deref_mut() {
             if plan.on_child_launch(name, threads) {
@@ -255,9 +289,12 @@ impl<'a> Lane<'a> {
         body: impl Fn(&mut Lane<'_>) + 'static,
     ) {
         self.alu(4);
+        let lane = self.phys_id();
         if let Some(san) = self.san.as_deref_mut() {
-            let lane = self.tid * self.gang_size as u64 + self.gang_rank as u64;
             san.on_child_launch(lane, self.tid);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_child_launch(lane, self.tid);
         }
         if let Some(plan) = self.fault.as_deref_mut() {
             if plan.on_child_launch(name, items * gang_size as u64) {
@@ -374,6 +411,10 @@ impl Device {
             san.set_stream(self.current_stream);
             san.begin_wave(name, snapshot);
         }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.set_stream(self.current_stream);
+            ir.begin_wave(name, snapshot);
+        }
         if snapshot {
             self.arena.begin_snapshot();
         }
@@ -397,6 +438,7 @@ impl Device {
                     traffic: &mut self.buffer_traffic,
                     fault: self.fault.as_mut(),
                     san: self.san.as_deref_mut(),
+                    ir: self.ir.as_deref_mut(),
                     trace: LaneTrace::default(),
                     tid: lane_idx / gang_size as u64,
                     gang_rank: (lane_idx % gang_size as u64) as u32,
@@ -431,6 +473,7 @@ impl Device {
                         traffic: &mut self.buffer_traffic,
                         fault: self.fault.as_mut(),
                         san: self.san.as_deref_mut(),
+                        ir: self.ir.as_deref_mut(),
                         trace: LaneTrace::default(),
                         tid: lane_idx / gang_size as u64,
                         gang_rank: (lane_idx % gang_size as u64) as u32,
@@ -450,6 +493,9 @@ impl Device {
         }
         if let Some(san) = self.san.as_deref_mut() {
             san.end_wave();
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.end_wave();
         }
         let dram_bytes = (self.counters.dram_transactions - dram_before) * SECTOR_BYTES;
         let max_cycles = sm_cycles.iter().copied().max().unwrap_or(0);
@@ -876,6 +922,99 @@ mod tests {
             lane.ld(full, i);
         });
         assert_eq!(d.san_total(), 1);
+    }
+
+    #[test]
+    fn bitflip_write_through_keeps_shadow_exact() {
+        // A BitFlip upset persists in device memory; the write-through
+        // must go through the arena's store path so the poison shadow
+        // stays exact. Regression: it used to poke `slice_mut`
+        // directly, leaving the word poisoned after the flip wrote a
+        // (defined, if corrupted) value into it — so the dynamic
+        // sanitizer kept reporting uninit reads of a word the static
+        // IR saw as written-through, and the two verdicts disagreed.
+        use crate::fault::{FaultPlan, FaultSpec, FaultTarget};
+        let mut d = tiny();
+        d.arm_sanitizer(crate::san::SanConfig::default());
+        let b = d.alloc("scratch", 2);
+        d.fill(b, 7);
+        d.release(b);
+        let (victim, recycled) = d.alloc_pooled("flip-victim", 2);
+        assert!(recycled, "pooled buffer must recycle to carry poison");
+        let spec = FaultSpec::new(FaultModel::BitFlip, 1.0, 1)
+            .with_target(FaultTarget {
+                site: Some("flip-victim"),
+                index: Some((0, 0)),
+                wave: None,
+                stream: None,
+            })
+            .with_cap(1);
+        d.arm_faults(FaultPlan::new(spec));
+        let out = d.alloc("out", 2);
+        d.fill(out, 0);
+        d.launch("reader", 1, |lane| {
+            let v = lane.ld(victim, 0);
+            lane.st(out, 0, v);
+        });
+        assert_eq!(d.fault_injections(), 1);
+        // The flip landed on the stale value 7 and persisted.
+        assert_eq!((d.read_word(victim, 0) ^ 7).count_ones(), 1);
+        // The word now holds a defined value: a later kernel's read
+        // must NOT be another uninit read. (Dedup keys on the kernel
+        // name, so the old slice_mut path reported a second one here.)
+        d.launch("reader-after-flip", 1, |lane| {
+            let v = lane.ld(victim, 0);
+            lane.st(out, 1, v);
+        });
+        let uninit = d
+            .san_violations()
+            .iter()
+            .filter(|v| v.check == crate::san::SanCheck::UninitRead)
+            .count();
+        assert_eq!(uninit, 1, "only the pre-flip read is uninit: {:?}", d.san_violations());
+        assert_eq!(d.read_word(out, 1), d.read_word(victim, 0));
+    }
+
+    #[test]
+    fn ir_armed_device_is_bit_identical() {
+        let run = |armed: bool| {
+            let mut d = tiny();
+            if armed {
+                d.arm_ir();
+            }
+            let a = d.alloc_upload("a", &[5; 64]);
+            let out = d.alloc("out", 64);
+            d.launch("k", 64, |lane| {
+                let i = lane.tid() as u32;
+                let v = lane.ld(a, i);
+                lane.st(out, i, v * 2);
+            });
+            (d.counters().clone(), d.elapsed_ms(), d.read(out).to_vec())
+        };
+        assert_eq!(run(false), run(true), "arming the IR must not perturb timing or results");
+    }
+
+    #[test]
+    fn ir_records_hazards_and_queue_traffic() {
+        let mut d = tiny();
+        let tail = d.alloc("queue_tail", 1);
+        let overflow = d.alloc("queue_overflow", 2);
+        d.declare_queue("jobs", tail, overflow, 4, false);
+        d.arm_ir(); // declared before arming: must be carried over
+        let x = d.alloc("victim", 1);
+        d.launch("racy", 8, |lane| {
+            lane.st(x, 0, lane.tid() as u32);
+            lane.atomic_add(tail, 0, 1);
+        });
+        let ir = d.take_ir().expect("armed");
+        assert!(ir
+            .hazards
+            .iter()
+            .any(|h| h.kind == crate::ir::HazardKind::WriteWrite && h.buffer == "victim"));
+        assert_eq!(ir.queues.len(), 1);
+        assert_eq!(ir.queues[0].pushes, 8);
+        assert_eq!(ir.queues[0].high_water, 8);
+        assert!(!d.ir_armed(), "take_ir disarms");
     }
 
     #[test]

@@ -50,6 +50,11 @@
 //! never-written words, gang divergence — reporting typed
 //! [`SanViolation`]s; disarmed, it costs one branch per access.
 //!
+//! An opt-in access-IR recorder ([`Device::arm_ir`], the [`ir`]
+//! module) retains a bounded per-race-window access summary that the
+//! `rdbs-statan` crate verifies *statically* — its verdicts quantify
+//! over every lane interleaving, not the one that happened to run.
+//!
 //! Everything is deterministic: the same kernel sequence yields the
 //! same counters, byte-for-byte.
 //!
@@ -70,12 +75,15 @@
 //! assert!(device.elapsed_ms() > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod buffer;
 pub mod cache;
 pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod fault;
+pub mod ir;
 pub mod kernel;
 pub mod replay;
 pub mod san;
@@ -87,6 +95,7 @@ pub use buffer::{Buf, HostStaging};
 pub use counters::{Counters, KernelReport};
 pub use device::{Device, DeviceConfig};
 pub use fault::{FaultEvent, FaultModel, FaultPlan, FaultSpec, FaultTarget};
+pub use ir::{AccessIr, Hazard, HazardKind, IrAccessor, KernelStats, QueueDecl, QueueUsage};
 pub use kernel::{Lane, WaveSession};
 pub use san::{AccessProfile, SanCheck, SanConfig, SanViolation, WordStats};
 pub use sched::SchedPlan;

@@ -89,6 +89,7 @@ impl SanCheck {
 /// entries name the same lane.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SanViolation {
+    /// The violated discipline rule.
     pub check: SanCheck,
     /// Kernel (site) whose lane performed the *second* access.
     pub kernel: &'static str,
@@ -105,6 +106,7 @@ pub struct SanViolation {
     pub waves: [u64; 2],
     /// Command stream the violating (second) access ran on.
     pub stream: u32,
+    /// Human-readable explanation of the specific conflict.
     pub detail: String,
 }
 
@@ -161,8 +163,11 @@ struct AccessRec {
 /// window close).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WordStats {
+    /// Plain + volatile loads of the word.
     pub loads: u64,
+    /// Plain stores of the word.
     pub stores: u64,
+    /// Atomic RMWs of the word.
     pub atomics: u64,
     /// First `(wave, lane)` to touch the word, for shared detection.
     first: Option<(u64, u64)>,
@@ -176,6 +181,7 @@ impl WordStats {
         self.shared
     }
 
+    /// All accesses to the word.
     pub fn total(&self) -> u64 {
         self.loads + self.stores + self.atomics
     }
@@ -340,6 +346,7 @@ pub struct SanState {
 }
 
 impl SanState {
+    /// Fresh sanitizer state for a configuration.
     pub fn new(config: SanConfig) -> Self {
         Self {
             config,
@@ -361,6 +368,7 @@ impl SanState {
         self.stream = stream;
     }
 
+    /// The configuration this state was armed with.
     pub fn config(&self) -> &SanConfig {
         &self.config
     }

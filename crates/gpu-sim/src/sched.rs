@@ -28,10 +28,12 @@ pub struct SchedPlan {
 }
 
 impl SchedPlan {
+    /// A plan drawing permutations from `seed`.
     pub fn new(seed: u64) -> Self {
         Self { seed, state: seed, waves_permuted: 0 }
     }
 
+    /// The seed the plan was armed with.
     pub fn seed(&self) -> u64 {
         self.seed
     }

@@ -49,40 +49,46 @@ impl Op {
 /// Operation kind (divergence grouping key).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
+    /// Global load (plain or volatile).
     Load,
+    /// Global store.
     Store,
+    /// Atomic read-modify-write.
     Atomic,
+    /// Arithmetic/control instructions.
     Alu,
 }
 
 /// The recorded trace of one lane.
 #[derive(Clone, Debug, Default)]
 pub struct LaneTrace {
+    /// The recorded ops, in program order.
     pub ops: Vec<Op>,
 }
 
 impl LaneTrace {
+    /// Append one op. Consecutive ALU ops collapse into a single
+    /// [`Op::Alu`] to keep traces small: graph kernels interleave long
+    /// arithmetic runs with memory ops.
     #[inline]
     pub fn push(&mut self, op: Op) {
-        // Collapse consecutive ALU ops to keep traces small: graph
-        // kernels interleave long arithmetic runs with memory ops.
-        if let (Some(Op::Alu(n)), Op::Alu(m)) = (self.ops.last_mut().map(|o| *o), op) {
-            if let Some(Op::Alu(last)) = self.ops.last_mut() {
-                *last = n + m;
-                return;
-            }
+        match (self.ops.last_mut(), op) {
+            (Some(Op::Alu(last)), Op::Alu(m)) => *last += m,
+            _ => self.ops.push(op),
         }
-        self.ops.push(op);
     }
 
+    /// Number of recorded (collapsed) ops.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
+    /// True when no ops have been recorded.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
+    /// Discard all recorded ops.
     pub fn clear(&mut self) {
         self.ops.clear();
     }

@@ -200,6 +200,9 @@ fn main() {
     if std::env::args().nth(1).as_deref() == Some("sanitize") {
         sanitize_main(std::env::args().skip(2).collect());
     }
+    if std::env::args().nth(1).as_deref() == Some("analyze") {
+        analyze_main(std::env::args().skip(2).collect());
+    }
     let o = parse_args();
     let g = build_graph(&o);
     println!(
@@ -1291,6 +1294,166 @@ entry points:
             rdbs::conformance::san_entries().iter().map(|e| e.id).collect::<Vec<_>>().join(" ")
     );
     exit(2)
+}
+
+fn analyze_usage() -> ! {
+    eprintln!(
+        "usage: rdbs-cli analyze [options]
+
+Run every GPU entry point x frontier layout with the access-IR
+recorder armed and verify the retained IR statically: per-kernel
+race-freedom certificates (race-free | sanctioned-racy | racy) that
+quantify over ALL lane interleavings, per-queue push-bound
+certificates (bounded | spilling | overflowing), a gang-divergence
+lint and a coalescing / atomic-contention report. Before the sweep,
+two specimens prove the verifier fires: the planted write-write race,
+and a schedule-hidden publish race the dynamic sanitizer misses under
+every permutation. Exits non-zero unless both specimens are caught AND
+no kernel is racy, no queue overflows, and every answer is correct.
+Deterministic: the same flags reproduce the same bytes.
+
+  --quick             reduced sweep (quick families, quick entries)
+  --entry SUBSTR      only entry points whose id contains SUBSTR
+  --frontier single|wheel|mlmq
+                      analyze only this frontier layout
+  --json              print the full report as JSON
+  --write PATH        write the certificate baseline to PATH
+  --check PATH        diff certificates against the baseline at PATH;
+                      fail on lost/downgraded/new-red certificates"
+    );
+    exit(2)
+}
+
+fn analyze_main(args: Vec<String>) -> ! {
+    use rdbs::conformance as conf;
+    let mut o = conf::AnalyzeOptions::default();
+    let mut json = false;
+    let mut write_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| analyze_usage());
+        match flag.as_str() {
+            "--quick" => o.quick = true,
+            "--entry" => o.entry_filter = Some(val()),
+            "--frontier" => {
+                o.frontier = Some(FrontierKind::parse(&val()).unwrap_or_else(|| analyze_usage()));
+            }
+            "--json" => json = true,
+            "--write" => write_path = Some(val()),
+            "--check" => check_path = Some(val()),
+            "--help" | "-h" => analyze_usage(),
+            _ => analyze_usage(),
+        }
+    }
+
+    // With --json, stdout carries exactly one JSON document; all the
+    // human-readable narration moves to stderr so the output pipes
+    // straight into a parser.
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if json { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
+
+    // Liveness first: a green matrix from a dead verifier is
+    // meaningless. This also proves the static pass sees strictly
+    // more than the dynamic one — the hidden specimen is clean under
+    // the default order and 32 fuzzed permutations, yet flagged here.
+    match conf::specimens_caught_statically() {
+        Ok(()) => {
+            let hidden = conf::schedule_hidden_specimen();
+            let cert = &hidden.analysis.kernels["hidden-publish"];
+            say!(
+                "specimen: planted race flagged statically; schedule-hidden race flagged \
+                 ({} dynamic violation(s), {} across {} permutations); first finding:",
+                hidden.dynamic_violations,
+                hidden.fuzz_violations,
+                hidden.fuzz_seeds
+            );
+            say!("  {}", cert.findings[0]);
+        }
+        Err(e) => {
+            eprintln!("FAIL specimen: {e}");
+            exit(1);
+        }
+    }
+
+    let report = conf::run_analyze(&o, |cell| {
+        say!(
+            "  {:<24} {:>2} run(s) {:>3} kernel(s) {:>2} queue(s)  worst {:<16} {}",
+            cell.key(),
+            cell.runs,
+            cell.analysis.kernels.len(),
+            cell.analysis.queues.len(),
+            cell.analysis.worst_verdict().name(),
+            if cell.is_clean() { "clean" } else { "RED" }
+        );
+        for cert in cell.analysis.kernels.values() {
+            for h in cert.findings.iter().take(3) {
+                say!("      {h}");
+            }
+        }
+        if let Some(m) = &cell.mismatch {
+            say!("      mismatch: {m}");
+        }
+        if let Some(p) = &cell.panic {
+            say!("      panic: {p}");
+        }
+    });
+
+    if report.cells.is_empty() {
+        eprintln!("error: the filters matched no entry x frontier cells — nothing was verified");
+        exit(2);
+    }
+    if json {
+        print!("{}", conf::report_json(&report));
+    }
+    if let Some(path) = &write_path {
+        std::fs::write(path, conf::baseline_json(&report)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        say!("analyze: baseline written to {path}");
+    }
+    let mut baseline_ok = true;
+    if let Some(path) = &check_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        let check = conf::check_baseline(&report, &text);
+        for n in &check.notes {
+            say!("note: {n}");
+        }
+        for f in &check.failures {
+            say!("FAIL {f}");
+        }
+        baseline_ok = check.ok();
+        say!(
+            "analyze: baseline check {} ({} failure(s), {} note(s))",
+            if baseline_ok { "OK" } else { "FAILED" },
+            check.failures.len(),
+            check.notes.len()
+        );
+    }
+
+    say!("analyze: {} cells", report.cells.len());
+    if report.is_green() && baseline_ok {
+        say!("analyze: OK — every kernel certified, every queue bounded or spilling");
+        exit(0);
+    }
+    for c in report.red_cells() {
+        say!(
+            "FAIL {}: worst verdict {}, worst queue {}{}{}",
+            c.key(),
+            c.analysis.worst_verdict().name(),
+            c.analysis.worst_queue_class().name(),
+            c.mismatch.as_deref().map(|m| format!(", mismatch: {m}")).unwrap_or_default(),
+            c.panic.as_deref().map(|p| format!(", panic: {p}")).unwrap_or_default(),
+        );
+    }
+    exit(1)
 }
 
 fn sanitize_main(args: Vec<String>) -> ! {
