@@ -11,7 +11,7 @@
 //! Writes the machine-readable record to `results/BENCH_pr8.json`.
 
 use criterion::robust_stats;
-use rdbs_core::gpu::FrontierKind;
+use rdbs_core::gpu::{FrontierKind, ScatterMode};
 use rdbs_core::service::{ServiceConfig, SsspService};
 use rdbs_core::stats::BatchStats;
 use rdbs_core::{Csr, VertexId};
@@ -72,7 +72,12 @@ fn measure(
     for _ in 0..REPS {
         // Fresh service per rep: identical cold-pool state, so the
         // simulated clock and counters are bit-identical across reps.
-        let mut config = ServiceConfig::rdbs(device()).with_streams(4).with_frontier(kind);
+        // Scalar scatter pins the publish path this record was graded
+        // under; the scatter-mode axis has its own bench (multisplit).
+        let mut config = ServiceConfig::rdbs(device())
+            .with_streams(4)
+            .with_frontier(kind)
+            .with_scatter(ScatterMode::Scalar);
         if let Some(cap) = capacity {
             config = config.with_queue_capacity(cap);
         }

@@ -1,0 +1,66 @@
+//! Per-buffer attribution of the multisplit scatter's global-atomic
+//! reduction: run the stress-regime batch of the `multisplit` bench
+//! under both scatter modes and print which device buffers lost their
+//! atomic traffic (the queue tails, slot arrays and mask words the
+//! warp-aggregated publish collapses). Source of the before/after
+//! table in `EXPERIMENTS.md`.
+
+use rdbs_core::gpu::{FrontierKind, ScatterMode};
+use rdbs_core::service::{ServiceConfig, SsspService};
+use rdbs_core::VertexId;
+use rdbs_gpu_sim::DeviceConfig;
+use rdbs_graph::datasets::kronecker_spec;
+use std::collections::BTreeMap;
+
+const BATCH: u64 = 16;
+
+fn main() {
+    let g = kronecker_spec(21, 16).generate(8, 42);
+    let n = g.num_vertices();
+    let srcs: Vec<VertexId> =
+        (0..BATCH).map(|i| ((i * 2_654_435_761) % n as u64) as VertexId).collect();
+    let stress_cap = (n as u32 / 4).max(8);
+    for kind in FrontierKind::ALL {
+        // label -> [scalar atomics, multisplit atomics]
+        let mut by_label: BTreeMap<&'static str, [u64; 2]> = BTreeMap::new();
+        let mut totals = [0u64; 2];
+        for (i, scatter) in ScatterMode::ALL.into_iter().rev().enumerate() {
+            let config = ServiceConfig::rdbs(
+                DeviceConfig::v100().with_overhead_scale(1.0 / 256.0).with_cache_scale(1.0 / 256.0),
+            )
+            .with_streams(4)
+            .with_frontier(kind)
+            .with_scatter(scatter)
+            .with_queue_capacity(stress_cap);
+            let mut svc = SsspService::new(&g, config);
+            let _ = svc.batch(&srcs);
+            totals[i] = svc.device_counters().expect("gpu backend").inst_executed_global_atomics;
+            for (label, _, _, atomics) in svc.buffer_traffic().expect("gpu backend") {
+                by_label.entry(label).or_default()[i] += atomics;
+            }
+            let mut by_kernel: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for r in svc.kernel_reports().expect("gpu backend") {
+                *by_kernel.entry(r.name).or_default() += r.atomics;
+            }
+            let mut rows: Vec<_> = by_kernel.into_iter().filter(|&(_, a)| a > 0).collect();
+            rows.sort_by_key(|&(_, a)| std::cmp::Reverse(a));
+            println!("  [{} {}] atomic instructions by kernel:", scatter.name(), kind.name());
+            for (name, atomics) in rows {
+                println!("    {name:<22} {atomics:>9}");
+            }
+        }
+        println!(
+            "frontier {} (stress, capacity {stress_cap}): atomic ops {} -> {} ({:.2}x)",
+            kind.name(),
+            totals[0],
+            totals[1],
+            totals[0] as f64 / totals[1] as f64
+        );
+        let mut rows: Vec<_> = by_label.into_iter().filter(|(_, a)| a[0] + a[1] > 0).collect();
+        rows.sort_by_key(|&(_, a)| std::cmp::Reverse(a[0]));
+        println!("  {:<18} {:>10} {:>10}", "buffer", "scalar", "multisplit");
+        for (label, [scalar, multi]) in rows {
+            println!("  {label:<18} {scalar:>10} {multi:>10}");
+        }
+    }
+}

@@ -109,10 +109,14 @@ pub fn bl_on(
                     let old = lane.atomic_min(gb.dist, v2, nd);
                     if nd < old {
                         total_updates.set(total_updates.get() + 1);
-                        // Atomics: many improvers hit the same mask
-                        // word and all of them hit progress[0].
-                        lane.atomic_exch(mask, v2, 1);
-                        lane.atomic_exch(progress, 0, 1);
+                        // Warp-aggregated publishes: the warp's
+                        // improvers of one mask word collapse to a
+                        // single store, and only the warp leader pays
+                        // the progress[0] atomic — many improvers hit
+                        // both words, so scalar exchanges serialized
+                        // here.
+                        lane.gang_flag(mask, v2, 1);
+                        lane.gang_flag_once(progress, 0, 1);
                     }
                 }
             }

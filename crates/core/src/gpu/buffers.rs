@@ -1,7 +1,7 @@
 //! Device-resident graph state shared by every GPU kernel.
 
 use crate::{Csr, Dist, VertexId, INF};
-use rdbs_gpu_sim::{Buf, Device, Lane};
+use rdbs_gpu_sim::{Buf, Device, Lane, ScatterTarget};
 
 /// The immutable CSR arrays on the device — everything that is a
 /// function of the *graph*, not of any one query. A resident service
@@ -221,6 +221,20 @@ impl DeviceQueue {
         }
         lane.atomic_exch(self.data, slot, v);
         true
+    }
+
+    /// The queue as a warp-aggregated scatter target for
+    /// [`Lane::gang_push`]: same tail/data/overflow cells the scalar
+    /// [`DeviceQueue::push`] uses, so the two publish paths share one
+    /// accounting discipline.
+    #[inline]
+    pub fn scatter_target(&self) -> ScatterTarget {
+        ScatterTarget {
+            tail: self.tail,
+            data: self.data,
+            capacity: self.capacity,
+            overflow: self.overflow,
+        }
     }
 
     /// Device-side read of slot `i` (kernel context). Volatile: the

@@ -34,7 +34,7 @@
 use super::buffers::{DeviceQueue, GraphBuffers, QueueOverflow};
 use crate::workload::{classify, WorkloadClass};
 use crate::{Csr, VertexId};
-use rdbs_gpu_sim::{Buf, Device, Lane};
+use rdbs_gpu_sim::{Buf, Device, GangScatter, Lane};
 
 /// Rotating queue sets in the bucket wheel.
 pub const WHEEL_SLOTS: usize = 4;
@@ -94,11 +94,71 @@ impl std::fmt::Display for FrontierKind {
     }
 }
 
+/// How device-side publishes reach the frontier queues.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScatterMode {
+    /// Warp-aggregated multisplit scatter ([`Lane::gang_push`]): the
+    /// lanes of a warp publishing to one queue reserve a contiguous
+    /// slot range with a single leader `atomicAdd` and land their
+    /// payloads with coalesced reserved stores — one tail atomic per
+    /// (warp × bucket) instead of two atomics per element.
+    #[default]
+    Multisplit,
+    /// The pre-multisplit per-element path: every publish pays its own
+    /// tail `atomicAdd` plus an `atomicExch` into the slot. Kept as
+    /// the conformance oracle the aggregated path must match
+    /// bit-for-bit.
+    Scalar,
+}
+
+impl ScatterMode {
+    /// Both modes, oracle-comparison order.
+    pub const ALL: [ScatterMode; 2] = [ScatterMode::Multisplit, ScatterMode::Scalar];
+
+    /// CLI name (`--scatter <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScatterMode::Multisplit => "multisplit",
+            ScatterMode::Scalar => "scalar",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for ScatterMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One phase-1 layer's host-side drain: per-class worklists plus the
 /// vertices to add to the bucket's membership set.
 pub(crate) struct DrainedLayer {
     pub(crate) lists: [Vec<VertexId>; WorkloadClass::COUNT],
     pub(crate) new_members: Vec<VertexId>,
+}
+
+/// Pending-mark dedup at the head of every device-side enqueue:
+/// `true` means `v` is already queued and the publish must be
+/// skipped. Scalar mode is the original unconditional
+/// `atomicExch(pending[v], 1)`. Multisplit mode test-and-test-and-sets
+/// — a volatile read first, the exchange only when the mark looks
+/// clear. The decision is identical either way: the mark only goes
+/// 0→1 between an enqueue and the host drain that clears it, so a
+/// read of 1 is exactly the case where the exchange would have
+/// returned 1, and a stale-looking 0 is re-checked by the exchange.
+/// Most enqueue attempts hit an already-marked vertex, so the gate
+/// converts the bulk of the dedup atomics into loads.
+#[inline]
+fn pending_is_set(lane: &mut Lane<'_>, scatter: ScatterMode, pending: Buf, v: VertexId) -> bool {
+    if scatter == ScatterMode::Multisplit && lane.ld_volatile(pending, v) != 0 {
+        return true;
+    }
+    lane.atomic_exch(pending, v, 1) != 0
 }
 
 /// Host-side light-degree (seeding, drain-time classification and
@@ -165,24 +225,31 @@ pub(crate) struct WorkloadQueues {
     pub(crate) members: DeviceQueue,
     pub(crate) pending: Buf,
     pub(crate) adwl: bool,
+    pub(crate) scatter: ScatterMode,
 }
 
 impl WorkloadQueues {
-    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool, scatter: ScatterMode) -> Self {
         let pending = device.alloc("pending", n as usize);
-        Self::with_pending(device, n, adwl, pending)
+        Self::with_pending(device, n, adwl, scatter, pending)
     }
 
     /// Build a set around a caller-owned pending buffer (wheel slots
     /// share one).
-    pub(crate) fn with_pending(device: &mut Device, n: u32, adwl: bool, pending: Buf) -> Self {
+    pub(crate) fn with_pending(
+        device: &mut Device,
+        n: u32,
+        adwl: bool,
+        scatter: ScatterMode,
+        pending: Buf,
+    ) -> Self {
         let q = [
             DeviceQueue::new(device, "workload_small", n),
             DeviceQueue::new(device, "workload_medium", n),
             DeviceQueue::new(device, "workload_large", n),
         ];
         let members = DeviceQueue::new(device, "bucket_members", n);
-        Self { q, members, pending, adwl }
+        Self { q, members, pending, adwl, scatter }
     }
 
     /// The set's queues (workload lists then members), for overflow
@@ -208,16 +275,60 @@ impl WorkloadQueues {
     /// Device-side enqueue with pending dedup and ADWL classification.
     #[inline]
     pub(crate) fn enqueue(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
-        if lane.atomic_exch(self.pending, v, 1) != 0 {
+        if pending_is_set(lane, self.scatter, self.pending, v) {
             return; // already queued
         }
+        self.publish(lane, gb, v);
+    }
+
+    /// Enqueue for callers that guarantee at most one attempt per
+    /// vertex per wave (phase 3's per-vertex collect): the multisplit
+    /// path then reads the pending mark instead of exchanging it and
+    /// defers the set to a reserved store in the flush — the
+    /// exchange's only job is arbitrating same-wave duplicates, and
+    /// there are none. Decision-identical to [`Self::enqueue`]: the
+    /// mark only transitions 0→1 between enqueue and host drain, and
+    /// no other lane of this wave touches `v`.
+    #[inline]
+    pub(crate) fn enqueue_distinct(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
+        match self.scatter {
+            ScatterMode::Scalar => self.enqueue(lane, gb, v),
+            ScatterMode::Multisplit => {
+                if lane.ld_volatile(self.pending, v) != 0 {
+                    return; // deferred from an earlier wave
+                }
+                lane.gang_flag(self.pending, v, 1);
+                self.publish(lane, gb, v);
+            }
+        }
+    }
+
+    /// The post-dedup publish: ADWL classification, then the scalar
+    /// per-push or gang-aggregated scatter.
+    #[inline]
+    fn publish(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
         let class = if self.adwl {
             classify(Self::light_degree(lane, gb, v))
         } else {
             WorkloadClass::Small
         };
-        self.q[class.index()].push(lane, v);
-        self.members.push(lane, v);
+        match self.scatter {
+            ScatterMode::Scalar => {
+                self.q[class.index()].push(lane, v);
+                self.members.push(lane, v);
+            }
+            ScatterMode::Multisplit => {
+                // The warp's publishers split by workload class (the
+                // multisplit bucket key) and reserve one slot range
+                // per (warp × class queue); the membership push
+                // aggregates across every publisher of the warp.
+                let class_q =
+                    GangScatter { target: self.q[class.index()].scatter_target(), spill: None };
+                lane.gang_push(&class_q, v);
+                let members = GangScatter { target: self.members.scatter_target(), spill: None };
+                lane.gang_push(&members, v);
+            }
+        }
     }
 
     fn seed_queues(&self, device: &mut Device, graph: &Csr, source: VertexId) {
@@ -307,9 +418,11 @@ pub(crate) struct WheelFrontier {
 }
 
 impl WheelFrontier {
-    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool, scatter: ScatterMode) -> Self {
         let pending = device.alloc("pending", n as usize);
-        let slots = std::array::from_fn(|_| WorkloadQueues::with_pending(device, n, adwl, pending));
+        let slots = std::array::from_fn(|_| {
+            WorkloadQueues::with_pending(device, n, adwl, scatter, pending)
+        });
         Self { slots, pending, active: 0 }
     }
 
@@ -374,6 +487,7 @@ pub(crate) struct MlmqFrontier {
     pub(crate) levels: [[DeviceQueue; MLMQ_FANOUT]; MLMQ_LEVELS],
     pub(crate) pending: Buf,
     pub(crate) adwl: bool,
+    pub(crate) scatter: ScatterMode,
     /// Level holding the active bucket's entries (rotates per bucket).
     pub(crate) active: usize,
 }
@@ -387,7 +501,7 @@ impl MlmqFrontier {
         ((cap as usize * 2).div_ceil(MLMQ_FANOUT)).max(1) as u32
     }
 
-    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool) -> Self {
+    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool, scatter: ScatterMode) -> Self {
         let pending = device.alloc("pending", n as usize);
         let sub = Self::sub_capacity(n);
         let levels = std::array::from_fn(|_| {
@@ -400,7 +514,7 @@ impl MlmqFrontier {
                 q
             })
         });
-        Self { levels, pending, adwl, active: 0 }
+        Self { levels, pending, adwl, scatter, active: 0 }
     }
 
     /// Every sub-queue of every level, for checks and pool release.
@@ -415,9 +529,34 @@ impl MlmqFrontier {
     /// real loss, reported by [`MlmqFrontier::check`].
     #[inline]
     fn enqueue(&self, lane: &mut Lane<'_>, target: usize, v: VertexId) {
-        if lane.atomic_exch(self.pending, v, 1) != 0 {
+        if pending_is_set(lane, self.scatter, self.pending, v) {
             return; // already queued
         }
+        self.publish(lane, target, v);
+    }
+
+    /// Enqueue for at-most-once-per-vertex waves (phase 3 collect):
+    /// see [`WorkloadQueues::enqueue_distinct`]. The load-only gate
+    /// still skips vertices deferred in a spill level from an earlier
+    /// wave — their mark is already 1.
+    #[inline]
+    fn enqueue_distinct(&self, lane: &mut Lane<'_>, target: usize, v: VertexId) {
+        match self.scatter {
+            ScatterMode::Scalar => self.enqueue(lane, target, v),
+            ScatterMode::Multisplit => {
+                if lane.ld_volatile(self.pending, v) != 0 {
+                    return; // deferred from an earlier wave
+                }
+                lane.gang_flag(self.pending, v, 1);
+                self.publish(lane, target, v);
+            }
+        }
+    }
+
+    /// The post-dedup publish: sub-queue pick, then the scalar
+    /// try-push/spill pair or one aggregated reservation.
+    #[inline]
+    fn publish(&self, lane: &mut Lane<'_>, target: usize, v: VertexId) {
         // Fibonacci-hash the *physical* lane id (`tid` alone is the
         // work-item index, shared by every rank of a gang) so dense
         // lanes spread across the fan-out — the whole point:
@@ -426,8 +565,24 @@ impl MlmqFrontier {
         lane.alu(2);
         let lane_id = lane.phys_id() as u32;
         let sub = (lane_id.wrapping_mul(0x9E37_79B9) >> 16) as usize % MLMQ_FANOUT;
-        if !self.levels[target][sub].try_push(lane, v) {
-            self.levels[(target + 1) % MLMQ_LEVELS][sub].push(lane, v);
+        match self.scatter {
+            ScatterMode::Scalar => {
+                if !self.levels[target][sub].try_push(lane, v) {
+                    self.levels[(target + 1) % MLMQ_LEVELS][sub].push(lane, v);
+                }
+            }
+            ScatterMode::Multisplit => {
+                // Aggregated equivalent of the try_push/push pair: the
+                // warp's publishers to this sub-queue reserve one slot
+                // range, and any overshoot re-reserves a single range
+                // on the next level's sub-queue — the spill no longer
+                // pays one atomic per spilled element.
+                let gs = GangScatter {
+                    target: self.levels[target][sub].scatter_target(),
+                    spill: Some(self.levels[(target + 1) % MLMQ_LEVELS][sub].scatter_target()),
+                };
+                lane.gang_push(&gs, v);
+            }
         }
     }
 }
@@ -523,11 +678,19 @@ pub(crate) enum AnyFrontier {
 impl AnyFrontier {
     /// Allocate a fresh frontier of `kind` (the one-shot entry path;
     /// the service assembles pooled frontiers field by field).
-    pub(crate) fn new(device: &mut Device, n: u32, adwl: bool, kind: FrontierKind) -> Self {
+    pub(crate) fn new(
+        device: &mut Device,
+        n: u32,
+        adwl: bool,
+        kind: FrontierKind,
+        scatter: ScatterMode,
+    ) -> Self {
         match kind {
-            FrontierKind::Single => AnyFrontier::Single(WorkloadQueues::new(device, n, adwl)),
-            FrontierKind::Wheel => AnyFrontier::Wheel(WheelFrontier::new(device, n, adwl)),
-            FrontierKind::Mlmq => AnyFrontier::Mlmq(MlmqFrontier::new(device, n, adwl)),
+            FrontierKind::Single => {
+                AnyFrontier::Single(WorkloadQueues::new(device, n, adwl, scatter))
+            }
+            FrontierKind::Wheel => AnyFrontier::Wheel(WheelFrontier::new(device, n, adwl, scatter)),
+            FrontierKind::Mlmq => AnyFrontier::Mlmq(MlmqFrontier::new(device, n, adwl, scatter)),
         }
     }
 
@@ -621,6 +784,17 @@ pub(crate) enum FrontierView {
 }
 
 impl FrontierView {
+    /// The scatter mode the backing frontier was built with — the
+    /// kernels branch on this to pick the scalar or warp-synchronous
+    /// publish sequence.
+    #[inline]
+    pub(crate) fn scatter(&self) -> ScatterMode {
+        match *self {
+            FrontierView::Workload(wq) => wq.scatter,
+            FrontierView::Mlmq { frontier, .. } => frontier.scatter,
+        }
+    }
+
     /// Device-side publish of an improved in-window vertex.
     #[inline]
     pub(crate) fn enqueue(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
@@ -630,17 +804,35 @@ impl FrontierView {
         }
     }
 
-    /// Device-side clear of a dequeued vertex's pending mark.
-    /// Atomic: races the enqueue-side `atomic_exch(pending, 1)` of
-    /// concurrent improvers — a plain store could be lost and strand
-    /// a re-activation.
+    /// Publish from a wave that attempts each vertex at most once
+    /// (phase 3's per-vertex collect): the multisplit dedup then
+    /// needs no exchange — a volatile read gates, and the mark is set
+    /// by a reserved store in the flush.
+    #[inline]
+    pub(crate) fn enqueue_distinct(&self, lane: &mut Lane<'_>, gb: GraphBuffers, v: VertexId) {
+        match *self {
+            FrontierView::Workload(wq) => wq.enqueue_distinct(lane, gb, v),
+            FrontierView::Mlmq { frontier, target } => frontier.enqueue_distinct(lane, target, v),
+        }
+    }
+
+    /// Device-side test-and-clear of a dequeued vertex's pending
+    /// mark. Atomic: races the enqueue-side `atomic_exch(pending, 1)`
+    /// of concurrent improvers — a plain store could be lost and
+    /// strand a re-activation. The volatile load gates the exchange
+    /// so that when every lane of a gang issues the clear (the
+    /// schedule-universal dequeue protocol, see `run_phase1_list`),
+    /// only the first lane to run pays an atomic — the canonical
+    /// count stays one exchange per activation.
     #[inline]
     pub(crate) fn clear_pending(&self, lane: &mut Lane<'_>, v: VertexId) {
         let pending = match *self {
             FrontierView::Workload(wq) => wq.pending,
             FrontierView::Mlmq { frontier, .. } => frontier.pending,
         };
-        lane.atomic_exch(pending, v, 0);
+        if lane.ld_volatile(pending, v) != 0 {
+            lane.atomic_exch(pending, v, 0);
+        }
     }
 
     /// Charge the fetch of work item `i` of `class` against the queue
@@ -684,7 +876,7 @@ mod tests {
         // and has_deferred reports the spill until it is drained.
         let mut d = Device::new(DeviceConfig::test_tiny());
         let n = 64u32;
-        let mut f = MlmqFrontier::new(&mut d, n, false);
+        let mut f = MlmqFrontier::new(&mut d, n, false, ScatterMode::Multisplit);
         // Shrink the active level so the storm must spill.
         for q in &mut f.levels[0] {
             q.capacity = 2;
@@ -717,7 +909,7 @@ mod tests {
         // raise the sticky overflow so the host never trusts the run.
         let mut d = Device::new(DeviceConfig::test_tiny());
         let n = 64u32;
-        let mut f = MlmqFrontier::new(&mut d, n, false);
+        let mut f = MlmqFrontier::new(&mut d, n, false, ScatterMode::Multisplit);
         for level in &mut f.levels {
             for q in level {
                 q.capacity = 1;
@@ -733,7 +925,7 @@ mod tests {
     #[test]
     fn mlmq_pending_dedup_spans_levels() {
         let mut d = Device::new(DeviceConfig::test_tiny());
-        let f = MlmqFrontier::new(&mut d, 16, false);
+        let f = MlmqFrontier::new(&mut d, 16, false, ScatterMode::Multisplit);
         d.launch("dupes", 32, move |lane| {
             f.enqueue(lane, 0, 7); // every lane publishes the same vertex
         });
@@ -742,10 +934,95 @@ mod tests {
         assert_eq!(layer.new_members, vec![7], "pending marks deduplicate across the fan-out");
     }
 
+    /// Empty graph buffers for enqueue-path tests (adwl off, so the
+    /// classification never reads them).
+    fn empty_gb(d: &mut Device, n: u32) -> GraphBuffers {
+        let g = crate::Csr::from_raw(vec![0; n as usize + 1], vec![], vec![]);
+        GraphBuffers::upload(d, &g)
+    }
+
+    use super::super::buffers::GraphBuffers;
+
+    #[test]
+    fn gang_reservation_landing_exactly_at_capacity_stays_clean() {
+        // A full warp publishing exactly `capacity` distinct vertices:
+        // the aggregated reservation's base+k must land *on* the
+        // boundary without tripping the overflow bump, exactly like 32
+        // scalar pushes — and drain the same membership.
+        for scatter in ScatterMode::ALL {
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let f = WorkloadQueues::new(&mut d, 32, false, scatter);
+            let gb = empty_gb(&mut d, 32);
+            d.launch("fill", 32, move |lane| {
+                let v = lane.tid() as u32;
+                f.enqueue(lane, gb, v);
+            });
+            assert!(f.check(&d).is_ok(), "{scatter}: at-capacity fill must stay clean");
+            assert_eq!(f.members.len(&d), 32, "{scatter}: tail must land exactly on capacity");
+            let layer = f.drain_set(&mut d);
+            assert_eq!(layer.new_members, (0..32).collect::<Vec<_>>(), "{scatter}");
+        }
+    }
+
+    #[test]
+    fn gang_reservation_one_short_of_capacity_overflows_like_scalar() {
+        // Capacity 31, a full warp of 32 publishers: the warp's single
+        // reservation overshoots by one. The sticky overflow must
+        // carry the same (queue, capacity, attempted) evidence the
+        // scalar path's 32nd push records.
+        let mut errors = Vec::new();
+        for scatter in ScatterMode::ALL {
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let mut f = WorkloadQueues::new(&mut d, 32, false, scatter);
+            f.q[0].capacity = 31;
+            f.members.capacity = 31;
+            let gb = empty_gb(&mut d, 32);
+            d.launch("storm", 32, move |lane| {
+                let v = lane.tid() as u32;
+                f.enqueue(lane, gb, v);
+            });
+            let err = f.check(&d).expect_err("one push past capacity must raise overflow");
+            errors.push((err.queue, err.capacity, err.attempted));
+        }
+        assert_eq!(errors[0], errors[1], "multisplit and scalar overflow evidence must agree");
+    }
+
+    #[test]
+    fn mlmq_gang_reservation_boundary_spills_like_scalar() {
+        // Sub-queues sized so the warp's aggregated reservations
+        // straddle the boundary: the overshoot must spill to the next
+        // level in exactly the scalar try_push/push split — same
+        // active-level membership, same deferred membership, no
+        // sticky overflow in either mode.
+        let mut observed = Vec::new();
+        for scatter in ScatterMode::ALL {
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let mut f = MlmqFrontier::new(&mut d, 64, false, scatter);
+            for q in &mut f.levels[0] {
+                q.capacity = 3;
+            }
+            d.launch("storm", 64, move |lane| {
+                let v = lane.tid() as u32;
+                f.enqueue(lane, 0, v);
+            });
+            assert!(f.check(&d).is_ok(), "{scatter}: a spilled boundary is not overflow");
+            assert!(f.has_deferred(&d), "{scatter}: the overshoot must be deferred");
+            let g = crate::Csr::from_raw(vec![0; 65], vec![], vec![]);
+            let mut active = f.drain_layer(&mut d, &g).new_members;
+            f.advance();
+            let mut deferred = f.drain_layer(&mut d, &g).new_members;
+            active.sort_unstable();
+            deferred.sort_unstable();
+            assert_eq!(active.len() + deferred.len(), 64, "{scatter}: no push lost");
+            observed.push((active, deferred));
+        }
+        assert_eq!(observed[0], observed[1], "multisplit and scalar must split identically");
+    }
+
     #[test]
     fn wheel_rotates_through_all_slots() {
         let mut d = Device::new(DeviceConfig::test_tiny());
-        let mut w = WheelFrontier::new(&mut d, 8, false);
+        let mut w = WheelFrontier::new(&mut d, 8, false, ScatterMode::Multisplit);
         let first = w.slot().members.data;
         let mut seen = vec![first];
         for _ in 0..WHEEL_SLOTS - 1 {

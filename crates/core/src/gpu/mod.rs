@@ -15,7 +15,7 @@ pub mod rdbs;
 
 pub use bl::{bl, bl_on, BlScratch};
 pub use buffers::{DeviceQueue, GraphArrays, GraphBuffers, QueueOverflow};
-pub use frontier::FrontierKind;
+pub use frontier::{FrontierKind, ScatterMode};
 pub use multi::{
     multi_gpu_sssp, multi_gpu_sssp_faulted, MultiGpuConfig, MultiGpuRun, MultiGpuState,
 };

@@ -50,7 +50,7 @@ use crate::adaptive_delta::DeltaController;
 use crate::gpu::bl::{bl_on, BlScratch};
 use crate::gpu::buffers::{DeviceQueue, GraphArrays, GraphBuffers, QueueOverflow};
 use crate::gpu::frontier::{
-    AnyFrontier, FrontierKind, MlmqFrontier, WheelFrontier, WorkloadQueues,
+    AnyFrontier, FrontierKind, MlmqFrontier, ScatterMode, WheelFrontier, WorkloadQueues,
 };
 use crate::gpu::multi::{MultiGpuConfig, MultiGpuState};
 use crate::gpu::rdbs::{self, rdbs_on, RdbsDriver, RdbsScratch};
@@ -145,6 +145,15 @@ impl ServiceConfig {
     pub fn with_frontier(mut self, frontier: FrontierKind) -> Self {
         if let Backend::Gpu(Variant::Rdbs(cfg)) = &mut self.backend {
             cfg.frontier = frontier;
+        }
+        self
+    }
+
+    /// Run the RDBS backend with the given frontier scatter mode (no
+    /// effect on the baseline and multi-GPU backends).
+    pub fn with_scatter(mut self, scatter: ScatterMode) -> Self {
+        if let Backend::Gpu(Variant::Rdbs(cfg)) = &mut self.backend {
+            cfg.scatter = scatter;
         }
         self
     }
@@ -464,6 +473,31 @@ impl SsspService {
     pub fn device_counters(&self) -> Option<&rdbs_gpu_sim::Counters> {
         match &self.state {
             State::Gpu(st) => Some(st.device.counters()),
+            State::Multi(_) => None,
+        }
+    }
+
+    /// Per-buffer `(label, loads, stores, atomics)` operation totals
+    /// from the resident device, heaviest-atomics first (`None` for
+    /// the multi-GPU backend). The scatter-mode benches use this to
+    /// attribute the global-atomic reduction to the publish buffers.
+    pub fn buffer_traffic(&self) -> Option<Vec<(&'static str, u64, u64, u64)>> {
+        match &self.state {
+            State::Gpu(st) => {
+                let mut rows = st.device.buffer_traffic();
+                rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
+                Some(rows)
+            }
+            State::Multi(_) => None,
+        }
+    }
+
+    /// Per-launch kernel reports from the resident device (`None` for
+    /// the multi-GPU backend) — attribution of time and atomic
+    /// instructions to individual kernels.
+    pub fn kernel_reports(&self) -> Option<&[rdbs_gpu_sim::KernelReport]> {
+        match &self.state {
+            State::Gpu(st) => Some(st.device.reports()),
             State::Multi(_) => None,
         }
     }
@@ -1102,12 +1136,17 @@ fn build_scratch(
             // every slot/level of the frontier.
             let pending = pool.acquire(device, "pending", n as usize);
             let frontier = match cfg.frontier {
-                FrontierKind::Single => {
-                    AnyFrontier::Single(pooled_workload(pool, device, cap, pending, cfg.adwl))
-                }
+                FrontierKind::Single => AnyFrontier::Single(pooled_workload(
+                    pool,
+                    device,
+                    cap,
+                    pending,
+                    cfg.adwl,
+                    cfg.scatter,
+                )),
                 FrontierKind::Wheel => {
                     let slots = std::array::from_fn(|_| {
-                        pooled_workload(pool, device, cap, pending, cfg.adwl)
+                        pooled_workload(pool, device, cap, pending, cfg.adwl, cfg.scatter)
                     });
                     AnyFrontier::Wheel(WheelFrontier { slots, pending, active: 0 })
                 }
@@ -1120,7 +1159,13 @@ fn build_scratch(
                             q
                         })
                     });
-                    AnyFrontier::Mlmq(MlmqFrontier { levels, pending, adwl: cfg.adwl, active: 0 })
+                    AnyFrontier::Mlmq(MlmqFrontier {
+                        levels,
+                        pending,
+                        adwl: cfg.adwl,
+                        scatter: cfg.scatter,
+                        active: 0,
+                    })
                 }
             };
             let scan_out = pool.acquire(device, "scan_out", 2);
@@ -1137,6 +1182,7 @@ fn pooled_workload(
     cap: u32,
     pending: Buf,
     adwl: bool,
+    scatter: ScatterMode,
 ) -> WorkloadQueues {
     let q = [
         pooled_queue(pool, device, "workload_small", cap),
@@ -1144,7 +1190,7 @@ fn pooled_workload(
         pooled_queue(pool, device, "workload_large", cap),
     ];
     let members = pooled_queue(pool, device, "bucket_members", cap);
-    WorkloadQueues { q, members, pending, adwl }
+    WorkloadQueues { q, members, pending, adwl, scatter }
 }
 
 /// Assemble a queue from pooled parts. The logical capacity stays the

@@ -162,6 +162,8 @@ pub struct KernelReport {
     pub threads: u64,
     /// Warp instructions executed.
     pub warp_instructions: u64,
+    /// Global-atomic warp instructions executed.
+    pub atomics: u64,
     /// Compute-side time, nanoseconds.
     pub compute_ns: f64,
     /// Memory-side time, nanoseconds.

@@ -5,7 +5,7 @@ use crate::cache::CacheHierarchy;
 use crate::counters::{Counters, KernelReport};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::ir::{AccessIr, IrState, QueueDecl};
-use crate::kernel::ChildLaunch;
+use crate::kernel::{ChildLaunch, ScatterReq};
 use crate::san::{AccessProfile, SanConfig, SanState, SanViolation};
 use crate::sched::SchedPlan;
 use std::collections::HashMap;
@@ -179,6 +179,9 @@ pub struct Device {
     pub(crate) reports: Vec<KernelReport>,
     /// Children queued by dynamic parallelism during the current wave.
     pub(crate) pending_children: Vec<ChildLaunch>,
+    /// Gang-collective scatter requests recorded by the current wave's
+    /// lane bodies, materialized by the wave-end flush.
+    pub(crate) pending_scatter: Vec<ScatterReq>,
     /// Per-buffer (load, store, atomic) op counts, indexed by buffer id.
     pub(crate) buffer_traffic: Vec<[u64; 3]>,
     /// Armed fault-injection plan, if any. `None` (the default) keeps
@@ -216,6 +219,7 @@ impl Device {
             elapsed_ns: 0.0,
             reports: Vec::new(),
             pending_children: Vec::new(),
+            pending_scatter: Vec::new(),
             buffer_traffic: Vec::new(),
             fault: None,
             san: None,

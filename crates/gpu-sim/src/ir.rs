@@ -45,7 +45,7 @@ impl IrAccessor {
     }
 }
 
-/// The four access classes the hazard matrix distinguishes.
+/// The five access classes the hazard matrix distinguishes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum AccessClass {
     /// Plain global load (snapshot semantics in synchronous kernels).
@@ -56,6 +56,11 @@ pub enum AccessClass {
     Store = 2,
     /// Atomic read-modify-write.
     Atomic = 3,
+    /// Plain store into a slot range reserved by a gang-collective
+    /// tail bump ([`crate::Lane::gang_push`]): atomic-strength publish
+    /// discipline at plain-store cost, sanctioned against atomics and
+    /// volatile readers.
+    ReservedStore = 4,
 }
 
 /// Bounded summary of one access class on one word within a window:
@@ -114,11 +119,11 @@ pub struct WordSummary {
     /// Word index within the buffer.
     pub index: u32,
     /// One summary per [`AccessClass`], indexed by discriminant.
-    pub classes: [ClassSummary; 4],
+    pub classes: [ClassSummary; 5],
 }
 
 /// Hazard classes the closure derives from a window. The first four
-/// are red (unsanctioned); the last two are the memory-model idioms
+/// are red (unsanctioned); the last three are the memory-model idioms
 /// the kernel discipline explicitly sanctions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HazardKind {
@@ -139,6 +144,11 @@ pub enum HazardKind {
     AtomicShared,
     /// Volatile read of an atomically-published word (sanctioned idiom).
     VolatileRead,
+    /// Reserved stores sharing a word with other reserved stores,
+    /// atomics, or volatile readers: each slot is owned by exactly one
+    /// lane via a gang-collective tail reservation, so the publish
+    /// carries atomic-exchange discipline (sanctioned idiom).
+    ReservedPublish,
 }
 
 impl HazardKind {
@@ -146,7 +156,10 @@ impl HazardKind {
     /// do not make a kernel `Racy`.
     #[inline]
     pub fn sanctioned(&self) -> bool {
-        matches!(self, HazardKind::AtomicShared | HazardKind::VolatileRead)
+        matches!(
+            self,
+            HazardKind::AtomicShared | HazardKind::VolatileRead | HazardKind::ReservedPublish
+        )
     }
 
     /// Stable display name.
@@ -158,6 +171,7 @@ impl HazardKind {
             HazardKind::UnsanctionedPublish => "unsanctioned-publish",
             HazardKind::AtomicShared => "atomic-shared",
             HazardKind::VolatileRead => "volatile-read",
+            HazardKind::ReservedPublish => "reserved-publish",
         }
     }
 }
@@ -463,7 +477,7 @@ impl IrState {
         let w = self.window.entry(addr).or_insert(WordSummary {
             buffer,
             index,
-            classes: [ClassSummary::default(); 4],
+            classes: [ClassSummary::default(); 5],
         });
         w.classes[class as usize].note(a);
         self.peak_window_words = self.peak_window_words.max(self.window.len() as u64);
@@ -527,6 +541,23 @@ impl IrState {
         buffer: &'static str,
         index: u32,
     ) {
+        self.on_atomic_bulk(addr, lane, gang, buffer, index, 1);
+    }
+
+    /// Atomic RMW hook for a gang-aggregated bump: one instruction
+    /// whose operand covers `n` logical pushes (or drops). Queue
+    /// accounting stays per-element-exact under aggregation; the
+    /// contention tables count the single instruction that ran.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_atomic_bulk(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+        n: u64,
+    ) {
         let a = self.accessor(lane, gang);
         self.note_word(addr, AccessClass::Atomic, a, buffer, index);
         self.note_lane(lane, gang, 3);
@@ -535,13 +566,33 @@ impl IrState {
         self.note_stride(buffer, lane, index);
         if let Some(&i) = self.tail_index.get(&addr) {
             let q = &mut self.queues[i];
-            q.epoch += 1;
-            q.pushes += 1;
-            q.window_pushes += 1;
+            q.epoch += n;
+            q.pushes += n;
+            q.window_pushes += n;
             q.high_water = q.high_water.max(q.epoch);
         } else if let Some(&i) = self.overflow_index.get(&addr) {
-            self.queues[i].drops += 1;
+            self.queues[i].drops += n;
         }
+    }
+
+    /// Reserved-store hook: a plain store into a slot the storing lane
+    /// owns via a gang-collective tail reservation. Counted as store
+    /// traffic (it is one at the ISA level), classed separately so the
+    /// hazard matrix can sanction it like the atomic-exchange publish
+    /// it replaces.
+    pub(crate) fn on_reserved_store(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+    ) {
+        let a = self.accessor(lane, gang);
+        self.note_word(addr, AccessClass::ReservedStore, a, buffer, index);
+        self.note_lane(lane, gang, 5);
+        self.traffic.entry(buffer).or_default().stores += 1;
+        self.note_stride(buffer, lane, index);
     }
 
     /// Dynamic-parallelism child launch hook.
@@ -659,7 +710,7 @@ impl IrState {
         let snapshot = self.window_snapshot;
         for addr in addrs {
             let w = self.window[&addr];
-            let [pl, vl, st, at] = w.classes;
+            let [pl, vl, st, at, rs] = w.classes;
             use HazardKind::*;
             // Red hazards first, then sanctioned idioms; every
             // applicable kind is recorded (dedup bounds the volume).
@@ -669,6 +720,12 @@ impl IrState {
             if let Some(p) = st.cross_pair(&at) {
                 self.record_hazard(MixedAtomic, w.buffer, w.index, addr, p);
             }
+            // A plain store against a reserved store is still a plain
+            // store against concurrent traffic: the reserved side owns
+            // its slot, the plain side owns nothing.
+            if let Some(p) = st.cross_pair(&rs) {
+                self.record_hazard(WriteWrite, w.buffer, w.index, addr, p);
+            }
             if !snapshot {
                 // Plain loads read the kernel-entry snapshot inside a
                 // synchronous kernel, so they only race in live windows.
@@ -676,6 +733,9 @@ impl IrState {
                     self.record_hazard(SnapshotRead, w.buffer, w.index, addr, p);
                 }
                 if let Some(p) = pl.cross_pair(&at) {
+                    self.record_hazard(SnapshotRead, w.buffer, w.index, addr, p);
+                }
+                if let Some(p) = pl.cross_pair(&rs) {
                     self.record_hazard(SnapshotRead, w.buffer, w.index, addr, p);
                 }
             }
@@ -687,6 +747,19 @@ impl IrState {
             }
             if let Some(p) = vl.cross_pair(&at) {
                 self.record_hazard(VolatileRead, w.buffer, w.index, addr, p);
+            }
+            // Reserved publishes: slot ownership gives them atomic-
+            // exchange discipline against each other, against genuine
+            // atomics (a recycled slot raced by a scalar exchange), and
+            // against live volatile readers (the drain side).
+            if let Some(p) = rs.self_pair() {
+                self.record_hazard(ReservedPublish, w.buffer, w.index, addr, p);
+            }
+            if let Some(p) = rs.cross_pair(&at) {
+                self.record_hazard(ReservedPublish, w.buffer, w.index, addr, p);
+            }
+            if let Some(p) = vl.cross_pair(&rs) {
+                self.record_hazard(ReservedPublish, w.buffer, w.index, addr, p);
             }
         }
         self.window.clear();

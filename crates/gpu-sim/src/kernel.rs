@@ -32,12 +32,80 @@ pub struct ChildLaunch {
     pub(crate) body: Box<dyn Fn(&mut Lane<'_>)>,
 }
 
+/// Destination of a warp-aggregated multisplit scatter: one device
+/// queue's cursor cells and slot buffer, as its owner declared them
+/// via [`Device::declare_queue`]. Word 0 of `tail` is the cursor;
+/// word 0 of `overflow` is the sticky drop counter.
+#[derive(Clone, Copy, Debug)]
+pub struct ScatterTarget {
+    /// Tail cursor buffer (word 0 holds the cursor).
+    pub tail: Buf,
+    /// Slot data buffer the reserved range lands in.
+    pub data: Buf,
+    /// Slot capacity of `data`; reservations at or past it overshoot.
+    pub capacity: u32,
+    /// Overflow counter buffer (word 0 counts dropped pushes).
+    pub overflow: Buf,
+}
+
+/// A gang-collective push descriptor: where aggregated pushes land,
+/// and what happens to overshoot. `spill: None` counts overshooting
+/// elements on the target's sticky overflow cell (one aggregated bump
+/// covering all of them); `spill: Some(next)` re-routes them into the
+/// next-level queue with a second aggregated reservation — the MLMQ
+/// spill path — whose own overshoot then drops on *its* overflow cell.
+#[derive(Clone, Copy, Debug)]
+pub struct GangScatter {
+    /// The queue aggregated pushes are reserved into.
+    pub target: ScatterTarget,
+    /// Overshoot routing: drop-count (`None`) or next-level spill.
+    pub spill: Option<ScatterTarget>,
+}
+
+/// What one lane asked the wave-end gang-collective flush to do.
+pub(crate) enum ScatterOp {
+    /// Aggregated queue push of one value.
+    Push { scatter: GangScatter, value: u32 },
+    /// Warp-reduced counter bump: the warp sums the participating
+    /// lanes' deltas and the leader performs one `atomicAdd`.
+    Count { buf: Buf, idx: u32, delta: u32 },
+    /// Warp-reduced minimum: the warp min-reduces the participating
+    /// lanes' proposals and the leader performs one `atomicMin`.
+    Min { buf: Buf, idx: u32, value: u32 },
+    /// Deferred reserved store of `value` at a fixed word (flag set);
+    /// identical requests from one warp collapse to a single store.
+    Flag { buf: Buf, idx: u32, value: u32 },
+    /// Leader-only `atomicExch` of `value` at a fixed word: the warp
+    /// ballots, one lane performs the exchange.
+    FlagOnce { buf: Buf, idx: u32, value: u32 },
+}
+
+/// Epilogue phase indices: the flush lays each warp's materialized
+/// ops out as converged segments in this fixed order (see
+/// [`Device::flush_scatter`]).
+const PH_LEADER: u8 = 0;
+const PH_STORE: u8 = 1;
+const PH_OVERFLOW: u8 = 2;
+const PH_SPILL_STORE: u8 = 3;
+const PH_SPILL_OVERFLOW: u8 = 4;
+const PHASES: u8 = 5;
+
+/// One recorded gang-collective request, keyed for the canonical
+/// flush order (physical warp, op kind, target word, lane).
+pub(crate) struct ScatterReq {
+    pub(crate) warp: u64,
+    pub(crate) lane: u64,
+    pub(crate) gang: u64,
+    pub(crate) op: ScatterOp,
+}
+
 /// Handle a kernel body uses to touch device state. Every method
 /// records the instructions a real GPU thread would execute.
 pub struct Lane<'a> {
     arena: &'a mut Arena,
     children: &'a mut Vec<ChildLaunch>,
     traffic: &'a mut Vec<[u64; 3]>,
+    scatter: &'a mut Vec<ScatterReq>,
     fault: Option<&'a mut FaultPlan>,
     san: Option<&'a mut SanState>,
     ir: Option<&'a mut IrState>,
@@ -246,6 +314,120 @@ impl<'a> Lane<'a> {
         old
     }
 
+    /// Warp-aggregated multisplit push (GPU Multisplit's scatter
+    /// step): the lanes of one physical warp pushing to the same
+    /// target ballot their membership, exclusive-scan the mask for
+    /// per-lane ranks, elect the lowest participating lane to reserve
+    /// the whole slot range with **one** `atomicAdd`, shuffle the base
+    /// back, and publish each payload with a coalesced plain store
+    /// into its owned slot. The simulator executes lanes sequentially,
+    /// so the cooperative protocol is modelled as a deferred request:
+    /// the ballot/scan/broadcast ALU work is charged here, and the
+    /// reservation + reserved stores are materialized at wave end by
+    /// the flush — after every lane body ran, before the host can
+    /// observe the wave — in a canonical order that no lane schedule
+    /// perturbs. Overshoot keeps the scalar path's exact accounting:
+    /// the tail still advances by the full aggregate (so drains see
+    /// the same overshoot), and drops either count on the sticky
+    /// overflow cell or spill per [`GangScatter::spill`].
+    #[inline]
+    pub fn gang_push(&mut self, scatter: &GangScatter, value: u32) {
+        // Ballot + popc rank + leader broadcast.
+        self.alu(3);
+        let lane = self.phys_id();
+        self.scatter.push(ScatterReq {
+            warp: lane / WARP_SIZE as u64,
+            lane,
+            gang: self.tid,
+            op: ScatterOp::Push { scatter: *scatter, value },
+        });
+    }
+
+    /// Warp-reduced counter bump (`__reduce_add_sync` + leader
+    /// `atomicAdd`): lanes of one warp incrementing the same word sum
+    /// their deltas and one elected lane adds the total at wave end.
+    /// The caller must not need the old value — reductions whose
+    /// result is consumed stay on [`Lane::atomic_add`].
+    #[inline]
+    pub fn gang_add(&mut self, buf: Buf, idx: u32, delta: u32) {
+        // Ballot + tree reduction + leader elect.
+        self.alu(2);
+        let lane = self.phys_id();
+        self.scatter.push(ScatterReq {
+            warp: lane / WARP_SIZE as u64,
+            lane,
+            gang: self.tid,
+            op: ScatterOp::Count { buf, idx, delta },
+        });
+    }
+
+    /// Warp-reduced minimum (shuffle min-reduction + leader
+    /// `atomicMin`): lanes of one warp proposing minima for the same
+    /// word reduce locally and one elected lane publishes the warp's
+    /// minimum at wave end. min is associative/commutative and the
+    /// result is discarded, so this is observation-equivalent to the
+    /// per-lane scalar exchanges under any schedule.
+    #[inline]
+    pub fn gang_min(&mut self, buf: Buf, idx: u32, value: u32) {
+        // Ballot + tree reduction + leader elect.
+        self.alu(2);
+        let lane = self.phys_id();
+        self.scatter.push(ScatterReq {
+            warp: lane / WARP_SIZE as u64,
+            lane,
+            gang: self.tid,
+            op: ScatterOp::Min { buf, idx, value },
+        });
+    }
+
+    /// Explicit warp reconvergence point (`__syncwarp` /
+    /// `__activemask` convergence): free at replay time, but step
+    /// counters re-align here, so ops at the same post-sync program
+    /// point group into one warp instruction even when the lanes
+    /// diverged earlier in the segment. The warp-synchronous
+    /// multisplit kernels mark each aggregation loop iteration; the
+    /// scalar baseline kernels never call this and replay exactly as
+    /// before.
+    #[inline]
+    pub fn converge(&mut self) {
+        self.trace.push(Op::Conv);
+    }
+
+    /// Warp-aggregated flag set: a deferred reserved store of `val` at
+    /// `buf[idx]`. Lanes of one warp flagging the same word with the
+    /// same value ballot and elect one storer, so k redundant
+    /// `atomicExch(flag, v)` calls collapse into one plain store at
+    /// wave end. Distinct values to one word all land, lowest
+    /// requesting lane first — deterministic under any schedule.
+    #[inline]
+    pub fn gang_flag(&mut self, buf: Buf, idx: u32, val: u32) {
+        // Ballot + leader elect.
+        self.alu(2);
+        let lane = self.phys_id();
+        self.scatter.push(ScatterReq {
+            warp: lane / WARP_SIZE as u64,
+            lane,
+            gang: self.tid,
+            op: ScatterOp::Flag { buf, idx, value: val },
+        });
+    }
+
+    /// Warp-aggregated once-per-warp `atomicExch`: lanes requesting
+    /// the same word ballot, and only the elected leader performs the
+    /// exchange at wave end (progress-flag publication).
+    #[inline]
+    pub fn gang_flag_once(&mut self, buf: Buf, idx: u32, val: u32) {
+        // Ballot + leader elect.
+        self.alu(2);
+        let lane = self.phys_id();
+        self.scatter.push(ScatterReq {
+            warp: lane / WARP_SIZE as u64,
+            lane,
+            gang: self.tid,
+            op: ScatterOp::FlagOnce { buf, idx, value: val },
+        });
+    }
+
     /// Record `n` arithmetic/control instructions.
     #[inline]
     pub fn alu(&mut self, n: u32) {
@@ -420,72 +602,69 @@ impl Device {
         }
         let dram_before = self.counters.dram_transactions;
         let inst_before = self.counters.inst_executed;
+        let atomics_before = self.counters.inst_executed_global_atomics;
         let num_sms = self.config.num_sms as usize;
         let mut sm_cycles = vec![0u64; num_sms];
         let warps = lanes.div_ceil(WARP_SIZE as u64);
-        if let Some(order) = self.sched.as_mut().map(|s| s.permutation(lanes)) {
-            // Schedule fuzzing: run every lane of the wave in the
-            // permuted order (each keeps its original tid/gang_rank,
-            // so only the interleaving of memory effects changes),
-            // then replay the timing model over the original warp
-            // grouping — functional execution touches only the arena,
-            // the replay only caches/counters, so the two decouple.
-            let mut all_traces: Vec<LaneTrace> = (0..lanes).map(|_| LaneTrace::default()).collect();
-            for &lane_idx in &order {
-                let mut lane = Lane {
-                    arena: &mut self.arena,
-                    children: &mut self.pending_children,
-                    traffic: &mut self.buffer_traffic,
-                    fault: self.fault.as_mut(),
-                    san: self.san.as_deref_mut(),
-                    ir: self.ir.as_deref_mut(),
-                    trace: LaneTrace::default(),
-                    tid: lane_idx / gang_size as u64,
-                    gang_rank: (lane_idx % gang_size as u64) as u32,
-                    gang_size,
-                };
-                body(&mut lane);
-                all_traces[lane_idx as usize] = lane.trace;
-            }
-            for w in 0..warps {
-                let base = (w * WARP_SIZE as u64) as usize;
-                let end = ((w + 1) * WARP_SIZE as u64).min(lanes) as usize;
-                let sm = (w % num_sms as u64) as usize;
-                let out = replay_warp(
-                    &self.config,
-                    &mut self.caches,
-                    &mut self.counters,
-                    sm,
-                    &all_traces[base..end],
-                );
-                sm_cycles[sm] += out.cycles;
-            }
-        } else {
-            let mut traces: Vec<LaneTrace> = Vec::with_capacity(WARP_SIZE as usize);
-            for w in 0..warps {
-                traces.clear();
-                let base = w * WARP_SIZE as u64;
-                let end = (base + WARP_SIZE as u64).min(lanes);
-                for lane_idx in base..end {
-                    let mut lane = Lane {
-                        arena: &mut self.arena,
-                        children: &mut self.pending_children,
-                        traffic: &mut self.buffer_traffic,
-                        fault: self.fault.as_mut(),
-                        san: self.san.as_deref_mut(),
-                        ir: self.ir.as_deref_mut(),
-                        trace: LaneTrace::default(),
-                        tid: lane_idx / gang_size as u64,
-                        gang_rank: (lane_idx % gang_size as u64) as u32,
-                        gang_size,
-                    };
-                    body(&mut lane);
-                    traces.push(lane.trace);
+        // Run every lane body first (ascending by default; permuted
+        // under schedule fuzzing — each lane keeps its tid/gang_rank,
+        // so only the interleaving of memory effects changes), then
+        // flush any gang-collective scatters, then replay the timing
+        // model over the original warp grouping. Functional execution
+        // touches only the arena, the replay only caches/counters, so
+        // the two decouple and the split is observationally identical
+        // to the old warp-interleaved loop.
+        let order: Vec<u64> = match self.sched.as_mut().map(|s| s.permutation(lanes)) {
+            Some(order) => order,
+            None => (0..lanes).collect(),
+        };
+        let mut all_traces: Vec<LaneTrace> = (0..lanes).map(|_| LaneTrace::default()).collect();
+        for &lane_idx in &order {
+            let mut lane = Lane {
+                arena: &mut self.arena,
+                children: &mut self.pending_children,
+                traffic: &mut self.buffer_traffic,
+                scatter: &mut self.pending_scatter,
+                fault: self.fault.as_mut(),
+                san: self.san.as_deref_mut(),
+                ir: self.ir.as_deref_mut(),
+                trace: LaneTrace::default(),
+                tid: lane_idx / gang_size as u64,
+                gang_rank: (lane_idx % gang_size as u64) as u32,
+                gang_size,
+            };
+            body(&mut lane);
+            all_traces[lane_idx as usize] = lane.trace;
+        }
+        let epilogue = self.flush_scatter(lanes);
+        for w in 0..warps {
+            let base = (w * WARP_SIZE as u64) as usize;
+            let end = ((w + 1) * WARP_SIZE as u64).min(lanes) as usize;
+            let sm = (w % num_sms as u64) as usize;
+            let out = replay_warp(
+                &self.config,
+                &mut self.caches,
+                &mut self.counters,
+                sm,
+                &all_traces[base..end],
+                true,
+            );
+            sm_cycles[sm] += out.cycles;
+            // The gang-collective epilogue replays as a continuation
+            // of the same warp (`register: false` — no second
+            // warp/thread count), converged per flush phase.
+            if let Some(epi) = &epilogue {
+                if epi[base..end].iter().any(|t| !t.is_empty()) {
+                    let out = replay_warp(
+                        &self.config,
+                        &mut self.caches,
+                        &mut self.counters,
+                        sm,
+                        &epi[base..end],
+                        false,
+                    );
+                    sm_cycles[sm] += out.cycles;
                 }
-                let sm = (w % num_sms as u64) as usize;
-                let out =
-                    replay_warp(&self.config, &mut self.caches, &mut self.counters, sm, &traces);
-                sm_cycles[sm] += out.cycles;
             }
         }
         if snapshot {
@@ -505,12 +684,398 @@ impl Device {
             name,
             threads: lanes,
             warp_instructions: self.counters.inst_executed - inst_before,
+            atomics: self.counters.inst_executed_global_atomics - atomics_before,
             compute_ns: time.compute_ns,
             memory_ns: time.memory_ns,
             total_ns: time.busy_ns(),
             child,
             stream: self.current_stream,
         });
+    }
+    /// Materialize the wave's gang-collective requests: group them by
+    /// (physical warp, op kind, target word) in a canonical order that
+    /// no lane schedule perturbs (stable sort keeps each lane's own
+    /// requests in program order), then emit the leader reservations,
+    /// reduced atomics, reserved stores, overflow bumps and spills
+    /// into a separate *epilogue* trace set, returned for replay after
+    /// each warp's body traces.
+    ///
+    /// The epilogue replays **converged**: real warp-aggregated
+    /// multisplit runs its ballot/scan/reserve/store sequence in
+    /// uniform control flow, so all leader atomics of a warp issue as
+    /// one warp instruction, all reserved stores as a coalesced
+    /// store instruction — not one instruction per queue as the old
+    /// append-at-divergent-tails emission priced it. Each warp's
+    /// epilogue is laid out in fixed phases (leader atomics →
+    /// reserved stores → overflow/spill reservations → spill stores →
+    /// spill-overflow bumps), separated by [`Op::Conv`] reconvergence
+    /// points so the replay aligns same-phase ops across lanes.
+    fn flush_scatter(&mut self, lanes: u64) -> Option<Vec<LaneTrace>> {
+        if self.pending_scatter.is_empty() {
+            return None;
+        }
+        let reqs = std::mem::take(&mut self.pending_scatter);
+        let mut keyed: Vec<((u64, u8, u64, u64), ScatterReq)> = reqs
+            .into_iter()
+            .map(|r| {
+                let (kind, addr) = match &r.op {
+                    ScatterOp::Push { scatter, .. } => {
+                        (0u8, self.arena.addr(scatter.target.tail, 0))
+                    }
+                    ScatterOp::Count { buf, idx, .. } => (1, self.arena.addr(*buf, *idx)),
+                    ScatterOp::Min { buf, idx, .. } => (2, self.arena.addr(*buf, *idx)),
+                    ScatterOp::Flag { buf, idx, .. } => (3, self.arena.addr(*buf, *idx)),
+                    ScatterOp::FlagOnce { buf, idx, .. } => (4, self.arena.addr(*buf, *idx)),
+                };
+                ((r.warp, kind, addr, r.lane), r)
+            })
+            .collect();
+        keyed.sort_by_key(|(k, _)| *k);
+        let mut epi: Vec<LaneTrace> = (0..lanes).map(|_| LaneTrace::default()).collect();
+        let mut placed: Vec<(u8, u64, Op)> = Vec::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            // One warp's groups, processed together so its epilogue
+            // phases can be laid out as converged segments.
+            let warp = keyed[i].0 .0;
+            placed.clear();
+            while i < keyed.len() && keyed[i].0 .0 == warp {
+                let group_key = (keyed[i].0 .0, keyed[i].0 .1, keyed[i].0 .2);
+                let mut j = i;
+                while j < keyed.len() && (keyed[j].0 .0, keyed[j].0 .1, keyed[j].0 .2) == group_key
+                {
+                    j += 1;
+                }
+                let group = &keyed[i..j];
+                match &group[0].1.op {
+                    ScatterOp::Push { scatter, .. } => {
+                        let members: Vec<(u64, u64, u32)> = group
+                            .iter()
+                            .map(|(_, r)| {
+                                let ScatterOp::Push { value, .. } = r.op else { unreachable!() };
+                                (r.lane, r.gang, value)
+                            })
+                            .collect();
+                        self.flush_push_group(&mut placed, *scatter, &members);
+                    }
+                    ScatterOp::Count { buf, idx, .. } => {
+                        // Warp reduction: one leader add of the summed
+                        // deltas.
+                        let total: u32 = group
+                            .iter()
+                            .map(|(_, r)| {
+                                let ScatterOp::Count { delta, .. } = r.op else { unreachable!() };
+                                delta
+                            })
+                            .sum();
+                        let (_, r0) = &group[0];
+                        self.emit_atomic_add(
+                            &mut placed,
+                            PH_LEADER,
+                            r0.lane,
+                            r0.gang,
+                            *buf,
+                            *idx,
+                            total,
+                            total as u64,
+                        );
+                    }
+                    ScatterOp::Min { buf, idx, .. } => {
+                        // Warp reduction: one leader min of the local
+                        // minimum.
+                        let m = group
+                            .iter()
+                            .map(|(_, r)| {
+                                let ScatterOp::Min { value, .. } = r.op else { unreachable!() };
+                                value
+                            })
+                            .min()
+                            .expect("non-empty group");
+                        let (_, r0) = &group[0];
+                        self.emit_atomic_min(&mut placed, r0.lane, r0.gang, *buf, *idx, m);
+                    }
+                    ScatterOp::Flag { buf, idx, .. } => {
+                        // The warp ballots: one store per distinct
+                        // value, charged to the lowest lane that
+                        // requested it.
+                        let mut done: Vec<u32> = Vec::new();
+                        for (_, r) in group {
+                            let ScatterOp::Flag { buf: _, idx: _, value } = r.op else {
+                                unreachable!()
+                            };
+                            if !done.contains(&value) {
+                                done.push(value);
+                                self.emit_reserved_store(
+                                    &mut placed,
+                                    PH_STORE,
+                                    r.lane,
+                                    r.gang,
+                                    *buf,
+                                    *idx,
+                                    value,
+                                );
+                            }
+                        }
+                    }
+                    ScatterOp::FlagOnce { buf, idx, .. } => {
+                        // Leader-only exchange: the lowest requesting
+                        // lane performs it for the whole warp.
+                        let (_, r) = &group[0];
+                        let ScatterOp::FlagOnce { value, .. } = r.op else { unreachable!() };
+                        self.emit_atomic_exch(&mut placed, r.lane, r.gang, *buf, *idx, value);
+                    }
+                }
+                i = j;
+            }
+            // Lay the warp's epilogue out phase by phase; a Conv
+            // between consecutive non-empty phases re-aligns the
+            // lanes, so each phase's ops group into the few warp
+            // instructions the converged sequence actually issues.
+            //
+            // Leader-elected atomics (reservations, reduced counters,
+            // overflow bumps) are *packed* across the warp's lane
+            // slots: multi-counter leader election hands each of the
+            // k counters to a distinct lane (values broadcast by
+            // shuffle), so k ≤ 32 of them retire as one warp
+            // instruction — not k instructions serialized on
+            // whichever lane happened to lead every group. Reserved
+            // stores keep their owning lane: each lane publishes its
+            // own payload (that is what makes them coalesce).
+            let base = (warp * WARP_SIZE as u64) as usize;
+            let end = (base + WARP_SIZE as usize).min(lanes as usize);
+            let width = end - base;
+            let mut first = true;
+            for phase in 0..PHASES {
+                if !placed.iter().any(|&(p, _, _)| p == phase) {
+                    continue;
+                }
+                if !first {
+                    for t in &mut epi[base..end] {
+                        t.push(Op::Conv);
+                    }
+                }
+                first = false;
+                let packed = matches!(phase, PH_LEADER | PH_OVERFLOW | PH_SPILL_OVERFLOW);
+                if packed {
+                    let mut slot = 0usize;
+                    for &(p, _, op) in &placed {
+                        if p == phase {
+                            epi[base + slot % width].push(op);
+                            slot += 1;
+                        }
+                    }
+                } else {
+                    for &(p, lane, op) in &placed {
+                        if p == phase {
+                            epi[lane as usize].push(op);
+                        }
+                    }
+                }
+            }
+        }
+        Some(epi)
+    }
+
+    /// One (warp, queue) push group: a single leader `atomicAdd`
+    /// reserves the whole range (the tail overshoots by exactly as
+    /// much as the scalar per-push bumps would have, so drain-side
+    /// overshoot accounting is unchanged), in-capacity members publish
+    /// with reserved stores, and overshoot either counts once on the
+    /// sticky overflow cell or spills into the next-level queue.
+    fn flush_push_group(
+        &mut self,
+        placed: &mut Vec<(u8, u64, Op)>,
+        scatter: GangScatter,
+        members: &[(u64, u64, u32)],
+    ) {
+        let t = scatter.target;
+        let (leader_lane, leader_gang, _) = members[0];
+        let k = members.len() as u32;
+        let old = self.emit_atomic_add(
+            placed,
+            PH_LEADER,
+            leader_lane,
+            leader_gang,
+            t.tail,
+            0,
+            k,
+            k as u64,
+        );
+        let mut overshoot: Vec<(u64, u64, u32)> = Vec::new();
+        for (i, &(lane, gang, value)) in members.iter().enumerate() {
+            let slot = old.wrapping_add(i as u32);
+            if slot < t.capacity {
+                self.emit_reserved_store(placed, PH_STORE, lane, gang, t.data, slot, value);
+            } else {
+                overshoot.push((lane, gang, value));
+            }
+        }
+        if overshoot.is_empty() {
+            return;
+        }
+        match scatter.spill {
+            None => {
+                let (lane, gang, _) = overshoot[0];
+                let n = overshoot.len() as u32;
+                self.emit_atomic_add(placed, PH_OVERFLOW, lane, gang, t.overflow, 0, n, n as u64);
+            }
+            Some(sp) => {
+                let (lane, gang, _) = overshoot[0];
+                let k2 = overshoot.len() as u32;
+                let old2 = self.emit_atomic_add(
+                    placed,
+                    PH_OVERFLOW,
+                    lane,
+                    gang,
+                    sp.tail,
+                    0,
+                    k2,
+                    k2 as u64,
+                );
+                let mut dropped: Vec<(u64, u64)> = Vec::new();
+                for (i, &(lane, gang, value)) in overshoot.iter().enumerate() {
+                    let slot = old2.wrapping_add(i as u32);
+                    if slot < sp.capacity {
+                        self.emit_reserved_store(
+                            placed,
+                            PH_SPILL_STORE,
+                            lane,
+                            gang,
+                            sp.data,
+                            slot,
+                            value,
+                        );
+                    } else {
+                        dropped.push((lane, gang));
+                    }
+                }
+                // Spill-of-spill is genuine loss: count it on the
+                // spill queue's own sticky overflow cell, like the
+                // scalar next-level push did.
+                if let Some(&(lane, gang)) = dropped.first() {
+                    let n = dropped.len() as u32;
+                    self.emit_atomic_add(
+                        placed,
+                        PH_SPILL_OVERFLOW,
+                        lane,
+                        gang,
+                        sp.overflow,
+                        0,
+                        n,
+                        n as u64,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flush-time `atomicAdd` placed in epilogue phase `phase`; `n` is
+    /// the number of logical pushes (or drops) the one instruction
+    /// covers, kept per-element-exact in the IR's queue accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_atomic_add(
+        &mut self,
+        placed: &mut Vec<(u8, u64, Op)>,
+        phase: u8,
+        lane: u64,
+        gang: u64,
+        buf: Buf,
+        idx: u32,
+        val: u32,
+        n: u64,
+    ) -> u32 {
+        let addr = self.arena.addr(buf, idx);
+        placed.push((phase, lane, Op::Atomic(addr)));
+        self.buffer_traffic[buf.id as usize][2] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            let poisoned = self.arena.poisoned_live(buf, idx);
+            san.on_atomic(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_atomic_bulk(addr, lane, gang, self.arena.label(buf), idx, n);
+        }
+        let old = self.arena.load(buf, idx);
+        self.arena.store(buf, idx, old.wrapping_add(val));
+        old
+    }
+
+    /// Flush-time reserved store placed in epilogue phase `phase`: a
+    /// plain store at the ISA level, classed separately so the
+    /// sanitizer and IR sanction it like the atomic-exchange publish
+    /// it replaces.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_reserved_store(
+        &mut self,
+        placed: &mut Vec<(u8, u64, Op)>,
+        phase: u8,
+        lane: u64,
+        gang: u64,
+        buf: Buf,
+        idx: u32,
+        val: u32,
+    ) {
+        let addr = self.arena.addr(buf, idx);
+        placed.push((phase, lane, Op::Store(addr)));
+        self.buffer_traffic[buf.id as usize][1] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_reserved_store(addr, lane, gang, self.arena.label(buf), idx);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_reserved_store(addr, lane, gang, self.arena.label(buf), idx);
+        }
+        self.arena.store(buf, idx, val);
+    }
+
+    /// Flush-time `atomicExch` in the leader phase (leader-only flag
+    /// publication). Like the scalar exchange it never reads.
+    fn emit_atomic_exch(
+        &mut self,
+        placed: &mut Vec<(u8, u64, Op)>,
+        lane: u64,
+        gang: u64,
+        buf: Buf,
+        idx: u32,
+        val: u32,
+    ) {
+        let addr = self.arena.addr(buf, idx);
+        placed.push((PH_LEADER, lane, Op::Atomic(addr)));
+        self.buffer_traffic[buf.id as usize][2] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_atomic(addr, lane, gang, self.arena.label(buf), idx, false);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_atomic(addr, lane, gang, self.arena.label(buf), idx);
+        }
+        self.arena.store(buf, idx, val);
+    }
+
+    /// Flush-time `atomicMin` in the leader phase: the warp's reduced
+    /// minimum, published once. Reads the old value (an uninitialized
+    /// word would corrupt the min), so it carries the poison check of
+    /// the scalar `atomicMin` it replaces.
+    fn emit_atomic_min(
+        &mut self,
+        placed: &mut Vec<(u8, u64, Op)>,
+        lane: u64,
+        gang: u64,
+        buf: Buf,
+        idx: u32,
+        val: u32,
+    ) {
+        let addr = self.arena.addr(buf, idx);
+        placed.push((PH_LEADER, lane, Op::Atomic(addr)));
+        self.buffer_traffic[buf.id as usize][2] += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            let poisoned = self.arena.poisoned_live(buf, idx);
+            san.on_atomic(addr, lane, gang, self.arena.label(buf), idx, poisoned);
+        }
+        if let Some(ir) = self.ir.as_deref_mut() {
+            ir.on_atomic(addr, lane, gang, self.arena.label(buf), idx);
+        }
+        let old = self.arena.load(buf, idx);
+        if val < old {
+            self.arena.store(buf, idx, val);
+        }
     }
 }
 

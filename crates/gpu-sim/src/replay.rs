@@ -3,10 +3,16 @@
 //! After a warp's lanes run functionally, [`replay_warp`] walks the 32
 //! traces step by step:
 //!
-//! * at step `s`, every lane whose trace is at least `s + 1` long is
-//!   *active*; active lanes are grouped by [`OpKind`] — each group is
-//!   one warp-level instruction (divergent kinds serialize, like SIMT
-//!   branches taking both paths);
+//! * traces split into *segments* at [`Op::Conv`] reconvergence
+//!   points (`__syncwarp`): every lane advances to the boundary
+//!   before the next segment begins, so step counters re-align there
+//!   — the warp-synchronous multisplit kernels place one per
+//!   aggregation point, while scalar traces have none and replay as
+//!   one segment exactly as before;
+//! * at step `s` of a segment, every lane whose segment is at least
+//!   `s + 1` ops long is *active*; active lanes are grouped by
+//!   [`OpKind`] — each group is one warp-level instruction (divergent
+//!   kinds serialize, like SIMT branches taking both paths);
 //! * memory groups coalesce their addresses into 32-byte sectors; each
 //!   sector is one transaction probing the SM's cache hierarchy;
 //! * atomic groups additionally count same-address conflicts, which
@@ -30,129 +36,165 @@ pub struct WarpOutcome {
 }
 
 /// Replay one warp's traces on SM `sm`, updating `counters` and the
-/// cache hierarchy, returning the warp's cycle cost.
+/// cache hierarchy, returning the warp's cycle cost. `register`
+/// counts the warp and its threads; pass `false` when replaying a
+/// continuation of an already-counted warp (the gang-collective
+/// flush epilogue).
 pub fn replay_warp(
     config: &DeviceConfig,
     caches: &mut CacheHierarchy,
     counters: &mut Counters,
     sm: usize,
     traces: &[LaneTrace],
+    register: bool,
 ) -> WarpOutcome {
     debug_assert!(traces.len() <= WARP_SIZE as usize);
-    let max_len = traces.iter().map(super::trace::LaneTrace::len).max().unwrap_or(0);
     let mut cycles = 0u64;
-    counters.warps += 1;
-    counters.threads += traces.iter().filter(|t| !t.is_empty()).count().max(1) as u64;
+    if register {
+        counters.warps += 1;
+        counters.threads += traces.iter().filter(|t| !t.is_empty()).count().max(1) as u64;
+    }
 
     // Scratch reused across steps.
     let mut sectors: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
     let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+    // Per-lane cursor and current-segment end (exclusive, at the next
+    // `Op::Conv` or the trace end).
+    let mut cur = [0usize; WARP_SIZE as usize];
+    let mut seg_end = [0usize; WARP_SIZE as usize];
 
-    for step in 0..max_len {
-        // Kinds present at this step, in fixed order for determinism.
-        for kind in [OpKind::Alu, OpKind::Load, OpKind::Store, OpKind::Atomic] {
-            let mut active = 0u64;
-            let mut alu_max = 0u32;
-            addrs.clear();
-            for t in traces {
-                let Some(op) = t.ops.get(step) else { continue };
-                if op.kind() != kind {
+    loop {
+        // Delimit each lane's next segment; stop when all exhausted.
+        let mut seg_max = 0usize;
+        let mut alive = false;
+        for (i, t) in traces.iter().enumerate() {
+            alive |= cur[i] < t.ops.len();
+            let mut e = cur[i];
+            while e < t.ops.len() && t.ops[e] != Op::Conv {
+                e += 1;
+            }
+            seg_end[i] = e;
+            seg_max = seg_max.max(e - cur[i]);
+        }
+        if !alive {
+            break;
+        }
+        for step in 0..seg_max {
+            // Kinds present at this step, in fixed order for determinism.
+            for kind in [OpKind::Alu, OpKind::Load, OpKind::Store, OpKind::Atomic] {
+                let mut active = 0u64;
+                let mut alu_max = 0u32;
+                addrs.clear();
+                for (i, t) in traces.iter().enumerate() {
+                    let pos = cur[i] + step;
+                    if pos >= seg_end[i] {
+                        continue;
+                    }
+                    let op = &t.ops[pos];
+                    if op.kind() != kind {
+                        continue;
+                    }
+                    active += 1;
+                    match *op {
+                        Op::Alu(n) => alu_max = alu_max.max(n),
+                        Op::Load(a) | Op::LoadVolatile(a) | Op::Store(a) | Op::Atomic(a) => {
+                            addrs.push(a);
+                        }
+                        Op::Conv => unreachable!("segment boundaries exclude Conv"),
+                    }
+                }
+                if active == 0 {
                     continue;
                 }
-                active += 1;
-                match *op {
-                    Op::Alu(n) => alu_max = alu_max.max(n),
-                    Op::Load(a) | Op::LoadVolatile(a) | Op::Store(a) | Op::Atomic(a) => {
-                        addrs.push(a);
-                    }
-                }
-            }
-            if active == 0 {
-                continue;
-            }
-            counters.inst_executed += 1;
-            counters.active_lane_sum += active;
-            counters.lane_slot_sum += WARP_SIZE as u64;
-            cycles += 1; // issue
+                counters.inst_executed += 1;
+                counters.active_lane_sum += active;
+                counters.lane_slot_sum += WARP_SIZE as u64;
+                cycles += 1; // issue
 
-            match kind {
-                OpKind::Alu => {
-                    cycles += alu_max.saturating_sub(1) as u64;
-                }
-                OpKind::Load | OpKind::Store | OpKind::Atomic => {
-                    match kind {
-                        OpKind::Load => counters.inst_executed_global_loads += 1,
-                        OpKind::Store => counters.inst_executed_global_stores += 1,
-                        OpKind::Atomic => {
-                            counters.inst_executed_atomics += 1;
-                            // All simulated atomics target global
-                            // memory (there is no shared-memory tier).
-                            counters.inst_executed_global_atomics += 1;
+                match kind {
+                    OpKind::Conv => unreachable!("Conv never forms a group"),
+                    OpKind::Alu => {
+                        cycles += alu_max.saturating_sub(1) as u64;
+                    }
+                    OpKind::Load | OpKind::Store | OpKind::Atomic => {
+                        match kind {
+                            OpKind::Load => counters.inst_executed_global_loads += 1,
+                            OpKind::Store => counters.inst_executed_global_stores += 1,
+                            OpKind::Atomic => {
+                                counters.inst_executed_atomics += 1;
+                                // All simulated atomics target global
+                                // memory (there is no shared-memory tier).
+                                counters.inst_executed_global_atomics += 1;
+                            }
+                            OpKind::Alu | OpKind::Conv => unreachable!(),
                         }
-                        OpKind::Alu => unreachable!(),
-                    }
-                    // Coalesce into sectors.
-                    sectors.clear();
-                    sectors.extend(addrs.iter().map(|a| a / SECTOR_BYTES));
-                    sectors.sort_unstable();
-                    sectors.dedup();
-                    let txns = sectors.len() as u64;
-                    match kind {
-                        OpKind::Load => counters.gld_transactions += txns,
-                        OpKind::Store => counters.gst_transactions += txns,
-                        OpKind::Atomic => counters.atom_transactions += txns,
-                        OpKind::Alu => unreachable!(),
-                    }
-                    // A warp memory instruction pays the latency of its
-                    // deepest-level transaction once (the sectors are
-                    // serviced in parallel — memory-level parallelism)
-                    // plus a port-throughput cost per extra sector,
-                    // which is the serialization uncoalesced access
-                    // causes and coalescing removes.
-                    let mut deepest = 0u64;
-                    for &sector in &sectors {
-                        let level = caches.access(sm, sector * SECTOR_BYTES);
-                        counters.l1_accesses += 1;
-                        match level {
-                            CacheLevel::L1 => {
-                                counters.l1_hits += 1;
-                                deepest = deepest.max(config.l1_hit_cycles as u64);
-                            }
-                            CacheLevel::L2 => {
-                                counters.l2_accesses += 1;
-                                counters.l2_hits += 1;
-                                deepest = deepest.max(config.l2_hit_cycles as u64);
-                            }
-                            CacheLevel::Dram => {
-                                counters.l2_accesses += 1;
-                                counters.dram_transactions += 1;
-                                deepest = deepest.max(config.dram_cycles as u64);
-                            }
+                        // Coalesce into sectors.
+                        sectors.clear();
+                        sectors.extend(addrs.iter().map(|a| a / SECTOR_BYTES));
+                        sectors.sort_unstable();
+                        sectors.dedup();
+                        let txns = sectors.len() as u64;
+                        match kind {
+                            OpKind::Load => counters.gld_transactions += txns,
+                            OpKind::Store => counters.gst_transactions += txns,
+                            OpKind::Atomic => counters.atom_transactions += txns,
+                            OpKind::Alu | OpKind::Conv => unreachable!(),
                         }
-                    }
-                    cycles += deepest + txns.saturating_sub(1) * config.port_cycles as u64;
-                    if kind == OpKind::Atomic {
-                        // Same-address atomics serialize lane by lane.
-                        addrs.sort_unstable();
-                        let distinct = {
-                            let mut d = 1u64;
-                            for w in addrs.windows(2) {
-                                if w[0] != w[1] {
-                                    d += 1;
+                        // A warp memory instruction pays the latency of its
+                        // deepest-level transaction once (the sectors are
+                        // serviced in parallel — memory-level parallelism)
+                        // plus a port-throughput cost per extra sector,
+                        // which is the serialization uncoalesced access
+                        // causes and coalescing removes.
+                        let mut deepest = 0u64;
+                        for &sector in &sectors {
+                            let level = caches.access(sm, sector * SECTOR_BYTES);
+                            counters.l1_accesses += 1;
+                            match level {
+                                CacheLevel::L1 => {
+                                    counters.l1_hits += 1;
+                                    deepest = deepest.max(config.l1_hit_cycles as u64);
+                                }
+                                CacheLevel::L2 => {
+                                    counters.l2_accesses += 1;
+                                    counters.l2_hits += 1;
+                                    deepest = deepest.max(config.l2_hit_cycles as u64);
+                                }
+                                CacheLevel::Dram => {
+                                    counters.l2_accesses += 1;
+                                    counters.dram_transactions += 1;
+                                    deepest = deepest.max(config.dram_cycles as u64);
                                 }
                             }
-                            if addrs.is_empty() {
-                                0
-                            } else {
-                                d
-                            }
-                        };
-                        let conflicts = (addrs.len() as u64).saturating_sub(distinct);
-                        counters.atomic_conflicts += conflicts;
-                        cycles += conflicts * config.atomic_conflict_cycles as u64;
+                        }
+                        cycles += deepest + txns.saturating_sub(1) * config.port_cycles as u64;
+                        if kind == OpKind::Atomic {
+                            // Same-address atomics serialize lane by lane.
+                            addrs.sort_unstable();
+                            let distinct = {
+                                let mut d = 1u64;
+                                for w in addrs.windows(2) {
+                                    if w[0] != w[1] {
+                                        d += 1;
+                                    }
+                                }
+                                if addrs.is_empty() {
+                                    0
+                                } else {
+                                    d
+                                }
+                            };
+                            let conflicts = (addrs.len() as u64).saturating_sub(distinct);
+                            counters.atomic_conflicts += conflicts;
+                            cycles += conflicts * config.atomic_conflict_cycles as u64;
+                        }
                     }
                 }
             }
+        }
+        // Step past each lane's segment and its Conv delimiter.
+        for (i, t) in traces.iter().enumerate() {
+            cur[i] = (seg_end[i] + 1).min(t.ops.len());
         }
     }
     WarpOutcome { cycles }
@@ -178,7 +220,7 @@ mod tests {
         let (cfg, mut caches, mut ctr) = setup();
         // 32 lanes load consecutive words: 128 bytes = 4 sectors.
         let traces = warp_of((0..32).map(|i| vec![Op::Load(i * 4)]).collect());
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(ctr.inst_executed_global_loads, 1);
         assert_eq!(ctr.gld_transactions, 4);
         assert_eq!(ctr.warp_execution_efficiency(), 100.0);
@@ -189,7 +231,7 @@ mod tests {
         let (cfg, mut caches, mut ctr) = setup();
         // 32 lanes load words 1 KiB apart: 32 sectors.
         let traces = warp_of((0..32).map(|i| vec![Op::Load(i * 1024)]).collect());
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(ctr.inst_executed_global_loads, 1);
         assert_eq!(ctr.gld_transactions, 32);
     }
@@ -203,7 +245,7 @@ mod tests {
                 .map(|i| vec![if i % 2 == 0 { Op::Load(i * 4) } else { Op::Store(i * 4) }])
                 .collect(),
         );
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(ctr.inst_executed, 2);
         assert_eq!(ctr.inst_executed_global_loads, 1);
         assert_eq!(ctr.inst_executed_global_stores, 1);
@@ -218,7 +260,7 @@ mod tests {
         let mut lanes: Vec<Vec<Op>> = vec![vec![Op::Load(0)]; 32];
         lanes[0] = (0..10).map(|i| Op::Load(i * 4096)).collect();
         let traces = warp_of(lanes);
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(ctr.inst_executed_global_loads, 10);
         assert!(ctr.warp_execution_efficiency() < 20.0);
     }
@@ -228,7 +270,7 @@ mod tests {
         let (cfg, mut caches, mut ctr) = setup();
         // All 32 lanes atomically hit the same address.
         let traces = warp_of((0..32).map(|_| vec![Op::Atomic(64)]).collect());
-        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(ctr.inst_executed_atomics, 1);
         assert_eq!(ctr.atomic_conflicts, 31);
         assert_eq!(ctr.atom_transactions, 1);
@@ -239,7 +281,7 @@ mod tests {
     fn distinct_atomics_do_not_conflict() {
         let (cfg, mut caches, mut ctr) = setup();
         let traces = warp_of((0..32).map(|i| vec![Op::Atomic(i * 256)]).collect());
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(ctr.atomic_conflicts, 0);
     }
 
@@ -247,9 +289,9 @@ mod tests {
     fn repeat_access_hits_l1() {
         let (cfg, mut caches, mut ctr) = setup();
         let t1 = warp_of(vec![vec![Op::Load(0)]]);
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &t1);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &t1, true);
         let before = ctr.l1_hits;
-        replay_warp(&cfg, &mut caches, &mut ctr, 0, &t1);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &t1, true);
         assert_eq!(ctr.l1_hits, before + 1);
         assert!(ctr.global_hit_rate() > 0.0);
     }
@@ -258,7 +300,7 @@ mod tests {
     fn alu_cost_is_lane_maximum() {
         let (cfg, mut caches, mut ctr) = setup();
         let traces = warp_of(vec![vec![Op::Alu(10)], vec![Op::Alu(2)]]);
-        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces);
+        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
         assert_eq!(out.cycles, 10);
         assert_eq!(ctr.inst_executed, 1);
     }
@@ -266,8 +308,66 @@ mod tests {
     #[test]
     fn empty_warp() {
         let (cfg, mut caches, mut ctr) = setup();
-        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &[]);
+        let out = replay_warp(&cfg, &mut caches, &mut ctr, 0, &[], true);
         assert_eq!(out.cycles, 0);
         assert_eq!(ctr.inst_executed, 0);
+    }
+
+    #[test]
+    fn reconvergence_realigns_divergent_atomics() {
+        // Lane 0 ran one more load than lane 1 before both reached the
+        // same atomic. Without a convergence point the step counters
+        // stay skewed and the two atomics replay as two instructions.
+        let (cfg, mut caches, mut ctr) = setup();
+        let divergent = warp_of(vec![
+            vec![Op::Load(0), Op::Load(64), Op::Atomic(128)],
+            vec![Op::Load(0), Op::Atomic(128)],
+        ]);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &divergent, true);
+        assert_eq!(ctr.inst_executed_atomics, 2, "skewed steps must not merge");
+
+        // A Conv (__syncwarp) before the atomic re-aligns the lanes:
+        // the same program point now issues one warp instruction, and
+        // the barrier itself retires nothing.
+        let (_, mut caches, mut ctr) = setup();
+        let converged = warp_of(vec![
+            vec![Op::Load(0), Op::Load(64), Op::Conv, Op::Atomic(128)],
+            vec![Op::Load(0), Op::Conv, Op::Atomic(128)],
+        ]);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &converged, true);
+        assert_eq!(ctr.inst_executed_atomics, 1, "converged atomics are one instruction");
+        assert_eq!(ctr.inst_executed_global_loads, 2);
+        assert_eq!(ctr.inst_executed, 3, "the Conv itself is free");
+    }
+
+    #[test]
+    fn conv_counts_differ_across_lanes() {
+        // Different loop trip counts leave the lanes with different
+        // numbers of convergence points: replay must run out each
+        // lane's segments without mixing a shorter lane's later ops
+        // into an earlier segment.
+        let (cfg, mut caches, mut ctr) = setup();
+        let traces = warp_of(vec![
+            vec![Op::Conv, Op::Atomic(0), Op::Conv, Op::Atomic(0), Op::Conv, Op::Atomic(0)],
+            vec![Op::Conv, Op::Atomic(4)],
+        ]);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
+        // Segment 1 merges both lanes' atomics; lane 0's remaining two
+        // segments each issue one more.
+        assert_eq!(ctr.inst_executed_atomics, 3);
+    }
+
+    #[test]
+    fn unregistered_replay_skips_launch_accounting() {
+        // The converged flush epilogue replays as a continuation of an
+        // already-counted warp: instructions and cycles accrue, but the
+        // launch's warp/thread occupancy must not double.
+        let (cfg, mut caches, mut ctr) = setup();
+        let traces = warp_of(vec![vec![Op::Atomic(0)], vec![Op::Atomic(4)]]);
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, true);
+        assert_eq!((ctr.warps, ctr.threads), (1, 2));
+        replay_warp(&cfg, &mut caches, &mut ctr, 0, &traces, false);
+        assert_eq!((ctr.warps, ctr.threads), (1, 2), "epilogue must not re-register");
+        assert_eq!(ctr.inst_executed_atomics, 2, "epilogue instructions still count");
     }
 }

@@ -703,6 +703,63 @@ impl SanState {
         }
     }
 
+    /// Hook: reserved store — a plain store into a slot this lane owns
+    /// via a gang-collective tail reservation ([`crate::Lane::gang_push`]).
+    /// The reservation hands each lane a distinct slot, so the store
+    /// carries the same publish discipline as the `atomicExch` it
+    /// replaces: it registers in the atomic slot of the access record
+    /// (clean against other reserved stores and against atomics, red
+    /// against plain stores and live plain loads), and like an
+    /// exchange it never reads, so no uninit check applies.
+    pub(crate) fn on_reserved_store(
+        &mut self,
+        addr: u64,
+        lane: u64,
+        gang: u64,
+        buffer: &'static str,
+        index: u32,
+    ) {
+        self.profile.stats(buffer, index, self.wave, lane).stores += 1;
+        if !self.config.races {
+            return;
+        }
+        let who = self.here(lane, gang);
+        let rec = self.access.entry(addr).or_default();
+        let prior_store = rec.plain_store.filter(|w| !w.same_thread(&who));
+        let prior_load = rec.plain_load.filter(|w| !w.same_thread(&who));
+        if rec.atomic.is_none() {
+            rec.atomic = Some(who);
+        }
+        if let Some(other) = prior_store {
+            self.record(
+                SanCheck::MixedAtomicRace,
+                buffer,
+                index,
+                addr,
+                &other,
+                &who,
+                format!(
+                    "reserved store by lane {} races lane {}'s plain store on the same word",
+                    who.lane, other.lane
+                ),
+            );
+        } else if let Some(other) = prior_load {
+            self.record(
+                SanCheck::SnapshotVisibility,
+                buffer,
+                index,
+                addr,
+                &other,
+                &who,
+                format!(
+                    "lane {}'s earlier plain load may or may not observe this reserved \
+                     store (use ld_volatile or order with a barrier)",
+                    other.lane
+                ),
+            );
+        }
+    }
+
     /// Hook: one child-kernel launch by `lane` of gang item `gang`.
     pub(crate) fn on_child_launch(&mut self, lane: u64, gang: u64) {
         if self.config.gangs {

@@ -22,6 +22,16 @@ pub enum Op {
     Atomic(u64),
     /// `n` arithmetic/control instructions (collapsed).
     Alu(u32),
+    /// Explicit warp reconvergence point (`__syncwarp`). Free at
+    /// replay time — the hardware's convergence barrier retires no
+    /// instruction the surrounding code did not already pay for — but
+    /// it re-aligns the step counter across the warp's lanes: replay
+    /// groups ops *within* a segment between two convergence points,
+    /// so ops at the same post-sync program point coalesce into one
+    /// warp instruction even when the lanes diverged earlier. The
+    /// warp-synchronous multisplit kernels emit one per aggregation
+    /// point; the scalar baseline kernels never do.
+    Conv,
 }
 
 impl Op {
@@ -33,6 +43,7 @@ impl Op {
             Op::Store(_) => OpKind::Store,
             Op::Atomic(_) => OpKind::Atomic,
             Op::Alu(_) => OpKind::Alu,
+            Op::Conv => OpKind::Conv,
         }
     }
 
@@ -41,7 +52,7 @@ impl Op {
     pub fn addr(&self) -> Option<u64> {
         match *self {
             Op::Load(a) | Op::LoadVolatile(a) | Op::Store(a) | Op::Atomic(a) => Some(a),
-            Op::Alu(_) => None,
+            Op::Alu(_) | Op::Conv => None,
         }
     }
 }
@@ -57,6 +68,8 @@ pub enum OpKind {
     Atomic,
     /// Arithmetic/control instructions.
     Alu,
+    /// Warp reconvergence point (replay segment boundary, zero cost).
+    Conv,
 }
 
 /// The recorded trace of one lane.

@@ -492,4 +492,27 @@ mod tests {
         assert_eq!(a.atomic_sites[&("tail", 0)], 14);
         assert_eq!(a.hot_words(1), vec![("tail", 0, 14)]);
     }
+
+    #[test]
+    fn hot_words_breaks_count_ties_deterministically() {
+        // Equal contention counts must rank by (buffer label, word
+        // index) so the table — and everything diffed against it —
+        // is stable across runs and merge orders. The multisplit
+        // before/after comparison reads this table; a tie flapping
+        // between orders would show up as a phantom regression.
+        let mut ir = AccessIr::default();
+        ir.atomic_sites.insert(("tail_b", 3), 9);
+        ir.atomic_sites.insert(("tail_a", 7), 9);
+        ir.atomic_sites.insert(("tail_a", 2), 9);
+        ir.atomic_sites.insert(("tail_c", 0), 11);
+        let a = verify(&ir);
+        assert_eq!(
+            a.hot_words(4),
+            vec![("tail_c", 0, 11), ("tail_a", 2, 9), ("tail_a", 7, 9), ("tail_b", 3, 9)],
+            "ties sort by buffer label then word index"
+        );
+        // Truncation must respect the same order: the top-2 are the
+        // strict-count winner and the lexicographically first tie.
+        assert_eq!(a.hot_words(2), vec![("tail_c", 0, 11), ("tail_a", 2, 9)]);
+    }
 }
